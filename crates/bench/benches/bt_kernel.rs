@@ -1,0 +1,49 @@
+//! The Table I experiment as a criterion bench: wall-clock of the BT-like
+//! kernel sweep per compiler/flag combination (the *simulated* runtimes in
+//! the table come from the cost model; this measures the harness itself).
+
+use bench::bt::{bt_inputs, bt_program};
+use criterion::{criterion_group, criterion_main, Criterion};
+use difftest::campaign::TestMode;
+use difftest::metadata::build_side;
+use gpucc::interp::execute;
+use gpucc::pipeline::{OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind};
+use std::hint::black_box;
+
+fn bench_bt(c: &mut Criterion) {
+    let program = bt_program();
+    let inputs = bt_inputs(8);
+    let mut g = c.benchmark_group("bt_kernel_table1");
+    for (tc, opt, label) in [
+        (Toolchain::Nvcc, OptLevel::O0, "nvcc_O0"),
+        (Toolchain::Nvcc, OptLevel::O3Fm, "nvcc_O3_FM"),
+        (Toolchain::Hipcc, OptLevel::O0, "hipcc_O0"),
+        (Toolchain::Hipcc, OptLevel::O3Fm, "hipcc_O3_FM"),
+    ] {
+        let device = Device::new(match tc {
+            Toolchain::Nvcc => DeviceKind::NvidiaLike,
+            Toolchain::Hipcc => DeviceKind::AmdLike,
+        });
+        let ir = build_side(&program, tc, opt, TestMode::Direct);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                for input in &inputs {
+                    black_box(execute(&ir, &device, input).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+
+    // full Table I regeneration (cost model + error sweep)
+    let mut g = c.benchmark_group("table1_regeneration");
+    g.sample_size(10);
+    g.bench_function("run_table1_50_inputs", |b| {
+        b.iter(|| black_box(bench::bt::run_table1(50)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bt);
+criterion_main!(benches);

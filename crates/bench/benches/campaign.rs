@@ -1,0 +1,42 @@
+//! End-to-end campaign benchmarks: the cost of regenerating each of the
+//! paper's result tables at a fixed small scale. Campaign wall-clock
+//! scales linearly in programs × inputs, so these numbers extrapolate to
+//! the paper-scale (`--full`) runs of the `tables` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use difftest::campaign::{run_campaign, CampaignConfig, TestMode};
+use gpucc::pipeline::OptLevel;
+use progen::Precision;
+use std::hint::black_box;
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_25_programs");
+    g.sample_size(10);
+    for (name, precision, mode) in [
+        ("fp64_direct_tables_v_vi", Precision::F64, TestMode::Direct),
+        ("fp64_hipify_tables_vii_viii", Precision::F64, TestMode::Hipified),
+        ("fp32_direct_tables_ix_x", Precision::F32, TestMode::Direct),
+    ] {
+        let cfg = CampaignConfig::default_for(precision, mode).with_programs(25);
+        g.bench_function(name, |b| b.iter(|| black_box(run_campaign(&cfg))));
+    }
+    g.finish();
+}
+
+fn bench_campaign_per_level(c: &mut Criterion) {
+    // one level at a time: shows O0's interpretive overhead vs O3's leaner IR
+    let mut g = c.benchmark_group("campaign_single_level");
+    g.sample_size(10);
+    for level in [OptLevel::O0, OptLevel::O3, OptLevel::O3Fm] {
+        let mut cfg =
+            CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(25);
+        cfg.levels = vec![level];
+        g.bench_with_input(BenchmarkId::from_parameter(level.label()), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_campaign(cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaigns, bench_campaign_per_level);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Throughput of the individual pipeline stages: generation, source
+//! emission, parsing, compilation (per level), execution. These bound the
+//! campaign rate that the paper's 652,600-run study requires.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use difftest::campaign::TestMode;
+use difftest::metadata::build_side;
+use gpucc::interp::execute;
+use gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind};
+use progen::emit::{emit, Dialect};
+use progen::gen::generate_program;
+use progen::grammar::GenConfig;
+use progen::inputs::generate_input;
+use progen::parser::parse_kernel;
+use progen::Precision;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let cfg = GenConfig::varity_default(Precision::F64);
+    let mut i = 0u64;
+    c.bench_function("generate_program_fp64", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(generate_program(&cfg, 42, i))
+        })
+    });
+}
+
+fn bench_emit_parse(c: &mut Criterion) {
+    let cfg = GenConfig::varity_default(Precision::F64);
+    let p = generate_program(&cfg, 42, 1);
+    c.bench_function("emit_cuda", |b| b.iter(|| black_box(emit(&p, Dialect::Cuda))));
+    let src = emit(&p, Dialect::Cuda);
+    c.bench_function("parse_kernel", |b| {
+        b.iter(|| black_box(parse_kernel(&src, "bench").unwrap()))
+    });
+    c.bench_function("hipify_translate", |b| {
+        b.iter(|| black_box(hipify::hipify(&src)))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let cfg = GenConfig::varity_default(Precision::F64);
+    let p = generate_program(&cfg, 42, 1);
+    let mut g = c.benchmark_group("compile");
+    for level in OptLevel::ALL {
+        g.bench_function(level.label(), |b| {
+            b.iter(|| black_box(compile(&p, Toolchain::Nvcc, level, false)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let cfg = GenConfig::varity_default(Precision::F64);
+    let p = generate_program(&cfg, 42, 1);
+    let input = generate_input(&p, 42, 0);
+    let dev = Device::new(DeviceKind::NvidiaLike);
+    let mut g = c.benchmark_group("execute");
+    for level in [OptLevel::O0, OptLevel::O3, OptLevel::O3Fm] {
+        let ir = compile(&p, Toolchain::Nvcc, level, false);
+        g.bench_function(level.label(), |b| {
+            b.iter(|| black_box(execute(&ir, &dev, &input).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_one_differential_test(c: &mut Criterion) {
+    // a full "one row of the campaign": build both sides, run both, compare
+    let cfg = GenConfig::varity_default(Precision::F64);
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    let amd = Device::new(DeviceKind::AmdLike);
+    let mut i = 0u64;
+    c.bench_function("full_differential_test", |b| {
+        b.iter_batched(
+            || {
+                i += 1;
+                let p = generate_program(&cfg, 7, i);
+                let input = generate_input(&p, 7, 0);
+                (p, input)
+            },
+            |(p, input)| {
+                let a = build_side(&p, Toolchain::Nvcc, OptLevel::O3, TestMode::Direct);
+                let b2 = build_side(&p, Toolchain::Hipcc, OptLevel::O3, TestMode::Direct);
+                let ra = execute(&a, &nv, &input).unwrap();
+                let rb = execute(&b2, &amd, &input).unwrap();
+                black_box(difftest::compare_runs(&ra.value, &rb.value))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_emit_parse,
+    bench_compile,
+    bench_execute,
+    bench_one_differential_test
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerate the paper's Table I: runtime vs maximum relative error for
+//! a BT-like structured-grid kernel across compiler/flag combinations.
+//!
+//! Usage: `table1 [--inputs N]`
+
+use bench::bt::{render_table1, run_table1};
+
+fn main() {
+    let n = std::env::args()
+        .skip_while(|a| a != "--inputs")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let rows = run_table1(n);
+    println!("{}", render_table1(&rows));
+    println!(
+        "(simulated cost-model runtimes over {n} input sweeps; error is the\n\
+         maximum relative deviation from the nvcc -O0 reference — compare\n\
+         the *shape* with the paper's Table I: fast math roughly halves the\n\
+         runtime while growing the error, and the second toolchain's error\n\
+         profile differs from the first's)"
+    );
+}

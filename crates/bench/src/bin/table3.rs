@@ -1,0 +1,30 @@
+//! Regenerate the paper's Table III: the characteristics of the random
+//! programs — measured over an actual generated corpus rather than merely
+//! asserted.
+//!
+//! Usage: `table3 [--programs N]`
+
+use difftest::stats::{census, grammar_coverage_ok, render_table3};
+use progen::gen::generate_batch;
+use progen::grammar::GenConfig;
+use progen::Precision;
+
+fn main() {
+    let n = std::env::args()
+        .skip_while(|a| a != "--programs")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+
+    for precision in [Precision::F64, Precision::F32] {
+        let cfg = GenConfig::varity_default(precision);
+        let corpus = generate_batch(&cfg, 2024, n);
+        let stats = census(&corpus);
+        println!("=== {} corpus ===", precision.label());
+        println!("{}", render_table3(&stats));
+        assert!(
+            grammar_coverage_ok(&stats),
+            "grammar coverage regression: {stats:?}"
+        );
+    }
+}

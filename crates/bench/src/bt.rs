@@ -1,0 +1,260 @@
+//! The BT-like structured-grid kernel behind Table I.
+//!
+//! The paper's Table I (taken from its ref \[2\]) shows the NAS BT.S
+//! benchmark compiled four ways — `{nvcc, clang} × {O0, O3 fast-math}` —
+//! with runtime and maximum relative error. Our substrate has two GPU
+//! toolchains instead of a GPU/CPU pair, so the reproduction runs a
+//! BT-flavoured kernel (Gauss–Seidel-ish sweep: FMA-heavy flux sums,
+//! divisions by linear combinations, a square root and a cosine) through
+//! `{nvcc-sim, hipcc-sim} × {O0, O3_FM}`, reporting the cost-model runtime
+//! and the maximum relative error against the `nvcc -O0` result.
+
+use difftest::campaign::TestMode;
+use difftest::metadata::build_side;
+use gpucc::cost::{scaled_cost, slots_to_seconds};
+use gpucc::interp::execute;
+use gpucc::pipeline::{OptLevel, Toolchain};
+use gpusim::mathlib::MathFunc;
+use gpusim::{Device, DeviceKind};
+use progen::ast::*;
+use progen::inputs::{InputSet, InputValue};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Build the BT-like kernel.
+pub fn bt_program() -> Program {
+    let v = |n: &str| Expr::Var(n.into());
+    let lit = Expr::Lit;
+    let add = |a, b| Expr::bin(BinOp::Add, a, b);
+    let mul = |a, b| Expr::bin(BinOp::Mul, a, b);
+    let div = |a, b| Expr::bin(BinOp::Div, a, b);
+    let sub = |a, b| Expr::bin(BinOp::Sub, a, b);
+
+    // flux = (u*v + v*w - w*u) / (u + v + w + 1)
+    // (reassociation- and contraction-sensitive: the subtraction is a
+    // hipcc-only fusion site)
+    let flux = div(
+        sub(
+            add(mul(v("var_2"), v("var_3")), mul(v("var_3"), v("var_4"))),
+            mul(v("var_4"), v("var_2")),
+        ),
+        add(add(add(v("var_2"), v("var_3")), v("var_4")), lit(1.0)),
+    );
+    // visc = u / (v + 0.5) + sqrt(u*u + w*w) * exp(-2u)
+    // (recip/fma sensitive; exp uses different vendor kernels even at O0)
+    let visc = add(
+        div(v("var_2"), add(v("var_3"), lit(0.5))),
+        mul(
+            Expr::Call(
+                MathFunc::Sqrt,
+                vec![add(mul(v("var_2"), v("var_2")), mul(v("var_4"), v("var_4")))],
+            ),
+            Expr::Call(
+                MathFunc::Exp,
+                vec![Expr::Neg(Box::new(mul(v("var_2"), lit(2.0))))],
+            ),
+        ),
+    );
+
+    Program {
+        id: "bt_like".into(),
+        precision: Precision::F64,
+        params: vec![
+            Param { name: "comp".into(), ty: ParamType::Float },
+            Param { name: "var_1".into(), ty: ParamType::Int },
+            Param { name: "var_2".into(), ty: ParamType::Float },
+            Param { name: "var_3".into(), ty: ParamType::Float },
+            Param { name: "var_4".into(), ty: ParamType::Float },
+            Param { name: "var_5".into(), ty: ParamType::FloatArray },
+        ],
+        body: vec![
+            Stmt::For {
+                var: "i".into(),
+                bound: "var_1".into(),
+                body: vec![
+                    Stmt::Assign {
+                        target: LValue::Index("var_5".into(), "i".into()),
+                        op: AssignOp::Set,
+                        value: flux.clone(),
+                    },
+                    Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::AddAssign,
+                        value: mul(Expr::Index("var_5".into(), "i".into()), visc.clone()),
+                    },
+                    Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::SubAssign,
+                        value: add(
+                            mul(v("comp"), lit(1.0e-3)),
+                            mul(Expr::Index("var_5".into(), "i".into()), lit(2.0e-3)),
+                        ),
+                    },
+                ],
+            },
+            Stmt::For {
+                var: "i".into(),
+                bound: "var_1".into(),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: mul(
+                        Expr::Call(
+                            MathFunc::Cos,
+                            vec![add(v("var_3"), mul(v("comp"), lit(1.0e-6)))],
+                        ),
+                        lit(1.0e-2),
+                    ),
+                }],
+            },
+        ],
+    }
+}
+
+/// Moderate-valued inputs (a solver state, not Varity extreme values).
+pub fn bt_inputs(n: usize) -> Vec<InputSet> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB7);
+    (0..n)
+        .map(|_| InputSet {
+            values: vec![
+                InputValue::Float(rng.gen_range(-1.0..1.0)),
+                InputValue::Int(16),
+                InputValue::Float(rng.gen_range(0.1..3.0)),
+                InputValue::Float(rng.gen_range(0.1..3.0)),
+                InputValue::Float(rng.gen_range(0.1..3.0)),
+                InputValue::ArrayFill(rng.gen_range(-0.5..0.5)),
+            ],
+        })
+        .collect()
+}
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone)]
+pub struct BtRow {
+    /// Compiler + flags label.
+    pub config: String,
+    /// Simulated runtime over the input sweep, in seconds.
+    pub runtime_s: f64,
+    /// Maximum relative error against the `nvcc -O0` reference.
+    pub max_rel_error: f64,
+}
+
+/// Run the Table I experiment.
+pub fn run_table1(n_inputs: usize) -> Vec<BtRow> {
+    let program = bt_program();
+    let inputs = bt_inputs(n_inputs);
+    let combos = [
+        (Toolchain::Nvcc, OptLevel::O0, "nvcc -O0"),
+        (Toolchain::Nvcc, OptLevel::O3Fm, "nvcc -O3 -use_fast_math"),
+        (Toolchain::Hipcc, OptLevel::O0, "hipcc -O0"),
+        (Toolchain::Hipcc, OptLevel::O3Fm, "hipcc -O3 -DHIP_FAST_MATH"),
+    ];
+
+    // reference: nvcc -O0
+    let ref_device = Device::new(DeviceKind::NvidiaLike);
+    let ref_ir = build_side(&program, Toolchain::Nvcc, OptLevel::O0, TestMode::Direct);
+    let reference: Vec<f64> = inputs
+        .iter()
+        .map(|i| execute(&ref_ir, &ref_device, i).expect("bt runs").value.to_f64())
+        .collect();
+
+    combos
+        .iter()
+        .map(|(tc, opt, label)| {
+            let device = Device::new(match tc {
+                Toolchain::Nvcc => DeviceKind::NvidiaLike,
+                Toolchain::Hipcc => DeviceKind::AmdLike,
+            });
+            let ir = build_side(&program, *tc, *opt, TestMode::Direct);
+            let mut slots = 0u64;
+            let mut max_err: f64 = 0.0;
+            for (input, refv) in inputs.iter().zip(&reference) {
+                let r = execute(&ir, &device, input).expect("bt runs");
+                slots += scaled_cost(r.cost_slots, opt.index() as u8);
+                let err = ((r.value.to_f64() - refv) / refv).abs();
+                max_err = max_err.max(err);
+            }
+            BtRow {
+                config: label.to_string(),
+                runtime_s: slots_to_seconds(slots),
+                max_rel_error: max_err,
+            }
+        })
+        .collect()
+}
+
+/// Render the Table I reproduction.
+pub fn render_table1(rows: &[BtRow]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I — INCONSISTENCIES IN BT-LIKE KERNEL (simulated)\n");
+    out.push_str(&format!(
+        "{:<28}{:>14}{:>16}\n",
+        "Compiler Options", "Runtime", "Error"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28}{:>12.6}s{:>16.5E}\n",
+            r.config, r.runtime_s, r.max_rel_error
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_row_has_zero_error() {
+        let rows = run_table1(20);
+        assert_eq!(rows[0].config, "nvcc -O0");
+        assert_eq!(rows[0].max_rel_error, 0.0);
+    }
+
+    #[test]
+    fn fast_math_is_faster_and_less_accurate() {
+        let rows = run_table1(30);
+        let o0 = &rows[0];
+        let fm = &rows[1];
+        assert!(
+            fm.runtime_s < o0.runtime_s * 0.6,
+            "fast math should be >1.6x faster: {} vs {}",
+            fm.runtime_s,
+            o0.runtime_s
+        );
+        assert!(
+            fm.max_rel_error > 0.0,
+            "fast math must perturb the result"
+        );
+        assert!(fm.max_rel_error < 1e-6, "but not catastrophically");
+    }
+
+    #[test]
+    fn hipcc_diverges_from_nvcc_reference() {
+        let rows = run_table1(30);
+        let hip_o0 = &rows[2];
+        // different fmod/exp kernels do not fire here, but contraction and
+        // the math library differences may; error stays tiny at O0
+        assert!(hip_o0.max_rel_error < 1e-10);
+        let hip_fm = &rows[3];
+        assert!(hip_fm.max_rel_error > 0.0);
+    }
+
+    #[test]
+    fn table_renders_four_rows() {
+        let rows = run_table1(5);
+        let t = render_table1(&rows);
+        assert_eq!(t.lines().count(), 6);
+        assert!(t.contains("nvcc -O3 -use_fast_math"));
+        assert!(t.contains("hipcc -O3 -DHIP_FAST_MATH"));
+    }
+
+    #[test]
+    fn bt_program_is_loop_heavy() {
+        let p = bt_program();
+        assert_eq!(p.loop_depth(), 1);
+        assert!(p.uses_arrays());
+        assert!(p.math_calls().contains(&MathFunc::Sqrt));
+        assert!(p.math_calls().contains(&MathFunc::Cos));
+    }
+}

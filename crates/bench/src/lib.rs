@@ -1,0 +1,19 @@
+//! # bench — benchmark harness and table-reproduction binaries
+//!
+//! One binary / bench per paper table or figure (see DESIGN.md §5):
+//!
+//! * `table1` — BT-like kernel runtime vs error across compiler/flag
+//!   combinations (paper Table I).
+//! * `table2` — raises and reports all five IEEE exception events
+//!   (paper Table II).
+//! * `table3` — program-characteristics census (paper Table III).
+//! * `tables` — the main campaign: regenerates Tables IV–X.
+//! * Criterion benches: generation / compilation / execution / math-library
+//!   throughput, plus the end-to-end campaign.
+//!
+//! The [`bt`] module hosts the BT-like structured-grid kernel used by
+//! Table I.
+
+#![deny(missing_docs)]
+
+pub mod bt;

@@ -1,0 +1,137 @@
+//! Minimal flag parsing (the workspace deliberately avoids argument-parser
+//! dependencies; the flag surface is tiny).
+
+use gpucc::pipeline::OptLevel;
+use progen::Precision;
+
+/// A parsed flag set: `--key value` pairs, bare `--switch`es, and
+/// positional arguments.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// Flags that never take a value.
+const SWITCHES: &[&str] = &["--fp32", "--hipify", "--kernel-only", "--full"];
+
+impl Args {
+    /// Parse an argv slice.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if SWITCHES.contains(&a.as_str()) {
+                switches.push(a.clone());
+            } else if let Some(key) = a.strip_prefix('-').map(|_| a.clone()) {
+                i += 1;
+                let value = argv
+                    .get(i)
+                    .ok_or_else(|| format!("flag {key} needs a value"))?;
+                pairs.push((key, value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Args { pairs, switches, positional })
+    }
+
+    /// Value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed value of `--key`, with a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v:?}")),
+        }
+    }
+
+    /// True if the bare switch was passed.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The `--fp32` convention: precision defaults to FP64.
+    pub fn precision(&self) -> Precision {
+        if self.has("--fp32") {
+            Precision::F32
+        } else {
+            Precision::F64
+        }
+    }
+
+    /// Parse `--level` (`O0`/`O1`/`O2`/`O3`/`O3_FM`).
+    pub fn level(&self) -> Result<Option<OptLevel>, String> {
+        match self.get("--level") {
+            None => Ok(None),
+            Some(v) => OptLevel::ALL
+                .into_iter()
+                .find(|l| l.label().eq_ignore_ascii_case(v))
+                .map(Some)
+                .ok_or_else(|| format!("unknown level {v:?} (use O0..O3, O3_FM)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_pairs_switches_and_positionals() {
+        let a = Args::parse(&argv("--seed 42 --fp32 file.cu --index 7")).unwrap();
+        assert_eq!(a.get("--seed"), Some("42"));
+        assert_eq!(a.get("--index"), Some("7"));
+        assert!(a.has("--fp32"));
+        assert_eq!(a.positional(), &["file.cu".to_string()]);
+    }
+
+    #[test]
+    fn get_parse_defaults_and_errors() {
+        let a = Args::parse(&argv("--seed 42")).unwrap();
+        assert_eq!(a.get_parse("--seed", 0u64).unwrap(), 42);
+        assert_eq!(a.get_parse("--index", 9u64).unwrap(), 9);
+        let bad = Args::parse(&argv("--seed abc")).unwrap();
+        assert!(bad.get_parse("--seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv("--seed")).is_err());
+    }
+
+    #[test]
+    fn precision_convention() {
+        assert_eq!(Args::parse(&argv("")).unwrap().precision(), Precision::F64);
+        assert_eq!(Args::parse(&argv("--fp32")).unwrap().precision(), Precision::F32);
+    }
+
+    #[test]
+    fn level_parsing() {
+        let a = Args::parse(&argv("--level o3_fm")).unwrap();
+        assert_eq!(a.level().unwrap(), Some(OptLevel::O3Fm));
+        let bad = Args::parse(&argv("--level O9")).unwrap();
+        assert!(bad.level().is_err());
+        assert_eq!(Args::parse(&argv("")).unwrap().level().unwrap(), None);
+    }
+}

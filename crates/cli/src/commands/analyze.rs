@@ -1,0 +1,54 @@
+//! `varity-gpu analyze` — merge metadata halves and print the tables.
+
+use super::parse_or_usage;
+use difftest::campaign::analyze;
+use difftest::metadata::CampaignMeta;
+use difftest::report::{render_adjacency, render_digest, render_per_level};
+use std::path::Path;
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_or_usage(argv) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let files = args.positional();
+    if files.is_empty() || files.len() > 2 {
+        eprintln!("usage: varity-gpu analyze FILE [FILE2]");
+        return 2;
+    }
+    let mut meta = match CampaignMeta::load(Path::new(&files[0])) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", files[0]);
+            return 1;
+        }
+    };
+    if let Some(second) = files.get(1) {
+        let other = match CampaignMeta::load(Path::new(second)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot load {second}: {e}");
+                return 1;
+            }
+        };
+        meta = match CampaignMeta::merge(meta, other) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot merge: {e}");
+                return 1;
+            }
+        };
+    }
+    if !meta.is_complete() {
+        eprintln!(
+            "metadata only covers sides {:?}; provide the other half too",
+            meta.sides_run
+        );
+        return 1;
+    }
+    let report = analyze(&meta);
+    println!("{}", render_digest(&report));
+    println!("{}", render_per_level(&report, "discrepancies per optimization option"));
+    println!("{}", render_adjacency(&report, "adjacency matrices"));
+    0
+}

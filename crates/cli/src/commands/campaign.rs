@@ -1,0 +1,66 @@
+//! `varity-gpu campaign` — run a campaign (or one side of it) and save
+//! JSON metadata; the CLI face of the Fig. 3 protocol.
+
+use super::parse_or_usage;
+use difftest::campaign::{analyze, CampaignConfig, TestMode};
+use difftest::metadata::CampaignMeta;
+use difftest::report::{render_digest, render_per_level};
+use gpucc::pipeline::Toolchain;
+use std::path::Path;
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_or_usage(argv) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+    let mut config = CampaignConfig::default_for(args.precision(), mode);
+    config.seed = args.get_parse("--seed", config.seed).unwrap_or(config.seed);
+    config.n_programs = args
+        .get_parse("--programs", config.n_programs)
+        .unwrap_or(config.n_programs);
+    config.inputs_per_program = args
+        .get_parse("--inputs", config.inputs_per_program)
+        .unwrap_or(config.inputs_per_program);
+    if args.has("--full") {
+        config.n_programs = match args.precision() {
+            progen::Precision::F64 => 3540,
+            progen::Precision::F32 => 2840,
+        };
+    }
+
+    let side = args.get("--side").unwrap_or("both");
+    let mut meta = CampaignMeta::generate(&config);
+    match side {
+        "nvcc" => meta.run_side(Toolchain::Nvcc),
+        "hipcc" => meta.run_side(Toolchain::Hipcc),
+        "both" => {
+            meta.run_side(Toolchain::Nvcc);
+            meta.run_side(Toolchain::Hipcc);
+        }
+        other => {
+            eprintln!("unknown side {other:?} (use nvcc|hipcc|both)");
+            return 2;
+        }
+    }
+
+    if let Some(path) = args.get("--out") {
+        if let Err(e) = meta.save(Path::new(path)) {
+            eprintln!("cannot save metadata: {e}");
+            return 1;
+        }
+        eprintln!("metadata saved to {path} (sides run: {:?})", meta.sides_run);
+    }
+
+    if meta.is_complete() {
+        let report = analyze(&meta);
+        println!("{}", render_digest(&report));
+        println!("{}", render_per_level(&report, "discrepancies per optimization option"));
+    } else {
+        eprintln!(
+            "half-campaign complete; run the other side against the same \
+             metadata config and `varity-gpu analyze` the two files"
+        );
+    }
+    0
+}

@@ -1,0 +1,60 @@
+//! `varity-gpu diff` — differential-test one program across all levels.
+
+use super::parse_or_usage;
+use difftest::campaign::TestMode;
+use difftest::compare_runs;
+use difftest::metadata::build_side;
+use gpucc::interp::execute;
+use gpucc::pipeline::{OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind};
+use progen::gen::generate_program;
+use progen::grammar::GenConfig;
+use progen::inputs::generate_inputs;
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_or_usage(argv) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
+    let index = args.get_parse("--index", 0u64).unwrap_or(0);
+    let n = args.get_parse("-n", 7usize).unwrap_or(7);
+    let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+
+    let cfg = GenConfig::varity_default(args.precision());
+    let program = generate_program(&cfg, seed, index);
+    let inputs = generate_inputs(&program, seed, n);
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    let amd = Device::new(DeviceKind::AmdLike);
+
+    println!("program {} ({} mode)", program.id, mode.label());
+    let mut found = 0u32;
+    for level in OptLevel::ALL {
+        let nv_ir = build_side(&program, Toolchain::Nvcc, level, mode);
+        let amd_ir = build_side(&program, Toolchain::Hipcc, level, mode);
+        for (k, input) in inputs.iter().enumerate() {
+            let (Ok(rn), Ok(ra)) = (
+                execute(&nv_ir, &nv, input),
+                execute(&amd_ir, &amd, input),
+            ) else {
+                eprintln!("{level} input {k}: execution error");
+                continue;
+            };
+            if let Some(d) = compare_runs(&rn.value, &ra.value) {
+                found += 1;
+                println!(
+                    "{:>6} input {k}: {:<10} nvcc={} hipcc={}",
+                    level.label(),
+                    format!("[{}]", d.class),
+                    rn.value.format_exact(),
+                    ra.value.format_exact()
+                );
+            }
+        }
+    }
+    println!(
+        "{found} discrepancies in {} comparisons",
+        OptLevel::ALL.len() * inputs.len()
+    );
+    i32::from(found == 0) // exit 0 when a discrepancy was found (grep-able)
+}

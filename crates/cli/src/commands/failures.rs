@@ -1,0 +1,47 @@
+//! `varity-gpu failures` — list failing runs from campaign metadata.
+
+use super::parse_or_usage;
+use difftest::metadata::CampaignMeta;
+use difftest::report::render_failures;
+use std::path::Path;
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_or_usage(argv) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let files = args.positional();
+    if files.is_empty() || files.len() > 2 {
+        eprintln!("usage: varity-gpu failures FILE [FILE2]");
+        return 2;
+    }
+    let mut meta = match CampaignMeta::load(Path::new(&files[0])) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", files[0]);
+            return 1;
+        }
+    };
+    if let Some(second) = files.get(1) {
+        let other = match CampaignMeta::load(Path::new(second)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot load {second}: {e}");
+                return 1;
+            }
+        };
+        meta = match CampaignMeta::merge(meta, other) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot merge: {e}");
+                return 1;
+            }
+        };
+    }
+    if !meta.is_complete() {
+        eprintln!("metadata only covers sides {:?}", meta.sides_run);
+        return 1;
+    }
+    print!("{}", render_failures(&meta));
+    0
+}

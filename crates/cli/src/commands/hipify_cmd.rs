@@ -1,0 +1,40 @@
+//! `varity-gpu hipify` — translate CUDA source text to HIP.
+
+use super::parse_or_usage;
+use hipify::hipify;
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_or_usage(argv) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let Some(path) = args.positional().first() else {
+        eprintln!("usage: varity-gpu hipify FILE [--out FILE]");
+        return 2;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let out = hipify(&source);
+    for w in &out.warnings {
+        eprintln!("warning: {w}");
+    }
+    eprintln!(
+        "{} substitutions, {} kernel launches rewritten",
+        out.substitutions, out.launches_rewritten
+    );
+    match args.get("--out") {
+        Some(dest) => {
+            if let Err(e) = std::fs::write(dest, out.source) {
+                eprintln!("cannot write {dest}: {e}");
+                return 1;
+            }
+        }
+        None => print!("{}", out.source),
+    }
+    i32::from(!out.warnings.is_empty())
+}

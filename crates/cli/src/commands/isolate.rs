@@ -1,0 +1,55 @@
+//! `varity-gpu isolate` — first-diverging-statement localization.
+
+use super::parse_or_usage;
+use difftest::campaign::TestMode;
+use difftest::isolate::isolate;
+use gpucc::pipeline::OptLevel;
+use gpusim::QuirkSet;
+use progen::emit::emit_kernel;
+use progen::gen::generate_program;
+use progen::grammar::GenConfig;
+use progen::inputs::generate_input;
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_or_usage(argv) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
+    let index = args.get_parse("--index", 0u64).unwrap_or(0);
+    let k = args.get_parse("--input", 0u64).unwrap_or(0);
+    let level = match args.level() {
+        Ok(l) => l.unwrap_or(OptLevel::O0),
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+
+    let cfg = GenConfig::varity_default(args.precision());
+    let program = generate_program(&cfg, seed, index);
+    let input = generate_input(&program, seed, k);
+    match isolate(&program, &input, level, mode, QuirkSet::all()) {
+        Ok(report) => {
+            println!("{}", emit_kernel(&program));
+            println!("input: {}", input.render(program.precision));
+            println!("level: {}", level.label());
+            println!(
+                "stores: nvcc {} / hipcc {}{}",
+                report.nvcc_events,
+                report.hipcc_events,
+                if report.control_flow_diverged { " (control flow diverged)" } else { "" }
+            );
+            println!("{}", report.digest());
+            if let Some(u) = report.final_ulp {
+                println!("final outputs are {u} ulp apart");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("execution error: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Subcommand implementations. Each returns a process exit code.
+
+pub mod analyze;
+pub mod campaign;
+pub mod diff;
+pub mod failures;
+pub mod generate;
+pub mod hipify_cmd;
+pub mod inputs;
+pub mod isolate;
+pub mod reduce;
+
+use crate::args::Args;
+
+/// Parse argv or print the error and return exit code 2.
+pub fn parse_or_usage(argv: &[String]) -> Result<Args, i32> {
+    Args::parse(argv).map_err(|e| {
+        eprintln!("{e}");
+        2
+    })
+}

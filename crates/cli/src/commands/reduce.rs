@@ -1,0 +1,71 @@
+//! `varity-gpu reduce` — scan for a failure and shrink it.
+
+use super::parse_or_usage;
+use difftest::campaign::TestMode;
+use difftest::compare_runs;
+use difftest::metadata::build_side;
+use difftest::reduce::{discrepancy_check, reduce_program};
+use gpucc::interp::execute;
+use gpucc::pipeline::{OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind, QuirkSet};
+use progen::emit::emit_kernel;
+use progen::gen::generate_program;
+use progen::grammar::GenConfig;
+use progen::inputs::generate_inputs;
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_or_usage(argv) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
+    let max_index = args.get_parse("--max-index", 2000u64).unwrap_or(2000);
+    let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+    let cfg = GenConfig::varity_default(args.precision());
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    let amd = Device::new(DeviceKind::AmdLike);
+
+    for index in 0..max_index {
+        let program = generate_program(&cfg, seed, index);
+        let inputs = generate_inputs(&program, seed, 7);
+        for level in OptLevel::ALL {
+            let nv_ir = build_side(&program, Toolchain::Nvcc, level, mode);
+            let amd_ir = build_side(&program, Toolchain::Hipcc, level, mode);
+            for input in &inputs {
+                let (Ok(rn), Ok(ra)) = (
+                    execute(&nv_ir, &nv, input),
+                    execute(&amd_ir, &amd, input),
+                ) else {
+                    continue;
+                };
+                let Some(d) = compare_runs(&rn.value, &ra.value) else {
+                    continue;
+                };
+                eprintln!(
+                    "found {} in {} at {} (nvcc={}, hipcc={})",
+                    d.class,
+                    program.id,
+                    level.label(),
+                    rn.value.format_exact(),
+                    ra.value.format_exact()
+                );
+                let check =
+                    discrepancy_check(input.clone(), level, mode, QuirkSet::all());
+                let red = reduce_program(&program, check);
+                eprintln!(
+                    "reduced {} → {} statements in {} steps",
+                    red.original_stmts, red.final_stmts, red.steps
+                );
+                println!("{}", emit_kernel(&red.program));
+                println!(
+                    "// failure-inducing input: {}",
+                    input.render(program.precision)
+                );
+                println!("// level: {}", level.label());
+                return 0;
+            }
+        }
+    }
+    eprintln!("no discrepancy found in {max_index} programs (seed {seed})");
+    1
+}

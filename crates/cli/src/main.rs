@@ -1,0 +1,72 @@
+//! `varity-gpu` — the command-line driver for the gpu-numerics framework.
+//!
+//! Subcommands mirror the workflow of the paper:
+//!
+//! * `generate` — emit one random test as CUDA or HIP source (Fig. 2)
+//! * `inputs`   — print the random inputs for a test
+//! * `diff`     — differential-test one program across all levels
+//! * `campaign` — run a testing campaign (optionally one side only, for
+//!   the Fig. 3 between-platform protocol) and save JSON metadata
+//! * `analyze`  — merge metadata halves and print the result tables
+//! * `reduce`   — shrink a failing test to a minimal reproducer
+//! * `isolate`  — locate the first diverging statement of a failure
+//! * `hipify`   — translate CUDA source text to HIP
+//!
+//! Run `varity-gpu help` for per-command usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("generate") => commands::generate::run(&argv[1..]),
+        Some("inputs") => commands::inputs::run(&argv[1..]),
+        Some("diff") => commands::diff::run(&argv[1..]),
+        Some("campaign") => commands::campaign::run(&argv[1..]),
+        Some("analyze") => commands::analyze::run(&argv[1..]),
+        Some("failures") => commands::failures::run(&argv[1..]),
+        Some("reduce") => commands::reduce::run(&argv[1..]),
+        Some("isolate") => commands::isolate::run(&argv[1..]),
+        Some("hipify") => commands::hipify_cmd::run(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`; try `varity-gpu help`");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const HELP: &str = "\
+varity-gpu — differential testing of simulated NVIDIA/AMD GPU numerics
+
+USAGE: varity-gpu <COMMAND> [OPTIONS]
+
+COMMANDS:
+  generate   emit one random test as CUDA/HIP source (or, with --level,
+             the compiled IR listing for that optimization level)
+             --seed S --index I [--fp32] [--dialect cuda|hip]
+             [--kernel-only] [--level O0|..|O3_FM]
+  inputs     print the random inputs for a test
+             --seed S --index I [--fp32] [-n K]
+  diff       differential-test one program across all optimization levels
+             --seed S --index I [--fp32] [--hipify] [-n K]
+  campaign   run a campaign and save JSON metadata
+             [--fp32] [--hipify] [--programs N] [--inputs K] [--seed S]
+             [--side nvcc|hipcc|both] [--out FILE]
+  analyze    merge metadata files and print the paper-style tables
+             FILE [FILE2]
+  failures   list every failing (program, level, input) triple
+             FILE [FILE2]
+  reduce     find a failure in a seed range and shrink it
+             --seed S [--fp32] [--max-index N]
+  isolate    locate the first diverging statement of one failure
+             --seed S --index I --input K --level O0|O1|O2|O3|O3_FM [--fp32]
+  hipify     translate CUDA source text to HIP
+             FILE [--out FILE]
+  help       this message
+";

@@ -1,0 +1,143 @@
+//! End-to-end CLI tests: drive the `varity-gpu` binary the way a user
+//! would and assert on its output and exit codes.
+
+use std::process::{Command, Output};
+
+fn varity(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_varity-gpu"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let out = varity(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in [
+        "generate", "inputs", "diff", "campaign", "analyze", "failures", "reduce",
+        "isolate", "hipify",
+    ] {
+        assert!(text.contains(cmd), "help missing `{cmd}`:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage_hint() {
+    let out = varity(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
+}
+
+#[test]
+fn generate_emits_parseable_cuda() {
+    let out = varity(&["generate", "--seed", "42", "--index", "3"]);
+    assert!(out.status.success());
+    let src = stdout(&out);
+    assert!(src.contains("__global__"));
+    assert!(src.contains("compute<<<1, 1>>>"));
+    // the emitted source must parse back
+    let p = progen::parser::parse_kernel(&src, "cli").expect("emitted source parses");
+    assert_eq!(p.id, "cli");
+}
+
+#[test]
+fn generate_hip_dialect() {
+    let out = varity(&["generate", "--seed", "42", "--index", "3", "--dialect", "hip"]);
+    assert!(out.status.success());
+    let src = stdout(&out);
+    assert!(src.contains("hipLaunchKernelGGL"));
+    assert!(!src.contains("<<<"));
+}
+
+#[test]
+fn inputs_prints_one_line_per_input() {
+    let out = varity(&["inputs", "--seed", "42", "--index", "0", "-n", "4"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).lines().count(), 4);
+}
+
+#[test]
+fn diff_reports_discrepancies_for_known_failing_program() {
+    // seed 31415 index 34 diverges at O3_FM (used by the quickstart example)
+    let out = varity(&["diff", "--seed", "31415", "--index", "34"]);
+    assert!(out.status.success(), "exit 0 when a discrepancy is found");
+    let text = stdout(&out);
+    assert!(text.contains("DISCREPANCY") || text.contains("[NaN") || text.contains("[Num"));
+}
+
+#[test]
+fn campaign_roundtrip_through_metadata_files() {
+    let dir = std::env::temp_dir().join("varity_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let c1 = dir.join("c1.json");
+    let c2 = dir.join("c2.json");
+    let c1s = c1.to_str().unwrap();
+    let c2s = c2.to_str().unwrap();
+
+    let out = varity(&["campaign", "--programs", "15", "--side", "nvcc", "--out", c1s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = varity(&["campaign", "--programs", "15", "--side", "hipcc", "--out", c2s]);
+    assert!(out.status.success());
+
+    let out = varity(&["analyze", c1s, c2s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("FP64 direct campaign"));
+    assert!(text.contains("O3_FM"));
+
+    let out = varity(&["failures", c1s, c2s]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("failing runs"));
+
+    std::fs::remove_file(&c1).ok();
+    std::fs::remove_file(&c2).ok();
+}
+
+#[test]
+fn analyze_rejects_half_campaign() {
+    let dir = std::env::temp_dir().join("varity_cli_test_half");
+    std::fs::create_dir_all(&dir).unwrap();
+    let c1 = dir.join("half.json");
+    let c1s = c1.to_str().unwrap();
+    let out = varity(&["campaign", "--programs", "5", "--side", "nvcc", "--out", c1s]);
+    assert!(out.status.success());
+    let out = varity(&["analyze", c1s]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sides"));
+    std::fs::remove_file(&c1).ok();
+}
+
+#[test]
+fn hipify_translates_a_file() {
+    let dir = std::env::temp_dir().join("varity_cli_test_hipify");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("t.cu");
+    std::fs::write(&src, "k<<<1, 2>>>(x); cudaFree(p);").unwrap();
+    let out = varity(&["hipify", src.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("hipLaunchKernelGGL(k, dim3(1), dim3(2), 0, 0, x);"));
+    assert!(text.contains("hipFree(p);"));
+    std::fs::remove_file(&src).ok();
+}
+
+#[test]
+fn isolate_reports_divergence_point() {
+    // the quickstart program's O3_FM failure on input 1
+    let out = varity(&[
+        "isolate", "--seed", "31415", "--index", "34", "--input", "1", "--level", "O3_FM",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("stores:"), "{text}");
+    assert!(
+        text.contains("first divergence") || text.contains("no divergence"),
+        "{text}"
+    );
+}

@@ -1,0 +1,301 @@
+//! Statement-level divergence isolation (pLiner-style, ref \[3\] of the
+//! paper; the paper's own root-cause analyses in §IV-D did this by hand:
+//! "we analyzed the intermediate results … until the condition was
+//! satisfied and the loop started, there were no issues with this input").
+//!
+//! Both sides of a failing test are executed with store-tracing enabled;
+//! the traces are aligned event-by-event (store order is pass-invariant)
+//! and the first differing write pinpoints the statement where the
+//! platforms part ways — plus how far apart they are in ULPs at that
+//! moment, versus at the final output (quantifying the paper's
+//! "small numerical difference … magnified with each loop iteration").
+
+use crate::campaign::{decode, TestMode};
+use crate::compare::{compare_runs, Discrepancy};
+use crate::metadata::build_side;
+use gpucc::interp::{execute_traced, ExecValue, TraceEvent};
+use gpucc::pipeline::{OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind, QuirkSet};
+use progen::ast::Program;
+use progen::inputs::InputSet;
+
+/// Where (and how badly) the two platforms first disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergencePoint {
+    /// Index of the first differing store event.
+    pub event_index: usize,
+    /// The stored variable (`comp`, `tmp_1`, `var_5[3]`, …).
+    pub target: String,
+    /// Value written on the nvcc/NVIDIA side.
+    pub nvcc: ExecValue,
+    /// Value written on the hipcc/AMD side.
+    pub hipcc: ExecValue,
+    /// ULP distance at the divergence point (`None` if NaN involved).
+    pub ulp_at_divergence: Option<u64>,
+}
+
+/// Result of isolating one failing (program, input, level) triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationReport {
+    /// The final-output discrepancy (as the campaign classified it).
+    pub discrepancy: Option<Discrepancy>,
+    /// The first diverging store, if any store diverged.
+    pub first_divergence: Option<DivergencePoint>,
+    /// Store events on the nvcc side.
+    pub nvcc_events: usize,
+    /// Store events on the hipcc side.
+    pub hipcc_events: usize,
+    /// True when the traces have different lengths or targets — control
+    /// flow itself diverged (a condition evaluated differently).
+    pub control_flow_diverged: bool,
+    /// ULP distance between the final outputs (`None` if NaN involved or
+    /// outcomes differ in class).
+    pub final_ulp: Option<u64>,
+}
+
+impl IsolationReport {
+    /// Human-readable one-line digest.
+    pub fn digest(&self) -> String {
+        match (&self.first_divergence, self.control_flow_diverged) {
+            (Some(d), cf) => {
+                // hex floats expose the exact differing bits that decimal
+                // output can hide
+                let hex = format!(
+                    " [{} vs {}]",
+                    fpcore::literal::format_hex_f64(d.nvcc.to_f64()),
+                    fpcore::literal::format_hex_f64(d.hipcc.to_f64())
+                );
+                format!(
+                    "first divergence at store #{} into `{}`: nvcc={} hipcc={}{}{}{}",
+                    d.event_index,
+                    d.target,
+                    d.nvcc.format_exact(),
+                    d.hipcc.format_exact(),
+                    hex,
+                    d.ulp_at_divergence
+                        .map(|u| format!(" ({u} ulp apart)"))
+                        .unwrap_or_default(),
+                    if cf { "; control flow later diverged" } else { "" },
+                )
+            }
+            (None, true) => "control flow diverged with no differing store".into(),
+            (None, false) => "no divergence observed".into(),
+        }
+    }
+}
+
+/// Run both sides with tracing and isolate the first diverging statement.
+pub fn isolate(
+    program: &Program,
+    input: &InputSet,
+    level: OptLevel,
+    mode: TestMode,
+    quirks: QuirkSet,
+) -> Result<IsolationReport, gpucc::interp::ExecError> {
+    let nv_dev = Device::with_quirks(DeviceKind::NvidiaLike, quirks);
+    let amd_dev = Device::with_quirks(DeviceKind::AmdLike, quirks);
+    let nv_ir = build_side(program, Toolchain::Nvcc, level, mode);
+    let amd_ir = build_side(program, Toolchain::Hipcc, level, mode);
+    let (rn, tn) = execute_traced(&nv_ir, &nv_dev, input)?;
+    let (ra, ta) = execute_traced(&amd_ir, &amd_dev, input)?;
+
+    let first_divergence = first_difference(program, &tn, &ta);
+    let control_flow_diverged = tn.len() != ta.len()
+        || tn
+            .iter()
+            .zip(&ta)
+            .any(|(a, b)| a.target != b.target);
+
+    Ok(IsolationReport {
+        discrepancy: compare_runs(&rn.value, &ra.value),
+        first_divergence,
+        nvcc_events: tn.len(),
+        hipcc_events: ta.len(),
+        control_flow_diverged,
+        final_ulp: ulp_between(&rn.value, &ra.value),
+    })
+}
+
+fn first_difference(
+    program: &Program,
+    nv: &[TraceEvent],
+    amd: &[TraceEvent],
+) -> Option<DivergencePoint> {
+    for (i, (a, b)) in nv.iter().zip(amd).enumerate() {
+        if a.target != b.target {
+            // control flow diverged before any value did; report the spot
+            return Some(DivergencePoint {
+                event_index: i,
+                target: format!("{} / {}", a.target, b.target),
+                nvcc: decode(program.precision, a.bits),
+                hipcc: decode(program.precision, b.bits),
+                ulp_at_divergence: None,
+            });
+        }
+        if a.bits != b.bits {
+            let vn = decode(program.precision, a.bits);
+            let va = decode(program.precision, b.bits);
+            return Some(DivergencePoint {
+                event_index: i,
+                target: a.target.clone(),
+                ulp_at_divergence: ulp_between(&vn, &va),
+                nvcc: vn,
+                hipcc: va,
+            });
+        }
+    }
+    None
+}
+
+fn ulp_between(a: &ExecValue, b: &ExecValue) -> Option<u64> {
+    match (a, b) {
+        (ExecValue::F64(x), ExecValue::F64(y)) => fpcore::ulp::ulp_diff_f64(*x, *y),
+        (ExecValue::F32(x), ExecValue::F32(y)) => {
+            fpcore::ulp::ulp_diff_f32(*x, *y).map(u64::from)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::mathlib::MathFunc;
+    use progen::ast::*;
+    use progen::inputs::InputValue;
+
+    /// Fig. 5-shaped program: tmp decl, then the failing division.
+    fn fig5() -> (Program, InputSet) {
+        let p = Program {
+            id: "fig5".into(),
+            precision: Precision::F64,
+            params: vec![Param { name: "comp".into(), ty: ParamType::Float }],
+            body: vec![
+                Stmt::DeclTmp { name: "tmp_1".into(), init: Expr::Lit(1.1147e-307) },
+                Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::bin(
+                        BinOp::Div,
+                        Expr::Var("tmp_1".into()),
+                        Expr::Call(MathFunc::Ceil, vec![Expr::Lit(1.5955e-125)]),
+                    ),
+                },
+            ],
+        };
+        let input = InputSet { values: vec![InputValue::Float(1.2374e-306)] };
+        (p, input)
+    }
+
+    #[test]
+    fn isolates_the_failing_statement_of_fig5() {
+        let (p, input) = fig5();
+        let r = isolate(&p, &input, OptLevel::O0, TestMode::Direct, QuirkSet::all()).unwrap();
+        assert!(r.discrepancy.is_some());
+        let d = r.first_divergence.expect("divergence found");
+        // tmp_1 agrees (event 0); the division into comp diverges (event 1)
+        assert_eq!(d.event_index, 1);
+        assert_eq!(d.target, "comp");
+        assert_eq!(d.nvcc, ExecValue::F64(f64::INFINITY));
+        assert!(!r.control_flow_diverged);
+    }
+
+    #[test]
+    fn agreeing_runs_report_no_divergence() {
+        let (p, input) = fig5();
+        let r = isolate(&p, &input, OptLevel::O0, TestMode::Direct, QuirkSet::none()).unwrap();
+        assert!(r.discrepancy.is_none());
+        assert!(r.first_divergence.is_none());
+        assert!(!r.control_flow_diverged);
+        assert_eq!(r.final_ulp, Some(0));
+        assert_eq!(r.digest(), "no divergence observed");
+    }
+
+    #[test]
+    fn loop_magnification_is_visible_in_ulp_growth() {
+        // comp += fmod(huge, tiny) inside a loop: the first iteration's
+        // divergence is magnified by subsequent iterations (case study 1's
+        // "compounded" observation) — final ulp >= divergence-point ulp
+        let p = Program {
+            id: "mag".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_2".into(), ty: ParamType::Float },
+            ],
+            body: vec![Stmt::For {
+                var: "i".into(),
+                bound: "var_1".into(),
+                body: vec![
+                    Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::AddAssign,
+                        value: Expr::Call(
+                            MathFunc::Fmod,
+                            vec![Expr::Lit(1.5917195493481116e289), Expr::Lit(1.5793e-307)],
+                        ),
+                    },
+                    Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::MulAssign,
+                        value: Expr::Lit(1.5),
+                    },
+                ],
+            }],
+        };
+        let input = InputSet {
+            values: vec![
+                InputValue::Float(0.0),
+                InputValue::Int(6),
+                InputValue::Float(0.0),
+            ],
+        };
+        let r = isolate(&p, &input, OptLevel::O0, TestMode::Direct, QuirkSet::all()).unwrap();
+        let d = r.first_divergence.expect("fmod diverges");
+        assert_eq!(d.event_index, 0, "first store already differs");
+        assert!(r.discrepancy.is_some());
+        // traces align (no control-flow divergence), 12 stores each
+        assert!(!r.control_flow_diverged);
+        assert_eq!(r.nvcc_events, 12);
+        assert_eq!(r.hipcc_events, 12);
+    }
+
+    #[test]
+    fn control_flow_divergence_is_detected() {
+        // if (comp >= ceil(tiny)) { comp = 1 }: NV ceil gives 0 (branch
+        // taken for comp=0.5), AMD gives 1 (branch not taken)
+        let p = Program {
+            id: "cf".into(),
+            precision: Precision::F64,
+            params: vec![Param { name: "comp".into(), ty: ParamType::Float }],
+            body: vec![Stmt::If {
+                cond: Cond {
+                    op: CmpOp::Ge,
+                    lhs: Expr::Var("comp".into()),
+                    rhs: Expr::Call(MathFunc::Ceil, vec![Expr::Lit(1.5955e-125)]),
+                },
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::Set,
+                    value: Expr::Lit(1.0),
+                }],
+            }],
+        };
+        let input = InputSet { values: vec![InputValue::Float(0.5)] };
+        let r = isolate(&p, &input, OptLevel::O0, TestMode::Direct, QuirkSet::all()).unwrap();
+        assert!(r.control_flow_diverged);
+        assert_eq!(r.nvcc_events, 1, "NV takes the branch");
+        assert_eq!(r.hipcc_events, 0, "AMD skips it");
+    }
+
+    #[test]
+    fn digest_is_informative() {
+        let (p, input) = fig5();
+        let r = isolate(&p, &input, OptLevel::O0, TestMode::Direct, QuirkSet::all()).unwrap();
+        let d = r.digest();
+        assert!(d.contains("store #1"), "{d}");
+        assert!(d.contains("comp"), "{d}");
+        assert!(d.contains("inf"), "{d}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # difftest — the differential-testing harness
+//!
+//! End-to-end implementation of the paper's testing campaign:
+//!
+//! 1. generate `N` random programs and `K` inputs each ([`progen`]);
+//! 2. for every optimization level, compile each test with the nvcc-like
+//!    and hipcc-like toolchains ([`gpucc`]) — routing the hipcc side
+//!    through the HIPIFY translator in HIPIFY mode ([`hipify`]);
+//! 3. execute both binaries on their devices ([`gpusim`]) with the same
+//!    inputs;
+//! 4. compare results bitwise, classify discrepancies into the paper's
+//!    seven classes ([`outcome`], [`compare`]);
+//! 5. aggregate per-level class counts and adjacency matrices and render
+//!    the paper's tables ([`report`]);
+//! 6. persist / merge campaign metadata as JSON for the between-platform
+//!    protocol of Fig. 3 ([`metadata`]);
+//! 7. shrink failure-inducing tests to minimal reproducers ([`reduce`]);
+//! 8. isolate the first diverging statement via trace alignment
+//!    ([`isolate`]) — pLiner-style root-cause localization.
+
+#![deny(missing_docs)]
+
+pub mod campaign;
+pub mod compare;
+pub mod cross;
+pub mod isolate;
+pub mod metadata;
+pub mod outcome;
+pub mod reduce;
+pub mod report;
+pub mod stats;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, TestMode};
+pub use compare::compare_runs;
+pub use outcome::DiscrepancyClass;

@@ -1,0 +1,451 @@
+//! Campaign metadata: the JSON protocol of the paper's Fig. 3.
+//!
+//! GPUs from different vendors live in different clusters, so the paper
+//! runs each campaign in two halves: system `C1` generates the tests, runs
+//! its own compiler, and saves a JSON metadata file; system `C2` loads the
+//! metadata, *regenerates exactly the same tests and inputs* (generation
+//! is deterministic in the config), runs its side, and the merged file is
+//! analyzed. [`CampaignMeta::run_side`] + [`CampaignMeta::merge`]
+//! implement that protocol on one machine or two.
+
+use crate::campaign::CampaignConfig;
+use crate::campaign::TestMode;
+use fpcore::classify::Outcome;
+use gpucc::interp::{execute_prepared, prepare, ExecValue};
+use gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpucc::KernelIr;
+use gpusim::{Device, DeviceKind};
+use hipify::hipify;
+use progen::ast::Program;
+use progen::emit::{emit, Dialect};
+use progen::gen::generate_program;
+use progen::inputs::{generate_inputs, InputSet};
+use progen::parser::parse_kernel;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One stored execution result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Raw result bits (width per campaign precision).
+    pub bits: u64,
+    /// Outcome classification.
+    pub outcome: Outcome,
+    /// The `printf("%.17g")` output line.
+    pub printed: String,
+    /// IEEE exception flags the run raised (GPU-FPX-style tracking; the
+    /// paper's ref \[12\]).
+    #[serde(default)]
+    pub exceptions: fpcore::exceptions::ExceptionFlags,
+    /// Execution error, if the run failed (never for generated tests).
+    pub error: Option<String>,
+}
+
+/// Metadata for one test program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestMeta {
+    /// Generation index (program is regenerated from `(config, index)`).
+    pub index: u64,
+    /// Program identifier (sanity-checked on regeneration).
+    pub program_id: String,
+    /// The input sets, in order.
+    pub inputs: Vec<InputSet>,
+    /// `results["nvcc:O0"][input_idx]`.
+    pub results: BTreeMap<String, Vec<RunRecord>>,
+}
+
+/// A campaign's full metadata file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignMeta {
+    /// Campaign configuration (fully determines tests + inputs).
+    pub config: CampaignConfig,
+    /// Which sides have been executed (`"nvcc"`, `"hipcc"`).
+    pub sides_run: Vec<String>,
+    /// Per-test metadata.
+    pub tests: Vec<TestMeta>,
+}
+
+/// Key for one (toolchain, level) result column.
+pub fn side_key(tc: Toolchain, level: OptLevel) -> String {
+    format!("{}:{}", tc.name(), level.label())
+}
+
+/// Errors from the metadata protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// The two files describe different campaigns.
+    ConfigMismatch,
+    /// Serialization / IO failure.
+    Io(String),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::ConfigMismatch => f.write_str("campaign configs do not match"),
+            MetaError::Io(m) => write!(f, "metadata io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+impl CampaignMeta {
+    /// Generate the campaign's tests and inputs (no results yet).
+    pub fn generate(config: &CampaignConfig) -> Self {
+        let tests = (0..config.n_programs as u64)
+            .into_par_iter()
+            .map(|index| {
+                let program = generate_program(&config.gen, config.seed, index);
+                let inputs =
+                    generate_inputs(&program, config.seed, config.inputs_per_program);
+                TestMeta {
+                    index,
+                    program_id: program.id.clone(),
+                    inputs,
+                    results: BTreeMap::new(),
+                }
+            })
+            .collect();
+        CampaignMeta { config: config.clone(), sides_run: Vec::new(), tests }
+    }
+
+    /// Regenerate the program for a test entry (deterministic).
+    pub fn program_for(&self, test: &TestMeta) -> Program {
+        let p = generate_program(&self.config.gen, self.config.seed, test.index);
+        debug_assert_eq!(p.id, test.program_id, "metadata/program mismatch");
+        p
+    }
+
+    /// Execute one side of the campaign (all levels, all tests, all
+    /// inputs) and store the results. This is what runs on each cluster in
+    /// the Fig. 3 protocol.
+    pub fn run_side(&mut self, toolchain: Toolchain) {
+        let config = self.config.clone();
+        let device = Device::with_quirks(
+            match toolchain {
+                Toolchain::Nvcc => DeviceKind::NvidiaLike,
+                Toolchain::Hipcc => DeviceKind::AmdLike,
+            },
+            config.quirks,
+        );
+        self.tests.par_iter_mut().for_each(|test| {
+            let program = generate_program(&config.gen, config.seed, test.index);
+            for level in &config.levels {
+                let ir = build_side(&program, toolchain, *level, config.mode);
+                let kernel = prepare(&ir).expect("generated kernels resolve");
+                let records: Vec<RunRecord> = test
+                    .inputs
+                    .iter()
+                    .map(|input| run_one(&kernel, &device, input))
+                    .collect();
+                test.results.insert(side_key(toolchain, *level), records);
+            }
+        });
+        let name = toolchain.name().to_string();
+        if !self.sides_run.contains(&name) {
+            self.sides_run.push(name);
+        }
+    }
+
+    /// True once both compilers' results are present.
+    pub fn is_complete(&self) -> bool {
+        self.sides_run.contains(&"nvcc".to_string())
+            && self.sides_run.contains(&"hipcc".to_string())
+    }
+
+    /// Merge two half-campaigns (same config, different sides run).
+    pub fn merge(mut a: CampaignMeta, b: CampaignMeta) -> Result<CampaignMeta, MetaError> {
+        if serde_json::to_string(&a.config).map_err(io)?
+            != serde_json::to_string(&b.config).map_err(io)?
+        {
+            return Err(MetaError::ConfigMismatch);
+        }
+        if a.tests.len() != b.tests.len() {
+            return Err(MetaError::ConfigMismatch);
+        }
+        for (ta, tb) in a.tests.iter_mut().zip(b.tests) {
+            if ta.program_id != tb.program_id || ta.inputs != tb.inputs {
+                return Err(MetaError::ConfigMismatch);
+            }
+            for (k, v) in tb.results {
+                ta.results.entry(k).or_insert(v);
+            }
+        }
+        for s in b.sides_run {
+            if !a.sides_run.contains(&s) {
+                a.sides_run.push(s);
+            }
+        }
+        Ok(a)
+    }
+
+    /// Split a campaign into `n_shards` batches over disjoint test ranges
+    /// (the paper: "Due to resource constraints, we divided the tests into
+    /// multiple batches, executed each batch separately, and then compiled
+    /// the results into a comprehensive dataset"). Each shard is a
+    /// self-contained `CampaignMeta` that can be run (either side or both)
+    /// on a different machine and recombined with
+    /// [`CampaignMeta::merge_shards`].
+    pub fn shard(self, n_shards: usize) -> Vec<CampaignMeta> {
+        assert!(n_shards > 0, "need at least one shard");
+        let mut shards: Vec<CampaignMeta> = (0..n_shards)
+            .map(|_| CampaignMeta {
+                config: self.config.clone(),
+                sides_run: self.sides_run.clone(),
+                tests: Vec::new(),
+            })
+            .collect();
+        for (i, test) in self.tests.into_iter().enumerate() {
+            shards[i % n_shards].tests.push(test);
+        }
+        shards
+    }
+
+    /// Recombine shards produced by [`CampaignMeta::shard`] into the full
+    /// campaign. Requires identical configs and a complete, disjoint test
+    /// set; the intersection of the shards' completed sides is kept.
+    pub fn merge_shards(shards: Vec<CampaignMeta>) -> Result<CampaignMeta, MetaError> {
+        let mut iter = shards.into_iter();
+        let mut first = iter.next().ok_or(MetaError::ConfigMismatch)?;
+        let config_json = serde_json::to_string(&first.config).map_err(io)?;
+        let mut sides: Vec<String> = first.sides_run.clone();
+        for shard in iter {
+            if serde_json::to_string(&shard.config).map_err(io)? != config_json {
+                return Err(MetaError::ConfigMismatch);
+            }
+            sides.retain(|s| shard.sides_run.contains(s));
+            first.tests.extend(shard.tests);
+        }
+        first.tests.sort_by_key(|t| t.index);
+        // completeness + disjointness
+        if first.tests.len() != first.config.n_programs
+            || first
+                .tests
+                .windows(2)
+                .any(|w| w[0].index == w[1].index)
+        {
+            return Err(MetaError::ConfigMismatch);
+        }
+        first.sides_run = sides;
+        Ok(first)
+    }
+
+    /// Save as JSON.
+    pub fn save(&self, path: &Path) -> Result<(), MetaError> {
+        let json = serde_json::to_string(self).map_err(io)?;
+        std::fs::write(path, json).map_err(io)
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> Result<CampaignMeta, MetaError> {
+        let json = std::fs::read_to_string(path).map_err(io)?;
+        serde_json::from_str(&json).map_err(io)
+    }
+}
+
+fn io(e: impl std::fmt::Display) -> MetaError {
+    MetaError::Io(e.to_string())
+}
+
+/// Build the kernel a given side runs: emit source in the right dialect,
+/// push it through HIPIFY if the campaign tests converted code, re-parse,
+/// and compile with the side's toolchain.
+pub fn build_side(
+    program: &Program,
+    toolchain: Toolchain,
+    level: OptLevel,
+    mode: TestMode,
+) -> KernelIr {
+    match (toolchain, mode) {
+        (Toolchain::Nvcc, _) => {
+            let src = emit(program, Dialect::Cuda);
+            let parsed = parse_kernel(&src, &program.id).expect("emitted CUDA parses");
+            compile(&parsed, Toolchain::Nvcc, level, false)
+        }
+        (Toolchain::Hipcc, TestMode::Direct) => {
+            let src = emit(program, Dialect::Hip);
+            let parsed = parse_kernel(&src, &program.id).expect("emitted HIP parses");
+            compile(&parsed, Toolchain::Hipcc, level, false)
+        }
+        (Toolchain::Hipcc, TestMode::Hipified) => {
+            let cuda = emit(program, Dialect::Cuda);
+            let converted = hipify(&cuda);
+            let parsed =
+                parse_kernel(&converted.source, &program.id).expect("hipified source parses");
+            compile(&parsed, Toolchain::Hipcc, level, true)
+        }
+    }
+}
+
+fn run_one(
+    kernel: &gpucc::interp::ExecutableKernel,
+    device: &Device,
+    input: &InputSet,
+) -> RunRecord {
+    match execute_prepared(kernel, device, input) {
+        Ok(result) => RunRecord {
+            bits: result.value.bits(),
+            outcome: result.value.outcome(),
+            printed: result.value.format_exact(),
+            exceptions: result.exceptions,
+            error: None,
+        },
+        Err(e) => RunRecord {
+            bits: ExecValue::F64(f64::NAN).bits(),
+            outcome: Outcome::Nan,
+            printed: String::new(),
+            exceptions: fpcore::exceptions::ExceptionFlags::new(),
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{analyze, run_campaign, CampaignConfig};
+    use progen::ast::Precision;
+
+    fn cfg() -> CampaignConfig {
+        CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(12)
+    }
+
+    #[test]
+    fn between_platform_protocol_matches_single_machine_run() {
+        let config = cfg();
+        // single machine
+        let combined = run_campaign(&config);
+
+        // two "clusters": each generates from the shared config, runs its
+        // side, and the metadata files are merged
+        let mut c1 = CampaignMeta::generate(&config);
+        c1.run_side(Toolchain::Nvcc);
+        let mut c2 = CampaignMeta::generate(&config);
+        c2.run_side(Toolchain::Hipcc);
+        assert!(!c1.is_complete() && !c2.is_complete());
+        let merged = CampaignMeta::merge(c1, c2).unwrap();
+        assert!(merged.is_complete());
+        let report = analyze(&merged);
+        assert_eq!(report.per_level, combined.per_level);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let config = cfg().with_programs(4);
+        let mut meta = CampaignMeta::generate(&config);
+        meta.run_side(Toolchain::Nvcc);
+        let dir = std::env::temp_dir().join("difftest_meta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.json");
+        meta.save(&path).unwrap();
+        let back = CampaignMeta::load(&path).unwrap();
+        assert_eq!(meta, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configs() {
+        let a = CampaignMeta::generate(&cfg().with_programs(3));
+        let b = CampaignMeta::generate(&cfg().with_programs(4));
+        assert_eq!(
+            CampaignMeta::merge(a, b).unwrap_err(),
+            MetaError::ConfigMismatch
+        );
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_overlapping_sides() {
+        let config = cfg().with_programs(3);
+        let mut a = CampaignMeta::generate(&config);
+        a.run_side(Toolchain::Nvcc);
+        let b = a.clone();
+        let merged = CampaignMeta::merge(a.clone(), b).unwrap();
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn program_regeneration_matches_stored_ids() {
+        let meta = CampaignMeta::generate(&cfg().with_programs(6));
+        for t in &meta.tests {
+            let p = meta.program_for(t);
+            assert_eq!(p.id, t.program_id);
+        }
+    }
+
+    #[test]
+    fn records_store_exact_bits_and_print() {
+        let config = cfg().with_programs(5);
+        let mut meta = CampaignMeta::generate(&config);
+        meta.run_side(Toolchain::Nvcc);
+        let t = &meta.tests[0];
+        let recs = t.results.get(&side_key(Toolchain::Nvcc, OptLevel::O0)).unwrap();
+        assert_eq!(recs.len(), config.inputs_per_program);
+        for r in recs {
+            assert!(r.error.is_none());
+            let v = f64::from_bits(r.bits);
+            assert_eq!(r.outcome, Outcome::of_f64(v));
+            assert_eq!(r.printed, fpcore::literal::format_g17(v));
+        }
+    }
+
+    #[test]
+    fn sharded_batches_reproduce_the_monolithic_campaign() {
+        let config = cfg().with_programs(13); // uneven split on purpose
+        // monolithic reference
+        let monolithic = run_campaign(&config);
+        // sharded: three batches, each run independently
+        let shards = CampaignMeta::generate(&config).shard(3);
+        assert_eq!(shards.len(), 3);
+        let run_shards: Vec<CampaignMeta> = shards
+            .into_iter()
+            .map(|mut s| {
+                s.run_side(Toolchain::Nvcc);
+                s.run_side(Toolchain::Hipcc);
+                s
+            })
+            .collect();
+        let merged = CampaignMeta::merge_shards(run_shards).unwrap();
+        assert!(merged.is_complete());
+        let report = analyze(&merged);
+        assert_eq!(report.per_level, monolithic.per_level);
+    }
+
+    #[test]
+    fn merge_shards_rejects_incomplete_sets() {
+        let config = cfg().with_programs(6);
+        let mut shards = CampaignMeta::generate(&config).shard(3);
+        shards.pop(); // lose a batch
+        assert!(CampaignMeta::merge_shards(shards).is_err());
+    }
+
+    #[test]
+    fn merge_shards_keeps_only_commonly_run_sides() {
+        let config = cfg().with_programs(4);
+        let mut shards = CampaignMeta::generate(&config).shard(2);
+        shards[0].run_side(Toolchain::Nvcc);
+        shards[0].run_side(Toolchain::Hipcc);
+        shards[1].run_side(Toolchain::Nvcc);
+        let merged = CampaignMeta::merge_shards(shards).unwrap();
+        assert!(!merged.is_complete(), "hipcc missing from one batch");
+        assert_eq!(merged.sides_run, vec!["nvcc".to_string()]);
+    }
+
+    #[test]
+    fn hipified_mode_builds_through_the_translator() {
+        let program = generate_program(
+            &cfg().gen,
+            1,
+            0,
+        );
+        let direct = build_side(&program, Toolchain::Hipcc, OptLevel::O0, TestMode::Direct);
+        let converted =
+            build_side(&program, Toolchain::Hipcc, OptLevel::O0, TestMode::Hipified);
+        // the hipified kernel may differ (contract-at-O0) but both must
+        // come from the same program
+        assert_eq!(direct.program_id, converted.program_id);
+        assert_eq!(direct.precision, converted.precision);
+    }
+}

@@ -1,0 +1,329 @@
+//! Failure-inducing test minimization.
+//!
+//! The paper argues that *small* failing tests are the valuable artifact —
+//! easy to analyze, self-contained for vendor reports, reusable in
+//! acceptance testing. The paper's case-study kernels were minimized by
+//! hand; this module automates it (listed as future work in §VII): a
+//! greedy delta-debugging loop that keeps shrinking while a caller-supplied
+//! predicate still observes the discrepancy.
+
+use crate::campaign::TestMode;
+use crate::compare::compare_runs;
+use crate::metadata::build_side;
+use gpucc::interp::execute;
+use gpucc::pipeline::{OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind, QuirkSet};
+use progen::ast::{Expr, Program, Stmt};
+use progen::inputs::InputSet;
+
+/// Outcome of a reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The minimized program (still failing).
+    pub program: Program,
+    /// Statements before reduction.
+    pub original_stmts: usize,
+    /// Statements after reduction.
+    pub final_stmts: usize,
+    /// Number of accepted shrink steps.
+    pub steps: usize,
+}
+
+/// Shrink `program` while `still_fails` holds. Greedy fixed point over
+/// statement removal, block flattening, and expression shrinking.
+pub fn reduce_program(
+    program: &Program,
+    still_fails: impl Fn(&Program) -> bool,
+) -> Reduction {
+    let original_stmts = program.stmt_count();
+    let mut current = program.clone();
+    let mut steps = 0usize;
+    loop {
+        let mut improved = false;
+        for candidate in shrink_candidates(&current) {
+            let smaller = candidate.stmt_count() < current.stmt_count()
+                || expr_weight(&candidate) < expr_weight(&current);
+            if smaller && still_fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Reduction {
+        final_stmts: current.stmt_count(),
+        original_stmts,
+        steps,
+        program: current,
+    }
+}
+
+/// Build the standard "does the discrepancy reproduce" predicate for a
+/// (input, level, mode, quirks) configuration.
+pub fn discrepancy_check(
+    input: InputSet,
+    level: OptLevel,
+    mode: TestMode,
+    quirks: QuirkSet,
+) -> impl Fn(&Program) -> bool {
+    move |p: &Program| {
+        let nv_dev = Device::with_quirks(DeviceKind::NvidiaLike, quirks);
+        let amd_dev = Device::with_quirks(DeviceKind::AmdLike, quirks);
+        let nv_ir = build_side(p, Toolchain::Nvcc, level, mode);
+        let amd_ir = build_side(p, Toolchain::Hipcc, level, mode);
+        let (Ok(rn), Ok(ra)) = (
+            execute(&nv_ir, &nv_dev, &input),
+            execute(&amd_ir, &amd_dev, &input),
+        ) else {
+            return false; // a reduction that breaks execution is invalid
+        };
+        compare_runs(&rn.value, &ra.value).is_some()
+    }
+}
+
+/// Total expression-node weight of a program (tie-breaking metric).
+fn expr_weight(p: &Program) -> usize {
+    fn stmt_weight(s: &Stmt) -> usize {
+        match s {
+            Stmt::DeclTmp { init, .. } => init.node_count(),
+            Stmt::Assign { value, .. } => value.node_count(),
+            Stmt::If { cond, body } => {
+                cond.lhs.node_count()
+                    + cond.rhs.node_count()
+                    + body.iter().map(stmt_weight).sum::<usize>()
+            }
+            Stmt::For { body, .. } => body.iter().map(stmt_weight).sum(),
+        }
+    }
+    p.body.iter().map(stmt_weight).sum()
+}
+
+/// All programs one shrink step away from `p`.
+fn shrink_candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    for body in shrink_stmt_lists(&p.body) {
+        let mut q = p.clone();
+        q.body = body;
+        out.push(q);
+    }
+    out
+}
+
+/// Variants of a statement list: remove one, flatten one block, or shrink
+/// one expression inside one statement.
+fn shrink_stmt_lists(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    // removal
+    for i in 0..stmts.len() {
+        let mut v = stmts.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    // flattening: replace an if/for with its body
+    for (i, s) in stmts.iter().enumerate() {
+        if let Stmt::If { body, .. } | Stmt::For { body, .. } = s {
+            let mut v = stmts.to_vec();
+            v.splice(i..=i, body.clone());
+            out.push(v);
+        }
+    }
+    // recursive variants of each statement
+    for (i, s) in stmts.iter().enumerate() {
+        for variant in shrink_stmt(s) {
+            let mut v = stmts.to_vec();
+            v[i] = variant;
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn shrink_stmt(s: &Stmt) -> Vec<Stmt> {
+    match s {
+        Stmt::DeclTmp { name, init } => shrink_expr(init)
+            .into_iter()
+            .map(|e| Stmt::DeclTmp { name: name.clone(), init: e })
+            .collect(),
+        Stmt::Assign { target, op, value } => shrink_expr(value)
+            .into_iter()
+            .map(|e| Stmt::Assign { target: target.clone(), op: *op, value: e })
+            .collect(),
+        Stmt::If { cond, body } => {
+            let mut out: Vec<Stmt> = shrink_stmt_lists(body)
+                .into_iter()
+                .map(|b| Stmt::If { cond: cond.clone(), body: b })
+                .collect();
+            for e in shrink_expr(&cond.lhs) {
+                let mut c = cond.clone();
+                c.lhs = e;
+                out.push(Stmt::If { cond: c, body: body.clone() });
+            }
+            for e in shrink_expr(&cond.rhs) {
+                let mut c = cond.clone();
+                c.rhs = e;
+                out.push(Stmt::If { cond: c, body: body.clone() });
+            }
+            out
+        }
+        Stmt::For { var, bound, body } => shrink_stmt_lists(body)
+            .into_iter()
+            .map(|b| Stmt::For { var: var.clone(), bound: bound.clone(), body: b })
+            .collect(),
+    }
+}
+
+/// One-step expression shrinks: replace a node by one of its children.
+fn shrink_expr(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Index(..) | Expr::ThreadIdx => {}
+        Expr::Neg(inner) => {
+            out.push((**inner).clone());
+            out.extend(shrink_expr(inner).into_iter().map(|i| Expr::Neg(Box::new(i))));
+        }
+        Expr::Bin(op, l, r) => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+            out.extend(
+                shrink_expr(l)
+                    .into_iter()
+                    .map(|x| Expr::Bin(*op, Box::new(x), r.clone())),
+            );
+            out.extend(
+                shrink_expr(r)
+                    .into_iter()
+                    .map(|x| Expr::Bin(*op, l.clone(), Box::new(x))),
+            );
+        }
+        Expr::Call(f, args) => {
+            for a in args {
+                out.push(a.clone());
+            }
+            for (i, a) in args.iter().enumerate() {
+                for x in shrink_expr(a) {
+                    let mut new_args = args.clone();
+                    new_args[i] = x;
+                    out.push(Expr::Call(*f, new_args));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::mathlib::MathFunc;
+    use progen::ast::*;
+    use progen::inputs::InputValue;
+
+    /// A bloated version of case study 2: lots of irrelevant statements
+    /// around a `ceil(tiny)` division.
+    fn bloated_fig5() -> (Program, InputSet) {
+        let p = Program {
+            id: "bloat".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_2".into(), ty: ParamType::Float },
+            ],
+            body: vec![
+                Stmt::DeclTmp { name: "tmp_1".into(), init: Expr::Lit(1.1147e-307) },
+                Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::bin(BinOp::Mul, Expr::Var("var_2".into()), Expr::Lit(2.0)),
+                },
+                Stmt::For {
+                    var: "i".into(),
+                    bound: "var_1".into(),
+                    body: vec![Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::SubAssign,
+                        value: Expr::Lit(1.0),
+                    }],
+                },
+                Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::bin(
+                        BinOp::Div,
+                        Expr::Var("tmp_1".into()),
+                        Expr::Call(MathFunc::Ceil, vec![Expr::Lit(1.5955e-125)]),
+                    ),
+                },
+                Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::Lit(0.0),
+                },
+            ],
+        };
+        let input = InputSet {
+            values: vec![
+                InputValue::Float(1.2374e-306),
+                InputValue::Int(3),
+                InputValue::Float(5.0),
+            ],
+        };
+        (p, input)
+    }
+
+    #[test]
+    fn reduces_bloated_case_study_to_the_core() {
+        let (p, input) = bloated_fig5();
+        let check = discrepancy_check(input, OptLevel::O0, TestMode::Direct, QuirkSet::all());
+        assert!(check(&p), "the bloated program must fail to begin with");
+        let red = reduce_program(&p, check);
+        assert!(red.final_stmts < red.original_stmts);
+        assert!(red.steps > 0);
+        // the ceil call must survive: it is the root cause
+        assert!(red.program.math_calls().contains(&MathFunc::Ceil), "{:?}", red.program);
+        // the filler loop and no-op adds should be gone
+        assert!(red.final_stmts <= 3, "still {} statements", red.final_stmts);
+    }
+
+    #[test]
+    fn reduction_preserves_the_failure() {
+        let (p, input) = bloated_fig5();
+        let check = discrepancy_check(
+            input,
+            OptLevel::O0,
+            TestMode::Direct,
+            QuirkSet::all(),
+        );
+        let red = reduce_program(&p, &check);
+        assert!(check(&red.program), "reduced program no longer fails");
+    }
+
+    #[test]
+    fn non_failing_program_is_untouched() {
+        let (p, _input) = bloated_fig5();
+        let red = reduce_program(&p, |_| false);
+        assert_eq!(red.program, p);
+        assert_eq!(red.steps, 0);
+    }
+
+    #[test]
+    fn shrink_expr_proposes_children() {
+        let e = Expr::bin(BinOp::Add, Expr::Var("a".into()), Expr::Lit(1.0));
+        let shrinks = shrink_expr(&e);
+        assert!(shrinks.contains(&Expr::Var("a".into())));
+        assert!(shrinks.contains(&Expr::Lit(1.0)));
+    }
+
+    #[test]
+    fn shrink_candidates_include_removals_and_flattens() {
+        let (p, _) = bloated_fig5();
+        let cands = shrink_candidates(&p);
+        // 5 removals + 1 flatten (the for) + expression variants
+        assert!(cands.len() >= 6);
+        assert!(cands.iter().any(|c| c.stmt_count() == p.stmt_count() - 1));
+    }
+}

@@ -1,0 +1,292 @@
+//! ASCII rendering of the paper's tables.
+
+use crate::campaign::{CampaignReport, LevelStats};
+use crate::outcome::DiscrepancyClass;
+use fpcore::classify::Outcome;
+
+/// Render Table IV (summary of experimental results) from up to three
+/// campaign reports (FP64, FP64+HIPIFY, FP32).
+pub fn render_summary(reports: &[&CampaignReport]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE IV — SUMMARY OF EXPERIMENTAL RESULTS\n");
+    let headers: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let mode = match r.config.mode {
+                crate::campaign::TestMode::Direct => String::new(),
+                crate::campaign::TestMode::Hipified => " with HIPIFY".to_string(),
+            };
+            format!("{}{}", r.config.precision.label(), mode)
+        })
+        .collect();
+    let mut row = |name: &str, vals: Vec<String>| {
+        out.push_str(&format!("{name:<42}"));
+        for v in vals {
+            out.push_str(&format!("{v:>18}"));
+        }
+        out.push('\n');
+    };
+    row("Metric", headers);
+    row(
+        "Total Programs",
+        reports.iter().map(|r| r.config.n_programs.to_string()).collect(),
+    );
+    row(
+        "Total Runs per Option per Compiler",
+        reports
+            .iter()
+            .map(|r| (r.config.n_programs * r.config.inputs_per_program).to_string())
+            .collect(),
+    );
+    row(
+        "Total Runs",
+        reports.iter().map(|r| r.total_runs().to_string()).collect(),
+    );
+    row(
+        "Runs on NVCC",
+        reports.iter().map(|r| (r.total_runs() / 2).to_string()).collect(),
+    );
+    row(
+        "Runs on HIPCC",
+        reports.iter().map(|r| (r.total_runs() / 2).to_string()).collect(),
+    );
+    row(
+        "Total Discrepancies",
+        reports.iter().map(|r| r.total_discrepancies().to_string()).collect(),
+    );
+    row(
+        "Total Discrepancies (% of Total Runs)",
+        reports.iter().map(|r| format!("{:.2}%", r.discrepancy_pct())).collect(),
+    );
+    out
+}
+
+/// Render a per-level class-count table (the paper's Tables V, VII, IX).
+pub fn render_per_level(report: &CampaignReport, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<10}{:>12}", "Opt Flags", "Disc. Count"));
+    for c in DiscrepancyClass::ALL {
+        out.push_str(&format!("{:>12}", c.label()));
+    }
+    out.push('\n');
+    let mut totals = [0u64; 7];
+    let mut grand = 0u64;
+    for (level, s) in &report.per_level {
+        out.push_str(&format!("{:<10}{:>12}", level.label(), s.discrepancies));
+        for (i, v) in s.by_class.iter().enumerate() {
+            out.push_str(&format!("{v:>12}"));
+            totals[i] += v;
+        }
+        grand += s.discrepancies;
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<10}{grand:>12}", "Total"));
+    for v in totals {
+        out.push_str(&format!("{v:>12}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render the adjacency matrices for every level (Tables VI, VIII, X).
+///
+/// Cell `(row o1, col o2)` above the diagonal prints "a, b" where `a` is
+/// the number of discrepancies with NVCC=o1/HIPCC=o2 and `b` the count
+/// with NVCC=o2/HIPCC=o1; the `Num` diagonal prints the (symmetric)
+/// `Num, Num` count twice, matching the paper's layout.
+pub fn render_adjacency(report: &CampaignReport, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (level, s) in &report.per_level {
+        out.push_str(&format!("-- {} --\n", level.label()));
+        out.push_str(&format!("{:<14}", "NVCC\\HIPCC"));
+        for o in Outcome::ALL {
+            out.push_str(&format!("{:>16}", format!("(±) {}", o.label())));
+        }
+        out.push('\n');
+        for (i, row) in Outcome::ALL.iter().enumerate() {
+            out.push_str(&format!("{:<14}", format!("(±) {}", row.label())));
+            for (j, _col) in Outcome::ALL.iter().enumerate() {
+                let cell = if j < i {
+                    "-".to_string()
+                } else if i == j {
+                    let v = s.adjacency[i][j];
+                    if *row == Outcome::Num {
+                        format!("{v}, {v}")
+                    } else {
+                        "-".to_string()
+                    }
+                } else {
+                    format!("{}, {}", s.adjacency[i][j], s.adjacency[j][i])
+                };
+                out.push_str(&format!("{cell:>16}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One-paragraph textual digest of a report (used by examples).
+pub fn render_digest(report: &CampaignReport) -> String {
+    format!(
+        "{} {} campaign: {} programs × {} inputs × {} levels × 2 compilers = {} runs; \
+         {} discrepancies ({:.2}%), worst level {}",
+        report.config.precision.label(),
+        report.config.mode.label(),
+        report.config.n_programs,
+        report.config.inputs_per_program,
+        report.config.levels.len(),
+        report.total_runs(),
+        report.total_discrepancies(),
+        report.discrepancy_pct(),
+        report
+            .per_level
+            .iter()
+            .max_by_key(|(_, s)| s.discrepancies)
+            .map(|(l, _)| l.label())
+            .unwrap_or("-"),
+    )
+}
+
+/// List every failing (program, level, input) triple in a completed
+/// campaign — the "small tests" inventory the paper hands to vendors.
+pub fn render_failures(meta: &crate::metadata::CampaignMeta) -> String {
+    use crate::campaign::decode;
+    use crate::compare::compare_runs;
+    use crate::metadata::side_key;
+    use gpucc::pipeline::Toolchain;
+
+    let mut out = String::new();
+    let mut n = 0usize;
+    for test in &meta.tests {
+        for (level, _) in meta.config.levels.iter().map(|l| (*l, ())) {
+            let (Some(nv), Some(amd)) = (
+                test.results.get(&side_key(Toolchain::Nvcc, level)),
+                test.results.get(&side_key(Toolchain::Hipcc, level)),
+            ) else {
+                continue;
+            };
+            for (k, (rn, ra)) in nv.iter().zip(amd).enumerate() {
+                if rn.error.is_some() || ra.error.is_some() {
+                    continue;
+                }
+                let vn = decode(meta.config.precision, rn.bits);
+                let va = decode(meta.config.precision, ra.bits);
+                if let Some(d) = compare_runs(&vn, &va) {
+                    n += 1;
+                    out.push_str(&format!(
+                        "{:<22} {:<6} input {:<3} [{:<10}] nvcc={:<24} hipcc={}\n",
+                        test.program_id,
+                        level.label(),
+                        k,
+                        d.class.label(),
+                        rn.printed,
+                        ra.printed
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str(&format!("{n} failing runs\n"));
+    out
+}
+
+/// Bar rendering of class proportions (the paper's in-table bar charts).
+pub fn render_class_bars(stats: &LevelStats, width: usize) -> String {
+    let total = stats.discrepancies.max(1);
+    let mut out = String::new();
+    for (i, c) in DiscrepancyClass::ALL.iter().enumerate() {
+        let n = stats.by_class[i];
+        let bar = "#".repeat((n as usize * width / total as usize).min(width));
+        out.push_str(&format!("{:<10} {n:>8} |{bar}\n", c.label()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig, TestMode};
+    use progen::ast::Precision;
+
+    fn report() -> CampaignReport {
+        run_campaign(
+            &CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(20),
+        )
+    }
+
+    #[test]
+    fn summary_contains_key_rows() {
+        let r = report();
+        let s = render_summary(&[&r]);
+        assert!(s.contains("Total Programs"));
+        assert!(s.contains("Total Discrepancies (% of Total Runs)"));
+        assert!(s.contains("FP64"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn per_level_table_has_all_levels_and_total() {
+        let r = report();
+        let s = render_per_level(&r, "TABLE V");
+        for l in ["O0", "O1", "O2", "O3", "O3_FM", "Total"] {
+            assert!(s.contains(l), "missing {l}:\n{s}");
+        }
+        for c in DiscrepancyClass::ALL {
+            assert!(s.contains(c.label()));
+        }
+    }
+
+    #[test]
+    fn adjacency_has_one_matrix_per_level() {
+        let r = report();
+        let s = render_adjacency(&r, "TABLE VI");
+        assert_eq!(s.matches("NVCC\\HIPCC").count(), 5);
+        assert!(s.contains("(±) NaN"));
+        assert!(s.contains("(±) Num"));
+    }
+
+    #[test]
+    fn digest_mentions_discrepancy_percentage() {
+        let r = report();
+        let d = render_digest(&r);
+        assert!(d.contains('%'));
+        assert!(d.contains("FP64"));
+    }
+
+    #[test]
+    fn failures_listing_reconciles_with_totals() {
+        use crate::metadata::CampaignMeta;
+        use gpucc::pipeline::Toolchain;
+        let cfg =
+            CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        let report = crate::campaign::analyze(&meta);
+        let listing = render_failures(&meta);
+        let expected = report.total_discrepancies();
+        assert!(
+            listing.ends_with(&format!("{expected} failing runs\n")),
+            "listing tail: {:?}",
+            listing.lines().last()
+        );
+        // one line per failure + the summary line
+        assert_eq!(listing.lines().count() as u64, expected + 1);
+    }
+
+    #[test]
+    fn class_bars_render_within_width() {
+        let r = report();
+        let (_, stats) = &r.per_level[0];
+        let bars = render_class_bars(stats, 40);
+        for line in bars.lines() {
+            assert!(line.len() <= 70, "{line}");
+        }
+        assert_eq!(bars.lines().count(), 7);
+    }
+}

@@ -1,0 +1,215 @@
+//! Raw bit-pattern helpers for IEEE-754 binary32 and binary64.
+//!
+//! These are used by the simulated vendor math libraries, which — like the
+//! real `libdevice` and OCML — frequently operate on the raw encoding
+//! (exponent extraction, mantissa shifting, sign stripping).
+
+/// Number of mantissa (fraction) bits in binary64.
+pub const F64_MANT_BITS: u32 = 52;
+/// Number of mantissa (fraction) bits in binary32.
+pub const F32_MANT_BITS: u32 = 23;
+/// Exponent bias of binary64.
+pub const F64_EXP_BIAS: i32 = 1023;
+/// Exponent bias of binary32.
+pub const F32_EXP_BIAS: i32 = 127;
+/// Mask of the mantissa field of binary64.
+pub const F64_MANT_MASK: u64 = (1u64 << F64_MANT_BITS) - 1;
+/// Mask of the mantissa field of binary32.
+pub const F32_MANT_MASK: u32 = (1u32 << F32_MANT_BITS) - 1;
+/// Mask of the (biased) exponent field of binary64, in place.
+pub const F64_EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
+/// Mask of the (biased) exponent field of binary32, in place.
+pub const F32_EXP_MASK: u32 = 0x7F80_0000;
+/// Sign bit of binary64.
+pub const F64_SIGN_MASK: u64 = 0x8000_0000_0000_0000;
+/// Sign bit of binary32.
+pub const F32_SIGN_MASK: u32 = 0x8000_0000;
+
+/// Extract the unbiased exponent of a finite nonzero `f64`.
+///
+/// For subnormals this returns the *encoded* minimum exponent
+/// (`-1022`) rather than the mathematical exponent of the value.
+#[inline]
+pub fn exponent_f64(x: f64) -> i32 {
+    let biased = ((x.to_bits() & F64_EXP_MASK) >> F64_MANT_BITS) as i32;
+    if biased == 0 {
+        1 - F64_EXP_BIAS // subnormal encoding
+    } else {
+        biased - F64_EXP_BIAS
+    }
+}
+
+/// Extract the unbiased exponent of a finite nonzero `f32`.
+#[inline]
+pub fn exponent_f32(x: f32) -> i32 {
+    let biased = ((x.to_bits() & F32_EXP_MASK) >> F32_MANT_BITS) as i32;
+    if biased == 0 {
+        1 - F32_EXP_BIAS
+    } else {
+        biased - F32_EXP_BIAS
+    }
+}
+
+/// Mantissa field (without the implicit leading bit) of an `f64`.
+#[inline]
+pub fn mantissa_f64(x: f64) -> u64 {
+    x.to_bits() & F64_MANT_MASK
+}
+
+/// Mantissa field (without the implicit leading bit) of an `f32`.
+#[inline]
+pub fn mantissa_f32(x: f32) -> u32 {
+    x.to_bits() & F32_MANT_MASK
+}
+
+/// Full significand of a finite nonzero `f64`, including the implicit bit
+/// for normal numbers (so the result is in `[2^52, 2^53)` for normals and
+/// `[1, 2^52)` for subnormals).
+#[inline]
+pub fn significand_f64(x: f64) -> u64 {
+    let m = mantissa_f64(x);
+    if (x.to_bits() & F64_EXP_MASK) == 0 {
+        m
+    } else {
+        m | (1u64 << F64_MANT_BITS)
+    }
+}
+
+/// Full significand of a finite nonzero `f32` (see [`significand_f64`]).
+#[inline]
+pub fn significand_f32(x: f32) -> u32 {
+    let m = mantissa_f32(x);
+    if (x.to_bits() & F32_EXP_MASK) == 0 {
+        m
+    } else {
+        m | (1u32 << F32_MANT_BITS)
+    }
+}
+
+/// Copy the sign of `sign` onto the magnitude of `mag` (bitwise, exact,
+/// NaN-safe) for `f64`.
+#[inline]
+pub fn copysign_bits_f64(mag: f64, sign: f64) -> f64 {
+    f64::from_bits((mag.to_bits() & !F64_SIGN_MASK) | (sign.to_bits() & F64_SIGN_MASK))
+}
+
+/// Copy the sign of `sign` onto the magnitude of `mag` for `f32`.
+#[inline]
+pub fn copysign_bits_f32(mag: f32, sign: f32) -> f32 {
+    f32::from_bits((mag.to_bits() & !F32_SIGN_MASK) | (sign.to_bits() & F32_SIGN_MASK))
+}
+
+/// True if the sign bit is set (including `-0.0` and negative NaNs).
+#[inline]
+pub fn sign_bit_f64(x: f64) -> bool {
+    x.to_bits() & F64_SIGN_MASK != 0
+}
+
+/// True if the sign bit is set (including `-0.0` and negative NaNs).
+#[inline]
+pub fn sign_bit_f32(x: f32) -> bool {
+    x.to_bits() & F32_SIGN_MASK != 0
+}
+
+/// Build an `f64` with the given unbiased exponent and a significand of 1.0,
+/// i.e. compute `2^e` exactly, saturating to `Inf`/`0` outside the normal
+/// range.
+#[inline]
+pub fn exp2i_f64(e: i32) -> f64 {
+    if e > 1023 {
+        f64::INFINITY
+    } else if e < -1074 {
+        0.0
+    } else if e < -1022 {
+        // subnormal power of two
+        f64::from_bits(1u64 << (e + 1074) as u32)
+    } else {
+        f64::from_bits((((e + F64_EXP_BIAS) as u64) << F64_MANT_BITS) & F64_EXP_MASK)
+    }
+}
+
+/// Build an `f32` equal to `2^e` exactly (see [`exp2i_f64`]).
+#[inline]
+pub fn exp2i_f32(e: i32) -> f32 {
+    if e > 127 {
+        f32::INFINITY
+    } else if e < -149 {
+        0.0
+    } else if e < -126 {
+        f32::from_bits(1u32 << (e + 149) as u32)
+    } else {
+        f32::from_bits((((e + F32_EXP_BIAS) as u32) << F32_MANT_BITS) & F32_EXP_MASK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_of_one_is_zero() {
+        assert_eq!(exponent_f64(1.0), 0);
+        assert_eq!(exponent_f32(1.0f32), 0);
+    }
+
+    #[test]
+    fn exponent_of_two_and_half() {
+        assert_eq!(exponent_f64(2.0), 1);
+        assert_eq!(exponent_f64(0.5), -1);
+        assert_eq!(exponent_f32(8.0f32), 3);
+    }
+
+    #[test]
+    fn exponent_of_subnormal_is_min() {
+        assert_eq!(exponent_f64(f64::from_bits(1)), -1022);
+        assert_eq!(exponent_f32(f32::from_bits(1)), -126);
+    }
+
+    #[test]
+    fn significand_includes_implicit_bit_for_normals() {
+        assert_eq!(significand_f64(1.0), 1u64 << 52);
+        assert_eq!(significand_f64(1.5), (1u64 << 52) | (1u64 << 51));
+        assert_eq!(significand_f32(1.0f32), 1u32 << 23);
+    }
+
+    #[test]
+    fn significand_of_subnormal_has_no_implicit_bit() {
+        assert_eq!(significand_f64(f64::from_bits(3)), 3);
+        assert_eq!(significand_f32(f32::from_bits(7)), 7);
+    }
+
+    #[test]
+    fn exp2i_matches_powi() {
+        for e in -1022..=1023 {
+            assert_eq!(exp2i_f64(e), 2.0f64.powi(e), "e={e}");
+        }
+        for e in -126..=127 {
+            assert_eq!(exp2i_f32(e), 2.0f32.powi(e), "e={e}");
+        }
+    }
+
+    #[test]
+    fn exp2i_subnormal_range() {
+        assert_eq!(exp2i_f64(-1074), f64::from_bits(1));
+        assert_eq!(exp2i_f64(-1075), 0.0);
+        assert_eq!(exp2i_f64(1024), f64::INFINITY);
+        assert_eq!(exp2i_f32(-149), f32::from_bits(1));
+        assert_eq!(exp2i_f32(-150), 0.0);
+        assert_eq!(exp2i_f32(128), f32::INFINITY);
+    }
+
+    #[test]
+    fn copysign_bits_handles_nan_and_zero() {
+        assert!(sign_bit_f64(copysign_bits_f64(f64::NAN, -1.0)));
+        assert_eq!(copysign_bits_f64(0.0, -2.0).to_bits(), (-0.0f64).to_bits());
+        assert!(sign_bit_f32(copysign_bits_f32(1.0, -0.0)));
+    }
+
+    #[test]
+    fn sign_bit_detects_negative_zero() {
+        assert!(sign_bit_f64(-0.0));
+        assert!(!sign_bit_f64(0.0));
+        assert!(sign_bit_f32(-0.0f32));
+        assert!(!sign_bit_f32(0.0f32));
+    }
+}

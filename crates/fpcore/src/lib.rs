@@ -1,0 +1,36 @@
+//! # fpcore — IEEE-754 floating-point substrate
+//!
+//! Shared floating-point machinery for the `gpu-numerics` workspace:
+//!
+//! * [`classify`] — value classification into the outcome lattice used by the
+//!   paper (NaN / Inf / Zero / Number) plus the finer IEEE classes
+//!   (subnormal / normal).
+//! * [`ulp`] — unit-in-the-last-place distances and neighbour traversal.
+//! * [`exceptions`] — the five IEEE-754 exception events of Table II and an
+//!   accumulating status-flag register, mirroring what a CPU FPU exposes and
+//!   what GPUs famously do *not*.
+//! * [`traits`] — the [`traits::GpuFloat`] abstraction that lets
+//!   the generator, compiler and simulator be generic over FP32 and FP64.
+//! * [`bits`] — raw bit-pattern helpers.
+//! * [`literal`] — `%.17g`-style formatting and the Varity literal format
+//!   (`+1.5955E-125`), with exact round-trip parsing.
+//! * [`ftz`] — flush-to-zero / denormals-are-zero semantics applied by the
+//!   simulated devices.
+//!
+//! Everything in this crate is deterministic and platform-independent: all
+//! arithmetic is performed in Rust's IEEE-754 `f32`/`f64`, which both
+//! simulated devices build upon.
+
+#![deny(missing_docs)]
+
+pub mod bits;
+pub mod classify;
+pub mod exceptions;
+pub mod ftz;
+pub mod literal;
+pub mod traits;
+pub mod ulp;
+
+pub use classify::{FpClass, Outcome};
+pub use exceptions::{ExceptionFlags, FpException};
+pub use traits::GpuFloat;

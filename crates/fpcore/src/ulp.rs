@@ -1,0 +1,189 @@
+//! ULP (units in the last place) distances and neighbour traversal.
+//!
+//! The math-library benchmarks (`bench_mathlib`) quantify vendor divergence
+//! as ULP distance between the NVIDIA-like and AMD-like implementations;
+//! the test reducer uses neighbour traversal to shrink failure-inducing
+//! inputs.
+
+/// Map an `f64` onto a monotonically ordered signed integer lattice.
+///
+/// The mapping is the classic "bit twiddle": positive floats map to their
+/// bit pattern, negative floats are mirrored, so that `lattice(a) <
+/// lattice(b)` iff `a < b` for all non-NaN values, and adjacent floats map
+/// to adjacent integers.
+#[inline]
+pub fn lattice_f64(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    if b < 0 {
+        i64::MIN.wrapping_add(b.wrapping_neg())
+    } else {
+        b
+    }
+}
+
+/// Map an `f32` onto the ordered integer lattice (see [`lattice_f64`]).
+#[inline]
+pub fn lattice_f32(x: f32) -> i32 {
+    let b = x.to_bits() as i32;
+    if b < 0 {
+        i32::MIN.wrapping_add(b.wrapping_neg())
+    } else {
+        b
+    }
+}
+
+/// ULP distance between two `f64` values.
+///
+/// ```
+/// use fpcore::ulp::{next_up_f64, ulp_diff_f64};
+///
+/// assert_eq!(ulp_diff_f64(1.0, 1.0), Some(0));
+/// assert_eq!(ulp_diff_f64(1.0, next_up_f64(1.0)), Some(1));
+/// assert_eq!(ulp_diff_f64(f64::NAN, 1.0), None);
+/// ```
+///
+/// Returns `None` if either value is NaN. Infinities participate (they sit
+/// one step beyond the largest finite value on the lattice).
+pub fn ulp_diff_f64(a: f64, b: f64) -> Option<u64> {
+    if a.is_nan() || b.is_nan() {
+        return None;
+    }
+    let (la, lb) = (lattice_f64(a), lattice_f64(b));
+    Some(la.abs_diff(lb))
+}
+
+/// ULP distance between two `f32` values (see [`ulp_diff_f64`]).
+pub fn ulp_diff_f32(a: f32, b: f32) -> Option<u32> {
+    if a.is_nan() || b.is_nan() {
+        return None;
+    }
+    let (la, lb) = (lattice_f32(a), lattice_f32(b));
+    Some(la.abs_diff(lb))
+}
+
+/// The next representable `f64` above `x` (toward +Inf).
+pub fn next_up_f64(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = if x == 0.0 {
+        1 // smallest positive subnormal, regardless of zero sign
+    } else if x > 0.0 {
+        x.to_bits() + 1
+    } else {
+        x.to_bits() - 1
+    };
+    f64::from_bits(bits)
+}
+
+/// The next representable `f64` below `x` (toward −Inf).
+pub fn next_down_f64(x: f64) -> f64 {
+    -next_up_f64(-x)
+}
+
+/// The next representable `f32` above `x`.
+pub fn next_up_f32(x: f32) -> f32 {
+    if x.is_nan() || x == f32::INFINITY {
+        return x;
+    }
+    let bits = if x == 0.0 {
+        1
+    } else if x > 0.0 {
+        x.to_bits() + 1
+    } else {
+        x.to_bits() - 1
+    };
+    f32::from_bits(bits)
+}
+
+/// The next representable `f32` below `x`.
+pub fn next_down_f32(x: f32) -> f32 {
+    -next_up_f32(-x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_have_zero_ulp() {
+        assert_eq!(ulp_diff_f64(1.5, 1.5), Some(0));
+        assert_eq!(ulp_diff_f32(-2.5f32, -2.5f32), Some(0));
+    }
+
+    #[test]
+    fn adjacent_values_have_one_ulp() {
+        let x = 1.0f64;
+        assert_eq!(ulp_diff_f64(x, next_up_f64(x)), Some(1));
+        let y = -1.0f32;
+        assert_eq!(ulp_diff_f32(y, next_down_f32(y)), Some(1));
+    }
+
+    #[test]
+    fn ulp_across_zero() {
+        // +min_subnormal and -min_subnormal are 2 apart (through ±0 collapsing
+        // to a single lattice point is NOT done: ±0 are adjacent lattice points)
+        let pos = f64::from_bits(1);
+        let neg = -pos;
+        let d = ulp_diff_f64(pos, neg).unwrap();
+        assert!(d <= 3, "d={d}");
+    }
+
+    #[test]
+    fn nan_yields_none() {
+        assert_eq!(ulp_diff_f64(f64::NAN, 1.0), None);
+        assert_eq!(ulp_diff_f32(1.0, f32::NAN), None);
+    }
+
+    #[test]
+    fn lattice_is_monotone_on_samples() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -1e-310,
+            -0.0,
+            0.0,
+            1e-310,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            assert!(
+                lattice_f64(w[0]) <= lattice_f64(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn next_up_crosses_subnormal_boundary() {
+        let largest_sub = f64::from_bits((1u64 << 52) - 1);
+        assert_eq!(next_up_f64(largest_sub), f64::MIN_POSITIVE);
+        assert_eq!(next_down_f64(f64::MIN_POSITIVE), largest_sub);
+    }
+
+    #[test]
+    fn next_up_from_zero_is_min_subnormal() {
+        assert_eq!(next_up_f64(0.0), f64::from_bits(1));
+        assert_eq!(next_up_f64(-0.0), f64::from_bits(1));
+        assert_eq!(next_up_f32(0.0), f32::from_bits(1));
+    }
+
+    #[test]
+    fn next_up_saturates_at_infinity() {
+        assert_eq!(next_up_f64(f64::MAX), f64::INFINITY);
+        assert_eq!(next_up_f64(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn roundtrip_up_down() {
+        for &x in &[1.0f64, -3.5, 1e-308, 1e308, -0.0] {
+            let up = next_up_f64(x);
+            assert_eq!(next_down_f64(up), x, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,925 @@
+//! The kernel interpreter: executes compiled IR on a simulated device.
+//!
+//! This is the "run on the GPU" step of the pipeline. All basic arithmetic
+//! uses Rust's IEEE-754 ops (both real GPUs are correctly rounded there);
+//! math calls dispatch into the device's vendor library (accurate or fast
+//! entry points, per the kernel's compile flags); the device's FTZ/DAZ
+//! environment is applied around every operation; and the five IEEE
+//! exception events of Table II are tracked the way a binary-
+//! instrumentation tool (GPU-FPX, paper ref \[12\]) would reconstruct them.
+
+use crate::cost;
+use crate::ir::{KernelIr, Operand};
+use crate::resolve::{
+    resolve, ParamSlot, RInst, RNode, RSeq, RTarget, ResolveError, ResolvedKernel,
+};
+use fpcore::classify::Outcome;
+use fpcore::exceptions::{ArithOp, ExceptionFlags, FpException};
+use fpcore::ftz::FtzMode;
+use fpcore::traits::GpuFloat;
+use gpusim::fpenv::FpEnv;
+use gpusim::mathlib::fast::nv_rcp_f32;
+use gpusim::mathlib::MathFunc;
+use gpusim::Device;
+use progen::ast::{BinOp, CmpOp, Precision};
+use progen::inputs::{InputSet, InputValue, ARRAY_LEN};
+
+/// Hard cap on executed instructions (guards hand-written programs; the
+/// generated kernels execute a few hundred).
+pub const STEP_LIMIT: u64 = 10_000_000;
+
+/// Execution errors (generated programs never hit these; parsed
+/// hand-written sources can).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A variable was read before any value was bound to it.
+    UnknownVar(String),
+    /// An array access was out of bounds.
+    OutOfBounds(String),
+    /// The inputs do not match the kernel signature.
+    BadInputs(String),
+    /// The step limit was exceeded.
+    StepLimit,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownVar(v) => write!(f, "unknown variable `{v}`"),
+            ExecError::OutOfBounds(a) => write!(f, "array access out of bounds on `{a}`"),
+            ExecError::BadInputs(m) => write!(f, "bad inputs: {m}"),
+            ExecError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The kernel's printed result, at its native precision.
+///
+/// Equality is **bitwise** (NaN == NaN with the same payload; `-0.0 !=
+/// 0.0`) — the comparison semantics differential testing needs.
+#[derive(Debug, Clone, Copy)]
+pub enum ExecValue {
+    /// FP32 result.
+    F32(f32),
+    /// FP64 result.
+    F64(f64),
+}
+
+impl PartialEq for ExecValue {
+    fn eq(&self, other: &ExecValue) -> bool {
+        self.bit_eq(other)
+    }
+}
+
+impl Eq for ExecValue {}
+
+impl ExecValue {
+    /// The paper's outcome classification.
+    pub fn outcome(&self) -> Outcome {
+        match self {
+            ExecValue::F32(v) => Outcome::of_f32(*v),
+            ExecValue::F64(v) => Outcome::of_f64(*v),
+        }
+    }
+
+    /// Exact round-trip formatting (`printf("%.17g")` analogue).
+    pub fn format_exact(&self) -> String {
+        match self {
+            ExecValue::F32(v) => fpcore::literal::format_g9(*v),
+            ExecValue::F64(v) => fpcore::literal::format_g17(*v),
+        }
+    }
+
+    /// Bitwise equality (same precision required).
+    pub fn bit_eq(&self, other: &ExecValue) -> bool {
+        match (self, other) {
+            (ExecValue::F32(a), ExecValue::F32(b)) => a.to_bits() == b.to_bits(),
+            (ExecValue::F64(a), ExecValue::F64(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+
+    /// Widen to f64 (exact for both precisions).
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            ExecValue::F32(v) => *v as f64,
+            ExecValue::F64(v) => *v,
+        }
+    }
+
+    /// Raw bits, zero-extended to 64.
+    pub fn bits(&self) -> u64 {
+        match self {
+            ExecValue::F32(v) => u64::from(v.to_bits()),
+            ExecValue::F64(v) => v.to_bits(),
+        }
+    }
+}
+
+/// Result of one kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// Final value of `comp` (what the kernel prints).
+    pub value: ExecValue,
+    /// Accumulated IEEE exception events.
+    pub exceptions: ExceptionFlags,
+    /// Raw cost in issue slots (unscaled; see [`cost::scaled_cost`]).
+    pub cost_slots: u64,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// One store event in an execution trace: the value written by a `Store`
+/// node (loops produce one event per iteration).
+///
+/// Because the optimization passes rewrite instruction *sequences* but
+/// never add, remove or reorder `Store` nodes, the k-th event of one
+/// compilation corresponds to the k-th event of any other compilation of
+/// the same program — as long as control flow agrees. That alignment is
+/// what `difftest`'s isolation module exploits to pinpoint the first
+/// diverging statement (the paper's intermediate-value analysis, automated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Name of the stored variable (or the `array[i]` rendering).
+    pub target: String,
+    /// Raw bits of the stored value (width per kernel precision).
+    pub bits: u64,
+}
+
+/// Execute a compiled kernel on a device with the given inputs.
+pub fn execute(ir: &KernelIr, device: &Device, inputs: &InputSet) -> Result<ExecResult, ExecError> {
+    match ir.precision {
+        Precision::F64 => run::<f64>(ir, device, inputs, false).map(|(r, _)| r),
+        Precision::F32 => run::<f32>(ir, device, inputs, false).map(|(r, _)| r),
+    }
+}
+
+/// Execute a kernel over a 1-D thread block (SIMT extension): one
+/// independent execution per thread with `threadIdx.x` bound, returning the
+/// per-thread results in thread order. Threads see private copies of the
+/// array parameters (the generated kernels have no cross-thread dataflow).
+pub fn execute_grid(
+    ir: &KernelIr,
+    device: &Device,
+    inputs: &InputSet,
+    block_dim: u32,
+) -> Result<Vec<ExecResult>, ExecError> {
+    let kernel = prepare(ir)?;
+    (0..block_dim)
+        .map(|tid| match kernel.precision {
+            Precision::F64 => {
+                run_thread::<f64>(&kernel, device, inputs, false, tid).map(|(r, _)| r)
+            }
+            Precision::F32 => {
+                run_thread::<f32>(&kernel, device, inputs, false, tid).map(|(r, _)| r)
+            }
+        })
+        .collect()
+}
+
+/// Execute a kernel while recording every store (see [`TraceEvent`]).
+pub fn execute_traced(
+    ir: &KernelIr,
+    device: &Device,
+    inputs: &InputSet,
+) -> Result<(ExecResult, Vec<TraceEvent>), ExecError> {
+    let (r, t) = match ir.precision {
+        Precision::F64 => run::<f64>(ir, device, inputs, true)?,
+        Precision::F32 => run::<f32>(ir, device, inputs, true)?,
+    };
+    Ok((r, t))
+}
+
+/// Precision-specific device dispatch on top of [`GpuFloat`].
+pub trait DeviceFloat: GpuFloat {
+    /// Call a vendor math-library entry point.
+    fn math_call(device: &Device, fast: bool, f: MathFunc, a: Self, b: Self) -> Self;
+    /// Approximate reciprocal (only reachable on FP32 NVCC fast-math IR).
+    fn rcp(x: Self) -> Self;
+    /// This precision's FTZ mode within an environment.
+    fn ftz_mode(env: &FpEnv) -> FtzMode;
+}
+
+impl DeviceFloat for f64 {
+    fn math_call(device: &Device, fast: bool, f: MathFunc, a: f64, b: f64) -> f64 {
+        if fast {
+            device.mathlib().call_fast_f64(f, a, b)
+        } else {
+            device.mathlib().call_f64(f, a, b)
+        }
+    }
+    fn rcp(x: f64) -> f64 {
+        1.0 / x
+    }
+    fn ftz_mode(env: &FpEnv) -> FtzMode {
+        env.ftz64
+    }
+}
+
+impl DeviceFloat for f32 {
+    fn math_call(device: &Device, fast: bool, f: MathFunc, a: f32, b: f32) -> f32 {
+        if fast {
+            device.mathlib().call_fast_f32(f, a, b)
+        } else {
+            device.mathlib().call_f32(f, a, b)
+        }
+    }
+    fn rcp(x: f32) -> f32 {
+        nv_rcp_f32(x)
+    }
+    fn ftz_mode(env: &FpEnv) -> FtzMode {
+        env.ftz32
+    }
+}
+
+fn run<T: DeviceFloat>(
+    ir: &KernelIr,
+    device: &Device,
+    inputs: &InputSet,
+    traced: bool,
+) -> Result<(ExecResult, Vec<TraceEvent>), ExecError> {
+    let kernel = prepare(ir)?;
+    run_thread::<T>(&kernel, device, inputs, traced, 0)
+}
+
+/// A kernel prepared for execution: names resolved to dense slots (see
+/// [`crate::resolve`]). Prepare once, execute many times — the campaign
+/// runs every compiled kernel against several inputs.
+#[derive(Debug, Clone)]
+pub struct ExecutableKernel {
+    /// The source IR's identity and compilation flags.
+    pub program_id: String,
+    /// Kernel precision.
+    pub precision: Precision,
+    /// Compilation flags (fast math, level).
+    pub flags: crate::ir::CompileFlags,
+    params: Vec<progen::ast::Param>,
+    resolved: ResolvedKernel,
+}
+
+/// Resolve a compiled kernel into its executable form.
+pub fn prepare(ir: &KernelIr) -> Result<ExecutableKernel, ExecError> {
+    let resolved = resolve(ir).map_err(|e| match e {
+        ResolveError::UnknownName(n) => ExecError::UnknownVar(n),
+        ResolveError::NoComp => ExecError::UnknownVar("comp".into()),
+    })?;
+    Ok(ExecutableKernel {
+        program_id: ir.program_id.clone(),
+        precision: ir.precision,
+        flags: ir.flags,
+        params: ir.params.clone(),
+        resolved,
+    })
+}
+
+/// Execute a prepared kernel (single thread, tid 0).
+pub fn execute_prepared(
+    kernel: &ExecutableKernel,
+    device: &Device,
+    inputs: &InputSet,
+) -> Result<ExecResult, ExecError> {
+    match kernel.precision {
+        Precision::F64 => run_thread::<f64>(kernel, device, inputs, false, 0).map(|(r, _)| r),
+        Precision::F32 => run_thread::<f32>(kernel, device, inputs, false, 0).map(|(r, _)| r),
+    }
+}
+
+fn run_thread<T: DeviceFloat>(
+    kernel: &ExecutableKernel,
+    device: &Device,
+    inputs: &InputSet,
+    traced: bool,
+    thread_idx: u32,
+) -> Result<(ExecResult, Vec<TraceEvent>), ExecError> {
+    if inputs.values.len() != kernel.params.len() {
+        return Err(ExecError::BadInputs(format!(
+            "{} inputs for {} parameters",
+            inputs.values.len(),
+            kernel.params.len()
+        )));
+    }
+    let env = device.fp_env(kernel.flags.fast_math);
+    let r = &kernel.resolved;
+    let mut m = Machine::<T> {
+        device,
+        kernel,
+        ftz: T::ftz_mode(&env),
+        scalars: vec![None; r.n_floats],
+        ints: vec![None; r.n_ints],
+        arrays: vec![Vec::new(); r.n_arrays],
+        exceptions: ExceptionFlags::new(),
+        cost: 0,
+        steps: 0,
+        trace: if traced { Some(Vec::new()) } else { None },
+        thread_idx,
+    };
+    for ((param, value), slot) in kernel
+        .params
+        .iter()
+        .zip(&inputs.values)
+        .zip(&r.param_slots)
+    {
+        match (slot, value) {
+            (ParamSlot::Float(s), InputValue::Float(v)) => {
+                m.scalars[*s] = Some(T::from_f64(*v));
+            }
+            (ParamSlot::Int(s), InputValue::Int(v)) => {
+                m.ints[*s] = Some(*v);
+            }
+            (ParamSlot::Array(s), InputValue::ArrayFill(v)) => {
+                m.arrays[*s] = vec![T::from_f64(*v); ARRAY_LEN];
+            }
+            (_, val) => {
+                return Err(ExecError::BadInputs(format!(
+                    "parameter {} of type {:?} got {val:?}",
+                    param.name, param.ty
+                )))
+            }
+        }
+    }
+    m.run_nodes(&r.body)?;
+    let value = m.scalars[r.comp_slot]
+        .ok_or_else(|| ExecError::UnknownVar("comp".into()))?;
+    Ok((
+        ExecResult {
+            value: wrap_value(value),
+            exceptions: m.exceptions,
+            cost_slots: m.cost,
+            steps: m.steps,
+        },
+        m.trace.unwrap_or_default(),
+    ))
+}
+
+fn wrap_value<T: DeviceFloat>(v: T) -> ExecValue {
+    // T is f32 or f64; round-trip through bits width
+    if std::mem::size_of::<T>() == 4 {
+        ExecValue::F32(f32::from_f64_lossless(v))
+    } else {
+        ExecValue::F64(v.to_f64())
+    }
+}
+
+/// Helper to recover the f32 payload without rounding (T is already f32).
+trait F32Exact {
+    fn from_f64_lossless<T: GpuFloat>(v: T) -> f32;
+}
+
+impl F32Exact for f32 {
+    fn from_f64_lossless<T: GpuFloat>(v: T) -> f32 {
+        // exact: v is an f32 in disguise, widening then narrowing is lossless
+        v.to_f64() as f32
+    }
+}
+
+struct Machine<'a, T: DeviceFloat> {
+    device: &'a Device,
+    kernel: &'a ExecutableKernel,
+    ftz: FtzMode,
+    scalars: Vec<Option<T>>,
+    ints: Vec<Option<i64>>,
+    arrays: Vec<Vec<T>>,
+    exceptions: ExceptionFlags,
+    cost: u64,
+    steps: u64,
+    trace: Option<Vec<TraceEvent>>,
+    thread_idx: u32,
+}
+
+impl<'a, T: DeviceFloat> Machine<'a, T> {
+    fn run_nodes(&mut self, nodes: &[RNode]) -> Result<(), ExecError> {
+        for node in nodes {
+            match node {
+                RNode::Store { target, seq } => {
+                    let v = self.eval_seq(seq)?;
+                    match *target {
+                        RTarget::Var(slot) => {
+                            if let Some(trace) = &mut self.trace {
+                                trace.push(TraceEvent {
+                                    target: self.kernel.resolved.float_names[slot].clone(),
+                                    bits: wrap_value(v).bits(),
+                                });
+                            }
+                            self.scalars[slot] = Some(v);
+                        }
+                        RTarget::Arr(arr, idx) => {
+                            let i = self.index_value(idx)?;
+                            if let Some(trace) = &mut self.trace {
+                                trace.push(TraceEvent {
+                                    target: format!(
+                                        "{}[{i}]",
+                                        self.kernel.resolved.array_names[arr]
+                                    ),
+                                    bits: wrap_value(v).bits(),
+                                });
+                            }
+                            let a = &mut self.arrays[arr];
+                            *a.get_mut(i).ok_or_else(|| {
+                                ExecError::OutOfBounds(
+                                    self.kernel.resolved.array_names[arr].clone(),
+                                )
+                            })? = v;
+                            self.cost += 4; // store
+                        }
+                    }
+                }
+                RNode::If { lhs, op, rhs, body } => {
+                    let a = self.eval_seq(lhs)?;
+                    let b = self.eval_seq(rhs)?;
+                    self.cost += 2; // compare + branch
+                    if compare(*op, a, b) {
+                        self.run_nodes(body)?;
+                    }
+                }
+                RNode::For { var, bound, body } => {
+                    let n = self.ints[*bound].ok_or_else(|| {
+                        ExecError::UnknownVar("loop bound".into())
+                    })?;
+                    let n = n.clamp(0, ARRAY_LEN as i64);
+                    for i in 0..n {
+                        self.ints[*var] = Some(i);
+                        self.cost += cost::LOOP_OVERHEAD;
+                        self.run_nodes(body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_value(&self, idx: usize) -> Result<usize, ExecError> {
+        let i = self.ints[idx].ok_or_else(|| ExecError::UnknownVar("index".into()))?;
+        usize::try_from(i).map_err(|_| ExecError::OutOfBounds("index".into()))
+    }
+
+    fn eval_seq(&mut self, seq: &RSeq) -> Result<T, ExecError> {
+        let mut values: Vec<T> = Vec::with_capacity(seq.insts.len());
+        for inst in &seq.insts {
+            self.steps += 1;
+            if self.steps > STEP_LIMIT {
+                return Err(ExecError::StepLimit);
+            }
+            self.cost += rinst_cost(inst, self.kernel.precision, self.kernel.flags);
+            let resolve_op = |o: Operand, values: &[T]| -> T {
+                match o {
+                    Operand::Const(c) => T::from_f64(c),
+                    Operand::Inst(i) => values[i],
+                }
+            };
+            let v = match inst {
+                RInst::Const(c) => T::from_f64(*c),
+                RInst::ReadVar(slot) => self.scalars[*slot].ok_or_else(|| {
+                    ExecError::UnknownVar(self.kernel.resolved.float_names[*slot].clone())
+                })?,
+                RInst::ReadIntAsFloat(slot) => {
+                    let i = self.ints[*slot]
+                        .ok_or_else(|| ExecError::UnknownVar("int".into()))?;
+                    T::from_f64(i as f64)
+                }
+                RInst::ReadArr(arr, idx) => {
+                    let i = self.index_value(*idx)?;
+                    *self.arrays[*arr].get(i).ok_or_else(|| {
+                        ExecError::OutOfBounds(self.kernel.resolved.array_names[*arr].clone())
+                    })?
+                }
+                RInst::ReadThreadIdx => T::from_f64(f64::from(self.thread_idx)),
+                RInst::Neg(a) => -resolve_op(*a, &values),
+                RInst::Bin(op, a, b) => {
+                    let x = resolve_op(*a, &values).apply_daz(self.ftz);
+                    let y = resolve_op(*b, &values).apply_daz(self.ftz);
+                    let (r, aop) = match op {
+                        BinOp::Add => (x + y, ArithOp::Add),
+                        BinOp::Sub => (x - y, ArithOp::Sub),
+                        BinOp::Mul => (x * y, ArithOp::Mul),
+                        BinOp::Div => (x / y, ArithOp::Div),
+                    };
+                    self.exceptions.merge(T::detect_exceptions(aop, x, y, r));
+                    r.apply_ftz(self.ftz)
+                }
+                RInst::Fma(a, b, c) => {
+                    let x = resolve_op(*a, &values).apply_daz(self.ftz);
+                    let y = resolve_op(*b, &values).apply_daz(self.ftz);
+                    let z = resolve_op(*c, &values).apply_daz(self.ftz);
+                    let r = x.mul_add(y, z);
+                    self.record_nonbin_exceptions(&[x, y, z], r);
+                    r.apply_ftz(self.ftz)
+                }
+                RInst::Fms(a, b, c) => {
+                    let x = resolve_op(*a, &values).apply_daz(self.ftz);
+                    let y = resolve_op(*b, &values).apply_daz(self.ftz);
+                    let z = resolve_op(*c, &values).apply_daz(self.ftz);
+                    let r = x.mul_add(y, -z);
+                    self.record_nonbin_exceptions(&[x, y, z], r);
+                    r.apply_ftz(self.ftz)
+                }
+                RInst::Fnma(a, b, c) => {
+                    let x = resolve_op(*a, &values).apply_daz(self.ftz);
+                    let y = resolve_op(*b, &values).apply_daz(self.ftz);
+                    let z = resolve_op(*c, &values).apply_daz(self.ftz);
+                    let r = (-x).mul_add(y, z);
+                    self.record_nonbin_exceptions(&[x, y, z], r);
+                    r.apply_ftz(self.ftz)
+                }
+                RInst::Rcp(a) => {
+                    let x = resolve_op(*a, &values);
+                    let r = T::rcp(x);
+                    self.record_nonbin_exceptions(&[x], r);
+                    r
+                }
+                RInst::Call(f, args) => {
+                    let a = args
+                        .first()
+                        .map(|o| resolve_op(*o, &values).apply_daz(self.ftz))
+                        .unwrap_or(T::ZERO);
+                    let b = args
+                        .get(1)
+                        .map(|o| resolve_op(*o, &values).apply_daz(self.ftz))
+                        .unwrap_or(T::ZERO);
+                    let r = T::math_call(self.device, self.kernel.flags.fast_math, *f, a, b);
+                    self.record_nonbin_exceptions(&[a, b], r);
+                    r.apply_ftz(self.ftz)
+                }
+            };
+            values.push(v);
+        }
+        Ok(match seq.result {
+            Operand::Const(c) => T::from_f64(c),
+            Operand::Inst(i) => values[i],
+        })
+    }
+
+    /// Exception reconstruction for non-binary operations (FMA, calls,
+    /// reciprocal): classify from operand/result patterns.
+    fn record_nonbin_exceptions(&mut self, args: &[T], r: T) {
+        let any_nan = args.iter().any(|a| a.is_nan());
+        let all_finite = args.iter().all(|a| a.is_finite());
+        if r.is_nan() && !any_nan {
+            self.exceptions.raise(FpException::Invalid);
+        }
+        if !r.is_finite() && !r.is_nan() && all_finite {
+            self.exceptions.raise(FpException::Overflow);
+        }
+        if r.is_subnormal() {
+            self.exceptions.raise(FpException::Underflow);
+        }
+    }
+}
+
+/// Cost of a resolved instruction (mirrors [`cost::inst_cost`]).
+fn rinst_cost(inst: &RInst, prec: Precision, flags: crate::ir::CompileFlags) -> u64 {
+    let f64x = prec == Precision::F64;
+    match inst {
+        RInst::Const(_) => 0,
+        RInst::ReadVar(_) | RInst::ReadIntAsFloat(_) | RInst::ReadThreadIdx => 1,
+        RInst::ReadArr(..) => 4,
+        RInst::Neg(_) => 1,
+        RInst::Bin(op, _, _) => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                if f64x {
+                    2
+                } else {
+                    1
+                }
+            }
+            BinOp::Div => {
+                if f64x {
+                    16
+                } else {
+                    8
+                }
+            }
+        },
+        RInst::Fma(..) | RInst::Fms(..) | RInst::Fnma(..) => {
+            if f64x {
+                2
+            } else {
+                1
+            }
+        }
+        RInst::Rcp(_) => 2,
+        RInst::Call(f, _) => {
+            let fast = flags.fast_math && f.has_fast_f32_variant() && !f64x;
+            if fast {
+                4
+            } else if f64x {
+                40
+            } else {
+                16
+            }
+        }
+    }
+}
+
+/// IEEE comparison semantics: any comparison with NaN is false, except
+/// `!=` which is true.
+fn compare<T: GpuFloat>(op: CmpOp, a: T, b: T) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, OptLevel, Toolchain};
+    use gpusim::DeviceKind;
+    use progen::ast::*;
+    use progen::inputs::generate_input;
+
+    fn simple_program(body: Vec<Stmt>) -> Program {
+        Program {
+            id: "t".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_2".into(), ty: ParamType::Float },
+            ],
+            body,
+        }
+    }
+
+    fn inputs(comp: f64, n: i64, v2: f64) -> InputSet {
+        InputSet {
+            values: vec![
+                InputValue::Float(comp),
+                InputValue::Int(n),
+                InputValue::Float(v2),
+            ],
+        }
+    }
+
+    fn nv() -> Device {
+        Device::new(DeviceKind::NvidiaLike)
+    }
+
+    fn amd() -> Device {
+        Device::new(DeviceKind::AmdLike)
+    }
+
+    #[test]
+    fn executes_straight_line_arithmetic() {
+        let p = simple_program(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::AddAssign,
+            value: Expr::bin(BinOp::Mul, Expr::Var("var_2".into()), Expr::Lit(2.0)),
+        }]);
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let r = execute(&ir, &nv(), &inputs(1.0, 1, 3.0)).unwrap();
+        assert_eq!(r.value, ExecValue::F64(7.0));
+        assert!(r.cost_slots > 0);
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn loops_iterate_bound_times() {
+        // comp += var_2, n times
+        let p = simple_program(vec![Stmt::For {
+            var: "i".into(),
+            bound: "var_1".into(),
+            body: vec![Stmt::Assign {
+                target: LValue::Var("comp".into()),
+                op: AssignOp::AddAssign,
+                value: Expr::Var("var_2".into()),
+            }],
+        }]);
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let r = execute(&ir, &nv(), &inputs(0.0, 5, 1.5)).unwrap();
+        assert_eq!(r.value, ExecValue::F64(7.5));
+    }
+
+    #[test]
+    fn if_condition_gates_execution() {
+        let body = vec![Stmt::If {
+            cond: Cond {
+                op: CmpOp::Gt,
+                lhs: Expr::Var("comp".into()),
+                rhs: Expr::Lit(0.0),
+            },
+            body: vec![Stmt::Assign {
+                target: LValue::Var("comp".into()),
+                op: AssignOp::MulAssign,
+                value: Expr::Lit(10.0),
+            }],
+        }];
+        let p = simple_program(body);
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        assert_eq!(
+            execute(&ir, &nv(), &inputs(2.0, 1, 0.0)).unwrap().value,
+            ExecValue::F64(20.0)
+        );
+        assert_eq!(
+            execute(&ir, &nv(), &inputs(-2.0, 1, 0.0)).unwrap().value,
+            ExecValue::F64(-2.0)
+        );
+        // NaN: comparison false, branch skipped
+        let nanr = execute(&ir, &nv(), &inputs(f64::NAN, 1, 0.0)).unwrap();
+        assert_eq!(nanr.value.outcome(), Outcome::Nan);
+    }
+
+    #[test]
+    fn division_by_zero_raises_flag_and_returns_inf() {
+        let p = simple_program(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::Set,
+            value: Expr::bin(BinOp::Div, Expr::Lit(1.0), Expr::Var("var_2".into())),
+        }]);
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let r = execute(&ir, &nv(), &inputs(0.0, 1, 0.0)).unwrap();
+        assert_eq!(r.value, ExecValue::F64(f64::INFINITY));
+        assert!(r.exceptions.is_set(FpException::DivideByZero));
+    }
+
+    #[test]
+    fn case_study_2_reproduces_inf_vs_num() {
+        // Fig. 5: comp += tmp_1 / ceil(1.5955e-125)
+        let p = Program {
+            id: "fig5".into(),
+            precision: Precision::F64,
+            params: vec![Param { name: "comp".into(), ty: ParamType::Float }],
+            body: vec![
+                Stmt::DeclTmp { name: "tmp_1".into(), init: Expr::Lit(1.1147e-307) },
+                Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::bin(
+                        BinOp::Div,
+                        Expr::Var("tmp_1".into()),
+                        Expr::Call(MathFunc::Ceil, vec![Expr::Lit(1.5955e-125)]),
+                    ),
+                },
+            ],
+        };
+        let input = InputSet { values: vec![InputValue::Float(1.2374e-306)] };
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let nv_ir = compile(&p, Toolchain::Nvcc, opt, false);
+            let amd_ir = compile(&p, Toolchain::Hipcc, opt, false);
+            let rn = execute(&nv_ir, &nv(), &input).unwrap();
+            let ra = execute(&amd_ir, &amd(), &input).unwrap();
+            assert_eq!(rn.value.outcome(), Outcome::Inf, "{opt:?}");
+            assert_eq!(ra.value.outcome(), Outcome::Num, "{opt:?}");
+            // the paper reports hipcc printing 1.34887e-306
+            let v = ra.value.to_f64();
+            assert!((v - 1.34887e-306).abs() < 1e-310, "got {v:e}");
+        }
+    }
+
+    #[test]
+    fn fmod_case_study_1_diverges_between_devices() {
+        // fmod(-1.7538E305 * (var_8/(0/var_9 - 1.3065E-306)), 1.5793E-307)
+        let p = simple_program(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::Set,
+            value: Expr::Call(
+                MathFunc::Fmod,
+                vec![Expr::Lit(1.5917195493481116e289), Expr::Lit(1.5793e-307)],
+            ),
+        }]);
+        let ir_nv = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let ir_amd = compile(&p, Toolchain::Hipcc, OptLevel::O0, false);
+        let rn = execute(&ir_nv, &nv(), &inputs(0.0, 1, 0.0)).unwrap();
+        let ra = execute(&ir_amd, &amd(), &inputs(0.0, 1, 0.0)).unwrap();
+        assert_ne!(rn.value.bits(), ra.value.bits());
+        assert_eq!(rn.value.outcome(), Outcome::Num);
+        assert_eq!(ra.value.outcome(), Outcome::Num);
+    }
+
+    #[test]
+    fn ftz_flushes_subnormals_only_under_fast_math_f32() {
+        // comp = var_2 * 0.5 with subnormal-producing operands
+        let mut p = simple_program(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::Set,
+            value: Expr::bin(BinOp::Mul, Expr::Var("var_2".into()), Expr::Lit(0.5)),
+        }]);
+        p.precision = Precision::F32;
+        let sub = 2.0e-44f32; // subnormal f32
+        let input = InputSet {
+            values: vec![
+                InputValue::Float(0.0),
+                InputValue::Int(1),
+                InputValue::Float(sub as f64),
+            ],
+        };
+        let o0 = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let r = execute(&o0, &nv(), &input).unwrap();
+        assert_eq!(r.value.outcome(), Outcome::Num, "IEEE keeps the subnormal");
+        let fm = compile(&p, Toolchain::Nvcc, OptLevel::O3Fm, false);
+        let r = execute(&fm, &nv(), &input).unwrap();
+        assert_eq!(r.value.outcome(), Outcome::Zero, "NV fast math flushes (DAZ)");
+        // AMD fast math flushes results only; the input subnormal survives
+        // DAZ but the product is subnormal too, so FTZ_ONLY also flushes it
+        let fm_amd = compile(&p, Toolchain::Hipcc, OptLevel::O3Fm, false);
+        let r = execute(&fm_amd, &amd(), &input).unwrap();
+        assert_eq!(r.value.outcome(), Outcome::Zero);
+    }
+
+    #[test]
+    fn arrays_fill_store_and_load() {
+        let p = Program {
+            id: "arr".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_5".into(), ty: ParamType::FloatArray },
+            ],
+            body: vec![Stmt::For {
+                var: "i".into(),
+                bound: "var_1".into(),
+                body: vec![
+                    Stmt::Assign {
+                        target: LValue::Index("var_5".into(), "i".into()),
+                        op: AssignOp::Set,
+                        value: Expr::bin(
+                            BinOp::Add,
+                            Expr::Index("var_5".into(), "i".into()),
+                            Expr::Lit(1.0),
+                        ),
+                    },
+                    Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::AddAssign,
+                        value: Expr::Index("var_5".into(), "i".into()),
+                    },
+                ],
+            }],
+        };
+        let input = InputSet {
+            values: vec![
+                InputValue::Float(0.0),
+                InputValue::Int(3),
+                InputValue::ArrayFill(10.0),
+            ],
+        };
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let r = execute(&ir, &nv(), &input).unwrap();
+        assert_eq!(r.value, ExecValue::F64(33.0)); // 3 × (10+1)
+    }
+
+    #[test]
+    fn mismatched_inputs_are_rejected() {
+        let p = simple_program(vec![]);
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let bad = InputSet { values: vec![InputValue::Float(0.0)] };
+        assert!(matches!(
+            execute(&ir, &nv(), &bad),
+            Err(ExecError::BadInputs(_))
+        ));
+    }
+
+    #[test]
+    fn optimization_reduces_cost_on_generated_programs() {
+        use progen::gen::generate_program;
+        use progen::grammar::GenConfig;
+        let cfg = GenConfig::varity_default(Precision::F64);
+        let mut cheaper = 0;
+        let mut total = 0;
+        for i in 0..30 {
+            let p = generate_program(&cfg, 31, i);
+            let input = generate_input(&p, 1, 0);
+            let o0 = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+            let o3 = compile(&p, Toolchain::Nvcc, OptLevel::O3, false);
+            let (Ok(r0), Ok(r3)) = (
+                execute(&o0, &nv(), &input),
+                execute(&o3, &nv(), &input),
+            ) else {
+                continue;
+            };
+            total += 1;
+            if r3.cost_slots <= r0.cost_slots {
+                cheaper += 1;
+            }
+        }
+        assert!(total > 20);
+        assert!(cheaper * 10 >= total * 9, "{cheaper}/{total} got cheaper");
+    }
+
+    #[test]
+    fn same_compiler_same_device_is_deterministic() {
+        use progen::gen::generate_program;
+        use progen::grammar::GenConfig;
+        let cfg = GenConfig::varity_default(Precision::F64);
+        let p = generate_program(&cfg, 37, 0);
+        let input = generate_input(&p, 1, 0);
+        let ir = compile(&p, Toolchain::Hipcc, OptLevel::O3Fm, false);
+        let a = execute(&ir, &amd(), &input).unwrap();
+        let b = execute(&ir, &amd(), &input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comparison_semantics_with_nan() {
+        assert!(!compare(CmpOp::Lt, f64::NAN, 1.0));
+        assert!(!compare(CmpOp::Eq, f64::NAN, f64::NAN));
+        assert!(compare(CmpOp::Ne, f64::NAN, 1.0));
+        assert!(!compare(CmpOp::Ge, 1.0, f64::NAN));
+    }
+}

@@ -1,0 +1,37 @@
+//! # gpucc — the simulated GPU compilers (`nvcc`-like and `hipcc`-like)
+//!
+//! A small but real optimizing compiler for the Varity kernel language:
+//!
+//! * [`ir`] — a register-based instruction IR inside structured control
+//!   flow. Expressions become three-address instruction sequences;
+//!   `if`/`for` stay structured (the kernels Varity emits are reducible by
+//!   construction).
+//! * [`lower`] — AST → IR lowering (compound assignments are expanded, so
+//!   passes see the full data flow).
+//! * [`passes`] — the optimization passes: constant folding, FMA
+//!   contraction, value numbering (CSE), dead-code elimination, and the
+//!   fast-math set (reassociation, reciprocal substitution,
+//!   finite-math-only simplification).
+//! * [`pipeline`] — which passes run for `{nvcc, hipcc} × {O0..O3, O3_FM}`.
+//!   The two toolchains differ exactly where the real ones do: FMA
+//!   association preference, and the fast-math sets (`-ffast-math` vs
+//!   `-DHIP_FAST_MATH`, which omits finite-math-only — paper §III-D).
+//! * [`interp`] — executes compiled IR against a `gpusim::Device`,
+//!   tracking IEEE exception flags and an operation-cost estimate.
+//! * [`cost`] — the per-instruction cost model behind the simulated
+//!   runtimes of the paper's Table I.
+
+#![deny(missing_docs)]
+
+pub mod cost;
+pub mod display;
+pub mod interp;
+pub mod ir;
+pub mod lower;
+pub mod passes;
+pub mod pipeline;
+pub mod resolve;
+
+pub use interp::{execute, ExecResult};
+pub use ir::KernelIr;
+pub use pipeline::{compile, OptLevel, Toolchain};

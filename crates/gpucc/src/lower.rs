@@ -1,0 +1,248 @@
+//! AST → IR lowering.
+//!
+//! Compound assignments are expanded (`comp += e` becomes
+//! `comp = comp + e` with an explicit `ReadVar(comp)`), so the optimization
+//! passes see the complete data flow of every statement. FP32 kernels get
+//! their literals rounded to `f32` here (the same rounding the real
+//! front-ends perform on `1.23F` tokens).
+
+use crate::ir::*;
+use progen::ast::{self, AssignOp, BinOp, Expr, Precision, Program, Stmt};
+
+/// Lower a program to unoptimized IR (what `-O0` codegen emits).
+pub fn lower(program: &Program) -> KernelIr {
+    KernelIr {
+        program_id: program.id.clone(),
+        precision: program.precision,
+        params: program.params.clone(),
+        body: lower_stmts(&program.body, program.precision),
+        flags: CompileFlags::default(),
+    }
+}
+
+fn lower_stmts(stmts: &[Stmt], prec: Precision) -> Vec<Node> {
+    stmts.iter().map(|s| lower_stmt(s, prec)).collect()
+}
+
+fn lower_stmt(stmt: &Stmt, prec: Precision) -> Node {
+    match stmt {
+        Stmt::DeclTmp { name, init } => {
+            let mut seq = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+            seq.result = lower_expr(init, &mut seq, prec);
+            Node::Store { target: StoreTarget::Var(name.clone()), seq }
+        }
+        Stmt::Assign { target, op, value } => {
+            let mut seq = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+            let rhs = lower_expr(value, &mut seq, prec);
+            let result = match op {
+                AssignOp::Set => rhs,
+                AssignOp::AddAssign | AssignOp::SubAssign | AssignOp::MulAssign
+                | AssignOp::DivAssign => {
+                    let current = match target {
+                        ast::LValue::Var(v) => seq.push(Inst::ReadVar(v.clone())),
+                        ast::LValue::Index(a, i) => {
+                            seq.push(Inst::ReadArr(a.clone(), i.clone()))
+                        }
+                    };
+                    let bin = match op {
+                        AssignOp::AddAssign => BinOp::Add,
+                        AssignOp::SubAssign => BinOp::Sub,
+                        AssignOp::MulAssign => BinOp::Mul,
+                        AssignOp::DivAssign => BinOp::Div,
+                        AssignOp::Set => unreachable!(),
+                    };
+                    seq.push(Inst::Bin(bin, current, rhs))
+                }
+            };
+            seq.result = result;
+            let target = match target {
+                ast::LValue::Var(v) => StoreTarget::Var(v.clone()),
+                ast::LValue::Index(a, i) => StoreTarget::Arr(a.clone(), i.clone()),
+            };
+            Node::Store { target, seq }
+        }
+        Stmt::If { cond, body } => {
+            let mut lhs = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+            lhs.result = lower_expr(&cond.lhs, &mut lhs, prec);
+            let mut rhs = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+            rhs.result = lower_expr(&cond.rhs, &mut rhs, prec);
+            Node::If { lhs, op: cond.op, rhs, body: lower_stmts(body, prec) }
+        }
+        Stmt::For { var, bound, body } => Node::For {
+            var: var.clone(),
+            bound: bound.clone(),
+            body: lower_stmts(body, prec),
+        },
+    }
+}
+
+fn lower_expr(e: &Expr, seq: &mut InstSeq, prec: Precision) -> Operand {
+    match e {
+        Expr::Lit(v) => Operand::Const(round_const(*v, prec)),
+        Expr::Var(name) => seq.push(Inst::ReadVar(name.clone())),
+        Expr::ThreadIdx => seq.push(Inst::ReadThreadIdx),
+        Expr::Index(a, i) => seq.push(Inst::ReadArr(a.clone(), i.clone())),
+        Expr::Neg(inner) => {
+            let x = lower_expr(inner, seq, prec);
+            seq.push(Inst::Neg(x))
+        }
+        Expr::Bin(op, l, r) => {
+            let a = lower_expr(l, seq, prec);
+            let b = lower_expr(r, seq, prec);
+            seq.push(Inst::Bin(*op, a, b))
+        }
+        Expr::Call(f, args) => {
+            let ops: Vec<Operand> = args.iter().map(|a| lower_expr(a, seq, prec)).collect();
+            seq.push(Inst::Call(*f, ops))
+        }
+    }
+}
+
+/// Round a literal to the kernel precision (front-end semantics of `F`
+/// suffixes).
+pub fn round_const(v: f64, prec: Precision) -> f64 {
+    match prec {
+        Precision::F64 => v,
+        Precision::F32 => v as f32 as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::mathlib::MathFunc;
+    use progen::ast::{CmpOp, Cond, LValue, Param, ParamType};
+
+    fn prog(body: Vec<Stmt>) -> Program {
+        Program {
+            id: "t".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_2".into(), ty: ParamType::Float },
+            ],
+            body,
+        }
+    }
+
+    #[test]
+    fn compound_assign_expands_to_read_modify_write() {
+        let p = prog(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::AddAssign,
+            value: Expr::Lit(1.5),
+        }]);
+        let ir = lower(&p);
+        match &ir.body[0] {
+            Node::Store { target: StoreTarget::Var(v), seq } => {
+                assert_eq!(v, "comp");
+                assert_eq!(seq.insts[0], Inst::ReadVar("comp".into()));
+                assert_eq!(
+                    seq.insts[1],
+                    Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Const(1.5))
+                );
+                assert_eq!(seq.result, Operand::Inst(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_assignment_has_no_read() {
+        let p = prog(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::Set,
+            value: Expr::Var("var_2".into()),
+        }]);
+        let ir = lower(&p);
+        match &ir.body[0] {
+            Node::Store { seq, .. } => {
+                assert_eq!(seq.insts, vec![Inst::ReadVar("var_2".into())]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_expression_lowers_in_order() {
+        // comp = cos(var_2 + 1.0) / var_2
+        let p = prog(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::Set,
+            value: Expr::bin(
+                BinOp::Div,
+                Expr::Call(
+                    MathFunc::Cos,
+                    vec![Expr::bin(BinOp::Add, Expr::Var("var_2".into()), Expr::Lit(1.0))],
+                ),
+                Expr::Var("var_2".into()),
+            ),
+        }]);
+        let ir = lower(&p);
+        match &ir.body[0] {
+            Node::Store { seq, .. } => {
+                // var_2 is read twice at O0 (no CSE yet)
+                assert_eq!(seq.insts.len(), 5);
+                assert!(matches!(seq.insts[0], Inst::ReadVar(_)));
+                assert!(matches!(seq.insts[1], Inst::Bin(BinOp::Add, _, _)));
+                assert!(matches!(seq.insts[2], Inst::Call(MathFunc::Cos, _)));
+                assert!(matches!(seq.insts[3], Inst::ReadVar(_)));
+                assert!(matches!(seq.insts[4], Inst::Bin(BinOp::Div, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_lowers_both_sides() {
+        let p = prog(vec![Stmt::If {
+            cond: Cond {
+                op: CmpOp::Ge,
+                lhs: Expr::Var("comp".into()),
+                rhs: Expr::Lit(0.0),
+            },
+            body: vec![Stmt::Assign {
+                target: LValue::Var("comp".into()),
+                op: AssignOp::SubAssign,
+                value: Expr::Lit(1.0),
+            }],
+        }]);
+        let ir = lower(&p);
+        match &ir.body[0] {
+            Node::If { lhs, op, rhs, body } => {
+                assert_eq!(*op, CmpOp::Ge);
+                assert_eq!(lhs.insts.len(), 1);
+                assert!(rhs.insts.is_empty());
+                assert_eq!(rhs.result, Operand::Const(0.0));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fp32_literals_round_at_lowering() {
+        let mut p = prog(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::Set,
+            value: Expr::Lit(0.1),
+        }]);
+        p.precision = Precision::F32;
+        let ir = lower(&p);
+        match &ir.body[0] {
+            Node::Store { seq, .. } => {
+                assert_eq!(seq.result, Operand::Const(0.1f32 as f64));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn o0_lowering_has_default_flags() {
+        let p = prog(vec![]);
+        let ir = lower(&p);
+        assert!(!ir.flags.fast_math);
+        assert_eq!(ir.flags.opt_level_index, 0);
+    }
+}

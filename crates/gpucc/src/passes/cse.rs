@@ -1,0 +1,153 @@
+//! Common-subexpression elimination (local value numbering).
+//!
+//! Within one sequence every instruction is pure (stores happen at the
+//! node level after the sequence completes), so structurally identical
+//! instructions compute identical values and duplicates can be forwarded
+//! to their first occurrence. Both toolchains run the same CSE, so the
+//! pass never diverges; it exists for codegen realism and for its effect
+//! on the cost model (fewer executed operations at `-O1+`).
+
+use super::{forward_uses, SeqPass};
+use crate::ir::{Inst, InstSeq, Operand};
+use progen::ast::Precision;
+use std::collections::HashMap;
+
+/// The local value-numbering pass.
+pub struct Cse;
+
+impl SeqPass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, seq: &mut InstSeq, _prec: Precision) {
+        // key: debug rendering of the (operand-canonicalized) instruction.
+        // f64 bit patterns are embedded so -0.0 and 0.0 stay distinct.
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for idx in 0..seq.insts.len() {
+            let key = inst_key(&seq.insts[idx]);
+            match seen.get(&key) {
+                Some(&first) => {
+                    forward_uses(seq, idx, Operand::Inst(first));
+                }
+                None => {
+                    seen.insert(key, idx);
+                }
+            }
+        }
+    }
+}
+
+fn operand_key(o: Operand) -> String {
+    match o {
+        Operand::Inst(i) => format!("i{i}"),
+        Operand::Const(c) => format!("c{:016x}", c.to_bits()),
+    }
+}
+
+fn inst_key(inst: &Inst) -> String {
+    match inst {
+        Inst::ReadVar(v) => format!("rv:{v}"),
+        Inst::ReadArr(a, i) => format!("ra:{a}[{i}]"),
+        Inst::ReadThreadIdx => "tid".to_string(),
+        Inst::Const(c) => format!("k:{:016x}", c.to_bits()),
+        Inst::Neg(a) => format!("neg:{}", operand_key(*a)),
+        Inst::Rcp(a) => format!("rcp:{}", operand_key(*a)),
+        Inst::Bin(op, a, b) => {
+            format!("bin:{}:{}:{}", op.symbol(), operand_key(*a), operand_key(*b))
+        }
+        Inst::Fma(a, b, c) => format!(
+            "fma:{}:{}:{}",
+            operand_key(*a),
+            operand_key(*b),
+            operand_key(*c)
+        ),
+        Inst::Fnma(a, b, c) => format!(
+            "fnma:{}:{}:{}",
+            operand_key(*a),
+            operand_key(*b),
+            operand_key(*c)
+        ),
+        Inst::Fms(a, b, c) => format!(
+            "fms:{}:{}:{}",
+            operand_key(*a),
+            operand_key(*b),
+            operand_key(*c)
+        ),
+        Inst::Call(f, args) => {
+            let args: Vec<String> = args.iter().map(|a| operand_key(*a)).collect();
+            format!("call:{}:{}", f.c_name(), args.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::mathlib::MathFunc;
+    use progen::ast::BinOp;
+
+    #[test]
+    fn duplicate_reads_are_merged() {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let x1 = s.push(Inst::ReadVar("x".into()));
+        let x2 = s.push(Inst::ReadVar("x".into()));
+        s.result = s.push(Inst::Bin(BinOp::Add, x1, x2));
+        Cse.run(&mut s, Precision::F64);
+        assert_eq!(
+            s.insts[2],
+            Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Inst(0))
+        );
+    }
+
+    #[test]
+    fn duplicate_calls_are_merged_transitively() {
+        // cos(x) + cos(x): reads merge first, then the calls become equal
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let x1 = s.push(Inst::ReadVar("x".into()));
+        let c1 = s.push(Inst::Call(MathFunc::Cos, vec![x1]));
+        let x2 = s.push(Inst::ReadVar("x".into()));
+        let c2 = s.push(Inst::Call(MathFunc::Cos, vec![x2]));
+        s.result = s.push(Inst::Bin(BinOp::Add, c1, c2));
+        Cse.run(&mut s, Precision::F64);
+        assert_eq!(
+            s.insts[4],
+            Inst::Bin(BinOp::Add, Operand::Inst(1), Operand::Inst(1))
+        );
+    }
+
+    #[test]
+    fn different_variables_stay_distinct() {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let x = s.push(Inst::ReadVar("x".into()));
+        let y = s.push(Inst::ReadVar("y".into()));
+        s.result = s.push(Inst::Bin(BinOp::Add, x, y));
+        let before = s.clone();
+        Cse.run(&mut s, Precision::F64);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn zero_signs_are_not_conflated() {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let a = s.push(Inst::Const(0.0));
+        let b = s.push(Inst::Const(-0.0));
+        s.result = s.push(Inst::Bin(BinOp::Div, a, b));
+        Cse.run(&mut s, Precision::F64);
+        // -0.0 has a different bit pattern: no merge
+        assert_eq!(
+            s.insts[2],
+            Inst::Bin(BinOp::Div, Operand::Inst(0), Operand::Inst(1))
+        );
+    }
+
+    #[test]
+    fn result_operand_is_forwarded() {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let _x1 = s.push(Inst::ReadVar("x".into()));
+        let x2 = s.push(Inst::ReadVar("x".into()));
+        s.result = x2;
+        Cse.run(&mut s, Precision::F64);
+        assert_eq!(s.result, Operand::Inst(0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Dead-code elimination.
+//!
+//! Removes instructions unreachable from the sequence result and renumbers
+//! the survivors. Runs after contraction/CSE to collect the multiplies and
+//! duplicates those passes orphaned.
+
+use super::SeqPass;
+use crate::ir::{InstSeq, Operand};
+use progen::ast::Precision;
+
+/// The dead-code-elimination pass.
+pub struct Dce;
+
+impl SeqPass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, seq: &mut InstSeq, _prec: Precision) {
+        let n = seq.insts.len();
+        let mut live = vec![false; n];
+        // mark backward from the result
+        let mut stack: Vec<usize> = Vec::new();
+        if let Operand::Inst(i) = seq.result {
+            stack.push(i);
+        }
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            for o in seq.insts[i].operands() {
+                if let Operand::Inst(j) = o {
+                    stack.push(j);
+                }
+            }
+        }
+        // compact and renumber
+        let mut remap = vec![usize::MAX; n];
+        let mut kept = Vec::with_capacity(n);
+        for (i, inst) in seq.insts.drain(..).enumerate() {
+            if live[i] {
+                remap[i] = kept.len();
+                kept.push(inst);
+            }
+        }
+        for inst in &mut kept {
+            inst.map_operands(|o| match o {
+                Operand::Inst(i) => Operand::Inst(remap[i]),
+                c => c,
+            });
+        }
+        if let Operand::Inst(i) = seq.result {
+            seq.result = Operand::Inst(remap[i]);
+        }
+        seq.insts = kept;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Inst;
+    use progen::ast::BinOp;
+
+    #[test]
+    fn removes_orphaned_instructions() {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let x = s.push(Inst::ReadVar("x".into()));
+        let _dead = s.push(Inst::ReadVar("dead".into()));
+        let y = s.push(Inst::ReadVar("y".into()));
+        s.result = s.push(Inst::Bin(BinOp::Add, x, y));
+        Dce.run(&mut s, Precision::F64);
+        assert_eq!(s.insts.len(), 3);
+        assert_eq!(
+            s.insts[2],
+            Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Inst(1))
+        );
+        assert_eq!(s.result, Operand::Inst(2));
+    }
+
+    #[test]
+    fn keeps_everything_reachable() {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let x = s.push(Inst::ReadVar("x".into()));
+        let n = s.push(Inst::Neg(x));
+        s.result = s.push(Inst::Bin(BinOp::Mul, x, n));
+        let before = s.clone();
+        Dce.run(&mut s, Precision::F64);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn const_result_empties_sequence() {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let _a = s.push(Inst::ReadVar("x".into()));
+        let _b = s.push(Inst::ReadVar("y".into()));
+        s.result = Operand::Const(7.0);
+        Dce.run(&mut s, Precision::F64);
+        assert!(s.insts.is_empty());
+        assert_eq!(s.result, Operand::Const(7.0));
+    }
+
+    #[test]
+    fn diamond_dependencies_survive() {
+        // r = (x+x) * (x+x)  [after CSE: one add, used twice]
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let x = s.push(Inst::ReadVar("x".into()));
+        let a = s.push(Inst::Bin(BinOp::Add, x, x));
+        s.result = s.push(Inst::Bin(BinOp::Mul, a, a));
+        Dce.run(&mut s, Precision::F64);
+        assert_eq!(s.insts.len(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Optimization passes.
+//!
+//! Every pass is sequence-local (the kernels have no cross-statement
+//! dataflow the passes could exploit — each statement re-reads its
+//! variables). The [`SeqPass`] trait plus [`run_seq_pass`] driver apply a
+//! pass to every instruction sequence in a kernel.
+//!
+//! Pass inventory and which pipelines use them:
+//!
+//! | pass | O0 | O1–O3 | O3_FM nvcc | O3_FM hipcc |
+//! |---|---|---|---|---|
+//! | [`const_fold`] | – | ✓ | ✓ | ✓ |
+//! | [`fma`] contraction | –¹ | ✓ (vendor-preferenced) | ✓ | ✓ |
+//! | [`finite_math`] | – | – | ✓ | – (`-DHIP_FAST_MATH` omits it) |
+//! | [`recip`] | – | – | ✓ | – |
+//! | [`reassoc`] (front-end) | – | – | ✓ | – |
+//! | [`cse`] | – | ✓ | ✓ | ✓ |
+//! | [`dce`] | – | ✓ | ✓ | ✓ |
+//!
+//! ¹ except HIPIFY-converted sources, which hipcc builds with its
+//! real-world `-ffp-contract=fast` default even at `-O0`.
+//!
+//! Loop unrolling is deliberately absent: Varity loop bounds are runtime
+//! inputs, so there is nothing to unroll statically (see DESIGN.md).
+
+pub mod const_fold;
+pub mod cse;
+pub mod dce;
+pub mod finite_math;
+pub mod fma;
+pub mod reassoc;
+pub mod recip;
+
+use crate::ir::{InstSeq, KernelIr, Operand};
+use progen::ast::Precision;
+
+/// A sequence-local transformation.
+pub trait SeqPass {
+    /// Pass name for logs and tests.
+    fn name(&self) -> &'static str;
+    /// Transform one instruction sequence in place.
+    fn run(&self, seq: &mut InstSeq, prec: Precision);
+}
+
+/// Apply a pass to every sequence in the kernel.
+pub fn run_seq_pass(ir: &mut KernelIr, pass: &dyn SeqPass) {
+    let prec = ir.precision;
+    ir.for_each_seq_mut(&mut |seq| pass.run(seq, prec));
+}
+
+/// Replace every reference to instruction `from` with `to` throughout the
+/// sequence (instructions after `from` and the result operand).
+pub fn forward_uses(seq: &mut InstSeq, from: usize, to: Operand) {
+    let rewrite = |o: Operand| if o == Operand::Inst(from) { to } else { o };
+    for inst in &mut seq.insts {
+        inst.map_operands(rewrite);
+    }
+    seq.result = rewrite(seq.result);
+}
+
+/// Number of uses of each instruction (references from later instructions
+/// plus the sequence result).
+pub fn use_counts(seq: &InstSeq) -> Vec<usize> {
+    let mut counts = vec![0usize; seq.insts.len()];
+    let mut bump = |o: Operand| {
+        if let Operand::Inst(i) = o {
+            counts[i] += 1;
+        }
+    };
+    for inst in &seq.insts {
+        for o in inst.operands() {
+            bump(o);
+        }
+    }
+    bump(seq.result);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Inst;
+    use progen::ast::BinOp;
+
+    fn seq_xy_add() -> InstSeq {
+        let mut s = InstSeq { insts: vec![], result: Operand::Const(0.0) };
+        let x = s.push(Inst::ReadVar("x".into()));
+        let y = s.push(Inst::ReadVar("y".into()));
+        s.result = s.push(Inst::Bin(BinOp::Add, x, y));
+        s
+    }
+
+    #[test]
+    fn use_counts_include_result() {
+        let s = seq_xy_add();
+        assert_eq!(use_counts(&s), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn forward_uses_rewrites_later_references() {
+        let mut s = seq_xy_add();
+        forward_uses(&mut s, 1, Operand::Const(5.0));
+        assert_eq!(
+            s.insts[2],
+            Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Const(5.0))
+        );
+    }
+
+    #[test]
+    fn forward_uses_rewrites_result() {
+        let mut s = seq_xy_add();
+        forward_uses(&mut s, 2, Operand::Inst(0));
+        assert_eq!(s.result, Operand::Inst(0));
+    }
+}

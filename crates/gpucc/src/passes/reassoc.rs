@@ -1,0 +1,202 @@
+//! Reassociation (`-fassociative-math`), part of nvcc's `-ffast-math`
+//! bundle; `-DHIP_FAST_MATH` does not enable it.
+//!
+//! Associativity does not hold in floating point, so re-parenthesising a
+//! chain changes the rounded result. This is a *front-end* transform here:
+//! it rewrites the expression tree before lowering (the nvcc-like `O3_FM`
+//! pipeline calls [`reassociate_program`]). Chains of three or more `+`
+//! (or `*`) operands are rebuilt right-associated — `((a+b)+c)` becomes
+//! `(a+(b+c))` — which rounds differently whenever the partial sums do.
+
+use progen::ast::{BinOp, Cond, Expr, Program, Stmt};
+
+/// Reassociate every expression in a program (returns a rewritten copy).
+pub fn reassociate_program(p: &Program) -> Program {
+    let mut out = p.clone();
+    for s in &mut out.body {
+        reassoc_stmt(s);
+    }
+    out
+}
+
+fn reassoc_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::DeclTmp { init, .. } => *init = reassoc_expr(init.clone()),
+        Stmt::Assign { value, .. } => *value = reassoc_expr(value.clone()),
+        Stmt::If { cond, body } => {
+            let Cond { lhs, rhs, .. } = cond;
+            *lhs = reassoc_expr(lhs.clone());
+            *rhs = reassoc_expr(rhs.clone());
+            for s in body {
+                reassoc_stmt(s);
+            }
+        }
+        Stmt::For { body, .. } => {
+            for s in body {
+                reassoc_stmt(s);
+            }
+        }
+    }
+}
+
+fn reassoc_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Bin(op @ (BinOp::Add | BinOp::Mul), _, _) => {
+            let mut leaves = Vec::new();
+            flatten(&e, op, &mut leaves);
+            if leaves.len() >= 3 {
+                // rebuild right-associated: a op (b op (c op d))
+                let mut it = leaves.into_iter().rev();
+                let mut acc = it.next().expect("non-empty chain");
+                for leaf in it {
+                    acc = Expr::bin(op, leaf, acc);
+                }
+                acc
+            } else {
+                match e {
+                    Expr::Bin(op, l, r) => {
+                        Expr::bin(op, reassoc_expr(*l), reassoc_expr(*r))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        Expr::Bin(op, l, r) => Expr::bin(op, reassoc_expr(*l), reassoc_expr(*r)),
+        Expr::Neg(inner) => Expr::Neg(Box::new(reassoc_expr(*inner))),
+        Expr::Call(f, args) => {
+            Expr::Call(f, args.into_iter().map(reassoc_expr).collect())
+        }
+        leaf => leaf,
+    }
+}
+
+/// Collect the leaves of a maximal same-operator chain, recursing into
+/// sub-expressions that are not part of the chain.
+fn flatten(e: &Expr, op: BinOp, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Bin(o, l, r) if *o == op => {
+            flatten(l, op, out);
+            flatten(r, op, out);
+        }
+        other => out.push(reassoc_expr(other.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> Expr {
+        Expr::Var(n.into())
+    }
+
+    #[test]
+    fn left_chain_becomes_right_chain() {
+        // ((a+b)+c) -> (a+(b+c))
+        let e = Expr::bin(BinOp::Add, Expr::bin(BinOp::Add, var("a"), var("b")), var("c"));
+        let r = reassoc_expr(e);
+        let want = Expr::bin(BinOp::Add, var("a"), Expr::bin(BinOp::Add, var("b"), var("c")));
+        assert_eq!(r, want);
+    }
+
+    #[test]
+    fn two_element_chains_are_untouched() {
+        let e = Expr::bin(BinOp::Add, var("a"), var("b"));
+        assert_eq!(reassoc_expr(e.clone()), e);
+    }
+
+    #[test]
+    fn mul_chains_reassociate_too() {
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Mul, var("a"), var("b")),
+            var("c"),
+        );
+        let r = reassoc_expr(e);
+        let want = Expr::bin(BinOp::Mul, var("a"), Expr::bin(BinOp::Mul, var("b"), var("c")));
+        assert_eq!(r, want);
+    }
+
+    #[test]
+    fn sub_breaks_the_chain() {
+        // (a-b)+c: the subtraction is a chain leaf, not a member
+        let e = Expr::bin(BinOp::Add, Expr::bin(BinOp::Sub, var("a"), var("b")), var("c"));
+        assert_eq!(reassoc_expr(e.clone()), e);
+    }
+
+    #[test]
+    fn nested_chains_inside_calls_are_rewritten() {
+        use gpusim::mathlib::MathFunc;
+        let chain = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, var("a"), var("b")),
+            var("c"),
+        );
+        let e = Expr::Call(MathFunc::Sqrt, vec![chain]);
+        let r = reassoc_expr(e);
+        match r {
+            Expr::Call(MathFunc::Sqrt, args) => {
+                let want =
+                    Expr::bin(BinOp::Add, var("a"), Expr::bin(BinOp::Add, var("b"), var("c")));
+                assert_eq!(args[0], want);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reassociation_changes_rounded_sums() {
+        // verify the numeric point on a concrete triple:
+        // (1 + eps/2) + eps/2 absorbs both halves; 1 + (eps/2 + eps/2)
+        // rounds up by one ULP
+        let a = 1.0;
+        let b = 1e-16;
+        let c = 1e-16;
+        let left = (a + b) + c;
+        let right = a + (b + c);
+        assert_eq!(left, 1.0);
+        assert!(right > 1.0);
+    }
+
+    #[test]
+    fn program_rewrite_reaches_all_statement_kinds() {
+        use progen::ast::*;
+        let chain = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, var("a"), var("b")),
+            var("c"),
+        );
+        let p = Program {
+            id: "t".into(),
+            precision: Precision::F64,
+            params: vec![],
+            body: vec![
+                Stmt::DeclTmp { name: "tmp_1".into(), init: chain.clone() },
+                Stmt::If {
+                    cond: Cond { op: CmpOp::Lt, lhs: chain.clone(), rhs: var("x") },
+                    body: vec![Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::Set,
+                        value: chain.clone(),
+                    }],
+                },
+            ],
+        };
+        let r = reassociate_program(&p);
+        let want = Expr::bin(BinOp::Add, var("a"), Expr::bin(BinOp::Add, var("b"), var("c")));
+        match &r.body[0] {
+            Stmt::DeclTmp { init, .. } => assert_eq!(init, &want),
+            other => panic!("{other:?}"),
+        }
+        match &r.body[1] {
+            Stmt::If { cond, body } => {
+                assert_eq!(cond.lhs, want);
+                match &body[0] {
+                    Stmt::Assign { value, .. } => assert_eq!(value, &want),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Name resolution: compile-time symbol-to-slot mapping.
+//!
+//! The IR keeps human-readable names (good for serialization, traces and
+//! debugging), but executing a campaign means interpreting hundreds of
+//! thousands of kernels — and a `HashMap<String, T>` lookup per
+//! `ReadVar`/`Store` is exactly the per-item allocation-and-hash overhead
+//! the HPC guides warn about. [`resolve`] walks a kernel once and produces
+//! a [`ResolvedKernel`] in which every variable reference is a dense slot
+//! index; the interpreter then runs on plain `Vec` state.
+//!
+//! Resolution also settles, once per kernel instead of once per read,
+//! whether a `ReadVar` names a float (parameter/temporary) or an integer
+//! (loop bound/induction variable read in a float expression).
+
+use crate::ir::{Inst, InstSeq, KernelIr, Node, Operand, StoreTarget};
+use progen::ast::{CmpOp, ParamType};
+use std::collections::HashMap;
+
+/// A float-variable slot.
+pub type FloatSlot = usize;
+/// An integer-variable slot.
+pub type IntSlot = usize;
+/// An array slot.
+pub type ArraySlot = usize;
+
+/// A resolved instruction (mirror of [`Inst`] with slots).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RInst {
+    /// Read a float slot.
+    ReadVar(FloatSlot),
+    /// Read an integer slot, promoted to the kernel precision.
+    ReadIntAsFloat(IntSlot),
+    /// Read `array[int_slot]`.
+    ReadArr(ArraySlot, IntSlot),
+    /// `threadIdx.x` promoted to the kernel precision.
+    ReadThreadIdx,
+    /// Binary arithmetic.
+    Bin(progen::ast::BinOp, Operand, Operand),
+    /// Negation.
+    Neg(Operand),
+    /// Fused multiply-add.
+    Fma(Operand, Operand, Operand),
+    /// Fused multiply-subtract.
+    Fms(Operand, Operand, Operand),
+    /// Fused negate-multiply-add.
+    Fnma(Operand, Operand, Operand),
+    /// Approximate reciprocal.
+    Rcp(Operand),
+    /// Math call.
+    Call(gpusim::mathlib::MathFunc, Vec<Operand>),
+    /// Folded constant.
+    Const(f64),
+}
+
+/// A resolved instruction sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RSeq {
+    /// Instructions in execution order.
+    pub insts: Vec<RInst>,
+    /// Result operand.
+    pub result: Operand,
+}
+
+/// A resolved store destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RTarget {
+    /// Scalar slot.
+    Var(FloatSlot),
+    /// `array[int_slot]`.
+    Arr(ArraySlot, IntSlot),
+}
+
+/// A resolved structured node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RNode {
+    /// Evaluate and store.
+    Store {
+        /// Destination slot.
+        target: RTarget,
+        /// Value computation.
+        seq: RSeq,
+    },
+    /// Conditional.
+    If {
+        /// Left side.
+        lhs: RSeq,
+        /// Operator.
+        op: CmpOp,
+        /// Right side.
+        rhs: RSeq,
+        /// Then-branch.
+        body: Vec<RNode>,
+    },
+    /// Counted loop over an integer slot bound.
+    For {
+        /// Induction-variable slot.
+        var: IntSlot,
+        /// Bound slot.
+        bound: IntSlot,
+        /// Body.
+        body: Vec<RNode>,
+    },
+}
+
+/// Where each kernel parameter lands in the slot space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSlot {
+    /// Float parameter → float slot.
+    Float(FloatSlot),
+    /// Int parameter → int slot.
+    Int(IntSlot),
+    /// Array parameter → array slot.
+    Array(ArraySlot),
+}
+
+/// A kernel with all names resolved to dense slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedKernel {
+    /// Slot assignment per parameter, in signature order.
+    pub param_slots: Vec<ParamSlot>,
+    /// Number of float slots (params + temporaries).
+    pub n_floats: usize,
+    /// Number of int slots (params + loop variables).
+    pub n_ints: usize,
+    /// Number of array slots.
+    pub n_arrays: usize,
+    /// Float-slot names (trace rendering; index = slot).
+    pub float_names: Vec<String>,
+    /// Array-slot names (trace rendering).
+    pub array_names: Vec<String>,
+    /// The float slot of `comp` (the printed result).
+    pub comp_slot: FloatSlot,
+    /// Resolved body.
+    pub body: Vec<RNode>,
+}
+
+/// Resolution errors (malformed hand-written kernels; generated kernels
+/// never produce them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// A name is read or stored that no parameter/temporary declares.
+    UnknownName(String),
+    /// The kernel has no `comp` accumulator.
+    NoComp,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::UnknownName(n) => write!(f, "unresolved name `{n}`"),
+            ResolveError::NoComp => f.write_str("kernel never defines `comp`"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+struct Resolver {
+    floats: HashMap<String, FloatSlot>,
+    ints: HashMap<String, IntSlot>,
+    arrays: HashMap<String, ArraySlot>,
+    float_names: Vec<String>,
+    array_names: Vec<String>,
+}
+
+impl Resolver {
+    fn float_slot(&mut self, name: &str) -> FloatSlot {
+        if let Some(&s) = self.floats.get(name) {
+            return s;
+        }
+        let s = self.float_names.len();
+        self.floats.insert(name.to_string(), s);
+        self.float_names.push(name.to_string());
+        s
+    }
+
+    fn int_slot(&mut self, name: &str) -> IntSlot {
+        if let Some(&s) = self.ints.get(name) {
+            return s;
+        }
+        let s = self.ints.len();
+        self.ints.insert(name.to_string(), s);
+        s
+    }
+
+    fn array_slot(&self, name: &str) -> Result<ArraySlot, ResolveError> {
+        self.arrays
+            .get(name)
+            .copied()
+            .ok_or_else(|| ResolveError::UnknownName(name.to_string()))
+    }
+
+    fn resolve_seq(&mut self, seq: &InstSeq) -> Result<RSeq, ResolveError> {
+        let insts = seq
+            .insts
+            .iter()
+            .map(|inst| {
+                Ok(match inst {
+                    Inst::ReadVar(name) => {
+                        // settled once here: float, else int-promotion, else
+                        // it's a forward reference to a not-yet-stored
+                        // temporary — allocate the float slot (the runtime
+                        // "unset" check reports it if actually read first)
+                        if let Some(&s) = self.floats.get(name) {
+                            RInst::ReadVar(s)
+                        } else if let Some(&s) = self.ints.get(name) {
+                            RInst::ReadIntAsFloat(s)
+                        } else {
+                            RInst::ReadVar(self.float_slot(name))
+                        }
+                    }
+                    Inst::ReadArr(arr, idx) => {
+                        RInst::ReadArr(self.array_slot(arr)?, self.int_slot(idx))
+                    }
+                    Inst::ReadThreadIdx => RInst::ReadThreadIdx,
+                    Inst::Bin(op, a, b) => RInst::Bin(*op, *a, *b),
+                    Inst::Neg(a) => RInst::Neg(*a),
+                    Inst::Fma(a, b, c) => RInst::Fma(*a, *b, *c),
+                    Inst::Fms(a, b, c) => RInst::Fms(*a, *b, *c),
+                    Inst::Fnma(a, b, c) => RInst::Fnma(*a, *b, *c),
+                    Inst::Rcp(a) => RInst::Rcp(*a),
+                    Inst::Call(f, args) => RInst::Call(*f, args.clone()),
+                    Inst::Const(c) => RInst::Const(*c),
+                })
+            })
+            .collect::<Result<Vec<_>, ResolveError>>()?;
+        Ok(RSeq { insts, result: seq.result })
+    }
+
+    fn resolve_nodes(&mut self, nodes: &[Node]) -> Result<Vec<RNode>, ResolveError> {
+        nodes
+            .iter()
+            .map(|node| {
+                Ok(match node {
+                    Node::Store { target, seq } => {
+                        let seq = self.resolve_seq(seq)?;
+                        let target = match target {
+                            StoreTarget::Var(name) => RTarget::Var(self.float_slot(name)),
+                            StoreTarget::Arr(arr, idx) => {
+                                RTarget::Arr(self.array_slot(arr)?, self.int_slot(idx))
+                            }
+                        };
+                        RNode::Store { target, seq }
+                    }
+                    Node::If { lhs, op, rhs, body } => RNode::If {
+                        lhs: self.resolve_seq(lhs)?,
+                        op: *op,
+                        rhs: self.resolve_seq(rhs)?,
+                        body: self.resolve_nodes(body)?,
+                    },
+                    Node::For { var, bound, body } => {
+                        let bound = self.int_slot(bound);
+                        let var = self.int_slot(var);
+                        RNode::For { var, bound, body: self.resolve_nodes(body)? }
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Resolve a kernel's names to dense slots.
+pub fn resolve(ir: &KernelIr) -> Result<ResolvedKernel, ResolveError> {
+    let mut r = Resolver {
+        floats: HashMap::new(),
+        ints: HashMap::new(),
+        arrays: HashMap::new(),
+        float_names: Vec::new(),
+        array_names: Vec::new(),
+    };
+    let mut param_slots = Vec::with_capacity(ir.params.len());
+    for p in &ir.params {
+        let slot = match p.ty {
+            ParamType::Float => ParamSlot::Float(r.float_slot(&p.name)),
+            ParamType::Int => ParamSlot::Int(r.int_slot(&p.name)),
+            ParamType::FloatArray => {
+                let s = r.array_names.len();
+                r.arrays.insert(p.name.clone(), s);
+                r.array_names.push(p.name.clone());
+                ParamSlot::Array(s)
+            }
+        };
+        param_slots.push(slot);
+    }
+    let body = r.resolve_nodes(&ir.body)?;
+    let comp_slot = *r.floats.get("comp").ok_or(ResolveError::NoComp)?;
+    Ok(ResolvedKernel {
+        param_slots,
+        n_floats: r.float_names.len(),
+        n_ints: r.ints.len(),
+        n_arrays: r.array_names.len(),
+        float_names: r.float_names,
+        array_names: r.array_names,
+        comp_slot,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, OptLevel, Toolchain};
+    use progen::gen::generate_program;
+    use progen::grammar::GenConfig;
+    use progen::Precision;
+
+    fn resolved(seed: u64, i: u64, opt: OptLevel) -> ResolvedKernel {
+        let p = generate_program(&GenConfig::varity_default(Precision::F64), seed, i);
+        let ir = compile(&p, Toolchain::Nvcc, opt, false);
+        resolve(&ir).expect("generated kernels resolve")
+    }
+
+    #[test]
+    fn every_generated_kernel_resolves() {
+        for i in 0..50 {
+            for opt in [OptLevel::O0, OptLevel::O3, OptLevel::O3Fm] {
+                let r = resolved(5, i, opt);
+                assert!(r.n_floats >= 1);
+                assert_eq!(r.float_names.len(), r.n_floats);
+                assert_eq!(r.param_slots.len(), 11); // comp + int + 8 floats + 1 array
+            }
+        }
+    }
+
+    #[test]
+    fn comp_is_slot_zero_by_signature_order() {
+        let r = resolved(5, 0, OptLevel::O0);
+        assert_eq!(r.comp_slot, 0, "comp is the first parameter");
+        assert_eq!(r.float_names[0], "comp");
+    }
+
+    #[test]
+    fn param_slots_cover_all_kinds() {
+        let r = resolved(5, 0, OptLevel::O0);
+        assert!(matches!(r.param_slots[0], ParamSlot::Float(0)));
+        assert!(matches!(r.param_slots[1], ParamSlot::Int(_)));
+        assert!(matches!(r.param_slots.last(), Some(ParamSlot::Array(_))));
+    }
+
+    #[test]
+    fn slots_are_dense_and_unique() {
+        let r = resolved(7, 3, OptLevel::O3);
+        let mut seen = std::collections::HashSet::new();
+        for name in &r.float_names {
+            assert!(seen.insert(name.clone()), "duplicate float name {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_array_is_an_error() {
+        use crate::ir::*;
+        use progen::ast::Param;
+        let ir = KernelIr {
+            program_id: "t".into(),
+            precision: Precision::F64,
+            params: vec![Param { name: "comp".into(), ty: ParamType::Float }],
+            body: vec![Node::Store {
+                target: StoreTarget::Var("comp".into()),
+                seq: InstSeq {
+                    insts: vec![Inst::ReadArr("ghost".into(), "i".into())],
+                    result: Operand::Inst(0),
+                },
+            }],
+            flags: CompileFlags::default(),
+        };
+        assert_eq!(
+            resolve(&ir).unwrap_err(),
+            ResolveError::UnknownName("ghost".into())
+        );
+    }
+
+    #[test]
+    fn kernel_without_comp_is_rejected() {
+        use crate::ir::*;
+        use progen::ast::Param;
+        let ir = KernelIr {
+            program_id: "t".into(),
+            precision: Precision::F64,
+            params: vec![Param { name: "x".into(), ty: ParamType::Float }],
+            body: vec![],
+            flags: CompileFlags::default(),
+        };
+        assert_eq!(resolve(&ir).unwrap_err(), ResolveError::NoComp);
+    }
+}

@@ -1,0 +1,93 @@
+//! Pass-semantics properties: the value-preserving passes (constant
+//! folding, CSE, DCE) must not change any kernel's results on the same
+//! toolchain and device — only the contraction/fast-math passes are
+//! allowed to perturb floating-point behaviour.
+
+use gpucc::interp::execute;
+use gpucc::lower::lower;
+use gpucc::passes::{const_fold::ConstFold, cse::Cse, dce::Dce, run_seq_pass};
+use gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind};
+use progen::gen::generate_program;
+use progen::grammar::GenConfig;
+use progen::inputs::generate_inputs;
+use progen::Precision;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// const-fold + CSE + DCE alone are bitwise semantics-preserving.
+    #[test]
+    fn value_preserving_passes_do_not_change_results(
+        seed in any::<u64>(),
+        index in 0u64..300,
+    ) {
+        let cfg = GenConfig::varity_default(Precision::F64);
+        let program = generate_program(&cfg, seed, index);
+        let inputs = generate_inputs(&program, seed, 3);
+        let device = Device::new(DeviceKind::NvidiaLike);
+
+        let baseline = lower(&program);
+        let mut optimized = lower(&program);
+        run_seq_pass(&mut optimized, &ConstFold);
+        run_seq_pass(&mut optimized, &Cse);
+        run_seq_pass(&mut optimized, &Dce);
+
+        for input in &inputs {
+            let a = execute(&baseline, &device, input);
+            let b = execute(&optimized, &device, input);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert!(
+                        a.value.bit_eq(&b.value),
+                        "results differ: {} vs {}",
+                        a.value.format_exact(),
+                        b.value.format_exact()
+                    );
+                    // folding evaluates ops at compile time, so the
+                    // optimized run may raise *fewer* exception flags —
+                    // never more
+                    for e in b.exceptions.iter() {
+                        prop_assert!(
+                            a.exceptions.is_set(e),
+                            "optimized run raised {e} the baseline did not"
+                        );
+                    }
+                    prop_assert!(b.steps <= a.steps, "optimization added work");
+                }
+                (Err(e), _) | (_, Err(e)) => prop_assert!(false, "exec error: {e}"),
+            }
+        }
+    }
+
+    /// passes never increase static instruction counts.
+    #[test]
+    fn optimized_kernels_are_not_larger(seed in any::<u64>(), index in 0u64..300) {
+        let cfg = GenConfig::varity_default(Precision::F64);
+        let program = generate_program(&cfg, seed, index);
+        for tc in Toolchain::ALL {
+            let o0 = compile(&program, tc, OptLevel::O0, false);
+            let o3 = compile(&program, tc, OptLevel::O3, false);
+            prop_assert!(
+                o3.inst_count() <= o0.inst_count(),
+                "{tc}: O3 {} insts > O0 {}",
+                o3.inst_count(),
+                o0.inst_count()
+            );
+        }
+    }
+
+    /// O0 compilation is the identity on the lowered IR for non-hipified
+    /// sources, for both toolchains.
+    #[test]
+    fn o0_is_plain_lowering(seed in any::<u64>(), index in 0u64..300) {
+        let cfg = GenConfig::varity_default(Precision::F32);
+        let program = generate_program(&cfg, seed, index);
+        let plain = lower(&program);
+        for tc in Toolchain::ALL {
+            let o0 = compile(&program, tc, OptLevel::O0, false);
+            prop_assert_eq!(&o0.body, &plain.body, "{}", tc);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # gpusim — simulated NVIDIA-like and AMD-like GPU devices
+//!
+//! This crate is the hardware substitution for the paper's Lassen (NVIDIA
+//! V100) and Tioga (AMD MI250X) clusters. A *device* here is the part of a
+//! GPU that determines numerical results:
+//!
+//! * a **vendor math library** ([`mathlib`]) — the analogue of NVIDIA's
+//!   `libdevice` and AMD's OCML. The two libraries implement the same C math
+//!   functions with *different algorithms*, exactly the situation the
+//!   paper's case studies root-cause (`fmod` in Fig. 4, `ceil` in Fig. 5).
+//! * **fast-math FP32 intrinsics** — hardware-approximation functions
+//!   (`__sinf` / `v_sin_f32` analogues) selected by the simulated compilers
+//!   under `-ffast-math` / `-DHIP_FAST_MATH`.
+//! * a **floating-point environment** ([`fpenv`]) — FTZ/DAZ behaviour per
+//!   precision, which differs between the vendors' fast paths.
+//!
+//! Basic arithmetic (`+ - * /`, `sqrt`, FMA) is IEEE-754 correctly rounded
+//! on both real GPUs, so both simulated devices share Rust's native ops for
+//! those; all divergence comes from the mechanisms above, each of which can
+//! be disabled individually through [`device::QuirkSet`] for ablation.
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod fpenv;
+pub mod launch;
+pub mod mathlib;
+
+pub use device::{Device, DeviceKind, QuirkSet};
+pub use fpenv::FpEnv;
+pub use mathlib::{MathFunc, MathLib};

@@ -1,0 +1,199 @@
+//! The AMD-like math library ("ocml-sim").
+//!
+//! The accurate FP64 entry points use the host's correctly rounded libm
+//! kernels (Rust `std`), standing in for OCML's table-driven
+//! implementations — the contrast with the NVIDIA-like from-scratch
+//! kernels in [`super::nv`] produces the last-ULP disagreements on a
+//! minority of arguments that the paper's §IV-D attributes to "differences
+//! in the low-level implementation of mathematical functions".
+//!
+//! `fmod` is the chunked floating-point algorithm
+//! ([`super::shared::fmod_chunked_f64`]), which the paper's case study 1
+//! observed as `__ocml_fmod_f64`: it agrees exactly with the NVIDIA-like
+//! bit-level `fmod` for `|x/y| < 2^53` and drifts beyond that.
+//!
+//! `ceil` is IEEE-correct — this library returns `1` for the tiny positive
+//! inputs where the NVIDIA-like magic-number path returns `0` (Fig. 5).
+
+use super::nv::via_f64_f32;
+use super::shared::{fmod_chunked_f32, fmod_chunked_f64};
+use super::{fast, MathFunc, MathLib};
+use crate::device::QuirkSet;
+
+/// AMD-like math library with ablation toggles.
+#[derive(Debug, Clone, Copy)]
+pub struct AmdMathLib {
+    /// Divergence-mechanism toggles (all on by default).
+    pub quirks: QuirkSet,
+}
+
+#[allow(clippy::derivable_impls)] // Default must mean all-quirks-on, not all-false
+impl Default for AmdMathLib {
+    fn default() -> Self {
+        AmdMathLib { quirks: QuirkSet::all() }
+    }
+}
+
+impl MathLib for AmdMathLib {
+    fn name(&self) -> &'static str {
+        "ocml-sim"
+    }
+
+    fn call_f64(&self, func: MathFunc, a: f64, b: f64) -> f64 {
+        match func {
+            MathFunc::Sin => a.sin(),
+            MathFunc::Cos => a.cos(),
+            MathFunc::Tan => a.tan(),
+            MathFunc::Asin => a.asin(),
+            MathFunc::Acos => a.acos(),
+            MathFunc::Atan => a.atan(),
+            MathFunc::Sinh => a.sinh(),
+            MathFunc::Cosh => a.cosh(),
+            MathFunc::Tanh => a.tanh(),
+            MathFunc::Exp => a.exp(),
+            MathFunc::Exp2 => a.exp2(),
+            MathFunc::Log => a.ln(),
+            MathFunc::Log2 => a.log2(),
+            MathFunc::Log10 => a.log10(),
+            MathFunc::Sqrt => a.sqrt(),
+            MathFunc::Cbrt => a.cbrt(),
+            MathFunc::Fabs => a.abs(),
+            MathFunc::Floor => a.floor(),
+            MathFunc::Ceil => a.ceil(),
+            MathFunc::Trunc => a.trunc(),
+            MathFunc::Fmod => {
+                if self.quirks.fmod_algorithms {
+                    fmod_chunked_f64(a, b)
+                } else {
+                    a % b
+                }
+            }
+            MathFunc::Pow => a.powf(b),
+            MathFunc::Fmin => a.min(b),
+            MathFunc::Fmax => a.max(b),
+            MathFunc::Atan2 => a.atan2(b),
+            MathFunc::Hypot => a.hypot(b),
+            MathFunc::Expm1 => a.exp_m1(),
+            MathFunc::Log1p => a.ln_1p(),
+            MathFunc::Asinh => a.asinh(),
+            MathFunc::Acosh => a.acosh(),
+            MathFunc::Atanh => a.atanh(),
+            MathFunc::Round => a.round(),
+            MathFunc::Rint => a.round_ties_even(),
+            MathFunc::Rsqrt => super::special::rsqrt_amd(a),
+            MathFunc::Erf => super::special::erf_amd(a),
+            MathFunc::Tgamma => super::special::tgamma_amd(a),
+        }
+    }
+
+    fn call_f32(&self, func: MathFunc, a: f32, b: f32) -> f32 {
+        match func {
+            MathFunc::Fmod => {
+                if self.quirks.fmod_algorithms {
+                    fmod_chunked_f32(a, b)
+                } else {
+                    a % b
+                }
+            }
+            _ => via_f64_f32(func, a, b),
+        }
+    }
+
+    fn call_fast_f32(&self, func: MathFunc, a: f32, b: f32) -> f32 {
+        // HIP's -DHIP_FAST_MATH substitutes the hardware transcendental
+        // instructions (V_SIN_F32 etc.) but keeps pow and the hyperbolics
+        // on the accurate path — a weaker set than nvcc's (paper §III-D).
+        if self.quirks.fast_intrinsics && amd_has_fast_variant(func) {
+            fast::amd_fast_f32(func, a, b)
+        } else {
+            self.call_f32(func, a, b)
+        }
+    }
+}
+
+/// Which functions the AMD-like fast path actually substitutes.
+pub fn amd_has_fast_variant(func: MathFunc) -> bool {
+    matches!(
+        func,
+        MathFunc::Sin
+            | MathFunc::Cos
+            | MathFunc::Tan
+            | MathFunc::Exp
+            | MathFunc::Exp2
+            | MathFunc::Log
+            | MathFunc::Log2
+            | MathFunc::Log10
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_f64_matches_std() {
+        let lib = AmdMathLib::default();
+        assert_eq!(lib.call_f64(MathFunc::Exp, 1.5, 0.0), 1.5f64.exp());
+        assert_eq!(lib.call_f64(MathFunc::Log, 7.0, 0.0), 7.0f64.ln());
+        assert_eq!(lib.call_f64(MathFunc::Ceil, 1.5955e-125, 0.0), 1.0);
+        assert_eq!(lib.call_f64(MathFunc::Pow, -2.0, 3.0), -8.0);
+    }
+
+    #[test]
+    fn fmod_uses_chunked_algorithm() {
+        let lib = AmdMathLib::default();
+        // mundane ratio: agrees with exact fmod
+        assert_eq!(lib.call_f64(MathFunc::Fmod, 5.5, 2.0), 5.5 % 2.0);
+        // extreme ratio: differs from exact fmod (case study 1)
+        let x = 1.5917195493481116e289;
+        let y = 1.5793e-307;
+        assert_ne!(
+            lib.call_f64(MathFunc::Fmod, x, y).to_bits(),
+            (x % y).to_bits()
+        );
+    }
+
+    #[test]
+    fn fmod_quirk_off_restores_exactness() {
+        let lib = AmdMathLib { quirks: QuirkSet::none() };
+        let x = 1.5917195493481116e289;
+        let y = 1.5793e-307;
+        assert_eq!(lib.call_f64(MathFunc::Fmod, x, y).to_bits(), (x % y).to_bits());
+    }
+
+    #[test]
+    fn f32_accurate_path_matches_nv_accurate_path() {
+        // at O0 the FP32 transcendentals agree across vendors
+        let amd = AmdMathLib::default();
+        let nv = super::super::nv::NvMathLib::default();
+        for &x in &[0.5f32, 1.37, -2.2, 100.0] {
+            for f in [MathFunc::Sin, MathFunc::Exp, MathFunc::Log2, MathFunc::Tanh] {
+                let a = amd.call_f32(f, x, 0.0);
+                let n = nv.call_f32(f, x, 0.0);
+                assert!(
+                    a.to_bits() == n.to_bits() || (a.is_nan() && n.is_nan()),
+                    "{f}({x}): amd={a} nv={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_variant_set_is_weaker_than_nvidia() {
+        // pow/hyperbolics stay accurate under HIP_FAST_MATH
+        assert!(!amd_has_fast_variant(MathFunc::Pow));
+        assert!(!amd_has_fast_variant(MathFunc::Cosh));
+        assert!(amd_has_fast_variant(MathFunc::Sin));
+        assert!(amd_has_fast_variant(MathFunc::Exp));
+    }
+
+    #[test]
+    fn fast_pow_keeps_special_cases_on_amd() {
+        let lib = AmdMathLib::default();
+        // under fast math, pow(-2, 2) stays 4 on AMD...
+        assert_eq!(lib.call_fast_f32(MathFunc::Pow, -2.0, 2.0), 4.0);
+        // ...but goes NaN on NVIDIA (asymmetry behind NaN-Num discrepancies)
+        let nv = super::super::nv::NvMathLib::default();
+        assert!(nv.call_fast_f32(MathFunc::Pow, -2.0, 2.0).is_nan());
+    }
+}

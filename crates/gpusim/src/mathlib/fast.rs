@@ -1,0 +1,383 @@
+//! Hardware-approximation FP32 intrinsics selected under fast math.
+//!
+//! * The NVIDIA-like set models `__sinf`, `__expf`, `__logf`, `__powf`, …:
+//!   SFU-style polynomial kernels evaluated in FP32 with quadrant reduction,
+//!   no subnormal support, and garbage (finite) results for huge trig
+//!   arguments.
+//! * The AMD-like set models the `V_SIN_F32` / `V_EXP_F32` ISA semantics
+//!   behind `-DHIP_FAST_MATH`: the argument is pre-scaled by `1/2π` and
+//!   reduced with a *fract* in FP32, so for `|x| ≥ 2^24` the scaled argument
+//!   has no fractional bits left and the hardware sine returns **0** where
+//!   the NVIDIA-like intrinsic returns a garbage finite value — one of the
+//!   engines behind the `Num vs Zero` explosion in the paper's Table IX.
+//!
+//! Both vendors differ by several ULP on ordinary arguments, which is what
+//! makes `O3 -ffast-math` the dominant discrepancy source for FP32.
+
+use super::shared::ldexp_f32;
+use super::MathFunc;
+
+const LOG2E_F32: f32 = std::f32::consts::LOG2_E;
+const LN2_F32: f32 = std::f32::consts::LN_2;
+const FRAC_2_PI_F32: f32 = std::f32::consts::FRAC_2_PI;
+const PI_2_HI: f32 = 1.570_796_4;
+const PI_2_LO: f32 = -4.371_139_e-8;
+
+/// Dispatch an NVIDIA-like fast intrinsic.
+pub fn nv_fast_f32(func: MathFunc, a: f32, b: f32) -> f32 {
+    match func {
+        MathFunc::Sin => nv_fast_sincos(a, true),
+        MathFunc::Cos => nv_fast_sincos(a, false),
+        MathFunc::Tan => nv_fast_sincos(a, true) / nv_fast_sincos(a, false),
+        MathFunc::Exp => nv_fast_exp2(a * LOG2E_F32),
+        MathFunc::Exp2 => nv_fast_exp2(a),
+        MathFunc::Log => nv_fast_log2(a) * LN2_F32,
+        MathFunc::Log2 => nv_fast_log2(a),
+        MathFunc::Log10 => nv_fast_log2(a) * std::f32::consts::LOG10_2,
+        MathFunc::Pow => nv_fast_exp2(b * nv_fast_log2(a)),
+        MathFunc::Sinh => {
+            let t = nv_fast_exp2(a * LOG2E_F32);
+            0.5 * t - 0.5 / t
+        }
+        MathFunc::Cosh => {
+            let t = nv_fast_exp2(a * LOG2E_F32);
+            0.5 * t + 0.5 / t
+        }
+        MathFunc::Tanh => {
+            let t = nv_fast_exp2(2.0 * a * LOG2E_F32);
+            (t - 1.0) / (t + 1.0)
+        }
+        _ => unreachable!("no NVIDIA fast variant for {func}"),
+    }
+}
+
+/// Dispatch an AMD-like fast intrinsic (`V_*_F32` semantics).
+pub fn amd_fast_f32(func: MathFunc, a: f32, _b: f32) -> f32 {
+    match func {
+        MathFunc::Sin => amd_fast_sincos(a, true),
+        MathFunc::Cos => amd_fast_sincos(a, false),
+        MathFunc::Tan => amd_fast_sincos(a, true) / amd_fast_sincos(a, false),
+        MathFunc::Exp => amd_fast_exp2(a * LOG2E_F32),
+        MathFunc::Exp2 => amd_fast_exp2(a),
+        MathFunc::Log => amd_fast_log2(a) * LN2_F32,
+        MathFunc::Log2 => amd_fast_log2(a),
+        MathFunc::Log10 => amd_fast_log2(a) * std::f32::consts::LOG10_2,
+        _ => unreachable!("no AMD fast variant for {func}"),
+    }
+}
+
+/// `__sinf`/`__cosf`: FP32 quadrant reduction + degree-5 polynomial. For
+/// huge arguments the reduction degrades gracefully into deterministic
+/// garbage (finite, roughly in [-1,1]) — the documented `__sinf` behaviour.
+fn nv_fast_sincos(x: f32, want_sin: bool) -> f32 {
+    if x.is_nan() || x.is_infinite() {
+        return f32::NAN;
+    }
+    let (r, quadrant) = if x.abs() >= 16_777_216.0 {
+        // beyond 2^24 the FP32 reduction has no valid bits: fall back to a
+        // crude fmod that yields deterministic garbage
+        (x % std::f32::consts::TAU, 0u32)
+    } else {
+        let q = (x * FRAC_2_PI_F32).round();
+        let r = (-q).mul_add(PI_2_HI, x);
+        let r = (-q).mul_add(PI_2_LO, r);
+        (r, (q as i32 & 3) as u32)
+    };
+    // select sin/cos kernel by quadrant
+    let use_sin_kernel = if want_sin {
+        quadrant % 2 == 0
+    } else {
+        quadrant % 2 == 1
+    };
+    let negate = if want_sin {
+        quadrant == 2 || quadrant == 3
+    } else {
+        quadrant == 1 || quadrant == 2
+    };
+    let z = r * r;
+    let v = if use_sin_kernel {
+        // sin r ~ r(1 - z/6 + z^2/120 - z^3/5040)
+        let p = (-1.951_529_6e-4f32)
+            .mul_add(z, 8.332_161e-3)
+            .mul_add(z, -1.666_665_5e-1)
+            .mul_add(z, 1.0);
+        r * p
+    } else {
+        // cos r ~ 1 - z/2 + z^2/24 - z^3/720
+        (-1.358_891_6e-3f32)
+            .mul_add(z, 4.166_389e-2)
+            .mul_add(z, -5.000_000e-1)
+            .mul_add(z, 1.0)
+    };
+    if negate {
+        -v
+    } else {
+        v
+    }
+}
+
+/// `__exp2f`: FP32 split + degree-4 polynomial, flush-to-zero underflow
+/// (no subnormal results), saturating overflow.
+fn nv_fast_exp2(t: f32) -> f32 {
+    if t.is_nan() {
+        return t;
+    }
+    if t > 128.0 {
+        return f32::INFINITY;
+    }
+    if t < -126.0 {
+        return 0.0; // FTZ: the fast intrinsic never produces subnormals
+    }
+    let k = t.round();
+    let r = t - k;
+    // 2^r = e^(r ln2): degree-5 Taylor in FP32
+    let w = r * LN2_F32;
+    let p = 8.333_334e-3f32
+        .mul_add(w, 4.166_666_8e-2)
+        .mul_add(w, 1.666_666_7e-1)
+        .mul_add(w, 5.0e-1)
+        .mul_add(w, 1.0)
+        .mul_add(w, 1.0);
+    ldexp_f32(p, k as i32)
+}
+
+/// `__log2f`: FP32 kernel. Subnormal inputs are flushed to zero first
+/// (DAZ), so they yield −Inf — where the AMD-like fast log normalizes and
+/// returns a finite value (an `Inf vs Num` discrepancy source).
+fn nv_fast_log2(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    if x.is_subnormal() || x == 0.0 {
+        return f32::NEG_INFINITY; // DAZ: subnormal treated as zero
+    }
+    if x < 0.0 {
+        return f32::NAN;
+    }
+    if x.is_infinite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let mut e = ((bits >> 23) & 0xff) as i32 - 127;
+    let mut m = f32::from_bits((bits & 0x007f_ffff) | (127u32 << 23));
+    if m > std::f32::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let s = (m - 1.0) / (m + 1.0);
+    let z = s * s;
+    // ln m = 2s(1 + z/3 + z^2/5 + z^3/7)
+    let p = 0.142_857_15f32
+        .mul_add(z, 0.2)
+        .mul_add(z, 0.333_333_34)
+        .mul_add(z, 1.0);
+    let lnm = 2.0 * s * p;
+    e as f32 + lnm * LOG2E_F32
+}
+
+/// `V_SIN_F32`/`V_COS_F32` semantics: scale by `1/2π`, take the FP32
+/// fractional part, evaluate the hardware sine on the fraction. For
+/// `|x| ≥ 2^24` the fract is exactly 0 ⇒ sin → 0, cos → 1.
+fn amd_fast_sincos(x: f32, want_sin: bool) -> f32 {
+    if x.is_nan() || x.is_infinite() {
+        return f32::NAN;
+    }
+    let scaled = x * (1.0 / std::f32::consts::TAU);
+    let f = scaled - scaled.floor(); // FP32 fract: loses everything for big x
+    let angle = (f as f64) * std::f64::consts::TAU;
+    let v = if want_sin { angle.sin() } else { angle.cos() };
+    v as f32
+}
+
+/// `V_EXP_F32` semantics: FP32 pre-scale, accurate hardware exp2 core,
+/// flush-to-zero on subnormal results.
+fn amd_fast_exp2(t: f32) -> f32 {
+    if t.is_nan() {
+        return t;
+    }
+    let r = (t as f64).exp2() as f32;
+    if r.is_subnormal() {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// `V_LOG_F32` semantics: hardware log2 core; subnormal inputs are
+/// normalized (unlike the NVIDIA-like DAZ path).
+fn amd_fast_log2(x: f32) -> f32 {
+    if x == 0.0 {
+        return f32::NEG_INFINITY;
+    }
+    if x < 0.0 {
+        return f32::NAN;
+    }
+    (x as f64).log2() as f32
+}
+
+/// Approximate reciprocal (`__frcp`-style, used when the NVIDIA-like
+/// compiler rewrites `a/b` into `a * rcp(b)` under fast math): ~22-bit
+/// accuracy, subnormal/zero inputs produce a signed infinity (FTZ).
+pub fn nv_rcp_f32(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    if x == 0.0 || x.is_subnormal() {
+        return if x.is_sign_negative() {
+            f32::NEG_INFINITY
+        } else {
+            f32::INFINITY
+        };
+    }
+    if x.is_infinite() {
+        return if x < 0.0 { -0.0 } else { 0.0 };
+    }
+    let r = (1.0 / (x as f64)) as f32;
+    // drop the last mantissa bit: the SFU approximation is not correctly
+    // rounded
+    f32::from_bits(r.to_bits() & !1)
+}
+
+#[cfg(test)]
+#[allow(clippy::approx_constant)] // 3.14159 is a test argument, not a PI stand-in
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nv_fast_sin_moderate_args_are_close() {
+        for &x in &[0.0f32, 0.5, 1.0, -2.2, 3.14159, 10.0, 100.0] {
+            let got = nv_fast_f32(MathFunc::Sin, x, 0.0);
+            let want = (x as f64).sin() as f32;
+            assert!(
+                (got - want).abs() < 2e-5 + want.abs() * 1e-4,
+                "__sinf({x}) = {got}, want ~{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn nv_fast_cos_moderate_args_are_close() {
+        for &x in &[0.0f32, 0.5, -1.0, 2.0, 6.0, 50.0] {
+            let got = nv_fast_f32(MathFunc::Cos, x, 0.0);
+            let want = (x as f64).cos() as f32;
+            assert!(
+                (got - want).abs() < 2e-5 + want.abs() * 1e-4,
+                "__cosf({x}) = {got}, want ~{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_sin_of_infinity_is_nan_on_both() {
+        assert!(nv_fast_f32(MathFunc::Sin, f32::INFINITY, 0.0).is_nan());
+        assert!(amd_fast_f32(MathFunc::Sin, f32::INFINITY, 0.0).is_nan());
+    }
+
+    #[test]
+    fn huge_arg_divergence_nv_garbage_vs_amd_zero() {
+        // the Num-vs-Zero mechanism: NV garbage finite, AMD exactly 0
+        let x = 1.0e30f32;
+        let nv = nv_fast_f32(MathFunc::Sin, x, 0.0);
+        let amd = amd_fast_f32(MathFunc::Sin, x, 0.0);
+        assert!(nv.is_finite());
+        assert_eq!(amd, 0.0, "V_SIN of huge arg returns 0");
+        assert_ne!(nv.to_bits(), amd.to_bits());
+        assert_eq!(amd_fast_f32(MathFunc::Cos, x, 0.0), 1.0);
+    }
+
+    #[test]
+    fn vendors_differ_by_ulps_on_ordinary_args() {
+        let mut diffs = 0;
+        let mut x = 0.1f32;
+        for _ in 0..100 {
+            let nv = nv_fast_f32(MathFunc::Exp, x, 0.0);
+            let amd = amd_fast_f32(MathFunc::Exp, x, 0.0);
+            if nv.to_bits() != amd.to_bits() {
+                diffs += 1;
+            }
+            // but never far apart on moderate args
+            assert!((nv - amd).abs() <= nv.abs() * 1e-5, "exp({x}): {nv} vs {amd}");
+            x += 0.37;
+        }
+        assert!(diffs > 10, "expected frequent ULP-level disagreement, got {diffs}");
+    }
+
+    #[test]
+    fn nv_fast_exp_flushes_underflow_to_zero() {
+        // exp(-100) is a normal f32 (~3.7e-44 is subnormal; e^-100≈3.72e-44)
+        let r = nv_fast_f32(MathFunc::Exp, -100.0, 0.0);
+        assert_eq!(r, 0.0, "fast exp must not produce subnormals, got {r:e}");
+        let accurate = ((-100.0f64).exp()) as f32;
+        assert!(accurate.is_subnormal()); // sanity: the accurate result is subnormal
+    }
+
+    #[test]
+    fn nv_fast_exp_overflow() {
+        assert_eq!(nv_fast_f32(MathFunc::Exp, 100.0, 0.0), f32::INFINITY);
+        assert!(nv_fast_f32(MathFunc::Exp, 88.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn log_subnormal_asymmetry() {
+        // NV fast log flushes subnormal input -> -Inf; AMD normalizes -> finite
+        let x = 1.0e-41f32;
+        assert!(x.is_subnormal());
+        let nv = nv_fast_f32(MathFunc::Log, x, 0.0);
+        let amd = amd_fast_f32(MathFunc::Log, x, 0.0);
+        assert_eq!(nv, f32::NEG_INFINITY);
+        assert!(amd.is_finite());
+        assert!((amd - (x as f64).ln() as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fast_log_negative_is_nan() {
+        assert!(nv_fast_f32(MathFunc::Log, -1.0, 0.0).is_nan());
+        assert!(amd_fast_f32(MathFunc::Log, -1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn nv_fast_pow_negative_base_is_nan() {
+        assert!(nv_fast_f32(MathFunc::Pow, -2.0, 2.0).is_nan());
+    }
+
+    #[test]
+    fn nv_fast_log2_accuracy() {
+        for &x in &[0.5f32, 1.0, 2.0, 7.3, 1e10, 1e-10] {
+            let got = nv_fast_log2(x);
+            let want = (x as f64).log2() as f32;
+            assert!((got - want).abs() < 1e-4 + want.abs() * 1e-5, "log2({x}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rcp_semantics() {
+        assert_eq!(nv_rcp_f32(0.0), f32::INFINITY);
+        assert_eq!(nv_rcp_f32(-0.0), f32::NEG_INFINITY);
+        assert_eq!(nv_rcp_f32(1e-41), f32::INFINITY); // subnormal flushed
+        assert_eq!(nv_rcp_f32(f32::INFINITY), 0.0);
+        assert!(nv_rcp_f32(f32::NAN).is_nan());
+        let r = nv_rcp_f32(3.0);
+        assert!((r - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_exp2_exact_integers() {
+        for e in [-10i32, 0, 1, 10, 100] {
+            assert_eq!(nv_fast_exp2(e as f32), 2f32.powi(e), "2^{e}");
+        }
+    }
+
+    #[test]
+    fn hyperbolic_fast_path_nv_only() {
+        let nv = nv_fast_f32(MathFunc::Cosh, 1.0, 0.0);
+        let want = 1f64.cosh() as f32;
+        assert!((nv - want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ldexp_f32_saturates() {
+        assert_eq!(ldexp_f32(1.0, 1000), f32::INFINITY);
+        assert_eq!(ldexp_f32(1.0, -1000), 0.0);
+        assert_eq!(ldexp_f32(1.5, 4), 24.0);
+    }
+}

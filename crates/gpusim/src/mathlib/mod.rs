@@ -1,0 +1,279 @@
+//! Vendor math libraries.
+//!
+//! [`MathFunc`] enumerates the C math library surface that the Varity-style
+//! generator may emit (paper Table III allows "functions from the C math
+//! library"). [`MathLib`] is the dispatch interface a device exposes; the
+//! NVIDIA-like implementation lives in [`nv`], the AMD-like one in [`amd`],
+//! and the hardware-approximation FP32 intrinsics used under fast math live
+//! in [`fast`]. [`shared`] holds the numerically careful kernels both
+//! vendors happen to agree on (correct argument reduction, exact `fmod`
+//! core) so that divergence is confined to the documented mechanisms.
+
+// polynomial coefficients are written at full precision on purpose — the
+// trailing digits document the exact rational value being approximated
+#[allow(clippy::excessive_precision)]
+pub mod amd;
+#[allow(clippy::excessive_precision)]
+pub mod fast;
+#[allow(clippy::excessive_precision)]
+pub mod nv;
+pub mod shared;
+#[allow(clippy::excessive_precision)]
+pub mod special;
+
+use serde::{Deserialize, Serialize};
+
+/// A function from the C math library callable from generated kernels.
+///
+/// The FP32 variants (`cosf`, `sqrtf`, …) are the same enum member; the
+/// precision is chosen by which `MathLib::call_*` entry point is used,
+/// mirroring how `cos` vs `cosf` select different library entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the names are the C math library names
+pub enum MathFunc {
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Sinh,
+    Cosh,
+    Tanh,
+    Exp,
+    Exp2,
+    Log,
+    Log2,
+    Log10,
+    Sqrt,
+    Cbrt,
+    Fabs,
+    Floor,
+    Ceil,
+    Trunc,
+    Fmod,
+    Pow,
+    Fmin,
+    Fmax,
+    Atan2,
+    Hypot,
+    Expm1,
+    Log1p,
+    Asinh,
+    Acosh,
+    Atanh,
+    Round,
+    Rint,
+    Rsqrt,
+    Erf,
+    Tgamma,
+}
+
+impl MathFunc {
+    /// Every function, in a stable order (used by benches and stats).
+    pub const ALL: [MathFunc; 36] = [
+        MathFunc::Sin,
+        MathFunc::Cos,
+        MathFunc::Tan,
+        MathFunc::Asin,
+        MathFunc::Acos,
+        MathFunc::Atan,
+        MathFunc::Sinh,
+        MathFunc::Cosh,
+        MathFunc::Tanh,
+        MathFunc::Exp,
+        MathFunc::Exp2,
+        MathFunc::Log,
+        MathFunc::Log2,
+        MathFunc::Log10,
+        MathFunc::Sqrt,
+        MathFunc::Cbrt,
+        MathFunc::Fabs,
+        MathFunc::Floor,
+        MathFunc::Ceil,
+        MathFunc::Trunc,
+        MathFunc::Fmod,
+        MathFunc::Pow,
+        MathFunc::Fmin,
+        MathFunc::Fmax,
+        MathFunc::Atan2,
+        MathFunc::Hypot,
+        MathFunc::Expm1,
+        MathFunc::Log1p,
+        MathFunc::Asinh,
+        MathFunc::Acosh,
+        MathFunc::Atanh,
+        MathFunc::Round,
+        MathFunc::Rint,
+        MathFunc::Rsqrt,
+        MathFunc::Erf,
+        MathFunc::Tgamma,
+    ];
+
+    /// Number of floating-point arguments (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            MathFunc::Fmod
+            | MathFunc::Pow
+            | MathFunc::Fmin
+            | MathFunc::Fmax
+            | MathFunc::Atan2
+            | MathFunc::Hypot => 2,
+            _ => 1,
+        }
+    }
+
+    /// C source name of the FP64 entry point.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            MathFunc::Sin => "sin",
+            MathFunc::Cos => "cos",
+            MathFunc::Tan => "tan",
+            MathFunc::Asin => "asin",
+            MathFunc::Acos => "acos",
+            MathFunc::Atan => "atan",
+            MathFunc::Sinh => "sinh",
+            MathFunc::Cosh => "cosh",
+            MathFunc::Tanh => "tanh",
+            MathFunc::Exp => "exp",
+            MathFunc::Exp2 => "exp2",
+            MathFunc::Log => "log",
+            MathFunc::Log2 => "log2",
+            MathFunc::Log10 => "log10",
+            MathFunc::Sqrt => "sqrt",
+            MathFunc::Cbrt => "cbrt",
+            MathFunc::Fabs => "fabs",
+            MathFunc::Floor => "floor",
+            MathFunc::Ceil => "ceil",
+            MathFunc::Trunc => "trunc",
+            MathFunc::Fmod => "fmod",
+            MathFunc::Pow => "pow",
+            MathFunc::Fmin => "fmin",
+            MathFunc::Fmax => "fmax",
+            MathFunc::Atan2 => "atan2",
+            MathFunc::Hypot => "hypot",
+            MathFunc::Expm1 => "expm1",
+            MathFunc::Log1p => "log1p",
+            MathFunc::Asinh => "asinh",
+            MathFunc::Acosh => "acosh",
+            MathFunc::Atanh => "atanh",
+            MathFunc::Round => "round",
+            MathFunc::Rint => "rint",
+            MathFunc::Rsqrt => "rsqrt",
+            MathFunc::Erf => "erf",
+            MathFunc::Tgamma => "tgamma",
+        }
+    }
+
+    /// C source name of the FP32 entry point (`cosf`, `sqrtf`, …).
+    pub fn c_name_f32(self) -> String {
+        format!("{}f", self.c_name())
+    }
+
+    /// Parse a C math function name, accepting both the FP64 name and the
+    /// `f`-suffixed FP32 name.
+    pub fn from_c_name(name: &str) -> Option<MathFunc> {
+        let base = name.strip_suffix('f').filter(|b| {
+            // "fabsf" -> "fabs", but plain "fabs" must not become "fab"
+            MathFunc::ALL.iter().any(|m| m.c_name() == *b)
+        });
+        let name = base.unwrap_or(name);
+        MathFunc::ALL.into_iter().find(|m| m.c_name() == name)
+    }
+
+    /// True if the fast-math compilers replace this call with a
+    /// hardware-approximation FP32 intrinsic (`__sinf` etc.).
+    pub fn has_fast_f32_variant(self) -> bool {
+        matches!(
+            self,
+            MathFunc::Sin
+                | MathFunc::Cos
+                | MathFunc::Tan
+                | MathFunc::Exp
+                | MathFunc::Exp2
+                | MathFunc::Log
+                | MathFunc::Log2
+                | MathFunc::Log10
+                | MathFunc::Pow
+                | MathFunc::Sinh
+                | MathFunc::Cosh
+                | MathFunc::Tanh
+        )
+    }
+}
+
+impl std::fmt::Display for MathFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+/// A device math library: the set of entry points generated kernels link
+/// against. `a` is the first argument; `b` is ignored for unary functions.
+pub trait MathLib: Send + Sync {
+    /// Short vendor name for reports ("libdevice-sim" / "ocml-sim").
+    fn name(&self) -> &'static str;
+
+    /// Accurate FP64 entry point (`sin`, `fmod`, …).
+    fn call_f64(&self, func: MathFunc, a: f64, b: f64) -> f64;
+
+    /// Accurate FP32 entry point (`sinf`, `fmodf`, …).
+    fn call_f32(&self, func: MathFunc, a: f32, b: f32) -> f32;
+
+    /// FP64 under fast math. Neither vendor ships approximate FP64
+    /// hardware intrinsics, so this defaults to the accurate path; vendors
+    /// may override specific functions (e.g. `pow` via `exp2(y*log2 x)`).
+    fn call_fast_f64(&self, func: MathFunc, a: f64, b: f64) -> f64 {
+        self.call_f64(func, a, b)
+    }
+
+    /// FP32 under fast math: hardware-approximation intrinsics
+    /// (`__sinf`-style) where they exist, accurate path otherwise.
+    fn call_fast_f32(&self, func: MathFunc, a: f32, b: f32) -> f32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_is_one_or_two() {
+        for f in MathFunc::ALL {
+            assert!(matches!(f.arity(), 1 | 2), "{f}");
+        }
+        assert_eq!(MathFunc::Fmod.arity(), 2);
+        assert_eq!(MathFunc::Cos.arity(), 1);
+    }
+
+    #[test]
+    fn c_name_roundtrip() {
+        for f in MathFunc::ALL {
+            assert_eq!(MathFunc::from_c_name(f.c_name()), Some(f), "{f}");
+            assert_eq!(MathFunc::from_c_name(&f.c_name_f32()), Some(f), "{f}f");
+        }
+    }
+
+    #[test]
+    fn fabs_suffix_is_not_misparsed() {
+        // "fabs" ends in no suffix; "fabsf" strips to "fabs"
+        assert_eq!(MathFunc::from_c_name("fabs"), Some(MathFunc::Fabs));
+        assert_eq!(MathFunc::from_c_name("fabsf"), Some(MathFunc::Fabs));
+        assert_eq!(MathFunc::from_c_name("fab"), None);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert_eq!(MathFunc::from_c_name("sinh2"), None);
+        assert_eq!(MathFunc::from_c_name(""), None);
+        assert_eq!(MathFunc::from_c_name("printf"), None);
+    }
+
+    #[test]
+    fn fast_variant_set_matches_vendor_docs() {
+        assert!(MathFunc::Sin.has_fast_f32_variant());
+        assert!(MathFunc::Pow.has_fast_f32_variant());
+        assert!(!MathFunc::Sqrt.has_fast_f32_variant()); // sqrt is a HW op
+        assert!(!MathFunc::Fabs.has_fast_f32_variant());
+        assert!(!MathFunc::Fmod.has_fast_f32_variant());
+    }
+}

@@ -1,0 +1,540 @@
+//! Numerical kernels shared by (or contrasted between) the vendor
+//! libraries.
+//!
+//! The two `fmod` algorithms here are the heart of the paper's case study 1
+//! (Fig. 4):
+//!
+//! * [`fmod_exact_f64`] — the classic bit-level long-division remainder
+//!   (the algorithm behind NVIDIA's SASS/PTX "floating-point arithmetic and
+//!   bitwise manipulation" implementation the paper describes). It is exact
+//!   for every input.
+//! * [`fmod_chunked_f64`] — a floating-point chunked remainder in the style
+//!   of a `__ocml_fmod_f64` software path: repeatedly subtract
+//!   `trunc(x/d)·d` for scaled divisors `d`. A single *fused* pass keeps it
+//!   **exact whenever the operand exponents differ by ≤ 52**; beyond that
+//!   the software path switches to unfused ~30-bit chunks whose roundings
+//!   decorrelate the low bits — so the two algorithms agree on all mundane
+//!   operand ratios and genuinely diverge for the extreme ratios that
+//!   Varity-style inputs produce (the paper's failing input has
+//!   `x/y ≈ 1e596`).
+
+use fpcore::bits;
+
+/// Exact `fmod` for binary64 via bit-level long division (musl-style).
+///
+/// ```
+/// use gpusim::mathlib::shared::{fmod_exact_f64, fmod_chunked_f64};
+///
+/// // mundane operand ratios: the two vendor algorithms agree exactly
+/// assert_eq!(fmod_exact_f64(5.5, 2.0), fmod_chunked_f64(5.5, 2.0));
+///
+/// // the paper's Fig. 4 operands (ratio ~1e596): they genuinely diverge
+/// let (x, y) = (1.5917195493481116e289, 1.5793e-307);
+/// assert_ne!(
+///     fmod_exact_f64(x, y).to_bits(),
+///     fmod_chunked_f64(x, y).to_bits(),
+/// );
+/// ```
+#[allow(clippy::eq_op)] // (x*y)/(x*y) is the deliberate NaN-propagation idiom
+pub fn fmod_exact_f64(x: f64, y: f64) -> f64 {
+    let mut uxi = x.to_bits();
+    let mut uyi = y.to_bits();
+    let mut ex = ((uxi >> 52) & 0x7ff) as i32;
+    let mut ey = ((uyi >> 52) & 0x7ff) as i32;
+    let sx = uxi & bits::F64_SIGN_MASK;
+
+    // domain errors / trivial cases
+    if uyi << 1 == 0 || y.is_nan() || ex == 0x7ff {
+        return (x * y) / (x * y); // NaN with the usual propagation
+    }
+    if uxi << 1 <= uyi << 1 {
+        if uxi << 1 == uyi << 1 {
+            return 0.0 * x; // signed zero matching x
+        }
+        return x;
+    }
+
+    // normalize significands
+    if ex == 0 {
+        let mut i = uxi << 12;
+        while i >> 63 == 0 {
+            ex -= 1;
+            i <<= 1;
+        }
+        uxi <<= (-ex + 1) as u32;
+    } else {
+        uxi &= u64::MAX >> 12;
+        uxi |= 1u64 << 52;
+    }
+    if ey == 0 {
+        let mut i = uyi << 12;
+        while i >> 63 == 0 {
+            ey -= 1;
+            i <<= 1;
+        }
+        uyi <<= (-ey + 1) as u32;
+    } else {
+        uyi &= u64::MAX >> 12;
+        uyi |= 1u64 << 52;
+    }
+
+    // x mod y, one bit at a time
+    while ex > ey {
+        let i = uxi.wrapping_sub(uyi);
+        if i >> 63 == 0 {
+            if i == 0 {
+                return 0.0 * x;
+            }
+            uxi = i;
+        }
+        uxi <<= 1;
+        ex -= 1;
+    }
+    let i = uxi.wrapping_sub(uyi);
+    if i >> 63 == 0 {
+        if i == 0 {
+            return 0.0 * x;
+        }
+        uxi = i;
+    }
+    while uxi >> 52 == 0 {
+        uxi <<= 1;
+        ex -= 1;
+    }
+
+    // reassemble
+    if ex > 0 {
+        uxi -= 1u64 << 52;
+        uxi |= (ex as u64) << 52;
+    } else {
+        uxi >>= (-ex + 1) as u32;
+    }
+    f64::from_bits(uxi | sx)
+}
+
+/// Exact `fmodf` for binary32 via bit-level long division.
+#[allow(clippy::eq_op)]
+pub fn fmod_exact_f32(x: f32, y: f32) -> f32 {
+    let mut uxi = x.to_bits();
+    let mut uyi = y.to_bits();
+    let mut ex = ((uxi >> 23) & 0xff) as i32;
+    let mut ey = ((uyi >> 23) & 0xff) as i32;
+    let sx = uxi & bits::F32_SIGN_MASK;
+
+    if uyi << 1 == 0 || y.is_nan() || ex == 0xff {
+        return (x * y) / (x * y);
+    }
+    if uxi << 1 <= uyi << 1 {
+        if uxi << 1 == uyi << 1 {
+            return 0.0 * x;
+        }
+        return x;
+    }
+
+    if ex == 0 {
+        let mut i = uxi << 9;
+        while i >> 31 == 0 {
+            ex -= 1;
+            i <<= 1;
+        }
+        uxi <<= (-ex + 1) as u32;
+    } else {
+        uxi &= u32::MAX >> 9;
+        uxi |= 1u32 << 23;
+    }
+    if ey == 0 {
+        let mut i = uyi << 9;
+        while i >> 31 == 0 {
+            ey -= 1;
+            i <<= 1;
+        }
+        uyi <<= (-ey + 1) as u32;
+    } else {
+        uyi &= u32::MAX >> 9;
+        uyi |= 1u32 << 23;
+    }
+
+    while ex > ey {
+        let i = uxi.wrapping_sub(uyi);
+        if i >> 31 == 0 {
+            if i == 0 {
+                return 0.0 * x;
+            }
+            uxi = i;
+        }
+        uxi <<= 1;
+        ex -= 1;
+    }
+    let i = uxi.wrapping_sub(uyi);
+    if i >> 31 == 0 {
+        if i == 0 {
+            return 0.0 * x;
+        }
+        uxi = i;
+    }
+    while uxi >> 23 == 0 {
+        uxi <<= 1;
+        ex -= 1;
+    }
+
+    if ex > 0 {
+        uxi -= 1u32 << 23;
+        uxi |= (ex as u32) << 23;
+    } else {
+        uxi >>= (-ex + 1) as u32;
+    }
+    f32::from_bits(uxi | sx)
+}
+
+/// Chunked floating-point `fmod` for binary64 (OCML-software-path style).
+///
+/// For `|x/y| < 2^53` a single fused pass computes the exact remainder, so
+/// the result agrees bit-for-bit with [`fmod_exact_f64`]. Beyond that the
+/// software path reduces the quotient in ~52-bit chunks with an *unfused*
+/// `r − q·d` update: the product rounds once and the subtraction rounds
+/// again, so the low bits of the remainder drift away from the exact result
+/// — the divergence mechanism of the paper's Fig. 4, which fires only for
+/// extreme operand ratios (the paper's failing input has `x/y ≈ 1e596`).
+#[allow(clippy::eq_op)]
+pub fn fmod_chunked_f64(x: f64, y: f64) -> f64 {
+    if x.is_nan() || y.is_nan() || x.is_infinite() || y == 0.0 {
+        return (x * y) / (x * y);
+    }
+    if y.is_infinite() || x == 0.0 {
+        return x;
+    }
+    let ax = x.abs();
+    let ay = y.abs();
+    if ax < ay {
+        return x;
+    }
+    let mut r = ax;
+    if bits::exponent_f64(r) - bits::exponent_f64(ay) <= 52 {
+        // fast path: quotient fits one chunk; the fused update is exact
+        while r >= ay {
+            let q = (r / ay).trunc();
+            r = (-q).mul_add(ay, r);
+            if r < 0.0 {
+                r += ay;
+            }
+        }
+        return bits::copysign_bits_f64(r, x);
+    }
+    // big-ratio software path: unfused ~30-bit chunk updates. `q*d` and
+    // the subtraction each round once, so every chunk injects ~2^-22
+    // relative error into the running remainder — after tens of chunks the
+    // low bits are fully decorrelated from the exact remainder (while the
+    // magnitude stays a valid remainder in [0, ay)).
+    while r >= ay {
+        let e = bits::exponent_f64(r) - bits::exponent_f64(ay);
+        let d = if e > 30 { ldexp_f64(ay, e - 30) } else { ay };
+        let q = (r / d).trunc();
+        r -= q * d; // two roundings: the drift source
+        if r < 0.0 {
+            r += d;
+        }
+        if q == 0.0 && d == ay {
+            break; // defensive: cannot loop forever
+        }
+    }
+    // rounding may leave a residue just above ay; clamp into range
+    if r >= ay {
+        r -= ay * (r / ay).trunc();
+        if r < 0.0 {
+            r += ay;
+        }
+    }
+    bits::copysign_bits_f64(r.abs().min(ay), x)
+}
+
+/// Chunked floating-point `fmodf` for binary32: exact (fused single pass)
+/// when `|x/y| < 2^24`, lossy unfused chunks beyond.
+#[allow(clippy::eq_op)]
+pub fn fmod_chunked_f32(x: f32, y: f32) -> f32 {
+    if x.is_nan() || y.is_nan() || x.is_infinite() || y == 0.0 {
+        return (x * y) / (x * y);
+    }
+    if y.is_infinite() || x == 0.0 {
+        return x;
+    }
+    let ax = x.abs();
+    let ay = y.abs();
+    if ax < ay {
+        return x;
+    }
+    let mut r = ax;
+    if bits::exponent_f32(r) - bits::exponent_f32(ay) <= 23 {
+        while r >= ay {
+            let q = (r / ay).trunc();
+            r = (-q).mul_add(ay, r);
+            if r < 0.0 {
+                r += ay;
+            }
+        }
+        return bits::copysign_bits_f32(r, x);
+    }
+    while r >= ay {
+        let e = bits::exponent_f32(r) - bits::exponent_f32(ay);
+        let d = if e > 12 { ldexp_f32(ay, e - 12) } else { ay };
+        let q = (r / d).trunc();
+        r -= q * d;
+        if r < 0.0 {
+            r += d;
+        }
+        if q == 0.0 && d == ay {
+            break;
+        }
+    }
+    if r >= ay {
+        r -= ay * (r / ay).trunc();
+        if r < 0.0 {
+            r += ay;
+        }
+    }
+    bits::copysign_bits_f32(r.abs().min(ay), x)
+}
+
+/// Scale `x` by `2^n` with correct saturation and gradual underflow,
+/// multiplying in clamped chunks (ldexp).
+pub fn ldexp_f64(x: f64, n: i32) -> f64 {
+    let mut x = x;
+    let mut n = n;
+    while n > 1000 {
+        x *= bits::exp2i_f64(1000);
+        n -= 1000;
+        if !x.is_finite() {
+            return x;
+        }
+    }
+    while n < -1000 {
+        x *= bits::exp2i_f64(-1000);
+        n += 1000;
+        if x == 0.0 {
+            return x;
+        }
+    }
+    x * bits::exp2i_f64(n)
+}
+
+/// Scale an `f32` by `2^n` with saturation (ldexpf).
+pub fn ldexp_f32(x: f32, n: i32) -> f32 {
+    let mut x = x;
+    let mut n = n;
+    while n > 120 {
+        x *= bits::exp2i_f32(120);
+        n -= 120;
+        if !x.is_finite() {
+            return x;
+        }
+    }
+    while n < -120 {
+        x *= bits::exp2i_f32(-120);
+        n += 120;
+        if x == 0.0 {
+            return x;
+        }
+    }
+    x * bits::exp2i_f32(n)
+}
+
+/// Horner polynomial evaluation with fused multiply-adds (the scheme the
+/// NVIDIA-like kernels use; FMA-capable hardware contracts every step).
+#[inline]
+pub fn horner_fma(x: f64, coeffs: &[f64]) -> f64 {
+    let mut acc = coeffs[0];
+    for &c in &coeffs[1..] {
+        acc = acc.mul_add(x, c);
+    }
+    acc
+}
+
+/// Horner polynomial evaluation with separate multiply and add roundings
+/// (the scheme contrasted against [`horner_fma`] in ablation benches).
+#[inline]
+pub fn horner_mul_add(x: f64, coeffs: &[f64]) -> f64 {
+    let mut acc = coeffs[0];
+    for &c in &coeffs[1..] {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fmod_matches_rust_rem_f64() {
+        let cases = [
+            (5.5, 2.0),
+            (-5.5, 2.0),
+            (5.5, -2.0),
+            (1e300, 3.7),
+            (1e-300, 7.1e-301),
+            (1.5917195493481116e289, 1.5793e-307),
+            (0.1, 0.03),
+            (f64::MIN_POSITIVE, 1e-310),
+            (1e-310, 3e-312),
+        ];
+        for &(x, y) in &cases {
+            let got = fmod_exact_f64(x, y);
+            let want = x % y; // Rust's % on floats is libm fmod (exact)
+            assert_eq!(got.to_bits(), want.to_bits(), "fmod({x},{y})");
+        }
+    }
+
+    #[test]
+    fn exact_fmod_matches_rust_rem_f32() {
+        let cases: [(f32, f32); 6] = [
+            (5.5, 2.0),
+            (-7.25, 0.5),
+            (3.0e38, 1.7),
+            (1e-38, 3e-39),
+            (1e-44, 3e-45),
+            (123456.78, 0.001),
+        ];
+        for &(x, y) in &cases {
+            let got = fmod_exact_f32(x, y);
+            let want = x % y;
+            assert_eq!(got.to_bits(), want.to_bits(), "fmodf({x},{y})");
+        }
+    }
+
+    #[test]
+    fn exact_fmod_special_cases() {
+        assert!(fmod_exact_f64(1.0, 0.0).is_nan());
+        assert!(fmod_exact_f64(f64::INFINITY, 2.0).is_nan());
+        assert!(fmod_exact_f64(f64::NAN, 2.0).is_nan());
+        assert!(fmod_exact_f64(1.0, f64::NAN).is_nan());
+        assert_eq!(fmod_exact_f64(3.0, f64::INFINITY), 3.0);
+        assert_eq!(fmod_exact_f64(0.0, 2.0), 0.0);
+        assert!(fmod_exact_f64(-0.0, 2.0).is_sign_negative());
+        // |x| == |y| -> signed zero of x
+        assert_eq!(fmod_exact_f64(2.0, -2.0), 0.0);
+        assert!(!fmod_exact_f64(2.0, -2.0).is_sign_negative());
+    }
+
+    #[test]
+    fn chunked_fmod_agrees_below_2_53_ratio() {
+        let cases = [
+            (5.5, 2.0),
+            (-5.5, 2.0),
+            (1e10, 3.7),
+            (1e15, 7.0),
+            (8.123e15, 3.001e0),
+            (6.7e5, 1.3e-8),
+            (1.0, 3e-16),
+        ];
+        for &(x, y) in &cases {
+            let exact = fmod_exact_f64(x, y);
+            let chunked = fmod_chunked_f64(x, y);
+            assert_eq!(
+                exact.to_bits(),
+                chunked.to_bits(),
+                "fmod({x},{y}): exact={exact} chunked={chunked}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_fmod_diverges_for_extreme_ratio() {
+        // the paper's Fig. 4 operands: ratio ~ 1e596
+        let x = 1.5917195493481116e289;
+        let y = 1.5793e-307;
+        let exact = fmod_exact_f64(x, y);
+        let chunked = fmod_chunked_f64(x, y);
+        assert!(exact.is_finite() && chunked.is_finite());
+        assert!(exact >= 0.0 && exact < y);
+        assert!(chunked >= 0.0 && chunked < y * 1.0000001);
+        assert_ne!(
+            exact.to_bits(),
+            chunked.to_bits(),
+            "expected divergence for extreme ratio"
+        );
+    }
+
+    #[test]
+    fn chunked_fmod_result_is_a_valid_remainder_range() {
+        let cases = [
+            (1e300, 1e-300),
+            (1.5917195493481116e289, 1.5793e-307),
+            (-1e280, 2.5e-200),
+        ];
+        for &(x, y) in &cases {
+            let r = fmod_chunked_f64(x, y);
+            assert!(r.abs() <= y.abs(), "fmod({x},{y}) = {r}");
+            assert_eq!(r.is_sign_negative(), x.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn chunked_fmod_special_cases_match_exact() {
+        assert!(fmod_chunked_f64(1.0, 0.0).is_nan());
+        assert!(fmod_chunked_f64(f64::INFINITY, 2.0).is_nan());
+        assert_eq!(fmod_chunked_f64(3.0, f64::INFINITY), 3.0);
+        assert_eq!(fmod_chunked_f64(0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn chunked_f32_agrees_below_2_24_ratio() {
+        let cases: [(f32, f32); 4] = [(5.5, 2.0), (1e6, 3.7), (16777000.0, 3.0), (-9.9e5, 7.3)];
+        for &(x, y) in &cases {
+            assert_eq!(
+                fmod_chunked_f32(x, y).to_bits(),
+                fmod_exact_f32(x, y).to_bits(),
+                "fmodf({x},{y})"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_f32_diverges_for_extreme_ratio() {
+        let x = 3.0e38f32;
+        let y = 1.1e-38f32;
+        let exact = fmod_exact_f32(x, y);
+        let chunked = fmod_chunked_f32(x, y);
+        assert_ne!(exact.to_bits(), chunked.to_bits());
+    }
+
+    #[test]
+    fn horner_schemes_agree_on_exact_polys() {
+        // integer coefficients, small x: both exact
+        let coeffs = [1.0, -2.0, 3.0];
+        assert_eq!(horner_fma(2.0, &coeffs), horner_mul_add(2.0, &coeffs));
+        assert_eq!(horner_fma(2.0, &coeffs), 1.0 * 4.0 - 2.0 * 2.0 + 3.0);
+    }
+
+    #[test]
+    fn horner_schemes_differ_in_last_ulp_sometimes() {
+        // coefficients chosen so the fused and unfused paths round differently
+        let coeffs = [0.1, 0.2, 0.3, 0.4];
+        let mut any_diff = false;
+        let mut x = 0.05;
+        for _ in 0..200 {
+            if horner_fma(x, &coeffs) != horner_mul_add(x, &coeffs) {
+                any_diff = true;
+                break;
+            }
+            x += 0.013;
+        }
+        assert!(any_diff, "expected at least one rounding difference");
+    }
+
+    #[test]
+    fn exact_fmod_brute_force_cross_check() {
+        // dense small-value sweep against Rust's %
+        let mut x = -10.0f64;
+        while x < 10.0 {
+            let mut y = 0.25f64;
+            while y < 3.0 {
+                assert_eq!(
+                    fmod_exact_f64(x, y).to_bits(),
+                    (x % y).to_bits(),
+                    "fmod({x},{y})"
+                );
+                y += 0.37;
+            }
+            x += 0.73;
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Special functions absent from the host libm (`erf`, `tgamma`) and the
+//! cancellation-aware kernels (`expm1`, `log1p`, inverse hyperbolics,
+//! `rsqrt`), each in two vendor flavours.
+//!
+//! Unlike the functions in [`super::nv`], *both* vendor variants here are
+//! written from scratch (Rust's `std` has no `erf`/`tgamma`), so the
+//! divergence between them is entirely under this module's control:
+//!
+//! * `erf` — both use a Taylor series near zero and the Gauss continued
+//!   fraction for the tail, but they switch representations at different
+//!   thresholds (1.75 vs 2.25) and run the continued fraction to different
+//!   depths: last-ULP disagreement in the overlap regions.
+//! * `tgamma` — both use the same Lanczos(g=7) data; the NVIDIA-like
+//!   variant accumulates the partial fractions with FMA, the AMD-like one
+//!   with separate multiply/add roundings.
+//! * `rsqrt` — `1/sqrt(x)` (NVIDIA-like) vs `sqrt(1/x)` (AMD-like): both
+//!   are two correctly rounded operations, composed in different orders.
+
+use super::shared::horner_fma;
+
+const SQRT_PI: f64 = 1.772_453_850_905_516;
+
+/// Taylor series of erf around 0: `2/√π · Σ (-1)^n x^(2n+1) / (n!(2n+1))`.
+/// Accurate to double precision for `|x| ≤ ~2.5` with enough terms.
+fn erf_taylor(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x; // x^(2n+1)/n!
+    let mut sum = x;
+    for n in 1..60 {
+        term *= -x2 / n as f64;
+        let contrib = term / (2 * n + 1) as f64;
+        sum += contrib;
+        if contrib.abs() < sum.abs() * 1e-18 {
+            break;
+        }
+    }
+    2.0 / SQRT_PI * sum
+}
+
+/// Gauss continued fraction for erfc, valid for `x ≥ 1`:
+/// `erfc(x) = e^{-x²}/√π · 1/(x + ½/(x + 1/(x + 3⁄2/(x + …))))`.
+/// Evaluated bottom-up with `depth` levels.
+fn erfc_cf(x: f64, depth: u32) -> f64 {
+    let mut f = 0.0;
+    for k in (1..=depth).rev() {
+        f = (k as f64 / 2.0) / (x + f);
+    }
+    (-x * x).exp() / SQRT_PI / (x + f)
+}
+
+/// NVIDIA-like erf: Taylor below 1.75, continued fraction (depth 60) above.
+pub fn erf_nv(x: f64) -> f64 {
+    erf_impl(x, 1.75, 60)
+}
+
+/// AMD-like erf: Taylor below 2.25, continued fraction (depth 40) above.
+pub fn erf_amd(x: f64) -> f64 {
+    erf_impl(x, 2.25, 40)
+}
+
+fn erf_impl(x: f64, split: f64, cf_depth: u32) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    let ax = x.abs();
+    let mag = if ax <= split {
+        erf_taylor(ax)
+    } else if ax > 6.5 {
+        1.0 // erfc < 1e-19: rounds to 1
+    } else {
+        1.0 - erfc_cf(ax, cf_depth)
+    };
+    if x < 0.0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Lanczos g=7, n=9 coefficients (Boost/GSL-standard values).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// tgamma via Lanczos; `fused` selects FMA vs unfused accumulation of the
+/// partial-fraction series (the vendor contrast).
+fn tgamma_impl(x: f64, fused: bool) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    if x == 0.0 {
+        // Γ(±0) = ±Inf
+        return if x.is_sign_negative() { f64::NEG_INFINITY } else { f64::INFINITY };
+    }
+    if x < 0.0 && x.fract() == 0.0 {
+        return f64::NAN; // poles at negative integers
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { x } else { f64::NAN };
+    }
+    if x < 0.5 {
+        // reflection: Γ(x) Γ(1−x) = π / sin(πx)
+        let s = (std::f64::consts::PI * x).sin();
+        return std::f64::consts::PI / (s * tgamma_impl(1.0 - x, fused));
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        let denom = x + i as f64;
+        if fused {
+            // acc = acc + c/denom with one fused step on the reciprocal
+            acc = c.mul_add(1.0 / denom, acc);
+        } else {
+            acc += c / denom;
+        }
+    }
+    let t = x + LANCZOS_G + 0.5;
+    (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * acc
+}
+
+/// NVIDIA-like tgamma (fused accumulation).
+pub fn tgamma_nv(x: f64) -> f64 {
+    tgamma_impl(x, true)
+}
+
+/// AMD-like tgamma (unfused accumulation).
+pub fn tgamma_amd(x: f64) -> f64 {
+    tgamma_impl(x, false)
+}
+
+/// NVIDIA-like expm1: Taylor kernel below 0.5, `exp(x) − 1` above
+/// (using the vendor's own exp).
+pub fn expm1_nv(x: f64) -> f64 {
+    if x.is_nan() || x == 0.0 {
+        return x;
+    }
+    if x.abs() < 0.5 {
+        // x(1 + x/2! + x²/3! + …) to x¹⁴: cancellation-free, truncation
+        // below an ULP at |x| = 0.5
+        const C: [f64; 14] = [
+            1.147_074_559_772_972_5e-11, // 1/14!
+            1.605_904_383_682_161_5e-10, // 1/13!
+            2.087_675_698_786_810e-9,    // 1/12!
+            2.505_210_838_544_172e-8,    // 1/11!
+            2.755_731_922_398_589e-7,    // 1/10!
+            2.755_731_922_398_589e-6,    // 1/9!
+            2.480_158_730_158_730e-5,    // 1/8!
+            1.984_126_984_126_984e-4,    // 1/7!
+            1.388_888_888_888_889e-3,    // 1/6!
+            8.333_333_333_333_333e-3,    // 1/5!
+            4.166_666_666_666_666e-2,    // 1/4!
+            1.666_666_666_666_666_6e-1,  // 1/3!
+            5.0e-1,                      // 1/2!
+            1.0,
+        ];
+        x * horner_fma(x, &C)
+    } else {
+        super::nv::nv_exp(x) - 1.0
+    }
+}
+
+/// NVIDIA-like log1p: `log(w) + (x − (w−1))/w` correction with the
+/// vendor's own log.
+pub fn log1p_nv(x: f64) -> f64 {
+    if x.is_nan() || x == 0.0 {
+        return x;
+    }
+    if x <= -1.0 {
+        return if x == -1.0 { f64::NEG_INFINITY } else { f64::NAN };
+    }
+    let w = 1.0 + x;
+    let correction = if w.is_finite() && w > 0.0 { (x - (w - 1.0)) / w } else { 0.0 };
+    super::nv::nv_log(w) + correction
+}
+
+/// NVIDIA-like asinh: the cancellation-free `log1p` form
+/// `log1p(x + x²/(1 + √(x²+1)))`, with the large-argument form `ln(2x)`
+/// to dodge the overflow of `x²`.
+pub fn asinh_nv(x: f64) -> f64 {
+    if x.is_nan() || x == 0.0 || x.is_infinite() {
+        return x;
+    }
+    let ax = x.abs();
+    let mag = if ax > 1e154 {
+        super::nv::nv_log(ax) + std::f64::consts::LN_2
+    } else {
+        let t = ax * ax;
+        log1p_nv(ax + t / (1.0 + (t + 1.0).sqrt()))
+    };
+    if x < 0.0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// NVIDIA-like acosh: `ln(x + √(x²−1))` via the vendor log.
+pub fn acosh_nv(x: f64) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    if x < 1.0 {
+        return f64::NAN;
+    }
+    if x > 1e154 {
+        return super::nv::nv_log(x) + std::f64::consts::LN_2;
+    }
+    super::nv::nv_log(x + (x * x - 1.0).sqrt())
+}
+
+/// NVIDIA-like atanh: `½ ln((1+x)/(1−x))` via the vendor log.
+pub fn atanh_nv(x: f64) -> f64 {
+    if x.is_nan() || x == 0.0 {
+        return x;
+    }
+    if x.abs() > 1.0 {
+        return f64::NAN;
+    }
+    if x.abs() == 1.0 {
+        return if x > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+    }
+    // cancellation-free: ½ ln((1+x)/(1−x)) = ½ log1p(2x/(1−x)),
+    // evaluated on |x| so the function is structurally odd (the rational
+    // argument is not symmetric under x → −x)
+    let ax = x.abs();
+    let mag = 0.5 * log1p_nv(2.0 * ax / (1.0 - ax));
+    if x < 0.0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// NVIDIA-like rsqrt: `1 / √x` (two correctly rounded ops in this order).
+pub fn rsqrt_nv(x: f64) -> f64 {
+    1.0 / x.sqrt()
+}
+
+/// AMD-like rsqrt: `√(1/x)` — the opposite composition order, which
+/// rounds differently for many arguments.
+pub fn rsqrt_amd(x: f64) -> f64 {
+    (1.0 / x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::ulp::ulp_diff_f64;
+
+    /// High-precision reference erf values (Mathematica/mpmath, 20 digits).
+    const ERF_REF: &[(f64, f64)] = &[
+        (0.1, 0.112_462_916_018_284_89),
+        (0.5, 0.520_499_877_813_046_5),
+        (1.0, 0.842_700_792_949_714_9),
+        (1.5, 0.966_105_146_475_310_7),
+        (2.0, 0.995_322_265_018_952_7),
+        (3.0, 0.999_977_909_503_001_4),
+        (4.0, 0.999_999_984_582_742_1),
+    ];
+
+    #[test]
+    fn erf_matches_reference_within_4_ulp_both_vendors() {
+        for &(x, want) in ERF_REF {
+            for (name, f) in [("nv", erf_nv as fn(f64) -> f64), ("amd", erf_amd)] {
+                let got = f(x);
+                let d = ulp_diff_f64(got, want).unwrap();
+                assert!(d <= 4, "{name} erf({x}) = {got}, want {want} ({d} ulp)");
+            }
+        }
+    }
+
+    #[test]
+    fn erf_special_values() {
+        for f in [erf_nv, erf_amd] {
+            assert_eq!(f(0.0), 0.0);
+            assert_eq!(f(f64::INFINITY), 1.0);
+            assert_eq!(f(f64::NEG_INFINITY), -1.0);
+            assert!(f(f64::NAN).is_nan());
+            assert_eq!(f(-1.0), -f(1.0)); // odd
+            assert_eq!(f(10.0), 1.0); // saturates
+        }
+    }
+
+    #[test]
+    fn erf_vendors_diverge_in_the_overlap_region() {
+        // between the split points (1.75, 2.25) one vendor uses Taylor and
+        // the other the continued fraction
+        let mut diffs = 0;
+        let mut x = 1.76;
+        while x < 2.24 {
+            if erf_nv(x).to_bits() != erf_amd(x).to_bits() {
+                diffs += 1;
+            }
+            x += 0.01;
+        }
+        assert!(diffs > 0, "expected last-ULP disagreement between vendors");
+    }
+
+    #[test]
+    fn tgamma_matches_known_values() {
+        // Γ(n) = (n-1)! — exact integers up to rounding of the Lanczos form
+        let facts = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (4.0, 6.0),
+            (5.0, 24.0),
+            (6.0, 120.0),
+            (10.0, 362880.0),
+        ];
+        for &(x, want) in &facts {
+            for (name, f) in [("nv", tgamma_nv as fn(f64) -> f64), ("amd", tgamma_amd)] {
+                let got = f(x);
+                let rel = ((got - want) / want).abs();
+                assert!(rel < 1e-13, "{name} tgamma({x}) = {got}, want {want}");
+            }
+        }
+        // Γ(1/2) = √π
+        let g = tgamma_nv(0.5);
+        assert!((g - SQRT_PI).abs() < 1e-14, "Γ(0.5) = {g}");
+    }
+
+    #[test]
+    fn tgamma_special_values() {
+        for f in [tgamma_nv, tgamma_amd] {
+            assert!(f(-1.0).is_nan(), "pole at -1");
+            assert!(f(-2.0).is_nan(), "pole at -2");
+            assert_eq!(f(0.0), f64::INFINITY);
+            assert_eq!(f(-0.0), f64::NEG_INFINITY);
+            assert!(f(f64::NAN).is_nan());
+            assert_eq!(f(f64::INFINITY), f64::INFINITY);
+            assert!(f(f64::NEG_INFINITY).is_nan());
+        }
+    }
+
+    #[test]
+    fn tgamma_reflection_region() {
+        // Γ(-0.5) = -2√π
+        for f in [tgamma_nv, tgamma_amd] {
+            let got = f(-0.5);
+            let want = -2.0 * SQRT_PI;
+            assert!(((got - want) / want).abs() < 1e-13, "Γ(-0.5) = {got}");
+        }
+    }
+
+    #[test]
+    fn tgamma_vendors_diverge_by_ulps() {
+        let mut diffs = 0;
+        let mut x = 0.7;
+        while x < 20.0 {
+            if tgamma_nv(x).to_bits() != tgamma_amd(x).to_bits() {
+                diffs += 1;
+            }
+            x += 0.13;
+        }
+        assert!(diffs > 5, "fused vs unfused Lanczos must differ sometimes: {diffs}");
+    }
+
+    #[test]
+    fn expm1_is_cancellation_free_near_zero() {
+        let x = 1e-10;
+        let got = expm1_nv(x);
+        let want = x.exp_m1();
+        assert!(ulp_diff_f64(got, want).unwrap() <= 2, "{got} vs {want}");
+        // naive exp(x)-1 would lose half the digits here
+        assert_ne!(got, x.exp() - 1.0);
+    }
+
+    #[test]
+    fn expm1_matches_std_within_ulps() {
+        for &x in &[-5.0, -0.4, 0.3, 1.0, 10.0, 100.0] {
+            let d = ulp_diff_f64(expm1_nv(x), x.exp_m1()).unwrap();
+            assert!(d <= 4, "expm1({x}) off by {d} ulp");
+        }
+    }
+
+    #[test]
+    fn log1p_matches_std_within_ulps() {
+        for &x in &[-0.999, -0.5, 1e-15, 0.5, 10.0, 1e10] {
+            let d = ulp_diff_f64(log1p_nv(x), x.ln_1p()).unwrap();
+            assert!(d <= 4, "log1p({x}) off by {d} ulp");
+        }
+        assert_eq!(log1p_nv(-1.0), f64::NEG_INFINITY);
+        assert!(log1p_nv(-1.5).is_nan());
+    }
+
+    #[test]
+    fn inverse_hyperbolics_match_std_within_ulps() {
+        for &x in &[0.1, 1.0, 5.0, 1e10, 1e200] {
+            assert!(ulp_diff_f64(asinh_nv(x), x.asinh()).unwrap() <= 4, "asinh({x})");
+        }
+        for &x in &[1.0, 1.5, 5.0, 1e10, 1e200] {
+            assert!(ulp_diff_f64(acosh_nv(x), x.acosh()).unwrap() <= 4, "acosh({x})");
+        }
+        for &x in &[-0.9, -0.5, 0.001, 0.5, 0.9] {
+            assert!(ulp_diff_f64(atanh_nv(x), x.atanh()).unwrap() <= 4, "atanh({x})");
+        }
+        assert!(acosh_nv(0.5).is_nan());
+        assert!(atanh_nv(2.0).is_nan());
+        assert_eq!(atanh_nv(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn rsqrt_orders_compose_differently() {
+        let mut diffs = 0;
+        let mut x = 0.1;
+        for _ in 0..1000 {
+            let a = rsqrt_nv(x);
+            let b = rsqrt_amd(x);
+            assert!(ulp_diff_f64(a, b).unwrap() <= 2, "rsqrt({x}): {a} vs {b}");
+            if a.to_bits() != b.to_bits() {
+                diffs += 1;
+            }
+            x *= 1.05;
+        }
+        assert!(diffs > 50, "composition order must matter: {diffs}/1000");
+    }
+
+    #[test]
+    fn rsqrt_special_values() {
+        for f in [rsqrt_nv, rsqrt_amd] {
+            assert_eq!(f(0.0), f64::INFINITY);
+            assert_eq!(f(f64::INFINITY), 0.0);
+            assert!(f(-1.0).is_nan());
+            assert_eq!(f(1.0), 1.0);
+            assert_eq!(f(4.0), 0.5);
+        }
+    }
+}

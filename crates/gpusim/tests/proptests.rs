@@ -1,0 +1,143 @@
+//! Property-based tests for the simulated vendor math libraries.
+
+use gpusim::mathlib::shared::{
+    fmod_chunked_f32, fmod_chunked_f64, fmod_exact_f32, fmod_exact_f64,
+};
+use gpusim::mathlib::MathFunc;
+use gpusim::{Device, DeviceKind, QuirkSet};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>().prop_filter("finite", |x| x.is_finite()),
+        (-300i32..300).prop_map(|e| 1.7 * 10f64.powi(e)),
+        Just(0.0),
+        Just(-0.0),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn exact_fmod_matches_libm_everywhere(x in any::<f64>(), y in any::<f64>()) {
+        let got = fmod_exact_f64(x, y);
+        let want = x % y;
+        prop_assert!(
+            got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+            "fmod({x},{y}): got={got} want={want}"
+        );
+    }
+
+    #[test]
+    fn exact_fmodf_matches_libm_everywhere(xb in any::<u32>(), yb in any::<u32>()) {
+        let (x, y) = (f32::from_bits(xb), f32::from_bits(yb));
+        let got = fmod_exact_f32(x, y);
+        let want = x % y;
+        prop_assert!(
+            got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+            "fmodf({x},{y}): got={got} want={want}"
+        );
+    }
+
+    #[test]
+    fn chunked_fmod_is_a_remainder(x in finite_f64(), y in finite_f64()) {
+        let r = fmod_chunked_f64(x, y);
+        if x.is_finite() && y.is_finite() && y != 0.0 {
+            prop_assert!(r.is_finite());
+            prop_assert!(r.abs() <= y.abs(), "fmod({x},{y})={r}");
+            if x != 0.0 && r != 0.0 {
+                prop_assert_eq!(r.is_sign_negative(), x.is_sign_negative());
+            }
+        } else {
+            prop_assert!(r.is_nan() || r.to_bits() == x.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_fmod_exact_for_single_chunk_ratios(mant in 1u64..(1<<50), y in finite_f64()) {
+        // the exactness contract is per *exponent difference*: a single
+        // fused chunk (diff <= 52) reproduces the exact remainder
+        if y.is_finite() && y != 0.0 && y.abs() > 1e-200 && y.abs() < 1e200 {
+            let x = y.abs() * (mant as f64);
+            let diff = fpcore::bits::exponent_f64(x) - fpcore::bits::exponent_f64(y.abs());
+            if x.is_finite() && x >= y.abs() && diff <= 52 {
+                let a = fmod_chunked_f64(x, y);
+                let b = fmod_exact_f64(x, y);
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "fmod({x},{y}): chunked={a} exact={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fmodf_is_a_remainder(xb in any::<u32>(), yb in any::<u32>()) {
+        let (x, y) = (f32::from_bits(xb), f32::from_bits(yb));
+        let r = fmod_chunked_f32(x, y);
+        if x.is_finite() && y.is_finite() && y != 0.0 {
+            prop_assert!(r.abs() <= y.abs(), "fmodf({x},{y})={r}");
+        }
+    }
+
+    #[test]
+    fn quirkless_devices_are_bit_identical(
+        a in finite_f64(),
+        b in finite_f64(),
+        idx in 0usize..36,
+    ) {
+        let nv = Device::with_quirks(DeviceKind::NvidiaLike, QuirkSet::none());
+        let amd = Device::with_quirks(DeviceKind::AmdLike, QuirkSet::none());
+        let f = MathFunc::ALL[idx];
+        let x = nv.mathlib().call_f64(f, a, b);
+        let y = amd.mathlib().call_f64(f, a, b);
+        prop_assert!(
+            x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+            "{f}({a},{b}): nv={x} amd={y}"
+        );
+    }
+
+    #[test]
+    fn nv_exp_monotone_on_normals(a in -700.0f64..700.0, delta in 0.001f64..10.0) {
+        let lib = Device::new(DeviceKind::NvidiaLike);
+        let lo = lib.mathlib().call_f64(MathFunc::Exp, a, 0.0);
+        let hi = lib.mathlib().call_f64(MathFunc::Exp, a + delta, 0.0);
+        // ~1-ULP kernels must still be monotone at this granularity
+        prop_assert!(lo < hi, "exp({a})={lo} >= exp({})={hi}", a + delta);
+    }
+
+    #[test]
+    fn nv_log_inverts_nv_exp_approximately(a in -300.0f64..300.0) {
+        let lib = Device::new(DeviceKind::NvidiaLike);
+        let e = lib.mathlib().call_f64(MathFunc::Exp, a, 0.0);
+        let back = lib.mathlib().call_f64(MathFunc::Log, e, 0.0);
+        prop_assert!((back - a).abs() <= 1e-12 * a.abs().max(1.0), "log(exp({a})) = {back}");
+    }
+
+    #[test]
+    fn accurate_f32_paths_agree_across_vendors_for_non_quirky_funcs(
+        xb in any::<u32>(),
+        idx in 0usize..36,
+    ) {
+        let f = MathFunc::ALL[idx];
+        // fmod/ceil/pow are the engineered divergence points at O0
+        if matches!(f, MathFunc::Fmod | MathFunc::Ceil | MathFunc::Pow) {
+            return Ok(());
+        }
+        let x = f32::from_bits(xb);
+        let nv = Device::new(DeviceKind::NvidiaLike);
+        let amd = Device::new(DeviceKind::AmdLike);
+        let a = nv.mathlib().call_f32(f, x, 1.5);
+        let b = amd.mathlib().call_f32(f, x, 1.5);
+        prop_assert!(
+            a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+            "{f}({x}): nv={a} amd={b}"
+        );
+    }
+
+    #[test]
+    fn fast_intrinsics_never_produce_subnormals_nv(x in -200.0f32..200.0) {
+        let nv = Device::new(DeviceKind::NvidiaLike);
+        let r = nv.mathlib().call_fast_f32(MathFunc::Exp, x, 0.0);
+        prop_assert!(!r.is_subnormal(), "__expf({x}) = {r:e}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the from-scratch special functions: mathematical
+//! identities that must hold for *both* vendor variants.
+
+use gpusim::mathlib::special::{
+    acosh_nv, asinh_nv, atanh_nv, erf_amd, erf_nv, expm1_nv, log1p_nv, rsqrt_amd, rsqrt_nv,
+    tgamma_amd, tgamma_nv,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// erf is odd and bounded in [-1, 1].
+    #[test]
+    fn erf_is_odd_and_bounded(x in -8.0f64..8.0) {
+        for f in [erf_nv, erf_amd] {
+            let v = f(x);
+            prop_assert!((-1.0..=1.0).contains(&v), "erf({x}) = {v}");
+            // odd symmetry is exact (sign handling is structural)
+            prop_assert_eq!(f(-x).to_bits(), (-v).to_bits());
+        }
+    }
+
+    /// erf is monotone increasing.
+    #[test]
+    fn erf_is_monotone(x in -6.0f64..6.0, d in 0.001f64..2.0) {
+        for f in [erf_nv, erf_amd] {
+            prop_assert!(f(x + d) >= f(x), "erf not monotone at {x}+{d}");
+        }
+    }
+
+    /// the two vendor erfs never disagree by more than a few ULP.
+    #[test]
+    fn erf_vendors_stay_close(x in -6.0f64..6.0) {
+        let (a, b) = (erf_nv(x), erf_amd(x));
+        let d = fpcore::ulp::ulp_diff_f64(a, b).unwrap();
+        prop_assert!(d <= 8, "erf({x}): {a} vs {b} ({d} ulp)");
+    }
+
+    /// Γ(x+1) = x·Γ(x) (the defining recurrence), within relative 1e-11.
+    #[test]
+    fn tgamma_recurrence(x in 0.6f64..20.0) {
+        for f in [tgamma_nv, tgamma_amd] {
+            let lhs = f(x + 1.0);
+            let rhs = x * f(x);
+            prop_assert!(
+                ((lhs - rhs) / lhs).abs() < 1e-11,
+                "Γ({x}+1) = {lhs} vs x·Γ(x) = {rhs}"
+            );
+        }
+    }
+
+    /// Γ is positive on the positive axis.
+    #[test]
+    fn tgamma_positive_on_positive_axis(x in 0.01f64..30.0) {
+        for f in [tgamma_nv, tgamma_amd] {
+            prop_assert!(f(x) > 0.0, "Γ({x}) = {}", f(x));
+        }
+    }
+
+    /// expm1(x) ≥ -1 always, and expm1 agrees with exp(x)-1 where the
+    /// latter is well-conditioned.
+    #[test]
+    fn expm1_range_and_consistency(x in -30.0f64..30.0) {
+        let v = expm1_nv(x);
+        prop_assert!(v >= -1.0);
+        if x.abs() > 1.0 {
+            let naive = x.exp() - 1.0;
+            prop_assert!(
+                ((v - naive) / naive.abs().max(1e-300)).abs() < 1e-12,
+                "expm1({x}) = {v} vs {naive}"
+            );
+        }
+    }
+
+    /// log1p inverts expm1 (both cancellation-free forms).
+    #[test]
+    fn log1p_inverts_expm1(x in -0.7f64..0.7) {
+        let back = log1p_nv(expm1_nv(x));
+        prop_assert!((back - x).abs() <= 1e-14 * x.abs().max(1e-10), "{back} vs {x}");
+    }
+
+    /// asinh/atanh are odd; acosh(cosh-like args) stays real.
+    #[test]
+    fn inverse_hyperbolics_symmetries(x in -1e10f64..1e10) {
+        prop_assert_eq!(asinh_nv(-x).to_bits(), (-asinh_nv(x)).to_bits());
+        let t = x.rem_euclid(2.0) - 1.0; // into (-1, 1)
+        if t.abs() < 1.0 {
+            prop_assert_eq!(atanh_nv(-t).to_bits(), (-atanh_nv(t)).to_bits());
+        }
+    }
+
+    /// sinh/asinh round trip within a few ULP.
+    #[test]
+    fn asinh_inverts_sinh(x in -20.0f64..20.0) {
+        let back = asinh_nv(x.sinh());
+        prop_assert!((back - x).abs() <= 1e-12 * x.abs().max(1.0), "{back} vs {x}");
+    }
+
+    /// acosh(x) ≥ 0 and acosh(cosh(x)) = |x| approximately.
+    #[test]
+    fn acosh_inverts_cosh(x in 0.1f64..20.0) {
+        let back = acosh_nv(x.cosh());
+        prop_assert!(back >= 0.0);
+        prop_assert!((back - x).abs() <= 1e-10 * x.max(1.0), "{back} vs {x}");
+    }
+
+    /// both rsqrt compositions satisfy rsqrt(x)² ≈ 1/x.
+    #[test]
+    fn rsqrt_squares_to_reciprocal(x in 1e-300f64..1e300) {
+        for f in [rsqrt_nv, rsqrt_amd] {
+            let r = f(x);
+            let err = (r * r * x - 1.0).abs();
+            prop_assert!(err < 1e-14, "rsqrt({x})² · x = 1 + {err}");
+        }
+    }
+}

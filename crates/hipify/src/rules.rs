@@ -1,0 +1,93 @@
+//! The CUDA → HIP identifier mapping table.
+//!
+//! A (small but representative) subset of the hipify-perl substitution
+//! table, covering everything the Varity-emitted host code and common
+//! hand-written test harnesses use.
+
+/// One identifier substitution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// CUDA identifier.
+    pub cuda: &'static str,
+    /// HIP replacement.
+    pub hip: &'static str,
+}
+
+/// The substitution table, longest-match-first within shared prefixes.
+pub const RULES: &[Rule] = &[
+    Rule { cuda: "cudaMemcpyHostToDevice", hip: "hipMemcpyHostToDevice" },
+    Rule { cuda: "cudaMemcpyDeviceToHost", hip: "hipMemcpyDeviceToHost" },
+    Rule { cuda: "cudaMemcpyDeviceToDevice", hip: "hipMemcpyDeviceToDevice" },
+    Rule { cuda: "cudaMemcpyAsync", hip: "hipMemcpyAsync" },
+    Rule { cuda: "cudaMemcpy", hip: "hipMemcpy" },
+    Rule { cuda: "cudaMallocManaged", hip: "hipMallocManaged" },
+    Rule { cuda: "cudaMalloc", hip: "hipMalloc" },
+    Rule { cuda: "cudaFreeHost", hip: "hipHostFree" },
+    Rule { cuda: "cudaFree", hip: "hipFree" },
+    Rule { cuda: "cudaDeviceSynchronize", hip: "hipDeviceSynchronize" },
+    Rule { cuda: "cudaDeviceReset", hip: "hipDeviceReset" },
+    Rule { cuda: "cudaGetLastError", hip: "hipGetLastError" },
+    Rule { cuda: "cudaGetErrorString", hip: "hipGetErrorString" },
+    Rule { cuda: "cudaGetDeviceCount", hip: "hipGetDeviceCount" },
+    Rule { cuda: "cudaSetDevice", hip: "hipSetDevice" },
+    Rule { cuda: "cudaStreamCreate", hip: "hipStreamCreate" },
+    Rule { cuda: "cudaStreamDestroy", hip: "hipStreamDestroy" },
+    Rule { cuda: "cudaStreamSynchronize", hip: "hipStreamSynchronize" },
+    Rule { cuda: "cudaEventCreate", hip: "hipEventCreate" },
+    Rule { cuda: "cudaEventRecord", hip: "hipEventRecord" },
+    Rule { cuda: "cudaEventSynchronize", hip: "hipEventSynchronize" },
+    Rule { cuda: "cudaEventElapsedTime", hip: "hipEventElapsedTime" },
+    Rule { cuda: "cudaEventDestroy", hip: "hipEventDestroy" },
+    Rule { cuda: "cudaError_t", hip: "hipError_t" },
+    Rule { cuda: "cudaSuccess", hip: "hipSuccess" },
+    Rule { cuda: "cudaStream_t", hip: "hipStream_t" },
+    Rule { cuda: "cudaEvent_t", hip: "hipEvent_t" },
+];
+
+/// Look up the HIP replacement for a CUDA identifier, if any.
+pub fn lookup(ident: &str) -> Option<&'static str> {
+    RULES.iter().find(|r| r.cuda == ident).map(|r| r.hip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_core_apis() {
+        assert_eq!(lookup("cudaMalloc"), Some("hipMalloc"));
+        assert_eq!(lookup("cudaMemcpy"), Some("hipMemcpy"));
+        assert_eq!(lookup("cudaDeviceSynchronize"), Some("hipDeviceSynchronize"));
+        assert_eq!(lookup("cudaMemcpyHostToDevice"), Some("hipMemcpyHostToDevice"));
+    }
+
+    #[test]
+    fn lookup_rejects_non_cuda_identifiers() {
+        assert_eq!(lookup("printf"), None);
+        assert_eq!(lookup("compute"), None);
+        assert_eq!(lookup("cuda"), None);
+    }
+
+    #[test]
+    fn free_host_maps_to_host_free() {
+        // the one rename that is not a prefix swap
+        assert_eq!(lookup("cudaFreeHost"), Some("hipHostFree"));
+    }
+
+    #[test]
+    fn every_rule_maps_cuda_prefix_to_hip_prefix() {
+        for r in RULES {
+            assert!(r.cuda.starts_with("cuda"), "{}", r.cuda);
+            assert!(r.hip.starts_with("hip"), "{}", r.hip);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_cuda_keys() {
+        for (i, a) in RULES.iter().enumerate() {
+            for b in &RULES[i + 1..] {
+                assert_ne!(a.cuda, b.cuda);
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The source-text translation engine.
+//!
+//! Works the way hipify-perl does: identifier-boundary substitution over
+//! the raw text, plus a dedicated rewrite for the triple-chevron kernel
+//! launch, plus header injection. No semantic analysis — which is exactly
+//! why ported sources deserve the differential retesting the paper gives
+//! them.
+
+use crate::rules::lookup;
+
+/// Result of translating one translation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HipifyOutput {
+    /// The HIP source text.
+    pub source: String,
+    /// Number of identifier substitutions performed.
+    pub substitutions: usize,
+    /// Number of kernel launches rewritten.
+    pub launches_rewritten: usize,
+    /// Warnings for constructs the translator saw but could not map.
+    pub warnings: Vec<String>,
+}
+
+/// Translate CUDA source text into HIP source text.
+///
+/// ```
+/// let out = hipify::hipify("compute<<<1, 1>>>(x); cudaDeviceSynchronize();");
+/// assert!(out.source.contains(
+///     "hipLaunchKernelGGL(compute, dim3(1), dim3(1), 0, 0, x);"
+/// ));
+/// assert!(out.source.contains("hipDeviceSynchronize();"));
+/// assert_eq!(out.launches_rewritten, 1);
+/// ```
+pub fn hipify(cuda_src: &str) -> HipifyOutput {
+    let mut out = HipifyOutput {
+        source: String::with_capacity(cuda_src.len() + 128),
+        substitutions: 0,
+        launches_rewritten: 0,
+        warnings: Vec::new(),
+    };
+
+    // 1. kernel launches (must run before identifier substitution so the
+    //    argument list is still pristine)
+    let launched = rewrite_launches(cuda_src, &mut out);
+
+    // 2. identifier substitutions at word boundaries
+    let substituted = substitute_identifiers(&launched, &mut out);
+
+    // 3. header injection at the top
+    out.source = if substituted.contains("hip/hip_runtime.h") {
+        substituted
+    } else {
+        out.substitutions += 1;
+        format!("#include \"hip/hip_runtime.h\"\n{substituted}")
+    };
+    out
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn substitute_identifiers(src: &str, out: &mut HipifyOutput) -> String {
+    let bytes = src.as_bytes();
+    let mut result = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_ident_char(bytes[i]) && !bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            let word = &src[start..i];
+            match lookup(word) {
+                Some(hip) => {
+                    out.substitutions += 1;
+                    result.push_str(hip);
+                }
+                None => {
+                    if word.starts_with("cuda") && word.len() > 4 {
+                        out.warnings.push(format!("unmapped CUDA identifier `{word}`"));
+                    }
+                    result.push_str(word);
+                }
+            }
+        } else {
+            result.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    result
+}
+
+/// Rewrite every `name<<<cfg>>>(args)` into
+/// `hipLaunchKernelGGL(name, dim3(g), dim3(b), shmem, stream, args)`.
+fn rewrite_launches(src: &str, out: &mut HipifyOutput) -> String {
+    let mut result = String::with_capacity(src.len());
+    let mut rest = src;
+    while let Some(pos) = rest.find("<<<") {
+        // backtrack over whitespace to the kernel identifier
+        let head = &rest[..pos];
+        let name_end = head.trim_end().len();
+        let trimmed = &head[..name_end];
+        let name_start = trimmed
+            .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let kernel = &trimmed[name_start..];
+        if kernel.is_empty() {
+            out.warnings.push("<<< without a kernel name".into());
+            result.push_str(&rest[..pos + 3]);
+            rest = &rest[pos + 3..];
+            continue;
+        }
+        result.push_str(&head[..name_start]);
+
+        let after_chevron = &rest[pos + 3..];
+        let Some(cfg_end) = after_chevron.find(">>>") else {
+            out.warnings.push(format!("unterminated launch of `{kernel}`"));
+            result.push_str(&rest[name_start..]);
+            rest = "";
+            break;
+        };
+        let cfg = &after_chevron[..cfg_end];
+        let cfg_parts: Vec<&str> = split_top_level(cfg);
+        let (grid, block, shmem, stream) = match cfg_parts.as_slice() {
+            [g, b] => (*g, *b, "0", "0"),
+            [g, b, s] => (*g, *b, *s, "0"),
+            [g, b, s, st] => (*g, *b, *s, *st),
+            _ => {
+                out.warnings
+                    .push(format!("launch of `{kernel}` has {} config args", cfg_parts.len()));
+                ("1", "1", "0", "0")
+            }
+        };
+
+        let after_cfg = &after_chevron[cfg_end + 3..];
+        let paren = after_cfg.find('(').unwrap_or(0);
+        let args_and_rest = &after_cfg[paren + 1..];
+        let close = matching_paren(args_and_rest);
+        let args = &args_and_rest[..close];
+
+        out.launches_rewritten += 1;
+        result.push_str(&format!(
+            "hipLaunchKernelGGL({kernel}, dim3({}), dim3({}), {}, {}, {})",
+            grid.trim(),
+            block.trim(),
+            shmem.trim(),
+            stream.trim(),
+            args.trim()
+        ));
+        rest = &args_and_rest[close + 1..];
+    }
+    result.push_str(rest);
+    result
+}
+
+/// Split on commas at parenthesis depth zero.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        parts.push(last);
+    }
+    parts
+}
+
+/// Index of the parenthesis closing an already-open group.
+fn matching_paren(s: &str) -> usize {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrites_simple_launch() {
+        let out = hipify("compute<<<1, 1>>>(comp, var_1);");
+        assert!(out
+            .source
+            .contains("hipLaunchKernelGGL(compute, dim3(1), dim3(1), 0, 0, comp, var_1);"));
+        assert_eq!(out.launches_rewritten, 1);
+    }
+
+    #[test]
+    fn rewrites_launch_with_shared_memory_and_stream() {
+        let out = hipify("k<<<grid, block, 256, s>>>(x);");
+        assert!(out
+            .source
+            .contains("hipLaunchKernelGGL(k, dim3(grid), dim3(block), 256, s, x);"));
+    }
+
+    #[test]
+    fn substitutes_runtime_api_calls() {
+        let out = hipify("cudaMalloc((void**)&p, n); cudaMemcpy(p, h, n, cudaMemcpyHostToDevice); cudaFree(p);");
+        assert!(out.source.contains("hipMalloc((void**)&p, n);"));
+        assert!(out.source.contains("hipMemcpy(p, h, n, hipMemcpyHostToDevice);"));
+        assert!(out.source.contains("hipFree(p);"));
+        assert!(out.warnings.is_empty());
+    }
+
+    #[test]
+    fn injects_hip_header_once() {
+        let out = hipify("#include <cstdio>\nint main() { return 0; }\n");
+        assert!(out.source.starts_with("#include \"hip/hip_runtime.h\"\n"));
+        let again = hipify(&out.source);
+        assert_eq!(again.source.matches("hip/hip_runtime.h").count(), 1);
+    }
+
+    #[test]
+    fn identifier_boundaries_are_respected() {
+        // "mycudaMalloc" must not be rewritten
+        let out = hipify("mycudaMalloc(); cudaMallocs();");
+        assert!(out.source.contains("mycudaMalloc()"));
+        // cudaMallocs is a different identifier: warned, not rewritten
+        assert!(out.source.contains("cudaMallocs()"));
+        assert_eq!(out.warnings.len(), 1);
+    }
+
+    #[test]
+    fn unmapped_cuda_identifier_produces_warning() {
+        let out = hipify("cudaFrobnicate();");
+        assert!(out.warnings.iter().any(|w| w.contains("cudaFrobnicate")));
+        assert!(out.source.contains("cudaFrobnicate();"));
+    }
+
+    #[test]
+    fn nested_commas_in_launch_args_survive() {
+        let out = hipify("k<<<1, 1>>>(f(a, b), g[i], c);");
+        assert!(out
+            .source
+            .contains("hipLaunchKernelGGL(k, dim3(1), dim3(1), 0, 0, f(a, b), g[i], c);"));
+    }
+
+    #[test]
+    fn multiple_launches_all_rewritten() {
+        let out = hipify("a<<<1,2>>>(x); b<<<3,4>>>(y);");
+        assert_eq!(out.launches_rewritten, 2);
+        assert!(out.source.contains("hipLaunchKernelGGL(a, dim3(1), dim3(2)"));
+        assert!(out.source.contains("hipLaunchKernelGGL(b, dim3(3), dim3(4)"));
+    }
+
+    #[test]
+    fn kernel_code_is_untouched() {
+        let src = "__global__ void compute(double comp) { comp += ceil(1.5955E-125); }";
+        let out = hipify(src);
+        assert!(out.source.contains(src), "kernel body must be byte-identical");
+    }
+
+    #[test]
+    fn translating_emitted_cuda_matches_native_hip_kernel() {
+        use progen::emit::{emit, Dialect};
+        use progen::gen::generate_program;
+        use progen::grammar::GenConfig;
+        use progen::Precision;
+
+        let cfg = GenConfig::varity_default(Precision::F64);
+        for i in 0..20 {
+            let p = generate_program(&cfg, 41, i);
+            let cuda = emit(&p, Dialect::Cuda);
+            let out = hipify(&cuda);
+            assert!(out.warnings.is_empty(), "program {i}: {:?}", out.warnings);
+            // the hipified text parses back to the same AST
+            let parsed = progen::parser::parse_kernel(&out.source, &p.id)
+                .unwrap_or_else(|e| panic!("program {i}: {e}\n{}", out.source));
+            assert_eq!(parsed, p, "program {i}");
+            // and the launch matches the native HIP emission style
+            let native_hip = emit(&p, Dialect::Hip);
+            assert!(native_hip.contains("hipLaunchKernelGGL(compute, dim3(1), dim3(1), 0, 0,"));
+            assert!(out.source.contains("hipLaunchKernelGGL(compute, dim3(1), dim3(1), 0, 0,"));
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The abstract syntax of generated test programs.
+//!
+//! The shapes here mirror what Varity emits (paper Fig. 2/4/6): a single
+//! `__global__ void compute(...)` kernel whose first parameter is the
+//! accumulator `comp`, followed by an optional `int` loop bound and a mix
+//! of scalar and array floating-point parameters. The body is a statement
+//! list over arithmetic expressions, math calls, `if` conditions and
+//! (nested) `for` loops; the kernel ends by printing `comp` with
+//! `printf("%.17g\n", comp)`.
+
+use gpusim::mathlib::MathFunc;
+use serde::{Deserialize, Serialize};
+
+/// Floating-point precision of a test program (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// `float` everywhere, `f`-suffixed math functions and literals.
+    F32,
+    /// `double` everywhere.
+    F64,
+}
+
+impl Precision {
+    /// The C type name.
+    pub fn c_type(self) -> &'static str {
+        match self {
+            Precision::F32 => "float",
+            Precision::F64 => "double",
+        }
+    }
+
+    /// Table-header name used by the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "FP32",
+            Precision::F64 => "FP64",
+        }
+    }
+}
+
+/// Type of a kernel parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamType {
+    /// Scalar floating-point value (the program's precision).
+    Float,
+    /// Integer loop bound.
+    Int,
+    /// Pointer to a floating-point array (length = loop bound).
+    FloatArray,
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Source-level name (`comp`, `var_1`, …).
+    pub name: String,
+    /// Parameter type.
+    pub ty: ParamType,
+}
+
+/// Binary arithmetic operators allowed by the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Source token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Comparison operators usable in `if` conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Source token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A floating-point expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant. Stored as `f64`; for FP32 programs the emitter
+    /// renders it with the `F` suffix and the compiler rounds it to `f32`.
+    Lit(f64),
+    /// Scalar variable reference (parameter or temporary).
+    Var(String),
+    /// `array[index_var]` element read.
+    Index(String, String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// C math library call.
+    Call(MathFunc, Vec<Expr>),
+    /// `threadIdx.x` promoted to the kernel precision (SIMT extension:
+    /// single-thread Varity kernels never contain it, threaded ones may).
+    ThreadIdx,
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Number of AST nodes (used by generation budgets and stats).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::Index(..) | Expr::ThreadIdx => 1,
+            Expr::Neg(e) => 1 + e.node_count(),
+            Expr::Bin(_, l, r) => 1 + l.node_count() + r.node_count(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+        }
+    }
+
+    /// All math functions called anywhere in this expression.
+    pub fn math_calls(&self, out: &mut Vec<MathFunc>) {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::Index(..) | Expr::ThreadIdx => {}
+            Expr::Neg(e) => e.math_calls(out),
+            Expr::Bin(_, l, r) => {
+                l.math_calls(out);
+                r.math_calls(out);
+            }
+            Expr::Call(f, args) => {
+                out.push(*f);
+                for a in args {
+                    a.math_calls(out);
+                }
+            }
+        }
+    }
+}
+
+/// A boolean condition (comparison between two float expressions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: Expr,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// Scalar variable (`comp`, `tmp_1`, …).
+    Var(String),
+    /// `array[index_var]`.
+    Index(String, String),
+}
+
+/// Compound-assignment operators (paper programs use `=`, `+=`, `-=`,
+/// `*=`, `/=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+}
+
+impl AssignOp {
+    /// Source token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Set => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+        }
+    }
+}
+
+/// A statement in the kernel body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `double tmp_N = <expr>;`
+    DeclTmp {
+        /// Temporary name (`tmp_1`, …).
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `<lvalue> <op> <expr>;`
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Assignment operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (<cond>) { ... }`
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Then-branch body (the grammar emits no `else`).
+        body: Vec<Stmt>,
+    },
+    /// `for (int i = 0; i < <bound_var>; ++i) { ... }`
+    For {
+        /// Loop induction variable name (`i`, `j`, …).
+        var: String,
+        /// Name of the `int` parameter bounding the loop.
+        bound: String,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Total statements including nested bodies.
+    pub fn stmt_count(&self) -> usize {
+        match self {
+            Stmt::DeclTmp { .. } | Stmt::Assign { .. } => 1,
+            Stmt::If { body, .. } | Stmt::For { body, .. } => {
+                1 + body.iter().map(Stmt::stmt_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Maximum loop-nesting depth contributed by this statement.
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Stmt::DeclTmp { .. } | Stmt::Assign { .. } => 0,
+            Stmt::If { body, .. } => body.iter().map(Stmt::loop_depth).max().unwrap_or(0),
+            Stmt::For { body, .. } => {
+                1 + body.iter().map(Stmt::loop_depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// A complete test program: one `compute` kernel plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Stable identifier (`varity_fp64_000123`).
+    pub id: String,
+    /// Precision of every float in the program.
+    pub precision: Precision,
+    /// Kernel parameters, in signature order. The first is always the
+    /// accumulator `comp`.
+    pub params: Vec<Param>,
+    /// Kernel body.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Names of all parameters of a given type, in signature order.
+    pub fn params_of(&self, ty: ParamType) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(move |p| p.ty == ty)
+    }
+
+    /// The `int` loop-bound parameter, if the program has loops.
+    pub fn int_param(&self) -> Option<&Param> {
+        self.params_of(ParamType::Int).next()
+    }
+
+    /// Total statements in the kernel.
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(Stmt::stmt_count).sum()
+    }
+
+    /// Maximum loop-nesting depth.
+    pub fn loop_depth(&self) -> usize {
+        self.body.iter().map(Stmt::loop_depth).max().unwrap_or(0)
+    }
+
+    /// Every math function called in the program (with repeats).
+    pub fn math_calls(&self) -> Vec<MathFunc> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<MathFunc>) {
+            for s in stmts {
+                match s {
+                    Stmt::DeclTmp { init, .. } => init.math_calls(out),
+                    Stmt::Assign { value, .. } => value.math_calls(out),
+                    Stmt::If { cond, body } => {
+                        cond.lhs.math_calls(out);
+                        cond.rhs.math_calls(out);
+                        walk(body, out);
+                    }
+                    Stmt::For { body, .. } => walk(body, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// True if any parameter is an array.
+    pub fn uses_arrays(&self) -> bool {
+        self.params.iter().any(|p| p.ty == ParamType::FloatArray)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        // if (comp >= var_2) { for (i..var_1) { comp += cos(var_3); } }
+        Program {
+            id: "t0".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_2".into(), ty: ParamType::Float },
+                Param { name: "var_3".into(), ty: ParamType::Float },
+            ],
+            body: vec![Stmt::If {
+                cond: Cond {
+                    op: CmpOp::Ge,
+                    lhs: Expr::Var("comp".into()),
+                    rhs: Expr::Var("var_2".into()),
+                },
+                body: vec![Stmt::For {
+                    var: "i".into(),
+                    bound: "var_1".into(),
+                    body: vec![Stmt::Assign {
+                        target: LValue::Var("comp".into()),
+                        op: AssignOp::AddAssign,
+                        value: Expr::Call(MathFunc::Cos, vec![Expr::Var("var_3".into())]),
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        let p = sample_program();
+        assert_eq!(p.stmt_count(), 3); // if + for + assign
+    }
+
+    #[test]
+    fn loop_depth_counts_nesting() {
+        let p = sample_program();
+        assert_eq!(p.loop_depth(), 1);
+        let nested = Stmt::For {
+            var: "i".into(),
+            bound: "n".into(),
+            body: vec![Stmt::For {
+                var: "j".into(),
+                bound: "n".into(),
+                body: vec![],
+            }],
+        };
+        assert_eq!(nested.loop_depth(), 2);
+    }
+
+    #[test]
+    fn math_calls_collected() {
+        let p = sample_program();
+        assert_eq!(p.math_calls(), vec![MathFunc::Cos]);
+    }
+
+    #[test]
+    fn int_param_found() {
+        let p = sample_program();
+        assert_eq!(p.int_param().unwrap().name, "var_1");
+        assert!(!p.uses_arrays());
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Neg(Box::new(Expr::Lit(1.0))),
+            Expr::Call(MathFunc::Sqrt, vec![Expr::Var("x".into())]),
+        );
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn precision_labels() {
+        assert_eq!(Precision::F32.c_type(), "float");
+        assert_eq!(Precision::F64.c_type(), "double");
+        assert_eq!(Precision::F32.label(), "FP32");
+    }
+
+    #[test]
+    fn symbols_are_c_tokens() {
+        assert_eq!(BinOp::Div.symbol(), "/");
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+        assert_eq!(AssignOp::AddAssign.symbol(), "+=");
+    }
+
+    #[test]
+    fn program_roundtrips_through_json() {
+        let p = sample_program();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

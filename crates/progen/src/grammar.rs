@@ -1,0 +1,143 @@
+//! Generation configuration: the knobs of the random-program grammar.
+//!
+//! Varity's grammar (paper Table III) is parameterised by the number of
+//! variables, expression depth, loop-nesting level `N`, and which math
+//! functions may appear. [`GenConfig`] captures those knobs plus the
+//! probabilities used when the generator walks the grammar.
+
+use crate::ast::Precision;
+use gpusim::mathlib::MathFunc;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for random program generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Precision of every float in the generated programs.
+    pub precision: Precision,
+    /// Number of scalar floating-point parameters (besides `comp`).
+    pub num_float_params: usize,
+    /// Number of array parameters.
+    pub num_array_params: usize,
+    /// Maximum expression depth.
+    pub max_expr_depth: usize,
+    /// Number of top-level statements (before nesting).
+    pub max_stmts: usize,
+    /// Maximum `for`-loop nesting (`N` in Table III).
+    pub max_loop_nesting: usize,
+    /// Probability that a statement position becomes an `if` block.
+    pub if_prob: f64,
+    /// Probability that a statement position becomes a `for` loop.
+    pub loop_prob: f64,
+    /// Probability that an expression node is a math call (vs arithmetic).
+    pub call_prob: f64,
+    /// Probability that a leaf is a literal (vs variable reference).
+    pub lit_prob: f64,
+    /// Math functions the generator may emit.
+    pub allowed_funcs: Vec<MathFunc>,
+    /// SIMT extension: when true, expression leaves may be `threadIdx.x`,
+    /// making the kernel's result thread-dependent (run it with
+    /// `gpucc::interp::execute_grid`). Paper-faithful campaigns keep this
+    /// off — Varity kernels are single-thread.
+    pub threaded: bool,
+}
+
+impl GenConfig {
+    /// Varity-like defaults for a given precision: ~8 float parameters,
+    /// depth-3 expressions, up to two nested loops, the math functions
+    /// seen in the paper's case studies.
+    pub fn varity_default(precision: Precision) -> Self {
+        GenConfig {
+            precision,
+            num_float_params: 8,
+            num_array_params: 1,
+            max_expr_depth: 3,
+            max_stmts: 5,
+            max_loop_nesting: 2,
+            if_prob: 0.3,
+            loop_prob: 0.35,
+            call_prob: 0.28,
+            lit_prob: 0.45,
+            allowed_funcs: vec![
+                MathFunc::Sin,
+                MathFunc::Cos,
+                MathFunc::Tan,
+                MathFunc::Asin,
+                MathFunc::Acos,
+                MathFunc::Atan,
+                MathFunc::Sinh,
+                MathFunc::Cosh,
+                MathFunc::Tanh,
+                MathFunc::Exp,
+                MathFunc::Log,
+                MathFunc::Log10,
+                MathFunc::Sqrt,
+                MathFunc::Fabs,
+                MathFunc::Floor,
+                MathFunc::Ceil,
+                MathFunc::Fmod,
+                MathFunc::Pow,
+                MathFunc::Fmin,
+                MathFunc::Fmax,
+            ],
+            threaded: false,
+        }
+    }
+
+    /// The extended function surface: everything the vendor libraries
+    /// implement, including the special functions (`erf`, `tgamma`,
+    /// `expm1`, `log1p`, inverse hyperbolics, `rsqrt`). The paper's
+    /// campaigns use [`GenConfig::varity_default`]; this preset exists to
+    /// stress the wider library surface.
+    pub fn extended(precision: Precision) -> Self {
+        GenConfig {
+            allowed_funcs: gpusim::mathlib::MathFunc::ALL.to_vec(),
+            ..GenConfig::varity_default(precision)
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny(precision: Precision) -> Self {
+        GenConfig {
+            num_float_params: 3,
+            num_array_params: 0,
+            max_expr_depth: 2,
+            max_stmts: 3,
+            max_loop_nesting: 1,
+            ..GenConfig::varity_default(precision)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GenConfig::varity_default(Precision::F64);
+        assert!(c.num_float_params >= 4);
+        assert!(c.max_loop_nesting >= 1);
+        assert!(!c.allowed_funcs.is_empty());
+        assert!(c.if_prob + c.loop_prob < 1.0);
+        assert!(c.allowed_funcs.contains(&MathFunc::Fmod));
+        assert!(c.allowed_funcs.contains(&MathFunc::Ceil));
+    }
+
+    #[test]
+    fn extended_covers_every_function() {
+        let e = GenConfig::extended(Precision::F64);
+        assert_eq!(e.allowed_funcs.len(), MathFunc::ALL.len());
+        assert!(e.allowed_funcs.contains(&MathFunc::Erf));
+        assert!(e.allowed_funcs.contains(&MathFunc::Tgamma));
+        assert!(e.allowed_funcs.contains(&MathFunc::Rsqrt));
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = GenConfig::tiny(Precision::F32);
+        let d = GenConfig::varity_default(Precision::F32);
+        assert!(t.num_float_params < d.num_float_params);
+        assert!(t.max_stmts <= d.max_stmts);
+        assert_eq!(t.precision, Precision::F32);
+    }
+}

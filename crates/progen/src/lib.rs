@@ -1,0 +1,34 @@
+//! # progen — Varity-style random program generation
+//!
+//! Reimplementation (and HIP extension) of the Varity framework's test
+//! generator (paper §III). The pipeline is:
+//!
+//! 1. [`gen`] draws a random [`ast::Program`] from the grammar described by
+//!    a [`grammar::GenConfig`] — floating-point arithmetic over `{+,-,*,/}`,
+//!    C math library calls, nested `for` loops, `if` conditions, temporary
+//!    variables and arrays (paper Table III).
+//! 2. [`inputs`] draws the random inputs, biased toward the numerically
+//!    interesting regions (near overflow, near underflow, subnormals,
+//!    signed zeros) the way Varity's input generator is.
+//! 3. [`emit`] renders the program as compilable CUDA (`.cu`) or HIP
+//!    (`.hip`) source — the two dialects differ exactly where the real APIs
+//!    do (kernel launch syntax, runtime API prefixes, headers).
+//! 4. [`parser`]/[`lexer`] parse the emitted kernel source back into the
+//!    AST. This closes the HIPIFY loop: the `hipify` crate rewrites CUDA
+//!    source *text*, and the result is re-parsed and recompiled like any
+//!    hand-written HIP file.
+
+#![deny(missing_docs)]
+
+pub mod ast;
+pub mod emit;
+pub mod gen;
+pub mod grammar;
+pub mod inputs;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Precision, Program};
+pub use gen::generate_program;
+pub use grammar::GenConfig;
+pub use inputs::{generate_inputs, InputSet};

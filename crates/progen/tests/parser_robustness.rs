@@ -1,0 +1,99 @@
+//! Parser robustness: arbitrary input must produce `Ok` or `Err`, never a
+//! panic, and valid-source mutations must not break the invariant that
+//! parsed programs execute or reject cleanly.
+
+use progen::emit::emit_kernel;
+use progen::gen::generate_program;
+use progen::grammar::GenConfig;
+use progen::lexer::tokenize;
+use progen::parser::parse_kernel;
+use progen::Precision;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// the lexer never panics on arbitrary bytes-as-string input.
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in "\\PC*") {
+        let _ = tokenize(&s);
+    }
+
+    /// the parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "\\PC*") {
+        let _ = parse_kernel(&s, "fuzz");
+    }
+
+    /// the parser never panics on C-ish token soup.
+    #[test]
+    fn parser_total_on_cish_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("__global__".to_string()),
+                Just("void".to_string()),
+                Just("compute".to_string()),
+                Just("double".to_string()),
+                Just("comp".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just("+=".to_string()),
+                Just("for".to_string()),
+                Just("if".to_string()),
+                Just("1.5E-10".to_string()),
+                Just("threadIdx".to_string()),
+                Just(".".to_string()),
+                Just("x".to_string()),
+                Just("sin".to_string()),
+                Just(",".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_kernel(&src, "fuzz");
+    }
+
+    /// truncating valid source at any byte never panics the parser.
+    #[test]
+    fn parser_total_on_truncated_valid_source(
+        seed in any::<u64>(),
+        index in 0u64..100,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cfg = GenConfig::varity_default(Precision::F64);
+        let p = generate_program(&cfg, seed, index);
+        let src = emit_kernel(&p);
+        let cut = ((src.len() as f64) * cut_frac) as usize;
+        // cut at a char boundary
+        let mut cut = cut.min(src.len());
+        while !src.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = parse_kernel(&src[..cut], "fuzz");
+    }
+
+    /// deleting a random line from valid source never panics.
+    #[test]
+    fn parser_total_on_line_deleted_source(
+        seed in any::<u64>(),
+        index in 0u64..100,
+        line_pick in any::<u64>(),
+    ) {
+        let cfg = GenConfig::varity_default(Precision::F32);
+        let p = generate_program(&cfg, seed, index);
+        let src = emit_kernel(&p);
+        let lines: Vec<&str> = src.lines().collect();
+        let drop = (line_pick as usize) % lines.len();
+        let mutated: Vec<&str> = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, l)| *l)
+            .collect();
+        let _ = parse_kernel(&mutated.join("\n"), "fuzz");
+    }
+}

@@ -1,0 +1,81 @@
+//! Case study 2 (paper Fig. 5): `ceil` of a tiny positive value returns 0
+//! on the NVIDIA-like platform and 1 on the AMD-like platform; dividing by
+//! the result turns the difference into Inf vs Number.
+//!
+//! The example rebuilds the paper's exact kernel:
+//!
+//! ```c
+//! __global__ void compute(double comp) {
+//!   double tmp_1 = +1.1147E-307;
+//!   comp += tmp_1 / ceil(+1.5955E-125);
+//!   printf("%.17g\n", comp);
+//! }
+//! ```
+//!
+//! Run with: `cargo run --example case_study_ceil`
+
+use gpu_numerics::difftest::compare_runs;
+use gpu_numerics::gpucc::interp::execute;
+use gpu_numerics::gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpu_numerics::gpusim::mathlib::MathFunc;
+use gpu_numerics::gpusim::{Device, DeviceKind};
+use gpu_numerics::progen::inputs::{InputSet, InputValue};
+use gpu_numerics::progen::parser::parse_kernel;
+
+const FIG5_SOURCE: &str = r#"
+__global__ /* __global__ is used for device run */
+void compute(double comp) {
+  double tmp_1 = +1.1147E-307;
+  comp += tmp_1 / ceil(+1.5955E-125);
+  printf("%.17g\n", comp);
+}
+"#;
+
+fn main() {
+    // parse the paper's kernel verbatim
+    let program = parse_kernel(FIG5_SOURCE, "fig5").expect("Fig. 5 kernel parses");
+
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    let amd = Device::new(DeviceKind::AmdLike);
+
+    // the root-cause function call in isolation (third panel of Fig. 5)
+    println!("Expression: ceil(1.5955E-125)");
+    let cn = nv.mathlib().call_f64(MathFunc::Ceil, 1.5955e-125, 0.0);
+    let ca = amd.mathlib().call_f64(MathFunc::Ceil, 1.5955e-125, 0.0);
+    println!("  nvcc  -O0: {cn}");
+    println!("  hipcc -O0: {ca}\n");
+
+    // the paper's failure-inducing input
+    let input = InputSet { values: vec![InputValue::Float(1.2374e-306)] };
+    println!("Input: +1.2374E-306\nOutput:");
+    for level in [OptLevel::O0, OptLevel::O3] {
+        let nv_ir = compile(&program, Toolchain::Nvcc, level, false);
+        let amd_ir = compile(&program, Toolchain::Hipcc, level, false);
+        let rn = execute(&nv_ir, &nv, &input).expect("runs");
+        let ra = execute(&amd_ir, &amd, &input).expect("runs");
+        let verdict = compare_runs(&rn.value, &ra.value)
+            .map(|d| format!("DISCREPANCY [{}]", d.class))
+            .unwrap_or_else(|| "consistent".into());
+        println!(
+            "  nvcc  -{}: {}",
+            level.label(),
+            rn.value.format_exact()
+        );
+        println!(
+            "  hipcc -{}: {}   => {verdict}",
+            level.label(),
+            ra.value.format_exact()
+        );
+        assert!(
+            compare_runs(&rn.value, &ra.value).is_some(),
+            "case study must reproduce at {level}"
+        );
+    }
+
+    println!(
+        "\nRoot cause: the NVIDIA-like ceil goes through a magic-number\n\
+         addition that loses positive values below 2^-64 and returns 0;\n\
+         dividing by that 0 produces Inf (a division-by-zero the AMD-like\n\
+         platform, whose ceil returns 1, never performs)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Case study 1 (paper Fig. 4): an `fmod` call with an extreme operand
+//! ratio produces different remainders on the two platforms, and the
+//! difference compounds through loop iterations.
+//!
+//! Run with: `cargo run --example case_study_fmod`
+
+use gpu_numerics::gpusim::mathlib::MathFunc;
+use gpu_numerics::gpusim::{Device, DeviceKind};
+
+fn main() {
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    let amd = Device::new(DeviceKind::AmdLike);
+
+    // the paper's intermediate expression value and fmod divisor:
+    //   fmod(1.5917195493481116e+289, 1.5793E-307)
+    let x = 1.5917195493481116e289;
+    let y = 1.5793e-307;
+
+    println!("Expression: fmod({x:e}, {y:e})   (operand ratio ~ 1e596)\n");
+    let rn = nv.mathlib().call_f64(MathFunc::Fmod, x, y);
+    let ra = amd.mathlib().call_f64(MathFunc::Fmod, x, y);
+    println!("  {:<18} {}", format!("{} :", nv.mathlib().name()), format_full(rn));
+    println!("  {:<18} {}", format!("{} :", amd.mathlib().name()), format_full(ra));
+    println!(
+        "\n  bit patterns: {:016x} vs {:016x}  ({})",
+        rn.to_bits(),
+        ra.to_bits(),
+        if rn.to_bits() == ra.to_bits() { "EQUAL" } else { "DIFFERENT" }
+    );
+
+    // mundane ratios agree exactly — the paper found only 1 of 10 inputs
+    // triggered the divergence
+    println!("\nMundane operand ratios agree bit-for-bit:");
+    for (a, b) in [(5.5, 2.0), (1e10, 3.7), (123.456, 0.001)] {
+        let p = nv.mathlib().call_f64(MathFunc::Fmod, a, b);
+        let q = amd.mathlib().call_f64(MathFunc::Fmod, a, b);
+        println!(
+            "  fmod({a}, {b}) = {} / {}  ({})",
+            format_full(p),
+            format_full(q),
+            if p.to_bits() == q.to_bits() { "equal" } else { "DIFFERENT" }
+        );
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+
+    // root cause: exact bit-level long division vs chunked floating-point
+    // reduction — the chunked path loses low bits once |x/y| >= 2^53
+    println!(
+        "\nRoot cause: the NVIDIA-like library computes fmod with exact\n\
+         bit-level long division (SASS/PTX style); the AMD-like library\n\
+         uses an __ocml-style chunked floating-point reduction whose\n\
+         unfused multiply-subtract steps round — beyond a 2^53 operand\n\
+         ratio the low bits of the remainder decorrelate completely."
+    );
+    assert_ne!(rn.to_bits(), ra.to_bits(), "case study must reproduce");
+}
+
+fn format_full(v: f64) -> String {
+    format!("{v:.20e}")
+}

@@ -1,0 +1,75 @@
+//! Automatic test-case minimization: hunt for a discrepancy in a random
+//! campaign slice, then shrink the failing program to a minimal reproducer
+//! (the "small test" the paper highlights as the framework's key
+//! deliverable; automated reduction is its stated future work).
+//!
+//! Run with: `cargo run --release --example reduce_failure`
+
+use gpu_numerics::difftest::campaign::TestMode;
+use gpu_numerics::difftest::compare_runs;
+use gpu_numerics::difftest::metadata::build_side;
+use gpu_numerics::difftest::reduce::{discrepancy_check, reduce_program};
+use gpu_numerics::gpucc::interp::execute;
+use gpu_numerics::gpucc::pipeline::{OptLevel, Toolchain};
+use gpu_numerics::gpusim::{Device, DeviceKind, QuirkSet};
+use gpu_numerics::progen::emit::emit_kernel;
+use gpu_numerics::progen::gen::generate_program;
+use gpu_numerics::progen::grammar::GenConfig;
+use gpu_numerics::progen::inputs::generate_inputs;
+use gpu_numerics::progen::Precision;
+
+fn main() {
+    let gen_cfg = GenConfig::varity_default(Precision::F64);
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    let amd = Device::new(DeviceKind::AmdLike);
+
+    // scan programs until a discrepancy shows up
+    'outer: for index in 0..5000u64 {
+        let program = generate_program(&gen_cfg, 31415, index);
+        let inputs = generate_inputs(&program, 31415, 7);
+        for level in OptLevel::ALL {
+            let nv_ir = build_side(&program, Toolchain::Nvcc, level, TestMode::Direct);
+            let amd_ir = build_side(&program, Toolchain::Hipcc, level, TestMode::Direct);
+            for input in &inputs {
+                let (Ok(rn), Ok(ra)) = (
+                    execute(&nv_ir, &nv, input),
+                    execute(&amd_ir, &amd, input),
+                ) else {
+                    continue;
+                };
+                if let Some(d) = compare_runs(&rn.value, &ra.value) {
+                    println!(
+                        "found a {} discrepancy in {} at {} \
+                         (nvcc={}, hipcc={})\n",
+                        d.class,
+                        program.id,
+                        level.label(),
+                        rn.value.format_exact(),
+                        ra.value.format_exact()
+                    );
+                    println!("--- original kernel ({} stmts) ---", program.stmt_count());
+                    println!("{}", emit_kernel(&program));
+
+                    let check = discrepancy_check(
+                        input.clone(),
+                        level,
+                        TestMode::Direct,
+                        QuirkSet::all(),
+                    );
+                    let red = reduce_program(&program, check);
+                    println!(
+                        "--- reduced kernel ({} stmts, {} shrink steps) ---",
+                        red.final_stmts, red.steps
+                    );
+                    println!("{}", emit_kernel(&red.program));
+                    println!(
+                        "failure-inducing input: {}",
+                        input.render(program.precision)
+                    );
+                    assert!(red.final_stmts <= red.original_stmts);
+                    break 'outer;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! SIMT extension demo: a multi-thread kernel where only *some* threads
+//! diverge between the two platforms.
+//!
+//! The paper's tests are single-thread by design; this extension runs a
+//! `threadIdx.x`-dependent kernel over a thread block on both simulated
+//! GPUs and compares per thread — the pattern an acceptance test for a new
+//! system would use to localize a divergence to specific lanes.
+//!
+//! Run with: `cargo run --example simt_threads`
+
+use gpu_numerics::difftest::compare::compare_grids;
+use gpu_numerics::gpucc::interp::{execute_grid, ExecValue};
+use gpu_numerics::gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpu_numerics::gpusim::{Device, DeviceKind};
+use gpu_numerics::progen::inputs::{InputSet, InputValue};
+use gpu_numerics::progen::parser::parse_kernel;
+
+const KERNEL: &str = r#"
+__global__ void compute(double comp, double var_2, double var_3) {
+  comp += fmod(var_2 * (1.0 + ((double)threadIdx.x) * 1.0E18), var_3);
+  printf("%.17g\n", comp);
+}
+"#;
+
+fn main() {
+    let program = parse_kernel(KERNEL, "simt_demo").expect("kernel parses");
+    println!("kernel:\n{KERNEL}");
+
+    let input = InputSet {
+        values: vec![
+            InputValue::Float(0.0),    // comp
+            InputValue::Float(1.0e12), // var_2
+            InputValue::Float(0.37),   // var_3
+        ],
+    };
+    let block_dim = 8;
+
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    let amd = Device::new(DeviceKind::AmdLike);
+    let nv_ir = compile(&program, Toolchain::Nvcc, OptLevel::O0, false);
+    let amd_ir = compile(&program, Toolchain::Hipcc, OptLevel::O0, false);
+
+    let rn: Vec<ExecValue> = execute_grid(&nv_ir, &nv, &input, block_dim)
+        .expect("nvcc grid runs")
+        .into_iter()
+        .map(|r| r.value)
+        .collect();
+    let ra: Vec<ExecValue> = execute_grid(&amd_ir, &amd, &input, block_dim)
+        .expect("hipcc grid runs")
+        .into_iter()
+        .map(|r| r.value)
+        .collect();
+
+    println!("tid   nvcc result              hipcc result             verdict");
+    let diverging = compare_grids(&rn, &ra);
+    for tid in 0..block_dim as usize {
+        let verdict = diverging
+            .iter()
+            .find(|d| d.thread == tid as u32)
+            .map(|d| format!("DISCREPANCY [{}]", d.discrepancy.class))
+            .unwrap_or_else(|| "consistent".into());
+        println!(
+            "{tid:<6}{:<25}{:<25}{verdict}",
+            rn[tid].format_exact(),
+            ra[tid].format_exact()
+        );
+    }
+    println!(
+        "\n{} of {block_dim} threads diverge: thread 0's fmod operand ratio\n\
+         stays below 2^53 (both platforms compute the exact remainder);\n\
+         every other thread crosses into the regime where the AMD-like\n\
+         chunked fmod drifts from the NVIDIA-like bit-exact one.",
+        diverging.len()
+    );
+    assert!(!diverging.is_empty() && diverging.len() < block_dim as usize);
+}

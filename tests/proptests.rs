@@ -1,0 +1,125 @@
+//! Cross-crate property tests: pipeline invariants under random programs
+//! and inputs drawn via proptest (independent of the campaign's own RNG).
+
+use gpu_numerics::difftest::campaign::TestMode;
+use gpu_numerics::difftest::metadata::build_side;
+use gpu_numerics::gpucc::interp::execute;
+use gpu_numerics::gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpu_numerics::gpusim::{Device, DeviceKind};
+use gpu_numerics::progen::emit::emit_kernel;
+use gpu_numerics::progen::gen::generate_program;
+use gpu_numerics::progen::grammar::GenConfig;
+use gpu_numerics::progen::inputs::generate_input;
+use gpu_numerics::progen::parser::parse_kernel;
+use gpu_numerics::progen::Precision;
+use proptest::prelude::*;
+
+fn precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![Just(Precision::F64), Just(Precision::F32)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// emit → parse is the identity on every generated program.
+    #[test]
+    fn emit_parse_roundtrip(seed in any::<u64>(), index in 0u64..500, prec in precision()) {
+        let cfg = GenConfig::varity_default(prec);
+        let p = generate_program(&cfg, seed, index);
+        let src = emit_kernel(&p);
+        let back = parse_kernel(&src, &p.id);
+        prop_assert!(back.is_ok(), "{src}");
+        prop_assert_eq!(back.unwrap(), p);
+    }
+
+    /// every generated program executes without error on every device,
+    /// level and toolchain combination.
+    #[test]
+    fn generated_programs_always_execute(
+        seed in any::<u64>(),
+        index in 0u64..200,
+        prec in precision(),
+        k in 0u64..5,
+    ) {
+        let cfg = GenConfig::varity_default(prec);
+        let p = generate_program(&cfg, seed, index);
+        let input = generate_input(&p, seed, k);
+        for tc in Toolchain::ALL {
+            let dev = Device::new(match tc {
+                Toolchain::Nvcc => DeviceKind::NvidiaLike,
+                Toolchain::Hipcc => DeviceKind::AmdLike,
+            });
+            for level in OptLevel::ALL {
+                let ir = compile(&p, tc, level, false);
+                let r = execute(&ir, &dev, &input);
+                prop_assert!(r.is_ok(), "{tc} {level}: {:?}", r.err());
+            }
+        }
+    }
+
+    /// optimization never *increases* the executed cost on the same
+    /// toolchain (the passes only remove or fuse work).
+    #[test]
+    fn optimization_is_cost_monotone(seed in any::<u64>(), index in 0u64..100) {
+        let cfg = GenConfig::varity_default(Precision::F64);
+        let p = generate_program(&cfg, seed, index);
+        let input = generate_input(&p, seed, 0);
+        let dev = Device::new(DeviceKind::NvidiaLike);
+        let o0 = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let o3 = compile(&p, Toolchain::Nvcc, OptLevel::O3, false);
+        let (r0, r3) = (execute(&o0, &dev, &input), execute(&o3, &dev, &input));
+        if let (Ok(r0), Ok(r3)) = (r0, r3) {
+            prop_assert!(
+                r3.cost_slots <= r0.cost_slots,
+                "O3 raw cost {} > O0 raw cost {}",
+                r3.cost_slots,
+                r0.cost_slots
+            );
+        }
+    }
+
+    /// the hipified build path never alters nvcc-side results (the flag
+    /// only changes hipcc behaviour).
+    #[test]
+    fn hipified_flag_does_not_affect_nvcc(seed in any::<u64>(), index in 0u64..100) {
+        let cfg = GenConfig::varity_default(Precision::F64);
+        let p = generate_program(&cfg, seed, index);
+        let input = generate_input(&p, seed, 0);
+        let dev = Device::new(DeviceKind::NvidiaLike);
+        for level in OptLevel::ALL {
+            let a = build_side(&p, Toolchain::Nvcc, level, TestMode::Direct);
+            let b = build_side(&p, Toolchain::Nvcc, level, TestMode::Hipified);
+            let (ra, rb) = (execute(&a, &dev, &input), execute(&b, &dev, &input));
+            if let (Ok(ra), Ok(rb)) = (ra, rb) {
+                prop_assert!(ra.value.bit_eq(&rb.value));
+            }
+        }
+    }
+
+    /// O2 and O3 results are always bit-identical to O1 on the same
+    /// toolchain and device (the paper's identical-counts observation,
+    /// strengthened to per-run equality).
+    #[test]
+    fn o1_o2_o3_results_bitwise_equal(
+        seed in any::<u64>(),
+        index in 0u64..100,
+        prec in precision(),
+    ) {
+        let cfg = GenConfig::varity_default(prec);
+        let p = generate_program(&cfg, seed, index);
+        let input = generate_input(&p, seed, 1);
+        for tc in Toolchain::ALL {
+            let dev = Device::new(match tc {
+                Toolchain::Nvcc => DeviceKind::NvidiaLike,
+                Toolchain::Hipcc => DeviceKind::AmdLike,
+            });
+            let r1 = execute(&compile(&p, tc, OptLevel::O1, false), &dev, &input);
+            let r2 = execute(&compile(&p, tc, OptLevel::O2, false), &dev, &input);
+            let r3 = execute(&compile(&p, tc, OptLevel::O3, false), &dev, &input);
+            if let (Ok(r1), Ok(r2), Ok(r3)) = (r1, r2, r3) {
+                prop_assert!(r1.value.bit_eq(&r2.value));
+                prop_assert!(r1.value.bit_eq(&r3.value));
+            }
+        }
+    }
+}
