@@ -39,9 +39,7 @@ fn bench_bt(c: &mut Criterion) {
     // full Table I regeneration (cost model + error sweep)
     let mut g = c.benchmark_group("table1_regeneration");
     g.sample_size(10);
-    g.bench_function("run_table1_50_inputs", |b| {
-        b.iter(|| black_box(bench::bt::run_table1(50)))
-    });
+    g.bench_function("run_table1_50_inputs", |b| b.iter(|| black_box(bench::bt::run_table1(50))));
     g.finish();
 }
 

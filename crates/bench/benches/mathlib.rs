@@ -83,9 +83,7 @@ fn report_ulp_divergence(c: &mut Criterion) {
                 }
             }
         }
-        println!(
-            "ulp-divergence {f}: {diffs}/{n} args differ, max {max_ulp} ulp"
-        );
+        println!("ulp-divergence {f}: {diffs}/{n} args differ, max {max_ulp} ulp");
     }
     // keep criterion happy with a trivial measurement
     c.bench_function("ulp_divergence_probe", |b| {

@@ -35,9 +35,7 @@ fn bench_emit_parse(c: &mut Criterion) {
     c.bench_function("parse_kernel", |b| {
         b.iter(|| black_box(parse_kernel(&src, "bench").unwrap()))
     });
-    c.bench_function("hipify_translate", |b| {
-        b.iter(|| black_box(hipify::hipify(&src)))
-    });
+    c.bench_function("hipify_translate", |b| b.iter(|| black_box(hipify::hipify(&src))));
 }
 
 fn bench_compile(c: &mut Criterion) {

@@ -14,26 +14,14 @@ struct Mechanism {
 }
 
 const MECHANISMS: &[Mechanism] = &[
-    Mechanism {
-        name: "fmod algorithms (exact vs chunked)",
-        set: |q, v| q.fmod_algorithms = v,
-    },
-    Mechanism {
-        name: "ceil tiny-positive quirk",
-        set: |q, v| q.ceil_tiny = v,
-    },
+    Mechanism { name: "fmod algorithms (exact vs chunked)", set: |q, v| q.fmod_algorithms = v },
+    Mechanism { name: "ceil tiny-positive quirk", set: |q, v| q.ceil_tiny = v },
     Mechanism {
         name: "transcendental kernels (exp/log/pow/...)",
         set: |q, v| q.transcendental_kernels = v,
     },
-    Mechanism {
-        name: "fast-math intrinsics (__sinf vs V_SIN)",
-        set: |q, v| q.fast_intrinsics = v,
-    },
-    Mechanism {
-        name: "fast-math FTZ asymmetry",
-        set: |q, v| q.ftz_fast_math = v,
-    },
+    Mechanism { name: "fast-math intrinsics (__sinf vs V_SIN)", set: |q, v| q.fast_intrinsics = v },
+    Mechanism { name: "fast-math FTZ asymmetry", set: |q, v| q.ftz_fast_math = v },
 ];
 
 fn main() {
@@ -54,8 +42,8 @@ fn main() {
 
     let precision = if fp32 { Precision::F32 } else { Precision::F64 };
     let base = {
-        let mut c = CampaignConfig::default_for(precision, TestMode::Direct)
-            .with_programs(programs);
+        let mut c =
+            CampaignConfig::default_for(precision, TestMode::Direct).with_programs(programs);
         c.seed = seed;
         c
     };
@@ -75,15 +63,8 @@ fn main() {
     let full = run_with(QuirkSet::all());
     let none = run_with(QuirkSet::none());
 
-    println!(
-        "MECHANISM ATTRIBUTION ({} programs, {}, seed {seed})\n",
-        programs,
-        precision.label()
-    );
-    println!(
-        "{:<44}{:>12}{:>14}",
-        "mechanism", "alone", "full minus it"
-    );
+    println!("MECHANISM ATTRIBUTION ({} programs, {}, seed {seed})\n", programs, precision.label());
+    println!("{:<44}{:>12}{:>14}", "mechanism", "alone", "full minus it");
     for m in MECHANISMS {
         // enabled alone
         let mut only = QuirkSet::none();

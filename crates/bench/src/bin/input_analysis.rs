@@ -28,8 +28,7 @@ fn main() {
         .unwrap_or(2024);
 
     let precision = if fp32 { Precision::F32 } else { Precision::F64 };
-    let mut cfg =
-        CampaignConfig::default_for(precision, TestMode::Direct).with_programs(programs);
+    let mut cfg = CampaignConfig::default_for(precision, TestMode::Direct).with_programs(programs);
     cfg.seed = seed;
 
     eprintln!("running {} {} programs …", programs, precision.label());

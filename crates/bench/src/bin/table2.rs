@@ -32,11 +32,7 @@ fn main() {
         let program = parse_kernel(&src, "table2").expect("demo kernel parses");
         let ir = build_side(&program, Toolchain::Nvcc, OptLevel::O0, TestMode::Direct);
         let input = InputSet {
-            values: vec![
-                InputValue::Float(0.0),
-                InputValue::Float(a),
-                InputValue::Float(b),
-            ],
+            values: vec![InputValue::Float(0.0), InputValue::Float(a), InputValue::Float(b)],
         };
         let r = execute(&ir, &device, &input).expect("demo runs");
         assert!(

@@ -22,9 +22,6 @@ fn main() {
         let stats = census(&corpus);
         println!("=== {} corpus ===", precision.label());
         println!("{}", render_table3(&stats));
-        assert!(
-            grammar_coverage_ok(&stats),
-            "grammar coverage regression: {stats:?}"
-        );
+        assert!(grammar_coverage_ok(&stats), "grammar coverage regression: {stats:?}");
     }
 }

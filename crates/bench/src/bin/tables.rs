@@ -73,10 +73,7 @@ fn main() {
         "{}",
         render_per_level(&r64, "TABLE V — DISCREPANCIES PER OPTIMIZATION OPTION (FP64)")
     );
-    println!(
-        "{}",
-        render_adjacency(&r64, "TABLE VI — ADJACENCY MATRICES (FP64)")
-    );
+    println!("{}", render_adjacency(&r64, "TABLE VI — ADJACENCY MATRICES (FP64)"));
     println!(
         "{}",
         render_per_level(
@@ -92,8 +89,5 @@ fn main() {
         "{}",
         render_per_level(&r32, "TABLE IX — DISCREPANCIES PER OPTIMIZATION OPTION (FP32)")
     );
-    println!(
-        "{}",
-        render_adjacency(&r32, "TABLE X — ADJACENCY MATRICES (FP32)")
-    );
+    println!("{}", render_adjacency(&r32, "TABLE X — ADJACENCY MATRICES (FP32)"));
 }

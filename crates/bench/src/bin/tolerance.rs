@@ -30,8 +30,7 @@ fn main() {
         .unwrap_or(2024);
 
     let precision = if fp32 { Precision::F32 } else { Precision::F64 };
-    let mut cfg =
-        CampaignConfig::default_for(precision, TestMode::Direct).with_programs(programs);
+    let mut cfg = CampaignConfig::default_for(precision, TestMode::Direct).with_programs(programs);
     cfg.seed = seed;
 
     eprintln!("running {} {} programs once …", programs, precision.label());
@@ -44,10 +43,7 @@ fn main() {
         programs,
         precision.label()
     );
-    println!(
-        "{:>12}{:>16}{:>12}{:>18}",
-        "rel tol", "discrepancies", "Num,Num", "cross-class"
-    );
+    println!("{:>12}{:>16}{:>12}{:>18}", "rel tol", "discrepancies", "Num,Num", "cross-class");
     let tolerances = [0.0, 1e-15, 1e-12, 1e-9, 1e-6, 1e-3, 1e-1];
     let mut prev = u64::MAX;
     for tol in tolerances {

@@ -49,10 +49,7 @@ pub fn bt_program() -> Program {
                 MathFunc::Sqrt,
                 vec![add(mul(v("var_2"), v("var_2")), mul(v("var_4"), v("var_4")))],
             ),
-            Expr::Call(
-                MathFunc::Exp,
-                vec![Expr::Neg(Box::new(mul(v("var_2"), lit(2.0))))],
-            ),
+            Expr::Call(MathFunc::Exp, vec![Expr::Neg(Box::new(mul(v("var_2"), lit(2.0))))]),
         ),
     );
 
@@ -187,10 +184,7 @@ pub fn run_table1(n_inputs: usize) -> Vec<BtRow> {
 pub fn render_table1(rows: &[BtRow]) -> String {
     let mut out = String::new();
     out.push_str("TABLE I — INCONSISTENCIES IN BT-LIKE KERNEL (simulated)\n");
-    out.push_str(&format!(
-        "{:<28}{:>14}{:>16}\n",
-        "Compiler Options", "Runtime", "Error"
-    ));
+    out.push_str(&format!("{:<28}{:>14}{:>16}\n", "Compiler Options", "Runtime", "Error"));
     for r in rows {
         out.push_str(&format!(
             "{:<28}{:>12.6}s{:>16.5E}\n",
@@ -222,10 +216,7 @@ mod tests {
             fm.runtime_s,
             o0.runtime_s
         );
-        assert!(
-            fm.max_rel_error > 0.0,
-            "fast math must perturb the result"
-        );
+        assert!(fm.max_rel_error > 0.0, "fast math must perturb the result");
         assert!(fm.max_rel_error < 1e-6, "but not catastrophically");
     }
 

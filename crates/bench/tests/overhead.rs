@@ -1,0 +1,56 @@
+//! Telemetry overhead guard.
+//!
+//! The obs instrumentation must stay cheap enough to leave on by
+//! default: this test runs the same small campaign with telemetry off
+//! and on, takes the best of three timings each (best-of filters
+//! scheduler noise far better than averaging), and fails if the
+//! instrumented run costs more than 25% extra wall-clock. The ISSUE
+//! budget is ~5%; the looser bound here absorbs CI jitter while still
+//! catching an accidental hot-loop regression (per-run registry
+//! lookups, per-op counter bumps), which shows up as 2–10×, not 1.25×.
+
+use difftest::campaign::{CampaignConfig, TestMode};
+use difftest::metadata::CampaignMeta;
+use gpucc::pipeline::Toolchain;
+use progen::ast::Precision;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn run_once(config: &CampaignConfig) -> Duration {
+    let start = Instant::now();
+    let mut meta = CampaignMeta::generate(config);
+    meta.run_side(Toolchain::Nvcc);
+    meta.run_side(Toolchain::Hipcc);
+    black_box(&meta);
+    start.elapsed()
+}
+
+fn best_of(n: usize, config: &CampaignConfig) -> Duration {
+    (0..n).map(|_| run_once(config)).min().unwrap()
+}
+
+#[test]
+fn telemetry_overhead_stays_within_budget() {
+    let config = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
+
+    // warm up allocators, thread pools, and code paths on both settings
+    obs::set_enabled(false);
+    run_once(&config);
+    obs::set_enabled(true);
+    run_once(&config);
+
+    obs::set_enabled(false);
+    let off = best_of(3, &config);
+    obs::set_enabled(true);
+    let on = best_of(3, &config);
+    obs::set_enabled(true); // leave the process-global switch as found
+
+    let ratio = on.as_secs_f64() / off.as_secs_f64().max(1e-9);
+    assert!(
+        ratio <= 1.25,
+        "telemetry overhead {:.1}% (on {:?} vs off {:?}) exceeds the budget",
+        (ratio - 1.0) * 100.0,
+        on,
+        off
+    );
+}

@@ -13,7 +13,8 @@ pub struct Args {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["--fp32", "--hipify", "--kernel-only", "--full"];
+const SWITCHES: &[&str] =
+    &["--fp32", "--hipify", "--kernel-only", "--full", "--progress", "--profile"];
 
 impl Args {
     /// Parse an argv slice.
@@ -28,9 +29,7 @@ impl Args {
                 switches.push(a.clone());
             } else if let Some(key) = a.strip_prefix('-').map(|_| a.clone()) {
                 i += 1;
-                let value = argv
-                    .get(i)
-                    .ok_or_else(|| format!("flag {key} needs a value"))?;
+                let value = argv.get(i).ok_or_else(|| format!("flag {key} needs a value"))?;
                 pairs.push((key, value.clone()));
             } else {
                 positional.push(a.clone());
@@ -42,11 +41,7 @@ impl Args {
 
     /// Value of `--key`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Parsed value of `--key`, with a default.
@@ -55,6 +50,22 @@ impl Args {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v:?}")),
         }
+    }
+
+    /// Reject any flag this command does not define. `pairs` lists the
+    /// valid `--key value` flags, `switches` the valid bare switches.
+    pub fn check_known(&self, pairs: &[&str], switches: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.pairs {
+            if !pairs.contains(&k.as_str()) {
+                return Err(format!("unknown flag {k} for this command"));
+            }
+        }
+        for s in &self.switches {
+            if !switches.contains(&s.as_str()) {
+                return Err(format!("unknown flag {s} for this command"));
+            }
+        }
+        Ok(())
     }
 
     /// True if the bare switch was passed.
@@ -118,6 +129,14 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Args::parse(&argv("--seed")).is_err());
+    }
+
+    #[test]
+    fn check_known_rejects_undeclared_flags() {
+        let a = Args::parse(&argv("--seed 1 --fp32")).unwrap();
+        assert!(a.check_known(&["--seed"], &["--fp32"]).is_ok());
+        assert!(a.check_known(&[], &["--fp32"]).unwrap_err().contains("--seed"));
+        assert!(a.check_known(&["--seed"], &[]).unwrap_err().contains("--fp32"));
     }
 
     #[test]

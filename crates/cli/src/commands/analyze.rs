@@ -1,19 +1,26 @@
 //! `varity-gpu analyze` — merge metadata halves and print the tables.
+//!
+//! With `--profile`, also print the campaign telemetry profile (span
+//! timings, throughput, counters) and the "discrepancies by responsible
+//! pass" attribution table.
 
-use super::parse_or_usage;
+use super::parse_known;
+use difftest::attribution::attribute;
 use difftest::campaign::analyze;
 use difftest::metadata::CampaignMeta;
-use difftest::report::{render_adjacency, render_digest, render_per_level};
+use difftest::report::{
+    render_adjacency, render_attribution, render_digest, render_per_level, render_profile,
+};
 use std::path::Path;
 
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, &[], &["--profile"]) {
         Ok(a) => a,
         Err(c) => return c,
     };
     let files = args.positional();
     if files.is_empty() || files.len() > 2 {
-        eprintln!("usage: varity-gpu analyze FILE [FILE2]");
+        eprintln!("usage: varity-gpu analyze FILE [FILE2] [--profile]");
         return 2;
     }
     let mut meta = match CampaignMeta::load(Path::new(&files[0])) {
@@ -40,15 +47,22 @@ pub fn run(argv: &[String]) -> i32 {
         };
     }
     if !meta.is_complete() {
-        eprintln!(
-            "metadata only covers sides {:?}; provide the other half too",
-            meta.sides_run
-        );
+        eprintln!("metadata only covers sides {:?}; provide the other half too", meta.sides_run);
         return 1;
     }
     let report = analyze(&meta);
     println!("{}", render_digest(&report));
     println!("{}", render_per_level(&report, "discrepancies per optimization option"));
     println!("{}", render_adjacency(&report, "adjacency matrices"));
+    if args.has("--profile") {
+        match &meta.metrics {
+            Some(snap) => println!("{}", render_profile(snap)),
+            None => eprintln!(
+                "no telemetry in this metadata (recorded by an older binary?); \
+                 skipping the profile table"
+            ),
+        }
+        println!("{}", render_attribution(&attribute(&meta)));
+    }
     0
 }

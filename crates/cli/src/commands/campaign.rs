@@ -1,27 +1,42 @@
 //! `varity-gpu campaign` — run a campaign (or one side of it) and save
 //! JSON metadata; the CLI face of the Fig. 3 protocol.
+//!
+//! Telemetry surface:
+//!
+//! * `--metrics FILE` streams a JSONL event log (`campaign_start`,
+//!   per-phase `phase` lines, the full counter/histogram dump, and a
+//!   `campaign_end` trailer);
+//! * `--progress` prints a live stderr line — runs done, throughput,
+//!   ETA, and discrepancies found so far;
+//! * the final [`obs::MetricsSnapshot`] always rides inside the saved
+//!   metadata, so `varity-gpu analyze --profile` works on either half of
+//!   a between-platform campaign.
+//!
+//! Result tables go to stdout; everything else goes to stderr.
 
-use super::parse_or_usage;
+use super::{flag, parse_known};
 use difftest::campaign::{analyze, CampaignConfig, TestMode};
 use difftest::metadata::CampaignMeta;
 use difftest::report::{render_digest, render_per_level};
 use gpucc::pipeline::Toolchain;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PAIRS: &[&str] = &["--seed", "--programs", "--inputs", "--side", "--out", "--metrics"];
+const SWITCHES: &[&str] = &["--fp32", "--hipify", "--full", "--progress"];
 
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
         Ok(a) => a,
         Err(c) => return c,
     };
     let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
     let mut config = CampaignConfig::default_for(args.precision(), mode);
-    config.seed = args.get_parse("--seed", config.seed).unwrap_or(config.seed);
-    config.n_programs = args
-        .get_parse("--programs", config.n_programs)
-        .unwrap_or(config.n_programs);
-    config.inputs_per_program = args
-        .get_parse("--inputs", config.inputs_per_program)
-        .unwrap_or(config.inputs_per_program);
+    config.seed = flag!(args, "--seed", config.seed);
+    config.n_programs = flag!(args, "--programs", config.n_programs);
+    config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
     if args.has("--full") {
         config.n_programs = match args.precision() {
             progen::Precision::F64 => 3540,
@@ -29,19 +44,82 @@ pub fn run(argv: &[String]) -> i32 {
         };
     }
 
-    let side = args.get("--side").unwrap_or("both");
-    let mut meta = CampaignMeta::generate(&config);
-    match side {
-        "nvcc" => meta.run_side(Toolchain::Nvcc),
-        "hipcc" => meta.run_side(Toolchain::Hipcc),
-        "both" => {
-            meta.run_side(Toolchain::Nvcc);
-            meta.run_side(Toolchain::Hipcc);
-        }
+    let sides: Vec<Toolchain> = match args.get("--side").unwrap_or("both") {
+        "nvcc" => vec![Toolchain::Nvcc],
+        "hipcc" => vec![Toolchain::Hipcc],
+        "both" => vec![Toolchain::Nvcc, Toolchain::Hipcc],
         other => {
             eprintln!("unknown side {other:?} (use nvcc|hipcc|both)");
             return 2;
         }
+    };
+
+    let metrics_log = match args.get("--metrics") {
+        None => None,
+        Some(path) => match obs::JsonlWriter::create(Path::new(path)) {
+            Ok(w) => Some((w, path.to_string())),
+            Err(e) => {
+                eprintln!("cannot create metrics log {path}: {e}");
+                return 1;
+            }
+        },
+    };
+
+    // fresh registry per campaign so metrics describe exactly this run
+    obs::reset();
+    let started = Instant::now();
+    if let Some((log, _)) = &metrics_log {
+        let _ = log.event(
+            "campaign_start",
+            serde_json::json!({
+                "precision": config.precision.label(),
+                "mode": mode.label(),
+                "programs": config.n_programs,
+                "inputs_per_program": config.inputs_per_program,
+                "levels": config.levels.iter().map(|l| l.label()).collect::<Vec<_>>(),
+                "seed": config.seed,
+                "sides": sides.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            }),
+        );
+    }
+    let log_phase = |name: &str, since: Instant| {
+        if let Some((log, _)) = &metrics_log {
+            let _ = log.event(
+                "phase",
+                serde_json::json!({ "name": name, "ms": since.elapsed().as_millis() as u64 }),
+            );
+        }
+    };
+
+    let expected_runs =
+        (config.n_programs * config.inputs_per_program * config.levels.len() * sides.len()) as u64;
+    let progress = if args.has("--progress") { Some(Progress::spawn(expected_runs)) } else { None };
+
+    let t = Instant::now();
+    let mut meta = CampaignMeta::generate(&config);
+    log_phase("generate", t);
+    for side in &sides {
+        let t = Instant::now();
+        meta.run_side(*side);
+        log_phase(&format!("run.{}", side.name()), t);
+    }
+    if let Some(p) = progress {
+        p.finish();
+    }
+
+    let snap = obs::snapshot();
+    meta.metrics = Some(snap.clone());
+    if let Some((log, path)) = &metrics_log {
+        let _ = log.write_snapshot(&snap);
+        let _ = log.event(
+            "campaign_end",
+            serde_json::json!({
+                "runs": snap.counter("campaign.runs_done"),
+                "discrepancies": snap.counter("campaign.discrepancies"),
+                "wall_ms": started.elapsed().as_millis() as u64,
+            }),
+        );
+        eprintln!("metrics log written to {path}");
     }
 
     if let Some(path) = args.get("--out") {
@@ -63,4 +141,52 @@ pub fn run(argv: &[String]) -> i32 {
         );
     }
     0
+}
+
+/// Live progress reporter: a background thread that polls the campaign
+/// counters and repaints one stderr status line until stopped.
+struct Progress {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Progress {
+    fn spawn(expected: u64) -> Progress {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stopped = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let runs = obs::global().counter("campaign.runs_done");
+            let discrepancies = obs::global().counter("campaign.discrepancies");
+            let started = Instant::now();
+            loop {
+                let done = runs.value();
+                let secs = started.elapsed().as_secs_f64();
+                let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+                let eta = if rate > 0.0 && expected > done {
+                    format!("{:.0}s", (expected - done) as f64 / rate)
+                } else {
+                    "--".to_string()
+                };
+                eprint!(
+                    "\r[campaign] {done}/{expected} runs ({:.1}%) | {rate:.0} runs/s | \
+                     ETA {eta} | {} discrepancies ",
+                    100.0 * done as f64 / expected.max(1) as f64,
+                    discrepancies.value()
+                );
+                if stopped.load(Ordering::Relaxed) {
+                    eprintln!();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        });
+        Progress { stop, handle }
+    }
+
+    /// Stop the reporter after one final repaint with the end-state
+    /// counters.
+    fn finish(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
 }

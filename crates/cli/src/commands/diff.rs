@@ -1,6 +1,6 @@
 //! `varity-gpu diff` — differential-test one program across all levels.
 
-use super::parse_or_usage;
+use super::{flag, parse_known};
 use difftest::campaign::TestMode;
 use difftest::compare_runs;
 use difftest::metadata::build_side;
@@ -11,14 +11,17 @@ use progen::gen::generate_program;
 use progen::grammar::GenConfig;
 use progen::inputs::generate_inputs;
 
+const PAIRS: &[&str] = &["--seed", "--index", "-n"];
+const SWITCHES: &[&str] = &["--fp32", "--hipify"];
+
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
         Ok(a) => a,
         Err(c) => return c,
     };
-    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
-    let index = args.get_parse("--index", 0u64).unwrap_or(0);
-    let n = args.get_parse("-n", 7usize).unwrap_or(7);
+    let seed = flag!(args, "--seed", 2024u64);
+    let index = flag!(args, "--index", 0u64);
+    let n = flag!(args, "-n", 7usize);
     let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
 
     let cfg = GenConfig::varity_default(args.precision());
@@ -27,16 +30,15 @@ pub fn run(argv: &[String]) -> i32 {
     let nv = Device::new(DeviceKind::NvidiaLike);
     let amd = Device::new(DeviceKind::AmdLike);
 
-    println!("program {} ({} mode)", program.id, mode.label());
+    // header and summary are status → stderr; discrepancy lines → stdout
+    eprintln!("program {} ({} mode)", program.id, mode.label());
     let mut found = 0u32;
     for level in OptLevel::ALL {
         let nv_ir = build_side(&program, Toolchain::Nvcc, level, mode);
         let amd_ir = build_side(&program, Toolchain::Hipcc, level, mode);
         for (k, input) in inputs.iter().enumerate() {
-            let (Ok(rn), Ok(ra)) = (
-                execute(&nv_ir, &nv, input),
-                execute(&amd_ir, &amd, input),
-            ) else {
+            let (Ok(rn), Ok(ra)) = (execute(&nv_ir, &nv, input), execute(&amd_ir, &amd, input))
+            else {
                 eprintln!("{level} input {k}: execution error");
                 continue;
             };
@@ -52,9 +54,6 @@ pub fn run(argv: &[String]) -> i32 {
             }
         }
     }
-    println!(
-        "{found} discrepancies in {} comparisons",
-        OptLevel::ALL.len() * inputs.len()
-    );
+    eprintln!("{found} discrepancies in {} comparisons", OptLevel::ALL.len() * inputs.len());
     i32::from(found == 0) // exit 0 when a discrepancy was found (grep-able)
 }

@@ -1,12 +1,12 @@
 //! `varity-gpu failures` — list failing runs from campaign metadata.
 
-use super::parse_or_usage;
+use super::parse_known;
 use difftest::metadata::CampaignMeta;
 use difftest::report::render_failures;
 use std::path::Path;
 
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, &[], &[]) {
         Ok(a) => a,
         Err(c) => return c,
     };

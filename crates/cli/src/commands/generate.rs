@@ -1,19 +1,22 @@
 //! `varity-gpu generate` — emit one random test as source.
 
-use super::parse_or_usage;
+use super::{flag, parse_known};
 use gpucc::display::render_ir;
 use gpucc::pipeline::{compile, Toolchain};
 use progen::emit::{emit, emit_kernel, Dialect};
 use progen::gen::generate_program;
 use progen::grammar::GenConfig;
 
+const PAIRS: &[&str] = &["--seed", "--index", "--dialect", "--level", "--out"];
+const SWITCHES: &[&str] = &["--fp32", "--kernel-only"];
+
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
         Ok(a) => a,
         Err(c) => return c,
     };
-    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
-    let index = args.get_parse("--index", 0u64).unwrap_or(0);
+    let seed = flag!(args, "--seed", 2024u64);
+    let index = flag!(args, "--index", 0u64);
     let dialect = match args.get("--dialect") {
         None | Some("cuda") => Dialect::Cuda,
         Some("hip") => Dialect::Hip,
@@ -24,18 +27,22 @@ pub fn run(argv: &[String]) -> i32 {
     };
     let cfg = GenConfig::varity_default(args.precision());
     let program = generate_program(&cfg, seed, index);
-    if let Ok(Some(level)) = args.level() {
+    let level = match args.level() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if let Some(level) = level {
         // --level selects the IR-listing view instead of source emission
         let tc = if dialect == Dialect::Hip { Toolchain::Hipcc } else { Toolchain::Nvcc };
         let ir = compile(&program, tc, level, false);
         print!("{}", render_ir(&ir));
         return 0;
     }
-    let source = if args.has("--kernel-only") {
-        emit_kernel(&program)
-    } else {
-        emit(&program, dialect)
-    };
+    let source =
+        if args.has("--kernel-only") { emit_kernel(&program) } else { emit(&program, dialect) };
     match args.get("--out") {
         Some(path) => {
             if let Err(e) = std::fs::write(path, source) {

@@ -1,10 +1,10 @@
 //! `varity-gpu hipify` — translate CUDA source text to HIP.
 
-use super::parse_or_usage;
+use super::parse_known;
 use hipify::hipify;
 
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, &["--out"], &[]) {
         Ok(a) => a,
         Err(c) => return c,
     };

@@ -1,18 +1,21 @@
 //! `varity-gpu inputs` — print the random inputs for a test.
 
-use super::parse_or_usage;
+use super::{flag, parse_known};
 use progen::gen::generate_program;
 use progen::grammar::GenConfig;
 use progen::inputs::generate_inputs;
 
+const PAIRS: &[&str] = &["--seed", "--index", "-n"];
+const SWITCHES: &[&str] = &["--fp32"];
+
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
         Ok(a) => a,
         Err(c) => return c,
     };
-    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
-    let index = args.get_parse("--index", 0u64).unwrap_or(0);
-    let n = args.get_parse("-n", 7usize).unwrap_or(7);
+    let seed = flag!(args, "--seed", 2024u64);
+    let index = flag!(args, "--index", 0u64);
+    let n = flag!(args, "-n", 7usize);
     let cfg = GenConfig::varity_default(args.precision());
     let program = generate_program(&cfg, seed, index);
     for input in generate_inputs(&program, seed, n) {

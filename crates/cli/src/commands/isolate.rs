@@ -1,6 +1,6 @@
 //! `varity-gpu isolate` — first-diverging-statement localization.
 
-use super::parse_or_usage;
+use super::{flag, parse_known};
 use difftest::campaign::TestMode;
 use difftest::isolate::isolate;
 use gpucc::pipeline::OptLevel;
@@ -10,14 +10,17 @@ use progen::gen::generate_program;
 use progen::grammar::GenConfig;
 use progen::inputs::generate_input;
 
+const PAIRS: &[&str] = &["--seed", "--index", "--input", "--level"];
+const SWITCHES: &[&str] = &["--fp32", "--hipify"];
+
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
         Ok(a) => a,
         Err(c) => return c,
     };
-    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
-    let index = args.get_parse("--index", 0u64).unwrap_or(0);
-    let k = args.get_parse("--input", 0u64).unwrap_or(0);
+    let seed = flag!(args, "--seed", 2024u64);
+    let index = flag!(args, "--index", 0u64);
+    let k = flag!(args, "--input", 0u64);
     let level = match args.level() {
         Ok(l) => l.unwrap_or(OptLevel::O0),
         Err(e) => {

@@ -1,4 +1,12 @@
 //! Subcommand implementations. Each returns a process exit code.
+//!
+//! Stream and exit-code conventions (shared by every command):
+//!
+//! * stdout carries the command's *result* — source text, tables,
+//!   discrepancy lines — so output can be piped or redirected cleanly;
+//! * stderr carries status, progress, and diagnostics;
+//! * exit 0 = success, 1 = runtime failure (I/O, incomplete metadata,
+//!   nothing found), 2 = usage error (unknown flag, malformed value).
 
 pub mod analyze;
 pub mod campaign;
@@ -12,10 +20,31 @@ pub mod reduce;
 
 use crate::args::Args;
 
-/// Parse argv or print the error and return exit code 2.
-pub fn parse_or_usage(argv: &[String]) -> Result<Args, i32> {
-    Args::parse(argv).map_err(|e| {
-        eprintln!("{e}");
-        2
-    })
+/// Parse argv and reject flags the command does not define; on error
+/// print it and return exit code 2.
+pub fn parse_known(argv: &[String], pairs: &[&str], switches: &[&str]) -> Result<Args, i32> {
+    let args = Args::parse(argv).map_err(usage_error)?;
+    args.check_known(pairs, switches).map_err(usage_error)?;
+    Ok(args)
 }
+
+fn usage_error(e: String) -> i32 {
+    eprintln!("{e}");
+    2
+}
+
+/// Strictly parse a numeric `--flag value`, defaulting when absent. A
+/// malformed value prints the error and exits the command with code 2 —
+/// never silently falls back to the default.
+macro_rules! flag {
+    ($args:expr, $key:expr, $default:expr) => {
+        match $args.get_parse($key, $default) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    };
+}
+pub(crate) use flag;

@@ -1,6 +1,6 @@
 //! `varity-gpu reduce` — scan for a failure and shrink it.
 
-use super::parse_or_usage;
+use super::{flag, parse_known};
 use difftest::campaign::TestMode;
 use difftest::compare_runs;
 use difftest::metadata::build_side;
@@ -13,13 +13,16 @@ use progen::gen::generate_program;
 use progen::grammar::GenConfig;
 use progen::inputs::generate_inputs;
 
+const PAIRS: &[&str] = &["--seed", "--max-index"];
+const SWITCHES: &[&str] = &["--fp32", "--hipify"];
+
 pub fn run(argv: &[String]) -> i32 {
-    let args = match parse_or_usage(argv) {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
         Ok(a) => a,
         Err(c) => return c,
     };
-    let seed = args.get_parse("--seed", 2024u64).unwrap_or(2024);
-    let max_index = args.get_parse("--max-index", 2000u64).unwrap_or(2000);
+    let seed = flag!(args, "--seed", 2024u64);
+    let max_index = flag!(args, "--max-index", 2000u64);
     let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
     let cfg = GenConfig::varity_default(args.precision());
     let nv = Device::new(DeviceKind::NvidiaLike);
@@ -32,10 +35,8 @@ pub fn run(argv: &[String]) -> i32 {
             let nv_ir = build_side(&program, Toolchain::Nvcc, level, mode);
             let amd_ir = build_side(&program, Toolchain::Hipcc, level, mode);
             for input in &inputs {
-                let (Ok(rn), Ok(ra)) = (
-                    execute(&nv_ir, &nv, input),
-                    execute(&amd_ir, &amd, input),
-                ) else {
+                let (Ok(rn), Ok(ra)) = (execute(&nv_ir, &nv, input), execute(&amd_ir, &amd, input))
+                else {
                     continue;
                 };
                 let Some(d) = compare_runs(&rn.value, &ra.value) else {
@@ -49,18 +50,14 @@ pub fn run(argv: &[String]) -> i32 {
                     rn.value.format_exact(),
                     ra.value.format_exact()
                 );
-                let check =
-                    discrepancy_check(input.clone(), level, mode, QuirkSet::all());
+                let check = discrepancy_check(input.clone(), level, mode, QuirkSet::all());
                 let red = reduce_program(&program, check);
                 eprintln!(
                     "reduced {} → {} statements in {} steps",
                     red.original_stmts, red.final_stmts, red.steps
                 );
                 println!("{}", emit_kernel(&red.program));
-                println!(
-                    "// failure-inducing input: {}",
-                    input.render(program.precision)
-                );
+                println!("// failure-inducing input: {}", input.render(program.precision));
                 println!("// level: {}", level.label());
                 return 0;
             }

@@ -58,8 +58,13 @@ COMMANDS:
   campaign   run a campaign and save JSON metadata
              [--fp32] [--hipify] [--programs N] [--inputs K] [--seed S]
              [--side nvcc|hipcc|both] [--out FILE]
+             [--metrics FILE]  stream a JSONL telemetry log
+             [--progress]      live stderr progress (throughput, ETA,
+                               discrepancies so far)
   analyze    merge metadata files and print the paper-style tables
-             FILE [FILE2]
+             FILE [FILE2] [--profile]
+             --profile adds the telemetry profile and the discrepancies-
+             by-responsible-pass attribution table
   failures   list every failing (program, level, input) triple
              FILE [FILE2]
   reduce     find a failure in a seed range and shrink it
@@ -69,4 +74,12 @@ COMMANDS:
   hipify     translate CUDA source text to HIP
              FILE [--out FILE]
   help       this message
+
+STREAMS: results (source, tables, discrepancy lines) go to stdout;
+status, progress, and diagnostics go to stderr.
+
+EXIT CODES:
+  0  success (for `diff`, success means a discrepancy was found)
+  1  runtime failure (I/O error, incomplete metadata, nothing found)
+  2  usage error (unknown flag or subcommand, malformed value)
 ";

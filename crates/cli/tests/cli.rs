@@ -4,10 +4,7 @@
 use std::process::{Command, Output};
 
 fn varity(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_varity-gpu"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_varity-gpu")).args(args).output().expect("binary runs")
 }
 
 fn stdout(out: &Output) -> String {
@@ -20,8 +17,8 @@ fn help_lists_all_subcommands() {
     assert!(out.status.success());
     let text = stdout(&out);
     for cmd in [
-        "generate", "inputs", "diff", "campaign", "analyze", "failures", "reduce",
-        "isolate", "hipify",
+        "generate", "inputs", "diff", "campaign", "analyze", "failures", "reduce", "isolate",
+        "hipify",
     ] {
         assert!(text.contains(cmd), "help missing `{cmd}`:\n{text}");
     }
@@ -100,6 +97,78 @@ fn campaign_roundtrip_through_metadata_files() {
 }
 
 #[test]
+fn campaign_metrics_jsonl_is_valid_and_complete() {
+    let dir = std::env::temp_dir().join("varity_cli_test_metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let m = dir.join("m.jsonl");
+    let ms = m.to_str().unwrap();
+    let out = varity(&["campaign", "--programs", "10", "--metrics", ms, "--progress"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[campaign]"), "no progress line:\n{stderr}");
+    assert!(stderr.contains("discrepancies"), "{stderr}");
+
+    let text = std::fs::read_to_string(&m).unwrap();
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut counter_names = Vec::new();
+    let mut hist_names = Vec::new();
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect(line);
+        assert!(v.get("ts_ms").is_some(), "{line}");
+        let ev = v["ev"].as_str().expect("ev is a string").to_string();
+        match ev.as_str() {
+            "counter" => counter_names.push(v["name"].as_str().unwrap().to_string()),
+            "hist" => hist_names.push(v["name"].as_str().unwrap().to_string()),
+            _ => {}
+        }
+        kinds.insert(ev);
+    }
+    for k in ["campaign_start", "phase", "counter", "hist", "campaign_end"] {
+        assert!(kinds.contains(k), "missing {k} events:\n{text}");
+    }
+    // per-pass rewrite counters and per-phase spans made it into the log
+    assert!(counter_names.iter().any(|n| n.starts_with("gpucc.rewrites.")), "{counter_names:?}");
+    assert!(counter_names.iter().any(|n| n == "campaign.runs_done"));
+    assert!(hist_names.iter().any(|n| n == "span.campaign.generate"), "{hist_names:?}");
+    assert!(hist_names.iter().any(|n| n == "span.campaign.run.nvcc"), "{hist_names:?}");
+    std::fs::remove_file(&m).ok();
+}
+
+#[test]
+fn malformed_numeric_flag_exits_2() {
+    let out = varity(&["campaign", "--programs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--programs"));
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = varity(&["campaign", "--bogus", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+    // a switch that exists globally but not for this command is rejected too
+    let out = varity(&["diff", "--kernel-only"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn analyze_profile_renders_profile_and_attribution() {
+    let dir = std::env::temp_dir().join("varity_cli_test_profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("c.json");
+    let path = f.to_str().unwrap();
+    let out = varity(&["campaign", "--programs", "15", "--out", path]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = varity(&["analyze", path, "--profile"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("CAMPAIGN PROFILE"), "{text}");
+    assert!(text.contains("campaign.run.nvcc"), "{text}");
+    assert!(text.contains("DISCREPANCIES BY RESPONSIBLE PASS"), "{text}");
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
 fn analyze_rejects_half_campaign() {
     let dir = std::env::temp_dir().join("varity_cli_test_half");
     std::fs::create_dir_all(&dir).unwrap();
@@ -136,8 +205,5 @@ fn isolate_reports_divergence_point() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = stdout(&out);
     assert!(text.contains("stores:"), "{text}");
-    assert!(
-        text.contains("first divergence") || text.contains("no divergence"),
-        "{text}"
-    );
+    assert!(text.contains("first divergence") || text.contains("no divergence"), "{text}");
 }

@@ -1,0 +1,209 @@
+//! Pass attribution: which fast-math passes rewrote discrepant kernels.
+//!
+//! The paper's §V case studies root-caused discrepancies to individual
+//! mechanisms (reassociation, finite-math-only, HIPIFY's contraction
+//! default) by hand. This module does it as recorded data: for every
+//! discrepant (program, level) pair it recompiles both sides — compilation
+//! is deterministic, so the recompile reproduces exactly what the campaign
+//! did — and attributes the discrepancies to every *semantic* pass that
+//! actually rewrote the kernel, aggregated into a "discrepancies by
+//! responsible pass" table.
+//!
+//! Structural passes (`const-fold`, `cse`, `dce`) are excluded: both
+//! toolchains run them identically, so they never cause a divergence.
+//! Discrepancies where no semantic pass fired on either side (e.g. at O0,
+//! where math-library and FTZ differences are the only mechanisms) land in
+//! an explicit "(no pass fired)" row rather than being dropped.
+
+use crate::campaign::decode;
+use crate::compare::compare_runs;
+use crate::metadata::{build_side_with_stats, side_key, CampaignMeta};
+use crate::outcome::DiscrepancyClass;
+use gpucc::pipeline::Toolchain;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Passes whose rewrites change floating-point semantics and can
+/// therefore be responsible for a between-compiler discrepancy.
+pub const SEMANTIC_PASSES: [&str; 4] = ["reassoc", "finite-math", "recip", "fma-contract"];
+
+/// Row key for discrepancies where no semantic pass fired on either side
+/// (math-library / FTZ divergence, the O0 mechanisms).
+pub const UNATTRIBUTED: &str = "(no pass fired)";
+
+/// One row of the "discrepancies by responsible pass" table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PassRow {
+    /// `"{toolchain}:{pass}"` (e.g. `nvcc:reassoc`), or [`UNATTRIBUTED`].
+    pub key: String,
+    /// Discrepancies in kernels this pass rewrote. A discrepancy counts
+    /// toward every pass that fired on its kernel, so rows can overlap.
+    pub discrepancies: u64,
+    /// Breakdown per [`DiscrepancyClass`] (in `ALL` order).
+    pub by_class: [u64; 7],
+}
+
+/// The aggregated pass-attribution table for one campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AttributionReport {
+    /// Rows sorted by descending discrepancy count (ties by key).
+    pub rows: Vec<PassRow>,
+    /// Total discrepancies examined (equals the analyze report's total).
+    pub total_discrepancies: u64,
+    /// Discrepancies with at least one semantic pass fired.
+    pub attributed: u64,
+}
+
+#[derive(Default, Clone)]
+struct Agg {
+    rows: BTreeMap<String, (u64, [u64; 7])>,
+    total: u64,
+    attributed: u64,
+}
+
+impl Agg {
+    fn fold(mut self, other: Agg) -> Agg {
+        for (k, (n, by)) in other.rows {
+            let e = self.rows.entry(k).or_insert((0, [0; 7]));
+            e.0 += n;
+            for (i, v) in by.iter().enumerate() {
+                e.1[i] += v;
+            }
+        }
+        self.total += other.total;
+        self.attributed += other.attributed;
+        self
+    }
+}
+
+/// Build the pass-attribution report for a completed campaign.
+///
+/// Only discrepant (program, level) pairs are recompiled, so the cost is
+/// proportional to the discrepancy count, not the campaign size.
+pub fn attribute(meta: &CampaignMeta) -> AttributionReport {
+    let _span = obs::span("campaign.attribute");
+    let config = &meta.config;
+    let agg = meta
+        .tests
+        .par_iter()
+        .map(|test| {
+            let mut agg = Agg::default();
+            let mut program = None;
+            for level in &config.levels {
+                let nv = test.results.get(&side_key(Toolchain::Nvcc, *level));
+                let amd = test.results.get(&side_key(Toolchain::Hipcc, *level));
+                let (Some(nv), Some(amd)) = (nv, amd) else { continue };
+                let mut classes: Vec<DiscrepancyClass> = Vec::new();
+                for (rn, ra) in nv.iter().zip(amd) {
+                    if rn.error.is_some() || ra.error.is_some() {
+                        continue;
+                    }
+                    let vn = decode(config.precision, rn.bits);
+                    let va = decode(config.precision, ra.bits);
+                    if let Some(d) = compare_runs(&vn, &va) {
+                        classes.push(d.class);
+                    }
+                }
+                if classes.is_empty() {
+                    continue;
+                }
+                agg.total += classes.len() as u64;
+                let program = program.get_or_insert_with(|| meta.program_for(test));
+                let mut keys: Vec<String> = Vec::new();
+                for tc in Toolchain::ALL {
+                    let (_, stats) = build_side_with_stats(program, tc, *level, config.mode);
+                    for name in stats.fired_passes() {
+                        if SEMANTIC_PASSES.contains(&name) {
+                            keys.push(format!("{}:{}", tc.name(), name));
+                        }
+                    }
+                }
+                if keys.is_empty() {
+                    keys.push(UNATTRIBUTED.to_string());
+                } else {
+                    agg.attributed += classes.len() as u64;
+                }
+                for key in keys {
+                    let e = agg.rows.entry(key).or_insert((0, [0; 7]));
+                    for class in &classes {
+                        e.0 += 1;
+                        e.1[class.index()] += 1;
+                    }
+                }
+            }
+            agg
+        })
+        .reduce(Agg::default, Agg::fold);
+
+    let mut rows: Vec<PassRow> = agg
+        .rows
+        .into_iter()
+        .map(|(key, (discrepancies, by_class))| PassRow { key, discrepancies, by_class })
+        .collect();
+    rows.sort_by(|a, b| b.discrepancies.cmp(&a.discrepancies).then_with(|| a.key.cmp(&b.key)));
+    AttributionReport { rows, total_discrepancies: agg.total, attributed: agg.attributed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{analyze, CampaignConfig, TestMode};
+    use gpucc::pipeline::OptLevel;
+    use gpusim::QuirkSet;
+    use progen::ast::Precision;
+
+    fn completed(n: usize) -> CampaignMeta {
+        let config = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(n);
+        let mut meta = CampaignMeta::generate(&config);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        meta
+    }
+
+    #[test]
+    fn totals_match_the_analyze_report() {
+        let meta = completed(80);
+        let report = analyze(&meta);
+        let attr = attribute(&meta);
+        assert_eq!(attr.total_discrepancies, report.total_discrepancies());
+        assert!(attr.attributed <= attr.total_discrepancies);
+        // every row's class breakdown is internally consistent
+        for row in &attr.rows {
+            assert_eq!(row.by_class.iter().sum::<u64>(), row.discrepancies, "{}", row.key);
+        }
+    }
+
+    #[test]
+    fn fast_math_discrepancies_name_nvcc_passes() {
+        // O3_FM only: every discrepancy involves a kernel the nvcc
+        // fast-math bundle (or contraction) rewrote
+        let mut config =
+            CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(120);
+        config.levels = vec![OptLevel::O3Fm];
+        let mut meta = CampaignMeta::generate(&config);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        let attr = attribute(&meta);
+        assert!(attr.total_discrepancies > 0, "O3_FM campaign found nothing");
+        assert!(
+            attr.rows.iter().any(|r| r.key.starts_with("nvcc:")),
+            "no nvcc fast-math pass attributed: {:?}",
+            attr.rows
+        );
+    }
+
+    #[test]
+    fn quirkless_o0_campaign_attributes_nothing() {
+        let mut config =
+            CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(20);
+        config.quirks = QuirkSet::none();
+        config.levels = vec![OptLevel::O0];
+        let mut meta = CampaignMeta::generate(&config);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        let attr = attribute(&meta);
+        assert_eq!(attr.total_discrepancies, 0);
+        assert!(attr.rows.is_empty());
+    }
+}

@@ -179,12 +179,10 @@ pub fn analyze(meta: &CampaignMeta) -> CampaignReport {
 /// exact result bits, any tolerance can be applied after the fact without
 /// re-running anything.
 pub fn analyze_with_tolerance(meta: &CampaignMeta, rel_tol: f64) -> CampaignReport {
+    let _span = obs::span("campaign.analyze");
     let config = meta.config.clone();
-    let mut per_level: Vec<(OptLevel, LevelStats)> = config
-        .levels
-        .iter()
-        .map(|l| (*l, LevelStats::default()))
-        .collect();
+    let mut per_level: Vec<(OptLevel, LevelStats)> =
+        config.levels.iter().map(|l| (*l, LevelStats::default())).collect();
 
     for test in &meta.tests {
         for (level, stats) in per_level.iter_mut() {
@@ -199,9 +197,7 @@ pub fn analyze_with_tolerance(meta: &CampaignMeta, rel_tol: f64) -> CampaignRepo
                 }
                 let vn = decode(config.precision, rn.bits);
                 let va = decode(config.precision, ra.bits);
-                if let Some(d) =
-                    crate::compare::compare_runs_with_tolerance(&vn, &va, rel_tol)
-                {
+                if let Some(d) = crate::compare::compare_runs_with_tolerance(&vn, &va, rel_tol) {
                     stats.record(d.nvcc, d.hipcc, d.class);
                 }
             }
@@ -283,12 +279,7 @@ mod tests {
     fn o1_o2_o3_have_identical_stats() {
         let report = run_campaign(&small(Precision::F64, TestMode::Direct));
         let find = |l: OptLevel| {
-            report
-                .per_level
-                .iter()
-                .find(|(lv, _)| *lv == l)
-                .map(|(_, s)| s.clone())
-                .unwrap()
+            report.per_level.iter().find(|(lv, _)| *lv == l).map(|(_, s)| s.clone()).unwrap()
         };
         assert_eq!(find(OptLevel::O1), find(OptLevel::O2));
         assert_eq!(find(OptLevel::O2), find(OptLevel::O3));

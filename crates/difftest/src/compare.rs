@@ -48,11 +48,7 @@ pub fn compare_runs(nvcc: &ExecValue, hipcc: &ExecValue) -> Option<Discrepancy> 
         return Some(Discrepancy { class, nvcc: a, hipcc: b });
     }
     if a == Outcome::Num && b == Outcome::Num && !nvcc.bit_eq(hipcc) {
-        return Some(Discrepancy {
-            class: DiscrepancyClass::NumNum,
-            nvcc: a,
-            hipcc: b,
-        });
+        return Some(Discrepancy { class: DiscrepancyClass::NumNum, nvcc: a, hipcc: b });
     }
     None
 }
@@ -90,19 +86,13 @@ pub struct ThreadDiscrepancy {
 /// Compare per-thread result vectors from `gpucc::interp::execute_grid`
 /// (SIMT extension): returns every thread whose results diverge. Panics if
 /// the two sides ran different block sizes.
-pub fn compare_grids(
-    nvcc: &[ExecValue],
-    hipcc: &[ExecValue],
-) -> Vec<ThreadDiscrepancy> {
+pub fn compare_grids(nvcc: &[ExecValue], hipcc: &[ExecValue]) -> Vec<ThreadDiscrepancy> {
     assert_eq!(nvcc.len(), hipcc.len(), "block sizes must match");
     nvcc.iter()
         .zip(hipcc)
         .enumerate()
         .filter_map(|(tid, (a, b))| {
-            compare_runs(a, b).map(|d| ThreadDiscrepancy {
-                thread: tid as u32,
-                discrepancy: d,
-            })
+            compare_runs(a, b).map(|d| ThreadDiscrepancy { thread: tid as u32, discrepancy: d })
         })
         .collect()
 }

@@ -107,10 +107,8 @@ pub fn run_cross_matrix(
             cross_one(&program, &inputs, level, quirks)
         })
         .collect();
-    let mut m = CrossMatrix {
-        comparisons: (n_programs * inputs_per_program) as u64,
-        ..Default::default()
-    };
+    let mut m =
+        CrossMatrix { comparisons: (n_programs * inputs_per_program) as u64, ..Default::default() };
     for t in per_test {
         for (row, trow) in m.counts.iter_mut().zip(&t) {
             for (cell, v) in row.iter_mut().zip(trow) {
@@ -132,10 +130,8 @@ fn cross_one(
         .iter()
         .map(|c| prepare(&compile(program, c.toolchain, level, false)).expect("resolves"))
         .collect();
-    let devices: Vec<Device> = ALL_CONFIGS
-        .iter()
-        .map(|c| Device::with_quirks(c.device, quirks))
-        .collect();
+    let devices: Vec<Device> =
+        ALL_CONFIGS.iter().map(|c| Device::with_quirks(c.device, quirks)).collect();
     let mut counts = [[0u64; 4]; 4];
     for input in inputs {
         let results: Vec<Option<ExecValue>> = kernels
@@ -236,10 +232,7 @@ mod tests {
     #[test]
     fn o3_adds_a_compiler_component() {
         let m = matrix(OptLevel::O3);
-        assert!(
-            m.compiler_effect() > 0,
-            "contraction preferences differ at O3"
-        );
+        assert!(m.compiler_effect() > 0, "contraction preferences differ at O3");
         // the compound effect carries at least the library component
         assert!(m.compound() >= m.library_effect());
     }

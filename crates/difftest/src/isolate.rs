@@ -72,9 +72,7 @@ impl IsolationReport {
                     d.nvcc.format_exact(),
                     d.hipcc.format_exact(),
                     hex,
-                    d.ulp_at_divergence
-                        .map(|u| format!(" ({u} ulp apart)"))
-                        .unwrap_or_default(),
+                    d.ulp_at_divergence.map(|u| format!(" ({u} ulp apart)")).unwrap_or_default(),
                     if cf { "; control flow later diverged" } else { "" },
                 )
             }
@@ -100,11 +98,8 @@ pub fn isolate(
     let (ra, ta) = execute_traced(&amd_ir, &amd_dev, input)?;
 
     let first_divergence = first_difference(program, &tn, &ta);
-    let control_flow_diverged = tn.len() != ta.len()
-        || tn
-            .iter()
-            .zip(&ta)
-            .any(|(a, b)| a.target != b.target);
+    let control_flow_diverged =
+        tn.len() != ta.len() || tn.iter().zip(&ta).any(|(a, b)| a.target != b.target);
 
     Ok(IsolationReport {
         discrepancy: compare_runs(&rn.value, &ra.value),
@@ -150,9 +145,7 @@ fn first_difference(
 fn ulp_between(a: &ExecValue, b: &ExecValue) -> Option<u64> {
     match (a, b) {
         (ExecValue::F64(x), ExecValue::F64(y)) => fpcore::ulp::ulp_diff_f64(*x, *y),
-        (ExecValue::F32(x), ExecValue::F32(y)) => {
-            fpcore::ulp::ulp_diff_f32(*x, *y).map(u64::from)
-        }
+        (ExecValue::F32(x), ExecValue::F32(y)) => fpcore::ulp::ulp_diff_f32(*x, *y).map(u64::from),
         _ => None,
     }
 }
@@ -245,11 +238,7 @@ mod tests {
             }],
         };
         let input = InputSet {
-            values: vec![
-                InputValue::Float(0.0),
-                InputValue::Int(6),
-                InputValue::Float(0.0),
-            ],
+            values: vec![InputValue::Float(0.0), InputValue::Int(6), InputValue::Float(0.0)],
         };
         let r = isolate(&p, &input, OptLevel::O0, TestMode::Direct, QuirkSet::all()).unwrap();
         let d = r.first_divergence.expect("fmod diverges");

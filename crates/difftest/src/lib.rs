@@ -16,10 +16,15 @@
 //!    protocol of Fig. 3 ([`metadata`]);
 //! 7. shrink failure-inducing tests to minimal reproducers ([`reduce`]);
 //! 8. isolate the first diverging statement via trace alignment
-//!    ([`isolate`]) — pLiner-style root-cause localization.
+//!    ([`isolate`]) — pLiner-style root-cause localization;
+//! 9. attribute discrepancies to the fast-math passes that rewrote the
+//!    offending kernels ([`attribution`]), and carry campaign telemetry
+//!    (spans, counters, throughput) through the metadata protocol
+//!    ([`obs`]).
 
 #![deny(missing_docs)]
 
+pub mod attribution;
 pub mod campaign;
 pub mod compare;
 pub mod cross;

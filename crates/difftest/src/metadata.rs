@@ -12,7 +12,7 @@ use crate::campaign::CampaignConfig;
 use crate::campaign::TestMode;
 use fpcore::classify::Outcome;
 use gpucc::interp::{execute_prepared, prepare, ExecValue};
-use gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpucc::pipeline::{compile_with_stats, CompileStats, OptLevel, Toolchain};
 use gpucc::KernelIr;
 use gpusim::{Device, DeviceKind};
 use hipify::hipify;
@@ -65,6 +65,11 @@ pub struct CampaignMeta {
     pub sides_run: Vec<String>,
     /// Per-test metadata.
     pub tests: Vec<TestMeta>,
+    /// Telemetry captured while this half ran (absent in files written
+    /// before metrics existed or with telemetry disabled). Merging
+    /// halves or shards adds their snapshots together.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<obs::MetricsSnapshot>,
 }
 
 /// Key for one (toolchain, level) result column.
@@ -95,21 +100,16 @@ impl std::error::Error for MetaError {}
 impl CampaignMeta {
     /// Generate the campaign's tests and inputs (no results yet).
     pub fn generate(config: &CampaignConfig) -> Self {
+        let _span = obs::span("campaign.generate");
         let tests = (0..config.n_programs as u64)
             .into_par_iter()
             .map(|index| {
                 let program = generate_program(&config.gen, config.seed, index);
-                let inputs =
-                    generate_inputs(&program, config.seed, config.inputs_per_program);
-                TestMeta {
-                    index,
-                    program_id: program.id.clone(),
-                    inputs,
-                    results: BTreeMap::new(),
-                }
+                let inputs = generate_inputs(&program, config.seed, config.inputs_per_program);
+                TestMeta { index, program_id: program.id.clone(), inputs, results: BTreeMap::new() }
             })
             .collect();
-        CampaignMeta { config: config.clone(), sides_run: Vec::new(), tests }
+        CampaignMeta { config: config.clone(), sides_run: Vec::new(), tests, metrics: None }
     }
 
     /// Regenerate the program for a test entry (deterministic).
@@ -123,6 +123,7 @@ impl CampaignMeta {
     /// inputs) and store the results. This is what runs on each cluster in
     /// the Fig. 3 protocol.
     pub fn run_side(&mut self, toolchain: Toolchain) {
+        let _span = obs::span(format!("campaign.run.{}", toolchain.name()));
         let config = self.config.clone();
         let device = Device::with_quirks(
             match toolchain {
@@ -131,16 +132,41 @@ impl CampaignMeta {
             },
             config.quirks,
         );
+        let other_tc = match toolchain {
+            Toolchain::Nvcc => Toolchain::Hipcc,
+            Toolchain::Hipcc => Toolchain::Nvcc,
+        };
         self.tests.par_iter_mut().for_each(|test| {
             let program = generate_program(&config.gen, config.seed, test.index);
             for level in &config.levels {
                 let ir = build_side(&program, toolchain, *level, config.mode);
                 let kernel = prepare(&ir).expect("generated kernels resolve");
-                let records: Vec<RunRecord> = test
-                    .inputs
-                    .iter()
-                    .map(|input| run_one(&kernel, &device, input))
-                    .collect();
+                let records: Vec<RunRecord> =
+                    test.inputs.iter().map(|input| run_one(&kernel, &device, input)).collect();
+                if obs::enabled() {
+                    obs::add("campaign.runs_done", records.len() as u64);
+                    // live discrepancy tally: when the other side already
+                    // ran, compare as results land so progress displays can
+                    // report discrepancies-so-far without waiting for the
+                    // analyze phase
+                    if let Some(prev) = test.results.get(&side_key(other_tc, *level)) {
+                        for (mine, theirs) in records.iter().zip(prev) {
+                            if mine.error.is_some() || theirs.error.is_some() {
+                                continue;
+                            }
+                            let (nv, amd) = match toolchain {
+                                Toolchain::Nvcc => (mine.bits, theirs.bits),
+                                Toolchain::Hipcc => (theirs.bits, mine.bits),
+                            };
+                            let vn = crate::campaign::decode(config.precision, nv);
+                            let va = crate::campaign::decode(config.precision, amd);
+                            if let Some(d) = crate::compare::compare_runs(&vn, &va) {
+                                obs::add("campaign.discrepancies", 1);
+                                obs::add(&format!("campaign.disc.{:?}", d.class), 1);
+                            }
+                        }
+                    }
+                }
                 test.results.insert(side_key(toolchain, *level), records);
             }
         });
@@ -179,6 +205,7 @@ impl CampaignMeta {
                 a.sides_run.push(s);
             }
         }
+        a.metrics = merge_metrics(a.metrics.take(), b.metrics);
         Ok(a)
     }
 
@@ -196,6 +223,7 @@ impl CampaignMeta {
                 config: self.config.clone(),
                 sides_run: self.sides_run.clone(),
                 tests: Vec::new(),
+                metrics: None,
             })
             .collect();
         for (i, test) in self.tests.into_iter().enumerate() {
@@ -218,14 +246,12 @@ impl CampaignMeta {
             }
             sides.retain(|s| shard.sides_run.contains(s));
             first.tests.extend(shard.tests);
+            first.metrics = merge_metrics(first.metrics.take(), shard.metrics);
         }
         first.tests.sort_by_key(|t| t.index);
         // completeness + disjointness
         if first.tests.len() != first.config.n_programs
-            || first
-                .tests
-                .windows(2)
-                .any(|w| w[0].index == w[1].index)
+            || first.tests.windows(2).any(|w| w[0].index == w[1].index)
         {
             return Err(MetaError::ConfigMismatch);
         }
@@ -250,6 +276,21 @@ fn io(e: impl std::fmt::Display) -> MetaError {
     MetaError::Io(e.to_string())
 }
 
+/// Combine the telemetry of two campaign pieces (counters add,
+/// histograms merge bucket-wise; one-sided telemetry passes through).
+fn merge_metrics(
+    a: Option<obs::MetricsSnapshot>,
+    b: Option<obs::MetricsSnapshot>,
+) -> Option<obs::MetricsSnapshot> {
+    match (a, b) {
+        (Some(mut ma), Some(mb)) => {
+            ma.merge(&mb);
+            Some(ma)
+        }
+        (ma, mb) => ma.or(mb),
+    }
+}
+
 /// Build the kernel a given side runs: emit source in the right dialect,
 /// push it through HIPIFY if the campaign tests converted code, re-parse,
 /// and compile with the side's toolchain.
@@ -259,23 +300,37 @@ pub fn build_side(
     level: OptLevel,
     mode: TestMode,
 ) -> KernelIr {
+    build_side_with_stats(program, toolchain, level, mode).0
+}
+
+/// [`build_side`], plus the per-pass compile statistics. The
+/// pass-attribution report recompiles discrepant (program, level) pairs
+/// through this to name the passes that rewrote the offending kernel —
+/// compilation is deterministic, so the recompile sees exactly what the
+/// campaign's compile did.
+pub fn build_side_with_stats(
+    program: &Program,
+    toolchain: Toolchain,
+    level: OptLevel,
+    mode: TestMode,
+) -> (KernelIr, CompileStats) {
     match (toolchain, mode) {
         (Toolchain::Nvcc, _) => {
             let src = emit(program, Dialect::Cuda);
             let parsed = parse_kernel(&src, &program.id).expect("emitted CUDA parses");
-            compile(&parsed, Toolchain::Nvcc, level, false)
+            compile_with_stats(&parsed, Toolchain::Nvcc, level, false)
         }
         (Toolchain::Hipcc, TestMode::Direct) => {
             let src = emit(program, Dialect::Hip);
             let parsed = parse_kernel(&src, &program.id).expect("emitted HIP parses");
-            compile(&parsed, Toolchain::Hipcc, level, false)
+            compile_with_stats(&parsed, Toolchain::Hipcc, level, false)
         }
         (Toolchain::Hipcc, TestMode::Hipified) => {
             let cuda = emit(program, Dialect::Cuda);
             let converted = hipify(&cuda);
             let parsed =
                 parse_kernel(&converted.source, &program.id).expect("hipified source parses");
-            compile(&parsed, Toolchain::Hipcc, level, true)
+            compile_with_stats(&parsed, Toolchain::Hipcc, level, true)
         }
     }
 }
@@ -350,10 +405,7 @@ mod tests {
     fn merge_rejects_mismatched_configs() {
         let a = CampaignMeta::generate(&cfg().with_programs(3));
         let b = CampaignMeta::generate(&cfg().with_programs(4));
-        assert_eq!(
-            CampaignMeta::merge(a, b).unwrap_err(),
-            MetaError::ConfigMismatch
-        );
+        assert_eq!(CampaignMeta::merge(a, b).unwrap_err(), MetaError::ConfigMismatch);
     }
 
     #[test]
@@ -394,7 +446,7 @@ mod tests {
     #[test]
     fn sharded_batches_reproduce_the_monolithic_campaign() {
         let config = cfg().with_programs(13); // uneven split on purpose
-        // monolithic reference
+                                              // monolithic reference
         let monolithic = run_campaign(&config);
         // sharded: three batches, each run independently
         let shards = CampaignMeta::generate(&config).shard(3);
@@ -434,15 +486,60 @@ mod tests {
     }
 
     #[test]
+    fn metrics_snapshot_survives_save_load_and_merge() {
+        let config = cfg().with_programs(3);
+        let mut a = CampaignMeta::generate(&config);
+        a.run_side(Toolchain::Nvcc);
+        let reg = obs::Registry::new();
+        reg.counter("campaign.runs_done").add(10);
+        reg.hist("span.campaign.generate").record(1234);
+        a.metrics = Some(reg.snapshot());
+
+        // save/load keeps the snapshot bit-identical
+        let dir = std::env::temp_dir().join("difftest_meta_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.json");
+        a.save(&path).unwrap();
+        let back = CampaignMeta::load(&path).unwrap();
+        assert_eq!(a, back);
+        std::fs::remove_file(&path).ok();
+
+        // merging halves adds their telemetry together
+        let mut b = CampaignMeta::generate(&config);
+        b.run_side(Toolchain::Hipcc);
+        let reg2 = obs::Registry::new();
+        reg2.counter("campaign.runs_done").add(5);
+        b.metrics = Some(reg2.snapshot());
+        let merged = CampaignMeta::merge(a, b).unwrap();
+        let m = merged.metrics.expect("merged file keeps telemetry");
+        assert_eq!(m.counter("campaign.runs_done"), 15);
+        assert_eq!(m.hists["span.campaign.generate"].count, 1);
+
+        // one-sided telemetry passes through merge untouched
+        let mut c = CampaignMeta::generate(&config);
+        c.metrics = Some(reg.snapshot());
+        let d = CampaignMeta::generate(&config);
+        let merged = CampaignMeta::merge(c, d).unwrap();
+        assert_eq!(merged.metrics.unwrap().counter("campaign.runs_done"), 10);
+    }
+
+    #[test]
+    fn metrics_field_is_optional_in_old_files() {
+        // files written before telemetry existed must still load
+        let config = cfg().with_programs(2);
+        let meta = CampaignMeta::generate(&config);
+        let mut v: serde_json::Value = serde_json::to_value(&meta).unwrap();
+        v.as_object_mut().unwrap().remove("metrics");
+        let back: CampaignMeta = serde_json::from_value(v).unwrap();
+        assert_eq!(back, meta);
+        assert!(back.metrics.is_none());
+    }
+
+    #[test]
     fn hipified_mode_builds_through_the_translator() {
-        let program = generate_program(
-            &cfg().gen,
-            1,
-            0,
-        );
+        let program = generate_program(&cfg().gen, 1, 0);
         let direct = build_side(&program, Toolchain::Hipcc, OptLevel::O0, TestMode::Direct);
-        let converted =
-            build_side(&program, Toolchain::Hipcc, OptLevel::O0, TestMode::Hipified);
+        let converted = build_side(&program, Toolchain::Hipcc, OptLevel::O0, TestMode::Hipified);
         // the hipified kernel may differ (contract-at-O0) but both must
         // come from the same program
         assert_eq!(direct.program_id, converted.program_id);

@@ -55,10 +55,7 @@ impl DiscrepancyClass {
 
     /// Index into [`DiscrepancyClass::ALL`].
     pub fn index(self) -> usize {
-        DiscrepancyClass::ALL
-            .iter()
-            .position(|c| *c == self)
-            .expect("class in ALL")
+        DiscrepancyClass::ALL.iter().position(|c| *c == self).expect("class in ALL")
     }
 
     /// Classify an *unordered* outcome pair. Returns `None` for identical

@@ -31,10 +31,7 @@ pub struct Reduction {
 
 /// Shrink `program` while `still_fails` holds. Greedy fixed point over
 /// statement removal, block flattening, and expression shrinking.
-pub fn reduce_program(
-    program: &Program,
-    still_fails: impl Fn(&Program) -> bool,
-) -> Reduction {
+pub fn reduce_program(program: &Program, still_fails: impl Fn(&Program) -> bool) -> Reduction {
     let original_stmts = program.stmt_count();
     let mut current = program.clone();
     let mut steps = 0usize;
@@ -54,12 +51,7 @@ pub fn reduce_program(
             break;
         }
     }
-    Reduction {
-        final_stmts: current.stmt_count(),
-        original_stmts,
-        steps,
-        program: current,
-    }
+    Reduction { final_stmts: current.stmt_count(), original_stmts, steps, program: current }
 }
 
 /// Build the standard "does the discrepancy reproduce" predicate for a
@@ -75,10 +67,9 @@ pub fn discrepancy_check(
         let amd_dev = Device::with_quirks(DeviceKind::AmdLike, quirks);
         let nv_ir = build_side(p, Toolchain::Nvcc, level, mode);
         let amd_ir = build_side(p, Toolchain::Hipcc, level, mode);
-        let (Ok(rn), Ok(ra)) = (
-            execute(&nv_ir, &nv_dev, &input),
-            execute(&amd_ir, &amd_dev, &input),
-        ) else {
+        let (Ok(rn), Ok(ra)) =
+            (execute(&nv_ir, &nv_dev, &input), execute(&amd_ir, &amd_dev, &input))
+        else {
             return false; // a reduction that breaks execution is invalid
         };
         compare_runs(&rn.value, &ra.value).is_some()
@@ -188,16 +179,8 @@ fn shrink_expr(e: &Expr) -> Vec<Expr> {
         Expr::Bin(op, l, r) => {
             out.push((**l).clone());
             out.push((**r).clone());
-            out.extend(
-                shrink_expr(l)
-                    .into_iter()
-                    .map(|x| Expr::Bin(*op, Box::new(x), r.clone())),
-            );
-            out.extend(
-                shrink_expr(r)
-                    .into_iter()
-                    .map(|x| Expr::Bin(*op, l.clone(), Box::new(x))),
-            );
+            out.extend(shrink_expr(l).into_iter().map(|x| Expr::Bin(*op, Box::new(x), r.clone())));
+            out.extend(shrink_expr(r).into_iter().map(|x| Expr::Bin(*op, l.clone(), Box::new(x))));
         }
         Expr::Call(f, args) => {
             for a in args {
@@ -292,12 +275,7 @@ mod tests {
     #[test]
     fn reduction_preserves_the_failure() {
         let (p, input) = bloated_fig5();
-        let check = discrepancy_check(
-            input,
-            OptLevel::O0,
-            TestMode::Direct,
-            QuirkSet::all(),
-        );
+        let check = discrepancy_check(input, OptLevel::O0, TestMode::Direct, QuirkSet::all());
         let red = reduce_program(&p, &check);
         assert!(check(&red.program), "reduced program no longer fails");
     }

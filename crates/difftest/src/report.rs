@@ -27,10 +27,7 @@ pub fn render_summary(reports: &[&CampaignReport]) -> String {
         out.push('\n');
     };
     row("Metric", headers);
-    row(
-        "Total Programs",
-        reports.iter().map(|r| r.config.n_programs.to_string()).collect(),
-    );
+    row("Total Programs", reports.iter().map(|r| r.config.n_programs.to_string()).collect());
     row(
         "Total Runs per Option per Compiler",
         reports
@@ -38,18 +35,9 @@ pub fn render_summary(reports: &[&CampaignReport]) -> String {
             .map(|r| (r.config.n_programs * r.config.inputs_per_program).to_string())
             .collect(),
     );
-    row(
-        "Total Runs",
-        reports.iter().map(|r| r.total_runs().to_string()).collect(),
-    );
-    row(
-        "Runs on NVCC",
-        reports.iter().map(|r| (r.total_runs() / 2).to_string()).collect(),
-    );
-    row(
-        "Runs on HIPCC",
-        reports.iter().map(|r| (r.total_runs() / 2).to_string()).collect(),
-    );
+    row("Total Runs", reports.iter().map(|r| r.total_runs().to_string()).collect());
+    row("Runs on NVCC", reports.iter().map(|r| (r.total_runs() / 2).to_string()).collect());
+    row("Runs on HIPCC", reports.iter().map(|r| (r.total_runs() / 2).to_string()).collect());
     row(
         "Total Discrepancies",
         reports.iter().map(|r| r.total_discrepancies().to_string()).collect(),
@@ -195,6 +183,100 @@ pub fn render_failures(meta: &crate::metadata::CampaignMeta) -> String {
     out
 }
 
+/// Render an ASCII profile table from a campaign's telemetry snapshot:
+/// span timings (milliseconds), non-span distributions (raw units), and
+/// every counter. This is what `varity-gpu analyze --profile` prints.
+pub fn render_profile(snap: &obs::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("CAMPAIGN PROFILE\n");
+
+    out.push_str("-- Phase / span timings --\n");
+    out.push_str(&format!(
+        "{:<34}{:>8}{:>14}{:>14}{:>14}\n",
+        "Span", "Count", "Total ms", "Mean ms", "Max ms"
+    ));
+    for (name, h) in &snap.hists {
+        let Some(span) = name.strip_prefix("span.") else { continue };
+        out.push_str(&format!(
+            "{:<34}{:>8}{:>14.2}{:>14.2}{:>14.2}\n",
+            span,
+            h.count,
+            h.sum as f64 / 1e6,
+            h.mean() / 1e6,
+            h.max as f64 / 1e6
+        ));
+    }
+
+    if let Some(tput) = throughput_per_sec(snap) {
+        out.push_str(&format!("{:<34}{tput:>22.0} runs/sec\n", "throughput"));
+    }
+
+    let other: Vec<_> = snap.hists.iter().filter(|(n, _)| !n.starts_with("span.")).collect();
+    if !other.is_empty() {
+        out.push_str("-- Distributions --\n");
+        out.push_str(&format!(
+            "{:<34}{:>8}{:>14}{:>14}{:>14}\n",
+            "Histogram", "Count", "Mean", "Min", "Max"
+        ));
+        for (name, h) in other {
+            out.push_str(&format!(
+                "{:<34}{:>8}{:>14.1}{:>14}{:>14}\n",
+                name,
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ));
+        }
+    }
+
+    out.push_str("-- Counters --\n");
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{name:<48}{v:>14}\n"));
+    }
+    out
+}
+
+/// Campaign throughput in runs per second, if the snapshot has both the
+/// run counter and the per-side run spans.
+pub fn throughput_per_sec(snap: &obs::MetricsSnapshot) -> Option<f64> {
+    let runs = snap.counter("campaign.runs_done");
+    let ns: u64 = ["span.campaign.run.nvcc", "span.campaign.run.hipcc"]
+        .iter()
+        .filter_map(|k| snap.hists.get(*k))
+        .map(|h| h.sum)
+        .sum();
+    if runs == 0 || ns == 0 {
+        return None;
+    }
+    Some(runs as f64 / (ns as f64 / 1e9))
+}
+
+/// Render the "discrepancies by responsible pass" table — the paper's §V
+/// root-causing, as recorded data.
+pub fn render_attribution(attr: &crate::attribution::AttributionReport) -> String {
+    let mut out = String::new();
+    out.push_str("DISCREPANCIES BY RESPONSIBLE PASS\n");
+    out.push_str(&format!("{:<22}{:>12}", "Pass", "Disc. Count"));
+    for c in DiscrepancyClass::ALL {
+        out.push_str(&format!("{:>12}", c.label()));
+    }
+    out.push('\n');
+    for row in &attr.rows {
+        out.push_str(&format!("{:<22}{:>12}", row.key, row.discrepancies));
+        for v in row.by_class {
+            out.push_str(&format!("{v:>12}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{} discrepancies, {} in kernels a fast-math pass rewrote \
+         (rows overlap when several passes fired on the same kernel)\n",
+        attr.total_discrepancies, attr.attributed
+    ));
+    out
+}
+
 /// Bar rendering of class proportions (the paper's in-table bar charts).
 pub fn render_class_bars(stats: &LevelStats, width: usize) -> String {
     let total = stats.discrepancies.max(1);
@@ -262,8 +344,7 @@ mod tests {
     fn failures_listing_reconciles_with_totals() {
         use crate::metadata::CampaignMeta;
         use gpucc::pipeline::Toolchain;
-        let cfg =
-            CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
         let mut meta = CampaignMeta::generate(&cfg);
         meta.run_side(Toolchain::Nvcc);
         meta.run_side(Toolchain::Hipcc);
@@ -277,6 +358,58 @@ mod tests {
         );
         // one line per failure + the summary line
         assert_eq!(listing.lines().count() as u64, expected + 1);
+    }
+
+    #[test]
+    fn profile_table_shows_spans_counters_and_throughput() {
+        use crate::metadata::CampaignMeta;
+        use gpucc::pipeline::Toolchain;
+        obs::reset();
+        obs::set_enabled(true);
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(20);
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        let snap = obs::snapshot();
+        let s = render_profile(&snap);
+        assert!(s.contains("CAMPAIGN PROFILE"));
+        assert!(s.contains("campaign.generate"), "{s}");
+        assert!(s.contains("campaign.run.nvcc"), "{s}");
+        assert!(s.contains("campaign.runs_done"), "{s}");
+        assert!(s.contains("runs/sec"), "{s}");
+        assert!(s.contains("progen.ast_stmts"), "{s}");
+        assert!(throughput_per_sec(&snap).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn profile_of_empty_snapshot_omits_throughput() {
+        let snap = obs::MetricsSnapshot::default();
+        let s = render_profile(&snap);
+        assert!(s.contains("CAMPAIGN PROFILE"));
+        assert!(!s.contains("runs/sec"));
+        assert_eq!(throughput_per_sec(&snap), None);
+    }
+
+    #[test]
+    fn attribution_table_lists_rows_and_footer() {
+        use crate::attribution::{attribute, UNATTRIBUTED};
+        use crate::metadata::CampaignMeta;
+        use gpucc::pipeline::Toolchain;
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        let attr = attribute(&meta);
+        let s = render_attribution(&attr);
+        assert!(s.contains("DISCREPANCIES BY RESPONSIBLE PASS"));
+        for c in DiscrepancyClass::ALL {
+            assert!(s.contains(c.label()), "{s}");
+        }
+        assert!(s.contains(&format!("{} discrepancies", attr.total_discrepancies)));
+        for row in &attr.rows {
+            assert!(row.key.contains(':') || row.key == UNATTRIBUTED, "odd row key {}", row.key);
+            assert!(s.contains(&row.key), "{s}");
+        }
     }
 
     #[test]

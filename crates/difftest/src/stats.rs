@@ -143,11 +143,7 @@ pub fn render_table3(s: &CorpusStats) -> String {
         s.total_stmts as f64 / s.programs.max(1) as f64
     ));
     out.push_str("math functions used:       ");
-    let funcs: Vec<String> = s
-        .calls_per_func
-        .iter()
-        .map(|(f, n)| format!("{f}×{n}"))
-        .collect();
+    let funcs: Vec<String> = s.calls_per_func.iter().map(|(f, n)| format!("{f}×{n}")).collect();
     out.push_str(&funcs.join(" "));
     out.push('\n');
     out
@@ -257,21 +253,15 @@ pub mod input_features {
                     let (rn, ra) = (&nv[k], &amd[k]);
                     rn.error.is_none()
                         && ra.error.is_none()
-                        && compare_runs(
-                            &decode(precision, rn.bits),
-                            &decode(precision, ra.bits),
-                        )
-                        .is_some()
+                        && compare_runs(&decode(precision, rn.bits), &decode(precision, ra.bits))
+                            .is_some()
                 });
                 let flags = [
                     f.has_zero,
                     f.has_subnormal,
                     f.has_near_overflow,
                     f.has_near_underflow,
-                    !(f.has_zero
-                        || f.has_subnormal
-                        || f.has_near_overflow
-                        || f.has_near_underflow),
+                    !(f.has_zero || f.has_subnormal || f.has_near_overflow || f.has_near_underflow),
                 ];
                 for (row, present) in report.rows.iter_mut().zip(flags) {
                     if present {
@@ -430,7 +420,8 @@ mod tests {
     fn table3_rendering_mentions_all_features() {
         let s = census(&corpus());
         let t = render_table3(&s);
-        for needle in ["for loops", "if conditions", "temporary variables", "array", "math library"] {
+        for needle in ["for loops", "if conditions", "temporary variables", "array", "math library"]
+        {
             assert!(t.contains(needle), "missing {needle}:\n{t}");
         }
     }
@@ -451,8 +442,7 @@ mod tests {
         use gpucc::pipeline::Toolchain;
         use progen::Precision;
 
-        let cfg =
-            CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(40);
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(40);
         let mut meta = CampaignMeta::generate(&cfg);
         meta.run_side(Toolchain::Nvcc);
         meta.run_side(Toolchain::Hipcc);
@@ -478,8 +468,7 @@ mod tests {
         use gpucc::pipeline::Toolchain;
         use progen::Precision;
 
-        let cfg =
-            CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(30);
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(30);
         let mut meta = CampaignMeta::generate(&cfg);
         meta.run_side(Toolchain::Nvcc);
         meta.run_side(Toolchain::Hipcc);

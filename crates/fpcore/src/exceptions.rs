@@ -341,10 +341,7 @@ mod tests {
 
     #[test]
     fn descriptions_match_table_ii() {
-        assert_eq!(
-            FpException::Overflow.description(),
-            "Result did not fit and it is an infinity"
-        );
+        assert_eq!(FpException::Overflow.description(), "Result did not fit and it is an infinity");
         assert_eq!(FpException::ALL.len(), 5);
     }
 }

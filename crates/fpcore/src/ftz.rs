@@ -29,7 +29,11 @@ impl FtzMode {
     #[inline]
     pub fn daz_f64(self, x: f64) -> f64 {
         if self.daz && x.is_subnormal() {
-            if x.is_sign_negative() { -0.0 } else { 0.0 }
+            if x.is_sign_negative() {
+                -0.0
+            } else {
+                0.0
+            }
         } else {
             x
         }
@@ -39,7 +43,11 @@ impl FtzMode {
     #[inline]
     pub fn ftz_f64(self, x: f64) -> f64 {
         if self.ftz && x.is_subnormal() {
-            if x.is_sign_negative() { -0.0 } else { 0.0 }
+            if x.is_sign_negative() {
+                -0.0
+            } else {
+                0.0
+            }
         } else {
             x
         }
@@ -49,7 +57,11 @@ impl FtzMode {
     #[inline]
     pub fn daz_f32(self, x: f32) -> f32 {
         if self.daz && x.is_subnormal() {
-            if x.is_sign_negative() { -0.0 } else { 0.0 }
+            if x.is_sign_negative() {
+                -0.0
+            } else {
+                0.0
+            }
         } else {
             x
         }
@@ -59,7 +71,11 @@ impl FtzMode {
     #[inline]
     pub fn ftz_f32(self, x: f32) -> f32 {
         if self.ftz && x.is_subnormal() {
-            if x.is_sign_negative() { -0.0 } else { 0.0 }
+            if x.is_sign_negative() {
+                -0.0
+            } else {
+                0.0
+            }
         } else {
             x
         }

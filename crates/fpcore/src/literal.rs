@@ -73,11 +73,8 @@ fn normalize_exp_format(s: &str, sig_digits: i32) -> String {
         out
     } else {
         let mant = mant.trim_end_matches('0').trim_end_matches('.');
-        let mant = if mant.is_empty() || mant == "-" {
-            format!("{mant}0")
-        } else {
-            mant.to_string()
-        };
+        let mant =
+            if mant.is_empty() || mant == "-" { format!("{mant}0") } else { mant.to_string() };
         format!("{mant}e{exp:+03}")
     }
 }

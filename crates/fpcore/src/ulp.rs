@@ -150,12 +150,7 @@ mod tests {
             f64::INFINITY,
         ];
         for w in samples.windows(2) {
-            assert!(
-                lattice_f64(w[0]) <= lattice_f64(w[1]),
-                "{} vs {}",
-                w[0],
-                w[1]
-            );
+            assert!(lattice_f64(w[0]) <= lattice_f64(w[1]), "{} vs {}", w[0], w[1]);
         }
     }
 

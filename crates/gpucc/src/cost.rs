@@ -103,10 +103,7 @@ mod tests {
         let fast = inst_cost(&call, Precision::F32, FM);
         assert!(fast < slow, "fast={fast} slow={slow}");
         // FP64 has no fast intrinsics: cost unchanged
-        assert_eq!(
-            inst_cost(&call, Precision::F64, O0),
-            inst_cost(&call, Precision::F64, FM)
-        );
+        assert_eq!(inst_cost(&call, Precision::F64, O0), inst_cost(&call, Precision::F64, FM));
     }
 
     #[test]

@@ -115,24 +115,15 @@ fn render_inst(inst: &Inst) -> String {
             render_operand(*a),
             render_operand(*b)
         ),
-        Inst::Fma(a, b, c) => format!(
-            "fma {}, {}, {}",
-            render_operand(*a),
-            render_operand(*b),
-            render_operand(*c)
-        ),
-        Inst::Fms(a, b, c) => format!(
-            "fms {}, {}, {}",
-            render_operand(*a),
-            render_operand(*b),
-            render_operand(*c)
-        ),
-        Inst::Fnma(a, b, c) => format!(
-            "fnma {}, {}, {}",
-            render_operand(*a),
-            render_operand(*b),
-            render_operand(*c)
-        ),
+        Inst::Fma(a, b, c) => {
+            format!("fma {}, {}, {}", render_operand(*a), render_operand(*b), render_operand(*c))
+        }
+        Inst::Fms(a, b, c) => {
+            format!("fms {}, {}, {}", render_operand(*a), render_operand(*b), render_operand(*c))
+        }
+        Inst::Fnma(a, b, c) => {
+            format!("fnma {}, {}, {}", render_operand(*a), render_operand(*b), render_operand(*c))
+        }
         Inst::Call(f, args) => {
             let args: Vec<String> = args.iter().map(|a| render_operand(*a)).collect();
             format!("call {f}({})", args.join(", "))

@@ -312,15 +312,11 @@ fn run_thread<T: DeviceFloat>(
         exceptions: ExceptionFlags::new(),
         cost: 0,
         steps: 0,
+        math_calls: [0; MathFunc::COUNT],
         trace: if traced { Some(Vec::new()) } else { None },
         thread_idx,
     };
-    for ((param, value), slot) in kernel
-        .params
-        .iter()
-        .zip(&inputs.values)
-        .zip(&r.param_slots)
-    {
+    for ((param, value), slot) in kernel.params.iter().zip(&inputs.values).zip(&r.param_slots) {
         match (slot, value) {
             (ParamSlot::Float(s), InputValue::Float(v)) => {
                 m.scalars[*s] = Some(T::from_f64(*v));
@@ -340,8 +336,23 @@ fn run_thread<T: DeviceFloat>(
         }
     }
     m.run_nodes(&r.body)?;
-    let value = m.scalars[r.comp_slot]
-        .ok_or_else(|| ExecError::UnknownVar("comp".into()))?;
+    // Flush the locally tallied telemetry once per execution — the hot
+    // loop itself touches only the stack-local Machine fields.
+    if obs::enabled() {
+        obs::add("interp.execs", 1);
+        obs::add("interp.ops", m.steps);
+        let vendor = device.kind.short();
+        for (i, &n) in m.math_calls.iter().enumerate() {
+            if n > 0 {
+                let f = MathFunc::ALL[i];
+                obs::add(&format!("interp.mathcall.{vendor}.{}", f.c_name()), n as u64);
+            }
+        }
+        for e in m.exceptions.iter() {
+            obs::add(&format!("interp.fpexc.{e}"), 1);
+        }
+    }
+    let value = m.scalars[r.comp_slot].ok_or_else(|| ExecError::UnknownVar("comp".into()))?;
     Ok((
         ExecResult {
             value: wrap_value(value),
@@ -384,6 +395,7 @@ struct Machine<'a, T: DeviceFloat> {
     exceptions: ExceptionFlags,
     cost: u64,
     steps: u64,
+    math_calls: [u32; MathFunc::COUNT],
     trace: Option<Vec<TraceEvent>>,
     thread_idx: u32,
 }
@@ -434,9 +446,8 @@ impl<'a, T: DeviceFloat> Machine<'a, T> {
                     }
                 }
                 RNode::For { var, bound, body } => {
-                    let n = self.ints[*bound].ok_or_else(|| {
-                        ExecError::UnknownVar("loop bound".into())
-                    })?;
+                    let n = self.ints[*bound]
+                        .ok_or_else(|| ExecError::UnknownVar("loop bound".into()))?;
                     let n = n.clamp(0, ARRAY_LEN as i64);
                     for i in 0..n {
                         self.ints[*var] = Some(i);
@@ -474,8 +485,7 @@ impl<'a, T: DeviceFloat> Machine<'a, T> {
                     ExecError::UnknownVar(self.kernel.resolved.float_names[*slot].clone())
                 })?,
                 RInst::ReadIntAsFloat(slot) => {
-                    let i = self.ints[*slot]
-                        .ok_or_else(|| ExecError::UnknownVar("int".into()))?;
+                    let i = self.ints[*slot].ok_or_else(|| ExecError::UnknownVar("int".into()))?;
                     T::from_f64(i as f64)
                 }
                 RInst::ReadArr(arr, idx) => {
@@ -529,6 +539,7 @@ impl<'a, T: DeviceFloat> Machine<'a, T> {
                     r
                 }
                 RInst::Call(f, args) => {
+                    self.math_calls[f.index()] += 1;
                     let a = args
                         .first()
                         .map(|o| resolve_op(*o, &values).apply_daz(self.ftz))
@@ -648,11 +659,7 @@ mod tests {
 
     fn inputs(comp: f64, n: i64, v2: f64) -> InputSet {
         InputSet {
-            values: vec![
-                InputValue::Float(comp),
-                InputValue::Int(n),
-                InputValue::Float(v2),
-            ],
+            values: vec![InputValue::Float(comp), InputValue::Int(n), InputValue::Float(v2)],
         }
     }
 
@@ -698,11 +705,7 @@ mod tests {
     #[test]
     fn if_condition_gates_execution() {
         let body = vec![Stmt::If {
-            cond: Cond {
-                op: CmpOp::Gt,
-                lhs: Expr::Var("comp".into()),
-                rhs: Expr::Lit(0.0),
-            },
+            cond: Cond { op: CmpOp::Gt, lhs: Expr::Var("comp".into()), rhs: Expr::Lit(0.0) },
             body: vec![Stmt::Assign {
                 target: LValue::Var("comp".into()),
                 op: AssignOp::MulAssign,
@@ -711,14 +714,8 @@ mod tests {
         }];
         let p = simple_program(body);
         let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
-        assert_eq!(
-            execute(&ir, &nv(), &inputs(2.0, 1, 0.0)).unwrap().value,
-            ExecValue::F64(20.0)
-        );
-        assert_eq!(
-            execute(&ir, &nv(), &inputs(-2.0, 1, 0.0)).unwrap().value,
-            ExecValue::F64(-2.0)
-        );
+        assert_eq!(execute(&ir, &nv(), &inputs(2.0, 1, 0.0)).unwrap().value, ExecValue::F64(20.0));
+        assert_eq!(execute(&ir, &nv(), &inputs(-2.0, 1, 0.0)).unwrap().value, ExecValue::F64(-2.0));
         // NaN: comparison false, branch skipped
         let nanr = execute(&ir, &nv(), &inputs(f64::NAN, 1, 0.0)).unwrap();
         assert_eq!(nanr.value.outcome(), Outcome::Nan);
@@ -802,11 +799,7 @@ mod tests {
         p.precision = Precision::F32;
         let sub = 2.0e-44f32; // subnormal f32
         let input = InputSet {
-            values: vec![
-                InputValue::Float(0.0),
-                InputValue::Int(1),
-                InputValue::Float(sub as f64),
-            ],
+            values: vec![InputValue::Float(0.0), InputValue::Int(1), InputValue::Float(sub as f64)],
         };
         let o0 = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
         let r = execute(&o0, &nv(), &input).unwrap();
@@ -853,11 +846,7 @@ mod tests {
             }],
         };
         let input = InputSet {
-            values: vec![
-                InputValue::Float(0.0),
-                InputValue::Int(3),
-                InputValue::ArrayFill(10.0),
-            ],
+            values: vec![InputValue::Float(0.0), InputValue::Int(3), InputValue::ArrayFill(10.0)],
         };
         let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
         let r = execute(&ir, &nv(), &input).unwrap();
@@ -869,10 +858,7 @@ mod tests {
         let p = simple_program(vec![]);
         let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
         let bad = InputSet { values: vec![InputValue::Float(0.0)] };
-        assert!(matches!(
-            execute(&ir, &nv(), &bad),
-            Err(ExecError::BadInputs(_))
-        ));
+        assert!(matches!(execute(&ir, &nv(), &bad), Err(ExecError::BadInputs(_))));
     }
 
     #[test]
@@ -887,10 +873,8 @@ mod tests {
             let input = generate_input(&p, 1, 0);
             let o0 = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
             let o3 = compile(&p, Toolchain::Nvcc, OptLevel::O3, false);
-            let (Ok(r0), Ok(r3)) = (
-                execute(&o0, &nv(), &input),
-                execute(&o3, &nv(), &input),
-            ) else {
+            let (Ok(r0), Ok(r3)) = (execute(&o0, &nv(), &input), execute(&o3, &nv(), &input))
+            else {
                 continue;
             };
             total += 1;

@@ -5,8 +5,8 @@
 //! or to immediate constants. Control flow stays structured ([`Node`]),
 //! mirroring the source kernels, which are reducible by construction.
 
-use progen::ast::{BinOp, CmpOp, Param, Precision};
 use gpusim::mathlib::MathFunc;
+use progen::ast::{BinOp, CmpOp, Param, Precision};
 use serde::{Deserialize, Serialize};
 
 /// An instruction operand: an earlier instruction's value or an immediate.
@@ -81,9 +81,7 @@ impl PartialEq for Inst {
             (Neg(a), Neg(b)) | (Rcp(a), Rcp(b)) => a == b,
             (Fma(a1, b1, c1), Fma(a2, b2, c2))
             | (Fms(a1, b1, c1), Fms(a2, b2, c2))
-            | (Fnma(a1, b1, c1), Fnma(a2, b2, c2)) => {
-                a1 == a2 && b1 == b2 && c1 == c2
-            }
+            | (Fnma(a1, b1, c1), Fnma(a2, b2, c2)) => a1 == a2 && b1 == b2 && c1 == c2,
             (Call(f1, a1), Call(f2, a2)) => f1 == f2 && a1 == a2,
             // bitwise, like Operand::Const (NaN == NaN)
             (Const(a), Const(b)) => a.to_bits() == b.to_bits(),
@@ -304,7 +302,7 @@ mod tests {
                     }],
                 },
             ],
-        flags: CompileFlags::default(),
+            flags: CompileFlags::default(),
         };
         let mut count = 0;
         ir.for_each_seq_mut(&mut |_| count += 1);

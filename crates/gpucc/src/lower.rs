@@ -36,13 +36,13 @@ fn lower_stmt(stmt: &Stmt, prec: Precision) -> Node {
             let rhs = lower_expr(value, &mut seq, prec);
             let result = match op {
                 AssignOp::Set => rhs,
-                AssignOp::AddAssign | AssignOp::SubAssign | AssignOp::MulAssign
+                AssignOp::AddAssign
+                | AssignOp::SubAssign
+                | AssignOp::MulAssign
                 | AssignOp::DivAssign => {
                     let current = match target {
                         ast::LValue::Var(v) => seq.push(Inst::ReadVar(v.clone())),
-                        ast::LValue::Index(a, i) => {
-                            seq.push(Inst::ReadArr(a.clone(), i.clone()))
-                        }
+                        ast::LValue::Index(a, i) => seq.push(Inst::ReadArr(a.clone(), i.clone())),
                     };
                     let bin = match op {
                         AssignOp::AddAssign => BinOp::Add,
@@ -68,11 +68,9 @@ fn lower_stmt(stmt: &Stmt, prec: Precision) -> Node {
             rhs.result = lower_expr(&cond.rhs, &mut rhs, prec);
             Node::If { lhs, op: cond.op, rhs, body: lower_stmts(body, prec) }
         }
-        Stmt::For { var, bound, body } => Node::For {
-            var: var.clone(),
-            bound: bound.clone(),
-            body: lower_stmts(body, prec),
-        },
+        Stmt::For { var, bound, body } => {
+            Node::For { var: var.clone(), bound: bound.clone(), body: lower_stmts(body, prec) }
+        }
     }
 }
 
@@ -197,11 +195,7 @@ mod tests {
     #[test]
     fn if_lowers_both_sides() {
         let p = prog(vec![Stmt::If {
-            cond: Cond {
-                op: CmpOp::Ge,
-                lhs: Expr::Var("comp".into()),
-                rhs: Expr::Lit(0.0),
-            },
+            cond: Cond { op: CmpOp::Ge, lhs: Expr::Var("comp".into()), rhs: Expr::Lit(0.0) },
             body: vec![Stmt::Assign {
                 target: LValue::Var("comp".into()),
                 op: AssignOp::SubAssign,

@@ -22,9 +22,10 @@ impl SeqPass for ConstFold {
     }
 
     #[allow(clippy::needless_range_loop)] // `values` grows inside the loop
-    fn run(&self, seq: &mut InstSeq, prec: Precision) {
+    fn run(&self, seq: &mut InstSeq, prec: Precision) -> u64 {
         // one forward walk suffices: operands always reference earlier
         // instructions, which were already visited
+        let mut fired = 0u64;
         let mut values: Vec<Option<f64>> = Vec::with_capacity(seq.insts.len());
         for idx in 0..seq.insts.len() {
             // resolve operands through already-folded instructions
@@ -37,39 +38,25 @@ impl SeqPass for ConstFold {
             let inst = seq.insts[idx].clone();
             let folded = match &inst {
                 Inst::Const(c) => Some(*c),
-                Inst::Bin(op, a, b) => {
-                    match (resolve(*a, &values), resolve(*b, &values)) {
-                        (Some(x), Some(y)) => Some(fold_bin(*op, x, y, prec)),
-                        _ => None,
-                    }
-                }
+                Inst::Bin(op, a, b) => match (resolve(*a, &values), resolve(*b, &values)) {
+                    (Some(x), Some(y)) => Some(fold_bin(*op, x, y, prec)),
+                    _ => None,
+                },
                 Inst::Neg(a) => resolve(*a, &values).map(|x| -x),
                 Inst::Fma(a, b, c) => {
-                    match (
-                        resolve(*a, &values),
-                        resolve(*b, &values),
-                        resolve(*c, &values),
-                    ) {
+                    match (resolve(*a, &values), resolve(*b, &values), resolve(*c, &values)) {
                         (Some(x), Some(y), Some(z)) => Some(fold_fma(x, y, z, prec)),
                         _ => None,
                     }
                 }
                 Inst::Fnma(a, b, c) => {
-                    match (
-                        resolve(*a, &values),
-                        resolve(*b, &values),
-                        resolve(*c, &values),
-                    ) {
+                    match (resolve(*a, &values), resolve(*b, &values), resolve(*c, &values)) {
                         (Some(x), Some(y), Some(z)) => Some(fold_fma(-x, y, z, prec)),
                         _ => None,
                     }
                 }
                 Inst::Fms(a, b, c) => {
-                    match (
-                        resolve(*a, &values),
-                        resolve(*b, &values),
-                        resolve(*c, &values),
-                    ) {
+                    match (resolve(*a, &values), resolve(*b, &values), resolve(*c, &values)) {
                         (Some(x), Some(y), Some(z)) => Some(fold_fma(x, y, -z, prec)),
                         _ => None,
                     }
@@ -82,6 +69,9 @@ impl SeqPass for ConstFold {
                 | Inst::ReadThreadIdx => None,
             };
             if let Some(v) = folded {
+                if !matches!(inst, Inst::Const(_)) {
+                    fired += 1;
+                }
                 seq.insts[idx] = Inst::Const(v);
             }
             values.push(folded);
@@ -93,6 +83,7 @@ impl SeqPass for ConstFold {
                 super::forward_uses(seq, idx, Operand::Const(v));
             }
         }
+        fired
     }
 }
 

@@ -20,21 +20,24 @@ impl SeqPass for Cse {
         "cse"
     }
 
-    fn run(&self, seq: &mut InstSeq, _prec: Precision) {
+    fn run(&self, seq: &mut InstSeq, _prec: Precision) -> u64 {
         // key: debug rendering of the (operand-canonicalized) instruction.
         // f64 bit patterns are embedded so -0.0 and 0.0 stay distinct.
+        let mut fired = 0u64;
         let mut seen: HashMap<String, usize> = HashMap::new();
         for idx in 0..seq.insts.len() {
             let key = inst_key(&seq.insts[idx]);
             match seen.get(&key) {
                 Some(&first) => {
                     forward_uses(seq, idx, Operand::Inst(first));
+                    fired += 1;
                 }
                 None => {
                     seen.insert(key, idx);
                 }
             }
         }
+        fired
     }
 }
 
@@ -56,24 +59,15 @@ fn inst_key(inst: &Inst) -> String {
         Inst::Bin(op, a, b) => {
             format!("bin:{}:{}:{}", op.symbol(), operand_key(*a), operand_key(*b))
         }
-        Inst::Fma(a, b, c) => format!(
-            "fma:{}:{}:{}",
-            operand_key(*a),
-            operand_key(*b),
-            operand_key(*c)
-        ),
-        Inst::Fnma(a, b, c) => format!(
-            "fnma:{}:{}:{}",
-            operand_key(*a),
-            operand_key(*b),
-            operand_key(*c)
-        ),
-        Inst::Fms(a, b, c) => format!(
-            "fms:{}:{}:{}",
-            operand_key(*a),
-            operand_key(*b),
-            operand_key(*c)
-        ),
+        Inst::Fma(a, b, c) => {
+            format!("fma:{}:{}:{}", operand_key(*a), operand_key(*b), operand_key(*c))
+        }
+        Inst::Fnma(a, b, c) => {
+            format!("fnma:{}:{}:{}", operand_key(*a), operand_key(*b), operand_key(*c))
+        }
+        Inst::Fms(a, b, c) => {
+            format!("fms:{}:{}:{}", operand_key(*a), operand_key(*b), operand_key(*c))
+        }
         Inst::Call(f, args) => {
             let args: Vec<String> = args.iter().map(|a| operand_key(*a)).collect();
             format!("call:{}:{}", f.c_name(), args.join(","))
@@ -94,10 +88,7 @@ mod tests {
         let x2 = s.push(Inst::ReadVar("x".into()));
         s.result = s.push(Inst::Bin(BinOp::Add, x1, x2));
         Cse.run(&mut s, Precision::F64);
-        assert_eq!(
-            s.insts[2],
-            Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Inst(0))
-        );
+        assert_eq!(s.insts[2], Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Inst(0)));
     }
 
     #[test]
@@ -110,10 +101,7 @@ mod tests {
         let c2 = s.push(Inst::Call(MathFunc::Cos, vec![x2]));
         s.result = s.push(Inst::Bin(BinOp::Add, c1, c2));
         Cse.run(&mut s, Precision::F64);
-        assert_eq!(
-            s.insts[4],
-            Inst::Bin(BinOp::Add, Operand::Inst(1), Operand::Inst(1))
-        );
+        assert_eq!(s.insts[4], Inst::Bin(BinOp::Add, Operand::Inst(1), Operand::Inst(1)));
     }
 
     #[test]
@@ -135,10 +123,7 @@ mod tests {
         s.result = s.push(Inst::Bin(BinOp::Div, a, b));
         Cse.run(&mut s, Precision::F64);
         // -0.0 has a different bit pattern: no merge
-        assert_eq!(
-            s.insts[2],
-            Inst::Bin(BinOp::Div, Operand::Inst(0), Operand::Inst(1))
-        );
+        assert_eq!(s.insts[2], Inst::Bin(BinOp::Div, Operand::Inst(0), Operand::Inst(1)));
     }
 
     #[test]

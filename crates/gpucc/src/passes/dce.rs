@@ -16,7 +16,7 @@ impl SeqPass for Dce {
         "dce"
     }
 
-    fn run(&self, seq: &mut InstSeq, _prec: Precision) {
+    fn run(&self, seq: &mut InstSeq, _prec: Precision) -> u64 {
         let n = seq.insts.len();
         let mut live = vec![false; n];
         // mark backward from the result
@@ -53,7 +53,9 @@ impl SeqPass for Dce {
         if let Operand::Inst(i) = seq.result {
             seq.result = Operand::Inst(remap[i]);
         }
+        let removed = (n - kept.len()) as u64;
         seq.insts = kept;
+        removed
     }
 }
 
@@ -72,10 +74,7 @@ mod tests {
         s.result = s.push(Inst::Bin(BinOp::Add, x, y));
         Dce.run(&mut s, Precision::F64);
         assert_eq!(s.insts.len(), 3);
-        assert_eq!(
-            s.insts[2],
-            Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Inst(1))
-        );
+        assert_eq!(s.insts[2], Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Inst(1)));
         assert_eq!(s.result, Operand::Inst(2));
     }
 

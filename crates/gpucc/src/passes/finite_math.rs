@@ -26,7 +26,8 @@ impl SeqPass for FiniteMath {
         "finite-math"
     }
 
-    fn run(&self, seq: &mut InstSeq, _prec: Precision) {
+    fn run(&self, seq: &mut InstSeq, _prec: Precision) -> u64 {
+        let mut fired = 0u64;
         for idx in 0..seq.insts.len() {
             let Inst::Bin(op, a, b) = seq.insts[idx] else {
                 continue;
@@ -36,18 +37,16 @@ impl SeqPass for FiniteMath {
                 BinOp::Add if is_zero(a) => Some(b),
                 BinOp::Add if is_zero(b) => Some(a),
                 BinOp::Sub if is_zero(b) => Some(a),
-                BinOp::Sub if a == b && matches!(a, Operand::Inst(_)) => {
-                    Some(Operand::Const(0.0))
-                }
-                BinOp::Div if a == b && matches!(a, Operand::Inst(_)) => {
-                    Some(Operand::Const(1.0))
-                }
+                BinOp::Sub if a == b && matches!(a, Operand::Inst(_)) => Some(Operand::Const(0.0)),
+                BinOp::Div if a == b && matches!(a, Operand::Inst(_)) => Some(Operand::Const(1.0)),
                 _ => None,
             };
             if let Some(to) = replacement {
                 super::forward_uses(seq, idx, to);
+                fired += 1;
             }
         }
+        fired
     }
 }
 

@@ -40,17 +40,20 @@ impl SeqPass for FmaContract {
         "fma-contract"
     }
 
-    fn run(&self, seq: &mut InstSeq, _prec: Precision) {
+    fn run(&self, seq: &mut InstSeq, _prec: Precision) -> u64 {
+        let mut fired = 0u64;
         let counts = use_counts(seq);
         for idx in 0..seq.insts.len() {
             if self.contract_sub {
                 if let Inst::Bin(BinOp::Sub, a, b) = seq.insts[idx] {
                     if let Some((x, y)) = single_use_mul(seq, &counts, a) {
                         seq.insts[idx] = Inst::Fms(x, y, b);
+                        fired += 1;
                         continue;
                     }
                     if let Some((x, y)) = single_use_mul(seq, &counts, b) {
                         seq.insts[idx] = Inst::Fnma(x, y, a);
+                        fired += 1;
                         continue;
                     }
                 }
@@ -69,9 +72,11 @@ impl SeqPass for FmaContract {
             };
             if let Some((x, y, addend)) = fused {
                 seq.insts[idx] = Inst::Fma(x, y, addend);
+                fired += 1;
                 // the multiply becomes dead; DCE collects it
             }
         }
+        fired
     }
 }
 
@@ -107,18 +112,14 @@ mod tests {
     #[test]
     fn nvcc_fuses_left_hipcc_fuses_right() {
         let mut nv = both_sides_mul();
-        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }.run(&mut nv, Precision::F64);
-        assert_eq!(
-            nv.insts[6],
-            Inst::Fma(Operand::Inst(0), Operand::Inst(1), Operand::Inst(5))
-        );
+        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }
+            .run(&mut nv, Precision::F64);
+        assert_eq!(nv.insts[6], Inst::Fma(Operand::Inst(0), Operand::Inst(1), Operand::Inst(5)));
 
         let mut amd = both_sides_mul();
-        FmaContract { preference: FmaPreference::RhsFirst, contract_sub: false }.run(&mut amd, Precision::F64);
-        assert_eq!(
-            amd.insts[6],
-            Inst::Fma(Operand::Inst(3), Operand::Inst(4), Operand::Inst(2))
-        );
+        FmaContract { preference: FmaPreference::RhsFirst, contract_sub: false }
+            .run(&mut amd, Precision::F64);
+        assert_eq!(amd.insts[6], Inst::Fma(Operand::Inst(3), Operand::Inst(4), Operand::Inst(2)));
         assert_ne!(nv.insts[6], amd.insts[6]);
     }
 
@@ -145,7 +146,8 @@ mod tests {
         let y = s.push(Inst::ReadVar("y".into()));
         let m = s.push(Inst::Bin(BinOp::Mul, x, y));
         s.result = s.push(Inst::Bin(BinOp::Add, m, m));
-        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }.run(&mut s, Precision::F64);
+        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }
+            .run(&mut s, Precision::F64);
         assert!(matches!(s.insts[3], Inst::Bin(BinOp::Add, _, _)));
     }
 
@@ -157,7 +159,8 @@ mod tests {
         let m = s.push(Inst::Bin(BinOp::Mul, x, y));
         let z = s.push(Inst::ReadVar("z".into()));
         s.result = s.push(Inst::Bin(BinOp::Sub, m, z));
-        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }.run(&mut s, Precision::F64);
+        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }
+            .run(&mut s, Precision::F64);
         assert!(matches!(s.insts[4], Inst::Bin(BinOp::Sub, _, _)));
     }
 
@@ -167,7 +170,8 @@ mod tests {
         let x = s.push(Inst::ReadVar("x".into()));
         let y = s.push(Inst::ReadVar("y".into()));
         s.result = s.push(Inst::Bin(BinOp::Add, x, y));
-        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }.run(&mut s, Precision::F64);
+        FmaContract { preference: FmaPreference::LhsFirst, contract_sub: false }
+            .run(&mut s, Precision::F64);
         assert!(matches!(s.insts[2], Inst::Bin(BinOp::Add, _, _)));
     }
 }

@@ -38,14 +38,20 @@ use progen::ast::Precision;
 pub trait SeqPass {
     /// Pass name for logs and tests.
     fn name(&self) -> &'static str;
-    /// Transform one instruction sequence in place.
-    fn run(&self, seq: &mut InstSeq, prec: Precision);
+    /// Transform one instruction sequence in place, returning how many
+    /// rewrites fired (the unit is pass-specific — contractions fused,
+    /// instructions folded/removed, calls replaced — but zero always
+    /// means "this pass left the sequence untouched").
+    fn run(&self, seq: &mut InstSeq, prec: Precision) -> u64;
 }
 
-/// Apply a pass to every sequence in the kernel.
-pub fn run_seq_pass(ir: &mut KernelIr, pass: &dyn SeqPass) {
+/// Apply a pass to every sequence in the kernel; returns the total
+/// number of rewrites fired across all sequences.
+pub fn run_seq_pass(ir: &mut KernelIr, pass: &dyn SeqPass) -> u64 {
     let prec = ir.precision;
-    ir.for_each_seq_mut(&mut |seq| pass.run(seq, prec));
+    let mut fired = 0u64;
+    ir.for_each_seq_mut(&mut |seq| fired += pass.run(seq, prec));
+    fired
 }
 
 /// Replace every reference to instruction `from` with `to` throughout the
@@ -100,10 +106,7 @@ mod tests {
     fn forward_uses_rewrites_later_references() {
         let mut s = seq_xy_add();
         forward_uses(&mut s, 1, Operand::Const(5.0));
-        assert_eq!(
-            s.insts[2],
-            Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Const(5.0))
-        );
+        assert_eq!(s.insts[2], Inst::Bin(BinOp::Add, Operand::Inst(0), Operand::Const(5.0)));
     }
 
     #[test]

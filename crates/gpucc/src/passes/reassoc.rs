@@ -12,39 +12,53 @@ use progen::ast::{BinOp, Cond, Expr, Program, Stmt};
 
 /// Reassociate every expression in a program (returns a rewritten copy).
 pub fn reassociate_program(p: &Program) -> Program {
-    let mut out = p.clone();
-    for s in &mut out.body {
-        reassoc_stmt(s);
-    }
-    out
+    reassociate_program_counted(p).0
 }
 
-fn reassoc_stmt(s: &mut Stmt) {
+/// Like [`reassociate_program`] but also reports how many chains of three
+/// or more operands were rebuilt — the "rewrites fired" count used by
+/// compile-time telemetry and the pass-attribution report.
+pub fn reassociate_program_counted(p: &Program) -> (Program, u64) {
+    let mut out = p.clone();
+    let mut fired = 0u64;
+    for s in &mut out.body {
+        reassoc_stmt(s, &mut fired);
+    }
+    (out, fired)
+}
+
+fn reassoc_stmt(s: &mut Stmt, fired: &mut u64) {
     match s {
-        Stmt::DeclTmp { init, .. } => *init = reassoc_expr(init.clone()),
-        Stmt::Assign { value, .. } => *value = reassoc_expr(value.clone()),
+        Stmt::DeclTmp { init, .. } => *init = reassoc_counted(init.clone(), fired),
+        Stmt::Assign { value, .. } => *value = reassoc_counted(value.clone(), fired),
         Stmt::If { cond, body } => {
             let Cond { lhs, rhs, .. } = cond;
-            *lhs = reassoc_expr(lhs.clone());
-            *rhs = reassoc_expr(rhs.clone());
+            *lhs = reassoc_counted(lhs.clone(), fired);
+            *rhs = reassoc_counted(rhs.clone(), fired);
             for s in body {
-                reassoc_stmt(s);
+                reassoc_stmt(s, fired);
             }
         }
         Stmt::For { body, .. } => {
             for s in body {
-                reassoc_stmt(s);
+                reassoc_stmt(s, fired);
             }
         }
     }
 }
 
+#[cfg(test)]
 fn reassoc_expr(e: Expr) -> Expr {
+    reassoc_counted(e, &mut 0)
+}
+
+fn reassoc_counted(e: Expr, fired: &mut u64) -> Expr {
     match e {
         Expr::Bin(op @ (BinOp::Add | BinOp::Mul), _, _) => {
             let mut leaves = Vec::new();
-            flatten(&e, op, &mut leaves);
+            flatten(&e, op, &mut leaves, fired);
             if leaves.len() >= 3 {
+                *fired += 1;
                 // rebuild right-associated: a op (b op (c op d))
                 let mut it = leaves.into_iter().rev();
                 let mut acc = it.next().expect("non-empty chain");
@@ -55,16 +69,18 @@ fn reassoc_expr(e: Expr) -> Expr {
             } else {
                 match e {
                     Expr::Bin(op, l, r) => {
-                        Expr::bin(op, reassoc_expr(*l), reassoc_expr(*r))
+                        Expr::bin(op, reassoc_counted(*l, fired), reassoc_counted(*r, fired))
                     }
                     _ => unreachable!(),
                 }
             }
         }
-        Expr::Bin(op, l, r) => Expr::bin(op, reassoc_expr(*l), reassoc_expr(*r)),
-        Expr::Neg(inner) => Expr::Neg(Box::new(reassoc_expr(*inner))),
+        Expr::Bin(op, l, r) => {
+            Expr::bin(op, reassoc_counted(*l, fired), reassoc_counted(*r, fired))
+        }
+        Expr::Neg(inner) => Expr::Neg(Box::new(reassoc_counted(*inner, fired))),
         Expr::Call(f, args) => {
-            Expr::Call(f, args.into_iter().map(reassoc_expr).collect())
+            Expr::Call(f, args.into_iter().map(|a| reassoc_counted(a, fired)).collect())
         }
         leaf => leaf,
     }
@@ -72,13 +88,13 @@ fn reassoc_expr(e: Expr) -> Expr {
 
 /// Collect the leaves of a maximal same-operator chain, recursing into
 /// sub-expressions that are not part of the chain.
-fn flatten(e: &Expr, op: BinOp, out: &mut Vec<Expr>) {
+fn flatten(e: &Expr, op: BinOp, out: &mut Vec<Expr>, fired: &mut u64) {
     match e {
         Expr::Bin(o, l, r) if *o == op => {
-            flatten(l, op, out);
-            flatten(r, op, out);
+            flatten(l, op, out, fired);
+            flatten(r, op, out, fired);
         }
-        other => out.push(reassoc_expr(other.clone())),
+        other => out.push(reassoc_counted(other.clone(), fired)),
     }
 }
 
@@ -107,11 +123,7 @@ mod tests {
 
     #[test]
     fn mul_chains_reassociate_too() {
-        let e = Expr::bin(
-            BinOp::Mul,
-            Expr::bin(BinOp::Mul, var("a"), var("b")),
-            var("c"),
-        );
+        let e = Expr::bin(BinOp::Mul, Expr::bin(BinOp::Mul, var("a"), var("b")), var("c"));
         let r = reassoc_expr(e);
         let want = Expr::bin(BinOp::Mul, var("a"), Expr::bin(BinOp::Mul, var("b"), var("c")));
         assert_eq!(r, want);
@@ -127,11 +139,7 @@ mod tests {
     #[test]
     fn nested_chains_inside_calls_are_rewritten() {
         use gpusim::mathlib::MathFunc;
-        let chain = Expr::bin(
-            BinOp::Add,
-            Expr::bin(BinOp::Add, var("a"), var("b")),
-            var("c"),
-        );
+        let chain = Expr::bin(BinOp::Add, Expr::bin(BinOp::Add, var("a"), var("b")), var("c"));
         let e = Expr::Call(MathFunc::Sqrt, vec![chain]);
         let r = reassoc_expr(e);
         match r {
@@ -161,11 +169,7 @@ mod tests {
     #[test]
     fn program_rewrite_reaches_all_statement_kinds() {
         use progen::ast::*;
-        let chain = Expr::bin(
-            BinOp::Add,
-            Expr::bin(BinOp::Add, var("a"), var("b")),
-            var("c"),
-        );
+        let chain = Expr::bin(BinOp::Add, Expr::bin(BinOp::Add, var("a"), var("b")), var("c"));
         let p = Program {
             id: "t".into(),
             precision: Precision::F64,
@@ -182,7 +186,8 @@ mod tests {
                 },
             ],
         };
-        let r = reassociate_program(&p);
+        let (r, fired) = reassociate_program_counted(&p);
+        assert_eq!(fired, 3, "one chain per statement site");
         let want = Expr::bin(BinOp::Add, var("a"), Expr::bin(BinOp::Add, var("b"), var("c")));
         match &r.body[0] {
             Stmt::DeclTmp { init, .. } => assert_eq!(init, &want),

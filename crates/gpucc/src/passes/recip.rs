@@ -22,7 +22,8 @@ impl SeqPass for Recip {
         "recip"
     }
 
-    fn run(&self, seq: &mut InstSeq, prec: Precision) {
+    fn run(&self, seq: &mut InstSeq, prec: Precision) -> u64 {
+        let mut fired = 0u64;
         // constant divisors first (no structural change)
         for inst in &mut seq.insts {
             if let Inst::Bin(op @ BinOp::Div, _, b) = inst {
@@ -31,21 +32,20 @@ impl SeqPass for Recip {
                     if r.is_finite() && r != 0.0 {
                         *op = BinOp::Mul;
                         *b = Operand::Const(r);
+                        fired += 1;
                     }
                 }
             }
         }
         if prec != Precision::F32 {
-            return;
+            return fired;
         }
         // FP32 variable divisors: rebuild with an Rcp inserted before each
         // division (indices must stay topologically ordered)
-        let needs_rcp = seq
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin(BinOp::Div, _, Operand::Inst(_))));
+        let needs_rcp =
+            seq.insts.iter().any(|i| matches!(i, Inst::Bin(BinOp::Div, _, Operand::Inst(_))));
         if !needs_rcp {
-            return;
+            return fired;
         }
         let old = std::mem::take(&mut seq.insts);
         let mut remap: Vec<usize> = Vec::with_capacity(old.len());
@@ -61,6 +61,7 @@ impl SeqPass for Recip {
                     let rcp = Operand::Inst(seq.insts.len() - 1);
                     seq.insts.push(Inst::Bin(BinOp::Mul, a, rcp));
                     remap.push(seq.insts.len() - 1);
+                    fired += 1;
                 }
                 other => {
                     seq.insts.push(other);
@@ -69,6 +70,7 @@ impl SeqPass for Recip {
             }
         }
         seq.result = rewrite(seq.result, &remap);
+        fired
     }
 }
 
@@ -121,10 +123,7 @@ mod tests {
         Recip.run(&mut s, Precision::F32);
         assert_eq!(s.insts.len(), 4);
         assert_eq!(s.insts[2], Inst::Rcp(Operand::Inst(1)));
-        assert_eq!(
-            s.insts[3],
-            Inst::Bin(BinOp::Mul, Operand::Inst(0), Operand::Inst(2))
-        );
+        assert_eq!(s.insts[3], Inst::Bin(BinOp::Mul, Operand::Inst(0), Operand::Inst(2)));
         assert_eq!(s.result, Operand::Inst(3));
     }
 
@@ -151,10 +150,7 @@ mod tests {
         s.result = s.push(Inst::Bin(BinOp::Add, d, c));
         Recip.run(&mut s, Precision::F32);
         assert_eq!(s.insts.len(), 6);
-        assert_eq!(
-            s.insts[5],
-            Inst::Bin(BinOp::Add, Operand::Inst(3), Operand::Inst(4))
-        );
+        assert_eq!(s.insts[5], Inst::Bin(BinOp::Add, Operand::Inst(3), Operand::Inst(4)));
         assert_eq!(s.result, Operand::Inst(5));
     }
 }

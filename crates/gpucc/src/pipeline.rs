@@ -25,12 +25,13 @@ use crate::passes::{
     dce::Dce,
     finite_math::FiniteMath,
     fma::{FmaContract, FmaPreference},
-    reassoc::reassociate_program,
+    reassoc::reassociate_program_counted,
     recip::Recip,
-    run_seq_pass,
+    run_seq_pass, SeqPass,
 };
 use progen::ast::Program;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// A simulated GPU toolchain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -151,16 +152,66 @@ impl std::fmt::Display for OptLevel {
 /// `hipified` marks sources produced by the HIPIFY translator, which the
 /// hipcc-like compiler builds with contraction enabled at every level
 /// (ignored by nvcc).
-pub fn compile(
+pub fn compile(program: &Program, toolchain: Toolchain, opt: OptLevel, hipified: bool) -> KernelIr {
+    compile_with_stats(program, toolchain, opt, hipified).0
+}
+
+/// What one pass did during one compile: rewrites fired and time spent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PassStat {
+    /// Pass name (`reassoc`, `finite-math`, `fma-contract`, …).
+    pub name: &'static str,
+    /// Number of rewrites the pass applied (pass-specific unit; zero
+    /// means the pass ran but changed nothing).
+    pub rewrites: u64,
+    /// Wall-clock nanoseconds spent in the pass.
+    pub nanos: u64,
+}
+
+/// Per-pass statistics for one compile, in pass execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct CompileStats {
+    /// One entry per pass that ran (skipped passes are absent).
+    pub passes: Vec<PassStat>,
+}
+
+impl CompileStats {
+    /// Rewrites fired by the named pass (0 if it did not run).
+    pub fn rewrites(&self, name: &str) -> u64 {
+        self.passes.iter().filter(|p| p.name == name).map(|p| p.rewrites).sum()
+    }
+
+    /// Names of passes that changed the kernel (rewrites > 0), in order.
+    pub fn fired_passes(&self) -> Vec<&'static str> {
+        self.passes.iter().filter(|p| p.rewrites > 0).map(|p| p.name).collect()
+    }
+}
+
+/// [`compile`], plus per-pass rewrite counts and timings.
+///
+/// Telemetry side effects (when `obs` is enabled): bumps
+/// `gpucc.compiles`, and for every pass that ran records
+/// `gpucc.rewrites.{toolchain}.{level}.{pass}` (counter) and
+/// `gpucc.passns.{toolchain}.{level}.{pass}` (histogram, nanoseconds).
+pub fn compile_with_stats(
     program: &Program,
     toolchain: Toolchain,
     opt: OptLevel,
     hipified: bool,
-) -> KernelIr {
+) -> (KernelIr, CompileStats) {
+    let mut stats = CompileStats::default();
+
     // nvcc -ffast-math reassociates in the front end
     let reassociated;
     let program = if toolchain == Toolchain::Nvcc && opt.is_fast_math() {
-        reassociated = reassociate_program(program);
+        let t = Instant::now();
+        let (p, fired) = reassociate_program_counted(program);
+        stats.passes.push(PassStat {
+            name: "reassoc",
+            rewrites: fired,
+            nanos: t.elapsed().as_nanos() as u64,
+        });
+        reassociated = p;
         &reassociated
     } else {
         program
@@ -173,27 +224,48 @@ pub fn compile(
     let optimize = opt != OptLevel::O0;
     let contract = optimize || (hipified && toolchain == Toolchain::Hipcc);
 
+    let mut timed = |ir: &mut KernelIr, pass: &dyn SeqPass, stats: &mut CompileStats| {
+        let t = Instant::now();
+        let fired = run_seq_pass(ir, pass);
+        stats.passes.push(PassStat {
+            name: pass.name(),
+            rewrites: fired,
+            nanos: t.elapsed().as_nanos() as u64,
+        });
+    };
+
     if optimize {
-        run_seq_pass(&mut ir, &ConstFold);
+        timed(&mut ir, &ConstFold, &mut stats);
     }
     if toolchain == Toolchain::Nvcc && opt.is_fast_math() {
-        run_seq_pass(&mut ir, &FiniteMath);
-        run_seq_pass(&mut ir, &Recip);
+        timed(&mut ir, &FiniteMath, &mut stats);
+        timed(&mut ir, &Recip, &mut stats);
     }
     if contract {
-        run_seq_pass(
+        timed(
             &mut ir,
             &FmaContract {
                 preference: toolchain.fma_preference(),
                 contract_sub: toolchain == Toolchain::Hipcc,
             },
+            &mut stats,
         );
     }
     if optimize || contract {
-        run_seq_pass(&mut ir, &Cse);
-        run_seq_pass(&mut ir, &Dce);
+        timed(&mut ir, &Cse, &mut stats);
+        timed(&mut ir, &Dce, &mut stats);
     }
-    ir
+
+    if obs::enabled() {
+        obs::add("gpucc.compiles", 1);
+        for ps in &stats.passes {
+            let key = format!("{}.{}.{}", toolchain.name(), opt.label(), ps.name);
+            obs::add(&format!("gpucc.rewrites.{key}"), ps.rewrites);
+            obs::record(&format!("gpucc.passns.{key}"), ps.nanos);
+        }
+    }
+
+    (ir, stats)
 }
 
 #[cfg(test)]
@@ -285,6 +357,52 @@ mod tests {
             }
         }
         assert!(diff, "pipelines never diverged at O1 across 100 programs");
+    }
+
+    #[test]
+    fn stats_compile_matches_plain_compile() {
+        for i in 0..20 {
+            let p = sample(19, i);
+            for tc in Toolchain::ALL {
+                for opt in OptLevel::ALL {
+                    let plain = compile(&p, tc, opt, false);
+                    let (ir, _) = compile_with_stats(&p, tc, opt, false);
+                    assert_eq!(plain, ir, "{tc} {opt} program {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn o0_runs_no_passes_and_fast_math_runs_the_bundle() {
+        let p = sample(23, 0);
+        let (_, o0) = compile_with_stats(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        assert!(o0.passes.is_empty(), "{:?}", o0.passes);
+
+        let (_, fm) = compile_with_stats(&p, Toolchain::Nvcc, OptLevel::O3Fm, false);
+        let names: Vec<_> = fm.passes.iter().map(|ps| ps.name).collect();
+        assert_eq!(
+            names,
+            ["reassoc", "const-fold", "finite-math", "recip", "fma-contract", "cse", "dce"]
+        );
+
+        // hipcc fast math omits the nvcc-only bundle (paper §III-D)
+        let (_, hip) = compile_with_stats(&p, Toolchain::Hipcc, OptLevel::O3Fm, false);
+        let names: Vec<_> = hip.passes.iter().map(|ps| ps.name).collect();
+        assert_eq!(names, ["const-fold", "fma-contract", "cse", "dce"]);
+    }
+
+    #[test]
+    fn fma_contraction_fires_somewhere_in_a_sample() {
+        let total: u64 = (0..50)
+            .map(|i| {
+                let p = sample(29, i);
+                compile_with_stats(&p, Toolchain::Nvcc, OptLevel::O1, false)
+                    .1
+                    .rewrites("fma-contract")
+            })
+            .sum();
+        assert!(total > 0, "fma-contract never fired across 50 programs");
     }
 
     #[test]

@@ -184,10 +184,7 @@ impl Resolver {
     }
 
     fn array_slot(&self, name: &str) -> Result<ArraySlot, ResolveError> {
-        self.arrays
-            .get(name)
-            .copied()
-            .ok_or_else(|| ResolveError::UnknownName(name.to_string()))
+        self.arrays.get(name).copied().ok_or_else(|| ResolveError::UnknownName(name.to_string()))
     }
 
     fn resolve_seq(&mut self, seq: &InstSeq) -> Result<RSeq, ResolveError> {
@@ -363,10 +360,7 @@ mod tests {
             }],
             flags: CompileFlags::default(),
         };
-        assert_eq!(
-            resolve(&ir).unwrap_err(),
-            ResolveError::UnknownName("ghost".into())
-        );
+        assert_eq!(resolve(&ir).unwrap_err(), ResolveError::UnknownName("ghost".into()));
     }
 
     #[test]

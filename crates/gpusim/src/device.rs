@@ -25,6 +25,14 @@ impl DeviceKind {
             DeviceKind::AmdLike => "AMD-like (MI250X sim)",
         }
     }
+
+    /// Terse vendor tag for metric names (`nv` / `amd`).
+    pub fn short(self) -> &'static str {
+        match self {
+            DeviceKind::NvidiaLike => "nv",
+            DeviceKind::AmdLike => "amd",
+        }
+    }
 }
 
 impl std::fmt::Display for DeviceKind {
@@ -101,12 +109,7 @@ impl Device {
 
     /// A device with a custom mechanism set (ablation).
     pub fn with_quirks(kind: DeviceKind, quirks: QuirkSet) -> Self {
-        Device {
-            kind,
-            quirks,
-            math_nv: NvMathLib { quirks },
-            math_amd: AmdMathLib { quirks },
-        }
+        Device { kind, quirks, math_nv: NvMathLib { quirks }, math_amd: AmdMathLib { quirks } }
     }
 
     /// The vendor math library this device links kernels against.

@@ -147,10 +147,7 @@ mod tests {
         // extreme ratio: differs from exact fmod (case study 1)
         let x = 1.5917195493481116e289;
         let y = 1.5793e-307;
-        assert_ne!(
-            lib.call_f64(MathFunc::Fmod, x, y).to_bits(),
-            (x % y).to_bits()
-        );
+        assert_ne!(lib.call_f64(MathFunc::Fmod, x, y).to_bits(), (x % y).to_bits());
     }
 
     #[test]

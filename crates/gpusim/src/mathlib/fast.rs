@@ -84,16 +84,9 @@ fn nv_fast_sincos(x: f32, want_sin: bool) -> f32 {
         (r, (q as i32 & 3) as u32)
     };
     // select sin/cos kernel by quadrant
-    let use_sin_kernel = if want_sin {
-        quadrant % 2 == 0
-    } else {
-        quadrant % 2 == 1
-    };
-    let negate = if want_sin {
-        quadrant == 2 || quadrant == 3
-    } else {
-        quadrant == 1 || quadrant == 2
-    };
+    let use_sin_kernel = if want_sin { quadrant % 2 == 0 } else { quadrant % 2 == 1 };
+    let negate =
+        if want_sin { quadrant == 2 || quadrant == 3 } else { quadrant == 1 || quadrant == 2 };
     let z = r * r;
     let v = if use_sin_kernel {
         // sin r ~ r(1 - z/6 + z^2/120 - z^3/5040)
@@ -104,10 +97,7 @@ fn nv_fast_sincos(x: f32, want_sin: bool) -> f32 {
         r * p
     } else {
         // cos r ~ 1 - z/2 + z^2/24 - z^3/720
-        (-1.358_891_6e-3f32)
-            .mul_add(z, 4.166_389e-2)
-            .mul_add(z, -5.000_000e-1)
-            .mul_add(z, 1.0)
+        (-1.358_891_6e-3f32).mul_add(z, 4.166_389e-2).mul_add(z, -5.000_000e-1).mul_add(z, 1.0)
     };
     if negate {
         -v
@@ -167,10 +157,7 @@ fn nv_fast_log2(x: f32) -> f32 {
     let s = (m - 1.0) / (m + 1.0);
     let z = s * s;
     // ln m = 2s(1 + z/3 + z^2/5 + z^3/7)
-    let p = 0.142_857_15f32
-        .mul_add(z, 0.2)
-        .mul_add(z, 0.333_333_34)
-        .mul_add(z, 1.0);
+    let p = 0.142_857_15f32.mul_add(z, 0.2).mul_add(z, 0.333_333_34).mul_add(z, 1.0);
     let lnm = 2.0 * s * p;
     e as f32 + lnm * LOG2E_F32
 }
@@ -223,11 +210,7 @@ pub fn nv_rcp_f32(x: f32) -> f32 {
         return x;
     }
     if x == 0.0 || x.is_subnormal() {
-        return if x.is_sign_negative() {
-            f32::NEG_INFINITY
-        } else {
-            f32::INFINITY
-        };
+        return if x.is_sign_negative() { f32::NEG_INFINITY } else { f32::INFINITY };
     }
     if x.is_infinite() {
         return if x < 0.0 { -0.0 } else { 0.0 };

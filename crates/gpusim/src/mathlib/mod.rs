@@ -110,6 +110,15 @@ impl MathFunc {
         MathFunc::Tgamma,
     ];
 
+    /// Number of distinct math functions (`ALL.len()` as a const usable
+    /// in array types, e.g. per-function tally arrays in the interpreter).
+    pub const COUNT: usize = MathFunc::ALL.len();
+
+    /// Dense index of this function within [`MathFunc::ALL`] order.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Number of floating-point arguments (1 or 2).
     pub fn arity(self) -> usize {
         match self {
@@ -266,6 +275,14 @@ mod tests {
         assert_eq!(MathFunc::from_c_name("sinh2"), None);
         assert_eq!(MathFunc::from_c_name(""), None);
         assert_eq!(MathFunc::from_c_name("printf"), None);
+    }
+
+    #[test]
+    fn index_is_dense_and_matches_all_order() {
+        for (i, f) in MathFunc::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i, "{f:?} out of order");
+        }
+        assert_eq!(MathFunc::COUNT, MathFunc::ALL.len());
     }
 
     #[test]

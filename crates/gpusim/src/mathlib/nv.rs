@@ -62,17 +62,17 @@ pub fn nv_exp(x: f64) -> f64 {
     let r = (-k).mul_add(LN2_LO, r);
     // Taylor coefficients 1/12! .. 1/0!, highest power first.
     const C: [f64; 13] = [
-        2.087_675_698_786_810e-9,  // 1/12!
-        2.505_210_838_544_172e-8,  // 1/11!
-        2.755_731_922_398_589e-7,  // 1/10!
-        2.755_731_922_398_589e-6,  // 1/9!
-        2.480_158_730_158_730e-5,  // 1/8!
-        1.984_126_984_126_984e-4,  // 1/7!
-        1.388_888_888_888_889e-3,  // 1/6!
-        8.333_333_333_333_333e-3,  // 1/5!
-        4.166_666_666_666_666e-2,  // 1/4!
+        2.087_675_698_786_810e-9,   // 1/12!
+        2.505_210_838_544_172e-8,   // 1/11!
+        2.755_731_922_398_589e-7,   // 1/10!
+        2.755_731_922_398_589e-6,   // 1/9!
+        2.480_158_730_158_730e-5,   // 1/8!
+        1.984_126_984_126_984e-4,   // 1/7!
+        1.388_888_888_888_889e-3,   // 1/6!
+        8.333_333_333_333_333e-3,   // 1/5!
+        4.166_666_666_666_666e-2,   // 1/4!
         1.666_666_666_666_666_6e-1, // 1/3!
-        5.0e-1,                    // 1/2!
+        5.0e-1,                     // 1/2!
         1.0,
         1.0,
     ];
@@ -95,11 +95,8 @@ pub fn nv_log(x: f64) -> f64 {
         return x;
     }
     // normalize subnormals
-    let (x, pre) = if x.is_subnormal() {
-        (x * fpcore::bits::exp2i_f64(54), -54i32)
-    } else {
-        (x, 0)
-    };
+    let (x, pre) =
+        if x.is_subnormal() { (x * fpcore::bits::exp2i_f64(54), -54i32) } else { (x, 0) };
     let bits = x.to_bits();
     let mut e = ((bits >> 52) & 0x7ff) as i32 - 1023;
     let mut m = f64::from_bits((bits & fpcore::bits::F64_MANT_MASK) | (1023u64 << 52));
@@ -206,11 +203,7 @@ pub fn nv_pow(x: f64, y: f64) -> f64 {
     }
     if x.is_infinite() {
         let mag = if y > 0.0 { f64::INFINITY } else { 0.0 };
-        return if x.is_sign_negative() && is_odd_integer(y) {
-            -mag
-        } else {
-            mag
-        };
+        return if x.is_sign_negative() && is_odd_integer(y) { -mag } else { mag };
     }
     if y.is_infinite() {
         let ax = x.abs();
@@ -276,10 +269,10 @@ pub fn nv_sinh(x: f64) -> f64 {
         // x + x^3/6 + ... + x^11/11!  (|x|<0.25 keeps truncation below 1 ULP)
         let z = ax * ax;
         const C: [f64; 6] = [
-            2.505_210_838_544_172e-8,  // 1/11!
-            2.755_731_922_398_589e-6,  // 1/9!
-            1.984_126_984_126_984e-4,  // 1/7!
-            8.333_333_333_333_333e-3,  // 1/5!
+            2.505_210_838_544_172e-8,   // 1/11!
+            2.755_731_922_398_589e-6,   // 1/9!
+            1.984_126_984_126_984e-4,   // 1/7!
+            8.333_333_333_333_333e-3,   // 1/5!
             1.666_666_666_666_666_6e-1, // 1/3!
             1.0,
         ];
@@ -792,10 +785,7 @@ mod tests {
     fn dispatch_uses_quirky_kernels() {
         let lib = NvMathLib::default();
         assert_eq!(lib.call_f64(MathFunc::Ceil, 1.5955e-125, 0.0), 0.0);
-        assert_eq!(
-            lib.call_f64(MathFunc::Fmod, 5.5, 2.0),
-            5.5f64 % 2.0
-        );
+        assert_eq!(lib.call_f64(MathFunc::Fmod, 5.5, 2.0), 5.5f64 % 2.0);
         // quirks disabled -> std semantics
         let plain = NvMathLib { quirks: QuirkSet::none() };
         assert_eq!(plain.call_f64(MathFunc::Ceil, 1.5955e-125, 0.0), 1.0);

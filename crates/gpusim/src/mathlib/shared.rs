@@ -446,20 +446,12 @@ mod tests {
         assert!(exact.is_finite() && chunked.is_finite());
         assert!(exact >= 0.0 && exact < y);
         assert!(chunked >= 0.0 && chunked < y * 1.0000001);
-        assert_ne!(
-            exact.to_bits(),
-            chunked.to_bits(),
-            "expected divergence for extreme ratio"
-        );
+        assert_ne!(exact.to_bits(), chunked.to_bits(), "expected divergence for extreme ratio");
     }
 
     #[test]
     fn chunked_fmod_result_is_a_valid_remainder_range() {
-        let cases = [
-            (1e300, 1e-300),
-            (1.5917195493481116e289, 1.5793e-307),
-            (-1e280, 2.5e-200),
-        ];
+        let cases = [(1e300, 1e-300), (1.5917195493481116e289, 1.5793e-307), (-1e280, 2.5e-200)];
         for &(x, y) in &cases {
             let r = fmod_chunked_f64(x, y);
             assert!(r.abs() <= y.abs(), "fmod({x},{y}) = {r}");
@@ -527,11 +519,7 @@ mod tests {
         while x < 10.0 {
             let mut y = 0.25f64;
             while y < 3.0 {
-                assert_eq!(
-                    fmod_exact_f64(x, y).to_bits(),
-                    (x % y).to_bits(),
-                    "fmod({x},{y})"
-                );
+                assert_eq!(fmod_exact_f64(x, y).to_bits(), (x % y).to_bits(), "fmod({x},{y})");
                 y += 0.37;
             }
             x += 0.73;

@@ -1,8 +1,6 @@
 //! Property-based tests for the simulated vendor math libraries.
 
-use gpusim::mathlib::shared::{
-    fmod_chunked_f32, fmod_chunked_f64, fmod_exact_f32, fmod_exact_f64,
-};
+use gpusim::mathlib::shared::{fmod_chunked_f32, fmod_chunked_f64, fmod_exact_f32, fmod_exact_f64};
 use gpusim::mathlib::MathFunc;
 use gpusim::{Device, DeviceKind, QuirkSet};
 use proptest::prelude::*;

@@ -53,6 +53,11 @@ pub fn hipify(cuda_src: &str) -> HipifyOutput {
         out.substitutions += 1;
         format!("#include \"hip/hip_runtime.h\"\n{substituted}")
     };
+    if obs::enabled() {
+        obs::add("hipify.conversions", 1);
+        obs::add("hipify.substitutions", out.substitutions as u64);
+        obs::add("hipify.launches", out.launches_rewritten as u64);
+    }
     out
 }
 
@@ -212,14 +217,14 @@ mod tests {
     #[test]
     fn rewrites_launch_with_shared_memory_and_stream() {
         let out = hipify("k<<<grid, block, 256, s>>>(x);");
-        assert!(out
-            .source
-            .contains("hipLaunchKernelGGL(k, dim3(grid), dim3(block), 256, s, x);"));
+        assert!(out.source.contains("hipLaunchKernelGGL(k, dim3(grid), dim3(block), 256, s, x);"));
     }
 
     #[test]
     fn substitutes_runtime_api_calls() {
-        let out = hipify("cudaMalloc((void**)&p, n); cudaMemcpy(p, h, n, cudaMemcpyHostToDevice); cudaFree(p);");
+        let out = hipify(
+            "cudaMalloc((void**)&p, n); cudaMemcpy(p, h, n, cudaMemcpyHostToDevice); cudaFree(p);",
+        );
         assert!(out.source.contains("hipMalloc((void**)&p, n);"));
         assert!(out.source.contains("hipMemcpy(p, h, n, hipMemcpyHostToDevice);"));
         assert!(out.source.contains("hipFree(p);"));

@@ -1,0 +1,104 @@
+//! Sharded lock-free counters.
+//!
+//! A [`Counter`] is a small array of cache-padded atomics; each thread
+//! increments its own shard (chosen by a per-thread slot number), so
+//! parallel campaigns never bounce a cache line between cores. Reading
+//! sums the shards — reads are rare (snapshot/progress), writes are hot.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Monotonic per-thread slot used to pick a shard.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of shards per counter: the next power of two at or above the
+/// available parallelism, clamped to `[2, 64]`.
+fn shard_count() -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    cores.next_power_of_two().clamp(2, 64)
+}
+
+/// A monotonically increasing, thread-sharded counter.
+pub struct Counter {
+    shards: Box<[CachePadded<AtomicU64>]>,
+    mask: usize,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        let n = shard_count();
+        let shards: Vec<CachePadded<AtomicU64>> =
+            (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        Counter { shards: shards.into_boxed_slice(), mask: n - 1 }
+    }
+
+    /// Add `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let slot = THREAD_SLOT.with(|s| *s) & self.mask;
+        self.shards[slot].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_counts() {
+        let c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn shard_count_is_power_of_two_in_range() {
+        let n = shard_count();
+        assert!(n.is_power_of_two());
+        assert!((2..=64).contains(&n));
+    }
+
+    #[test]
+    fn threads_do_not_lose_increments() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), 80_000);
+    }
+}

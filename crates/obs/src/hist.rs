@@ -1,0 +1,136 @@
+//! Log2-bucketed histograms for latency and size distributions.
+//!
+//! Values are binned by bit length: bucket 0 holds the value 0, bucket
+//! `b >= 1` holds `[2^(b-1), 2^b)`. 65 buckets cover the full `u64`
+//! range. Each bucket is an atomic, so concurrent recording is exact
+//! (never lossy), and the exact sum/min/max are tracked alongside so
+//! means are not bucket-quantised.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::HistSnapshot;
+
+/// Bucket count: one per possible bit length of a `u64`, plus zero.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value (its bit length).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, for quantile estimates.
+pub fn bucket_high(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// A concurrent log2 histogram with exact sum, min, and max.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).fold(0u64, u64::wrapping_add)
+    }
+
+    /// Freeze the current state into a serializable snapshot. Trailing
+    /// empty buckets are trimmed so snapshots stay small on disk.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        let count = buckets.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        let min = self.min.load(Ordering::Relaxed);
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            assert!(v <= bucket_high(bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn snapshot_tracks_exact_stats() {
+        let h = Histogram::new();
+        for v in [5u64, 10, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 115);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 100);
+        assert!((s.mean() - 115.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_clean() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Structured JSONL event/metrics log.
+//!
+//! One JSON object per line. Every line carries `"ev"` (the event kind)
+//! and `"ts_ms"` (milliseconds since the Unix epoch). Metric dumps are
+//! one line per metric so the log stays greppable and any prefix of the
+//! file is itself valid JSONL:
+//!
+//! ```text
+//! {"ev":"campaign_start","ts_ms":...,"programs":50,...}
+//! {"ev":"phase","ts_ms":...,"name":"run.nvcc","ns":12345}
+//! {"ev":"counter","ts_ms":...,"name":"campaign.runs_done","value":3500}
+//! {"ev":"hist","ts_ms":...,"name":"span.campaign.analyze","count":1,...}
+//! {"ev":"campaign_end","ts_ms":...}
+//! ```
+
+use parking_lot::Mutex;
+use serde_json::{json, Map, Value};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::snapshot::MetricsSnapshot;
+
+/// Milliseconds since the Unix epoch.
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// A line-buffered, thread-safe JSONL writer.
+pub struct JsonlWriter {
+    inner: Mutex<BufWriter<File>>,
+}
+
+impl JsonlWriter {
+    /// Create (truncating) the log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlWriter> {
+        let file = File::create(path)?;
+        Ok(JsonlWriter { inner: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// Append one event line. `fields` must be a JSON object; its keys
+    /// are merged after the standard `ev` / `ts_ms` pair.
+    pub fn event(&self, kind: &str, fields: Value) -> std::io::Result<()> {
+        let mut obj = Map::new();
+        obj.insert("ev".into(), Value::String(kind.to_string()));
+        obj.insert("ts_ms".into(), json!(now_ms()));
+        if let Value::Object(extra) = fields {
+            for (k, v) in extra {
+                obj.insert(k, v);
+            }
+        }
+        let mut w = self.inner.lock();
+        serde_json::to_writer(&mut *w, &Value::Object(obj))?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    /// Dump a snapshot: one `counter` line per counter, one `hist` line
+    /// per histogram.
+    pub fn write_snapshot(&self, snap: &MetricsSnapshot) -> std::io::Result<()> {
+        for (name, value) in &snap.counters {
+            self.event("counter", json!({ "name": name, "value": value }))?;
+        }
+        for (name, h) in &snap.hists {
+            self.event(
+                "hist",
+                json!({
+                    "name": name,
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "buckets": h.buckets,
+                }),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_line_parses_and_carries_ev() {
+        let dir = std::env::temp_dir().join("obs-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("log-{}.jsonl", std::process::id()));
+        let w = JsonlWriter::create(&path).unwrap();
+        w.event("start", json!({ "programs": 5 })).unwrap();
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("c".into(), 7);
+        let h = crate::Histogram::new();
+        h.record(12);
+        snap.hists.insert("h".into(), h.snapshot());
+        w.write_snapshot(&snap).unwrap();
+        w.event("end", json!({})).unwrap();
+        drop(w);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("ev").is_some(), "line missing ev: {line}");
+            assert!(v.get("ts_ms").is_some(), "line missing ts_ms: {line}");
+        }
+        let counter: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(counter["name"], "c");
+        assert_eq!(counter["value"], 7);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,83 @@
+//! Telemetry for the differential-testing pipeline.
+//!
+//! Lock-free counters, log2-bucketed latency histograms, and scoped span
+//! timers behind a process-global registry. The design goal is that a
+//! rayon-parallel campaign can hammer the same counter from every worker
+//! thread without contention: counters are striped across cache-padded
+//! shards indexed by a per-thread slot, and reads sum the shards.
+//!
+//! Everything funnels into a [`MetricsSnapshot`] — a plain serde value
+//! that rides inside `CampaignMeta` so between-platform runs carry their
+//! telemetry — and optionally into a JSONL event log via [`JsonlWriter`].
+//!
+//! Instrumentation sites call the free functions in this module
+//! ([`add`], [`record`], [`span`]); they are no-ops (beyond one relaxed
+//! atomic load) when telemetry is disabled with [`set_enabled`], which
+//! is what the overhead guard in `crates/bench` measures against.
+
+#![deny(missing_docs)]
+
+pub mod counter;
+pub mod hist;
+pub mod jsonl;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use counter::Counter;
+pub use hist::Histogram;
+pub use jsonl::JsonlWriter;
+pub use registry::{global, Registry};
+pub use snapshot::{HistSnapshot, MetricsSnapshot};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide on/off switch. Telemetry defaults to enabled; the bench
+/// overhead guard and throughput-sensitive callers may turn it off.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether telemetry is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enable or disable telemetry recording.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Bump the named global counter by `n` (no-op when disabled).
+#[inline]
+pub fn add(name: &str, n: u64) {
+    if enabled() {
+        global().counter(name).add(n);
+    }
+}
+
+/// Record one observation in the named global histogram (no-op when
+/// disabled).
+#[inline]
+pub fn record(name: &str, value: u64) {
+    if enabled() {
+        global().hist(name).record(value);
+    }
+}
+
+/// Start a scoped timer; on drop it records elapsed nanoseconds into the
+/// histogram `span.{name}`.
+pub fn span(name: impl Into<String>) -> Span {
+    Span::start(name)
+}
+
+/// Snapshot every metric in the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+/// Drop all metrics from the global registry (used at campaign start and
+/// in tests so runs don't bleed into each other).
+pub fn reset() {
+    global().reset();
+}

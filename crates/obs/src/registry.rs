@@ -1,0 +1,103 @@
+//! Name → metric registry with a process-global instance.
+//!
+//! Lookup is read-lock fast path (the common case once a metric exists),
+//! falling back to a write lock only on first registration. Callers that
+//! sit on a hot loop should hold the returned `Arc` instead of paying
+//! the map lookup per event.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::snapshot::MetricsSnapshot;
+
+/// A set of named counters and histograms.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write();
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Counter::new())))
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn hist(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.hists.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.hists.write();
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())))
+    }
+
+    /// Freeze every metric. Zero-valued counters registered but never
+    /// bumped are included — a zero is still information.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for (name, c) in self.counters.read().iter() {
+            snap.counters.insert(name.clone(), c.value());
+        }
+        for (name, h) in self.hists.read().iter() {
+            snap.hists.insert(name.clone(), h.snapshot());
+        }
+        snap
+    }
+
+    /// Drop every metric.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.hists.write().clear();
+    }
+}
+
+/// The process-global registry used by `obs::add` / `obs::record` /
+/// `obs::span`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_counter() {
+        let r = Registry::new();
+        r.counter("a").add(1);
+        r.counter("a").add(2);
+        assert_eq!(r.counter("a").value(), 3);
+    }
+
+    #[test]
+    fn snapshot_sees_all_metrics() {
+        let r = Registry::new();
+        r.counter("c1").add(5);
+        r.hist("h1").record(9);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c1"), 5);
+        assert_eq!(s.hists["h1"].count, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = Registry::new();
+        r.counter("c").add(1);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Scoped wall-clock timers.
+//!
+//! A [`Span`] records elapsed nanoseconds into the histogram
+//! `span.{name}` when it is dropped (or explicitly finished), so phase
+//! timing reads as plain RAII at the instrumentation site:
+//!
+//! ```
+//! {
+//!     let _span = obs::span("demo.phase");
+//!     // ... work ...
+//! } // recorded here
+//! assert_eq!(obs::snapshot().hists["span.demo.phase"].count, 1);
+//! ```
+
+use std::time::Instant;
+
+/// A running timer tied to a named span histogram.
+pub struct Span {
+    name: String,
+    start: Instant,
+    done: bool,
+}
+
+impl Span {
+    /// Start timing `name` now.
+    pub fn start(name: impl Into<String>) -> Span {
+        Span { name: name.into(), start: Instant::now(), done: false }
+    }
+
+    /// Elapsed nanoseconds so far, without stopping the span.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Stop now, record, and return the elapsed nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.commit(ns);
+        ns
+    }
+
+    fn commit(&mut self, ns: u64) {
+        if !self.done {
+            self.done = true;
+            if crate::enabled() {
+                crate::global().hist(&format!("span.{}", self.name)).record(ns);
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.elapsed_ns();
+        self.commit(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let r = crate::global();
+        let before = r.hist("span.obs.test.drop").count();
+        {
+            let _s = Span::start("obs.test.drop");
+        }
+        assert_eq!(r.hist("span.obs.test.drop").count(), before + 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_ns() {
+        let r = crate::global();
+        let before = r.hist("span.obs.test.finish").count();
+        let s = Span::start("obs.test.finish");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ns = s.finish();
+        assert!(ns >= 1_000_000, "slept 1ms but span saw {ns}ns");
+        assert_eq!(r.hist("span.obs.test.finish").count(), before + 1);
+    }
+}

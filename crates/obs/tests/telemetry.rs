@@ -1,0 +1,103 @@
+//! Concurrency and round-trip tests for the telemetry subsystem.
+//!
+//! These exercise the exact properties the campaign pipeline relies on:
+//! counters and histograms must be lossless under a rayon pool, and
+//! snapshots must survive serde unchanged.
+
+use rayon::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn rayon_pool_counts_are_exact() {
+    // A private registry so parallel test binaries can't interfere.
+    let reg = obs::Registry::new();
+    let c = reg.counter("test.parallel");
+    let per_task = 1_000u64;
+    let tasks = 512u64;
+    (0..tasks).into_par_iter().for_each(|_| {
+        for _ in 0..per_task {
+            c.add(1);
+        }
+    });
+    assert_eq!(c.value(), tasks * per_task, "sharded counter lost increments");
+}
+
+#[test]
+fn rayon_pool_histogram_is_exact() {
+    let h = Arc::new(obs::Histogram::new());
+    let n = 10_000u64;
+    (1..=n).into_par_iter().for_each(|v| h.record(v));
+    let s = h.snapshot();
+    assert_eq!(s.count, n);
+    assert_eq!(s.sum, n * (n + 1) / 2);
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, n);
+    assert_eq!(s.buckets.iter().sum::<u64>(), n);
+}
+
+#[test]
+fn mixed_metric_names_do_not_collide_under_parallelism() {
+    let reg = obs::Registry::new();
+    (0..64u64).into_par_iter().for_each(|i| {
+        reg.counter(&format!("test.shardname.{}", i % 4)).add(i);
+    });
+    let snap = reg.snapshot();
+    let total: u64 = snap.counters.values().sum();
+    assert_eq!(total, (0..64u64).sum::<u64>());
+    assert_eq!(snap.counters.len(), 4);
+}
+
+#[test]
+fn snapshot_roundtrips_through_serde() {
+    let reg = obs::Registry::new();
+    reg.counter("gpucc.compiles").add(42);
+    let h = reg.hist("span.campaign.generate");
+    for v in [10u64, 1_000, 1_000_000] {
+        h.record(v);
+    }
+    let snap = reg.snapshot();
+    let json = serde_json::to_string_pretty(&snap).unwrap();
+    let back: obs::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap, back);
+    assert_eq!(back.counter("gpucc.compiles"), 42);
+    assert_eq!(back.hists["span.campaign.generate"].count, 3);
+}
+
+#[test]
+fn merged_shards_equal_one_big_run() {
+    // Simulate the between-platform protocol: two half-campaigns whose
+    // snapshots merge into the same totals as one combined run.
+    let a = obs::Registry::new();
+    let b = obs::Registry::new();
+    let whole = obs::Registry::new();
+    for v in 0..100u64 {
+        let side = if v % 2 == 0 { &a } else { &b };
+        side.counter("campaign.runs_done").add(1);
+        side.hist("h").record(v);
+        whole.counter("campaign.runs_done").add(1);
+        whole.hist("h").record(v);
+    }
+    let mut merged = a.snapshot();
+    merged.merge(&b.snapshot());
+    let want = whole.snapshot();
+    assert_eq!(merged.counters, want.counters);
+    assert_eq!(merged.hists["h"].count, want.hists["h"].count);
+    assert_eq!(merged.hists["h"].sum, want.hists["h"].sum);
+    assert_eq!(merged.hists["h"].buckets, want.hists["h"].buckets);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing_via_free_fns() {
+    obs::reset();
+    obs::set_enabled(false);
+    obs::add("test.disabled.counter", 5);
+    obs::record("test.disabled.hist", 5);
+    {
+        let _s = obs::span("test.disabled.span");
+    }
+    obs::set_enabled(true);
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("test.disabled.counter"), 0);
+    assert!(!snap.hists.contains_key("test.disabled.hist"));
+    assert!(!snap.hists.contains_key("span.test.disabled.span"));
+}

@@ -272,9 +272,7 @@ impl Stmt {
         match self {
             Stmt::DeclTmp { .. } | Stmt::Assign { .. } => 0,
             Stmt::If { body, .. } => body.iter().map(Stmt::loop_depth).max().unwrap_or(0),
-            Stmt::For { body, .. } => {
-                1 + body.iter().map(Stmt::loop_depth).max().unwrap_or(0)
-            }
+            Stmt::For { body, .. } => 1 + body.iter().map(Stmt::loop_depth).max().unwrap_or(0),
         }
     }
 }
@@ -388,11 +386,7 @@ mod tests {
         let nested = Stmt::For {
             var: "i".into(),
             bound: "n".into(),
-            body: vec![Stmt::For {
-                var: "j".into(),
-                bound: "n".into(),
-                body: vec![],
-            }],
+            body: vec![Stmt::For { var: "j".into(), bound: "n".into(), body: vec![] }],
         };
         assert_eq!(nested.loop_depth(), 2);
     }

@@ -158,13 +158,9 @@ fn emit_main(program: &Program, dialect: Dialect) -> String {
             "cudaDeviceSynchronize",
             "cudaFree",
         ),
-        Dialect::Hip => (
-            "hipMalloc",
-            "hipMemcpy",
-            "hipMemcpyHostToDevice",
-            "hipDeviceSynchronize",
-            "hipFree",
-        ),
+        Dialect::Hip => {
+            ("hipMalloc", "hipMemcpy", "hipMemcpyHostToDevice", "hipDeviceSynchronize", "hipFree")
+        }
     };
 
     out.push_str("int main(int argc, char** argv) {\n");
@@ -189,11 +185,8 @@ fn emit_main(program: &Program, dialect: Dialect) -> String {
                     "  for (int _k = 0; _k < {ARRAY_LEN}; ++_k) {host}[_k] = {host}_fill;"
                 );
                 let _ = writeln!(out, "  {ty} * {};", p.name);
-                let _ = writeln!(
-                    out,
-                    "  {malloc}((void**)&{}, sizeof({ty}) * {ARRAY_LEN});",
-                    p.name
-                );
+                let _ =
+                    writeln!(out, "  {malloc}((void**)&{}, sizeof({ty}) * {ARRAY_LEN});", p.name);
                 let _ = writeln!(
                     out,
                     "  {memcpy}({}, {host}, sizeof({ty}) * {ARRAY_LEN}, {h2d});",
@@ -279,7 +272,8 @@ mod tests {
         // every literal carries the F suffix
         for f in p.math_calls() {
             assert!(
-                k.contains(&format!("{}f(", f.c_name())) || !k.contains(&format!("{}(", f.c_name())),
+                k.contains(&format!("{}f(", f.c_name()))
+                    || !k.contains(&format!("{}(", f.c_name())),
                 "FP64 call {} leaked into FP32 kernel:\n{k}",
                 f.c_name()
             );

@@ -27,14 +27,17 @@ use rand_chacha::ChaCha8Rng;
 pub fn generate_program(cfg: &GenConfig, seed: u64, index: u64) -> Program {
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index);
     let mut gen = Generator::new(cfg, &mut rng);
-    gen.program(index)
+    let p = gen.program(index);
+    if obs::enabled() {
+        obs::add("progen.programs", 1);
+        obs::record("progen.ast_stmts", p.stmt_count() as u64);
+    }
+    p
 }
 
 /// Generate a batch of programs with consecutive indices.
 pub fn generate_batch(cfg: &GenConfig, seed: u64, count: usize) -> Vec<Program> {
-    (0..count as u64)
-        .map(|i| generate_program(cfg, seed, i))
-        .collect()
+    (0..count as u64).map(|i| generate_program(cfg, seed, i)).collect()
 }
 
 struct Generator<'a, R: Rng> {
@@ -72,11 +75,8 @@ impl<'a, R: Rng> Generator<'a, R> {
             next_var += 1;
         }
 
-        self.floats = params
-            .iter()
-            .filter(|p| p.ty == ParamType::Float)
-            .map(|p| p.name.clone())
-            .collect();
+        self.floats =
+            params.iter().filter(|p| p.ty == ParamType::Float).map(|p| p.name.clone()).collect();
         self.arrays = params
             .iter()
             .filter(|p| p.ty == ParamType::FloatArray)
@@ -169,11 +169,7 @@ impl<'a, R: Rng> Generator<'a, R> {
             op: *[CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]
                 .choose(self.rng)
                 .expect("non-empty"),
-            lhs: if self.rng.gen_bool(0.7) {
-                Expr::Var("comp".into())
-            } else {
-                self.expr(2)
-            },
+            lhs: if self.rng.gen_bool(0.7) { Expr::Var("comp".into()) } else { self.expr(2) },
             rhs: self.expr(2),
         };
         let scope = self.floats.len();
@@ -363,10 +359,7 @@ mod tests {
         assert_eq!(p.params[0].name, "comp");
         assert_eq!(p.params[0].ty, ParamType::Float);
         assert_eq!(p.params[1].ty, ParamType::Int);
-        assert_eq!(
-            p.params_of(ParamType::Float).count(),
-            cfg.num_float_params + 1
-        );
+        assert_eq!(p.params_of(ParamType::Float).count(), cfg.num_float_params + 1);
         assert_eq!(p.params_of(ParamType::FloatArray).count(), cfg.num_array_params);
     }
 

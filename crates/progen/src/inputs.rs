@@ -50,11 +50,7 @@ pub struct InputSet {
 impl InputSet {
     /// Render as a single space-separated line (the paper's input format).
     pub fn render(&self, precision: Precision) -> String {
-        self.values
-            .iter()
-            .map(|v| v.render(precision))
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.values.iter().map(|v| v.render(precision)).collect::<Vec<_>>().join(" ")
     }
 
     /// The loop-bound value (first `Int` input), if present.
@@ -89,6 +85,7 @@ pub fn generate_input(program: &Program, seed: u64, k: u64) -> InputSet {
 
 /// Generate `n` input sets for a program.
 pub fn generate_inputs(program: &Program, seed: u64, n: usize) -> Vec<InputSet> {
+    obs::add("progen.inputs", n as u64);
     (0..n as u64).map(|k| generate_input(program, seed, k)).collect()
 }
 
@@ -250,10 +247,7 @@ mod tests {
         let tokens: Vec<&str> = line.split(' ').collect();
         assert_eq!(tokens.len(), p.params.len());
         for t in tokens {
-            assert!(
-                literal::parse_literal(t).is_some(),
-                "unparseable token {t:?} in {line:?}"
-            );
+            assert!(literal::parse_literal(t).is_some(), "unparseable token {t:?} in {line:?}");
         }
     }
 

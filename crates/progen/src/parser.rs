@@ -46,10 +46,8 @@ pub fn parse_kernel(src: &str, id: &str) -> Result<Program, ParseError> {
             break;
         }
     }
-    let start = start.ok_or_else(|| ParseError {
-        at: 0,
-        message: "no __global__ kernel found".into(),
-    })?;
+    let start =
+        start.ok_or_else(|| ParseError { at: 0, message: "no __global__ kernel found".into() })?;
     let mut p = Parser { tokens: &tokens, pos: start };
     p.parse_program(id)
 }
@@ -83,10 +81,7 @@ impl<'a> Parser<'a> {
         if got == want {
             Ok(())
         } else {
-            Err(ParseError {
-                at: pos,
-                message: format!("expected {want}, got {got}"),
-            })
+            Err(ParseError { at: pos, message: format!("expected {want}, got {got}") })
         }
     }
 
@@ -94,10 +89,7 @@ impl<'a> Parser<'a> {
         let pos = self.pos;
         match self.next()? {
             Token::Ident(s) if s == want => Ok(()),
-            got => Err(ParseError {
-                at: pos,
-                message: format!("expected `{want}`, got {got}"),
-            }),
+            got => Err(ParseError { at: pos, message: format!("expected `{want}`, got {got}") }),
         }
     }
 
@@ -360,11 +352,7 @@ impl<'a> Parser<'a> {
         let pos = self.pos;
         match self.next()?.clone() {
             Token::Float(v, suffixed) => {
-                let v = if suffixed || prec == Precision::F32 {
-                    v as f32 as f64
-                } else {
-                    v
-                };
+                let v = if suffixed || prec == Precision::F32 { v as f32 as f64 } else { v };
                 Ok(Expr::Lit(v))
             }
             Token::Int(v) => Ok(Expr::Lit(v as f64)),
@@ -539,8 +527,10 @@ __global__ void compute(double comp, int var_1, double var_2) {
             Stmt::For { body, .. } => {
                 assert!(matches!(&body[0], Stmt::Assign { target: LValue::Index(a, i), .. }
                     if a == "var_5" && i == "i"));
-                assert!(matches!(&body[1], Stmt::Assign { value: Expr::Bin(..), .. })
-                    || matches!(&body[1], Stmt::Assign { value: Expr::Index(..), .. }));
+                assert!(
+                    matches!(&body[1], Stmt::Assign { value: Expr::Bin(..), .. })
+                        || matches!(&body[1], Stmt::Assign { value: Expr::Index(..), .. })
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -577,8 +567,8 @@ __global__ void compute(double comp, int var_1, double var_2) {
         for i in 0..100 {
             let p = generate_program(&cfg, 21, i);
             let src = emit_kernel(&p);
-            let back = parse_kernel(&src, &p.id)
-                .unwrap_or_else(|e| panic!("program {i}: {e}\n{src}"));
+            let back =
+                parse_kernel(&src, &p.id).unwrap_or_else(|e| panic!("program {i}: {e}\n{src}"));
             assert_eq!(p, back, "roundtrip mismatch for program {i}\n{src}");
         }
     }
@@ -589,8 +579,8 @@ __global__ void compute(double comp, int var_1, double var_2) {
         for i in 0..100 {
             let p = generate_program(&cfg, 22, i);
             let src = emit_kernel(&p);
-            let back = parse_kernel(&src, &p.id)
-                .unwrap_or_else(|e| panic!("program {i}: {e}\n{src}"));
+            let back =
+                parse_kernel(&src, &p.id).unwrap_or_else(|e| panic!("program {i}: {e}\n{src}"));
             assert_eq!(p, back, "roundtrip mismatch for program {i}\n{src}");
         }
     }
@@ -603,8 +593,8 @@ __global__ void compute(double comp, int var_1, double var_2) {
             for i in 0..20 {
                 let p = generate_program(&cfg, 23, i);
                 let src = emit(&p, dialect);
-                let back = parse_kernel(&src, &p.id)
-                    .unwrap_or_else(|e| panic!("program {i}: {e}\n{src}"));
+                let back =
+                    parse_kernel(&src, &p.id).unwrap_or_else(|e| panic!("program {i}: {e}\n{src}"));
                 assert_eq!(p, back, "dialect {dialect:?} program {i}");
             }
         }

@@ -20,19 +20,14 @@ fn main() {
     let c1_path = dir.join("lassen_metadata.json");
     let c2_path = dir.join("tioga_metadata.json");
 
-    let config =
-        CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
+    let config = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
 
     // ---- cluster C1 (the NVIDIA system) ----
     println!("[C1/Lassen-sim] generating tests and running the nvcc side…");
     let mut c1 = CampaignMeta::generate(&config);
     c1.run_side(Toolchain::Nvcc);
     c1.save(&c1_path).expect("save C1 metadata");
-    println!(
-        "[C1/Lassen-sim] saved {} tests to {}",
-        c1.tests.len(),
-        c1_path.display()
-    );
+    println!("[C1/Lassen-sim] saved {} tests to {}", c1.tests.len(), c1_path.display());
 
     // ---- cluster C2 (the AMD system) ----
     // C2 loads the metadata, regenerates the exact same tests and inputs

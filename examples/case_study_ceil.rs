@@ -56,16 +56,8 @@ fn main() {
         let verdict = compare_runs(&rn.value, &ra.value)
             .map(|d| format!("DISCREPANCY [{}]", d.class))
             .unwrap_or_else(|| "consistent".into());
-        println!(
-            "  nvcc  -{}: {}",
-            level.label(),
-            rn.value.format_exact()
-        );
-        println!(
-            "  hipcc -{}: {}   => {verdict}",
-            level.label(),
-            ra.value.format_exact()
-        );
+        println!("  nvcc  -{}: {}", level.label(), rn.value.format_exact());
+        println!("  hipcc -{}: {}   => {verdict}", level.label(), ra.value.format_exact());
         assert!(
             compare_runs(&rn.value, &ra.value).is_some(),
             "case study must reproduce at {level}"

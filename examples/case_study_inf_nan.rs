@@ -53,10 +53,10 @@ fn main() {
             InputValue::Float(1.0),       // var_2
             InputValue::Float(1148423.0), // var_3 (keeps the cosh argument small)
             InputValue::Float(3.0),       // var_4
-            InputValue::Float(1.2e-3),   // var_5 (drives comp to +Inf)
-            InputValue::Float(9.0e305),  // var_6
-            InputValue::Float(8.0e305),  // var_7 (product overflows)
-            InputValue::Float(-1.0),     // var_8
+            InputValue::Float(1.2e-3),    // var_5 (drives comp to +Inf)
+            InputValue::Float(9.0e305),   // var_6
+            InputValue::Float(8.0e305),   // var_7 (product overflows)
+            InputValue::Float(-1.0),      // var_8
         ],
     };
 

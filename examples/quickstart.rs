@@ -63,8 +63,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "\n{found} discrepancies across {} runs",
-        OptLevel::ALL.len() * inputs.len() * 2
-    );
+    println!("\n{found} discrepancies across {} runs", OptLevel::ALL.len() * inputs.len() * 2);
 }

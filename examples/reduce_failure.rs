@@ -31,10 +31,8 @@ fn main() {
             let nv_ir = build_side(&program, Toolchain::Nvcc, level, TestMode::Direct);
             let amd_ir = build_side(&program, Toolchain::Hipcc, level, TestMode::Direct);
             for input in &inputs {
-                let (Ok(rn), Ok(ra)) = (
-                    execute(&nv_ir, &nv, input),
-                    execute(&amd_ir, &amd, input),
-                ) else {
+                let (Ok(rn), Ok(ra)) = (execute(&nv_ir, &nv, input), execute(&amd_ir, &amd, input))
+                else {
                     continue;
                 };
                 if let Some(d) = compare_runs(&rn.value, &ra.value) {
@@ -50,22 +48,15 @@ fn main() {
                     println!("--- original kernel ({} stmts) ---", program.stmt_count());
                     println!("{}", emit_kernel(&program));
 
-                    let check = discrepancy_check(
-                        input.clone(),
-                        level,
-                        TestMode::Direct,
-                        QuirkSet::all(),
-                    );
+                    let check =
+                        discrepancy_check(input.clone(), level, TestMode::Direct, QuirkSet::all());
                     let red = reduce_program(&program, check);
                     println!(
                         "--- reduced kernel ({} stmts, {} shrink steps) ---",
                         red.final_stmts, red.steps
                     );
                     println!("{}", emit_kernel(&red.program));
-                    println!(
-                        "failure-inducing input: {}",
-                        input.render(program.precision)
-                    );
+                    println!("failure-inducing input: {}", input.render(program.precision));
                     assert!(red.final_stmts <= red.original_stmts);
                     break 'outer;
                 }

@@ -59,11 +59,7 @@ fn main() {
             .find(|d| d.thread == tid as u32)
             .map(|d| format!("DISCREPANCY [{}]", d.discrepancy.class))
             .unwrap_or_else(|| "consistent".into());
-        println!(
-            "{tid:<6}{:<25}{:<25}{verdict}",
-            rn[tid].format_exact(),
-            ra[tid].format_exact()
-        );
+        println!("{tid:<6}{:<25}{:<25}{verdict}", rn[tid].format_exact(), ra[tid].format_exact());
     }
     println!(
         "\n{} of {block_dim} threads diverge: thread 0's fmod operand ratio\n\

@@ -1,9 +1,7 @@
 //! End-to-end integration tests spanning the whole pipeline:
 //! generate → emit → (hipify) → parse → compile → execute → compare.
 
-use gpu_numerics::difftest::campaign::{
-    run_campaign, CampaignConfig, TestMode,
-};
+use gpu_numerics::difftest::campaign::{run_campaign, CampaignConfig, TestMode};
 use gpu_numerics::difftest::compare_runs;
 use gpu_numerics::difftest::metadata::build_side;
 use gpu_numerics::difftest::outcome::DiscrepancyClass;
@@ -162,19 +160,11 @@ fn fp32_fast_math_dominates() {
     let cfg = CampaignConfig::default_for(Precision::F32, TestMode::Direct).with_programs(120);
     let report = run_campaign(&cfg);
     let get = |l: OptLevel| {
-        report
-            .per_level
-            .iter()
-            .find(|(lv, _)| *lv == l)
-            .map(|(_, s)| s.discrepancies)
-            .unwrap()
+        report.per_level.iter().find(|(lv, _)| *lv == l).map(|(_, s)| s.discrepancies).unwrap()
     };
     let fm = get(OptLevel::O3Fm);
     let o0 = get(OptLevel::O0);
-    assert!(
-        fm > o0 * 3,
-        "O3_FM ({fm}) must dwarf O0 ({o0}) for FP32"
-    );
+    assert!(fm > o0 * 3, "O3_FM ({fm}) must dwarf O0 ({o0}) for FP32");
 }
 
 /// The seven discrepancy classes and four outcomes cover every observed

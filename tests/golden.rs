@@ -19,10 +19,7 @@ fn counts(precision: Precision, mode: TestMode) -> (Vec<u64>, u64) {
     let mut cfg = CampaignConfig::default_for(precision, mode).with_programs(N_PROGRAMS);
     cfg.seed = SEED;
     let r = run_campaign(&cfg);
-    (
-        r.per_level.iter().map(|(_, s)| s.discrepancies).collect(),
-        r.total_discrepancies(),
-    )
+    (r.per_level.iter().map(|(_, s)| s.discrepancies).collect(), r.total_discrepancies())
 }
 
 #[test]

@@ -41,11 +41,7 @@ fn fp32() -> &'static CampaignReport {
 }
 
 fn level(r: &CampaignReport, l: OptLevel) -> u64 {
-    r.per_level
-        .iter()
-        .find(|(lv, _)| *lv == l)
-        .map(|(_, s)| s.discrepancies)
-        .unwrap()
+    r.per_level.iter().find(|(lv, _)| *lv == l).map(|(_, s)| s.discrepancies).unwrap()
 }
 
 /// Table IV shape: every campaign finds discrepancies, at sub-10% rates.
@@ -53,10 +49,7 @@ fn level(r: &CampaignReport, l: OptLevel) -> u64 {
 fn campaigns_find_discrepancies_at_plausible_rates() {
     for (name, r) in [("FP64", fp64()), ("HIPIFY", fp64_hipify()), ("FP32", fp32())] {
         let pct = r.discrepancy_pct();
-        assert!(
-            pct > 0.05 && pct < 20.0,
-            "{name}: {pct:.2}% outside plausible band"
-        );
+        assert!(pct > 0.05 && pct < 20.0, "{name}: {pct:.2}% outside plausible band");
     }
 }
 
@@ -101,8 +94,14 @@ fn fast_math_is_the_worst_level() {
     for r in [fp64(), fp64_hipify(), fp32()] {
         let fm = level(r, OptLevel::O3Fm);
         for l in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
-            assert!(fm >= level(r, l), "{}: O3_FM={} < {}={}",
-                r.config.precision.label(), fm, l.label(), level(r, l));
+            assert!(
+                fm >= level(r, l),
+                "{}: O3_FM={} < {}={}",
+                r.config.precision.label(),
+                fm,
+                l.label(),
+                level(r, l)
+            );
         }
     }
     assert!(
@@ -171,10 +170,7 @@ fn all_seven_classes_are_observed_somewhere() {
         }
     }
     let observed = totals.iter().filter(|v| **v > 0).count();
-    assert!(
-        observed >= 6,
-        "expected ≥6 of 7 classes at this scale, saw {observed}: {totals:?}"
-    );
+    assert!(observed >= 6, "expected ≥6 of 7 classes at this scale, saw {observed}: {totals:?}");
 }
 
 /// HIPIFY shape: the conversion introduces extra O0 discrepancies

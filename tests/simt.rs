@@ -89,29 +89,15 @@ fn per_thread_divergence_is_localized() {
     let nv = Device::new(DeviceKind::NvidiaLike);
     let amd = Device::new(DeviceKind::AmdLike);
     let input = InputSet {
-        values: vec![
-            InputValue::Float(0.0),
-            InputValue::Float(1.0e12),
-            InputValue::Float(0.37),
-        ],
+        values: vec![InputValue::Float(0.0), InputValue::Float(1.0e12), InputValue::Float(0.37)],
     };
-    let rn: Vec<ExecValue> = execute_grid(&nv_ir, &nv, &input, 16)
-        .unwrap()
-        .into_iter()
-        .map(|r| r.value)
-        .collect();
-    let ra: Vec<ExecValue> = execute_grid(&amd_ir, &amd, &input, 16)
-        .unwrap()
-        .into_iter()
-        .map(|r| r.value)
-        .collect();
+    let rn: Vec<ExecValue> =
+        execute_grid(&nv_ir, &nv, &input, 16).unwrap().into_iter().map(|r| r.value).collect();
+    let ra: Vec<ExecValue> =
+        execute_grid(&amd_ir, &amd, &input, 16).unwrap().into_iter().map(|r| r.value).collect();
     let diverging = compare_grids(&rn, &ra);
     assert!(!diverging.is_empty(), "extreme-ratio fmod must diverge somewhere");
-    assert!(
-        diverging.len() < 16,
-        "but not on every thread: {}",
-        diverging.len()
-    );
+    assert!(diverging.len() < 16, "but not on every thread: {}", diverging.len());
     assert!(
         diverging.iter().all(|d| d.thread != 0),
         "thread 0 stays below the 2^53 boundary: {diverging:?}"
