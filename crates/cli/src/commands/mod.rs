@@ -16,6 +16,7 @@ pub mod generate;
 pub mod hipify_cmd;
 pub mod inputs;
 pub mod isolate;
+pub mod oracle_cmd;
 pub mod reduce;
 
 use crate::args::Args;

@@ -1,0 +1,123 @@
+//! `varity-gpu oracle` — self-validate the simulated toolchains.
+//!
+//! Runs the translation-validation and metamorphic oracles
+//! (`crates/oracle`) over a seeded budget of generated programs — the
+//! campaign's own population. A violation is a toolchain bug by
+//! construction (each toolchain is compared against *its own* reference
+//! semantics), so a clean run is the precondition for trusting the
+//! campaign tables.
+//!
+//! Telemetry surface mirrors `campaign`:
+//!
+//! * `--findings FILE` streams a JSONL log: an `oracle_start` header,
+//!   one `finding` event per (shrunk) violation, the counter/histogram
+//!   snapshot, and an `oracle_end` trailer;
+//! * the human-readable summary goes to stdout (greppable
+//!   `violations: N` line); status goes to stderr.
+//!
+//! Exit codes: 0 = clean, 1 = violations found (or I/O failure),
+//! 2 = usage error.
+
+use super::{flag, parse_known};
+use oracle::{run_oracle, OracleConfig};
+use std::path::Path;
+use std::time::Instant;
+
+const PAIRS: &[&str] = &["--budget", "--seed", "--inputs", "--findings"];
+const SWITCHES: &[&str] = &["--fp32"];
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let mut config = OracleConfig::new(args.precision(), 1000, 2024);
+    config.budget = flag!(args, "--budget", config.budget);
+    config.seed = flag!(args, "--seed", config.seed);
+    config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
+
+    let findings_log = match args.get("--findings") {
+        None => None,
+        Some(path) => match obs::JsonlWriter::create(Path::new(path)) {
+            Ok(w) => Some((w, path.to_string())),
+            Err(e) => {
+                eprintln!("cannot create findings log {path}: {e}");
+                return 1;
+            }
+        },
+    };
+
+    // fresh registry so the snapshot describes exactly this run
+    obs::reset();
+    let started = Instant::now();
+    if let Some((log, _)) = &findings_log {
+        let _ = log.event(
+            "oracle_start",
+            serde_json::json!({
+                "precision": config.precision.label(),
+                "budget": config.budget,
+                "inputs_per_program": config.inputs_per_program,
+                "seed": config.seed,
+            }),
+        );
+    }
+
+    eprintln!(
+        "[oracle] checking {} {} programs (seed {})",
+        config.budget,
+        config.precision.label(),
+        config.seed
+    );
+    let report = run_oracle(&config);
+
+    if let Some((log, path)) = &findings_log {
+        let _ = oracle::findings::write_findings(log, &report.violations);
+        let _ = log.write_snapshot(&obs::snapshot());
+        let _ = log.event(
+            "oracle_end",
+            serde_json::json!({
+                "programs": report.programs_checked,
+                "checks": report.total_checks(),
+                "violations": report.violations.len(),
+                "wall_ms": started.elapsed().as_millis() as u64,
+            }),
+        );
+        eprintln!("findings log written to {path}");
+    }
+
+    // result summary on stdout
+    println!(
+        "oracle: {} | budget {} | seed {}",
+        report.precision, report.budget, report.seed
+    );
+    println!("programs checked: {}", report.programs_checked);
+    println!(
+        "checks: transval {} | metamorphic {} | roundtrip {}",
+        report.transval_checks, report.metamorphic_checks, report.roundtrip_checks
+    );
+    println!(
+        "verdicts: consistent {} | explained {} | skipped {}",
+        report.consistent, report.explained, report.skipped
+    );
+    if !report.explained_by_pass.is_empty() {
+        let mut parts: Vec<String> = Vec::new();
+        for (pass, n) in &report.explained_by_pass {
+            parts.push(format!("{pass} {n}"));
+        }
+        println!("explained by pass: {}", parts.join(", "));
+    }
+    println!(
+        "metamorphic coverage: {}/10 toolchain x level cells",
+        report.metamorphic_coverage.len()
+    );
+    println!("violations: {}", report.violations.len());
+    for f in &report.violations {
+        println!("{}", f.summary_line());
+    }
+
+    if report.is_clean() {
+        0
+    } else {
+        1
+    }
+}

@@ -11,6 +11,8 @@
 //! * `reduce`   — shrink a failing test to a minimal reproducer
 //! * `isolate`  — locate the first diverging statement of a failure
 //! * `hipify`   — translate CUDA source text to HIP
+//! * `oracle`   — self-validate the simulated toolchains (translation
+//!   validation + metamorphic checks) over a seeded program budget
 //!
 //! Run `varity-gpu help` for per-command usage.
 
@@ -29,6 +31,7 @@ fn main() {
         Some("reduce") => commands::reduce::run(&argv[1..]),
         Some("isolate") => commands::isolate::run(&argv[1..]),
         Some("hipify") => commands::hipify_cmd::run(&argv[1..]),
+        Some("oracle") => commands::oracle_cmd::run(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
             0
@@ -73,6 +76,10 @@ COMMANDS:
              --seed S --index I --input K --level O0|O1|O2|O3|O3_FM [--fp32]
   hipify     translate CUDA source text to HIP
              FILE [--out FILE]
+  oracle     self-validate the toolchains: strict modes vs reference,
+             metamorphic transforms, emit/parse round trips
+             [--fp32] [--budget N] [--seed S] [--inputs K]
+             [--findings FILE]  stream shrunk violations as JSONL
   help       this message
 
 STREAMS: results (source, tables, discrepancy lines) go to stdout;
@@ -80,6 +87,7 @@ status, progress, and diagnostics go to stderr.
 
 EXIT CODES:
   0  success (for `diff`, success means a discrepancy was found)
-  1  runtime failure (I/O error, incomplete metadata, nothing found)
+  1  runtime failure (I/O error, incomplete metadata, nothing found;
+     for `oracle`, any confirmed violation)
   2  usage error (unknown flag or subcommand, malformed value)
 ";

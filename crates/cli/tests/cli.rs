@@ -18,7 +18,7 @@ fn help_lists_all_subcommands() {
     let text = stdout(&out);
     for cmd in [
         "generate", "inputs", "diff", "campaign", "analyze", "failures", "reduce", "isolate",
-        "hipify",
+        "hipify", "oracle",
     ] {
         assert!(text.contains(cmd), "help missing `{cmd}`:\n{text}");
     }
@@ -194,6 +194,86 @@ fn hipify_translates_a_file() {
     assert!(text.contains("hipLaunchKernelGGL(k, dim3(1), dim3(2), 0, 0, x);"));
     assert!(text.contains("hipFree(p);"));
     std::fs::remove_file(&src).ok();
+}
+
+#[test]
+fn oracle_clean_run_exits_zero() {
+    let out = varity(&["oracle", "--budget", "8", "--seed", "2024", "--inputs", "2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("violations: 0"), "{text}");
+    assert!(text.contains("programs checked: 8"), "{text}");
+    assert!(text.contains("metamorphic coverage: 10/10"), "{text}");
+}
+
+#[test]
+fn oracle_output_is_deterministic_for_a_seed() {
+    let args = ["oracle", "--budget", "6", "--seed", "7", "--inputs", "2"];
+    let a = varity(&args);
+    let b = varity(&args);
+    assert!(a.status.success());
+    assert_eq!(stdout(&a), stdout(&b));
+}
+
+#[test]
+fn oracle_findings_jsonl_brackets_the_run() {
+    let dir = std::env::temp_dir().join("varity_cli_test_oracle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("findings.jsonl");
+    let fs = f.to_str().unwrap();
+    let out = varity(&[
+        "oracle", "--budget", "5", "--seed", "2024", "--inputs", "2", "--findings", fs,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("findings log written"));
+
+    let text = std::fs::read_to_string(&f).unwrap();
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut counter_names = Vec::new();
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect(line);
+        assert!(v.get("ts_ms").is_some(), "{line}");
+        let ev = v["ev"].as_str().expect("ev is a string").to_string();
+        if ev == "counter" {
+            counter_names.push(v["name"].as_str().unwrap().to_string());
+        }
+        kinds.insert(ev);
+    }
+    for k in ["oracle_start", "counter", "oracle_end"] {
+        assert!(kinds.contains(k), "missing {k} events:\n{text}");
+    }
+    assert!(counter_names.iter().any(|n| n == "oracle.checks.transval"), "{counter_names:?}");
+    assert!(counter_names.iter().any(|n| n == "oracle.violations"), "{counter_names:?}");
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
+fn oracle_malformed_and_unknown_flags_exit_2() {
+    let out = varity(&["oracle", "--budget", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget"));
+    let out = varity(&["oracle", "--bogus", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    // campaign-only flags are rejected for oracle
+    let out = varity(&["oracle", "--progress"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn campaign_metrics_flag_requires_a_value() {
+    // regression: `--metrics` is a pair, so a trailing bare flag is a
+    // usage error, not a silently ignored switch
+    let out = varity(&["campaign", "--programs", "5", "--metrics"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics"));
+}
+
+#[test]
+fn campaign_progress_is_a_switch() {
+    // regression: `--progress` takes no value and must not swallow the
+    // next token
+    let out = varity(&["campaign", "--programs", "5", "--progress"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
 #[test]

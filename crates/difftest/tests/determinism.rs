@@ -1,0 +1,41 @@
+//! Campaign determinism across thread counts.
+//!
+//! The campaign distributes work with rayon, but every artifact — program
+//! generation, inputs, execution, aggregation — is keyed by `(seed,
+//! index)` and folded in index order, so the report must be bit-identical
+//! whether the pool has one worker or many. This is the property the
+//! paper's Fig. 3 between-platform protocol leans on: two machines with
+//! different core counts must produce comparable metadata.
+
+use difftest::campaign::{run_campaign, CampaignConfig, CampaignReport, TestMode};
+use progen::Precision;
+
+fn in_pool(threads: usize, config: &CampaignConfig) -> CampaignReport {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds")
+        .install(|| run_campaign(config))
+}
+
+#[test]
+fn fp64_campaign_report_is_identical_at_one_and_many_threads() {
+    let config = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(12);
+    let single = in_pool(1, &config);
+    let many = in_pool(8, &config);
+    assert_eq!(single.per_level, many.per_level);
+    // the serialized form (what `--out` writes) matches byte for byte
+    assert_eq!(
+        serde_json::to_string(&single).unwrap(),
+        serde_json::to_string(&many).unwrap()
+    );
+}
+
+#[test]
+fn hipify_campaign_report_is_identical_at_one_and_many_threads() {
+    let config =
+        CampaignConfig::default_for(Precision::F64, TestMode::Hipified).with_programs(8);
+    let single = in_pool(1, &config);
+    let many = in_pool(4, &config);
+    assert_eq!(single.per_level, many.per_level);
+}

@@ -1,0 +1,68 @@
+//! Deliberately broken pass behaviour for oracle self-tests.
+//!
+//! The oracle subsystem (`crates/oracle`) claims it can catch a
+//! non-value-preserving pass and attribute the violation to it. That claim
+//! needs negative tests: this module lets a test *arm* one of three known
+//! bugs, each breaking a different structural pass in a way that is
+//! structurally safe (the IR stays executable) but numerically wrong.
+//!
+//! Two safety layers keep the bugs out of production:
+//!
+//! 1. the module only exists under the `oracle-inject` cargo feature
+//!    (a dev-dependency of `crates/oracle`'s tests, never a default), and
+//! 2. even when compiled in, every bug is **disarmed by default** — a
+//!    runtime [`arm`] call is required, so feature unification across a
+//!    test build cannot silently activate one.
+//!
+//! Tests that arm a bug must serialize themselves (the switch is a global)
+//! and disarm in all exit paths; see `crates/oracle/tests/injection.rs`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A deliberately injected pass bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Nothing armed (the default).
+    None,
+    /// `const-fold` rounds every folded result through `f32`, so folding a
+    /// double-precision constant expression no longer matches the runtime.
+    ConstFoldF32Round,
+    /// `cse` keys binary instructions on the operator alone, merging
+    /// computations with different operands into the first occurrence.
+    CseDegenerateKey,
+    /// `dce` forwards every negation's uses to the negated operand before
+    /// computing liveness, silently dropping the sign flip.
+    DceDropNeg,
+}
+
+static ARMED: AtomicU8 = AtomicU8::new(0);
+
+fn encode(bug: InjectedBug) -> u8 {
+    match bug {
+        InjectedBug::None => 0,
+        InjectedBug::ConstFoldF32Round => 1,
+        InjectedBug::CseDegenerateKey => 2,
+        InjectedBug::DceDropNeg => 3,
+    }
+}
+
+/// Arm one bug. Affects every subsequent compile in this process until
+/// [`disarm`] is called.
+pub fn arm(bug: InjectedBug) {
+    ARMED.store(encode(bug), Ordering::SeqCst);
+}
+
+/// Disarm whatever is armed (restores correct pass behaviour).
+pub fn disarm() {
+    ARMED.store(0, Ordering::SeqCst);
+}
+
+/// The currently armed bug.
+pub fn armed() -> InjectedBug {
+    match ARMED.load(Ordering::SeqCst) {
+        1 => InjectedBug::ConstFoldF32Round,
+        2 => InjectedBug::CseDegenerateKey,
+        3 => InjectedBug::DceDropNeg,
+        _ => InjectedBug::None,
+    }
+}

@@ -25,6 +25,8 @@
 
 pub mod cost;
 pub mod display;
+#[cfg(feature = "oracle-inject")]
+pub mod inject;
 pub mod interp;
 pub mod ir;
 pub mod lower;
@@ -34,4 +36,4 @@ pub mod resolve;
 
 pub use interp::{execute, ExecResult};
 pub use ir::KernelIr;
-pub use pipeline::{compile, OptLevel, Toolchain};
+pub use pipeline::{compile, compile_traced, OptLevel, PassTrace, Toolchain};

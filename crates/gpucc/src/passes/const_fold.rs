@@ -68,6 +68,7 @@ impl SeqPass for ConstFold {
                 | Inst::ReadArr(..)
                 | Inst::ReadThreadIdx => None,
             };
+            let folded = folded.map(inject_fold_bug);
             if let Some(v) = folded {
                 if !matches!(inst, Inst::Const(_)) {
                     fired += 1;
@@ -85,6 +86,24 @@ impl SeqPass for ConstFold {
         }
         fired
     }
+}
+
+/// Oracle self-test hook: with the `oracle-inject` feature compiled in
+/// AND [`crate::inject::InjectedBug::ConstFoldF32Round`] armed, folded
+/// values lose precision through `f32`. Identity otherwise.
+#[cfg(feature = "oracle-inject")]
+fn inject_fold_bug(v: f64) -> f64 {
+    if crate::inject::armed() == crate::inject::InjectedBug::ConstFoldF32Round {
+        v as f32 as f64
+    } else {
+        v
+    }
+}
+
+#[cfg(not(feature = "oracle-inject"))]
+#[inline(always)]
+fn inject_fold_bug(v: f64) -> f64 {
+    v
 }
 
 /// Fold one binary operation at the given precision.

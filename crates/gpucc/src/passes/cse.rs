@@ -49,6 +49,14 @@ fn operand_key(o: Operand) -> String {
 }
 
 fn inst_key(inst: &Inst) -> String {
+    // oracle self-test hook: an armed CseDegenerateKey bug drops the
+    // operands from binary keys, merging unequal computations
+    #[cfg(feature = "oracle-inject")]
+    if crate::inject::armed() == crate::inject::InjectedBug::CseDegenerateKey {
+        if let Inst::Bin(op, _, _) = inst {
+            return format!("bin:{}", op.symbol());
+        }
+    }
     match inst {
         Inst::ReadVar(v) => format!("rv:{v}"),
         Inst::ReadArr(a, i) => format!("ra:{a}[{i}]"),

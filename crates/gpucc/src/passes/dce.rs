@@ -17,6 +17,16 @@ impl SeqPass for Dce {
     }
 
     fn run(&self, seq: &mut InstSeq, _prec: Precision) -> u64 {
+        // oracle self-test hook: an armed DceDropNeg bug treats negations
+        // as forwardable copies, dropping the sign flip before liveness
+        #[cfg(feature = "oracle-inject")]
+        if crate::inject::armed() == crate::inject::InjectedBug::DceDropNeg {
+            for idx in 0..seq.insts.len() {
+                if let crate::ir::Inst::Neg(a) = seq.insts[idx] {
+                    super::forward_uses(seq, idx, a);
+                }
+            }
+        }
         let n = seq.insts.len();
         let mut live = vec![false; n];
         // mark backward from the result

@@ -200,7 +200,59 @@ pub fn compile_with_stats(
     hipified: bool,
 ) -> (KernelIr, CompileStats) {
     let mut stats = CompileStats::default();
+    let ir = compile_impl(program, toolchain, opt, hipified, &mut stats, &mut |_, _, _| {});
+    (ir, stats)
+}
 
+/// The IR as it stood after one compilation stage completed — the oracle's
+/// per-pass equivalence hook.
+#[derive(Debug, Clone)]
+pub struct PassTrace {
+    /// Stage name: `"lower"` for the pre-pass snapshot, otherwise the pass
+    /// name from [`CompileStats`] (`const-fold`, `fma-contract`, …).
+    pub name: &'static str,
+    /// Rewrites the stage fired (always 0 for `"lower"`).
+    pub rewrites: u64,
+    /// Snapshot of the kernel IR after this stage.
+    pub ir: KernelIr,
+}
+
+/// [`compile_with_stats`], plus an IR snapshot after every stage.
+///
+/// The first trace is always `"lower"` — the lowered IR with the level's
+/// flags set, before any IR pass ran. Executing the snapshots in order and
+/// comparing each result to its predecessor localizes a numerical change
+/// to the stage that introduced it (this is how `crates/oracle` attributes
+/// a violation to the first non-preserving pass). The front-end `reassoc`
+/// rewrite happens before lowering and therefore has no snapshot of its
+/// own; its effect is part of the `"lower"` snapshot and its rewrite count
+/// is still reported in [`CompileStats`].
+pub fn compile_traced(
+    program: &Program,
+    toolchain: Toolchain,
+    opt: OptLevel,
+    hipified: bool,
+) -> (KernelIr, CompileStats, Vec<PassTrace>) {
+    let mut stats = CompileStats::default();
+    let mut traces = Vec::new();
+    let ir = compile_impl(program, toolchain, opt, hipified, &mut stats, &mut |name, fired, ir| {
+        traces.push(PassTrace { name, rewrites: fired, ir: ir.clone() });
+    });
+    (ir, stats, traces)
+}
+
+/// Shared pipeline body. `observe(stage, rewrites, ir)` is called with the
+/// `"lower"` snapshot and then once after every IR pass, in execution
+/// order; [`compile_with_stats`] passes a no-op observer so the plain path
+/// pays no snapshot cost.
+fn compile_impl(
+    program: &Program,
+    toolchain: Toolchain,
+    opt: OptLevel,
+    hipified: bool,
+    stats: &mut CompileStats,
+    observe: &mut dyn FnMut(&'static str, u64, &KernelIr),
+) -> KernelIr {
     // nvcc -ffast-math reassociates in the front end
     let reassociated;
     let program = if toolchain == Toolchain::Nvcc && opt.is_fast_math() {
@@ -220,11 +272,15 @@ pub fn compile_with_stats(
     let mut ir = lower(program);
     ir.flags.opt_level_index = opt.index() as u8;
     ir.flags.fast_math = opt.is_fast_math();
+    observe("lower", 0, &ir);
 
     let optimize = opt != OptLevel::O0;
     let contract = optimize || (hipified && toolchain == Toolchain::Hipcc);
 
-    let mut timed = |ir: &mut KernelIr, pass: &dyn SeqPass, stats: &mut CompileStats| {
+    let mut timed = |ir: &mut KernelIr,
+                     pass: &dyn SeqPass,
+                     stats: &mut CompileStats,
+                     observe: &mut dyn FnMut(&'static str, u64, &KernelIr)| {
         let t = Instant::now();
         let fired = run_seq_pass(ir, pass);
         stats.passes.push(PassStat {
@@ -232,14 +288,15 @@ pub fn compile_with_stats(
             rewrites: fired,
             nanos: t.elapsed().as_nanos() as u64,
         });
+        observe(pass.name(), fired, ir);
     };
 
     if optimize {
-        timed(&mut ir, &ConstFold, &mut stats);
+        timed(&mut ir, &ConstFold, stats, observe);
     }
     if toolchain == Toolchain::Nvcc && opt.is_fast_math() {
-        timed(&mut ir, &FiniteMath, &mut stats);
-        timed(&mut ir, &Recip, &mut stats);
+        timed(&mut ir, &FiniteMath, stats, observe);
+        timed(&mut ir, &Recip, stats, observe);
     }
     if contract {
         timed(
@@ -248,12 +305,13 @@ pub fn compile_with_stats(
                 preference: toolchain.fma_preference(),
                 contract_sub: toolchain == Toolchain::Hipcc,
             },
-            &mut stats,
+            stats,
+            observe,
         );
     }
     if optimize || contract {
-        timed(&mut ir, &Cse, &mut stats);
-        timed(&mut ir, &Dce, &mut stats);
+        timed(&mut ir, &Cse, stats, observe);
+        timed(&mut ir, &Dce, stats, observe);
     }
 
     if obs::enabled() {
@@ -265,7 +323,7 @@ pub fn compile_with_stats(
         }
     }
 
-    (ir, stats)
+    ir
 }
 
 #[cfg(test)]
@@ -390,6 +448,50 @@ mod tests {
         let (_, hip) = compile_with_stats(&p, Toolchain::Hipcc, OptLevel::O3Fm, false);
         let names: Vec<_> = hip.passes.iter().map(|ps| ps.name).collect();
         assert_eq!(names, ["const-fold", "fma-contract", "cse", "dce"]);
+    }
+
+    #[test]
+    fn traced_compile_matches_stats_compile() {
+        for i in 0..10 {
+            let p = sample(31, i);
+            for tc in Toolchain::ALL {
+                for opt in OptLevel::ALL {
+                    let (ir, stats) = compile_with_stats(&p, tc, opt, false);
+                    let (tir, tstats, traces) = compile_traced(&p, tc, opt, false);
+                    assert_eq!(ir, tir, "{tc} {opt} program {i}");
+                    // nanos differ between runs; names and rewrites must not
+                    let summary =
+                        |s: &CompileStats| -> Vec<_> {
+                            s.passes.iter().map(|ps| (ps.name, ps.rewrites)).collect()
+                        };
+                    assert_eq!(summary(&stats), summary(&tstats), "{tc} {opt} program {i}");
+                    // trace 0 is the lowering snapshot; the rest mirror the
+                    // IR passes in stats order (reassoc is pre-lowering and
+                    // has no snapshot)
+                    assert_eq!(traces[0].name, "lower");
+                    assert_eq!(traces[0].rewrites, 0);
+                    let traced: Vec<_> = traces[1..].iter().map(|t| t.name).collect();
+                    let ran: Vec<_> = stats
+                        .passes
+                        .iter()
+                        .map(|ps| ps.name)
+                        .filter(|n| *n != "reassoc")
+                        .collect();
+                    assert_eq!(traced, ran, "{tc} {opt} program {i}");
+                    // the last snapshot is the final IR
+                    assert_eq!(traces.last().unwrap().ir, tir);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_o0_snapshot_is_plain_lowering() {
+        let p = sample(37, 0);
+        let (ir, _, traces) = compile_traced(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].ir, ir);
+        assert_eq!(traces[0].ir.body, crate::lower::lower(&p).body);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Violation findings: the JSONL-serializable record of a toolchain bug.
+
+use progen::ast::Program;
+use progen::emit::emit_kernel;
+use serde::Serialize;
+
+/// One confirmed oracle violation, shrunk and ready to file.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Which oracle flagged it: `transval`, `metamorphic` or `roundtrip`.
+    pub kind: String,
+    /// Index of the program within the budget (regenerate with the
+    /// campaign seed to reproduce).
+    pub program_index: u64,
+    /// Program id.
+    pub program_id: String,
+    /// Toolchain (absent for round-trip findings).
+    pub toolchain: Option<String>,
+    /// Opt level (absent for round-trip findings).
+    pub level: Option<String>,
+    /// Metamorphic transformation (metamorphic findings only).
+    pub transform: Option<String>,
+    /// Index of the failing input set.
+    pub input_index: Option<usize>,
+    /// The failing input, rendered in the paper's input format.
+    pub input: Option<String>,
+    /// Pass/stage the violation is attributed to.
+    pub pass: String,
+    /// Expected value bits (hex), when applicable.
+    pub expected_bits: Option<String>,
+    /// Actual value bits (hex), when applicable.
+    pub actual_bits: Option<String>,
+    /// Human-readable description.
+    pub detail: String,
+    /// Statement count before shrinking.
+    pub original_stmts: usize,
+    /// Statement count after shrinking.
+    pub reduced_stmts: usize,
+    /// Kernel source of the (shrunk) violating program.
+    pub kernel: String,
+}
+
+impl Finding {
+    /// Attach the (possibly shrunk) program: kernel source and counts.
+    pub fn with_program(mut self, original: &Program, reduced: &Program) -> Finding {
+        self.original_stmts = original.stmt_count();
+        self.reduced_stmts = reduced.stmt_count();
+        self.kernel = emit_kernel(reduced);
+        self
+    }
+
+    /// One-line human rendering for stderr/status output.
+    pub fn summary_line(&self) -> String {
+        let mut ctx = Vec::new();
+        if let Some(tc) = &self.toolchain {
+            ctx.push(tc.clone());
+        }
+        if let Some(level) = &self.level {
+            ctx.push(level.clone());
+        }
+        if let Some(t) = &self.transform {
+            ctx.push(t.clone());
+        }
+        format!(
+            "[{}] program {} ({}) pass={}: {}",
+            self.kind,
+            self.program_index,
+            ctx.join(" "),
+            self.pass,
+            self.detail
+        )
+    }
+}
+
+/// Append findings to a JSONL log, one `finding` event per violation.
+pub fn write_findings(log: &obs::JsonlWriter, findings: &[Finding]) -> std::io::Result<()> {
+    for f in findings {
+        log.event("finding", serde_json::to_value(f).expect("finding serializes"))?;
+    }
+    Ok(())
+}

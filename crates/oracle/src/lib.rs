@@ -1,0 +1,43 @@
+//! # oracle — self-validation of the simulated toolchains
+//!
+//! The campaign's differential results (paper Tables V–IX) are only
+//! trustworthy if the simulated compilers and devices are themselves
+//! correct: a value-changing bug in a `gpucc` pass would masquerade as a
+//! "compiler-induced numerical inconsistency". This crate tests the
+//! pipeline against itself, per toolchain, so a finding here is a
+//! toolchain bug by construction — never a paper-style discrepancy:
+//!
+//! * [`transval`] — translation validation. Strict-mode compilation
+//!   (`O0`–`O3`, no fast math) must be bit-identical to the reference
+//!   interpretation (the unoptimized lowering) on every input. Each
+//!   compile is replayed stage by stage via
+//!   [`gpucc::pipeline::compile_traced`]; the first *structural* stage
+//!   (`const-fold`, `cse`, `dce`, or the lowering itself) that changes
+//!   value bits is reported as a violation and attributed by name.
+//!   Semantic stages (the [`difftest::attribution::SEMANTIC_PASSES`]:
+//!   FMA contraction and the fast-math set) may legitimately change bits
+//!   and explain a divergence instead.
+//! * [`metamorph`] — metamorphic testing. Semantics-preserving program
+//!   transformations ([`progen::transform`]) must not change the outcome
+//!   for any `{toolchain} × {opt level}`, modulo the same semantic-pass
+//!   allowance; plus the emit→parse literal round trip.
+//! * [`runner`] — the seeded, rayon-parallel budget driver behind the
+//!   `oracle` CLI command: deterministic regardless of thread count,
+//!   JSONL findings via `obs`, and automatic shrinking of violating
+//!   programs through [`difftest::reduce`].
+//!
+//! The negative side is covered by the injected-bug self-tests
+//! (`tests/injection.rs`): deliberately broken passes behind gpucc's
+//! `oracle-inject` feature must each be caught and attributed to the
+//! correct pass.
+
+#![deny(missing_docs)]
+
+pub mod findings;
+pub mod metamorph;
+pub mod runner;
+pub mod transval;
+
+pub use findings::Finding;
+pub use runner::{run_oracle, OracleConfig, OracleReport};
+pub use transval::{CheckVerdict, ViolationDetail};

@@ -1,0 +1,252 @@
+//! Metamorphic checks: semantics-preserving transformations must not
+//! change a program's outcome, per toolchain and opt level.
+//!
+//! Each [`progen::transform::Transform`] carries a contract:
+//!
+//! * `reorder-independent` and `inject-dead-code` must be **bit-exact at
+//!   every level** — no pass is sensitive to the order of independent
+//!   statements, and a never-read temporary cannot feed `comp`;
+//! * `introduce-tmp` and `eliminate-tmp` are bit-exact at `O0`; at `O1+`
+//!   the changed expression shape may alter what a *semantic* pass (FMA
+//!   contraction, reassociation, …) does. Divergence is accepted as
+//!   [`CheckVerdict::Explained`] only when such a pass actually fired in
+//!   either compile; otherwise it is a violation, attributed to the first
+//!   stage at which the original's and the variant's values part ways.
+//!
+//! The fifth check is the literal re-parsing round trip
+//! ([`check_roundtrip`]): `parse(emit(p)) == p`.
+
+use crate::transval::{device_for, is_semantic, CheckVerdict, ViolationDetail};
+use gpucc::interp::execute;
+use gpucc::pipeline::{compile_traced, CompileStats, OptLevel, PassTrace, Toolchain};
+use gpusim::Device;
+use progen::ast::Program;
+use progen::inputs::InputSet;
+use progen::transform::{apply, parse_roundtrip, Transform};
+
+/// One metamorphic check result for `(transform, toolchain, level, input)`.
+#[derive(Debug, Clone)]
+pub struct MetaOutcome {
+    /// Transformation applied.
+    pub transform: Transform,
+    /// Toolchain checked.
+    pub toolchain: Toolchain,
+    /// Opt level checked.
+    pub level: OptLevel,
+    /// Index into the input slice.
+    pub input_index: usize,
+    /// What the oracle concluded.
+    pub verdict: CheckVerdict,
+}
+
+/// Run every applicable transformation of `program` through both
+/// toolchains at all five opt levels, on every input.
+pub fn check_metamorphic(
+    program: &Program,
+    inputs: &[InputSet],
+    seed: u64,
+) -> Vec<MetaOutcome> {
+    let mut out = Vec::new();
+    for transform in Transform::ALL {
+        let Some(variant) = apply(program, transform, seed) else { continue };
+        for toolchain in Toolchain::ALL {
+            let device = device_for(toolchain);
+            for level in OptLevel::ALL {
+                let (orig_ir, orig_stats, orig_traces) =
+                    compile_traced(program, toolchain, level, false);
+                let (var_ir, var_stats, var_traces) =
+                    compile_traced(&variant, toolchain, level, false);
+                for (input_index, input) in inputs.iter().enumerate() {
+                    let verdict = judge(
+                        transform,
+                        &device,
+                        input,
+                        (&orig_ir, &orig_stats, &orig_traces),
+                        (&var_ir, &var_stats, &var_traces),
+                    );
+                    out.push(MetaOutcome {
+                        transform,
+                        toolchain,
+                        level,
+                        input_index,
+                        verdict,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+type Compiled<'a> = (&'a gpucc::KernelIr, &'a CompileStats, &'a [PassTrace]);
+
+fn judge(
+    transform: Transform,
+    device: &Device,
+    input: &InputSet,
+    original: Compiled<'_>,
+    variant: Compiled<'_>,
+) -> CheckVerdict {
+    let (orig_ir, orig_stats, orig_traces) = original;
+    let (var_ir, var_stats, var_traces) = variant;
+    let orig = match execute(orig_ir, device, input) {
+        Ok(r) => r,
+        Err(_) => return CheckVerdict::Skipped,
+    };
+    let var = match execute(var_ir, device, input) {
+        Ok(r) => r,
+        Err(e) => {
+            return CheckVerdict::Violation(ViolationDetail {
+                pass: diverging_stage(orig_traces, var_traces, device, input),
+                expected_bits: orig.value.bits(),
+                actual_bits: orig.value.bits(),
+                detail: format!(
+                    "{transform} variant fails to execute ({e}) though the original runs"
+                ),
+            });
+        }
+    };
+    if orig.value.bits() == var.value.bits() {
+        return CheckVerdict::Consistent;
+    }
+    if !transform.bit_exact_at_all_levels() {
+        let mut fired = semantic_fired(orig_stats);
+        for name in semantic_fired(var_stats) {
+            if !fired.contains(&name) {
+                fired.push(name);
+            }
+        }
+        if !fired.is_empty() {
+            return CheckVerdict::Explained { passes: fired };
+        }
+    }
+    CheckVerdict::Violation(ViolationDetail {
+        pass: diverging_stage(orig_traces, var_traces, device, input),
+        expected_bits: orig.value.bits(),
+        actual_bits: var.value.bits(),
+        detail: format!(
+            "{transform} variant diverges with no semantic pass to explain it"
+        ),
+    })
+}
+
+/// Semantic passes that fired (rewrites > 0) in one compile.
+fn semantic_fired(stats: &CompileStats) -> Vec<&'static str> {
+    stats
+        .passes
+        .iter()
+        .filter(|p| p.rewrites > 0 && is_semantic(p.name))
+        .map(|p| p.name)
+        .collect()
+}
+
+/// Attribute a metamorphic divergence: the pass schedules of the original
+/// and the variant are identical for a given `(toolchain, level)`, so the
+/// culprit is the first stage at which the two executions' values differ.
+fn diverging_stage(
+    orig_traces: &[PassTrace],
+    var_traces: &[PassTrace],
+    device: &Device,
+    input: &InputSet,
+) -> String {
+    for (o, v) in orig_traces.iter().zip(var_traces) {
+        let (Ok(ro), Ok(rv)) = (execute(&o.ir, device, input), execute(&v.ir, device, input))
+        else {
+            return o.name.to_string();
+        };
+        if ro.value.bits() != rv.value.bits() {
+            return o.name.to_string();
+        }
+    }
+    difftest::attribution::UNATTRIBUTED.to_string()
+}
+
+/// Check the emit→parse literal round trip. Returns `Some(detail)` when
+/// the round trip is not exact (a front-end bug).
+pub fn check_roundtrip(program: &Program) -> Option<String> {
+    match parse_roundtrip(program) {
+        Err(e) => Some(format!("emitted kernel failed to re-parse: {e}")),
+        Ok(back) if back != *program => {
+            Some("re-parsed AST differs from the original".to_string())
+        }
+        Ok(_) => None,
+    }
+}
+
+/// Shrinking predicate: does the metamorphic check of `(transform, seed)`
+/// still flag a violation on `(toolchain, level, input)` for `program`?
+pub fn still_violates(
+    program: &Program,
+    transform: Transform,
+    seed: u64,
+    toolchain: Toolchain,
+    level: OptLevel,
+    input: &InputSet,
+) -> bool {
+    let Some(variant) = apply(program, transform, seed) else { return false };
+    let device = device_for(toolchain);
+    let orig = compile_traced(program, toolchain, level, false);
+    let var = compile_traced(&variant, toolchain, level, false);
+    matches!(
+        judge(
+            transform,
+            &device,
+            input,
+            (&orig.0, &orig.1, &orig.2),
+            (&var.0, &var.1, &var.2),
+        ),
+        CheckVerdict::Violation(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progen::gen::generate_program;
+    use progen::grammar::GenConfig;
+    use progen::inputs::generate_inputs;
+    use progen::Precision;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn clean_toolchains_pass_metamorphic_checks() {
+        for i in 0..10 {
+            let p = generate_program(&GenConfig::varity_default(Precision::F64), 2024, i);
+            let inputs = generate_inputs(&p, 2024, 2);
+            for o in check_metamorphic(&p, &inputs, 2024 ^ i) {
+                assert!(
+                    !matches!(o.verdict, CheckVerdict::Violation(_)),
+                    "program {i} {} {} {} input {}: {:?}",
+                    o.transform,
+                    o.toolchain,
+                    o.level,
+                    o.input_index,
+                    o.verdict
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metamorphic_checks_cover_all_levels_and_toolchains() {
+        // across a handful of programs every (toolchain, level) cell must
+        // be exercised — the acceptance criterion for the oracle command
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for i in 0..5 {
+            let p = generate_program(&GenConfig::varity_default(Precision::F64), 5, i);
+            let inputs = generate_inputs(&p, 5, 1);
+            for o in check_metamorphic(&p, &inputs, i) {
+                seen.insert(format!("{}:{}", o.toolchain.name(), o.level.label()));
+            }
+        }
+        assert_eq!(seen.len(), 10, "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn roundtrip_is_exact_for_generated_programs() {
+        for i in 0..25 {
+            let p = generate_program(&GenConfig::varity_default(Precision::F32), 11, i);
+            assert_eq!(check_roundtrip(&p), None, "program {i}");
+        }
+    }
+}

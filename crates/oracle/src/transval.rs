@@ -1,0 +1,259 @@
+//! Translation validation: strict-mode compiles vs the reference
+//! interpretation.
+//!
+//! The reference semantics of a program is its unoptimized lowering (the
+//! `O0` compile — straight codegen, no passes) executed on the device
+//! matched to the toolchain. For every strict level the traced compile is
+//! replayed snapshot by snapshot and each stage's result is compared to
+//! its predecessor's:
+//!
+//! * a **structural** stage (`lower`, `const-fold`, `cse`, `dce`) that
+//!   changes value bits is a toolchain bug — reported as a
+//!   [`CheckVerdict::Violation`] attributed to that stage;
+//! * a **semantic** stage ([`difftest::attribution::SEMANTIC_PASSES`] —
+//!   notably `fma-contract`, which runs at `O1+` even without fast math
+//!   and is the paper's central divergence mechanism) may change bits;
+//!   such runs end as [`CheckVerdict::Explained`].
+//!
+//! Comparison is strictly per toolchain (nvcc against nvcc's reference on
+//! the NVIDIA-like device, hipcc against hipcc's on the AMD-like device):
+//! cross-toolchain differences are the *paper's* subject, not a bug.
+
+use gpucc::interp::execute;
+use gpucc::pipeline::{compile, compile_traced, OptLevel, PassTrace, Toolchain};
+use gpusim::{Device, DeviceKind, QuirkSet};
+use progen::ast::Program;
+use progen::inputs::InputSet;
+
+/// Levels the strict-mode oracle checks (all the non-fast-math levels).
+pub const STRICT_LEVELS: [OptLevel; 4] =
+    [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+/// The device a toolchain's output runs on, with the full quirk set (the
+/// campaign's configuration — the oracle must validate what the campaign
+/// actually executes).
+pub fn device_for(toolchain: Toolchain) -> Device {
+    let kind = match toolchain {
+        Toolchain::Nvcc => DeviceKind::NvidiaLike,
+        Toolchain::Hipcc => DeviceKind::AmdLike,
+    };
+    Device::with_quirks(kind, QuirkSet::all())
+}
+
+/// True for stages that may legitimately change value bits.
+pub fn is_semantic(stage: &str) -> bool {
+    difftest::attribution::SEMANTIC_PASSES.contains(&stage)
+}
+
+/// Everything the oracle knows about one violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationDetail {
+    /// Stage the violation is attributed to (`lower`, `const-fold`, …).
+    pub pass: String,
+    /// Value bits before the offending stage.
+    pub expected_bits: u64,
+    /// Value bits after it.
+    pub actual_bits: u64,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Verdict of one oracle check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckVerdict {
+    /// Bit-identical to the reference at every stage.
+    Consistent,
+    /// Final bits differ from the reference, but every change came from a
+    /// semantic stage (named here, in execution order).
+    Explained {
+        /// Semantic stages that changed bits.
+        passes: Vec<&'static str>,
+    },
+    /// A structural stage changed value bits: a toolchain bug.
+    Violation(ViolationDetail),
+    /// The reference itself failed to execute; nothing to compare.
+    Skipped,
+}
+
+/// One strict-mode check result for `(toolchain, level, input)`.
+#[derive(Debug, Clone)]
+pub struct StrictOutcome {
+    /// Toolchain checked.
+    pub toolchain: Toolchain,
+    /// Opt level checked.
+    pub level: OptLevel,
+    /// Index into the input slice.
+    pub input_index: usize,
+    /// What the oracle concluded.
+    pub verdict: CheckVerdict,
+}
+
+/// Run the translation-validation oracle on one program: every strict
+/// level of both toolchains against each toolchain's own reference, on
+/// every input.
+pub fn check_strict(program: &Program, inputs: &[InputSet]) -> Vec<StrictOutcome> {
+    let mut out = Vec::new();
+    for toolchain in Toolchain::ALL {
+        let device = device_for(toolchain);
+        let reference_ir = compile(program, toolchain, OptLevel::O0, false);
+        for level in STRICT_LEVELS {
+            let (_, _, traces) = compile_traced(program, toolchain, level, false);
+            for (input_index, input) in inputs.iter().enumerate() {
+                let verdict = match execute(&reference_ir, &device, input) {
+                    Err(_) => CheckVerdict::Skipped,
+                    Ok(reference) => {
+                        walk_stages(&traces, &device, input, reference.value.bits())
+                    }
+                };
+                out.push(StrictOutcome { toolchain, level, input_index, verdict });
+            }
+        }
+    }
+    out
+}
+
+/// Execute every stage snapshot in order, comparing each result to its
+/// predecessor's (the first snapshot compares to `reference_bits`).
+pub(crate) fn walk_stages(
+    traces: &[PassTrace],
+    device: &Device,
+    input: &InputSet,
+    reference_bits: u64,
+) -> CheckVerdict {
+    let mut prev_bits = reference_bits;
+    let mut prev_name = "reference";
+    let mut semantic: Vec<&'static str> = Vec::new();
+    for trace in traces {
+        let bits = match execute(&trace.ir, device, input) {
+            Ok(r) => r.value.bits(),
+            Err(e) => {
+                // the predecessor executed, this stage does not: that is a
+                // structural break whoever the stage is
+                return CheckVerdict::Violation(ViolationDetail {
+                    pass: trace.name.to_string(),
+                    expected_bits: prev_bits,
+                    actual_bits: prev_bits,
+                    detail: format!(
+                        "stage `{}` fails to execute ({e}) though `{prev_name}` succeeded",
+                        trace.name
+                    ),
+                });
+            }
+        };
+        if bits != prev_bits {
+            if is_semantic(trace.name) {
+                semantic.push(trace.name);
+            } else {
+                return CheckVerdict::Violation(ViolationDetail {
+                    pass: trace.name.to_string(),
+                    expected_bits: prev_bits,
+                    actual_bits: bits,
+                    detail: format!(
+                        "structural stage `{}` changed value bits after `{prev_name}`",
+                        trace.name
+                    ),
+                });
+            }
+        }
+        prev_bits = bits;
+        prev_name = trace.name;
+    }
+    if prev_bits == reference_bits {
+        CheckVerdict::Consistent
+    } else {
+        CheckVerdict::Explained { passes: semantic }
+    }
+}
+
+/// Shrinking predicate: does `program` still exhibit a strict-mode
+/// violation for this `(toolchain, level)` on `input`?
+pub fn still_violates(
+    program: &Program,
+    toolchain: Toolchain,
+    level: OptLevel,
+    input: &InputSet,
+) -> bool {
+    let device = device_for(toolchain);
+    let reference_ir = compile(program, toolchain, OptLevel::O0, false);
+    let Ok(reference) = execute(&reference_ir, &device, input) else {
+        return false;
+    };
+    let (_, _, traces) = compile_traced(program, toolchain, level, false);
+    matches!(
+        walk_stages(&traces, &device, input, reference.value.bits()),
+        CheckVerdict::Violation(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progen::gen::generate_program;
+    use progen::grammar::GenConfig;
+    use progen::inputs::generate_inputs;
+    use progen::Precision;
+
+    #[test]
+    fn clean_toolchains_never_violate_strict_mode() {
+        for i in 0..15 {
+            let p = generate_program(&GenConfig::varity_default(Precision::F64), 2024, i);
+            let inputs = generate_inputs(&p, 2024, 2);
+            for o in check_strict(&p, &inputs) {
+                assert!(
+                    !matches!(o.verdict, CheckVerdict::Violation(_)),
+                    "program {i} {} {} input {}: {:?}",
+                    o.toolchain,
+                    o.level,
+                    o.input_index,
+                    o.verdict
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn o0_is_always_consistent() {
+        for i in 0..10 {
+            let p = generate_program(&GenConfig::varity_default(Precision::F64), 7, i);
+            let inputs = generate_inputs(&p, 7, 2);
+            for o in check_strict(&p, &inputs) {
+                if o.level == OptLevel::O0 {
+                    assert!(
+                        matches!(o.verdict, CheckVerdict::Consistent | CheckVerdict::Skipped),
+                        "program {i}: {:?}",
+                        o.verdict
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explained_divergence_names_a_semantic_pass() {
+        let mut explained = 0;
+        for i in 0..40 {
+            let p = generate_program(&GenConfig::varity_default(Precision::F64), 17, i);
+            let inputs = generate_inputs(&p, 17, 2);
+            for o in check_strict(&p, &inputs) {
+                if let CheckVerdict::Explained { passes } = &o.verdict {
+                    explained += 1;
+                    assert!(!passes.is_empty());
+                    for pass in passes {
+                        assert!(is_semantic(pass), "{pass} is not semantic");
+                    }
+                }
+            }
+        }
+        // fma-contract at O1+ must explain some strict divergence in a
+        // 40-program sample (it is the paper's core mechanism)
+        assert!(explained > 0, "no explained divergences in 40 programs");
+    }
+
+    #[test]
+    fn checks_cover_both_toolchains_and_all_strict_levels() {
+        let p = generate_program(&GenConfig::varity_default(Precision::F64), 1, 0);
+        let inputs = generate_inputs(&p, 1, 2);
+        let outcomes = check_strict(&p, &inputs);
+        assert_eq!(outcomes.len(), 2 * STRICT_LEVELS.len() * inputs.len());
+    }
+}

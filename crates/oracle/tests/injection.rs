@@ -1,0 +1,236 @@
+//! Injected-bug self-tests: the negative half of the oracle's acceptance
+//! criteria. Each test arms one deliberately broken pass (gpucc's
+//! `oracle-inject` feature, runtime-gated) on a hand-crafted program that
+//! exercises exactly that pass, and asserts the translation-validation
+//! oracle catches the violation AND attributes it to the correct pass.
+//!
+//! The injection switch is a process-wide global, so every test
+//! serializes through `GATE` and disarms via an RAII guard (panic-safe).
+//! This file is its own test binary; the clean-run tests in
+//! `tests/oracle.rs` run in a separate process and stay unaffected.
+
+use gpucc::inject::{arm, disarm, InjectedBug};
+use gpucc::pipeline::{OptLevel, Toolchain};
+use oracle::transval::{check_strict, still_violates, CheckVerdict};
+use progen::ast::{
+    AssignOp, BinOp, Expr, LValue, Param, ParamType, Precision, Program, Stmt,
+};
+use progen::inputs::{InputSet, InputValue};
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+struct Armed;
+
+impl Armed {
+    fn new(bug: InjectedBug) -> Armed {
+        arm(bug);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+fn with_bug<T>(bug: InjectedBug, f: impl FnOnce() -> T) -> T {
+    let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _armed = Armed::new(bug);
+    f()
+}
+
+fn float_param(name: &str) -> Param {
+    Param { name: name.into(), ty: ParamType::Float }
+}
+
+/// `comp += 0.1 * 0.2;` — the literal product folds at `O1+`, and the
+/// armed const-fold bug rounds the folded f64 through f32. (The `Add` of
+/// `comp` and a folded constant never FMA-contracts, so const-fold is the
+/// only stage that can change bits here.)
+fn const_fold_victim() -> (Program, InputSet) {
+    let p = Program {
+        id: "inject-const-fold".into(),
+        precision: Precision::F64,
+        params: vec![
+            float_param("comp"),
+            Param { name: "var_1".into(), ty: ParamType::Int },
+        ],
+        body: vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::AddAssign,
+            value: Expr::bin(BinOp::Mul, Expr::Lit(0.1), Expr::Lit(0.2)),
+        }],
+    };
+    let input = InputSet { values: vec![InputValue::Float(1.0), InputValue::Int(4)] };
+    (p, input)
+}
+
+/// `comp += (var_2 + var_3) * (var_4 + var_5);` — the armed CSE bug keys
+/// binaries on the operator alone, so the second `Add` (7) merges into
+/// the first (3): after FMA contraction the kernel computes `3*3 + 0 = 9`
+/// instead of `3*7 + 0 = 21`.
+fn cse_victim() -> (Program, InputSet) {
+    let p = Program {
+        id: "inject-cse".into(),
+        precision: Precision::F64,
+        params: vec![
+            float_param("comp"),
+            Param { name: "var_1".into(), ty: ParamType::Int },
+            float_param("var_2"),
+            float_param("var_3"),
+            float_param("var_4"),
+            float_param("var_5"),
+        ],
+        body: vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::AddAssign,
+            value: Expr::bin(
+                BinOp::Mul,
+                Expr::bin(BinOp::Add, Expr::Var("var_2".into()), Expr::Var("var_3".into())),
+                Expr::bin(BinOp::Add, Expr::Var("var_4".into()), Expr::Var("var_5".into())),
+            ),
+        }],
+    };
+    let input = InputSet {
+        values: vec![
+            InputValue::Float(0.0),
+            InputValue::Int(1),
+            InputValue::Float(1.0),
+            InputValue::Float(2.0),
+            InputValue::Float(3.0),
+            InputValue::Float(4.0),
+        ],
+    };
+    (p, input)
+}
+
+/// `comp *= -(var_2 + var_3);` — a `Mul` never FMA-contracts, so the
+/// negation survives to DCE, where the armed bug forwards its uses to the
+/// un-negated operand: `5 * 3 = 15` instead of `5 * -3 = -15`.
+fn dce_victim() -> (Program, InputSet) {
+    let p = Program {
+        id: "inject-dce".into(),
+        precision: Precision::F64,
+        params: vec![
+            float_param("comp"),
+            Param { name: "var_1".into(), ty: ParamType::Int },
+            float_param("var_2"),
+            float_param("var_3"),
+        ],
+        body: vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::MulAssign,
+            value: Expr::Neg(Box::new(Expr::bin(
+                BinOp::Add,
+                Expr::Var("var_2".into()),
+                Expr::Var("var_3".into()),
+            ))),
+        }],
+    };
+    let input = InputSet {
+        values: vec![
+            InputValue::Float(5.0),
+            InputValue::Int(1),
+            InputValue::Float(1.0),
+            InputValue::Float(2.0),
+        ],
+    };
+    (p, input)
+}
+
+/// Assert the strict-mode oracle flags the armed bug and attributes every
+/// violation to `expected_pass` (and nothing else).
+fn assert_caught(program: &Program, input: &InputSet, expected_pass: &str) {
+    let outcomes = check_strict(program, std::slice::from_ref(input));
+    let mut violations = 0;
+    for o in &outcomes {
+        match &o.verdict {
+            CheckVerdict::Violation(v) => {
+                violations += 1;
+                assert_eq!(
+                    v.pass, expected_pass,
+                    "{} {} attributed to `{}`, expected `{expected_pass}`: {}",
+                    o.toolchain, o.level, v.pass, v.detail
+                );
+                assert_ne!(v.expected_bits, v.actual_bits, "{}", v.detail);
+            }
+            CheckVerdict::Skipped => panic!("reference must execute"),
+            _ => {}
+        }
+    }
+    // the bug-triggering pass runs at every optimized strict level on both
+    // toolchains: 2 toolchains × {O1, O2, O3}
+    assert_eq!(violations, 6, "expected a violation per optimized strict cell");
+}
+
+fn assert_clean(program: &Program, input: &InputSet) {
+    for o in check_strict(program, std::slice::from_ref(input)) {
+        assert!(
+            matches!(o.verdict, CheckVerdict::Consistent),
+            "{} {}: {:?}",
+            o.toolchain,
+            o.level,
+            o.verdict
+        );
+    }
+}
+
+#[test]
+fn const_fold_bug_is_caught_and_attributed() {
+    let (p, input) = const_fold_victim();
+    with_bug(InjectedBug::ConstFoldF32Round, || assert_caught(&p, &input, "const-fold"));
+    assert_clean(&p, &input);
+}
+
+#[test]
+fn cse_bug_is_caught_and_attributed() {
+    let (p, input) = cse_victim();
+    with_bug(InjectedBug::CseDegenerateKey, || assert_caught(&p, &input, "cse"));
+    assert_clean(&p, &input);
+}
+
+#[test]
+fn dce_bug_is_caught_and_attributed() {
+    let (p, input) = dce_victim();
+    with_bug(InjectedBug::DceDropNeg, || assert_caught(&p, &input, "dce"));
+    assert_clean(&p, &input);
+}
+
+#[test]
+fn disarmed_feature_build_is_inert() {
+    // compiling with `oracle-inject` must change nothing until a bug is
+    // armed — the guarantee that feature unification is harmless
+    let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    for (p, input) in [const_fold_victim(), cse_victim(), dce_victim()] {
+        assert_clean(&p, &input);
+    }
+}
+
+#[test]
+fn violations_shrink_to_the_offending_statement() {
+    // pad the const-fold victim with a statement irrelevant to the bug;
+    // difftest::reduce must strip it from the filed finding
+    let (mut p, input) = const_fold_victim();
+    p.params.push(float_param("var_2"));
+    p.body.insert(
+        0,
+        Stmt::Assign {
+            target: LValue::Var("var_2".into()),
+            op: AssignOp::MulAssign,
+            value: Expr::Lit(2.0),
+        },
+    );
+    let mut input = input;
+    input.values.push(InputValue::Float(1.0));
+
+    with_bug(InjectedBug::ConstFoldF32Round, || {
+        assert!(still_violates(&p, Toolchain::Nvcc, OptLevel::O1, &input));
+        let reduction = difftest::reduce::reduce_program(&p, |candidate| {
+            still_violates(candidate, Toolchain::Nvcc, OptLevel::O1, &input)
+        });
+        assert_eq!(reduction.final_stmts, 1, "padding not removed");
+        assert!(still_violates(&reduction.program, Toolchain::Nvcc, OptLevel::O1, &input));
+    });
+}

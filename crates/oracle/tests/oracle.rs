@@ -1,0 +1,107 @@
+//! Integration tests: the oracle on clean (un-injected) toolchains.
+//!
+//! These are the positive half of the acceptance criteria: a budgeted run
+//! over the campaign's own program population must come back with zero
+//! unexplained strict-mode violations, metamorphic coverage of all
+//! `{toolchain} × {opt level}` cells, and a report that is identical at
+//! any rayon thread count.
+
+use oracle::{run_oracle, OracleConfig};
+use progen::Precision;
+
+fn cfg(budget: usize, seed: u64) -> OracleConfig {
+    let mut c = OracleConfig::new(Precision::F64, budget, seed);
+    c.inputs_per_program = 2;
+    c
+}
+
+#[test]
+fn budget_run_is_clean() {
+    let report = run_oracle(&cfg(25, 2024));
+    assert!(
+        report.is_clean(),
+        "unexplained strict-mode violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|f| f.summary_line())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.programs_checked, 25);
+}
+
+#[test]
+fn fp32_budget_run_is_clean() {
+    let mut c = OracleConfig::new(Precision::F32, 10, 2024);
+    c.inputs_per_program = 2;
+    let report = run_oracle(&c);
+    assert!(report.is_clean(), "{:#?}", report.violations);
+}
+
+#[test]
+fn strict_checks_cover_the_whole_grid() {
+    let c = cfg(6, 9);
+    let report = run_oracle(&c);
+    // 2 toolchains × 4 strict levels × inputs × budget
+    assert_eq!(
+        report.transval_checks,
+        (2 * 4 * c.inputs_per_program * c.budget) as u64
+    );
+    // every program gets exactly one round-trip check
+    assert_eq!(report.roundtrip_checks, c.budget as u64);
+}
+
+#[test]
+fn metamorphic_coverage_spans_all_ten_cells() {
+    let report = run_oracle(&cfg(10, 2024));
+    assert_eq!(
+        report.metamorphic_coverage.len(),
+        10,
+        "coverage cells: {:?}",
+        report.metamorphic_coverage
+    );
+    for (cell, n) in &report.metamorphic_coverage {
+        assert!(*n > 0, "empty cell {cell}");
+    }
+    // both toolchains, all five levels
+    for tc in ["nvcc", "hipcc"] {
+        for level in ["O0", "O1", "O2", "O3", "O3_FM"] {
+            assert!(
+                report.metamorphic_coverage.contains_key(&format!("{tc}:{level}")),
+                "missing {tc}:{level}"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_is_identical_at_one_and_many_threads() {
+    let c = cfg(10, 31415);
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| run_oracle(&c));
+    let many = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap()
+        .install(|| run_oracle(&c));
+    assert_eq!(
+        serde_json::to_string(&single).unwrap(),
+        serde_json::to_string(&many).unwrap()
+    );
+}
+
+#[test]
+fn divergences_are_explained_by_semantic_passes_only() {
+    let report = run_oracle(&cfg(30, 2024));
+    assert!(report.explained > 0, "no explained divergence in 30 programs");
+    for pass in report.explained_by_pass.keys() {
+        assert!(
+            difftest::attribution::SEMANTIC_PASSES.contains(&pass.as_str()),
+            "structural pass {pass} explained a divergence"
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //!    AST. This closes the HIPIFY loop: the `hipify` crate rewrites CUDA
 //!    source *text*, and the result is re-parsed and recompiled like any
 //!    hand-written HIP file.
+//! 5. [`transform`] applies semantics-preserving rewrites (statement
+//!    reordering, temporary introduction/elimination, dead-code
+//!    injection) used by the oracle subsystem's metamorphic checks.
 
 #![deny(missing_docs)]
 
@@ -27,6 +30,7 @@ pub mod grammar;
 pub mod inputs;
 pub mod lexer;
 pub mod parser;
+pub mod transform;
 
 pub use ast::{Precision, Program};
 pub use gen::generate_program;

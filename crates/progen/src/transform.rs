@@ -1,0 +1,619 @@
+//! Semantics-preserving program transformations (metamorphic testing).
+//!
+//! The oracle subsystem (`crates/oracle`) validates the simulated
+//! toolchains against themselves by compiling a program and a transformed
+//! variant that *must* compute the same value, then comparing outcomes per
+//! toolchain and opt level. This module supplies those variants.
+//!
+//! Each [`Transform`] carries an exactness contract
+//! ([`Transform::bit_exact_at_all_levels`]):
+//!
+//! * [`Transform::ReorderIndependent`] and [`Transform::InjectDeadCode`]
+//!   must be bit-exact at *every* opt level — no pass in either toolchain
+//!   is sensitive to statement order between independent statements, and a
+//!   never-read temporary cannot feed `comp`.
+//! * [`Transform::IntroduceTmp`] and [`Transform::EliminateTmp`] are
+//!   bit-exact at `O0`; at `O1+` they may legitimately diverge when a
+//!   value-changing pass (FMA contraction, reassociation, …) sees a
+//!   different expression shape. The oracle accepts such divergence only
+//!   when one of those semantic passes actually fired.
+//!
+//! The literal re-parsing round trip ([`parse_roundtrip`]) is the fifth
+//! metamorphic check: emitting a program through [`crate::emit`] and
+//! parsing it back must reproduce the AST exactly (the paper's pipeline
+//! depends on this for the HIPIFY loop).
+
+use crate::ast::{BinOp, Expr, LValue, Param, ParamType, Program, Stmt};
+use crate::emit::emit_kernel;
+use crate::parser::parse_kernel;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+/// A semantics-preserving transformation the oracle can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transform {
+    /// Swap two adjacent statements whose read/write sets are disjoint.
+    ReorderIndependent,
+    /// Insert a never-read temporary computed from existing float
+    /// parameters and exactly-representable literals.
+    InjectDeadCode,
+    /// Split `x op= e` into `t = e; x op= t` with a fresh temporary.
+    IntroduceTmp,
+    /// Inline a single-use temporary into its unique use site.
+    EliminateTmp,
+}
+
+impl Transform {
+    /// All transformations, in a fixed order the oracle iterates.
+    pub const ALL: [Transform; 4] = [
+        Transform::ReorderIndependent,
+        Transform::InjectDeadCode,
+        Transform::IntroduceTmp,
+        Transform::EliminateTmp,
+    ];
+
+    /// Stable name used in findings and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transform::ReorderIndependent => "reorder-independent",
+            Transform::InjectDeadCode => "inject-dead-code",
+            Transform::IntroduceTmp => "introduce-tmp",
+            Transform::EliminateTmp => "eliminate-tmp",
+        }
+    }
+
+    /// Whether the variant must match the original bit-for-bit at every
+    /// opt level (see module docs). When `false`, divergence at `O1+` is
+    /// acceptable only if a semantic (value-changing) pass fired.
+    pub fn bit_exact_at_all_levels(self) -> bool {
+        matches!(self, Transform::ReorderIndependent | Transform::InjectDeadCode)
+    }
+}
+
+impl std::fmt::Display for Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Apply `transform` to `program`, choosing the site with a rng seeded by
+/// `seed`. Returns `None` when the program has no applicable site (e.g. no
+/// adjacent independent statement pair); the caller skips the check then.
+///
+/// Determinism: same `(program, transform, seed)` → same variant.
+pub fn apply(program: &Program, transform: Transform, seed: u64) -> Option<Program> {
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        seed ^ (transform as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    match transform {
+        Transform::ReorderIndependent => reorder_independent(program, &mut rng),
+        Transform::InjectDeadCode => inject_dead_code(program, &mut rng),
+        Transform::IntroduceTmp => introduce_tmp(program, &mut rng),
+        Transform::EliminateTmp => eliminate_tmp(program),
+    }
+}
+
+/// Emit the kernel and parse it back — the literal re-parsing round trip.
+/// Returns the re-parsed program, or the parse error rendered as a string.
+pub fn parse_roundtrip(program: &Program) -> Result<Program, String> {
+    let src = emit_kernel(program);
+    parse_kernel(&src, &program.id).map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Effect analysis
+// ---------------------------------------------------------------------------
+
+/// Conservative read/write sets of a statement. Arrays are treated as a
+/// unit (any element write conflicts with any element read), nested bodies
+/// are unioned, and compound assignments read their own target.
+#[derive(Debug, Default, Clone)]
+struct Effects {
+    reads: BTreeSet<String>,
+    writes: BTreeSet<String>,
+}
+
+impl Effects {
+    fn of(stmt: &Stmt) -> Effects {
+        let mut e = Effects::default();
+        stmt_effects(stmt, &mut e);
+        e
+    }
+
+    /// True when the two statements can be swapped without changing any
+    /// observable value: neither writes anything the other touches.
+    fn independent(&self, other: &Effects) -> bool {
+        self.writes.is_disjoint(&other.reads)
+            && self.writes.is_disjoint(&other.writes)
+            && other.writes.is_disjoint(&self.reads)
+    }
+}
+
+fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Lit(_) | Expr::ThreadIdx => {}
+        Expr::Var(v) => {
+            out.insert(v.clone());
+        }
+        Expr::Index(a, i) => {
+            out.insert(a.clone());
+            out.insert(i.clone());
+        }
+        Expr::Neg(inner) => expr_reads(inner, out),
+        Expr::Bin(_, l, r) => {
+            expr_reads(l, out);
+            expr_reads(r, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                expr_reads(a, out);
+            }
+        }
+    }
+}
+
+fn stmt_effects(s: &Stmt, eff: &mut Effects) {
+    match s {
+        Stmt::DeclTmp { name, init } => {
+            expr_reads(init, &mut eff.reads);
+            eff.writes.insert(name.clone());
+        }
+        Stmt::Assign { target, op, value } => {
+            expr_reads(value, &mut eff.reads);
+            match target {
+                LValue::Var(v) => {
+                    // compound assignment reads the old value; plain `=`
+                    // conservatively treated the same (cheap and safe)
+                    eff.reads.insert(v.clone());
+                    eff.writes.insert(v.clone());
+                }
+                LValue::Index(a, i) => {
+                    eff.reads.insert(a.clone());
+                    eff.reads.insert(i.clone());
+                    eff.writes.insert(a.clone());
+                }
+            }
+            let _ = op;
+        }
+        Stmt::If { cond, body } => {
+            expr_reads(&cond.lhs, &mut eff.reads);
+            expr_reads(&cond.rhs, &mut eff.reads);
+            for s in body {
+                stmt_effects(s, eff);
+            }
+        }
+        Stmt::For { var, bound, body } => {
+            eff.reads.insert(bound.clone());
+            eff.writes.insert(var.clone());
+            eff.reads.insert(var.clone());
+            for s in body {
+                stmt_effects(s, eff);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement-list navigation (paths into nested If/For bodies)
+// ---------------------------------------------------------------------------
+
+/// Visit every statement list in the program (top level plus every nested
+/// `if`/`for` body), calling `f(path, list)` where `path` addresses the
+/// list: each element is the index of the enclosing `If`/`For` statement.
+fn visit_lists(stmts: &[Stmt], path: &mut Vec<usize>, f: &mut impl FnMut(&[usize], &[Stmt])) {
+    f(path, stmts);
+    for (i, s) in stmts.iter().enumerate() {
+        if let Stmt::If { body, .. } | Stmt::For { body, .. } = s {
+            path.push(i);
+            visit_lists(body, path, f);
+            path.pop();
+        }
+    }
+}
+
+/// Resolve a path produced by [`visit_lists`] into a mutable list.
+fn list_at_mut<'a>(stmts: &'a mut Vec<Stmt>, path: &[usize]) -> &'a mut Vec<Stmt> {
+    match path.split_first() {
+        None => stmts,
+        Some((&i, rest)) => match &mut stmts[i] {
+            Stmt::If { body, .. } | Stmt::For { body, .. } => list_at_mut(body, rest),
+            _ => unreachable!("path addresses a statement without a body"),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReorderIndependent
+// ---------------------------------------------------------------------------
+
+fn reorder_independent(program: &Program, rng: &mut ChaCha8Rng) -> Option<Program> {
+    // collect every legal adjacent swap (path, index)
+    let mut candidates: Vec<(Vec<usize>, usize)> = Vec::new();
+    let mut path = Vec::new();
+    visit_lists(&program.body, &mut path, &mut |path, list| {
+        for i in 0..list.len().saturating_sub(1) {
+            let a = Effects::of(&list[i]);
+            let b = Effects::of(&list[i + 1]);
+            if a.independent(&b) {
+                candidates.push((path.to_vec(), i));
+            }
+        }
+    });
+    let (path, i) = candidates.choose(rng)?.clone();
+    let mut variant = program.clone();
+    list_at_mut(&mut variant.body, &path).swap(i, i + 1);
+    Some(variant)
+}
+
+// ---------------------------------------------------------------------------
+// InjectDeadCode
+// ---------------------------------------------------------------------------
+
+/// Literals whose 4-decimal-digit rendering parses back bit-exactly in
+/// both precisions (keeps the variant itself round-trip clean).
+const DEAD_LITERALS: [f64; 6] = [1.5, 0.5, 2.0, 3.25, 0.25, 4.0];
+
+fn inject_dead_code(program: &Program, rng: &mut ChaCha8Rng) -> Option<Program> {
+    // operands: float parameters (always includes `comp`) and exact literals
+    let float_params: Vec<&Param> = program.params_of(ParamType::Float).collect();
+    let operand = |rng: &mut ChaCha8Rng| -> Expr {
+        if rng.gen_bool(0.5) {
+            match float_params.choose(rng) {
+                Some(p) => Expr::Var(p.name.clone()),
+                None => Expr::Lit(*DEAD_LITERALS.choose(rng).expect("non-empty pool")),
+            }
+        } else {
+            Expr::Lit(*DEAD_LITERALS.choose(rng).expect("non-empty pool"))
+        }
+    };
+    // no Neg (the parser folds `-literal`), no Div needed for deadness
+    let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul];
+    let mut init = Expr::bin(*ops.choose(rng).unwrap(), operand(rng), operand(rng));
+    if rng.gen_bool(0.5) {
+        init = Expr::bin(*ops.choose(rng).unwrap(), init, operand(rng));
+    }
+
+    // insertion point: any position in any statement list
+    let mut slots: Vec<(Vec<usize>, usize)> = Vec::new();
+    let mut path = Vec::new();
+    visit_lists(&program.body, &mut path, &mut |path, list| {
+        for i in 0..=list.len() {
+            slots.push((path.to_vec(), i));
+        }
+    });
+    let (path, i) = slots.choose(rng)?.clone();
+    let mut variant = program.clone();
+    let name = fresh_name(program, "oracle_dead");
+    list_at_mut(&mut variant.body, &path).insert(i, Stmt::DeclTmp { name, init });
+    Some(variant)
+}
+
+/// A variable name not used anywhere in the program.
+fn fresh_name(program: &Program, prefix: &str) -> String {
+    let mut used: BTreeSet<String> = program.params.iter().map(|p| p.name.clone()).collect();
+    let mut path = Vec::new();
+    visit_lists(&program.body, &mut path, &mut |_, list| {
+        for s in list {
+            let e = Effects::of(s);
+            used.extend(e.reads);
+            used.extend(e.writes);
+        }
+    });
+    let mut n = 0usize;
+    loop {
+        let candidate = format!("{prefix}_{n}");
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IntroduceTmp
+// ---------------------------------------------------------------------------
+
+fn introduce_tmp(program: &Program, rng: &mut ChaCha8Rng) -> Option<Program> {
+    // candidate: any Assign to a scalar with a non-trivial rhs
+    let mut candidates: Vec<(Vec<usize>, usize)> = Vec::new();
+    let mut path = Vec::new();
+    visit_lists(&program.body, &mut path, &mut |path, list| {
+        for (i, s) in list.iter().enumerate() {
+            if let Stmt::Assign { target: LValue::Var(_), value, .. } = s {
+                if value.node_count() > 1 {
+                    candidates.push((path.to_vec(), i));
+                }
+            }
+        }
+    });
+    let (path, i) = candidates.choose(rng)?.clone();
+    let mut variant = program.clone();
+    let name = fresh_name(program, "oracle_tmp");
+    let list = list_at_mut(&mut variant.body, &path);
+    if let Stmt::Assign { value, .. } = &mut list[i] {
+        let init = std::mem::replace(value, Expr::Var(name.clone()));
+        list.insert(i, Stmt::DeclTmp { name, init });
+    }
+    Some(variant)
+}
+
+// ---------------------------------------------------------------------------
+// EliminateTmp
+// ---------------------------------------------------------------------------
+
+fn eliminate_tmp(program: &Program) -> Option<Program> {
+    // count reads of every name across the whole program
+    let mut read_counts: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut write_counts: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut path = Vec::new();
+    visit_lists(&program.body, &mut path, &mut |_, list| {
+        for s in list {
+            // count at the statement level exactly once per list so nested
+            // bodies are not double counted
+            if !matches!(s, Stmt::If { .. } | Stmt::For { .. }) {
+                let e = Effects::of(s);
+                for r in e.reads {
+                    *read_counts.entry(r).or_default() += 1;
+                }
+                for w in e.writes {
+                    *write_counts.entry(w).or_default() += 1;
+                }
+            } else {
+                // conditions/loop headers still read
+                match s {
+                    Stmt::If { cond, .. } => {
+                        let mut rs = BTreeSet::new();
+                        expr_reads(&cond.lhs, &mut rs);
+                        expr_reads(&cond.rhs, &mut rs);
+                        for r in rs {
+                            *read_counts.entry(r).or_default() += 1;
+                        }
+                    }
+                    Stmt::For { bound, .. } => {
+                        *read_counts.entry(bound.clone()).or_default() += 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    });
+
+    // find the first eliminable decl (deterministic: first in visit order)
+    let mut chosen: Option<(Vec<usize>, usize, usize)> = None;
+    let mut path = Vec::new();
+    visit_lists(&program.body, &mut path, &mut |path, list| {
+        if chosen.is_some() {
+            return;
+        }
+        'decl: for (i, s) in list.iter().enumerate() {
+            let Stmt::DeclTmp { name, init } = s else { continue };
+            // exactly one read program-wide, never rewritten
+            if read_counts.get(name).copied() != Some(1)
+                || write_counts.get(name).copied() != Some(1)
+            {
+                continue;
+            }
+            let mut init_reads = BTreeSet::new();
+            expr_reads(init, &mut init_reads);
+            // the read must be a plain Assign later in the same list, with
+            // no intervening statement writing the initializer's inputs
+            for (j, later) in list.iter().enumerate().skip(i + 1) {
+                let le = Effects::of(later);
+                if let Stmt::Assign { target, value, .. } = later {
+                    let mut value_reads = BTreeSet::new();
+                    expr_reads(value, &mut value_reads);
+                    let target_touches_tmp = match target {
+                        LValue::Var(v) => v == name,
+                        LValue::Index(a, idx) => a == name || idx == name,
+                    };
+                    if value_reads.contains(name) && !target_touches_tmp {
+                        chosen = Some((path.to_vec(), i, j));
+                        continue 'decl;
+                    }
+                }
+                if le.reads.contains(name) {
+                    // read from a nested body or a decl: not eliminable
+                    continue 'decl;
+                }
+                if !le.writes.is_disjoint(&init_reads) {
+                    continue 'decl; // initializer inputs change before use
+                }
+            }
+        }
+    });
+
+    let (path, i, j) = chosen?;
+    let mut variant = program.clone();
+    let list = list_at_mut(&mut variant.body, &path);
+    let Stmt::DeclTmp { name, init } = list[i].clone() else { unreachable!() };
+    if let Stmt::Assign { value, .. } = &mut list[j] {
+        *value = substitute(value, &name, &init);
+    }
+    list.remove(i);
+    Some(variant)
+}
+
+/// Replace every `Var(name)` in `e` with `replacement`.
+fn substitute(e: &Expr, name: &str, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Var(v) if v == name => replacement.clone(),
+        Expr::Lit(_) | Expr::Var(_) | Expr::Index(..) | Expr::ThreadIdx => e.clone(),
+        Expr::Neg(inner) => Expr::Neg(Box::new(substitute(inner, name, replacement))),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(substitute(l, name, replacement)),
+            Box::new(substitute(r, name, replacement)),
+        ),
+        Expr::Call(f, args) => {
+            Expr::Call(*f, args.iter().map(|a| substitute(a, name, replacement)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AssignOp, Precision};
+    use crate::gen::generate_program;
+    use crate::grammar::GenConfig;
+
+    fn sample(i: u64) -> Program {
+        generate_program(&GenConfig::varity_default(Precision::F64), 42, i)
+    }
+
+    #[test]
+    fn transforms_are_deterministic() {
+        for i in 0..10 {
+            let p = sample(i);
+            for t in Transform::ALL {
+                assert_eq!(apply(&p, t, 7), apply(&p, t, 7), "{t} program {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn variants_differ_from_the_original_or_are_none() {
+        let mut applied = 0;
+        for i in 0..30 {
+            let p = sample(i);
+            for t in Transform::ALL {
+                if let Some(v) = apply(&p, t, i) {
+                    applied += 1;
+                    assert_eq!(v.id, p.id);
+                    assert_eq!(v.params, p.params, "{t} must not touch params");
+                    if t != Transform::ReorderIndependent {
+                        // a reorder can pick two structurally equal stmts;
+                        // the others always change the body
+                        assert_ne!(v.body, p.body, "{t} produced an identical body");
+                    }
+                }
+            }
+        }
+        assert!(applied > 30, "transforms almost never applicable: {applied}");
+    }
+
+    #[test]
+    fn dead_code_injects_an_unread_decl() {
+        for i in 0..20 {
+            let p = sample(i);
+            let v = apply(&p, Transform::InjectDeadCode, i).expect("always applicable");
+            assert_eq!(v.stmt_count(), p.stmt_count() + 1);
+            // the fresh name is read nowhere
+            let mut path = Vec::new();
+            let mut reads = BTreeSet::new();
+            visit_lists(&v.body, &mut path, &mut |_, list| {
+                for s in list {
+                    reads.extend(Effects::of(s).reads);
+                }
+            });
+            assert!(!reads.iter().any(|r| r.starts_with("oracle_dead")), "{reads:?}");
+        }
+    }
+
+    #[test]
+    fn introduce_then_roundtrip_is_exact() {
+        for i in 0..20 {
+            let p = sample(i);
+            if let Some(v) = apply(&p, Transform::IntroduceTmp, i) {
+                let back = parse_roundtrip(&v).expect("variant must stay parseable");
+                assert_eq!(back, v, "program {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eliminate_inlines_single_use_tmp() {
+        let p = Program {
+            id: "elim".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_2".into(), ty: ParamType::Float },
+            ],
+            body: vec![
+                Stmt::DeclTmp {
+                    name: "tmp_1".into(),
+                    init: Expr::bin(BinOp::Add, Expr::Var("var_2".into()), Expr::Lit(1.5)),
+                },
+                Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::Var("tmp_1".into()),
+                },
+            ],
+        };
+        let v = apply(&p, Transform::EliminateTmp, 0).expect("eliminable");
+        assert_eq!(v.body.len(), 1);
+        assert_eq!(
+            v.body[0],
+            Stmt::Assign {
+                target: LValue::Var("comp".into()),
+                op: AssignOp::AddAssign,
+                value: Expr::bin(BinOp::Add, Expr::Var("var_2".into()), Expr::Lit(1.5)),
+            }
+        );
+    }
+
+    #[test]
+    fn eliminate_refuses_when_inputs_change_between_decl_and_use() {
+        let p = Program {
+            id: "no-elim".into(),
+            precision: Precision::F64,
+            params: vec![
+                Param { name: "comp".into(), ty: ParamType::Float },
+                Param { name: "var_1".into(), ty: ParamType::Int },
+                Param { name: "var_2".into(), ty: ParamType::Float },
+            ],
+            body: vec![
+                Stmt::DeclTmp {
+                    name: "tmp_1".into(),
+                    init: Expr::Var("var_2".into()),
+                },
+                Stmt::Assign {
+                    target: LValue::Var("var_2".into()),
+                    op: AssignOp::MulAssign,
+                    value: Expr::Lit(2.0),
+                },
+                Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::Var("tmp_1".into()),
+                },
+            ],
+        };
+        assert_eq!(apply(&p, Transform::EliminateTmp, 0), None);
+    }
+
+    #[test]
+    fn reorder_swaps_only_independent_neighbours() {
+        for i in 0..30 {
+            let p = sample(i);
+            if let Some(v) = apply(&p, Transform::ReorderIndependent, i) {
+                // exactly one adjacent pair swapped somewhere; verify the
+                // swapped statements really are independent
+                assert_eq!(v.stmt_count(), p.stmt_count(), "program {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_roundtrip() {
+        for i in 0..20 {
+            let p = sample(i);
+            assert_eq!(parse_roundtrip(&p).unwrap(), p, "program {i}");
+        }
+    }
+
+    #[test]
+    fn injected_variants_roundtrip() {
+        for i in 0..20 {
+            let p = sample(i);
+            let v = apply(&p, Transform::InjectDeadCode, i).unwrap();
+            assert_eq!(parse_roundtrip(&v).unwrap(), v, "program {i}");
+        }
+    }
+}
