@@ -12,19 +12,50 @@
 //!   metadata, so `varity-gpu analyze --profile` works on either half of
 //!   a between-platform campaign.
 //!
+//! Fault-tolerance surface:
+//!
+//! * `--checkpoint DIR` journals every completed work unit, so the
+//!   process can be killed at any instant and `--resume DIR` replays the
+//!   journal, re-runs only the remaining units, and produces the same
+//!   final report as an uninterrupted run (`--resume` takes its
+//!   configuration from the checkpoint, ignoring config flags);
+//! * `--fuel N` / `--timeout-ms N` bound each execution's instruction
+//!   and wall-clock budgets; exhausted tests are quarantined, not fatal;
+//! * `--max-faults N` is a circuit breaker: the campaign aborts (exit 3)
+//!   once more than `N` tests fault;
+//! * `--quarantine FILE` writes the fault log (JSONL: a config header
+//!   line, then one `TestFault` per line) for `varity-gpu replay`;
+//!   with `--checkpoint`/`--resume` it defaults to
+//!   `DIR/quarantine.jsonl`.
+//!
 //! Result tables go to stdout; everything else goes to stderr.
 
 use super::{flag, parse_known};
 use difftest::campaign::{analyze, CampaignConfig, TestMode};
+use difftest::checkpoint::{run_side_ft, Checkpoint, FtSession, FtStatus};
+use difftest::fault::{self, TestFault};
 use difftest::metadata::CampaignMeta;
 use difftest::report::{render_digest, render_per_level};
 use gpucc::pipeline::Toolchain;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const PAIRS: &[&str] = &["--seed", "--programs", "--inputs", "--side", "--out", "--metrics"];
+const PAIRS: &[&str] = &[
+    "--seed",
+    "--programs",
+    "--inputs",
+    "--side",
+    "--out",
+    "--metrics",
+    "--checkpoint",
+    "--resume",
+    "--fuel",
+    "--timeout-ms",
+    "--max-faults",
+    "--quarantine",
+];
 const SWITCHES: &[&str] = &["--fp32", "--hipify", "--full", "--progress"];
 
 pub fn run(argv: &[String]) -> i32 {
@@ -32,17 +63,67 @@ pub fn run(argv: &[String]) -> i32 {
         Ok(a) => a,
         Err(c) => return c,
     };
-    let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
-    let mut config = CampaignConfig::default_for(args.precision(), mode);
-    config.seed = flag!(args, "--seed", config.seed);
-    config.n_programs = flag!(args, "--programs", config.n_programs);
-    config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
-    if args.has("--full") {
-        config.n_programs = match args.precision() {
-            progen::Precision::F64 => 3540,
-            progen::Precision::F32 => 2840,
-        };
+    if args.get("--checkpoint").is_some() && args.get("--resume").is_some() {
+        eprintln!("--checkpoint and --resume are mutually exclusive (resume continues its own checkpoint)");
+        return 2;
     }
+
+    let max_faults: Option<u64> = match args.get("--max-faults") {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("bad value for --max-faults: {v:?}");
+                return 2;
+            }
+        },
+    };
+
+    // Configuration + checkpoint session. A resumed campaign must re-run
+    // under the exact stored config (determinism is what makes replayed
+    // and re-run units interchangeable), so `--resume` loads it from the
+    // checkpoint directory and config flags are not consulted.
+    let (config, checkpoint_dir, journal, replayed_units) = if let Some(dir) = args.get("--resume")
+    {
+        let dir = PathBuf::from(dir);
+        match Checkpoint::resume(&dir) {
+            Ok((ckpt, config, units)) => (config, Some(dir), Some(ckpt.into_journal()), units),
+            Err(e) => {
+                eprintln!("cannot resume checkpoint: {e}");
+                return 1;
+            }
+        }
+    } else {
+        let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+        let mut config = CampaignConfig::default_for(args.precision(), mode);
+        config.seed = flag!(args, "--seed", config.seed);
+        config.n_programs = flag!(args, "--programs", config.n_programs);
+        config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
+        if args.has("--full") {
+            config.n_programs = match args.precision() {
+                progen::Precision::F64 => 3540,
+                progen::Precision::F32 => 2840,
+            };
+        }
+        config.budget.max_steps = flag!(args, "--fuel", config.budget.max_steps);
+        if args.get("--timeout-ms").is_some() {
+            config.budget.max_wall_ms = Some(flag!(args, "--timeout-ms", 0u64));
+        }
+        match args.get("--checkpoint") {
+            None => (config, None, None, Vec::new()),
+            Some(dir) => {
+                let dir = PathBuf::from(dir);
+                match Checkpoint::create(&dir, &config) {
+                    Ok(ckpt) => (config, Some(dir), Some(ckpt.into_journal()), Vec::new()),
+                    Err(e) => {
+                        eprintln!("cannot create checkpoint: {e}");
+                        return 1;
+                    }
+                }
+            }
+        }
+    };
+    let mode = config.mode;
 
     let sides: Vec<Toolchain> = match args.get("--side").unwrap_or("both") {
         "nvcc" => vec![Toolchain::Nvcc],
@@ -65,8 +146,21 @@ pub fn run(argv: &[String]) -> i32 {
         },
     };
 
+    if let Some(dir) = &checkpoint_dir {
+        // printed up front so the resume command survives any kill -9
+        eprintln!(
+            "[campaign] checkpointing to {}; resume with `varity-gpu campaign --resume {}`",
+            dir.display(),
+            dir.display()
+        );
+    }
+
     // fresh registry per campaign so metrics describe exactly this run
+    // (journal replay below merges the completed units' deltas back in)
     obs::reset();
+    fault::reset_shutdown();
+    install_sigint_handler();
+
     let started = Instant::now();
     if let Some((log, _)) = &metrics_log {
         let _ = log.event(
@@ -98,10 +192,21 @@ pub fn run(argv: &[String]) -> i32 {
     let t = Instant::now();
     let mut meta = CampaignMeta::generate(&config);
     log_phase("generate", t);
+
+    let mut session = FtSession::new(journal, max_faults);
+    if !replayed_units.is_empty() {
+        session.apply_replay(&mut meta, replayed_units);
+        eprintln!("[campaign] resumed {} completed units from the journal", session.replayed());
+    }
+
+    let mut status = FtStatus::Complete;
     for side in &sides {
         let t = Instant::now();
-        meta.run_side(*side);
+        status = run_side_ft(&mut meta, *side, &session);
         log_phase(&format!("run.{}", side.name()), t);
+        if status != FtStatus::Complete {
+            break;
+        }
     }
     if let Some(p) = progress {
         p.finish();
@@ -122,12 +227,68 @@ pub fn run(argv: &[String]) -> i32 {
         eprintln!("metrics log written to {path}");
     }
 
+    // quarantine log: derived data, written atomically at the end (the
+    // journal remains the source of truth while running)
+    let faults = session.faults();
+    let quarantine_path = args
+        .get("--quarantine")
+        .map(PathBuf::from)
+        .or_else(|| checkpoint_dir.as_deref().map(Checkpoint::quarantine_path));
+    if let Some(path) = &quarantine_path {
+        if let Err(e) = write_quarantine(path, &config, &faults) {
+            eprintln!("cannot write quarantine log: {e}");
+            return 1;
+        }
+    }
+    if !faults.is_empty() {
+        match &quarantine_path {
+            Some(path) => eprintln!(
+                "[campaign] {} test(s) quarantined — inspect with `varity-gpu replay {}`",
+                faults.len(),
+                path.display()
+            ),
+            None => eprintln!(
+                "[campaign] {} test(s) quarantined (pass --quarantine FILE to save the log)",
+                faults.len()
+            ),
+        }
+    }
+
     if let Some(path) = args.get("--out") {
         if let Err(e) = meta.save(Path::new(path)) {
             eprintln!("cannot save metadata: {e}");
             return 1;
         }
         eprintln!("metadata saved to {path} (sides run: {:?})", meta.sides_run);
+    }
+
+    match status {
+        FtStatus::Complete => {}
+        FtStatus::FaultLimit => {
+            eprintln!(
+                "fault limit exceeded ({} faults > {} tolerated); remaining units skipped",
+                faults.len(),
+                max_faults.unwrap_or(0)
+            );
+            return 3;
+        }
+        FtStatus::Interrupted => {
+            if let Some(journal) = session.journal() {
+                let _ = journal.sync();
+            }
+            match &checkpoint_dir {
+                Some(dir) => eprintln!(
+                    "interrupted; checkpoint flushed — resume with `varity-gpu campaign --resume {}`",
+                    dir.display()
+                ),
+                None => eprintln!("interrupted (no --checkpoint; completed work was not saved)"),
+            }
+            return 130;
+        }
+        FtStatus::IoError(e) => {
+            eprintln!("checkpoint journal I/O error: {e}");
+            return 1;
+        }
     }
 
     if meta.is_complete() {
@@ -142,6 +303,49 @@ pub fn run(argv: &[String]) -> i32 {
     }
     0
 }
+
+/// Write the quarantine log: line 1 is a `{"config": ...}` header, then
+/// one serialized [`TestFault`] per line — exactly what `varity-gpu
+/// replay` consumes. Always written atomically; an empty fault list
+/// still writes the header so replaying a clean campaign's log is a
+/// clean no-op.
+fn write_quarantine(
+    path: &Path,
+    config: &CampaignConfig,
+    faults: &[TestFault],
+) -> Result<(), String> {
+    let mut out = String::new();
+    out.push_str(
+        &serde_json::to_string(&serde_json::json!({ "config": config }))
+            .map_err(|e| e.to_string())?,
+    );
+    out.push('\n');
+    for f in faults {
+        out.push_str(&serde_json::to_string(f).map_err(|e| e.to_string())?);
+        out.push('\n');
+    }
+    difftest::checkpoint::atomic_write(path, out.as_bytes()).map_err(|e| e.to_string())
+}
+
+/// Install a real `SIGINT` handler that raises the cooperative shutdown
+/// flag (workers stop at the next unit boundary, the checkpoint is
+/// flushed, and the campaign exits 130 with the resume command printed).
+/// Gated behind the off-by-default `sigint` cargo feature because it
+/// needs `libc`; without it, shutdown stays cooperative-only
+/// ([`difftest::fault::request_shutdown`]).
+#[cfg(feature = "sigint")]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_sig: libc::c_int) {
+        // only async-signal-safe work here: one atomic store
+        difftest::fault::request_shutdown();
+    }
+    unsafe {
+        libc::signal(libc::SIGINT, on_sigint as libc::sighandler_t);
+    }
+}
+
+#[cfg(not(feature = "sigint"))]
+fn install_sigint_handler() {}
 
 /// Live progress reporter: a background thread that polls the campaign
 /// counters and repaints one stderr status line until stopped.

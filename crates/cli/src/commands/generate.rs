@@ -45,7 +45,10 @@ pub fn run(argv: &[String]) -> i32 {
         if args.has("--kernel-only") { emit_kernel(&program) } else { emit(&program, dialect) };
     match args.get("--out") {
         Some(path) => {
-            if let Err(e) = std::fs::write(path, source) {
+            // atomic: a crash mid-write never leaves a torn output file
+            if let Err(e) =
+                difftest::checkpoint::atomic_write(std::path::Path::new(path), source.as_bytes())
+            {
                 eprintln!("cannot write {path}: {e}");
                 return 1;
             }

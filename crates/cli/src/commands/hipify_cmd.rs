@@ -29,7 +29,11 @@ pub fn run(argv: &[String]) -> i32 {
     );
     match args.get("--out") {
         Some(dest) => {
-            if let Err(e) = std::fs::write(dest, out.source) {
+            // atomic: a crash mid-write never leaves a torn output file
+            if let Err(e) = difftest::checkpoint::atomic_write(
+                std::path::Path::new(dest),
+                out.source.as_bytes(),
+            ) {
                 eprintln!("cannot write {dest}: {e}");
                 return 1;
             }

@@ -6,7 +6,9 @@
 //!   discrepancy lines — so output can be piped or redirected cleanly;
 //! * stderr carries status, progress, and diagnostics;
 //! * exit 0 = success, 1 = runtime failure (I/O, incomplete metadata,
-//!   nothing found), 2 = usage error (unknown flag, malformed value).
+//!   nothing found), 2 = usage error (unknown flag, malformed value),
+//!   3 = `campaign` fault-limit circuit breaker tripped, 130 =
+//!   `campaign` interrupted gracefully (checkpoint flushed, resumable).
 
 pub mod analyze;
 pub mod campaign;
@@ -18,6 +20,7 @@ pub mod inputs;
 pub mod isolate;
 pub mod oracle_cmd;
 pub mod reduce;
+pub mod replay;
 
 use crate::args::Args;
 

@@ -86,10 +86,7 @@ pub fn run(argv: &[String]) -> i32 {
     }
 
     // result summary on stdout
-    println!(
-        "oracle: {} | budget {} | seed {}",
-        report.precision, report.budget, report.seed
-    );
+    println!("oracle: {} | budget {} | seed {}", report.precision, report.budget, report.seed);
     println!("programs checked: {}", report.programs_checked);
     println!(
         "checks: transval {} | metamorphic {} | roundtrip {}",
@@ -99,6 +96,9 @@ pub fn run(argv: &[String]) -> i32 {
         "verdicts: consistent {} | explained {} | skipped {}",
         report.consistent, report.explained, report.skipped
     );
+    if report.faulted > 0 {
+        println!("faulted: {} program(s) panicked (contained by isolation)", report.faulted);
+    }
     if !report.explained_by_pass.is_empty() {
         let mut parts: Vec<String> = Vec::new();
         for (pass, n) in &report.explained_by_pass {

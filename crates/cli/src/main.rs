@@ -13,6 +13,7 @@
 //! * `hipify`   — translate CUDA source text to HIP
 //! * `oracle`   — self-validate the simulated toolchains (translation
 //!   validation + metamorphic checks) over a seeded program budget
+//! * `replay`   — re-run quarantined tests from a campaign's fault log
 //!
 //! Run `varity-gpu help` for per-command usage.
 
@@ -32,6 +33,7 @@ fn main() {
         Some("isolate") => commands::isolate::run(&argv[1..]),
         Some("hipify") => commands::hipify_cmd::run(&argv[1..]),
         Some("oracle") => commands::oracle_cmd::run(&argv[1..]),
+        Some("replay") => commands::replay::run(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
             0
@@ -64,6 +66,12 @@ COMMANDS:
              [--metrics FILE]  stream a JSONL telemetry log
              [--progress]      live stderr progress (throughput, ETA,
                                discrepancies so far)
+             [--checkpoint DIR] journal completed work (crash-safe)
+             [--resume DIR]     replay the journal, run only what's left
+             [--fuel N]         per-execution instruction budget
+             [--timeout-ms N]   per-execution wall-clock budget
+             [--max-faults N]   abort once more than N tests fault
+             [--quarantine FILE] save the fault log for `replay`
   analyze    merge metadata files and print the paper-style tables
              FILE [FILE2] [--profile]
              --profile adds the telemetry profile and the discrepancies-
@@ -80,14 +88,18 @@ COMMANDS:
              metamorphic transforms, emit/parse round trips
              [--fp32] [--budget N] [--seed S] [--inputs K]
              [--findings FILE]  stream shrunk violations as JSONL
+  replay     re-run quarantined tests from a campaign's fault log
+             FILE [--index N]
   help       this message
 
 STREAMS: results (source, tables, discrepancy lines) go to stdout;
 status, progress, and diagnostics go to stderr.
 
 EXIT CODES:
-  0  success (for `diff`, success means a discrepancy was found)
-  1  runtime failure (I/O error, incomplete metadata, nothing found;
-     for `oracle`, any confirmed violation)
-  2  usage error (unknown flag or subcommand, malformed value)
+  0    success (for `diff`, success means a discrepancy was found)
+  1    runtime failure (I/O error, incomplete metadata, nothing found;
+       for `oracle`, any confirmed violation)
+  2    usage error (unknown flag or subcommand, malformed value)
+  3    campaign fault limit exceeded (--max-faults circuit breaker)
+  130  campaign interrupted; checkpoint flushed and resumable
 ";

@@ -18,9 +18,12 @@ fn help_lists_all_subcommands() {
     let text = stdout(&out);
     for cmd in [
         "generate", "inputs", "diff", "campaign", "analyze", "failures", "reduce", "isolate",
-        "hipify", "oracle",
+        "hipify", "oracle", "replay",
     ] {
         assert!(text.contains(cmd), "help missing `{cmd}`:\n{text}");
+    }
+    for flag in ["--checkpoint", "--resume", "--fuel", "--max-faults", "--quarantine"] {
+        assert!(text.contains(flag), "help missing `{flag}`:\n{text}");
     }
 }
 
@@ -221,9 +224,8 @@ fn oracle_findings_jsonl_brackets_the_run() {
     std::fs::create_dir_all(&dir).unwrap();
     let f = dir.join("findings.jsonl");
     let fs = f.to_str().unwrap();
-    let out = varity(&[
-        "oracle", "--budget", "5", "--seed", "2024", "--inputs", "2", "--findings", fs,
-    ]);
+    let out =
+        varity(&["oracle", "--budget", "5", "--seed", "2024", "--inputs", "2", "--findings", fs]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stderr).contains("findings log written"));
 
@@ -274,6 +276,108 @@ fn campaign_progress_is_a_switch() {
     // next token
     let out = varity(&["campaign", "--programs", "5", "--progress"]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn campaign_checkpoint_then_resume_reproduces_the_report() {
+    let dir = std::env::temp_dir().join("varity_cli_test_checkpoint");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("ck");
+    let cks = ck.to_str().unwrap();
+
+    let first = varity(&["campaign", "--programs", "8", "--checkpoint", cks]);
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("resume with"), "resume command not printed up front:\n{stderr}");
+    assert!(ck.join("journal.bin").exists());
+    assert!(ck.join("config.json").exists());
+    assert!(ck.join("quarantine.jsonl").exists(), "quarantine log (header) always written");
+
+    // resuming a finished campaign replays every unit and re-runs none,
+    // producing the identical report
+    let second = varity(&["campaign", "--resume", cks]);
+    assert!(second.status.success(), "{}", String::from_utf8_lossy(&second.stderr));
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("resumed 80 completed units"), "{stderr}"); // 8 × 5 levels × 2 sides
+    assert_eq!(stdout(&first), stdout(&second), "resume must reproduce the report");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_fuel_faults_are_quarantined_and_replayable() {
+    let dir = std::env::temp_dir().join("varity_cli_test_faults");
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.jsonl");
+    let qs = q.to_str().unwrap();
+
+    // a 1-instruction fuel budget exhausts every test: the campaign must
+    // still complete (exit 0) with every unit quarantined
+    let out = varity(&[
+        "campaign",
+        "--programs",
+        "3",
+        "--inputs",
+        "2",
+        "--fuel",
+        "1",
+        "--quarantine",
+        qs,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined"), "{stderr}");
+
+    let text = std::fs::read_to_string(&q).unwrap();
+    let mut lines = text.lines();
+    let header: serde_json::Value = serde_json::from_str(lines.next().unwrap()).unwrap();
+    assert!(header.get("config").is_some(), "line 1 must be the config header");
+    let faults: Vec<serde_json::Value> = lines.map(|l| serde_json::from_str(l).unwrap()).collect();
+    assert_eq!(faults.len(), 3 * 5 * 2, "one fault per (test, side) unit");
+    assert!(faults.iter().all(|f| f["kind"] == "StepBudget"), "{faults:?}");
+
+    // every quarantined fault replays and reproduces
+    let out = varity(&["replay", qs]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("fault reproduced: yes"), "{text}");
+    assert!(!text.contains("fault reproduced: no"), "{text}");
+
+    // --index filters to one test's faults
+    let out = varity(&["replay", qs, "--index", "1"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("replay index 1"), "{}", stdout(&out));
+
+    std::fs::remove_file(&q).ok();
+}
+
+#[test]
+fn campaign_max_faults_circuit_breaker_exits_3() {
+    let out = varity(&["campaign", "--programs", "3", "--fuel", "1", "--max-faults", "0"]);
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fault limit"));
+}
+
+#[test]
+fn campaign_checkpoint_and_resume_are_mutually_exclusive() {
+    let out = varity(&["campaign", "--checkpoint", "a", "--resume", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn replay_usage_and_missing_file_errors() {
+    let out = varity(&["replay"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = varity(&["replay", "/nonexistent/quarantine.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn resume_of_missing_checkpoint_exits_1() {
+    let out = varity(&["campaign", "--resume", "/nonexistent/checkpoint-dir"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot resume"));
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use crate::metadata::{side_key, CampaignMeta, RunRecord};
 use crate::outcome::DiscrepancyClass;
 use fpcore::classify::Outcome;
-use gpucc::interp::ExecValue;
+use gpucc::interp::{ExecBudget, ExecValue};
 use gpucc::pipeline::{OptLevel, Toolchain};
 use gpusim::QuirkSet;
 use progen::ast::Precision;
@@ -52,6 +52,12 @@ pub struct CampaignConfig {
     pub quirks: QuirkSet,
     /// Optimization levels to test.
     pub levels: Vec<OptLevel>,
+    /// Per-execution fuel budget (instruction cap + optional wall-clock
+    /// deadline). Defaults to the interpreter's historical step limit,
+    /// so configs serialized before budgets existed load — and replay —
+    /// identically.
+    #[serde(default)]
+    pub budget: ExecBudget,
 }
 
 impl CampaignConfig {
@@ -72,12 +78,19 @@ impl CampaignConfig {
             gen: GenConfig::varity_default(precision),
             quirks: QuirkSet::all(),
             levels: OptLevel::ALL.to_vec(),
+            budget: ExecBudget::default(),
         }
     }
 
     /// Scale the number of programs (for quick runs and benches).
     pub fn with_programs(mut self, n: usize) -> Self {
         self.n_programs = n;
+        self
+    }
+
+    /// Override the per-execution fuel budget.
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = budget;
         self
     }
 

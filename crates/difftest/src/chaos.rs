@@ -1,0 +1,93 @@
+//! Deliberate journal faults for the fault-tolerance self-tests.
+//!
+//! Companion to [`gpucc::chaos`] (seeded interpreter panics): this
+//! module injects faults into the *persistence* layer — transient
+//! ENOSPC-style I/O errors, torn writes, and simulated crashes at a
+//! chosen journal append — so `tests/chaos.rs` can prove the checkpoint
+//! journal's retry, truncate-and-repair, and kill/resume behaviour
+//! in-process.
+//!
+//! Same two safety layers as `gpucc::inject` / `gpucc::chaos`: the
+//! module only exists under the `chaos` cargo feature, and every
+//! injection is disarmed by default and must be armed at runtime. Tests
+//! that arm injection must serialize themselves (the switches are
+//! globals) and disarm in all exit paths.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// What the next armed journal write should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFault {
+    /// Fail before writing anything (clean transient error).
+    IoError,
+    /// Write half the frame, then fail (partial write the retry path
+    /// must truncate away).
+    PartialThenError,
+    /// Write the full frame, then panic (simulated crash between
+    /// appends: the journal is intact up to and including this record).
+    Crash,
+    /// Write half the frame, then panic (simulated crash mid-append:
+    /// the journal ends in a torn record replay must drop).
+    CrashTorn,
+}
+
+static IO_ERRORS: AtomicU64 = AtomicU64::new(0);
+static PARTIAL_ERRORS: AtomicU64 = AtomicU64::new(0);
+static CRASH_COUNTDOWN: AtomicU64 = AtomicU64::new(0);
+static CRASH_TORN: AtomicBool = AtomicBool::new(false);
+
+/// Arm `n` clean transient I/O errors: the next `n` journal write
+/// attempts fail before writing, then writes succeed again.
+pub fn arm_io_errors(n: u64) {
+    IO_ERRORS.store(n, Ordering::SeqCst);
+}
+
+/// Arm `n` torn transient I/O errors: the next `n` journal write
+/// attempts write half a frame and then fail.
+pub fn arm_partial_errors(n: u64) {
+    PARTIAL_ERRORS.store(n, Ordering::SeqCst);
+}
+
+/// Arm a simulated crash on the `nth` journal append from now
+/// (1-based). `torn` crashes mid-frame; otherwise the crash lands after
+/// the frame is fully written. `n == 0` disarms.
+pub fn arm_crash_at_append(n: u64, torn: bool) {
+    CRASH_TORN.store(torn, Ordering::SeqCst);
+    CRASH_COUNTDOWN.store(n, Ordering::SeqCst);
+}
+
+/// Disarm every journal injection.
+pub fn disarm() {
+    IO_ERRORS.store(0, Ordering::SeqCst);
+    PARTIAL_ERRORS.store(0, Ordering::SeqCst);
+    CRASH_COUNTDOWN.store(0, Ordering::SeqCst);
+    CRASH_TORN.store(false, Ordering::SeqCst);
+}
+
+/// Decrement-and-fetch for one armed counter: returns true if this call
+/// claimed one of the remaining injections.
+fn claim(counter: &AtomicU64) -> bool {
+    counter.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1)).is_ok()
+}
+
+/// Called by the journal writer before each write attempt: the fault the
+/// attempt should simulate, if any is armed.
+pub(crate) fn next_journal_fault() -> Option<JournalFault> {
+    if claim(&CRASH_COUNTDOWN) {
+        if CRASH_COUNTDOWN.load(Ordering::SeqCst) == 0 {
+            return Some(if CRASH_TORN.load(Ordering::SeqCst) {
+                JournalFault::CrashTorn
+            } else {
+                JournalFault::Crash
+            });
+        }
+        return None;
+    }
+    if claim(&IO_ERRORS) {
+        return Some(JournalFault::IoError);
+    }
+    if claim(&PARTIAL_ERRORS) {
+        return Some(JournalFault::PartialThenError);
+    }
+    None
+}

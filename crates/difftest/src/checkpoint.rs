@@ -1,0 +1,703 @@
+//! Crash-safe campaign persistence and the fault-tolerant runner.
+//!
+//! A campaign at paper scale (Tables IV–X: tens of thousands of runs) is
+//! a long-lived batch job. This module makes it killable at any instant:
+//!
+//! * [`atomic_write`] — temp file + fsync + rename in the destination
+//!   directory, so a reader never observes a half-written file.
+//! * [`Journal`] — an append-only checkpoint journal of CRC-framed
+//!   [`UnitRecord`]s, one per completed (test, toolchain, level) work
+//!   unit. Appends are write-through (no user-space buffering), so a
+//!   `SIGKILL` between any two syscalls loses at most the record being
+//!   written — and the CRC framing drops that torn tail on replay
+//!   instead of failing.
+//! * [`FtSession`] + [`run_side_ft`] — the fault-tolerant runner:
+//!   skips journal-replayed units, isolates each unit with
+//!   [`crate::fault::catch_isolated`], captures the unit's exact metric
+//!   deltas (so a resumed campaign's telemetry matches an uninterrupted
+//!   run), enforces a `--max-faults` circuit breaker, and honours the
+//!   cooperative shutdown flag between units.
+//!
+//! Work units are keyed by `(test index, side key)`, and campaigns are
+//! deterministic in their config, so replay + re-run of the remaining
+//! units reproduces the uninterrupted campaign byte-for-byte — the
+//! resume-equivalence property `tests/chaos.rs` proves under injected
+//! crashes.
+
+use crate::campaign::CampaignConfig;
+use crate::fault::{self, TestFault};
+use crate::metadata::{side_key, CampaignMeta, MetaError, RunRecord};
+use gpucc::pipeline::{OptLevel, Toolchain};
+use gpusim::{Device, DeviceKind};
+use parking_lot::Mutex;
+use progen::gen::generate_program;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Journal file magic: identifies the format and its framing version.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"VGJRNL01";
+
+/// Bounded retry count for one journal append (covers transient
+/// ENOSPC-style failures; each retry truncates any partial write first).
+const MAX_APPEND_ATTEMPTS: u32 = 4;
+
+/// Base backoff between append retries (multiplied by the attempt number).
+const APPEND_BACKOFF_MS: u64 = 5;
+
+/// IEEE CRC-32 lookup table (polynomial 0xEDB88320), built at compile
+/// time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes` (the checksum framing every journal record).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically: a uniquely named temp file in the
+/// destination directory, `fsync`, then `rename` over the target (and a
+/// best-effort directory fsync so the rename itself is durable). A
+/// reader — or a crash at any instant — sees either the old file or the
+/// complete new one, never a torn mix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    let tmp = dir.join(format!(
+        ".{name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// One completed work unit: every input of one test, run on one
+/// `(toolchain, level)` side. The journal's unit of progress — and of
+/// loss: a crash forfeits at most the unit being written.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitRecord {
+    /// Generation index of the test.
+    pub index: u64,
+    /// The `"{toolchain}:{level}"` side key this unit ran.
+    pub side: String,
+    /// Results, one per input (error records for contained faults).
+    pub records: Vec<RunRecord>,
+    /// Faults contained while running this unit (quarantine source).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faults: Vec<TestFault>,
+    /// Exact telemetry deltas this unit produced, captured via
+    /// `obs::with_capture`. Replaying them on resume makes a resumed
+    /// campaign's metric totals match an uninterrupted run.
+    #[serde(default, skip_serializing_if = "obs::MetricsSnapshot::is_empty")]
+    pub metrics: obs::MetricsSnapshot,
+}
+
+struct JournalInner {
+    file: File,
+    offset: u64,
+}
+
+/// Append-only, CRC-framed checkpoint journal.
+///
+/// Layout: an 8-byte magic, then frames of
+/// `[payload_len: u32 LE][crc32(payload): u32 LE][payload JSON]`.
+/// Appends go straight to the OS (no `BufWriter`), so they survive a
+/// process kill at any instant; a machine-level crash can lose or tear
+/// only the final frame, which replay detects by CRC and drops.
+pub struct Journal {
+    path: PathBuf,
+    inner: Mutex<JournalInner>,
+}
+
+impl Journal {
+    /// Create (or truncate) a journal at `path`.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            inner: Mutex::new(JournalInner { file, offset: JOURNAL_MAGIC.len() as u64 }),
+        })
+    }
+
+    /// Open an existing journal, replaying its valid prefix. The torn or
+    /// corrupt tail (if any) is physically truncated away so subsequent
+    /// appends extend a clean file. Returns the journal positioned for
+    /// appending plus the replayed records.
+    pub fn open_for_resume(path: &Path) -> io::Result<(Journal, Vec<UnitRecord>)> {
+        let bytes = std::fs::read(path)?;
+        let (units, valid_end) = parse_journal(&bytes)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_end)?;
+        file.seek(SeekFrom::Start(valid_end))?;
+        let journal = Journal {
+            path: path.to_path_buf(),
+            inner: Mutex::new(JournalInner { file, offset: valid_end }),
+        };
+        Ok((journal, units))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one unit record, with bounded retry + backoff on I/O
+    /// errors. Each failed attempt truncates back to the frame start, so
+    /// a partial write from a transient error (ENOSPC and friends) never
+    /// corrupts the journal.
+    pub fn append(&self, unit: &UnitRecord) -> io::Result<()> {
+        let payload =
+            serde_json::to_vec(unit).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let mut inner = self.inner.lock();
+        let start = inner.offset;
+        let mut attempt = 0u32;
+        loop {
+            match write_frame(&mut inner, &frame) {
+                Ok(()) => {
+                    inner.offset = start + frame.len() as u64;
+                    obs::add("checkpoint.appends", 1);
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempt += 1;
+                    obs::add("checkpoint.append_retries", 1);
+                    let _ = inner.file.set_len(start);
+                    let _ = inner.file.seek(SeekFrom::Start(start));
+                    if attempt >= MAX_APPEND_ATTEMPTS {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(
+                        u64::from(attempt) * APPEND_BACKOFF_MS,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Flush journal contents to stable storage (graceful shutdown and
+    /// side completion; individual appends rely on write-through).
+    pub fn sync(&self) -> io::Result<()> {
+        self.inner.lock().file.sync_data()
+    }
+}
+
+fn write_frame(inner: &mut JournalInner, frame: &[u8]) -> io::Result<()> {
+    #[cfg(feature = "chaos")]
+    match crate::chaos::next_journal_fault() {
+        Some(crate::chaos::JournalFault::IoError) => {
+            return Err(io::Error::other("chaos: injected ENOSPC"));
+        }
+        Some(crate::chaos::JournalFault::PartialThenError) => {
+            inner.file.write_all(&frame[..frame.len() / 2])?;
+            return Err(io::Error::other("chaos: injected torn write"));
+        }
+        Some(crate::chaos::JournalFault::Crash) => {
+            inner.file.write_all(frame)?;
+            panic!("chaos: simulated crash after journal append");
+        }
+        Some(crate::chaos::JournalFault::CrashTorn) => {
+            inner.file.write_all(&frame[..frame.len() / 2])?;
+            panic!("chaos: simulated crash mid-append");
+        }
+        None => {}
+    }
+    inner.file.write_all(frame)
+}
+
+/// Parse a journal byte image into its valid record prefix. Returns the
+/// records plus the byte offset where the valid prefix ends. A short,
+/// torn, CRC-mismatched, or unparsable tail stops the scan (those units
+/// simply re-run); a missing or wrong magic is a real error.
+fn parse_journal(bytes: &[u8]) -> io::Result<(Vec<UnitRecord>, u64)> {
+    if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint journal"));
+    }
+    let mut units = Vec::new();
+    let mut pos = JOURNAL_MAGIC.len();
+    loop {
+        if pos + 8 > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else { break };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(unit) = serde_json::from_slice::<UnitRecord>(payload) else { break };
+        units.push(unit);
+        pos += 8 + len;
+    }
+    Ok((units, pos as u64))
+}
+
+/// A checkpoint directory: the campaign config (written atomically at
+/// creation) plus the journal. `quarantine.jsonl` is derived data the
+/// CLI writes next to them when the campaign finishes or stops.
+pub struct Checkpoint {
+    dir: PathBuf,
+    journal: Journal,
+}
+
+impl Checkpoint {
+    /// Path of the config file inside a checkpoint directory.
+    pub fn config_path(dir: &Path) -> PathBuf {
+        dir.join("config.json")
+    }
+
+    /// Path of the journal inside a checkpoint directory.
+    pub fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("journal.bin")
+    }
+
+    /// Path of the quarantine log inside a checkpoint directory.
+    pub fn quarantine_path(dir: &Path) -> PathBuf {
+        dir.join("quarantine.jsonl")
+    }
+
+    /// Start a fresh checkpoint: create the directory, persist the
+    /// config atomically, and truncate the journal.
+    pub fn create(dir: &Path, config: &CampaignConfig) -> Result<Checkpoint, MetaError> {
+        std::fs::create_dir_all(dir).map_err(meta_io)?;
+        let json = serde_json::to_vec_pretty(config).map_err(meta_io)?;
+        atomic_write(&Self::config_path(dir), &json).map_err(meta_io)?;
+        let journal = Journal::create(&Self::journal_path(dir)).map_err(meta_io)?;
+        Ok(Checkpoint { dir: dir.to_path_buf(), journal })
+    }
+
+    /// Reopen a checkpoint directory: load the config and replay the
+    /// journal's valid prefix.
+    pub fn resume(dir: &Path) -> Result<(Checkpoint, CampaignConfig, Vec<UnitRecord>), MetaError> {
+        let json = std::fs::read_to_string(Self::config_path(dir)).map_err(meta_io)?;
+        let config: CampaignConfig = serde_json::from_str(&json).map_err(meta_io)?;
+        let (journal, units) =
+            Journal::open_for_resume(&Self::journal_path(dir)).map_err(meta_io)?;
+        Ok((Checkpoint { dir: dir.to_path_buf(), journal }, config, units))
+    }
+
+    /// The checkpoint's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The checkpoint's journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Take ownership of the journal (to hand to an [`FtSession`]).
+    pub fn into_journal(self) -> Journal {
+        self.journal
+    }
+}
+
+fn meta_io(e: impl std::fmt::Display) -> MetaError {
+    MetaError::Io(e.to_string())
+}
+
+/// How a fault-tolerant run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtStatus {
+    /// Every unit ran (possibly with quarantined faults).
+    Complete,
+    /// The `--max-faults` circuit breaker tripped; remaining units were
+    /// skipped.
+    FaultLimit,
+    /// A graceful shutdown was requested; completed units are
+    /// checkpointed and the campaign can be resumed.
+    Interrupted,
+    /// The journal hit an unrecoverable I/O error (after bounded
+    /// retries).
+    IoError(String),
+}
+
+/// Shared state of one fault-tolerant campaign run (both sides): the
+/// optional journal, the set of units already replayed from it, the
+/// fault ledger, and the circuit breaker.
+pub struct FtSession {
+    journal: Option<Journal>,
+    skip: HashSet<(u64, String)>,
+    max_faults: Option<u64>,
+    heed_shutdown: bool,
+    faults: Mutex<Vec<TestFault>>,
+    tripped: AtomicBool,
+    io_error: Mutex<Option<String>>,
+}
+
+impl FtSession {
+    /// A session with a journal (checkpointing) and/or a fault cap.
+    /// `max_faults` is the number of faults *tolerated*: `Some(0)` trips
+    /// the breaker on the first fault. Sessions built this way honour
+    /// the process-global shutdown flag between units.
+    pub fn new(journal: Option<Journal>, max_faults: Option<u64>) -> FtSession {
+        FtSession {
+            journal,
+            skip: HashSet::new(),
+            max_faults,
+            heed_shutdown: true,
+            faults: Mutex::new(Vec::new()),
+            tripped: AtomicBool::new(false),
+            io_error: Mutex::new(None),
+        }
+    }
+
+    /// A plain session: no journal, no skip set, no fault cap, and deaf
+    /// to the global shutdown flag (so concurrent library users can't
+    /// interrupt each other). This is what `CampaignMeta::run_side`
+    /// uses — isolation and quarantine accounting always on,
+    /// persistence opt-in.
+    pub fn plain() -> FtSession {
+        FtSession { heed_shutdown: false, ..FtSession::new(None, None) }
+    }
+
+    /// Apply journal-replayed units to the regenerated campaign: store
+    /// their results, mark them skipped, adopt their faults, and fold
+    /// their telemetry into the global metrics (when telemetry is on).
+    /// Duplicate `(index, side)` units — possible when a dropped tail
+    /// was re-run before a second crash — are applied once.
+    pub fn apply_replay(&mut self, meta: &mut CampaignMeta, units: Vec<UnitRecord>) {
+        for unit in units {
+            if !self.skip.insert((unit.index, unit.side.clone())) {
+                continue;
+            }
+            let test = match meta.tests.get_mut(unit.index as usize) {
+                Some(t) if t.index == unit.index => Some(t),
+                _ => meta.tests.iter_mut().find(|t| t.index == unit.index),
+            };
+            let Some(test) = test else { continue };
+            test.results.insert(unit.side, unit.records);
+            self.faults.lock().extend(unit.faults);
+            if obs::enabled() && !unit.metrics.is_empty() {
+                obs::global().merge_snapshot(&unit.metrics);
+            }
+        }
+    }
+
+    /// Number of units already replayed from the journal.
+    pub fn replayed(&self) -> usize {
+        self.skip.len()
+    }
+
+    /// All faults seen so far (replayed + contained this run).
+    pub fn faults(&self) -> Vec<TestFault> {
+        self.faults.lock().clone()
+    }
+
+    /// Whether the fault circuit breaker tripped.
+    pub fn fault_limit_hit(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+
+    /// How this session would report its run so far.
+    pub fn status(&self) -> FtStatus {
+        if let Some(e) = self.io_error.lock().clone() {
+            return FtStatus::IoError(e);
+        }
+        if self.fault_limit_hit() {
+            return FtStatus::FaultLimit;
+        }
+        if self.heed_shutdown && fault::shutdown_requested() {
+            return FtStatus::Interrupted;
+        }
+        FtStatus::Complete
+    }
+
+    /// The session's journal, if checkpointing.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    fn stopped(&self) -> bool {
+        self.fault_limit_hit() || self.io_error.lock().is_some()
+    }
+
+    fn register_fault(&self, fault: TestFault) {
+        let count = {
+            let mut v = self.faults.lock();
+            v.push(fault);
+            v.len() as u64
+        };
+        if let Some(max) = self.max_faults {
+            if count > max && !self.tripped.swap(true, Ordering::SeqCst) {
+                obs::add("campaign.fault_limit_tripped", 1);
+            }
+        }
+    }
+
+    fn record_io_error(&self, e: &io::Error) {
+        let mut slot = self.io_error.lock();
+        if slot.is_none() {
+            *slot = Some(e.to_string());
+        }
+    }
+}
+
+/// Execute one side of a campaign fault-tolerantly: per-unit isolation
+/// and quarantine, journal checkpointing, metric capture, circuit
+/// breaker, and cooperative shutdown. Units already in the session's
+/// skip set (journal replay) are not re-run — and because campaigns are
+/// deterministic in their config, the final metadata is identical to an
+/// uninterrupted run's.
+pub fn run_side_ft(meta: &mut CampaignMeta, toolchain: Toolchain, session: &FtSession) -> FtStatus {
+    let _span = obs::span(format!("campaign.run.{}", toolchain.name()));
+    let config = meta.config.clone();
+    let device = Device::with_quirks(
+        match toolchain {
+            Toolchain::Nvcc => DeviceKind::NvidiaLike,
+            Toolchain::Hipcc => DeviceKind::AmdLike,
+        },
+        config.quirks,
+    );
+    let halted = || session.stopped() || (session.heed_shutdown && fault::shutdown_requested());
+    meta.tests.par_iter_mut().for_each(|test| {
+        if halted() {
+            return;
+        }
+        let needed: Vec<OptLevel> = config
+            .levels
+            .iter()
+            .copied()
+            .filter(|l| !session.skip.contains(&(test.index, side_key(toolchain, *l))))
+            .collect();
+        if needed.is_empty() {
+            return;
+        }
+        // Capture the regeneration delta too and ride it on the side's
+        // first journaled unit: a resume that replays the whole side
+        // never regenerates, yet its metric totals must still match an
+        // uninterrupted run's. (A partially replayed side regenerates —
+        // genuinely re-done work, counted again.)
+        let (program, gen_delta) =
+            obs::with_capture(|| generate_program(&config.gen, config.seed, test.index));
+        let mut gen_delta = Some(gen_delta);
+        for level in needed {
+            if halted() {
+                return;
+            }
+            let ((records, fault_rec), mut unit_metrics) = obs::with_capture(|| {
+                crate::metadata::run_unit(&config, &device, toolchain, level, test, &program)
+            });
+            if let Some(g) = gen_delta.take() {
+                unit_metrics.merge(&g);
+            }
+            let key = side_key(toolchain, level);
+            let unit = UnitRecord {
+                index: test.index,
+                side: key.clone(),
+                records,
+                faults: fault_rec.clone().into_iter().collect(),
+                metrics: unit_metrics,
+            };
+            if let Some(journal) = &session.journal {
+                if let Err(e) = journal.append(&unit) {
+                    session.record_io_error(&e);
+                    return;
+                }
+            }
+            test.results.insert(key, unit.records);
+            if let Some(f) = fault_rec {
+                session.register_fault(f);
+            }
+        }
+    });
+    let status = session.status();
+    if status == FtStatus::Complete {
+        let name = toolchain.name().to_string();
+        if !meta.sides_run.contains(&name) {
+            meta.sides_run.push(name);
+        }
+        if let Some(journal) = &session.journal {
+            let _ = journal.sync();
+        }
+    }
+    status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = std::env::temp_dir().join("difftest_atomic_write_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        // no temp files left behind
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn unit(index: u64, side: &str) -> UnitRecord {
+        UnitRecord {
+            index,
+            side: side.to_string(),
+            records: vec![RunRecord {
+                bits: index ^ 0xDEAD,
+                outcome: fpcore::classify::Outcome::Num,
+                printed: format!("v{index}"),
+                exceptions: fpcore::exceptions::ExceptionFlags::new(),
+                error: None,
+            }],
+            faults: Vec::new(),
+            metrics: obs::MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_records() {
+        let dir = std::env::temp_dir().join("difftest_journal_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.bin");
+        let j = Journal::create(&path).unwrap();
+        for i in 0..5 {
+            j.append(&unit(i, "nvcc:O0")).unwrap();
+        }
+        drop(j);
+        let (_j, units) = Journal::open_for_resume(&path).unwrap();
+        assert_eq!(units.len(), 5);
+        assert_eq!(units[3], unit(3, "nvcc:O0"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_drops_torn_tail_and_appends_cleanly_after() {
+        let dir = std::env::temp_dir().join("difftest_journal_torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.bin");
+        let j = Journal::create(&path).unwrap();
+        j.append(&unit(0, "nvcc:O0")).unwrap();
+        j.append(&unit(1, "nvcc:O0")).unwrap();
+        drop(j);
+        // tear the file mid-way through the second record
+        let full = std::fs::read(&path).unwrap();
+        let torn_len = full.len() - 7;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(torn_len as u64).unwrap();
+        drop(f);
+        let (j, units) = Journal::open_for_resume(&path).unwrap();
+        assert_eq!(units.len(), 1, "torn tail record must be dropped, not fatal");
+        assert_eq!(units[0].index, 0);
+        // the torn bytes were truncated away; appending resumes cleanly
+        j.append(&unit(1, "nvcc:O0")).unwrap();
+        j.append(&unit(2, "nvcc:O0")).unwrap();
+        drop(j);
+        let (_j, units) = Journal::open_for_resume(&path).unwrap();
+        assert_eq!(units.iter().map(|u| u.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_rejects_corrupt_crc_tail_but_keeps_prefix() {
+        let dir = std::env::temp_dir().join("difftest_journal_crc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.bin");
+        let j = Journal::create(&path).unwrap();
+        j.append(&unit(0, "hipcc:O3")).unwrap();
+        j.append(&unit(1, "hipcc:O3")).unwrap();
+        drop(j);
+        // flip one byte in the last record's payload
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_j, units) = Journal::open_for_resume(&path).unwrap();
+        assert_eq!(units.len(), 1, "CRC-mismatched tail must be dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("difftest_journal_magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.bin");
+        std::fs::write(&path, b"garbage-not-a-journal").unwrap();
+        assert!(Journal::open_for_resume(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_dir_create_resume_roundtrip() {
+        use progen::ast::Precision;
+        let config = CampaignConfig::default_for(Precision::F64, crate::campaign::TestMode::Direct)
+            .with_programs(2);
+        let dir = std::env::temp_dir().join("difftest_checkpoint_dir_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ckpt = Checkpoint::create(&dir, &config).unwrap();
+        ckpt.journal().append(&unit(0, "nvcc:O0")).unwrap();
+        drop(ckpt);
+        let (_ckpt, back, units) = Checkpoint::resume(&dir).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(units.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,14 +20,23 @@
 //! 9. attribute discrepancies to the fast-math passes that rewrote the
 //!    offending kernels ([`attribution`]), and carry campaign telemetry
 //!    (spans, counters, throughput) through the metadata protocol
-//!    ([`obs`]).
+//!    ([`obs`]);
+//! 10. survive their own failures: per-test isolation and quarantine
+//!     ([`fault`]), crash-safe checkpoint/resume via an append-only
+//!     CRC-framed journal ([`checkpoint`]), and — under the test-only
+//!     `chaos` feature — injected crashes, torn writes, and I/O errors
+//!     that prove the recovery paths ([`chaos`]).
 
 #![deny(missing_docs)]
 
 pub mod attribution;
 pub mod campaign;
+#[cfg(feature = "chaos")]
+pub mod chaos;
+pub mod checkpoint;
 pub mod compare;
 pub mod cross;
+pub mod fault;
 pub mod isolate;
 pub mod metadata;
 pub mod outcome;
@@ -36,5 +45,7 @@ pub mod report;
 pub mod stats;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, TestMode};
+pub use checkpoint::{atomic_write, Checkpoint, FtSession, FtStatus, Journal};
 pub use compare::compare_runs;
+pub use fault::{FaultKind, TestFault};
 pub use outcome::DiscrepancyClass;

@@ -10,11 +10,12 @@
 
 use crate::campaign::CampaignConfig;
 use crate::campaign::TestMode;
+use crate::fault::{FaultKind, TestFault};
 use fpcore::classify::Outcome;
-use gpucc::interp::{execute_prepared, prepare, ExecValue};
+use gpucc::interp::{execute_prepared_budgeted, prepare, ExecBudget, ExecError, ExecValue};
 use gpucc::pipeline::{compile_with_stats, CompileStats, OptLevel, Toolchain};
 use gpucc::KernelIr;
-use gpusim::{Device, DeviceKind};
+use gpusim::Device;
 use hipify::hipify;
 use progen::ast::Program;
 use progen::emit::{emit, Dialect};
@@ -122,58 +123,15 @@ impl CampaignMeta {
     /// Execute one side of the campaign (all levels, all tests, all
     /// inputs) and store the results. This is what runs on each cluster in
     /// the Fig. 3 protocol.
+    ///
+    /// Runs through the fault-tolerant runner with a plain session
+    /// (isolation on, no journal, no fault cap): a panicking or
+    /// budget-exhausted test becomes error records instead of aborting
+    /// the campaign. Callers that want checkpointing or a circuit
+    /// breaker use [`crate::checkpoint::run_side_ft`] directly.
     pub fn run_side(&mut self, toolchain: Toolchain) {
-        let _span = obs::span(format!("campaign.run.{}", toolchain.name()));
-        let config = self.config.clone();
-        let device = Device::with_quirks(
-            match toolchain {
-                Toolchain::Nvcc => DeviceKind::NvidiaLike,
-                Toolchain::Hipcc => DeviceKind::AmdLike,
-            },
-            config.quirks,
-        );
-        let other_tc = match toolchain {
-            Toolchain::Nvcc => Toolchain::Hipcc,
-            Toolchain::Hipcc => Toolchain::Nvcc,
-        };
-        self.tests.par_iter_mut().for_each(|test| {
-            let program = generate_program(&config.gen, config.seed, test.index);
-            for level in &config.levels {
-                let ir = build_side(&program, toolchain, *level, config.mode);
-                let kernel = prepare(&ir).expect("generated kernels resolve");
-                let records: Vec<RunRecord> =
-                    test.inputs.iter().map(|input| run_one(&kernel, &device, input)).collect();
-                if obs::enabled() {
-                    obs::add("campaign.runs_done", records.len() as u64);
-                    // live discrepancy tally: when the other side already
-                    // ran, compare as results land so progress displays can
-                    // report discrepancies-so-far without waiting for the
-                    // analyze phase
-                    if let Some(prev) = test.results.get(&side_key(other_tc, *level)) {
-                        for (mine, theirs) in records.iter().zip(prev) {
-                            if mine.error.is_some() || theirs.error.is_some() {
-                                continue;
-                            }
-                            let (nv, amd) = match toolchain {
-                                Toolchain::Nvcc => (mine.bits, theirs.bits),
-                                Toolchain::Hipcc => (theirs.bits, mine.bits),
-                            };
-                            let vn = crate::campaign::decode(config.precision, nv);
-                            let va = crate::campaign::decode(config.precision, amd);
-                            if let Some(d) = crate::compare::compare_runs(&vn, &va) {
-                                obs::add("campaign.discrepancies", 1);
-                                obs::add(&format!("campaign.disc.{:?}", d.class), 1);
-                            }
-                        }
-                    }
-                }
-                test.results.insert(side_key(toolchain, *level), records);
-            }
-        });
-        let name = toolchain.name().to_string();
-        if !self.sides_run.contains(&name) {
-            self.sides_run.push(name);
-        }
+        let session = crate::checkpoint::FtSession::plain();
+        let _ = crate::checkpoint::run_side_ft(self, toolchain, &session);
     }
 
     /// True once both compilers' results are present.
@@ -259,10 +217,12 @@ impl CampaignMeta {
         Ok(first)
     }
 
-    /// Save as JSON.
+    /// Save as JSON, atomically (temp file + fsync + rename in the
+    /// destination directory): a crash mid-save leaves the previous
+    /// file intact, never a torn one.
     pub fn save(&self, path: &Path) -> Result<(), MetaError> {
         let json = serde_json::to_string(self).map_err(io)?;
-        std::fs::write(path, json).map_err(io)
+        crate::checkpoint::atomic_write(path, json.as_bytes()).map_err(io)
     }
 
     /// Load from JSON.
@@ -339,23 +299,123 @@ fn run_one(
     kernel: &gpucc::interp::ExecutableKernel,
     device: &Device,
     input: &InputSet,
-) -> RunRecord {
-    match execute_prepared(kernel, device, input) {
-        Ok(result) => RunRecord {
-            bits: result.value.bits(),
-            outcome: result.value.outcome(),
-            printed: result.value.format_exact(),
-            exceptions: result.exceptions,
-            error: None,
-        },
-        Err(e) => RunRecord {
-            bits: ExecValue::F64(f64::NAN).bits(),
-            outcome: Outcome::Nan,
-            printed: String::new(),
-            exceptions: fpcore::exceptions::ExceptionFlags::new(),
-            error: Some(e.to_string()),
-        },
+    budget: ExecBudget,
+) -> (RunRecord, Option<ExecError>) {
+    match execute_prepared_budgeted(kernel, device, input, budget) {
+        Ok(result) => (
+            RunRecord {
+                bits: result.value.bits(),
+                outcome: result.value.outcome(),
+                printed: result.value.format_exact(),
+                exceptions: result.exceptions,
+                error: None,
+            },
+            None,
+        ),
+        Err(e) => (error_record(e.to_string()), Some(e)),
     }
+}
+
+/// The placeholder record stored for a run that produced no value
+/// (execution error or contained panic).
+fn error_record(error: String) -> RunRecord {
+    RunRecord {
+        bits: ExecValue::F64(f64::NAN).bits(),
+        outcome: Outcome::Nan,
+        printed: String::new(),
+        exceptions: fpcore::exceptions::ExceptionFlags::new(),
+        error: Some(error),
+    }
+}
+
+/// Run one work unit — every input of `test` on `(toolchain, level)` —
+/// with per-unit isolation. A panic anywhere in build/prepare/execute is
+/// contained by [`crate::fault::catch_isolated`] and, like a
+/// budget-exhausted execution, classified into an optional [`TestFault`]
+/// for the quarantine log; the unit still yields one record per input
+/// (error records in the fault case) so campaign accounting stays
+/// rectangular.
+pub(crate) fn run_unit(
+    config: &CampaignConfig,
+    device: &Device,
+    toolchain: Toolchain,
+    level: OptLevel,
+    test: &TestMeta,
+    program: &Program,
+) -> (Vec<RunRecord>, Option<TestFault>) {
+    let make_fault = |kind: FaultKind, detail: String| TestFault {
+        index: test.index,
+        program_id: test.program_id.clone(),
+        seed: config.seed,
+        side: side_key(toolchain, level),
+        kind,
+        detail,
+    };
+    let caught = crate::fault::catch_isolated(|| {
+        let ir = build_side(program, toolchain, level, config.mode);
+        let kernel = prepare(&ir).expect("generated kernels resolve");
+        test.inputs
+            .iter()
+            .map(|input| run_one(&kernel, device, input, config.budget))
+            .collect::<Vec<(RunRecord, Option<ExecError>)>>()
+    });
+    let (records, fault) = match caught {
+        Ok(pairs) => {
+            let mut fault: Option<TestFault> = None;
+            let mut records = Vec::with_capacity(pairs.len());
+            for (record, err) in pairs {
+                if fault.is_none() {
+                    match &err {
+                        Some(e @ ExecError::StepLimit { .. }) => {
+                            fault = Some(make_fault(FaultKind::StepBudget, e.to_string()));
+                        }
+                        Some(e @ ExecError::Timeout { .. }) => {
+                            fault = Some(make_fault(FaultKind::Timeout, e.to_string()));
+                        }
+                        _ => {}
+                    }
+                }
+                records.push(record);
+            }
+            (records, fault)
+        }
+        Err(msg) => {
+            let records =
+                test.inputs.iter().map(|_| error_record(format!("panic: {msg}"))).collect();
+            (records, Some(make_fault(FaultKind::Panic, msg)))
+        }
+    };
+    if obs::enabled() {
+        obs::add("campaign.runs_done", records.len() as u64);
+        if let Some(f) = &fault {
+            obs::add(&format!("campaign.faults.{}", f.kind.label()), 1);
+        }
+        // live discrepancy tally: when the other side already ran,
+        // compare as results land so progress displays can report
+        // discrepancies-so-far without waiting for the analyze phase
+        let other_tc = match toolchain {
+            Toolchain::Nvcc => Toolchain::Hipcc,
+            Toolchain::Hipcc => Toolchain::Nvcc,
+        };
+        if let Some(prev) = test.results.get(&side_key(other_tc, level)) {
+            for (mine, theirs) in records.iter().zip(prev) {
+                if mine.error.is_some() || theirs.error.is_some() {
+                    continue;
+                }
+                let (nv, amd) = match toolchain {
+                    Toolchain::Nvcc => (mine.bits, theirs.bits),
+                    Toolchain::Hipcc => (theirs.bits, mine.bits),
+                };
+                let vn = crate::campaign::decode(config.precision, nv);
+                let va = crate::campaign::decode(config.precision, amd);
+                if let Some(d) = crate::compare::compare_runs(&vn, &va) {
+                    obs::add("campaign.discrepancies", 1);
+                    obs::add(&format!("campaign.disc.{:?}", d.class), 1);
+                }
+            }
+        }
+    }
+    (records, fault)
 }
 
 #[cfg(test)]

@@ -140,8 +140,30 @@ pub fn render_digest(report: &CampaignReport) -> String {
     )
 }
 
+/// Classify a stored [`RunRecord`] error string into a short category
+/// label for the failures listing: `step_budget`, `timeout`, `panic`, or
+/// the generic `error`. The prefixes match the `Display` impls of
+/// [`gpucc::interp::ExecError`] and the panic capture in [`crate::fault`].
+pub fn error_category(error: &str) -> &'static str {
+    if error.starts_with("step budget exhausted") {
+        "step_budget"
+    } else if error.starts_with("wall-clock budget exhausted") {
+        "timeout"
+    } else if error.starts_with("panic: ") {
+        "panic"
+    } else {
+        "error"
+    }
+}
+
 /// List every failing (program, level, input) triple in a completed
 /// campaign — the "small tests" inventory the paper hands to vendors.
+///
+/// Runs where one side failed to execute (fuel exhaustion, wall-clock
+/// timeout, or an isolated panic) are listed too, with the error category
+/// in place of a discrepancy class; a separate "errored runs" tail line
+/// appears only when at least one such run exists, so error-free
+/// campaigns render exactly as before.
 pub fn render_failures(meta: &crate::metadata::CampaignMeta) -> String {
     use crate::campaign::decode;
     use crate::compare::compare_runs;
@@ -150,6 +172,7 @@ pub fn render_failures(meta: &crate::metadata::CampaignMeta) -> String {
 
     let mut out = String::new();
     let mut n = 0usize;
+    let mut errored = 0usize;
     for test in &meta.tests {
         for (level, _) in meta.config.levels.iter().map(|l| (*l, ())) {
             let (Some(nv), Some(amd)) = (
@@ -160,6 +183,18 @@ pub fn render_failures(meta: &crate::metadata::CampaignMeta) -> String {
             };
             for (k, (rn, ra)) in nv.iter().zip(amd).enumerate() {
                 if rn.error.is_some() || ra.error.is_some() {
+                    errored += 1;
+                    let (side, err) = match &rn.error {
+                        Some(e) => ("nvcc", e.as_str()),
+                        None => ("hipcc", ra.error.as_deref().unwrap_or("")),
+                    };
+                    out.push_str(&format!(
+                        "{:<22} {:<6} input {:<3} [{:<10}] {side}: {err}\n",
+                        test.program_id,
+                        level.label(),
+                        k,
+                        error_category(err),
+                    ));
                     continue;
                 }
                 let vn = decode(meta.config.precision, rn.bits);
@@ -178,6 +213,9 @@ pub fn render_failures(meta: &crate::metadata::CampaignMeta) -> String {
                 }
             }
         }
+    }
+    if errored > 0 {
+        out.push_str(&format!("{errored} errored runs (excluded from comparison)\n"));
     }
     out.push_str(&format!("{n} failing runs\n"));
     out
@@ -358,6 +396,29 @@ mod tests {
         );
         // one line per failure + the summary line
         assert_eq!(listing.lines().count() as u64, expected + 1);
+    }
+
+    #[test]
+    fn failures_listing_surfaces_errored_runs_by_category() {
+        use crate::metadata::{side_key, CampaignMeta};
+        use gpucc::pipeline::{OptLevel, Toolchain};
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(5);
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        // forge one error of each kind into stored records
+        let key = side_key(Toolchain::Nvcc, OptLevel::O0);
+        let recs = meta.tests[0].results.get_mut(&key).unwrap();
+        recs[0].error = Some("step budget exhausted: 10 steps executed, budget 10".into());
+        recs[1].error = Some("wall-clock budget exhausted: 1 ms, 300 steps executed".into());
+        recs[2].error = Some("panic: chaos: injected interpreter fault".into());
+        let listing = render_failures(&meta);
+        assert!(listing.contains("step_budget"), "{listing}");
+        assert!(listing.contains("timeout"), "{listing}");
+        assert!(listing.contains("panic"), "{listing}");
+        assert!(listing.contains("3 errored runs"), "{listing}");
+        assert!(listing.lines().last().unwrap().ends_with("failing runs"));
+        assert_eq!(error_category("something else entirely"), "error");
     }
 
     #[test]

@@ -25,16 +25,12 @@ fn fp64_campaign_report_is_identical_at_one_and_many_threads() {
     let many = in_pool(8, &config);
     assert_eq!(single.per_level, many.per_level);
     // the serialized form (what `--out` writes) matches byte for byte
-    assert_eq!(
-        serde_json::to_string(&single).unwrap(),
-        serde_json::to_string(&many).unwrap()
-    );
+    assert_eq!(serde_json::to_string(&single).unwrap(), serde_json::to_string(&many).unwrap());
 }
 
 #[test]
 fn hipify_campaign_report_is_identical_at_one_and_many_threads() {
-    let config =
-        CampaignConfig::default_for(Precision::F64, TestMode::Hipified).with_programs(8);
+    let config = CampaignConfig::default_for(Precision::F64, TestMode::Hipified).with_programs(8);
     let single = in_pool(1, &config);
     let many = in_pool(4, &config);
     assert_eq!(single.per_level, many.per_level);

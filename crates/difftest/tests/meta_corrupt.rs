@@ -1,0 +1,102 @@
+//! Robustness of [`CampaignMeta::load`] against damaged inputs: corrupt,
+//! truncated, or empty metadata files must come back as `Err`, never a
+//! panic — a half-written file on disk must not take the campaign
+//! driver down with it.
+
+use difftest::campaign::{CampaignConfig, TestMode};
+use difftest::metadata::CampaignMeta;
+use progen::Precision;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Serialized bytes of a small but fully populated campaign (generation
+/// is the expensive part, so do it once).
+fn valid_json() -> &'static [u8] {
+    static CACHE: OnceLock<Vec<u8>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let config = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(2);
+        let meta = CampaignMeta::generate(&config);
+        serde_json::to_vec(&meta).expect("campaign metadata serializes")
+    })
+}
+
+static FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to a unique temp file and return its path (unique per
+/// call: these tests run in parallel threads).
+fn scratch(bytes: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "difftest_meta_corrupt_{}_{}.json",
+        std::process::id(),
+        FILE_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+fn load_bytes(bytes: &[u8]) -> Result<CampaignMeta, difftest::metadata::MetaError> {
+    let path = scratch(bytes);
+    let result = CampaignMeta::load(&path);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+#[test]
+fn the_cached_fixture_itself_loads() {
+    assert!(load_bytes(valid_json()).is_ok());
+}
+
+#[test]
+fn empty_file_is_an_error_not_a_panic() {
+    assert!(load_bytes(b"").is_err());
+}
+
+#[test]
+fn wrong_shape_json_is_an_error_not_a_panic() {
+    for bad in [&b"{}"[..], b"null", b"[]", b"42", b"\"meta\"", b"{\"config\":3}"] {
+        assert!(load_bytes(bad).is_err(), "{:?} must not load", String::from_utf8_lossy(bad));
+    }
+}
+
+#[test]
+fn missing_file_is_an_error_not_a_panic() {
+    let path = std::env::temp_dir().join("difftest_meta_corrupt_does_not_exist.json");
+    assert!(CampaignMeta::load(&path).is_err());
+}
+
+#[test]
+fn every_truncation_point_is_an_error_not_a_panic() {
+    // A crash mid-write leaves a prefix; no prefix of a valid file is
+    // itself valid JSON for the full struct (sweep in coarse steps to
+    // keep the test quick, always including the final byte boundary).
+    let full = valid_json();
+    let mut cut = 0;
+    while cut < full.len() {
+        assert!(load_bytes(&full[..cut]).is_err(), "truncation at {cut} bytes must not load");
+        cut += 97;
+    }
+    assert!(load_bytes(&full[..full.len() - 1]).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flipping any single byte of a valid file must never panic the
+    /// loader. (It may still load: a flip inside a string literal can
+    /// leave the JSON valid — the property is only "no panic".)
+    #[test]
+    fn single_byte_corruption_never_panics(pos in 0usize..4096, byte in any::<u8>()) {
+        let mut bytes = valid_json().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let _ = load_bytes(&bytes);
+    }
+
+    /// Arbitrary garbage bytes must never panic the loader.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = load_bytes(&bytes);
+    }
+}

@@ -23,10 +23,50 @@ use gpusim::mathlib::MathFunc;
 use gpusim::Device;
 use progen::ast::{BinOp, CmpOp, Precision};
 use progen::inputs::{InputSet, InputValue, ARRAY_LEN};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
-/// Hard cap on executed instructions (guards hand-written programs; the
-/// generated kernels execute a few hundred).
+/// Default cap on executed instructions (guards hand-written programs;
+/// the generated kernels execute a few hundred). Campaigns may override
+/// it per run via [`ExecBudget`].
 pub const STEP_LIMIT: u64 = 10_000_000;
+
+/// How often (in executed instructions) the interpreter polls the
+/// wall-clock deadline. Chosen so the `Instant::now` cost disappears
+/// into the per-instruction work.
+const DEADLINE_POLL_MASK: u64 = 0xFF;
+
+/// Per-execution fuel budget: a hard instruction cap plus an optional
+/// wall-clock deadline. The default reproduces the historical
+/// [`STEP_LIMIT`]-only behaviour, so configs serialized before budgets
+/// existed load (and behave) identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecBudget {
+    /// Maximum instructions one execution may retire.
+    #[serde(default = "default_max_steps")]
+    pub max_steps: u64,
+    /// Optional wall-clock cap in milliseconds (polled every few hundred
+    /// instructions, so enforcement is approximate).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_wall_ms: Option<u64>,
+}
+
+fn default_max_steps() -> u64 {
+    STEP_LIMIT
+}
+
+impl Default for ExecBudget {
+    fn default() -> Self {
+        ExecBudget { max_steps: STEP_LIMIT, max_wall_ms: None }
+    }
+}
+
+impl ExecBudget {
+    /// A budget capping instructions only.
+    pub fn steps(max_steps: u64) -> Self {
+        ExecBudget { max_steps, max_wall_ms: None }
+    }
+}
 
 /// Execution errors (generated programs never hit these; parsed
 /// hand-written sources can).
@@ -38,8 +78,21 @@ pub enum ExecError {
     OutOfBounds(String),
     /// The inputs do not match the kernel signature.
     BadInputs(String),
-    /// The step limit was exceeded.
-    StepLimit,
+    /// The step budget was exhausted: carries the configured budget and
+    /// the instructions retired when execution was cut off.
+    StepLimit {
+        /// The configured instruction budget.
+        budget: u64,
+        /// Instructions executed before the budget tripped.
+        steps: u64,
+    },
+    /// The wall-clock budget was exhausted.
+    Timeout {
+        /// The configured wall-clock budget in milliseconds.
+        budget_ms: u64,
+        /// Instructions executed before the deadline passed.
+        steps: u64,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -48,7 +101,12 @@ impl std::fmt::Display for ExecError {
             ExecError::UnknownVar(v) => write!(f, "unknown variable `{v}`"),
             ExecError::OutOfBounds(a) => write!(f, "array access out of bounds on `{a}`"),
             ExecError::BadInputs(m) => write!(f, "bad inputs: {m}"),
-            ExecError::StepLimit => write!(f, "step limit exceeded"),
+            ExecError::StepLimit { budget, steps } => {
+                write!(f, "step budget exhausted: {steps} steps executed, budget {budget}")
+            }
+            ExecError::Timeout { budget_ms, steps } => {
+                write!(f, "wall-clock budget exhausted: {budget_ms} ms, {steps} steps executed")
+            }
         }
     }
 }
@@ -241,7 +299,7 @@ fn run<T: DeviceFloat>(
     traced: bool,
 ) -> Result<(ExecResult, Vec<TraceEvent>), ExecError> {
     let kernel = prepare(ir)?;
-    run_thread::<T>(&kernel, device, inputs, traced, 0)
+    run_thread_budgeted::<T>(&kernel, device, inputs, traced, 0, ExecBudget::default())
 }
 
 /// A kernel prepared for execution: names resolved to dense slots (see
@@ -274,15 +332,33 @@ pub fn prepare(ir: &KernelIr) -> Result<ExecutableKernel, ExecError> {
     })
 }
 
-/// Execute a prepared kernel (single thread, tid 0).
+/// Execute a prepared kernel (single thread, tid 0) under the default
+/// budget.
 pub fn execute_prepared(
     kernel: &ExecutableKernel,
     device: &Device,
     inputs: &InputSet,
 ) -> Result<ExecResult, ExecError> {
+    execute_prepared_budgeted(kernel, device, inputs, ExecBudget::default())
+}
+
+/// Execute a prepared kernel (single thread, tid 0) under an explicit
+/// fuel budget. A runaway execution returns
+/// [`ExecError::StepLimit`] / [`ExecError::Timeout`] instead of hanging
+/// the campaign worker.
+pub fn execute_prepared_budgeted(
+    kernel: &ExecutableKernel,
+    device: &Device,
+    inputs: &InputSet,
+    budget: ExecBudget,
+) -> Result<ExecResult, ExecError> {
     match kernel.precision {
-        Precision::F64 => run_thread::<f64>(kernel, device, inputs, false, 0).map(|(r, _)| r),
-        Precision::F32 => run_thread::<f32>(kernel, device, inputs, false, 0).map(|(r, _)| r),
+        Precision::F64 => {
+            run_thread_budgeted::<f64>(kernel, device, inputs, false, 0, budget).map(|(r, _)| r)
+        }
+        Precision::F32 => {
+            run_thread_budgeted::<f32>(kernel, device, inputs, false, 0, budget).map(|(r, _)| r)
+        }
     }
 }
 
@@ -293,6 +369,19 @@ fn run_thread<T: DeviceFloat>(
     traced: bool,
     thread_idx: u32,
 ) -> Result<(ExecResult, Vec<TraceEvent>), ExecError> {
+    run_thread_budgeted::<T>(kernel, device, inputs, traced, thread_idx, ExecBudget::default())
+}
+
+fn run_thread_budgeted<T: DeviceFloat>(
+    kernel: &ExecutableKernel,
+    device: &Device,
+    inputs: &InputSet,
+    traced: bool,
+    thread_idx: u32,
+    budget: ExecBudget,
+) -> Result<(ExecResult, Vec<TraceEvent>), ExecError> {
+    #[cfg(feature = "chaos")]
+    crate::chaos::maybe_panic(&kernel.program_id);
     if inputs.values.len() != kernel.params.len() {
         return Err(ExecError::BadInputs(format!(
             "{} inputs for {} parameters",
@@ -315,6 +404,10 @@ fn run_thread<T: DeviceFloat>(
         math_calls: [0; MathFunc::COUNT],
         trace: if traced { Some(Vec::new()) } else { None },
         thread_idx,
+        budget,
+        deadline: budget
+            .max_wall_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
     };
     for ((param, value), slot) in kernel.params.iter().zip(&inputs.values).zip(&r.param_slots) {
         match (slot, value) {
@@ -398,6 +491,8 @@ struct Machine<'a, T: DeviceFloat> {
     math_calls: [u32; MathFunc::COUNT],
     trace: Option<Vec<TraceEvent>>,
     thread_idx: u32,
+    budget: ExecBudget,
+    deadline: Option<Instant>,
 }
 
 impl<'a, T: DeviceFloat> Machine<'a, T> {
@@ -469,8 +564,21 @@ impl<'a, T: DeviceFloat> Machine<'a, T> {
         let mut values: Vec<T> = Vec::with_capacity(seq.insts.len());
         for inst in &seq.insts {
             self.steps += 1;
-            if self.steps > STEP_LIMIT {
-                return Err(ExecError::StepLimit);
+            if self.steps > self.budget.max_steps {
+                return Err(ExecError::StepLimit {
+                    budget: self.budget.max_steps,
+                    steps: self.steps,
+                });
+            }
+            if self.steps & DEADLINE_POLL_MASK == 0 {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(ExecError::Timeout {
+                            budget_ms: self.budget.max_wall_ms.unwrap_or(0),
+                            steps: self.steps,
+                        });
+                    }
+                }
             }
             self.cost += rinst_cost(inst, self.kernel.precision, self.kernel.flags);
             let resolve_op = |o: Operand, values: &[T]| -> T {
@@ -897,6 +1005,70 @@ mod tests {
         let a = execute(&ir, &amd(), &input).unwrap();
         let b = execute(&ir, &amd(), &input).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_budget_reports_budget_and_steps() {
+        let p = simple_program(vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::AddAssign,
+            value: Expr::bin(BinOp::Mul, Expr::Var("var_2".into()), Expr::Lit(2.0)),
+        }]);
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let kernel = prepare(&ir).unwrap();
+        let err =
+            execute_prepared_budgeted(&kernel, &nv(), &inputs(1.0, 1, 3.0), ExecBudget::steps(1))
+                .unwrap_err();
+        match err {
+            ExecError::StepLimit { budget, steps } => {
+                assert_eq!(budget, 1);
+                assert_eq!(steps, 2);
+            }
+            other => panic!("expected StepLimit, got {other:?}"),
+        }
+        // The same kernel under the default budget succeeds.
+        assert!(execute_prepared(&kernel, &nv(), &inputs(1.0, 1, 3.0)).is_ok());
+    }
+
+    #[test]
+    fn zero_wall_budget_times_out_long_loops() {
+        // Nested 16×16 loops retire well over the 256-step poll interval.
+        let body = vec![Stmt::For {
+            var: "i".into(),
+            bound: "var_1".into(),
+            body: vec![Stmt::For {
+                var: "j".into(),
+                bound: "var_1".into(),
+                body: vec![Stmt::Assign {
+                    target: LValue::Var("comp".into()),
+                    op: AssignOp::AddAssign,
+                    value: Expr::bin(BinOp::Add, Expr::Var("var_2".into()), Expr::Lit(1.0)),
+                }],
+            }],
+        }];
+        let p = simple_program(body);
+        let ir = compile(&p, Toolchain::Nvcc, OptLevel::O0, false);
+        let kernel = prepare(&ir).unwrap();
+        let budget = ExecBudget { max_steps: STEP_LIMIT, max_wall_ms: Some(0) };
+        let err =
+            execute_prepared_budgeted(&kernel, &nv(), &inputs(0.0, 16, 1.0), budget).unwrap_err();
+        match err {
+            ExecError::Timeout { budget_ms, steps } => {
+                assert_eq!(budget_ms, 0);
+                assert!(steps >= 256);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_serde_defaults_preserve_old_behaviour() {
+        let b: ExecBudget = serde_json::from_str("{}").unwrap();
+        assert_eq!(b, ExecBudget::default());
+        assert_eq!(b.max_steps, STEP_LIMIT);
+        assert!(b.max_wall_ms.is_none());
+        let json = serde_json::to_string(&ExecBudget::default()).unwrap();
+        assert!(!json.contains("max_wall_ms"), "default budget stays compact: {json}");
     }
 
     #[test]

@@ -23,6 +23,8 @@
 
 #![deny(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod cost;
 pub mod display;
 #[cfg(feature = "oracle-inject")]
@@ -34,6 +36,6 @@ pub mod passes;
 pub mod pipeline;
 pub mod resolve;
 
-pub use interp::{execute, ExecResult};
+pub use interp::{execute, ExecBudget, ExecError, ExecResult};
 pub use ir::KernelIr;
 pub use pipeline::{compile, compile_traced, OptLevel, PassTrace, Toolchain};

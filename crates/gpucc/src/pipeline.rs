@@ -460,10 +460,9 @@ mod tests {
                     let (tir, tstats, traces) = compile_traced(&p, tc, opt, false);
                     assert_eq!(ir, tir, "{tc} {opt} program {i}");
                     // nanos differ between runs; names and rewrites must not
-                    let summary =
-                        |s: &CompileStats| -> Vec<_> {
-                            s.passes.iter().map(|ps| (ps.name, ps.rewrites)).collect()
-                        };
+                    let summary = |s: &CompileStats| -> Vec<_> {
+                        s.passes.iter().map(|ps| (ps.name, ps.rewrites)).collect()
+                    };
                     assert_eq!(summary(&stats), summary(&tstats), "{tc} {opt} program {i}");
                     // trace 0 is the lowering snapshot; the rest mirror the
                     // IR passes in stats order (reassoc is pre-lowering and
@@ -471,12 +470,8 @@ mod tests {
                     assert_eq!(traces[0].name, "lower");
                     assert_eq!(traces[0].rewrites, 0);
                     let traced: Vec<_> = traces[1..].iter().map(|t| t.name).collect();
-                    let ran: Vec<_> = stats
-                        .passes
-                        .iter()
-                        .map(|ps| ps.name)
-                        .filter(|n| *n != "reassoc")
-                        .collect();
+                    let ran: Vec<_> =
+                        stats.passes.iter().map(|ps| ps.name).filter(|n| *n != "reassoc").collect();
                     assert_eq!(traced, ran, "{tc} {opt} program {i}");
                     // the last snapshot is the final IR
                     assert_eq!(traces.last().unwrap().ir, tir);

@@ -62,6 +62,24 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).fold(0u64, u64::wrapping_add)
     }
 
+    /// Fold a frozen snapshot into this live histogram: bucket counts
+    /// add, sum adds exactly, min/max extend. A later [`snapshot`]
+    /// (`Histogram::snapshot`) is then identical to one where the
+    /// absorbed observations had been recorded live.
+    pub fn absorb(&self, s: &HistSnapshot) {
+        if s.count == 0 {
+            return;
+        }
+        for (b, &n) in s.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[b].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(s.sum, Ordering::Relaxed);
+        self.min.fetch_min(s.min, Ordering::Relaxed);
+        self.max.fetch_max(s.max, Ordering::Relaxed);
+    }
+
     /// Freeze the current state into a serializable snapshot. Trailing
     /// empty buckets are trimmed so snapshots stay small on disk.
     pub fn snapshot(&self) -> HistSnapshot {

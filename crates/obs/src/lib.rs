@@ -31,11 +31,20 @@ pub use registry::{global, Registry};
 pub use snapshot::{HistSnapshot, MetricsSnapshot};
 pub use span::Span;
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Process-wide on/off switch. Telemetry defaults to enabled; the bench
 /// overhead guard and throughput-sensitive callers may turn it off.
 static ENABLED: AtomicBool = AtomicBool::new(true);
+
+thread_local! {
+    /// Per-thread capture override installed by [`with_capture`]. While
+    /// set, `add`/`record` route to this registry instead of the global
+    /// one, so a work unit's metric deltas can be frozen individually.
+    static CAPTURE: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
 
 /// Whether telemetry is currently enabled.
 #[inline]
@@ -48,11 +57,22 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
+/// Run `f` against the thread's current target registry: the capture
+/// registry installed by [`with_capture`] when one is active on this
+/// thread, else the process-global registry.
+#[inline]
+fn with_target<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    CAPTURE.with(|c| match &*c.borrow() {
+        Some(r) => f(r),
+        None => f(global()),
+    })
+}
+
 /// Bump the named global counter by `n` (no-op when disabled).
 #[inline]
 pub fn add(name: &str, n: u64) {
     if enabled() {
-        global().counter(name).add(n);
+        with_target(|r| r.counter(name).add(n));
     }
 }
 
@@ -61,8 +81,45 @@ pub fn add(name: &str, n: u64) {
 #[inline]
 pub fn record(name: &str, value: u64) {
     if enabled() {
-        global().hist(name).record(value);
+        with_target(|r| r.hist(name).record(value));
     }
+}
+
+/// Run `f` with a fresh capture registry installed on this thread, then
+/// fold the captured metrics into the global registry and return them
+/// alongside `f`'s result.
+///
+/// Every `obs::add` / `obs::record` / `obs::span` issued on this thread
+/// while `f` runs lands only in the capture registry; the fold at the
+/// end keeps global totals identical to an uncaptured run. The fault-
+/// tolerant campaign runner uses this to stamp each work unit's exact
+/// metric deltas into its checkpoint journal record, so a resumed
+/// campaign can replay the telemetry of work it skips.
+///
+/// Captures nest per thread (the innermost wins) and are restored even
+/// if `f` panics through a `catch_unwind` boundary inside it.
+pub fn with_capture<R>(f: impl FnOnce() -> R) -> (R, MetricsSnapshot) {
+    let reg = Arc::new(Registry::new());
+
+    struct Restore(Option<Arc<Registry>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CAPTURE.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+
+    let prev = CAPTURE.with(|c| c.borrow_mut().replace(Arc::clone(&reg)));
+    let restore = Restore(prev.clone());
+    let out = f();
+    drop(restore);
+
+    let snap = reg.snapshot();
+    match &prev {
+        Some(outer) => outer.merge_snapshot(&snap),
+        None => global().merge_snapshot(&snap),
+    }
+    (out, snap)
 }
 
 /// Start a scoped timer; on drop it records elapsed nanoseconds into the
@@ -80,4 +137,63 @@ pub fn snapshot() -> MetricsSnapshot {
 /// in tests so runs don't bleed into each other).
 pub fn reset() {
     global().reset();
+}
+
+#[cfg(test)]
+mod capture_tests {
+    #[test]
+    fn capture_isolates_and_folds_back() {
+        let before = crate::global().counter("obs.test.capture.c").value();
+        let ((), snap) = crate::with_capture(|| {
+            crate::add("obs.test.capture.c", 5);
+            crate::record("obs.test.capture.h", 9);
+            let _s = crate::span("obs.test.capture");
+        });
+        assert_eq!(snap.counter("obs.test.capture.c"), 5);
+        assert_eq!(snap.hists["obs.test.capture.h"].count, 1);
+        assert_eq!(snap.hists["span.obs.test.capture"].count, 1);
+        assert_eq!(crate::global().counter("obs.test.capture.c").value(), before + 5);
+    }
+
+    #[test]
+    fn capture_nests_and_folds_into_outer() {
+        let ((), outer) = crate::with_capture(|| {
+            crate::add("obs.test.nest", 1);
+            let ((), inner) = crate::with_capture(|| crate::add("obs.test.nest", 2));
+            assert_eq!(inner.counter("obs.test.nest"), 2);
+        });
+        assert_eq!(outer.counter("obs.test.nest"), 3);
+    }
+
+    #[test]
+    fn capture_restores_routing_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::with_capture(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        let before = crate::global().counter("obs.test.capture.after").value();
+        crate::add("obs.test.capture.after", 1);
+        assert_eq!(crate::global().counter("obs.test.capture.after").value(), before + 1);
+    }
+
+    #[test]
+    fn merge_snapshot_restores_exact_totals() {
+        let src = crate::Registry::new();
+        src.counter("c").add(7);
+        src.counter("zero"); // registered, never bumped
+        src.hist("h").record(3);
+        src.hist("h").record(300);
+        let snap = src.snapshot();
+
+        let dst = crate::Registry::new();
+        dst.counter("c").add(1);
+        dst.merge_snapshot(&snap);
+        let out = dst.snapshot();
+        assert_eq!(out.counter("c"), 8);
+        assert!(out.counters.contains_key("zero"));
+        assert_eq!(out.hists["h"].count, 2);
+        assert_eq!(out.hists["h"].sum, 303);
+        assert_eq!(out.hists["h"].min, 3);
+        assert_eq!(out.hists["h"].max, 300);
+    }
 }

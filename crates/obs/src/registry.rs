@@ -57,6 +57,20 @@ impl Registry {
         snap
     }
 
+    /// Fold a frozen snapshot into this registry's live metrics:
+    /// counters add their totals, histograms absorb bucket counts and
+    /// exact sum/min/max. Zero-valued counters are still registered so a
+    /// later [`Registry::snapshot`] reports them, mirroring the live
+    /// path. Used to restore checkpointed telemetry on campaign resume.
+    pub fn merge_snapshot(&self, snap: &MetricsSnapshot) {
+        for (name, &v) in &snap.counters {
+            self.counter(name).add(v);
+        }
+        for (name, h) in &snap.hists {
+            self.hist(name).absorb(h);
+        }
+    }
+
     /// Drop every metric.
     pub fn reset(&self) {
         self.counters.write().clear();

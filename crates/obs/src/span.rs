@@ -42,9 +42,9 @@ impl Span {
     fn commit(&mut self, ns: u64) {
         if !self.done {
             self.done = true;
-            if crate::enabled() {
-                crate::global().hist(&format!("span.{}", self.name)).record(ns);
-            }
+            // Routed through `crate::record` (not the global registry
+            // directly) so spans land in an active `with_capture` scope.
+            crate::record(&format!("span.{}", self.name), ns);
         }
     }
 }

@@ -41,11 +41,7 @@ pub struct MetaOutcome {
 
 /// Run every applicable transformation of `program` through both
 /// toolchains at all five opt levels, on every input.
-pub fn check_metamorphic(
-    program: &Program,
-    inputs: &[InputSet],
-    seed: u64,
-) -> Vec<MetaOutcome> {
+pub fn check_metamorphic(program: &Program, inputs: &[InputSet], seed: u64) -> Vec<MetaOutcome> {
     let mut out = Vec::new();
     for transform in Transform::ALL {
         let Some(variant) = apply(program, transform, seed) else { continue };
@@ -64,13 +60,7 @@ pub fn check_metamorphic(
                         (&orig_ir, &orig_stats, &orig_traces),
                         (&var_ir, &var_stats, &var_traces),
                     );
-                    out.push(MetaOutcome {
-                        transform,
-                        toolchain,
-                        level,
-                        input_index,
-                        verdict,
-                    });
+                    out.push(MetaOutcome { transform, toolchain, level, input_index, verdict });
                 }
             }
         }
@@ -124,20 +114,13 @@ fn judge(
         pass: diverging_stage(orig_traces, var_traces, device, input),
         expected_bits: orig.value.bits(),
         actual_bits: var.value.bits(),
-        detail: format!(
-            "{transform} variant diverges with no semantic pass to explain it"
-        ),
+        detail: format!("{transform} variant diverges with no semantic pass to explain it"),
     })
 }
 
 /// Semantic passes that fired (rewrites > 0) in one compile.
 fn semantic_fired(stats: &CompileStats) -> Vec<&'static str> {
-    stats
-        .passes
-        .iter()
-        .filter(|p| p.rewrites > 0 && is_semantic(p.name))
-        .map(|p| p.name)
-        .collect()
+    stats.passes.iter().filter(|p| p.rewrites > 0 && is_semantic(p.name)).map(|p| p.name).collect()
 }
 
 /// Attribute a metamorphic divergence: the pass schedules of the original
@@ -166,9 +149,7 @@ fn diverging_stage(
 pub fn check_roundtrip(program: &Program) -> Option<String> {
     match parse_roundtrip(program) {
         Err(e) => Some(format!("emitted kernel failed to re-parse: {e}")),
-        Ok(back) if back != *program => {
-            Some("re-parsed AST differs from the original".to_string())
-        }
+        Ok(back) if back != *program => Some("re-parsed AST differs from the original".to_string()),
         Ok(_) => None,
     }
 }
@@ -188,13 +169,7 @@ pub fn still_violates(
     let orig = compile_traced(program, toolchain, level, false);
     let var = compile_traced(&variant, toolchain, level, false);
     matches!(
-        judge(
-            transform,
-            &device,
-            input,
-            (&orig.0, &orig.1, &orig.2),
-            (&var.0, &var.1, &var.2),
-        ),
+        judge(transform, &device, input, (&orig.0, &orig.1, &orig.2), (&var.0, &var.1, &var.2),),
         CheckVerdict::Violation(_)
     )
 }

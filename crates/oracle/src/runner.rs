@@ -77,6 +77,9 @@ pub struct OracleReport {
     pub explained: u64,
     /// Checks skipped (reference failed to execute).
     pub skipped: u64,
+    /// Programs whose check panicked; the panic was contained by
+    /// per-program isolation and the rest of the run completed.
+    pub faulted: u64,
     /// How often each semantic pass explained a divergence.
     pub explained_by_pass: BTreeMap<String, u64>,
     /// Metamorphic checks per `toolchain:level` cell — the acceptance
@@ -107,17 +110,26 @@ struct ProgramOutcome {
     consistent: u64,
     explained: u64,
     skipped: u64,
+    faulted: u64,
     explained_by_pass: BTreeMap<String, u64>,
     metamorphic_coverage: BTreeMap<String, u64>,
     findings: Vec<Finding>,
 }
 
 /// Run the oracle over the configured budget.
+///
+/// Each program's checks run inside [`difftest::fault::catch_isolated`]:
+/// a panic anywhere in one program's oracle pipeline is contained and
+/// tallied in [`OracleReport::faulted`] instead of aborting the whole
+/// run.
 pub fn run_oracle(config: &OracleConfig) -> OracleReport {
     let _span = obs::span("oracle.run");
     let outcomes: Vec<ProgramOutcome> = (0..config.budget as u64)
         .into_par_iter()
-        .map(|index| check_program(config, index))
+        .map(|index| match difftest::fault::catch_isolated(|| check_program(config, index)) {
+            Ok(o) => o,
+            Err(_panic_msg) => ProgramOutcome { faulted: 1, ..ProgramOutcome::default() },
+        })
         .collect();
 
     let mut report = OracleReport {
@@ -131,6 +143,7 @@ pub fn run_oracle(config: &OracleConfig) -> OracleReport {
         consistent: 0,
         explained: 0,
         skipped: 0,
+        faulted: 0,
         explained_by_pass: BTreeMap::new(),
         metamorphic_coverage: BTreeMap::new(),
         violations: Vec::new(),
@@ -142,6 +155,7 @@ pub fn run_oracle(config: &OracleConfig) -> OracleReport {
         report.consistent += o.consistent;
         report.explained += o.explained;
         report.skipped += o.skipped;
+        report.faulted += o.faulted;
         for (pass, n) in o.explained_by_pass {
             *report.explained_by_pass.entry(pass).or_default() += n;
         }
@@ -159,6 +173,7 @@ pub fn run_oracle(config: &OracleConfig) -> OracleReport {
         obs::add("oracle.consistent", report.consistent);
         obs::add("oracle.explained", report.explained);
         obs::add("oracle.skipped", report.skipped);
+        obs::add("oracle.faults", report.faulted);
         obs::add("oracle.violations", report.violations.len() as u64);
     }
     report
@@ -190,10 +205,8 @@ fn check_program(config: &OracleConfig, index: u64) -> ProgramOutcome {
             CheckVerdict::Violation(v) => {
                 let input = &inputs[o.input_index];
                 let reduced = if config.shrink {
-                    reduce_program(&program, |p| {
-                        still_violates(p, o.toolchain, o.level, input)
-                    })
-                    .program
+                    reduce_program(&program, |p| still_violates(p, o.toolchain, o.level, input))
+                        .program
                 } else {
                     program.clone()
                 };
@@ -330,6 +343,7 @@ mod tests {
         assert_eq!(report.programs_checked, 12);
         assert!(report.consistent > 0);
         assert!(report.total_checks() >= report.consistent);
+        assert_eq!(report.faulted, 0, "no generated program should panic the oracle");
     }
 
     #[test]

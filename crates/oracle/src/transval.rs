@@ -26,8 +26,7 @@ use progen::ast::Program;
 use progen::inputs::InputSet;
 
 /// Levels the strict-mode oracle checks (all the non-fast-math levels).
-pub const STRICT_LEVELS: [OptLevel; 4] =
-    [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+pub const STRICT_LEVELS: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
 
 /// The device a toolchain's output runs on, with the full quirk set (the
 /// campaign's configuration — the oracle must validate what the campaign
@@ -101,9 +100,7 @@ pub fn check_strict(program: &Program, inputs: &[InputSet]) -> Vec<StrictOutcome
             for (input_index, input) in inputs.iter().enumerate() {
                 let verdict = match execute(&reference_ir, &device, input) {
                     Err(_) => CheckVerdict::Skipped,
-                    Ok(reference) => {
-                        walk_stages(&traces, &device, input, reference.value.bits())
-                    }
+                    Ok(reference) => walk_stages(&traces, &device, input, reference.value.bits()),
                 };
                 out.push(StrictOutcome { toolchain, level, input_index, verdict });
             }

@@ -12,9 +12,7 @@
 use gpucc::inject::{arm, disarm, InjectedBug};
 use gpucc::pipeline::{OptLevel, Toolchain};
 use oracle::transval::{check_strict, still_violates, CheckVerdict};
-use progen::ast::{
-    AssignOp, BinOp, Expr, LValue, Param, ParamType, Precision, Program, Stmt,
-};
+use progen::ast::{AssignOp, BinOp, Expr, LValue, Param, ParamType, Precision, Program, Stmt};
 use progen::inputs::{InputSet, InputValue};
 use std::sync::Mutex;
 
@@ -53,10 +51,7 @@ fn const_fold_victim() -> (Program, InputSet) {
     let p = Program {
         id: "inject-const-fold".into(),
         precision: Precision::F64,
-        params: vec![
-            float_param("comp"),
-            Param { name: "var_1".into(), ty: ParamType::Int },
-        ],
+        params: vec![float_param("comp"), Param { name: "var_1".into(), ty: ParamType::Int }],
         body: vec![Stmt::Assign {
             target: LValue::Var("comp".into()),
             op: AssignOp::AddAssign,

@@ -21,12 +21,7 @@ fn budget_run_is_clean() {
     assert!(
         report.is_clean(),
         "unexplained strict-mode violations:\n{}",
-        report
-            .violations
-            .iter()
-            .map(|f| f.summary_line())
-            .collect::<Vec<_>>()
-            .join("\n")
+        report.violations.iter().map(|f| f.summary_line()).collect::<Vec<_>>().join("\n")
     );
     assert_eq!(report.programs_checked, 25);
 }
@@ -44,10 +39,7 @@ fn strict_checks_cover_the_whole_grid() {
     let c = cfg(6, 9);
     let report = run_oracle(&c);
     // 2 toolchains × 4 strict levels × inputs × budget
-    assert_eq!(
-        report.transval_checks,
-        (2 * 4 * c.inputs_per_program * c.budget) as u64
-    );
+    assert_eq!(report.transval_checks, (2 * 4 * c.inputs_per_program * c.budget) as u64);
     // every program gets exactly one round-trip check
     assert_eq!(report.roundtrip_checks, c.budget as u64);
 }
@@ -78,20 +70,11 @@ fn metamorphic_coverage_spans_all_ten_cells() {
 #[test]
 fn report_is_identical_at_one_and_many_threads() {
     let c = cfg(10, 31415);
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap()
-        .install(|| run_oracle(&c));
-    let many = rayon::ThreadPoolBuilder::new()
-        .num_threads(8)
-        .build()
-        .unwrap()
-        .install(|| run_oracle(&c));
-    assert_eq!(
-        serde_json::to_string(&single).unwrap(),
-        serde_json::to_string(&many).unwrap()
-    );
+    let single =
+        rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| run_oracle(&c));
+    let many =
+        rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(|| run_oracle(&c));
+    assert_eq!(serde_json::to_string(&single).unwrap(), serde_json::to_string(&many).unwrap());
 }
 
 #[test]

@@ -83,9 +83,8 @@ impl std::fmt::Display for Transform {
 ///
 /// Determinism: same `(program, transform, seed)` → same variant.
 pub fn apply(program: &Program, transform: Transform, seed: u64) -> Option<Program> {
-    let mut rng = ChaCha8Rng::seed_from_u64(
-        seed ^ (transform as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(seed ^ (transform as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     match transform {
         Transform::ReorderIndependent => reorder_independent(program, &mut rng),
         Transform::InjectDeadCode => inject_dead_code(program, &mut rng),
@@ -569,10 +568,7 @@ mod tests {
                 Param { name: "var_2".into(), ty: ParamType::Float },
             ],
             body: vec![
-                Stmt::DeclTmp {
-                    name: "tmp_1".into(),
-                    init: Expr::Var("var_2".into()),
-                },
+                Stmt::DeclTmp { name: "tmp_1".into(), init: Expr::Var("var_2".into()) },
                 Stmt::Assign {
                     target: LValue::Var("var_2".into()),
                     op: AssignOp::MulAssign,
