@@ -28,11 +28,20 @@
 //!   with `--checkpoint`/`--resume` it defaults to
 //!   `DIR/quarantine.jsonl`.
 //!
+//! Scale-out surface (what `varity-gpu farm` workers run):
+//!
+//! * `--shard K/N` runs only the tests whose generation index ≡ K
+//!   (mod N) — the slice `CampaignMeta::merge_shards` reassembles. With
+//!   `--checkpoint` the spec is persisted in the directory, so
+//!   `--resume` re-runs exactly the same slice with no flag needed;
+//! * a `stop` file dropped in the checkpoint directory drains the run
+//!   at the next unit boundary (flush + exit 130), signal-free.
+//!
 //! Result tables go to stdout; everything else goes to stderr.
 
 use super::{flag, parse_known};
 use difftest::campaign::{analyze, CampaignConfig, TestMode};
-use difftest::checkpoint::{run_side_ft, Checkpoint, FtSession, FtStatus};
+use difftest::checkpoint::{run_side_ft, Checkpoint, FtSession, FtStatus, ShardSpec};
 use difftest::fault::{self, TestFault};
 use difftest::metadata::CampaignMeta;
 use difftest::report::{render_digest, render_per_level};
@@ -55,6 +64,7 @@ const PAIRS: &[&str] = &[
     "--timeout-ms",
     "--max-faults",
     "--quarantine",
+    "--shard",
 ];
 const SWITCHES: &[&str] = &["--fp32", "--hipify", "--full", "--progress"];
 
@@ -83,46 +93,65 @@ pub fn run(argv: &[String]) -> i32 {
     // under the exact stored config (determinism is what makes replayed
     // and re-run units interchangeable), so `--resume` loads it from the
     // checkpoint directory and config flags are not consulted.
-    let (config, checkpoint_dir, journal, replayed_units) = if let Some(dir) = args.get("--resume")
-    {
-        let dir = PathBuf::from(dir);
-        match Checkpoint::resume(&dir) {
-            Ok((ckpt, config, units)) => (config, Some(dir), Some(ckpt.into_journal()), units),
-            Err(e) => {
-                eprintln!("cannot resume checkpoint: {e}");
-                return 1;
+    let (config, checkpoint_dir, journal, replayed_units, shard) =
+        if let Some(dir) = args.get("--resume") {
+            if args.get("--shard").is_some() {
+                eprintln!("--shard is stored in the checkpoint; --resume re-runs the same slice");
+                return 2;
             }
-        }
-    } else {
-        let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
-        let mut config = CampaignConfig::default_for(args.precision(), mode);
-        config.seed = flag!(args, "--seed", config.seed);
-        config.n_programs = flag!(args, "--programs", config.n_programs);
-        config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
-        if args.has("--full") {
-            config.n_programs = match args.precision() {
-                progen::Precision::F64 => 3540,
-                progen::Precision::F32 => 2840,
-            };
-        }
-        config.budget.max_steps = flag!(args, "--fuel", config.budget.max_steps);
-        if args.get("--timeout-ms").is_some() {
-            config.budget.max_wall_ms = Some(flag!(args, "--timeout-ms", 0u64));
-        }
-        match args.get("--checkpoint") {
-            None => (config, None, None, Vec::new()),
-            Some(dir) => {
-                let dir = PathBuf::from(dir);
-                match Checkpoint::create(&dir, &config) {
-                    Ok(ckpt) => (config, Some(dir), Some(ckpt.into_journal()), Vec::new()),
+            let dir = PathBuf::from(dir);
+            match Checkpoint::resume(&dir) {
+                Ok((ckpt, config, units)) => {
+                    let shard = ckpt.shard_spec();
+                    (config, Some(dir), Some(ckpt.into_journal()), units, shard)
+                }
+                Err(e) => {
+                    eprintln!("cannot resume checkpoint: {e}");
+                    return 1;
+                }
+            }
+        } else {
+            let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+            let mut config = CampaignConfig::default_for(args.precision(), mode);
+            config.seed = flag!(args, "--seed", config.seed);
+            config.n_programs = flag!(args, "--programs", config.n_programs);
+            config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
+            if args.has("--full") {
+                config.n_programs = match args.precision() {
+                    progen::Precision::F64 => 3540,
+                    progen::Precision::F32 => 2840,
+                };
+            }
+            config.budget.max_steps = flag!(args, "--fuel", config.budget.max_steps);
+            if args.get("--timeout-ms").is_some() {
+                config.budget.max_wall_ms = Some(flag!(args, "--timeout-ms", 0u64));
+            }
+            let shard: Option<ShardSpec> = match args.get("--shard") {
+                None => None,
+                Some(s) => match s.parse() {
+                    Ok(spec) => Some(spec),
                     Err(e) => {
-                        eprintln!("cannot create checkpoint: {e}");
-                        return 1;
+                        eprintln!("{e}");
+                        return 2;
+                    }
+                },
+            };
+            match args.get("--checkpoint") {
+                None => (config, None, None, Vec::new(), shard),
+                Some(dir) => {
+                    let dir = PathBuf::from(dir);
+                    match Checkpoint::create_sharded(&dir, &config, shard) {
+                        Ok(ckpt) => {
+                            (config, Some(dir), Some(ckpt.into_journal()), Vec::new(), shard)
+                        }
+                        Err(e) => {
+                            eprintln!("cannot create checkpoint: {e}");
+                            return 1;
+                        }
                     }
                 }
             }
-        }
-    };
+        };
     let mode = config.mode;
 
     let sides: Vec<Toolchain> = match args.get("--side").unwrap_or("both") {
@@ -185,15 +214,33 @@ pub fn run(argv: &[String]) -> i32 {
         }
     };
 
-    let expected_runs =
-        (config.n_programs * config.inputs_per_program * config.levels.len() * sides.len()) as u64;
-    let progress = if args.has("--progress") { Some(Progress::spawn(expected_runs)) } else { None };
-
     let t = Instant::now();
-    let mut meta = CampaignMeta::generate(&config);
+    let mut meta = match shard {
+        Some(s) => {
+            eprintln!(
+                "[campaign] shard {s}: running {} of {} tests (index ≡ {} mod {})",
+                (config.n_programs + s.count - 1 - s.index) / s.count,
+                config.n_programs,
+                s.index,
+                s.count
+            );
+            CampaignMeta::generate_shard(&config, s.index, s.count)
+        }
+        None => CampaignMeta::generate(&config),
+    };
     log_phase("generate", t);
 
+    let expected_runs =
+        (meta.tests.len() * config.inputs_per_program * config.levels.len() * sides.len()) as u64;
+    let progress = if args.has("--progress") { Some(Progress::spawn(expected_runs)) } else { None };
+
     let mut session = FtSession::new(journal, max_faults);
+    if let Some(dir) = &checkpoint_dir {
+        // A `stop` file in the checkpoint directory drains this run at
+        // the next unit boundary — how the farm supervisor winds down
+        // workers without signals.
+        session = session.with_stop_file(Checkpoint::stop_path(dir));
+    }
     if !replayed_units.is_empty() {
         session.apply_replay(&mut meta, replayed_units);
         eprintln!("[campaign] resumed {} completed units from the journal", session.replayed());
@@ -254,12 +301,26 @@ pub fn run(argv: &[String]) -> i32 {
         }
     }
 
+    // The metadata carries its own quarantine ledger (canonical form:
+    // sorted + deduped) so shard result files merge without losing or
+    // double-counting faults.
+    meta.quarantine = faults.clone();
+    meta.quarantine.sort();
+    meta.quarantine.dedup();
+
     if let Some(path) = args.get("--out") {
-        if let Err(e) = meta.save(Path::new(path)) {
-            eprintln!("cannot save metadata: {e}");
-            return 1;
+        if matches!(status, FtStatus::Complete) {
+            if let Err(e) = meta.save(Path::new(path)) {
+                eprintln!("cannot save metadata: {e}");
+                return 1;
+            }
+            eprintln!("metadata saved to {path} (sides run: {:?})", meta.sides_run);
+        } else {
+            // A partial save would be indistinguishable from a finished
+            // result (the farm folds `--out` files verbatim); the
+            // checkpoint journal is the resumable source of truth.
+            eprintln!("not saving metadata to {path}: campaign did not complete");
         }
-        eprintln!("metadata saved to {path} (sides run: {:?})", meta.sides_run);
     }
 
     match status {

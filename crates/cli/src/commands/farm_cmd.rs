@@ -1,0 +1,194 @@
+//! `varity-gpu farm` — run a campaign as a supervised, self-healing
+//! multi-worker service.
+//!
+//! The supervisor (this process) deals the campaign into `--shards`
+//! round-robin slices, materializes each as a checkpoint directory
+//! under `--dir`, and keeps `--workers` subprocesses in flight, each
+//! running `varity-gpu campaign --resume <shard-dir>`. Workers that
+//! crash, are killed, or hang past the heartbeat window are respawned
+//! with jittered exponential backoff; shards that crash repeatedly
+//! without progress are demoted to the poison quarantine
+//! (`shard-NNN/poison.json` records the responsible slice). Finished
+//! shards fold incrementally into `--dir/merged.json`, and the final
+//! merged report is identical to a single-process run of the same
+//! campaign — the chaos harness in CI proves it byte-for-byte.
+//!
+//! Operational surface:
+//!
+//! * `--status-addr ADDR` serves live progress/metrics JSON over HTTP;
+//! * `--chaos-kills N` makes the supervisor itself SIGKILL `N` random
+//!   workers mid-progress (fault-tolerance self-test);
+//! * Ctrl-C (with the `sigint` feature) or `touch <dir>/stop` drains:
+//!   leasing stops, in-flight workers flush their checkpoints, the
+//!   exact resume command is printed, and the farm exits 130. Re-running
+//!   the same command resumes: done shards fold back in, the rest
+//!   continue from their journals.
+
+use super::{flag, parse_known};
+use difftest::campaign::{analyze, CampaignConfig, TestMode};
+use difftest::fault;
+use difftest::report::{render_digest, render_per_level};
+use farm::{run_farm, BackoffPolicy, ChaosConfig, FarmConfig, WorkerSpec};
+use std::path::Path;
+
+const PAIRS: &[&str] = &[
+    "--seed",
+    "--programs",
+    "--inputs",
+    "--fuel",
+    "--timeout-ms",
+    "--dir",
+    "--workers",
+    "--shards",
+    "--out",
+    "--heartbeat-ms",
+    "--grace-ms",
+    "--crash-threshold",
+    "--status-addr",
+    "--chaos-kills",
+    "--chaos-seed",
+];
+const SWITCHES: &[&str] = &["--fp32", "--hipify"];
+
+pub fn run(argv: &[String]) -> i32 {
+    let args = match parse_known(argv, PAIRS, SWITCHES) {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let Some(dir) = args.get("--dir") else {
+        eprintln!("farm needs --dir DIR (shard checkpoints and the merged report live there)");
+        return 2;
+    };
+
+    let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+    let mut campaign = CampaignConfig::default_for(args.precision(), mode);
+    campaign.seed = flag!(args, "--seed", campaign.seed);
+    campaign.n_programs = flag!(args, "--programs", campaign.n_programs);
+    campaign.inputs_per_program = flag!(args, "--inputs", campaign.inputs_per_program);
+    campaign.budget.max_steps = flag!(args, "--fuel", campaign.budget.max_steps);
+    if args.get("--timeout-ms").is_some() {
+        campaign.budget.max_wall_ms = Some(flag!(args, "--timeout-ms", 0u64));
+    }
+
+    let n_workers: usize = flag!(args, "--workers", 4);
+    let n_shards: usize = flag!(args, "--shards", 2 * n_workers);
+    if n_workers == 0 || n_shards == 0 {
+        eprintln!("--workers and --shards must be at least 1");
+        return 2;
+    }
+    if n_shards > campaign.n_programs {
+        eprintln!(
+            "--shards {n_shards} exceeds --programs {}; trailing shards would be empty",
+            campaign.n_programs
+        );
+        return 2;
+    }
+
+    let program = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate own binary to spawn workers: {e}");
+            return 1;
+        }
+    };
+    let mut worker = WorkerSpec::new(program);
+    worker.prefix_args = vec!["campaign".to_string()];
+    // Workers inherit a thread budget so `n_workers` rayon pools don't
+    // oversubscribe the machine.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = ((cores + n_workers - 1) / n_workers).max(1);
+    worker.env.push(("RAYON_NUM_THREADS".to_string(), threads.to_string()));
+
+    let mut cfg = FarmConfig::new(campaign, n_shards, n_workers, dir, worker);
+    cfg.heartbeat_ms = flag!(args, "--heartbeat-ms", cfg.heartbeat_ms);
+    cfg.grace_ms = flag!(args, "--grace-ms", cfg.grace_ms);
+    cfg.crash_threshold = flag!(args, "--crash-threshold", cfg.crash_threshold);
+    cfg.backoff = BackoffPolicy::default();
+    cfg.seed = cfg.campaign.seed;
+    cfg.status_addr = args.get("--status-addr").map(String::from);
+    cfg.chaos = ChaosConfig {
+        kills: flag!(args, "--chaos-kills", 0),
+        seed: flag!(args, "--chaos-seed", cfg.campaign.seed),
+        min_journal_growth: 1,
+    };
+
+    eprintln!(
+        "[farm] {} shard(s) x {} worker(s) over {} programs; checkpoints in {}",
+        n_shards, n_workers, cfg.campaign.n_programs, dir
+    );
+
+    obs::reset();
+    fault::reset_shutdown();
+    install_sigint_handler();
+
+    let report = match run_farm(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("farm failed: {e}");
+            return 1;
+        }
+    };
+
+    eprintln!(
+        "[farm] done={} poisoned={} spawns={} respawns={} deaths={} expiries={} chaos_kills={}",
+        report.shards_done,
+        report.shards_poisoned.len(),
+        report.spawns,
+        report.respawns,
+        report.worker_deaths,
+        report.lease_expiries,
+        report.chaos_kills
+    );
+
+    if report.drained {
+        if let Some(hint) = &report.resume_hint {
+            eprintln!("[farm] drained; {hint}");
+        }
+        return 130;
+    }
+
+    if let Some(merged) = &report.merged {
+        if let Some(path) = args.get("--out") {
+            if let Err(e) = merged.save(Path::new(path)) {
+                eprintln!("cannot save merged metadata: {e}");
+                return 1;
+            }
+            eprintln!("merged metadata saved to {path}");
+        }
+        if merged.is_complete() && report.shards_poisoned.is_empty() {
+            let analysis = analyze(merged);
+            println!("{}", render_digest(&analysis));
+            println!("{}", render_per_level(&analysis, "discrepancies per optimization option"));
+        }
+    }
+
+    if !report.shards_poisoned.is_empty() {
+        eprintln!(
+            "[farm] {} shard(s) poisoned: {:?} — see shard-NNN/poison.json for the \
+             responsible seed ranges",
+            report.shards_poisoned.len(),
+            report.shards_poisoned
+        );
+        return 3;
+    }
+    0
+}
+
+/// SIGINT drains the farm: the handler raises the cooperative shutdown
+/// flag; the supervisor stops leasing, stop-files (and, with the
+/// `sigint` feature's process-group plumbing, SIGINTs) its workers, and
+/// exits 130 once their checkpoints are flushed. Same gating as the
+/// campaign command's handler.
+#[cfg(feature = "sigint")]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_sig: libc::c_int) {
+        // only async-signal-safe work here: one atomic store
+        difftest::fault::request_shutdown();
+    }
+    unsafe {
+        libc::signal(libc::SIGINT, on_sigint as libc::sighandler_t);
+    }
+}
+
+#[cfg(not(feature = "sigint"))]
+fn install_sigint_handler() {}

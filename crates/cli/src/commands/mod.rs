@@ -14,6 +14,7 @@ pub mod analyze;
 pub mod campaign;
 pub mod diff;
 pub mod failures;
+pub mod farm_cmd;
 pub mod generate;
 pub mod hipify_cmd;
 pub mod inputs;

@@ -7,6 +7,8 @@
 //! * `diff`     — differential-test one program across all levels
 //! * `campaign` — run a testing campaign (optionally one side only, for
 //!   the Fig. 3 between-platform protocol) and save JSON metadata
+//! * `farm`     — run a campaign as a supervised multi-worker service:
+//!   sharded checkpoints, crash/hang recovery, incremental merge
 //! * `analyze`  — merge metadata halves and print the result tables
 //! * `reduce`   — shrink a failing test to a minimal reproducer
 //! * `isolate`  — locate the first diverging statement of a failure
@@ -27,6 +29,7 @@ fn main() {
         Some("inputs") => commands::inputs::run(&argv[1..]),
         Some("diff") => commands::diff::run(&argv[1..]),
         Some("campaign") => commands::campaign::run(&argv[1..]),
+        Some("farm") => commands::farm_cmd::run(&argv[1..]),
         Some("analyze") => commands::analyze::run(&argv[1..]),
         Some("failures") => commands::failures::run(&argv[1..]),
         Some("reduce") => commands::reduce::run(&argv[1..]),
@@ -72,6 +75,21 @@ COMMANDS:
              [--timeout-ms N]   per-execution wall-clock budget
              [--max-faults N]   abort once more than N tests fault
              [--quarantine FILE] save the fault log for `replay`
+             [--shard K/N]      run only tests with index ≡ K (mod N);
+                                persisted in the checkpoint, so --resume
+                                re-runs the same slice
+  farm       run a campaign as a supervised multi-worker service
+             --dir DIR [--workers N] [--shards M] [--out FILE]
+             [--fp32] [--hipify] [--programs N] [--inputs K] [--seed S]
+             [--fuel N] [--timeout-ms N]
+             [--heartbeat-ms N]   hang detection window (journal silence)
+             [--grace-ms N]       drain grace before hard-kill
+             [--crash-threshold N] no-progress crashes before a shard is
+                                  poisoned (shard-NNN/poison.json)
+             [--status-addr A]    serve live progress JSON over HTTP
+             [--chaos-kills N] [--chaos-seed S]  self-test: SIGKILL N
+                                  random workers mid-progress
+             drain: Ctrl-C or `touch DIR/stop`; re-run to resume
   analyze    merge metadata files and print the paper-style tables
              FILE [FILE2] [--profile]
              --profile adds the telemetry profile and the discrepancies-
@@ -100,6 +118,8 @@ EXIT CODES:
   1    runtime failure (I/O error, incomplete metadata, nothing found;
        for `oracle`, any confirmed violation)
   2    usage error (unknown flag or subcommand, malformed value)
-  3    campaign fault limit exceeded (--max-faults circuit breaker)
+  3    campaign fault limit exceeded (--max-faults circuit breaker);
+       for `farm`, one or more shards were poisoned
   130  campaign interrupted; checkpoint flushed and resumable
+       (for `farm`: drained; workers flushed, re-run the command to resume)
 ";

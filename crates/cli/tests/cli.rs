@@ -17,12 +17,22 @@ fn help_lists_all_subcommands() {
     assert!(out.status.success());
     let text = stdout(&out);
     for cmd in [
-        "generate", "inputs", "diff", "campaign", "analyze", "failures", "reduce", "isolate",
-        "hipify", "oracle", "replay",
+        "generate", "inputs", "diff", "campaign", "farm", "analyze", "failures", "reduce",
+        "isolate", "hipify", "oracle", "replay",
     ] {
         assert!(text.contains(cmd), "help missing `{cmd}`:\n{text}");
     }
-    for flag in ["--checkpoint", "--resume", "--fuel", "--max-faults", "--quarantine"] {
+    for flag in [
+        "--checkpoint",
+        "--resume",
+        "--fuel",
+        "--max-faults",
+        "--quarantine",
+        "--shard",
+        "--workers",
+        "--status-addr",
+        "--chaos-kills",
+    ] {
         assert!(text.contains(flag), "help missing `{flag}`:\n{text}");
     }
 }

@@ -1,0 +1,256 @@
+//! End-to-end farm tests: drive `varity-gpu farm` as a real
+//! multi-process service, kill workers with the built-in chaos
+//! adversary, and prove the merged report is identical to a
+//! single-process run — the repo's strongest fault-tolerance statement.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+use difftest::campaign::analyze;
+use difftest::metadata::CampaignMeta;
+
+fn varity(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_varity-gpu")).args(args).output().expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("varity_farm_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Parse `key=value` integers out of the farm's `[farm] done=... ` line.
+fn farm_counter(stderr: &str, key: &str) -> u64 {
+    let line = stderr
+        .lines()
+        .rev()
+        .find(|l| l.contains("done=") && l.contains("spawns="))
+        .unwrap_or_else(|| panic!("no farm summary line in stderr:\n{stderr}"));
+    let needle = format!("{key}=");
+    let start = line.find(&needle).unwrap_or_else(|| panic!("no {key} in: {line}")) + needle.len();
+    line[start..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad {key} in: {line}"))
+}
+
+const PROGRAMS: &str = "32";
+const INPUTS: &str = "2";
+const SEED: &str = "20240807";
+
+fn reference_meta(dir: &Path) -> CampaignMeta {
+    let path = dir.join("reference.json");
+    let out = varity(&[
+        "campaign",
+        "--programs",
+        PROGRAMS,
+        "--inputs",
+        INPUTS,
+        "--seed",
+        SEED,
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "reference campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr));
+    CampaignMeta::load(&path).expect("reference metadata loads")
+}
+
+/// The acceptance bar: a farm of 4 workers with seeded chaos `kill -9`s
+/// produces a merged report identical to the single-process run, metric
+/// totals match, and every worker death shows up in the counters.
+#[test]
+fn chaos_farm_merged_report_matches_single_process_run() {
+    let dir = temp_dir("chaos");
+    let reference = reference_meta(&dir);
+
+    let farm_dir = dir.join("farm");
+    let merged_path = dir.join("merged.json");
+    let out = varity(&[
+        "farm",
+        "--dir",
+        farm_dir.to_str().unwrap(),
+        "--workers",
+        "4",
+        "--shards",
+        "8",
+        "--programs",
+        PROGRAMS,
+        "--inputs",
+        INPUTS,
+        "--seed",
+        SEED,
+        "--chaos-kills",
+        "4",
+        "--chaos-seed",
+        "99",
+        "--out",
+        merged_path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(out.status.code(), Some(0), "farm failed:\n{stderr}");
+
+    // Merged report is byte-identical to the single-process run. (The
+    // convention from the difftest chaos tests: the *report* — what the
+    // campaign claims about the toolchains — must be unaffected by
+    // faults; telemetry like span timings legitimately differs.)
+    let merged = CampaignMeta::load(&merged_path).expect("merged metadata loads");
+    assert!(merged.is_complete(), "merged campaign ran both sides");
+    let ref_report = serde_json::to_vec(&analyze(&reference)).unwrap();
+    let farm_report = serde_json::to_vec(&analyze(&merged)).unwrap();
+    assert_eq!(ref_report, farm_report, "merged farm report diverges from single-process run");
+
+    // Replay-exact metric totals ride the merged metadata.
+    let ref_snap = reference.metrics.as_ref().expect("reference telemetry");
+    let farm_snap = merged.metrics.as_ref().expect("merged telemetry");
+    for counter in ["campaign.runs_done", "campaign.discrepancies"] {
+        assert_eq!(
+            farm_snap.counter(counter),
+            ref_snap.counter(counter),
+            "metric total {counter} diverges"
+        );
+    }
+
+    // Every chaos kill is a visible worker death, and every death was
+    // recovered by a respawn (the farm finished with zero poison).
+    let kills = farm_counter(&stderr, "chaos_kills");
+    let deaths = farm_counter(&stderr, "deaths");
+    let respawns = farm_counter(&stderr, "respawns");
+    assert!(kills >= 1, "chaos never got to kill anyone:\n{stderr}");
+    assert!(deaths >= kills, "deaths {deaths} < chaos kills {kills}:\n{stderr}");
+    assert!(respawns >= kills, "kills were not all recovered by respawns:\n{stderr}");
+    assert_eq!(farm_counter(&stderr, "done"), 8, "all shards folded:\n{stderr}");
+    assert_eq!(farm_counter(&stderr, "poisoned"), 0, "no shard poisoned:\n{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drain (stop file) exits 130 with a resume hint, and re-running the
+/// same command finishes the campaign with the same report as an
+/// uninterrupted single-process run.
+#[test]
+fn drained_farm_resumes_to_the_same_report() {
+    let dir = temp_dir("drain");
+    let reference = reference_meta(&dir);
+
+    let farm_dir = dir.join("farm");
+    let merged_path = dir.join("merged.json");
+    let farm_args: Vec<String> = [
+        "farm",
+        "--dir",
+        farm_dir.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--shards",
+        "4",
+        "--programs",
+        PROGRAMS,
+        "--inputs",
+        INPUTS,
+        "--seed",
+        SEED,
+        "--out",
+        merged_path.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    // Start the farm, then drop the stop file once workers are live.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_varity-gpu"))
+        .args(&farm_args)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("farm starts");
+    // Wait for evidence of progress (a shard journal appears), then drain.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let journals_live = (0..4).any(|k| {
+            farm_dir.join(format!("shard-{k:03}")).join("journal.bin").exists()
+        });
+        if journals_live || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    std::fs::write(farm_dir.join("stop"), b"drain").expect("stop file written");
+    let out = child.wait_with_output().expect("farm exits");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    if out.status.code() == Some(130) {
+        // Drained mid-run: the hint names the resume path.
+        assert!(stderr.contains("drained"), "no drain notice:\n{stderr}");
+        assert!(!merged_path.exists() || CampaignMeta::load(&merged_path).is_ok());
+    } else {
+        // The farm can legitimately win the race and finish first.
+        assert_eq!(out.status.code(), Some(0), "unexpected farm exit:\n{stderr}");
+    }
+
+    // Resume (or no-op re-run): same command, must complete cleanly.
+    let out = varity(&farm_args.iter().map(String::as_str).collect::<Vec<_>>());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "farm resume failed:\n{stderr}");
+    let merged = CampaignMeta::load(&merged_path).expect("merged metadata loads");
+    assert!(merged.is_complete());
+    let ref_report = serde_json::to_vec(&analyze(&reference)).unwrap();
+    let farm_report = serde_json::to_vec(&analyze(&merged)).unwrap();
+    assert_eq!(ref_report, farm_report, "resumed farm report diverges");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `campaign --shard K/N` runs exactly the round-robin slice, and the
+/// slices reassemble into the full campaign via `analyze FILE...`-style
+/// merging.
+#[test]
+fn campaign_shard_flag_runs_only_its_slice() {
+    let dir = temp_dir("shardflag");
+    let out_path = dir.join("shard1of4.json");
+    let out = varity(&[
+        "campaign",
+        "--programs",
+        "8",
+        "--inputs",
+        "2",
+        "--seed",
+        SEED,
+        "--shard",
+        "1/4",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "shard campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr));
+    let meta = CampaignMeta::load(&out_path).expect("shard metadata loads");
+    let indices: Vec<u64> = meta.tests.iter().map(|t| t.index).collect();
+    assert_eq!(indices, vec![1, 5], "shard 1/4 of 8 programs owns indices 1 and 5");
+    assert!(meta.is_complete(), "the slice itself ran both sides");
+
+    // Malformed specs are usage errors.
+    for bad in ["4/4", "x/2", "3", "0/0"] {
+        let out = varity(&["campaign", "--programs", "8", "--shard", bad]);
+        assert_eq!(out.status.code(), Some(2), "--shard {bad} must be rejected");
+    }
+    // --shard with --resume is a usage error (the spec lives in the
+    // checkpoint).
+    let out = varity(&["campaign", "--resume", "/nonexistent", "--shard", "0/2"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn farm_usage_errors() {
+    // --dir is mandatory.
+    let out = varity(&["farm", "--workers", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    // More shards than programs would leave empty shards.
+    let out = varity(&["farm", "--dir", "/tmp/x", "--programs", "2", "--shards", "8"]);
+    assert_eq!(out.status.code(), Some(2));
+    // help mentions the subcommand.
+    let out = varity(&["help"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("farm"));
+}

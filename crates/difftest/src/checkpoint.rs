@@ -285,12 +285,55 @@ fn parse_journal(bytes: &[u8]) -> io::Result<(Vec<UnitRecord>, u64)> {
     Ok((units, pos as u64))
 }
 
+/// Which slice of a campaign a checkpoint covers: shard `index` of
+/// `count`, i.e. the tests whose generation index is ≡ `index` (mod
+/// `count`) — the subset [`CampaignMeta::generate_shard`] regenerates.
+/// Persisted as `shard.json` in the checkpoint directory so `--resume`
+/// re-runs exactly the same subset; the farm supervisor writes it once
+/// when it creates a lease's checkpoint and every worker (first spawn or
+/// respawn) just resumes the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Shard index in `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl std::str::FromStr for ShardSpec {
+    type Err = String;
+
+    /// Parse the CLI's `K/N` form (`--shard 3/8`).
+    fn from_str(s: &str) -> Result<ShardSpec, String> {
+        let err = || format!("bad shard spec {s:?} (use K/N, e.g. 3/8)");
+        let (k, n) = s.split_once('/').ok_or_else(err)?;
+        let spec = ShardSpec {
+            index: k.trim().parse().map_err(|_| err())?,
+            count: n.trim().parse().map_err(|_| err())?,
+        };
+        if spec.count == 0 || spec.index >= spec.count {
+            return Err(format!("shard index must satisfy K < N, got {spec}"));
+        }
+        Ok(spec)
+    }
+}
+
 /// A checkpoint directory: the campaign config (written atomically at
-/// creation) plus the journal. `quarantine.jsonl` is derived data the
-/// CLI writes next to them when the campaign finishes or stops.
+/// creation), the journal, and — for farm leases — the `shard.json`
+/// spec naming the campaign slice this directory owns.
+/// `quarantine.jsonl` is derived data the CLI writes next to them when
+/// the campaign finishes or stops, and a `stop` file dropped in the
+/// directory asks the running worker to drain at the next unit boundary.
 pub struct Checkpoint {
     dir: PathBuf,
     journal: Journal,
+    shard: Option<ShardSpec>,
 }
 
 impl Checkpoint {
@@ -309,24 +352,59 @@ impl Checkpoint {
         dir.join("quarantine.jsonl")
     }
 
+    /// Path of the shard spec inside a checkpoint directory.
+    pub fn shard_path(dir: &Path) -> PathBuf {
+        dir.join("shard.json")
+    }
+
+    /// Path of the cooperative stop file inside a checkpoint directory.
+    /// Creating it asks the worker running this checkpoint to stop at
+    /// the next unit boundary, flush, and exit as interrupted — drain
+    /// without signals.
+    pub fn stop_path(dir: &Path) -> PathBuf {
+        dir.join("stop")
+    }
+
     /// Start a fresh checkpoint: create the directory, persist the
     /// config atomically, and truncate the journal.
     pub fn create(dir: &Path, config: &CampaignConfig) -> Result<Checkpoint, MetaError> {
+        Self::create_sharded(dir, config, None)
+    }
+
+    /// Start a fresh checkpoint covering one shard of the campaign (or
+    /// all of it when `shard` is `None`). Clears any stale `stop` file
+    /// so a directory recycled from a drained run starts live.
+    pub fn create_sharded(
+        dir: &Path,
+        config: &CampaignConfig,
+        shard: Option<ShardSpec>,
+    ) -> Result<Checkpoint, MetaError> {
         std::fs::create_dir_all(dir).map_err(meta_io)?;
         let json = serde_json::to_vec_pretty(config).map_err(meta_io)?;
         atomic_write(&Self::config_path(dir), &json).map_err(meta_io)?;
+        if let Some(spec) = &shard {
+            let spec_json = serde_json::to_vec_pretty(spec).map_err(meta_io)?;
+            atomic_write(&Self::shard_path(dir), &spec_json).map_err(meta_io)?;
+        }
+        std::fs::remove_file(Self::stop_path(dir)).ok();
         let journal = Journal::create(&Self::journal_path(dir)).map_err(meta_io)?;
-        Ok(Checkpoint { dir: dir.to_path_buf(), journal })
+        Ok(Checkpoint { dir: dir.to_path_buf(), journal, shard })
     }
 
-    /// Reopen a checkpoint directory: load the config and replay the
-    /// journal's valid prefix.
+    /// Reopen a checkpoint directory: load the config (and the shard
+    /// spec, if this checkpoint covers one) and replay the journal's
+    /// valid prefix.
     pub fn resume(dir: &Path) -> Result<(Checkpoint, CampaignConfig, Vec<UnitRecord>), MetaError> {
         let json = std::fs::read_to_string(Self::config_path(dir)).map_err(meta_io)?;
         let config: CampaignConfig = serde_json::from_str(&json).map_err(meta_io)?;
+        let shard = match std::fs::read_to_string(Self::shard_path(dir)) {
+            Ok(s) => Some(serde_json::from_str(&s).map_err(meta_io)?),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(meta_io(e)),
+        };
         let (journal, units) =
             Journal::open_for_resume(&Self::journal_path(dir)).map_err(meta_io)?;
-        Ok((Checkpoint { dir: dir.to_path_buf(), journal }, config, units))
+        Ok((Checkpoint { dir: dir.to_path_buf(), journal, shard }, config, units))
     }
 
     /// The checkpoint's directory.
@@ -337,6 +415,12 @@ impl Checkpoint {
     /// The checkpoint's journal.
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// The campaign slice this checkpoint covers (`None` = the whole
+    /// campaign).
+    pub fn shard_spec(&self) -> Option<ShardSpec> {
+        self.shard
     }
 
     /// Take ownership of the journal (to hand to an [`FtSession`]).
@@ -373,6 +457,7 @@ pub struct FtSession {
     skip: HashSet<(u64, String)>,
     max_faults: Option<u64>,
     heed_shutdown: bool,
+    stop_file: Option<PathBuf>,
     faults: Mutex<Vec<TestFault>>,
     tripped: AtomicBool,
     io_error: Mutex<Option<String>>,
@@ -389,10 +474,23 @@ impl FtSession {
             skip: HashSet::new(),
             max_faults,
             heed_shutdown: true,
+            stop_file: None,
             faults: Mutex::new(Vec::new()),
             tripped: AtomicBool::new(false),
             io_error: Mutex::new(None),
         }
+    }
+
+    /// Also watch a stop file: when `path` comes into existence the
+    /// session behaves exactly as if a graceful shutdown were requested
+    /// — workers stop at the next unit boundary, the checkpoint is
+    /// flushed, and the run reports [`FtStatus::Interrupted`]. This is
+    /// how a farm supervisor drains worker *processes* it cannot (or
+    /// chooses not to) signal: it drops [`Checkpoint::stop_path`] into
+    /// the lease's checkpoint directory.
+    pub fn with_stop_file(mut self, path: PathBuf) -> FtSession {
+        self.stop_file = Some(path);
+        self
     }
 
     /// A plain session: no journal, no skip set, no fault cap, and deaf
@@ -402,6 +500,12 @@ impl FtSession {
     /// persistence opt-in.
     pub fn plain() -> FtSession {
         FtSession { heed_shutdown: false, ..FtSession::new(None, None) }
+    }
+
+    /// Whether the session's stop file exists (checked between units,
+    /// alongside the global shutdown flag).
+    fn stop_file_present(&self) -> bool {
+        self.stop_file.as_deref().is_some_and(|p| p.exists())
     }
 
     /// Apply journal-replayed units to the regenerated campaign: store
@@ -450,7 +554,7 @@ impl FtSession {
         if self.fault_limit_hit() {
             return FtStatus::FaultLimit;
         }
-        if self.heed_shutdown && fault::shutdown_requested() {
+        if (self.heed_shutdown && fault::shutdown_requested()) || self.stop_file_present() {
             return FtStatus::Interrupted;
         }
         FtStatus::Complete
@@ -502,7 +606,11 @@ pub fn run_side_ft(meta: &mut CampaignMeta, toolchain: Toolchain, session: &FtSe
         },
         config.quirks,
     );
-    let halted = || session.stopped() || (session.heed_shutdown && fault::shutdown_requested());
+    let halted = || {
+        session.stopped()
+            || (session.heed_shutdown && fault::shutdown_requested())
+            || session.stop_file_present()
+    };
     meta.tests.par_iter_mut().for_each(|test| {
         if halted() {
             return;
@@ -693,11 +801,82 @@ mod tests {
         let dir = std::env::temp_dir().join("difftest_checkpoint_dir_test");
         std::fs::remove_dir_all(&dir).ok();
         let ckpt = Checkpoint::create(&dir, &config).unwrap();
+        assert_eq!(ckpt.shard_spec(), None);
         ckpt.journal().append(&unit(0, "nvcc:O0")).unwrap();
         drop(ckpt);
-        let (_ckpt, back, units) = Checkpoint::resume(&dir).unwrap();
+        let (ckpt, back, units) = Checkpoint::resume(&dir).unwrap();
         assert_eq!(back, config);
         assert_eq!(units.len(), 1);
+        assert_eq!(ckpt.shard_spec(), None, "no shard.json means a whole-campaign checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_spec_parses_and_rejects_malformed_input() {
+        use std::str::FromStr;
+        assert_eq!(ShardSpec::from_str("3/8").unwrap(), ShardSpec { index: 3, count: 8 });
+        assert_eq!(ShardSpec::from_str("0/1").unwrap().to_string(), "0/1");
+        for bad in ["", "3", "3/", "/8", "8/3", "3/3", "a/b", "3/0"] {
+            assert!(ShardSpec::from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_persists_its_spec_across_resume() {
+        use progen::ast::Precision;
+        let config = CampaignConfig::default_for(Precision::F64, crate::campaign::TestMode::Direct)
+            .with_programs(6);
+        let dir = std::env::temp_dir().join("difftest_checkpoint_shard_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = ShardSpec { index: 2, count: 3 };
+        let ckpt = Checkpoint::create_sharded(&dir, &config, Some(spec)).unwrap();
+        assert_eq!(ckpt.shard_spec(), Some(spec));
+        drop(ckpt);
+        let (ckpt, back, units) = Checkpoint::resume(&dir).unwrap();
+        assert_eq!(back, config);
+        assert!(units.is_empty());
+        assert_eq!(ckpt.shard_spec(), Some(spec), "shard.json must survive resume");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_sharded_clears_a_stale_stop_file() {
+        use progen::ast::Precision;
+        let config = CampaignConfig::default_for(Precision::F64, crate::campaign::TestMode::Direct)
+            .with_programs(2);
+        let dir = std::env::temp_dir().join("difftest_checkpoint_stale_stop");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(Checkpoint::stop_path(&dir), b"").unwrap();
+        let _ckpt = Checkpoint::create(&dir, &config).unwrap();
+        assert!(!Checkpoint::stop_path(&dir).exists(), "fresh checkpoints must start live");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stop_file_drains_the_session_at_a_unit_boundary() {
+        use gpucc::pipeline::Toolchain;
+        use progen::ast::Precision;
+        let config = CampaignConfig::default_for(Precision::F64, crate::campaign::TestMode::Direct)
+            .with_programs(3);
+        let dir = std::env::temp_dir().join("difftest_stop_file_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let stop = Checkpoint::stop_path(&dir);
+
+        // stop file absent: the run completes
+        let session = FtSession::plain().with_stop_file(stop.clone());
+        let mut meta = CampaignMeta::generate(&config);
+        assert_eq!(run_side_ft(&mut meta, Toolchain::Nvcc, &session), FtStatus::Complete);
+
+        // stop file present up front: nothing runs, status is Interrupted
+        std::fs::write(&stop, b"").unwrap();
+        let session = FtSession::plain().with_stop_file(stop.clone());
+        let mut meta = CampaignMeta::generate(&config);
+        let status = run_side_ft(&mut meta, Toolchain::Hipcc, &session);
+        assert_eq!(status, FtStatus::Interrupted);
+        assert!(meta.tests.iter().all(|t| t.results.is_empty()), "no unit may start");
+        assert!(!meta.sides_run.contains(&"hipcc".to_string()));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

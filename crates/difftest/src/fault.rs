@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
 
 /// Classification of a contained test failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum FaultKind {
     /// The test panicked (interpreter bug, resolver `expect`, injected
     /// chaos fault).
@@ -58,7 +58,12 @@ impl std::fmt::Display for FaultKind {
 /// producing ordinary results. The campaign stores error records in its
 /// place and keeps going; this record is what lands in the quarantine
 /// log so the test can be replayed (`varity-gpu replay`) and attributed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Faults order by `(index, program_id, seed, side, kind, detail)` — the
+/// derived lexicographic order `CampaignMeta::merge_shards` sorts
+/// quarantine entries into, so merged quarantines are canonical no
+/// matter which shard landed first.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TestFault {
     /// Generation index of the faulting test.
     pub index: u64,

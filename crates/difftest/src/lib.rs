@@ -25,7 +25,14 @@
 //!     ([`fault`]), crash-safe checkpoint/resume via an append-only
 //!     CRC-framed journal ([`checkpoint`]), and — under the test-only
 //!     `chaos` feature — injected crashes, torn writes, and I/O errors
-//!     that prove the recovery paths ([`chaos`]).
+//!     that prove the recovery paths ([`chaos`]);
+//! 11. scale out: shard-sliced generation
+//!     ([`metadata::CampaignMeta::generate_shard`]), sharded checkpoints
+//!     ([`checkpoint::ShardSpec`]), stop-file drain, and order-independent
+//!     incremental shard merging
+//!     ([`metadata::CampaignMeta::merge_shards_partial`]) — the worker-
+//!     side primitives the `farm` crate's supervisor composes into a
+//!     self-healing multi-process fuzzing service.
 
 #![deny(missing_docs)]
 
@@ -45,7 +52,7 @@ pub mod report;
 pub mod stats;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, TestMode};
-pub use checkpoint::{atomic_write, Checkpoint, FtSession, FtStatus, Journal};
+pub use checkpoint::{atomic_write, Checkpoint, FtSession, FtStatus, Journal, ShardSpec};
 pub use compare::compare_runs;
 pub use fault::{FaultKind, TestFault};
 pub use outcome::DiscrepancyClass;

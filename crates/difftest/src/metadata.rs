@@ -71,6 +71,13 @@ pub struct CampaignMeta {
     /// halves or shards adds their snapshots together.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<obs::MetricsSnapshot>,
+    /// Quarantined faults this piece of the campaign contained (absent
+    /// in files written before fault tolerance existed). The CLI copies
+    /// the fault-tolerant session's ledger here before saving, so shard
+    /// result files carry their quarantine with them; merging dedupes
+    /// and sorts, keeping shard merges order-independent.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub quarantine: Vec<TestFault>,
 }
 
 /// Key for one (toolchain, level) result column.
@@ -101,8 +108,28 @@ impl std::error::Error for MetaError {}
 impl CampaignMeta {
     /// Generate the campaign's tests and inputs (no results yet).
     pub fn generate(config: &CampaignConfig) -> Self {
+        let indices: Vec<u64> = (0..config.n_programs as u64).collect();
+        Self::generate_indices(config, indices)
+    }
+
+    /// Generate only shard `shard_index` of `shard_count`: the tests
+    /// whose generation index is ≡ `shard_index` (mod `shard_count`) —
+    /// exactly the subset [`CampaignMeta::shard`] deals that shard, so
+    /// `generate_shard(c, k, n)` equals `generate(c).shard(n)[k]` without
+    /// ever materializing the other shards. Campaign-farm workers use
+    /// this to regenerate their lease from `(config, shard spec)` alone.
+    pub fn generate_shard(config: &CampaignConfig, shard_index: usize, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        assert!(shard_index < shard_count, "shard index out of range");
+        let indices: Vec<u64> = (0..config.n_programs as u64)
+            .filter(|i| (*i as usize) % shard_count == shard_index)
+            .collect();
+        Self::generate_indices(config, indices)
+    }
+
+    fn generate_indices(config: &CampaignConfig, indices: Vec<u64>) -> Self {
         let _span = obs::span("campaign.generate");
-        let tests = (0..config.n_programs as u64)
+        let tests = indices
             .into_par_iter()
             .map(|index| {
                 let program = generate_program(&config.gen, config.seed, index);
@@ -110,7 +137,13 @@ impl CampaignMeta {
                 TestMeta { index, program_id: program.id.clone(), inputs, results: BTreeMap::new() }
             })
             .collect();
-        CampaignMeta { config: config.clone(), sides_run: Vec::new(), tests, metrics: None }
+        CampaignMeta {
+            config: config.clone(),
+            sides_run: Vec::new(),
+            tests,
+            metrics: None,
+            quarantine: Vec::new(),
+        }
     }
 
     /// Regenerate the program for a test entry (deterministic).
@@ -163,6 +196,8 @@ impl CampaignMeta {
                 a.sides_run.push(s);
             }
         }
+        a.quarantine.extend(b.quarantine);
+        canonicalize_quarantine(&mut a.quarantine);
         a.metrics = merge_metrics(a.metrics.take(), b.metrics);
         Ok(a)
     }
@@ -182,18 +217,32 @@ impl CampaignMeta {
                 sides_run: self.sides_run.clone(),
                 tests: Vec::new(),
                 metrics: None,
+                quarantine: Vec::new(),
             })
             .collect();
         for (i, test) in self.tests.into_iter().enumerate() {
             shards[i % n_shards].tests.push(test);
         }
+        // quarantine entries follow the shard that owns their test
+        for fault in self.quarantine {
+            shards[(fault.index as usize) % n_shards].quarantine.push(fault);
+        }
         shards
     }
 
-    /// Recombine shards produced by [`CampaignMeta::shard`] into the full
-    /// campaign. Requires identical configs and a complete, disjoint test
-    /// set; the intersection of the shards' completed sides is kept.
-    pub fn merge_shards(shards: Vec<CampaignMeta>) -> Result<CampaignMeta, MetaError> {
+    /// Fold shards produced by [`CampaignMeta::shard`] (or regenerated
+    /// by farm workers via [`CampaignMeta::generate_shard`]) into one
+    /// campaign *without* requiring the set to be complete — the
+    /// incremental-merge primitive the campaign farm folds finished
+    /// shards into as they land. Requires identical configs and disjoint
+    /// test indices; the intersection of the shards' completed sides is
+    /// kept.
+    ///
+    /// The result is canonical: tests sorted by index, sides sorted, and
+    /// quarantine entries deduplicated and sorted. Canonical output makes
+    /// the fold order-independent — merging shards in any order, in any
+    /// grouping, yields byte-identical metadata.
+    pub fn merge_shards_partial(shards: Vec<CampaignMeta>) -> Result<CampaignMeta, MetaError> {
         let mut iter = shards.into_iter();
         let mut first = iter.next().ok_or(MetaError::ConfigMismatch)?;
         let config_json = serde_json::to_string(&first.config).map_err(io)?;
@@ -204,17 +253,29 @@ impl CampaignMeta {
             }
             sides.retain(|s| shard.sides_run.contains(s));
             first.tests.extend(shard.tests);
+            first.quarantine.extend(shard.quarantine);
             first.metrics = merge_metrics(first.metrics.take(), shard.metrics);
         }
         first.tests.sort_by_key(|t| t.index);
-        // completeness + disjointness
-        if first.tests.len() != first.config.n_programs
-            || first.tests.windows(2).any(|w| w[0].index == w[1].index)
-        {
+        // disjointness
+        if first.tests.windows(2).any(|w| w[0].index == w[1].index) {
             return Err(MetaError::ConfigMismatch);
         }
+        sides.sort();
         first.sides_run = sides;
+        canonicalize_quarantine(&mut first.quarantine);
         Ok(first)
+    }
+
+    /// Recombine a *complete* shard set into the full campaign:
+    /// [`CampaignMeta::merge_shards_partial`] plus the completeness
+    /// check (every test index present exactly once).
+    pub fn merge_shards(shards: Vec<CampaignMeta>) -> Result<CampaignMeta, MetaError> {
+        let merged = Self::merge_shards_partial(shards)?;
+        if merged.tests.len() != merged.config.n_programs {
+            return Err(MetaError::ConfigMismatch);
+        }
+        Ok(merged)
     }
 
     /// Save as JSON, atomically (temp file + fsync + rename in the
@@ -234,6 +295,16 @@ impl CampaignMeta {
 
 fn io(e: impl std::fmt::Display) -> MetaError {
     MetaError::Io(e.to_string())
+}
+
+/// Sort and deduplicate a quarantine ledger into its canonical form.
+/// Duplicates are real: a worker that crashed after journaling a
+/// faulting unit replays that unit's fault on resume, and the shard that
+/// reran it reports it again — the merged campaign must count the fault
+/// once.
+fn canonicalize_quarantine(quarantine: &mut Vec<TestFault>) {
+    quarantine.sort();
+    quarantine.dedup();
 }
 
 /// Combine the telemetry of two campaign pieces (counters add,
@@ -523,6 +594,120 @@ mod tests {
         assert!(merged.is_complete());
         let report = analyze(&merged);
         assert_eq!(report.per_level, monolithic.per_level);
+    }
+
+    #[test]
+    fn generate_shard_equals_sharding_the_full_campaign() {
+        let config = cfg().with_programs(13);
+        let full_shards = CampaignMeta::generate(&config).shard(4);
+        for k in 0..4 {
+            let direct = CampaignMeta::generate_shard(&config, k, 4);
+            assert_eq!(direct, full_shards[k], "shard {k}/4 mismatch");
+            assert!(direct.tests.iter().all(|t| (t.index as usize) % 4 == k));
+        }
+        // every test appears in exactly one shard
+        let total: usize = (0..4)
+            .map(|k| CampaignMeta::generate_shard(&config, k, 4).tests.len())
+            .sum();
+        assert_eq!(total, config.n_programs);
+    }
+
+    fn fault(index: u64, side: &str) -> TestFault {
+        TestFault {
+            index,
+            program_id: format!("prog_{index}"),
+            seed: 2024,
+            side: side.to_string(),
+            kind: FaultKind::Panic,
+            detail: "injected".to_string(),
+        }
+    }
+
+    #[test]
+    fn merge_shards_is_order_independent_and_dedupes_quarantine() {
+        let config = cfg().with_programs(9);
+        let mut shards: Vec<CampaignMeta> = CampaignMeta::generate(&config)
+            .shard(3)
+            .into_iter()
+            .map(|mut s| {
+                s.run_side(Toolchain::Nvcc);
+                s.run_side(Toolchain::Hipcc);
+                s
+            })
+            .collect();
+        // simulate a fault journaled by a crashed worker and re-reported
+        // by the worker that resumed the shard: same entry twice, plus a
+        // distinct fault on another shard, inserted out of order
+        shards[1].quarantine.push(fault(4, "nvcc:O2"));
+        shards[1].quarantine.push(fault(1, "hipcc:O0"));
+        shards[1].quarantine.push(fault(4, "nvcc:O2"));
+        shards[2].quarantine.push(fault(2, "nvcc:O0"));
+
+        // fold in every completion order, incrementally (farm-style)
+        let reference = serde_json::to_string(
+            &CampaignMeta::merge_shards(shards.clone()).expect("complete set merges"),
+        )
+        .unwrap();
+        let orders: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for order in orders {
+            let mut rolling: Option<CampaignMeta> = None;
+            for &i in &order {
+                let next = shards[i].clone();
+                rolling = Some(match rolling.take() {
+                    None => CampaignMeta::merge_shards_partial(vec![next]).unwrap(),
+                    Some(acc) => CampaignMeta::merge_shards_partial(vec![acc, next]).unwrap(),
+                });
+            }
+            let merged = rolling.unwrap();
+            assert_eq!(merged.tests.len(), config.n_programs);
+            assert_eq!(
+                serde_json::to_string(&merged).unwrap(),
+                reference,
+                "fold order {order:?} must be byte-identical"
+            );
+            // deduped: the duplicated fault counts once
+            assert_eq!(merged.quarantine.len(), 3);
+            assert!(merged.quarantine.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+        }
+    }
+
+    #[test]
+    fn shard_routes_quarantine_entries_with_their_tests() {
+        let config = cfg().with_programs(6);
+        let mut meta = CampaignMeta::generate(&config);
+        meta.quarantine.push(fault(5, "nvcc:O0")); // 5 % 3 == 2
+        meta.quarantine.push(fault(3, "nvcc:O0")); // 3 % 3 == 0
+        let shards = meta.shard(3);
+        assert_eq!(shards[0].quarantine.len(), 1);
+        assert_eq!(shards[0].quarantine[0].index, 3);
+        assert!(shards[1].quarantine.is_empty());
+        assert_eq!(shards[2].quarantine[0].index, 5);
+    }
+
+    #[test]
+    fn merge_halves_unions_quarantine() {
+        let config = cfg().with_programs(3);
+        let mut a = CampaignMeta::generate(&config);
+        a.run_side(Toolchain::Nvcc);
+        a.quarantine.push(fault(0, "nvcc:O1"));
+        let mut b = CampaignMeta::generate(&config);
+        b.run_side(Toolchain::Hipcc);
+        b.quarantine.push(fault(0, "hipcc:O1"));
+        b.quarantine.push(fault(0, "nvcc:O1")); // duplicate across halves
+        let merged = CampaignMeta::merge(a, b).unwrap();
+        assert_eq!(merged.quarantine.len(), 2);
+    }
+
+    #[test]
+    fn quarantine_field_is_optional_in_old_files() {
+        let config = cfg().with_programs(2);
+        let meta = CampaignMeta::generate(&config);
+        let mut v: serde_json::Value = serde_json::to_value(&meta).unwrap();
+        v.as_object_mut().unwrap().remove("quarantine");
+        let back: CampaignMeta = serde_json::from_value(v).unwrap();
+        assert_eq!(back, meta);
+        assert!(back.quarantine.is_empty());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Jittered exponential backoff for worker respawns.
+//!
+//! A shard whose worker keeps dying is respawned with exponentially
+//! growing, jittered delays so a correlated failure (bad node, full
+//! disk) doesn't turn into a tight fork-bomb — and the jitter keeps a
+//! fleet of crashed shards from thundering back in lock-step. The
+//! supervisor keeps one [`Backoff`] per shard and resets it when a
+//! worker completes the shard (or makes journal progress before dying).
+
+use crate::rng::SplitMix64;
+
+/// Shape of the backoff curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling the exponential curve saturates at (pre-jitter).
+    pub cap_ms: u64,
+    /// Symmetric jitter fraction in `[0, 1)`: a computed delay `d` is
+    /// drawn uniformly from `[d·(1−jitter), d·(1+jitter)]`.
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy { base_ms: 250, cap_ms: 15_000, jitter: 0.5 }
+    }
+}
+
+impl BackoffPolicy {
+    /// The deterministic (pre-jitter) delay for retry `attempt`
+    /// (0-based): `min(cap, base · 2^attempt)`.
+    pub fn raw_delay_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.min(32);
+        self.base_ms.saturating_mul(1u64 << shift).min(self.cap_ms)
+    }
+}
+
+/// Per-shard backoff state: an attempt counter advanced by each failure
+/// and cleared by success, plus a seeded jitter source.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// Fresh backoff under `policy`; `seed` fixes the jitter stream so
+    /// farm runs are replayable.
+    pub fn new(policy: BackoffPolicy, seed: u64) -> Backoff {
+        Backoff { policy, attempt: 0, rng: SplitMix64::new(seed) }
+    }
+
+    /// Number of consecutive failures recorded so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Record a failure and return the jittered delay to wait before the
+    /// next respawn.
+    pub fn next_delay_ms(&mut self) -> u64 {
+        let raw = self.policy.raw_delay_ms(self.attempt);
+        self.attempt = self.attempt.saturating_add(1);
+        let spread = raw as f64 * self.policy.jitter;
+        let offset = spread * (2.0 * self.rng.next_f64() - 1.0);
+        (raw as f64 + offset).round().max(0.0) as u64
+    }
+
+    /// Record a success: the next failure starts the curve over from
+    /// `base_ms`.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BackoffPolicy {
+        BackoffPolicy { base_ms: 100, cap_ms: 1600, jitter: 0.5 }
+    }
+
+    #[test]
+    fn raw_curve_doubles_then_saturates_at_the_cap() {
+        let p = policy();
+        assert_eq!(p.raw_delay_ms(0), 100);
+        assert_eq!(p.raw_delay_ms(1), 200);
+        assert_eq!(p.raw_delay_ms(2), 400);
+        assert_eq!(p.raw_delay_ms(4), 1600);
+        assert_eq!(p.raw_delay_ms(5), 1600, "cap");
+        assert_eq!(p.raw_delay_ms(63), 1600, "huge attempts must not overflow");
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_advertised_bounds() {
+        for seed in 0..32u64 {
+            let mut b = Backoff::new(policy(), seed);
+            for attempt in 0..8u32 {
+                let raw = policy().raw_delay_ms(attempt) as f64;
+                let d = b.next_delay_ms() as f64;
+                let lo = (raw * 0.5).floor() - 1.0;
+                let hi = (raw * 1.5).ceil() + 1.0;
+                assert!(
+                    (lo..=hi).contains(&d),
+                    "seed {seed} attempt {attempt}: delay {d} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies_across_seeds() {
+        let delays: Vec<u64> =
+            (0..16u64).map(|s| Backoff::new(policy(), s).next_delay_ms()).collect();
+        let first = delays[0];
+        assert!(delays.iter().any(|&d| d != first), "all seeds produced {first}ms");
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_the_raw_curve_exactly() {
+        let p = BackoffPolicy { base_ms: 50, cap_ms: 400, jitter: 0.0 };
+        let mut b = Backoff::new(p, 9);
+        assert_eq!(b.next_delay_ms(), 50);
+        assert_eq!(b.next_delay_ms(), 100);
+        assert_eq!(b.next_delay_ms(), 200);
+        assert_eq!(b.next_delay_ms(), 400);
+        assert_eq!(b.next_delay_ms(), 400);
+    }
+
+    #[test]
+    fn reset_on_success_restarts_the_curve() {
+        let p = BackoffPolicy { base_ms: 100, cap_ms: 1600, jitter: 0.0 };
+        let mut b = Backoff::new(p, 1);
+        assert_eq!(b.next_delay_ms(), 100);
+        assert_eq!(b.next_delay_ms(), 200);
+        assert_eq!(b.attempt(), 2);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert_eq!(b.next_delay_ms(), 100, "post-reset delay must restart from base");
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-shard crash-count circuit breaker.
+//!
+//! A shard whose worker dies over and over is usually not unlucky — it
+//! is sitting on an input that deterministically kills the process (or
+//! on a poisoned checkpoint). Respawning it forever burns a worker slot
+//! and starves healthy shards. The breaker counts *consecutive* crashes
+//! per shard; at the configured threshold it trips and the supervisor
+//! demotes the shard to the poison quarantine instead of respawning it.
+//! Any sign of life (journal progress, clean completion) resets the
+//! count, so a long shard that crashes occasionally but keeps advancing
+//! is never poisoned.
+
+use crate::lease::ShardId;
+
+/// Consecutive-crash counter per shard with a trip threshold.
+#[derive(Debug, Clone)]
+pub struct CrashBreaker {
+    threshold: u32,
+    consecutive: Vec<u32>,
+}
+
+impl CrashBreaker {
+    /// Breaker over `n_shards` shards tripping at `threshold`
+    /// consecutive crashes. `threshold` must be nonzero.
+    pub fn new(n_shards: usize, threshold: u32) -> CrashBreaker {
+        assert!(threshold > 0, "a zero threshold would poison every shard on sight");
+        CrashBreaker { threshold, consecutive: vec![0; n_shards] }
+    }
+
+    /// The configured trip threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Record a crash for `shard`; returns `true` if this crash trips
+    /// the breaker (the shard should be poisoned, not respawned).
+    pub fn record_crash(&mut self, shard: ShardId) -> bool {
+        let c = &mut self.consecutive[shard];
+        *c = c.saturating_add(1);
+        *c >= self.threshold
+    }
+
+    /// Record progress or completion for `shard`, clearing its streak.
+    pub fn record_success(&mut self, shard: ShardId) {
+        self.consecutive[shard] = 0;
+    }
+
+    /// Current consecutive-crash count for `shard`.
+    pub fn crashes(&self, shard: ShardId) -> u32 {
+        self.consecutive[shard]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_exactly_at_the_threshold() {
+        let mut b = CrashBreaker::new(2, 3);
+        assert!(!b.record_crash(0));
+        assert!(!b.record_crash(0));
+        assert!(b.record_crash(0), "third consecutive crash must trip");
+        assert_eq!(b.crashes(0), 3);
+        assert_eq!(b.crashes(1), 0, "shards are independent");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CrashBreaker::new(1, 3);
+        assert!(!b.record_crash(0));
+        assert!(!b.record_crash(0));
+        b.record_success(0);
+        assert_eq!(b.crashes(0), 0);
+        assert!(!b.record_crash(0), "streak restarted; two more to trip");
+        assert!(!b.record_crash(0));
+        assert!(b.record_crash(0));
+    }
+
+    #[test]
+    fn threshold_one_trips_on_the_first_crash() {
+        let mut b = CrashBreaker::new(1, 1);
+        assert!(b.record_crash(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threshold")]
+    fn zero_threshold_is_rejected() {
+        let _ = CrashBreaker::new(1, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The farm's built-in adversary: seeded random worker kills.
+//!
+//! Fault tolerance you haven't exercised is fault tolerance you don't
+//! have. With `--chaos-kills N`, the supervisor itself `SIGKILL`s `N`
+//! workers mid-run — victims chosen by a seeded RNG, and only once a
+//! victim has demonstrably made progress (its shard journal grew past a
+//! floor since spawn), so a kill always lands on a *partially complete*
+//! checkpoint. The CI smoke job then asserts the merged farm report is
+//! byte-identical to a single-process run of the same campaign: the
+//! strongest end-to-end statement that crash recovery re-executes and
+//! loses nothing.
+
+use crate::lease::ShardId;
+use crate::rng::SplitMix64;
+
+/// Chaos-mode parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Total number of workers to kill over the run.
+    pub kills: u32,
+    /// Seed for victim selection; equal seeds kill the same victims
+    /// given the same candidate sequences.
+    pub seed: u64,
+    /// A worker is only a candidate once its shard journal has grown by
+    /// at least this many bytes since that worker's spawn — guarantees
+    /// every kill interrupts real progress.
+    pub min_journal_growth: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig { kills: 0, seed: 0, min_journal_growth: 1 }
+    }
+}
+
+/// Seeded victim picker tracking its remaining kill budget.
+#[derive(Debug, Clone)]
+pub struct ChaosKiller {
+    config: ChaosConfig,
+    rng: SplitMix64,
+    killed: u32,
+}
+
+impl ChaosKiller {
+    /// Killer for `config`.
+    pub fn new(config: ChaosConfig) -> ChaosKiller {
+        ChaosKiller { rng: SplitMix64::new(config.seed), config, killed: 0 }
+    }
+
+    /// Minimum journal growth a worker must show before it can be a
+    /// victim.
+    pub fn min_journal_growth(&self) -> u64 {
+        self.config.min_journal_growth
+    }
+
+    /// Pick a victim among `candidates` (shards whose workers have made
+    /// enough progress), or `None` if the budget is spent or no one
+    /// qualifies. Decrements the budget on a pick.
+    pub fn pick(&mut self, candidates: &[ShardId]) -> Option<ShardId> {
+        if self.exhausted() || candidates.is_empty() {
+            return None;
+        }
+        let victim = candidates[self.rng.next_below(candidates.len() as u64) as usize];
+        self.killed += 1;
+        Some(victim)
+    }
+
+    /// Kills performed so far.
+    pub fn killed(&self) -> u32 {
+        self.killed
+    }
+
+    /// `true` once the kill budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.killed >= self.config.kills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_the_kill_budget() {
+        let mut k = ChaosKiller::new(ChaosConfig { kills: 2, seed: 1, ..Default::default() });
+        assert!(!k.exhausted());
+        assert!(k.pick(&[0, 1, 2]).is_some());
+        assert!(k.pick(&[0, 1, 2]).is_some());
+        assert!(k.exhausted());
+        assert_eq!(k.pick(&[0, 1, 2]), None, "budget spent");
+        assert_eq!(k.killed(), 2);
+    }
+
+    #[test]
+    fn no_candidates_means_no_kill_and_no_budget_burn() {
+        let mut k = ChaosKiller::new(ChaosConfig { kills: 1, seed: 1, ..Default::default() });
+        assert_eq!(k.pick(&[]), None);
+        assert_eq!(k.killed(), 0);
+        assert!(k.pick(&[5]).is_some(), "budget untouched by the empty pick");
+    }
+
+    #[test]
+    fn equal_seeds_pick_equal_victims() {
+        let cfg = ChaosConfig { kills: 10, seed: 42, ..Default::default() };
+        let mut a = ChaosKiller::new(cfg);
+        let mut b = ChaosKiller::new(cfg);
+        let candidates = [3, 1, 4, 1, 5, 9, 2, 6];
+        for _ in 0..10 {
+            assert_eq!(a.pick(&candidates), b.pick(&candidates));
+        }
+    }
+
+    #[test]
+    fn victims_come_from_the_candidate_set() {
+        let mut k =
+            ChaosKiller::new(ChaosConfig { kills: 100, seed: 7, ..Default::default() });
+        let candidates = [2, 4, 8];
+        for _ in 0..100 {
+            let v = k.pick(&candidates).expect("budget covers all picks");
+            assert!(candidates.contains(&v));
+        }
+    }
+}

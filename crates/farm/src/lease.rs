@@ -1,0 +1,209 @@
+//! Lease-based work queue over campaign shards.
+//!
+//! Each shard is a lease: when a worker takes it the queue stamps a
+//! heartbeat deadline, and every observed heartbeat (in the farm,
+//! growth of the shard's checkpoint journal) pushes the deadline out.
+//! A lease whose deadline passes without a heartbeat is *expired* — the
+//! supervisor kills the hung worker and the shard goes back to
+//! `Available` for reassignment. Because workers always operate through
+//! `--resume` on the shard's checkpoint, reassignment never re-executes
+//! or loses a completed unit.
+//!
+//! The queue is driven entirely by caller-supplied millisecond
+//! timestamps ("virtual time"), so every policy decision — expiry,
+//! backoff eligibility, drain — is unit-testable without sleeping and
+//! replayable in the proptest harness.
+
+/// Index of a shard in the farm's round-robin decomposition.
+pub type ShardId = usize;
+
+/// Lifecycle of one shard lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Unassigned; may not be leased again before `eligible_at_ms`
+    /// (respawn backoff).
+    Available {
+        /// Earliest virtual time at which `acquire` may hand it out.
+        eligible_at_ms: u64,
+    },
+    /// Held by worker `worker`; hung if no heartbeat by `deadline_ms`.
+    Leased {
+        /// Supervisor-assigned id of the worker holding the lease.
+        worker: u64,
+        /// Virtual time past which the lease counts as expired.
+        deadline_ms: u64,
+    },
+    /// Shard finished and its result was folded into the rolling merge.
+    Done,
+    /// Shard tripped the circuit breaker and was quarantined.
+    Poisoned,
+}
+
+/// The supervisor's work queue: one [`LeaseState`] per shard plus the
+/// heartbeat-deadline policy.
+#[derive(Debug, Clone)]
+pub struct WorkQueue {
+    states: Vec<LeaseState>,
+    heartbeat_ms: u64,
+}
+
+impl WorkQueue {
+    /// Queue over `n_shards` shards, expiring a lease after
+    /// `heartbeat_ms` of silence.
+    pub fn new(n_shards: usize, heartbeat_ms: u64) -> WorkQueue {
+        WorkQueue {
+            states: vec![LeaseState::Available { eligible_at_ms: 0 }; n_shards],
+            heartbeat_ms,
+        }
+    }
+
+    /// The heartbeat window used to stamp deadlines.
+    pub fn heartbeat_ms(&self) -> u64 {
+        self.heartbeat_ms
+    }
+
+    /// State of `shard`.
+    pub fn state(&self, shard: ShardId) -> LeaseState {
+        self.states[shard]
+    }
+
+    /// Lease the lowest-numbered eligible shard to `worker` at `now`,
+    /// stamping its first deadline. Returns `None` when nothing is
+    /// currently available (all leased, done, poisoned, or backing off).
+    pub fn acquire(&mut self, now_ms: u64, worker: u64) -> Option<ShardId> {
+        let shard = self.states.iter().position(|s| {
+            matches!(s, LeaseState::Available { eligible_at_ms } if *eligible_at_ms <= now_ms)
+        })?;
+        self.states[shard] =
+            LeaseState::Leased { worker, deadline_ms: now_ms + self.heartbeat_ms };
+        Some(shard)
+    }
+
+    /// Record a heartbeat for `shard` at `now`, pushing its deadline
+    /// out. No-op unless the shard is currently leased.
+    pub fn heartbeat(&mut self, shard: ShardId, now_ms: u64) {
+        if let LeaseState::Leased { worker, .. } = self.states[shard] {
+            self.states[shard] =
+                LeaseState::Leased { worker, deadline_ms: now_ms + self.heartbeat_ms };
+        }
+    }
+
+    /// Shards whose lease deadline has passed as of `now` (hung
+    /// workers), lowest shard first.
+    pub fn expired(&self, now_ms: u64) -> Vec<ShardId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                LeaseState::Leased { deadline_ms, .. } if *deadline_ms < now_ms => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Return `shard` to the pool, not leasable again before
+    /// `now + delay_ms` (respawn backoff).
+    pub fn release(&mut self, shard: ShardId, now_ms: u64, delay_ms: u64) {
+        self.states[shard] = LeaseState::Available { eligible_at_ms: now_ms + delay_ms };
+    }
+
+    /// Mark `shard` finished.
+    pub fn complete(&mut self, shard: ShardId) {
+        self.states[shard] = LeaseState::Done;
+    }
+
+    /// Demote `shard` to the poison quarantine.
+    pub fn poison(&mut self, shard: ShardId) {
+        self.states[shard] = LeaseState::Poisoned;
+    }
+
+    /// `true` once every shard is terminally settled (done or
+    /// poisoned).
+    pub fn all_settled(&self) -> bool {
+        self.states
+            .iter()
+            .all(|s| matches!(s, LeaseState::Done | LeaseState::Poisoned))
+    }
+
+    /// Shards currently out on lease, lowest first.
+    pub fn leased_shards(&self) -> Vec<ShardId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, LeaseState::Leased { .. }).then_some(i))
+            .collect()
+    }
+
+    /// Counts of (available, leased, done, poisoned) shards.
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0);
+        for s in &self.states {
+            match s {
+                LeaseState::Available { .. } => t.0 += 1,
+                LeaseState::Leased { .. } => t.1 += 1,
+                LeaseState::Done => t.2 += 1,
+                LeaseState::Poisoned => t.3 += 1,
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_hands_out_each_shard_once_then_dries_up() {
+        let mut q = WorkQueue::new(3, 100);
+        assert_eq!(q.acquire(0, 1), Some(0));
+        assert_eq!(q.acquire(0, 2), Some(1));
+        assert_eq!(q.acquire(0, 3), Some(2));
+        assert_eq!(q.acquire(0, 4), None, "all leased");
+        assert_eq!(q.state(1), LeaseState::Leased { worker: 2, deadline_ms: 100 });
+    }
+
+    #[test]
+    fn heartbeat_extends_the_deadline_and_staves_off_expiry() {
+        let mut q = WorkQueue::new(1, 100);
+        q.acquire(0, 7);
+        assert!(q.expired(100).is_empty(), "deadline is inclusive");
+        q.heartbeat(0, 80);
+        assert!(q.expired(150).is_empty(), "heartbeat at 80 pushed deadline to 180");
+        assert_eq!(q.expired(181), vec![0]);
+    }
+
+    #[test]
+    fn released_shard_respects_the_backoff_delay() {
+        let mut q = WorkQueue::new(1, 100);
+        q.acquire(0, 1);
+        q.release(0, 50, 200);
+        assert_eq!(q.acquire(100, 2), None, "still backing off until 250");
+        assert_eq!(q.acquire(250, 2), Some(0));
+    }
+
+    #[test]
+    fn settled_states_are_terminal() {
+        let mut q = WorkQueue::new(2, 100);
+        q.acquire(0, 1);
+        q.complete(0);
+        q.poison(1);
+        assert!(q.all_settled());
+        assert_eq!(q.acquire(1_000, 2), None, "done/poisoned shards never re-lease");
+        q.heartbeat(0, 1_000);
+        assert_eq!(q.state(0), LeaseState::Done, "heartbeat on settled shard is a no-op");
+        assert!(q.expired(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn tally_and_leased_shards_reflect_the_mix() {
+        let mut q = WorkQueue::new(4, 100);
+        q.acquire(0, 1);
+        q.acquire(0, 2);
+        q.complete(1);
+        q.poison(3);
+        assert_eq!(q.tally(), (1, 1, 1, 1));
+        assert_eq!(q.leased_shards(), vec![0]);
+        assert!(!q.all_settled());
+    }
+}

@@ -1,0 +1,64 @@
+//! # farm — a supervised, self-healing multi-worker fuzzing service
+//!
+//! The paper's methodology lives or dies on campaign scale: millions of
+//! generated tests across toolchains and optimization levels. One
+//! crash-safe process ([`difftest::checkpoint`]) is not a fleet; this
+//! crate supervises one.
+//!
+//! The supervisor shards a campaign with the round-robin geometry of
+//! [`difftest::metadata::CampaignMeta::shard`], materializes each shard
+//! as a checkpoint directory (config + [`difftest::ShardSpec`] + empty
+//! journal), and spawns worker subprocesses that each run the existing
+//! checkpointed `varity-gpu campaign --resume` path against their shard.
+//! Because *every* spawn is a resume, first assignment, crash recovery,
+//! and hang recovery are the same operation — no completed work unit is
+//! ever re-executed or lost, and the journal replay machinery proven by
+//! the chaos tests does all the heavy lifting.
+//!
+//! Robustness machinery, by module:
+//!
+//! * [`lease`] — the lease-based work queue. Each shard is a lease with
+//!   a heartbeat deadline; workers heartbeat implicitly by growing their
+//!   checkpoint journal, and a lease whose journal stops moving past the
+//!   deadline is declared hung, its worker killed, and the shard
+//!   reassigned.
+//! * [`backoff`] — jittered exponential backoff between respawns of a
+//!   crashing shard, with reset-on-success.
+//! * [`breaker`] — a per-shard circuit breaker: a shard that kills its
+//!   worker too many times in a row is demoted to the poison-shard
+//!   quarantine, with the responsible seed range recorded for replay.
+//! * [`supervisor`] — the event loop composing the above: spawn, reap,
+//!   heartbeat, reassign, incrementally fold finished shards into a
+//!   rolling report via order-independent
+//!   [`difftest::metadata::CampaignMeta::merge_shards_partial`], and
+//!   drain gracefully (stop leasing, let in-flight workers flush their
+//!   checkpoints, report the exact resume command).
+//! * [`status`] — a tiny built-in HTTP endpoint serving live
+//!   progress/metrics as JSON (`farm --status-addr`).
+//! * [`chaos`] — the farm's own adversary: a seeded killer that
+//!   `SIGKILL`s random workers mid-run so CI can prove the merged report
+//!   stays byte-identical to a single-process run.
+//!
+//! Farm-level telemetry rides the usual [`obs`] counters: `farm.spawns`,
+//! `farm.respawns`, `farm.reassignments`, `farm.worker_deaths`,
+//! `farm.lease_expiries`, `farm.shards_done`, `farm.shards_poisoned`,
+//! `farm.chaos_kills`, `farm.merge_folds`, `farm.drains`.
+
+#![deny(missing_docs)]
+
+pub mod backoff;
+pub mod breaker;
+pub mod chaos;
+pub mod lease;
+pub mod rng;
+pub mod status;
+pub mod supervisor;
+pub mod worker;
+
+pub use backoff::{Backoff, BackoffPolicy};
+pub use breaker::CrashBreaker;
+pub use chaos::{ChaosConfig, ChaosKiller};
+pub use lease::{LeaseState, ShardId, WorkQueue};
+pub use status::StatusServer;
+pub use supervisor::{run_farm, FarmConfig, FarmReport};
+pub use worker::WorkerSpec;

@@ -1,0 +1,83 @@
+//! A tiny deterministic RNG (SplitMix64) for backoff jitter and chaos
+//! victim selection.
+//!
+//! The farm deliberately avoids pulling a random-number crate into the
+//! supervisor: everything it randomizes must be reproducible from a
+//! single seed so a chaos run can be replayed exactly, and SplitMix64's
+//! 64-bit state is more than enough entropy for jitter and victim picks.
+
+/// SplitMix64: Steele, Lea & Flood's statistically solid, trivially
+/// seedable 64-bit generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero. Uses the widening
+    /// multiply trick (Lemire), bias negligible at these magnitudes.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0.0, 1.0)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_hits_everything() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.next_below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws must cover 0..5: {seen:?}");
+    }
+
+    #[test]
+    fn next_f64_is_a_unit_uniform() {
+        let mut rng = SplitMix64::new(2024);
+        let mut sum = 0.0;
+        for _ in 0..4096 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 4096.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} too far from 0.5");
+    }
+}

@@ -1,0 +1,149 @@
+//! Built-in HTTP status endpoint (`farm --status-addr`).
+//!
+//! A deliberately tiny HTTP/1.1 responder over `std::net::TcpListener`:
+//! every request, regardless of path, gets the most recently published
+//! JSON snapshot with `Connection: close`. No external HTTP crate, no
+//! request parsing beyond draining the header block — the endpoint
+//! exists so an operator (or the CI smoke job) can `curl` live
+//! progress/metrics out of a long farm run, nothing more.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the background status-serving thread.
+pub struct StatusServer {
+    addr: SocketAddr,
+    body: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving the published snapshot.
+    pub fn bind(addr: &str) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let body = Arc::new(Mutex::new(String::from("{}")));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let body = Arc::clone(&body);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve(listener, body, stop))
+        };
+        Ok(StatusServer { addr, body, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replace the snapshot served to subsequent requests.
+    pub fn publish(&self, snapshot: &serde_json::Value) {
+        let mut body = self.body.lock().unwrap_or_else(|e| e.into_inner());
+        *body = snapshot.to_string();
+    }
+
+    /// Stop the serving thread and release the port.
+    pub fn shutdown(mut self) {
+        self.stop_thread();
+    }
+
+    fn stop_thread(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+fn serve(listener: TcpListener, body: Arc<Mutex<String>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let snapshot =
+                    body.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                // One request per connection; errors just drop the client.
+                let _ = respond(stream, &snapshot);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn respond(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Drain the request until the end of the header block (or timeout);
+    // we serve the same snapshot whatever was asked.
+    let mut buf = [0u8; 1024];
+    let mut seen: Vec<u8> = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /status HTTP/1.1\r\nHost: farm\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn serves_the_latest_published_snapshot() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let first = get(addr);
+        assert!(first.starts_with("HTTP/1.1 200 OK"), "got: {first}");
+        assert!(first.ends_with("{}"), "initial snapshot is empty JSON: {first}");
+
+        server.publish(&serde_json::json!({"shards_done": 3, "workers": 2}));
+        let second = get(addr);
+        let json_start = second.find("\r\n\r\n").expect("header/body split") + 4;
+        let parsed: serde_json::Value =
+            serde_json::from_str(&second[json_start..]).expect("body parses as JSON");
+        assert_eq!(parsed["shards_done"], 3);
+        assert_eq!(parsed["workers"], 2);
+
+        server.shutdown();
+    }
+}

@@ -1,0 +1,166 @@
+//! Worker subprocess lifecycle: spawn, probe, interrupt, kill.
+//!
+//! A worker is just the existing CLI running the checkpointed campaign
+//! path against one shard's checkpoint directory:
+//!
+//! ```text
+//! <program> [prefix-args…] --resume <shard-dir> --out <shard-dir>/result.json
+//! ```
+//!
+//! Every spawn is a resume — the supervisor materializes the shard
+//! checkpoint up front, so first assignment, crash recovery, and hang
+//! recovery all run the same command line. On Unix each worker is moved
+//! into its own process group so a terminal Ctrl-C reaches only the
+//! supervisor (which then drains the fleet deliberately) and so the
+//! `signals` feature can interrupt a worker's whole subtree at once.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use crate::lease::ShardId;
+
+/// How to launch a worker: the binary plus the arguments that precede
+/// the per-shard `--resume`/`--out` pair (e.g. `["campaign"]` for the
+/// main CLI's subcommand).
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Program to execute (usually the current `varity-gpu` binary).
+    pub program: PathBuf,
+    /// Arguments placed before the shard-specific ones.
+    pub prefix_args: Vec<String>,
+    /// Extra environment variables for each worker (e.g. a
+    /// `RAYON_NUM_THREADS` budget so `n_workers` processes don't
+    /// oversubscribe the machine).
+    pub env: Vec<(String, String)>,
+}
+
+impl WorkerSpec {
+    /// Spec with no prefix args and no extra environment.
+    pub fn new(program: impl Into<PathBuf>) -> WorkerSpec {
+        WorkerSpec { program: program.into(), prefix_args: Vec::new(), env: Vec::new() }
+    }
+}
+
+/// A live (or recently dead) worker process bound to one shard lease.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    /// Supervisor-assigned worker id (monotonic across the run; also
+    /// the id stamped into the shard's lease).
+    pub id: u64,
+    /// Shard this worker is running.
+    pub shard: ShardId,
+    /// Journal byte-length observed at spawn time, for progress-based
+    /// heartbeats and chaos-candidate selection.
+    pub journal_len_at_spawn: u64,
+    child: Child,
+}
+
+impl WorkerHandle {
+    /// Spawn a worker for `shard` against `shard_dir`, logging its
+    /// stderr to `<shard_dir>/worker.log` (appended across respawns so
+    /// the crash history of a poison shard survives for triage).
+    pub fn spawn(
+        spec: &WorkerSpec,
+        id: u64,
+        shard: ShardId,
+        shard_dir: &Path,
+        journal_len_at_spawn: u64,
+    ) -> std::io::Result<WorkerHandle> {
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(shard_dir.join("worker.log"))?;
+        let mut cmd = Command::new(&spec.program);
+        cmd.args(&spec.prefix_args)
+            .arg("--resume")
+            .arg(shard_dir)
+            .arg("--out")
+            .arg(shard_dir.join("result.json"))
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::from(log));
+        for (k, v) in &spec.env {
+            cmd.env(k, v);
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::process::CommandExt;
+            // Own process group: terminal signals hit only the
+            // supervisor, and group-wide kills can't orphan children.
+            cmd.process_group(0);
+        }
+        let child = cmd.spawn()?;
+        Ok(WorkerHandle { id, shard, journal_len_at_spawn, child })
+    }
+
+    /// OS pid of the worker.
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Non-blocking reap: `Some(status)` once the worker has exited.
+    pub fn try_wait(&mut self) -> std::io::Result<Option<std::process::ExitStatus>> {
+        self.child.try_wait()
+    }
+
+    /// Hard-kill the worker (SIGKILL on Unix) and reap it.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Politely interrupt the worker so it drains at a unit boundary.
+    ///
+    /// With the `signals` feature this sends SIGINT to the worker's
+    /// process group (satellite: no orphaned grandchild can outlive the
+    /// drain holding a checkpoint lock). Without it this is a no-op —
+    /// the supervisor's stop files already drain workers cooperatively,
+    /// so the signal is an accelerant, not a requirement.
+    pub fn interrupt(&self) {
+        #[cfg(all(unix, feature = "signals"))]
+        {
+            let pgid = self.child.id() as i32;
+            if pgid > 0 {
+                // Negative pid = the whole process group.
+                unsafe {
+                    libc::kill(-pgid, libc::SIGINT);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_runs_resume_against_the_shard_dir() {
+        // Use `true`-like /bin/sh so the test needs no cargo-built
+        // binary; we only check plumbing: spawn succeeds, exit is
+        // reaped, and the log file exists.
+        let dir = std::env::temp_dir().join(format!("farm-worker-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = WorkerSpec::new("/bin/sh");
+        spec.prefix_args = vec!["-c".into(), "exit 0".into(), "--".into()];
+        let mut w = WorkerHandle::spawn(&spec, 1, 0, &dir, 0).expect("spawn");
+        assert_eq!(w.shard, 0);
+        let status = w.child.wait().expect("wait");
+        assert!(status.success());
+        assert!(dir.join("worker.log").exists(), "stderr log created");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_reaps_a_long_running_worker() {
+        let dir = std::env::temp_dir().join(format!("farm-kill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = WorkerSpec::new("/bin/sh");
+        spec.prefix_args = vec!["-c".into(), "sleep 30".into(), "--".into()];
+        let mut w = WorkerHandle::spawn(&spec, 2, 0, &dir, 0).expect("spawn");
+        assert!(w.try_wait().expect("try_wait").is_none(), "still running");
+        w.kill();
+        assert!(w.try_wait().expect("reaped").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

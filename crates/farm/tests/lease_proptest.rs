@@ -1,0 +1,179 @@
+//! Property tests for the farm's lease queue under adversarial death
+//! schedules.
+//!
+//! The farm's core promise: however workers die — crash mid-shard, hang
+//! until the lease expires, or never get to run — every work unit lands
+//! in the merged report **exactly once**. The simulation below drives a
+//! [`WorkQueue`] with a proptest-chosen event schedule over virtual
+//! time, modelling each shard's checkpoint journal the way the real
+//! worker does (resume = continue after the journaled prefix; journals
+//! survive deaths). The exactly-once property then falls out of two
+//! invariants the test asserts directly:
+//!
+//! 1. the queue never leases one shard to two workers at once, and
+//! 2. a resumed worker re-executes nothing the journal already holds.
+//!
+//! A final check ties the simulation to the real metadata protocol:
+//! completed shards are regenerated with `CampaignMeta::generate_shard`
+//! and folded in completion order through `merge_shards`, and every test
+//! index must appear exactly once in the merged report.
+
+use std::collections::BTreeMap;
+
+use difftest::metadata::CampaignMeta;
+use difftest::{CampaignConfig, TestMode};
+use farm::{LeaseState, WorkQueue};
+use progen::Precision;
+use proptest::prelude::*;
+
+/// One scheduler step per live worker, drawn from the proptest schedule.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Execute the shard's next unit (journaling it) or finish the shard.
+    Progress,
+    /// Die right now; the journal survives.
+    Crash,
+    /// Do nothing: no journal growth, no heartbeat. Enough of these in a
+    /// row and the lease expires.
+    Hang,
+}
+
+fn event(byte: u8) -> Event {
+    match byte % 10 {
+        0 | 1 | 2 => Event::Crash,
+        3 | 4 => Event::Hang,
+        _ => Event::Progress,
+    }
+}
+
+/// The units shard `k` of `n` owns: indices ≡ k (mod n), in order.
+fn shard_units(n_units: u64, shard: usize, n_shards: usize) -> Vec<u64> {
+    (0..n_units).filter(|i| (*i as usize) % n_shards == shard).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_unit_lands_exactly_once_under_random_worker_death(
+        n_shards in 1usize..6,
+        n_workers in 1usize..5,
+        n_units in 1u64..32,
+        schedule in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        const HEARTBEAT_MS: u64 = 40;
+        const STEP_MS: u64 = 10;
+
+        let mut queue = WorkQueue::new(n_shards, HEARTBEAT_MS);
+        // Simulated per-shard checkpoint journals: survive worker death,
+        // define the resume point. A unit is "executed" when pushed.
+        let mut journals: Vec<Vec<u64>> = vec![Vec::new(); n_shards];
+        let mut exec_count: BTreeMap<u64, u64> = BTreeMap::new();
+        // shard -> worker id currently simulated as running it.
+        let mut active: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut completion_order: Vec<usize> = Vec::new();
+        let mut now: u64 = 0;
+        let mut worker_seq: u64 = 0;
+        let mut cursor = 0usize; // schedule cursor; Progress once exhausted
+
+        let mut steps = 0u32;
+        while !queue.all_settled() {
+            steps += 1;
+            prop_assert!(
+                steps < 100_000,
+                "scheduler failed to settle: tally {:?}",
+                queue.tally()
+            );
+            now += STEP_MS;
+
+            // Fill free worker slots from the queue.
+            while active.len() < n_workers {
+                worker_seq += 1;
+                let Some(shard) = queue.acquire(now, worker_seq) else { break };
+                // Invariant 1: no double-lease.
+                prop_assert!(
+                    !active.contains_key(&shard),
+                    "shard {shard} leased while already active"
+                );
+                active.insert(shard, worker_seq);
+            }
+
+            // Drive each live worker by one scheduled event.
+            for shard in active.keys().copied().collect::<Vec<_>>() {
+                let ev = schedule.get(cursor).copied().map(event).unwrap_or(Event::Progress);
+                cursor += 1;
+                match ev {
+                    Event::Crash => {
+                        active.remove(&shard);
+                        queue.release(shard, now, 0);
+                    }
+                    Event::Hang => {} // silence; expiry below may reap it
+                    Event::Progress => {
+                        let units = shard_units(n_units, shard, n_shards);
+                        // Invariant 2: resume continues after the
+                        // journaled prefix — never before it.
+                        let done = journals[shard].len();
+                        if done < units.len() {
+                            journals[shard].push(units[done]);
+                            *exec_count.entry(units[done]).or_insert(0) += 1;
+                            queue.heartbeat(shard, now);
+                        } else {
+                            active.remove(&shard);
+                            queue.complete(shard);
+                            completion_order.push(shard);
+                        }
+                    }
+                }
+            }
+
+            // Hung leases expire and get reassigned; their journals stay.
+            for shard in queue.expired(now) {
+                prop_assert!(
+                    active.contains_key(&shard),
+                    "expired lease for shard {shard} with no active worker"
+                );
+                active.remove(&shard);
+                queue.release(shard, now, 0);
+            }
+        }
+
+        // Exactly-once at the unit level, however the deaths fell.
+        prop_assert_eq!(exec_count.len() as u64, n_units, "all units executed");
+        for (unit, count) in &exec_count {
+            prop_assert_eq!(*count, 1, "unit {} executed {} times", unit, count);
+        }
+        // Each journal is exactly its shard's unit list, in order.
+        for shard in 0..n_shards {
+            prop_assert_eq!(&journals[shard], &shard_units(n_units, shard, n_shards));
+            prop_assert_eq!(queue.state(shard), LeaseState::Done);
+        }
+        prop_assert_eq!(completion_order.len(), n_shards);
+    }
+}
+
+/// Ties the simulation to the real protocol: merging completed shards in
+/// an arbitrary completion order yields a report where every test index
+/// appears exactly once.
+#[test]
+fn merged_report_has_every_test_exactly_once_in_any_completion_order() {
+    let config =
+        CampaignConfig::default_for(Precision::F32, TestMode::Direct).with_programs(11);
+    let n_shards = 4;
+    // A completion order a chaotic farm might produce.
+    for order in [[2, 0, 3, 1], [3, 2, 1, 0], [1, 3, 0, 2]] {
+        let mut merged: Option<CampaignMeta> = None;
+        for shard in order {
+            let piece = CampaignMeta::generate_shard(&config, shard, n_shards);
+            merged = Some(match merged.take() {
+                None => piece,
+                Some(acc) => {
+                    CampaignMeta::merge_shards_partial(vec![acc, piece]).expect("protocol")
+                }
+            });
+        }
+        let merged = merged.unwrap();
+        let indices: Vec<u64> = merged.tests.iter().map(|t| t.index).collect();
+        let expect: Vec<u64> = (0..config.n_programs as u64).collect();
+        assert_eq!(indices, expect, "order {order:?}: each index exactly once, sorted");
+    }
+}

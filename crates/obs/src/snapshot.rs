@@ -106,6 +106,28 @@ impl MetricsSnapshot {
             self.hists.entry(k.clone()).or_default().merge(h);
         }
     }
+
+    /// The sub-snapshot whose metric names start with `prefix`
+    /// (`filter_prefix("farm.")` keeps `farm.respawns` but not
+    /// `campaign.runs_done`). The farm status endpoint uses this to
+    /// embed one subsystem's counters without dragging the whole
+    /// registry into every poll response.
+    pub fn filter_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +176,24 @@ mod tests {
         assert!(h.quantile(0.0) >= 1);
         assert!(h.quantile(0.5) <= 7); // median 3 lives in bucket [2,3]
         assert_eq!(h.quantile(1.0), 1000); // clamped to exact max
+    }
+
+    #[test]
+    fn filter_prefix_keeps_only_matching_metrics() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("farm.respawns".into(), 3);
+        s.counters.insert("farm.lease_expiries".into(), 1);
+        s.counters.insert("campaign.runs_done".into(), 99);
+        s.hists.insert("farm.drain_ms".into(), hist(&[5]));
+        s.hists.insert("span.campaign.generate".into(), hist(&[7]));
+        let f = s.filter_prefix("farm.");
+        assert_eq!(f.counters.len(), 2);
+        assert_eq!(f.counter("farm.respawns"), 3);
+        assert_eq!(f.counter("campaign.runs_done"), 0);
+        assert_eq!(f.hists.len(), 1);
+        assert!(f.hists.contains_key("farm.drain_ms"));
+        // empty prefix = identity
+        assert_eq!(s.filter_prefix(""), s);
     }
 
     #[test]
