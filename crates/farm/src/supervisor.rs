@@ -8,13 +8,17 @@
 //!    file (plus a process-group SIGINT under the `signals` feature),
 //!    and the loop waits for workers to flush their checkpoints.
 //! 2. **Reap** — exited workers are classified: success folds the
-//!    shard's result into the rolling merge; a drain exit releases the
-//!    lease quietly; anything else is a death that feeds the circuit
-//!    breaker and jittered backoff before the shard is reassigned.
+//!    shard's result into the rolling merge; a flushed drain exit
+//!    (interrupt code 130, or a clean exit while draining) releases the
+//!    lease quietly; anything else — even during a drain — is a death
+//!    that feeds the circuit breaker and jittered backoff before the
+//!    shard is reassigned.
 //! 3. **Expire** — leased shards whose journal hasn't grown within the
 //!    heartbeat window are declared hung: the worker is killed and the
-//!    shard goes back to the queue. Journal growth *is* the heartbeat;
-//!    workers need no side channel.
+//!    shard goes back to the queue. Journal growth since the previous
+//!    poll *is* the heartbeat — a moving watermark, so a worker that
+//!    advances and then wedges still expires; workers need no side
+//!    channel.
 //! 4. **Chaos** — with a kill budget configured, the supervisor
 //!    `SIGKILL`s a random worker that has demonstrably made progress,
 //!    exercising the recovery path it just promised to provide.
@@ -244,6 +248,15 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
         }
         if dir.join("result.json").exists() {
             let meta = CampaignMeta::load(&dir.join("result.json"))?;
+            if meta.config != cfg.campaign {
+                return Err(FarmError::Config(format!(
+                    "{} holds a result for a different campaign \
+                     (its config does not match this run's --seed/--programs); \
+                     use a fresh --dir or delete the stale shard directory",
+                    dir.display()
+                )));
+            }
+            validate_adopted_shard(cfg, k, &dir)?;
             fold(&mut merged, meta, &cfg.dir)?;
             queue.complete(k);
             report.shards_done += 1;
@@ -252,6 +265,7 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
         if Checkpoint::config_path(&dir).exists() {
             // Mid-flight checkpoint from a previous (drained/crashed)
             // farm run: clear its stop file and let a worker resume it.
+            validate_adopted_shard(cfg, k, &dir)?;
             std::fs::remove_file(Checkpoint::stop_path(&dir)).ok();
             assigned_before[k] = journal_len(&dir) > 0;
         } else {
@@ -307,10 +321,14 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
                 backoffs[w.shard].reset();
                 report.shards_done += 1;
                 obs::add("farm.shards_done", 1);
-            } else if draining || status.code() == Some(130) {
+            } else if status.code() == Some(130) || (draining && status.success()) {
                 // Drained at a unit boundary (or externally interrupted):
                 // the checkpoint is flushed, not failed. Release without
-                // penalty; under drain it will not be re-leased.
+                // penalty; under drain it will not be re-leased. Only a
+                // clean exit or the interrupt code counts as a flush — a
+                // segfault or OOM kill during a drain is still a death
+                // below, so drain-time failures stay visible in the
+                // report, metrics, and breaker.
                 queue.release(w.shard, now, 0);
             } else {
                 report.worker_deaths += 1;
@@ -356,6 +374,13 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
                 report.worker_deaths += 1;
                 obs::add("farm.lease_expiries", 1);
                 obs::add("farm.worker_deaths", 1);
+                // Mirror the reap path: journal growth during the lease
+                // counts as life, so a hang after real progress starts a
+                // fresh streak instead of accumulating toward poison.
+                if journal_len(&shard_dir(&cfg.dir, shard)) > w.journal_len_at_spawn {
+                    breaker.record_success(shard);
+                    backoffs[shard].reset();
+                }
                 if breaker.record_crash(shard) {
                     poison_shard(cfg, shard, breaker.crashes(shard))?;
                     queue.poison(shard);
@@ -402,10 +427,14 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
             }
         }
 
-        // 5. Heartbeats + spawns.
-        for w in &workers {
+        // 5. Heartbeats + spawns. The heartbeat is journal growth since
+        // the *last poll* (a moving watermark), not since spawn — a
+        // worker that makes progress and then wedges stops refreshing
+        // its lease and expires on schedule.
+        for w in &mut workers {
             let len = journal_len(&shard_dir(&cfg.dir, w.shard));
-            if len > w.journal_len_at_spawn {
+            if len > w.journal_len_last_seen {
+                w.journal_len_last_seen = len;
                 queue.heartbeat(w.shard, now);
             }
         }
@@ -498,6 +527,43 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
     }
     report.merged = merged;
     Ok(report)
+}
+
+/// Check that a pre-existing shard directory under `--dir` was produced
+/// by *this* campaign configuration before adopting it on restart.
+///
+/// Reusing a farm directory with a different `--seed`/`--programs` (or
+/// shard count) would otherwise surface only later as an opaque
+/// `ConfigMismatch` deep inside the rolling merge — or, for the first
+/// adopted shard, silently seed the merge with stale data. Fail fast
+/// and name the offending directory instead.
+fn validate_adopted_shard(cfg: &FarmConfig, shard: ShardId, dir: &Path) -> Result<(), FarmError> {
+    if let Ok(json) = std::fs::read_to_string(Checkpoint::shard_path(dir)) {
+        let spec: ShardSpec = serde_json::from_str(&json).map_err(io_err)?;
+        if spec.index != shard || spec.count != cfg.n_shards {
+            return Err(FarmError::Config(format!(
+                "{} was checkpointed as shard {}/{} but this farm runs {} shards; \
+                 use a fresh --dir or rerun with --shards {}",
+                dir.display(),
+                spec.index,
+                spec.count,
+                cfg.n_shards,
+                spec.count
+            )));
+        }
+    }
+    if let Ok(json) = std::fs::read_to_string(Checkpoint::config_path(dir)) {
+        let stored: CampaignConfig = serde_json::from_str(&json).map_err(io_err)?;
+        if stored != cfg.campaign {
+            return Err(FarmError::Config(format!(
+                "{} was checkpointed for a different campaign \
+                 (its config.json does not match this run's --seed/--programs); \
+                 use a fresh --dir or delete the stale shard directory",
+                dir.display()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Fold one finished shard into the rolling merge and persist it.
@@ -700,6 +766,104 @@ mod tests {
         assert_eq!(report.shards_done, 2);
         assert_eq!(report.spawns, 1, "only shard 1 needed a worker");
         assert_eq!(report.merged.unwrap().tests.len(), config.n_programs);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Run a farm on a watchdog thread so a regression that makes the
+    /// event loop non-terminating fails the test instead of hanging it.
+    fn run_farm_with_watchdog(cfg: FarmConfig) -> Result<FarmReport, FarmError> {
+        let handle = std::thread::spawn(move || run_farm(&cfg));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while !handle.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "farm loop failed to terminate within 60 s"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        handle.join().expect("no panic")
+    }
+
+    #[test]
+    fn worker_that_progresses_then_hangs_still_expires() {
+        let root = temp_root("hang-after-progress");
+        // First attempt journals one byte then wedges; every respawn
+        // wedges without progress. The moving-watermark heartbeat must
+        // expire the first attempt too — under the old since-spawn
+        // comparison its lease was refreshed forever and the farm never
+        // terminated.
+        let script = "if [ ! -f \"$2/mark\" ]; then : > \"$2/mark\"; \
+                      printf x >> \"$2/journal.bin\"; fi; sleep 30";
+        let mut cfg = FarmConfig::new(tiny_config(), 1, 1, &root, script_worker(script));
+        cfg.heartbeat_ms = 200;
+        cfg.poll_ms = 5;
+        cfg.crash_threshold = 2;
+        cfg.backoff = BackoffPolicy { base_ms: 1, cap_ms: 2, jitter: 0.0 };
+        let report = run_farm_with_watchdog(cfg).expect("farm runs");
+        assert!(report.lease_expiries >= 2, "both the progressing and the stuck attempt expire");
+        assert_eq!(report.shards_poisoned, vec![0], "no-progress hangs trip the breaker");
+        assert!(report.worker_deaths >= 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn crash_during_drain_is_still_counted_as_a_death() {
+        let root = temp_root("drain-crash");
+        std::fs::create_dir_all(&root).unwrap();
+        // The worker segfault-alikes (exit 9) well after the drain
+        // starts: the exit must be classified as a death, not a flush.
+        let spec = script_worker("sleep 0.4; exit 9");
+        let mut cfg = FarmConfig::new(tiny_config(), 1, 1, &root, spec);
+        cfg.poll_ms = 5;
+        cfg.grace_ms = 5_000;
+        let handle = {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_farm(&cfg))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        std::fs::write(farm_stop_path(&root), b"x").unwrap();
+        let report = handle.join().expect("no panic").expect("farm runs");
+        assert!(report.drained);
+        assert!(report.worker_deaths >= 1, "drain-time crash visible in the report");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn restart_rejects_a_result_from_a_different_campaign() {
+        let root = temp_root("stale-result");
+        let dir = shard_dir(&root, 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut other = tiny_config();
+        other.n_programs += 1;
+        let mut stale = CampaignMeta::generate_shard(&other, 0, 2);
+        stale.sides_run = vec![];
+        stale.save(&dir.join("result.json")).unwrap();
+        let cfg = FarmConfig::new(tiny_config(), 2, 1, &root, script_worker("exit 0"));
+        match run_farm(&cfg) {
+            Err(FarmError::Config(msg)) => {
+                assert!(msg.contains("shard-000"), "error names the stale directory: {msg}")
+            }
+            other => panic!("expected fail-fast config error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn restart_rejects_a_checkpoint_with_a_different_shard_count() {
+        let root = temp_root("stale-spec");
+        let config = tiny_config();
+        // A previous farm over the same campaign but dealt into 3
+        // shards left a mid-flight checkpoint behind.
+        let dir = shard_dir(&root, 0);
+        let spec = ShardSpec { index: 0, count: 3 };
+        Checkpoint::create_sharded(&dir, &config, Some(spec)).unwrap();
+        let cfg = FarmConfig::new(config, 2, 1, &root, script_worker("exit 0"));
+        match run_farm(&cfg) {
+            Err(FarmError::Config(msg)) => {
+                assert!(msg.contains("0/3"), "error names the stored shard spec: {msg}")
+            }
+            other => panic!("expected fail-fast config error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&root).ok();
     }
 

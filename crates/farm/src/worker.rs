@@ -49,9 +49,14 @@ pub struct WorkerHandle {
     pub id: u64,
     /// Shard this worker is running.
     pub shard: ShardId,
-    /// Journal byte-length observed at spawn time, for progress-based
-    /// heartbeats and chaos-candidate selection.
+    /// Journal byte-length observed at spawn time, for whole-lease
+    /// progress classification and chaos-candidate selection.
     pub journal_len_at_spawn: u64,
+    /// Journal byte-length at the supervisor's most recent poll: the
+    /// moving watermark behind progress heartbeats. Growth past *this*
+    /// (not the spawn-time length) refreshes the lease, so a worker
+    /// that advances and then wedges stops heartbeating and expires.
+    pub journal_len_last_seen: u64,
     child: Child,
 }
 
@@ -90,7 +95,13 @@ impl WorkerHandle {
             cmd.process_group(0);
         }
         let child = cmd.spawn()?;
-        Ok(WorkerHandle { id, shard, journal_len_at_spawn, child })
+        Ok(WorkerHandle {
+            id,
+            shard,
+            journal_len_at_spawn,
+            journal_len_last_seen: journal_len_at_spawn,
+            child,
+        })
     }
 
     /// OS pid of the worker.
@@ -104,7 +115,24 @@ impl WorkerHandle {
     }
 
     /// Hard-kill the worker (SIGKILL on Unix) and reap it.
+    ///
+    /// With the `signals` feature the SIGKILL goes to the worker's
+    /// whole process group, so a grandchild spawned by the worker
+    /// cannot outlive a hang/chaos kill and keep appending to the
+    /// shard's journal concurrently with the respawned worker. Without
+    /// the feature only the direct child is killed — workers must then
+    /// remain single-process for resume semantics to hold.
     pub fn kill(&mut self) {
+        #[cfg(all(unix, feature = "signals"))]
+        {
+            let pgid = self.child.id() as i32;
+            if pgid > 0 {
+                // Negative pid = the whole process group.
+                unsafe {
+                    libc::kill(-pgid, libc::SIGKILL);
+                }
+            }
+        }
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
@@ -148,6 +176,49 @@ mod tests {
         let status = w.child.wait().expect("wait");
         assert!(status.success());
         assert!(dir.join("worker.log").exists(), "stderr log created");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(all(unix, feature = "signals"))]
+    #[test]
+    fn kill_takes_down_the_whole_process_group() {
+        let dir = std::env::temp_dir().join(format!("farm-groupkill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The worker forks a grandchild and parks; after kill() the
+        // grandchild must be gone too, or it could keep appending to
+        // the shard journal alongside the respawned worker.
+        let mut spec = WorkerSpec::new("/bin/sh");
+        spec.prefix_args = vec![
+            "-c".into(),
+            "sleep 30 & echo $! > \"$2/grandchild.pid\"; sleep 30".into(),
+            "--".into(),
+        ];
+        let mut w = WorkerHandle::spawn(&spec, 3, 0, &dir, 0).expect("spawn");
+        let pid_file = dir.join("grandchild.pid");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !pid_file.exists() {
+            assert!(std::time::Instant::now() < deadline, "grandchild never started");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let pid: i32 = std::fs::read_to_string(&pid_file).unwrap().trim().parse().unwrap();
+        w.kill();
+        // The orphaned grandchild lingers as a zombie until init reaps
+        // it; poll rather than probe once.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let gone = unsafe { libc::kill(pid, 0) } != 0;
+            let zombie = std::fs::read_to_string(format!("/proc/{pid}/stat"))
+                .map(|s| s.contains(") Z "))
+                .unwrap_or(true);
+            if gone || zombie {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "grandchild {pid} survived the group kill"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
