@@ -1,0 +1,116 @@
+//! Emit (or validate) `BENCH_campaign.json`, the fixed-seed
+//! perf-trajectory baseline (see `bench::trajectory`).
+//!
+//! Usage:
+//!   trajectory [--programs N] [--inputs K] [--seed S] [--fp32]
+//!              [--out FILE]     write the document (default: stdout)
+//!   trajectory --check FILE     validate an existing document against
+//!                               the current schema; exit 1 on drift
+
+use bench::trajectory::{check, run, TrajectoryConfig};
+use progen::Precision;
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = TrajectoryConfig::default();
+    let mut out: Option<String> = None;
+    let mut check_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let mut value = |name: &str| -> Option<String> {
+            i += 1;
+            match argv.get(i) {
+                Some(v) => Some(v.clone()),
+                None => {
+                    eprintln!("{name} needs a value");
+                    None
+                }
+            }
+        };
+        match arg {
+            "--programs" => match value(arg).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.programs = n,
+                None => return 2,
+            },
+            "--inputs" => match value(arg).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.inputs = n,
+                None => return 2,
+            },
+            "--seed" => match value(arg).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return 2,
+            },
+            "--fp32" => cfg.precision = Precision::F32,
+            "--out" => match value(arg) {
+                Some(p) => out = Some(p),
+                None => return 2,
+            },
+            "--check" => match value(arg) {
+                Some(p) => check_path = Some(p),
+                None => return 2,
+            },
+            other => {
+                eprintln!("unknown flag `{other}`; see the module docs for usage");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        let doc: serde_json::Value = match serde_json::from_str(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path} is not valid JSON: {e}");
+                return 1;
+            }
+        };
+        return match check(&doc) {
+            Ok(()) => {
+                eprintln!("{path}: schema ok");
+                0
+            }
+            Err(problems) => {
+                eprintln!("{path}: schema drift ({} problem(s)):", problems.len());
+                for p in &problems {
+                    eprintln!("  - {p}");
+                }
+                1
+            }
+        };
+    }
+
+    eprintln!(
+        "[trajectory] programs={} inputs={} seed={} precision={}",
+        cfg.programs,
+        cfg.inputs,
+        cfg.seed,
+        cfg.precision.label()
+    );
+    let doc = run(&cfg);
+    let rendered = serde_json::to_string_pretty(&doc).expect("trajectory document serializes");
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!("[trajectory] written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    0
+}

@@ -12,8 +12,10 @@
 //!   throughput, plus the end-to-end campaign.
 //!
 //! The [`bt`] module hosts the BT-like structured-grid kernel used by
-//! Table I.
+//! Table I. The [`trajectory`] module (and the `trajectory` binary)
+//! emits `BENCH_campaign.json`, the fixed-seed perf-trajectory baseline.
 
 #![deny(missing_docs)]
 
 pub mod bt;
+pub mod trajectory;

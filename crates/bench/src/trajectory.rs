@@ -1,0 +1,226 @@
+//! The perf-trajectory emitter: run a fixed-seed campaign, read the
+//! telemetry back out of `obs`, and write `BENCH_campaign.json` — the
+//! baseline curve the hot-path optimization work (ROADMAP item 1) is
+//! measured against.
+//!
+//! The emitted document (schema [`SCHEMA`]) records throughput
+//! (units/sec and runs/sec), the compile-vs-exec wall-time split from
+//! the `span.gpucc.compile` and `interp.execns` histograms, and the
+//! interpreter's ns-per-op percentiles from the `interp.nsperop` log2
+//! histogram (bucket-resolution estimates, each at most 2x the true
+//! value). [`check`] validates a document against the schema — the CI
+//! `bench-smoke` job runs it on both the freshly emitted file and the
+//! committed baseline so schema drift fails loudly instead of silently
+//! orphaning the trajectory.
+
+use difftest::campaign::{CampaignConfig, TestMode};
+use difftest::metadata::CampaignMeta;
+use difftest::report::throughput_per_sec;
+use gpucc::pipeline::Toolchain;
+use progen::Precision;
+use std::time::Instant;
+
+/// Schema tag stamped into every emitted document; bump on any
+/// structural change and update [`REQUIRED_NUMBERS`] to match.
+pub const SCHEMA: &str = "varity-gpu/bench-campaign/v1";
+
+/// Dotted paths of fields that must exist and be numbers.
+pub const REQUIRED_NUMBERS: &[&str] = &[
+    "config.programs",
+    "config.inputs_per_program",
+    "config.seed",
+    "config.levels",
+    "config.sides",
+    "wall_ms",
+    "units",
+    "units_per_sec",
+    "runs",
+    "runs_per_sec",
+    "compile.total_ms",
+    "compile.share",
+    "exec.total_ms",
+    "exec.share",
+    "interp_ns_per_op.count",
+    "interp_ns_per_op.mean",
+    "interp_ns_per_op.p50",
+    "interp_ns_per_op.p90",
+    "interp_ns_per_op.p95",
+    "interp_ns_per_op.p99",
+    "discrepancies",
+];
+
+/// What to run: a small, deterministic campaign.
+#[derive(Debug, Clone)]
+pub struct TrajectoryConfig {
+    /// Number of generated programs.
+    pub programs: usize,
+    /// Inputs per program.
+    pub inputs: usize,
+    /// Campaign seed (fixed seed = comparable trajectory points).
+    pub seed: u64,
+    /// FP precision under test.
+    pub precision: Precision,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig { programs: 60, inputs: 2, seed: 2024, precision: Precision::F64 }
+    }
+}
+
+/// Run the campaign and emit the trajectory document.
+///
+/// Resets the global `obs` registry: the document describes exactly
+/// this run.
+pub fn run(cfg: &TrajectoryConfig) -> serde_json::Value {
+    obs::set_enabled(true);
+    obs::reset();
+    let campaign =
+        CampaignConfig::default_for(cfg.precision, TestMode::Direct).with_programs(cfg.programs);
+    let mut campaign = campaign;
+    campaign.seed = cfg.seed;
+    campaign.inputs_per_program = cfg.inputs;
+
+    let started = Instant::now();
+    let mut meta = CampaignMeta::generate(&campaign);
+    for tc in Toolchain::ALL {
+        meta.run_side(tc);
+    }
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let snap = obs::snapshot();
+
+    let hist = |name: &str| snap.hists.get(name).cloned().unwrap_or_default();
+    let units_h = hist("span.campaign.unit");
+    let compile_h = hist("span.gpucc.compile");
+    let exec_h = hist("interp.execns");
+    let nsperop = hist("interp.nsperop");
+
+    let wall_s = (wall_ms as f64 / 1e3).max(1e-9);
+    let compile_ms = compile_h.sum as f64 / 1e6;
+    let exec_ms = exec_h.sum as f64 / 1e6;
+    let measured = (compile_ms + exec_ms).max(1e-9);
+
+    serde_json::json!({
+        "schema": SCHEMA,
+        "config": {
+            "programs": campaign.n_programs,
+            "inputs_per_program": campaign.inputs_per_program,
+            "seed": campaign.seed,
+            "precision": campaign.precision.label(),
+            "levels": campaign.levels.len(),
+            "sides": Toolchain::ALL.len(),
+        },
+        "wall_ms": wall_ms,
+        // one unit = one (program, toolchain, level) work item; one run
+        // = one input execution pair within a unit
+        "units": units_h.count,
+        "units_per_sec": units_h.count as f64 / wall_s,
+        "runs": snap.counter("campaign.runs_done"),
+        "runs_per_sec": throughput_per_sec(&snap).unwrap_or(0.0),
+        "compile": { "total_ms": compile_ms, "share": compile_ms / measured },
+        "exec": { "total_ms": exec_ms, "share": exec_ms / measured },
+        "interp_ns_per_op": {
+            "count": nsperop.count,
+            "mean": nsperop.mean(),
+            "p50": nsperop.quantile(0.50),
+            "p90": nsperop.quantile(0.90),
+            "p95": nsperop.quantile(0.95),
+            "p99": nsperop.quantile(0.99),
+        },
+        "discrepancies": snap.counter("campaign.discrepancies"),
+        "provenance": {
+            "command": format!(
+                "cargo run --release -p bench --bin trajectory -- --programs {} --inputs {} --seed {}{}",
+                campaign.n_programs,
+                campaign.inputs_per_program,
+                campaign.seed,
+                if cfg.precision == Precision::F32 { " --fp32" } else { "" },
+            ),
+        },
+    })
+}
+
+/// Validate a trajectory document against [`SCHEMA`]: the schema tag
+/// must match and every [`REQUIRED_NUMBERS`] path must resolve to a
+/// JSON number. Returns the list of problems (empty = valid).
+pub fn check(doc: &serde_json::Value) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => problems.push(format!("schema is {s:?}, expected {SCHEMA:?}")),
+        None => problems.push("missing \"schema\" tag".to_string()),
+    }
+    for path in REQUIRED_NUMBERS {
+        let mut cur = doc;
+        let mut ok = true;
+        for seg in path.split('.') {
+            match cur.get(seg) {
+                Some(v) => cur = v,
+                None => {
+                    problems.push(format!("missing field {path}"));
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && !cur.is_number() {
+            problems.push(format!("field {path} is not a number: {cur}"));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// [`run`] resets the process-global registry; tests that emit
+    /// serialize so concurrent emissions don't pollute each other.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn emitted_document_passes_its_own_schema_check() {
+        let _gate = lock();
+        let cfg = TrajectoryConfig { programs: 6, inputs: 1, ..Default::default() };
+        let doc = run(&cfg);
+        check(&doc).expect("fresh emission validates");
+        assert_eq!(doc["config"]["programs"], 6);
+        assert!(doc["units"].as_u64().unwrap() > 0, "{doc}");
+        assert!(doc["runs"].as_u64().unwrap() > 0, "{doc}");
+        assert!(doc["units_per_sec"].as_f64().unwrap() > 0.0, "{doc}");
+        assert!(doc["interp_ns_per_op"]["count"].as_u64().unwrap() > 0, "{doc}");
+        let share =
+            doc["compile"]["share"].as_f64().unwrap() + doc["exec"]["share"].as_f64().unwrap();
+        assert!((share - 1.0).abs() < 1e-9, "shares sum to 1: {doc}");
+    }
+
+    #[test]
+    fn fixed_seed_reruns_agree_on_work_accounting() {
+        let _gate = lock();
+        let cfg = TrajectoryConfig { programs: 5, inputs: 2, ..Default::default() };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        // Timing fields differ run to run; the work accounting must not.
+        for path in ["units", "runs", "discrepancies"] {
+            assert_eq!(a[path], b[path], "{path} must be deterministic");
+        }
+        assert_eq!(a["config"], b["config"]);
+    }
+
+    #[test]
+    fn check_reports_drift() {
+        let mut doc = serde_json::json!({ "schema": SCHEMA });
+        let problems = check(&doc).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("wall_ms")), "{problems:?}");
+        doc["schema"] = serde_json::json!("varity-gpu/bench-campaign/v0");
+        let problems = check(&doc).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("expected")), "{problems:?}");
+    }
+}

@@ -8,6 +8,10 @@
 //!   `campaign_end` trailer);
 //! * `--progress` prints a live stderr line — runs done, throughput,
 //!   ETA, and discrepancies found so far;
+//! * `--trace FILE` collects a hierarchical span trace of the whole run
+//!   (per-unit spans, per-pass compile events, per-exec events) and
+//!   writes Chrome trace-event JSON loadable in Perfetto /
+//!   `chrome://tracing`;
 //! * the final [`obs::MetricsSnapshot`] always rides inside the saved
 //!   metadata, so `varity-gpu analyze --profile` works on either half of
 //!   a between-platform campaign.
@@ -65,6 +69,7 @@ const PAIRS: &[&str] = &[
     "--max-faults",
     "--quarantine",
     "--shard",
+    "--trace",
 ];
 const SWITCHES: &[&str] = &["--fp32", "--hipify", "--full", "--progress"];
 
@@ -93,65 +98,64 @@ pub fn run(argv: &[String]) -> i32 {
     // under the exact stored config (determinism is what makes replayed
     // and re-run units interchangeable), so `--resume` loads it from the
     // checkpoint directory and config flags are not consulted.
-    let (config, checkpoint_dir, journal, replayed_units, shard) =
-        if let Some(dir) = args.get("--resume") {
-            if args.get("--shard").is_some() {
-                eprintln!("--shard is stored in the checkpoint; --resume re-runs the same slice");
-                return 2;
+    let (config, checkpoint_dir, journal, replayed_units, shard) = if let Some(dir) =
+        args.get("--resume")
+    {
+        if args.get("--shard").is_some() {
+            eprintln!("--shard is stored in the checkpoint; --resume re-runs the same slice");
+            return 2;
+        }
+        let dir = PathBuf::from(dir);
+        match Checkpoint::resume(&dir) {
+            Ok((ckpt, config, units)) => {
+                let shard = ckpt.shard_spec();
+                (config, Some(dir), Some(ckpt.into_journal()), units, shard)
             }
-            let dir = PathBuf::from(dir);
-            match Checkpoint::resume(&dir) {
-                Ok((ckpt, config, units)) => {
-                    let shard = ckpt.shard_spec();
-                    (config, Some(dir), Some(ckpt.into_journal()), units, shard)
-                }
-                Err(e) => {
-                    eprintln!("cannot resume checkpoint: {e}");
-                    return 1;
-                }
+            Err(e) => {
+                eprintln!("cannot resume checkpoint: {e}");
+                return 1;
             }
-        } else {
-            let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
-            let mut config = CampaignConfig::default_for(args.precision(), mode);
-            config.seed = flag!(args, "--seed", config.seed);
-            config.n_programs = flag!(args, "--programs", config.n_programs);
-            config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
-            if args.has("--full") {
-                config.n_programs = match args.precision() {
-                    progen::Precision::F64 => 3540,
-                    progen::Precision::F32 => 2840,
-                };
-            }
-            config.budget.max_steps = flag!(args, "--fuel", config.budget.max_steps);
-            if args.get("--timeout-ms").is_some() {
-                config.budget.max_wall_ms = Some(flag!(args, "--timeout-ms", 0u64));
-            }
-            let shard: Option<ShardSpec> = match args.get("--shard") {
-                None => None,
-                Some(s) => match s.parse() {
-                    Ok(spec) => Some(spec),
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return 2;
-                    }
-                },
+        }
+    } else {
+        let mode = if args.has("--hipify") { TestMode::Hipified } else { TestMode::Direct };
+        let mut config = CampaignConfig::default_for(args.precision(), mode);
+        config.seed = flag!(args, "--seed", config.seed);
+        config.n_programs = flag!(args, "--programs", config.n_programs);
+        config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
+        if args.has("--full") {
+            config.n_programs = match args.precision() {
+                progen::Precision::F64 => 3540,
+                progen::Precision::F32 => 2840,
             };
-            match args.get("--checkpoint") {
-                None => (config, None, None, Vec::new(), shard),
-                Some(dir) => {
-                    let dir = PathBuf::from(dir);
-                    match Checkpoint::create_sharded(&dir, &config, shard) {
-                        Ok(ckpt) => {
-                            (config, Some(dir), Some(ckpt.into_journal()), Vec::new(), shard)
-                        }
-                        Err(e) => {
-                            eprintln!("cannot create checkpoint: {e}");
-                            return 1;
-                        }
+        }
+        config.budget.max_steps = flag!(args, "--fuel", config.budget.max_steps);
+        if args.get("--timeout-ms").is_some() {
+            config.budget.max_wall_ms = Some(flag!(args, "--timeout-ms", 0u64));
+        }
+        let shard: Option<ShardSpec> = match args.get("--shard") {
+            None => None,
+            Some(s) => match s.parse() {
+                Ok(spec) => Some(spec),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            },
+        };
+        match args.get("--checkpoint") {
+            None => (config, None, None, Vec::new(), shard),
+            Some(dir) => {
+                let dir = PathBuf::from(dir);
+                match Checkpoint::create_sharded(&dir, &config, shard) {
+                    Ok(ckpt) => (config, Some(dir), Some(ckpt.into_journal()), Vec::new(), shard),
+                    Err(e) => {
+                        eprintln!("cannot create checkpoint: {e}");
+                        return 1;
                     }
                 }
             }
-        };
+        }
+    };
     let mode = config.mode;
 
     let sides: Vec<Toolchain> = match args.get("--side").unwrap_or("both") {
@@ -187,6 +191,10 @@ pub fn run(argv: &[String]) -> i32 {
     // fresh registry per campaign so metrics describe exactly this run
     // (journal replay below merges the completed units' deltas back in)
     obs::reset();
+    let trace_path = args.get("--trace").map(PathBuf::from);
+    if trace_path.is_some() {
+        obs::trace::start();
+    }
     fault::reset_shutdown();
     install_sigint_handler();
 
@@ -272,6 +280,23 @@ pub fn run(argv: &[String]) -> i32 {
             }),
         );
         eprintln!("metrics log written to {path}");
+    }
+
+    // The trace is written even for interrupted / fault-limited runs —
+    // a trace of the run that died is exactly the one worth reading.
+    if let Some(path) = &trace_path {
+        let events = obs::trace::stop();
+        match obs::trace::write_chrome(path, &events) {
+            Ok(()) => eprintln!(
+                "[campaign] trace written to {} ({} events)",
+                path.display(),
+                events.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write trace {}: {e}", path.display());
+                return 1;
+            }
+        }
     }
 
     // quarantine log: derived data, written atomically at the end (the

@@ -15,7 +15,12 @@
 //!
 //! Operational surface:
 //!
-//! * `--status-addr ADDR` serves live progress/metrics JSON over HTTP;
+//! * `--status-addr ADDR` serves live progress JSON over HTTP (`GET /`
+//!   or `/status`) plus a Prometheus text exposition on `GET /metrics`
+//!   that merges the supervisor's `farm_*` series with the rolling
+//!   shard merge's `campaign_*` telemetry;
+//! * `--trace FILE` writes a Chrome trace-event JSON of supervisor-side
+//!   shard lifecycle instants (spawns, deaths, expiries, poisons);
 //! * `--chaos-kills N` makes the supervisor itself SIGKILL `N` random
 //!   workers mid-progress (fault-tolerance self-test);
 //! * Ctrl-C (with the `sigint` feature) or `touch <dir>/stop` drains:
@@ -47,6 +52,7 @@ const PAIRS: &[&str] = &[
     "--status-addr",
     "--chaos-kills",
     "--chaos-seed",
+    "--trace",
 ];
 const SWITCHES: &[&str] = &["--fp32", "--hipify"];
 
@@ -118,6 +124,10 @@ pub fn run(argv: &[String]) -> i32 {
     );
 
     obs::reset();
+    let trace_path = args.get("--trace").map(std::path::PathBuf::from);
+    if trace_path.is_some() {
+        obs::trace::start();
+    }
     fault::reset_shutdown();
     install_sigint_handler();
 
@@ -128,6 +138,21 @@ pub fn run(argv: &[String]) -> i32 {
             return 1;
         }
     };
+
+    // Supervisor-side trace only (workers are subprocesses): shard
+    // lifecycle instants — spawns, deaths, expiries, poisons, drain.
+    if let Some(path) = &trace_path {
+        let events = obs::trace::stop();
+        match obs::trace::write_chrome(path, &events) {
+            Ok(()) => {
+                eprintln!("[farm] trace written to {} ({} events)", path.display(), events.len())
+            }
+            Err(e) => {
+                eprintln!("cannot write trace {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
 
     eprintln!(
         "[farm] done={} poisoned={} spawns={} respawns={} deaths={} expiries={} chaos_kills={}",

@@ -12,6 +12,8 @@
 //! * `--findings FILE` streams a JSONL log: an `oracle_start` header,
 //!   one `finding` event per (shrunk) violation, the counter/histogram
 //!   snapshot, and an `oracle_end` trailer;
+//! * `--trace FILE` writes a Chrome trace-event JSON of the run's span
+//!   tree (compile passes, executions), loadable in Perfetto;
 //! * the human-readable summary goes to stdout (greppable
 //!   `violations: N` line); status goes to stderr.
 //!
@@ -23,7 +25,7 @@ use oracle::{run_oracle, OracleConfig};
 use std::path::Path;
 use std::time::Instant;
 
-const PAIRS: &[&str] = &["--budget", "--seed", "--inputs", "--findings"];
+const PAIRS: &[&str] = &["--budget", "--seed", "--inputs", "--findings", "--trace"];
 const SWITCHES: &[&str] = &["--fp32"];
 
 pub fn run(argv: &[String]) -> i32 {
@@ -49,6 +51,10 @@ pub fn run(argv: &[String]) -> i32 {
 
     // fresh registry so the snapshot describes exactly this run
     obs::reset();
+    let trace_path = args.get("--trace").map(std::path::PathBuf::from);
+    if trace_path.is_some() {
+        obs::trace::start();
+    }
     let started = Instant::now();
     if let Some((log, _)) = &findings_log {
         let _ = log.event(
@@ -69,6 +75,19 @@ pub fn run(argv: &[String]) -> i32 {
         config.seed
     );
     let report = run_oracle(&config);
+
+    if let Some(path) = &trace_path {
+        let events = obs::trace::stop();
+        match obs::trace::write_chrome(path, &events) {
+            Ok(()) => {
+                eprintln!("[oracle] trace written to {} ({} events)", path.display(), events.len())
+            }
+            Err(e) => {
+                eprintln!("cannot write trace {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
 
     if let Some((log, path)) = &findings_log {
         let _ = oracle::findings::write_findings(log, &report.violations);

@@ -78,6 +78,9 @@ COMMANDS:
              [--shard K/N]      run only tests with index ≡ K (mod N);
                                 persisted in the checkpoint, so --resume
                                 re-runs the same slice
+             [--trace FILE]     write a Chrome trace-event JSON of the
+                                run (per-unit spans, compile passes,
+                                executions) — open in Perfetto
   farm       run a campaign as a supervised multi-worker service
              --dir DIR [--workers N] [--shards M] [--out FILE]
              [--fp32] [--hipify] [--programs N] [--inputs K] [--seed S]
@@ -87,8 +90,12 @@ COMMANDS:
              [--crash-threshold N] no-progress crashes before a shard is
                                   poisoned (shard-NNN/poison.json)
              [--status-addr A]    serve live progress JSON over HTTP
+                                  (`/status`) and Prometheus text
+                                  (`/metrics`)
              [--chaos-kills N] [--chaos-seed S]  self-test: SIGKILL N
                                   random workers mid-progress
+             [--trace FILE]       supervisor-side shard lifecycle trace
+                                  (Chrome trace-event JSON)
              drain: Ctrl-C or `touch DIR/stop`; re-run to resume
   analyze    merge metadata files and print the paper-style tables
              FILE [FILE2] [--profile]
@@ -106,6 +113,7 @@ COMMANDS:
              metamorphic transforms, emit/parse round trips
              [--fp32] [--budget N] [--seed S] [--inputs K]
              [--findings FILE]  stream shrunk violations as JSONL
+             [--trace FILE]     write a Chrome trace-event JSON
   replay     re-run quarantined tests from a campaign's fault log
              FILE [--index N]
   help       this message

@@ -54,8 +54,11 @@ fn reference_meta(dir: &Path) -> CampaignMeta {
         "--out",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "reference campaign failed: {}",
-        String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "reference campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     CampaignMeta::load(&path).expect("reference metadata loads")
 }
 
@@ -168,9 +171,8 @@ fn drained_farm_resumes_to_the_same_report() {
     // Wait for evidence of progress (a shard journal appears), then drain.
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
-        let journals_live = (0..4).any(|k| {
-            farm_dir.join(format!("shard-{k:03}")).join("journal.bin").exists()
-        });
+        let journals_live =
+            (0..4).any(|k| farm_dir.join(format!("shard-{k:03}")).join("journal.bin").exists());
         if journals_live || Instant::now() > deadline {
             break;
         }
@@ -222,8 +224,11 @@ fn campaign_shard_flag_runs_only_its_slice() {
         "--out",
         out_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "shard campaign failed: {}",
-        String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "shard campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let meta = CampaignMeta::load(&out_path).expect("shard metadata loads");
     let indices: Vec<u64> = meta.tests.iter().map(|t| t.index).collect();
     assert_eq!(indices, vec![1, 5], "shard 1/4 of 8 programs owns indices 1 and 5");

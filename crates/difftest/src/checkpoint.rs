@@ -597,7 +597,11 @@ impl FtSession {
 /// deterministic in their config, the final metadata is identical to an
 /// uninterrupted run's.
 pub fn run_side_ft(meta: &mut CampaignMeta, toolchain: Toolchain, session: &FtSession) -> FtStatus {
-    let _span = obs::span(format!("campaign.run.{}", toolchain.name()));
+    let _span = match toolchain {
+        Toolchain::Nvcc => obs::span("campaign.run.nvcc"),
+        Toolchain::Hipcc => obs::span("campaign.run.hipcc"),
+    }
+    .attr("toolchain", toolchain.name());
     let config = meta.config.clone();
     let device = Device::with_quirks(
         match toolchain {

@@ -414,6 +414,11 @@ pub(crate) fn run_unit(
     test: &TestMeta,
     program: &Program,
 ) -> (Vec<RunRecord>, Option<TestFault>) {
+    let _span = obs::span("campaign.unit")
+        .attr("program", test.program_id.as_str())
+        .attr("index", test.index)
+        .attr("toolchain", toolchain.name())
+        .attr("level", level.label());
     let make_fault = |kind: FaultKind, detail: String| TestFault {
         index: test.index,
         program_id: test.program_id.clone(),
@@ -606,9 +611,8 @@ mod tests {
             assert!(direct.tests.iter().all(|t| (t.index as usize) % 4 == k));
         }
         // every test appears in exactly one shard
-        let total: usize = (0..4)
-            .map(|k| CampaignMeta::generate_shard(&config, k, 4).tests.len())
-            .sum();
+        let total: usize =
+            (0..4).map(|k| CampaignMeta::generate_shard(&config, k, 4).tests.len()).sum();
         assert_eq!(total, config.n_programs);
     }
 

@@ -230,17 +230,28 @@ pub fn render_profile(snap: &obs::MetricsSnapshot) -> String {
 
     out.push_str("-- Phase / span timings --\n");
     out.push_str(&format!(
-        "{:<34}{:>8}{:>14}{:>14}{:>14}\n",
-        "Span", "Count", "Total ms", "Mean ms", "Max ms"
+        "{:<34}{:>8}{:>12}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "Span", "Count", "Total ms", "Mean ms", "p50 ms", "p95 ms", "p99 ms", "Max ms"
     ));
-    for (name, h) in &snap.hists {
-        let Some(span) = name.strip_prefix("span.") else { continue };
+    // Heaviest spans first: sorted by total time, so the top line is the
+    // phase to optimize. Percentiles are bucket-resolution estimates
+    // from the log2 histograms (each at most 2x the true value).
+    let mut spans: Vec<(&str, &obs::HistSnapshot)> = snap
+        .hists
+        .iter()
+        .filter_map(|(name, h)| name.strip_prefix("span.").map(|s| (s, h)))
+        .collect();
+    spans.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then(a.0.cmp(b.0)));
+    for (span, h) in spans {
         out.push_str(&format!(
-            "{:<34}{:>8}{:>14.2}{:>14.2}{:>14.2}\n",
+            "{:<34}{:>8}{:>12.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}\n",
             span,
             h.count,
             h.sum as f64 / 1e6,
             h.mean() / 1e6,
+            h.quantile(0.50) as f64 / 1e6,
+            h.quantile(0.95) as f64 / 1e6,
+            h.quantile(0.99) as f64 / 1e6,
             h.max as f64 / 1e6
         ));
     }
@@ -440,6 +451,38 @@ mod tests {
         assert!(s.contains("runs/sec"), "{s}");
         assert!(s.contains("progen.ast_stmts"), "{s}");
         assert!(throughput_per_sec(&snap).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn profile_span_table_has_percentiles_and_sorts_by_total_time() {
+        let mut snap = obs::MetricsSnapshot::default();
+        let big = obs::Histogram::new();
+        for _ in 0..100 {
+            big.record(4_000_000); // 100 x 4ms
+        }
+        big.record(400_000_000); // one 400ms outlier
+        let small = obs::Histogram::new();
+        small.record(1_000_000); // 1ms total
+                                 // alphabetical order (a_light first) is the opposite of weight
+                                 // order, so the assertion below really exercises the sort
+        snap.hists.insert("span.z_heavy".into(), big.snapshot());
+        snap.hists.insert("span.a_light".into(), small.snapshot());
+
+        let s = render_profile(&snap);
+        for col in ["p50 ms", "p95 ms", "p99 ms"] {
+            assert!(s.contains(col), "missing column {col}: {s}");
+        }
+        let heavy_at = s.find("z_heavy").expect("heavy row");
+        let light_at = s.find("a_light").expect("light row");
+        assert!(heavy_at < light_at, "rows must be sorted by total time: {s}");
+        // p50 stays near 4ms while the max is the 400ms outlier; the
+        // bucket-resolution p50 can overshoot by at most 2x.
+        let heavy_line = s.lines().find(|l| l.contains("z_heavy")).unwrap();
+        let cols: Vec<&str> = heavy_line.split_whitespace().collect();
+        let p50: f64 = cols[4].parse().expect("p50 column parses");
+        let max: f64 = cols[7].parse().expect("max column parses");
+        assert!(p50 < 10.0, "p50 should be near 4ms, got {p50}: {heavy_line}");
+        assert!(max > 300.0, "max should be the outlier, got {max}: {heavy_line}");
     }
 
     #[test]

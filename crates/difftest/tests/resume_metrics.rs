@@ -21,8 +21,10 @@ use std::collections::BTreeMap;
 ///
 /// * `checkpoint.*` counters — journal bookkeeping; the uninterrupted
 ///   reference run has no journal at all;
-/// * `span.*` and `gpucc.passns.*` histograms — wall-clock timings,
-///   nondeterministic by nature.
+/// * `span.*`, `gpucc.passns.*`, `interp.execns`, and `interp.nsperop`
+///   histograms — wall-clock timings, nondeterministic by nature. For
+///   the interpreter timing pair the *record counts* are still
+///   deterministic (one per execution), so those are kept.
 ///
 /// Everything else (run counts, discrepancy tallies, interpreter op
 /// counts, generator stats, …) must match exactly.
@@ -39,7 +41,13 @@ fn deterministic_view(snap: &MetricsSnapshot) -> (BTreeMap<String, u64>, Vec<Str
         .hists
         .iter()
         .filter(|(k, _)| !k.starts_with("span.") && !k.starts_with("gpucc.passns."))
-        .map(|(k, h)| format!("{k}: count={} sum={} min={} max={}", h.count, h.sum, h.min, h.max))
+        .map(|(k, h)| {
+            if k == "interp.execns" || k == "interp.nsperop" {
+                format!("{k}: count={}", h.count)
+            } else {
+                format!("{k}: count={} sum={} min={} max={}", h.count, h.sum, h.min, h.max)
+            }
+        })
         .collect();
     (counters, hists)
 }

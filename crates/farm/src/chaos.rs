@@ -112,8 +112,7 @@ mod tests {
 
     #[test]
     fn victims_come_from_the_candidate_set() {
-        let mut k =
-            ChaosKiller::new(ChaosConfig { kills: 100, seed: 7, ..Default::default() });
+        let mut k = ChaosKiller::new(ChaosConfig { kills: 100, seed: 7, ..Default::default() });
         let candidates = [2, 4, 8];
         for _ in 0..100 {
             let v = k.pick(&candidates).expect("budget covers all picks");

@@ -71,11 +71,10 @@ impl WorkQueue {
     /// stamping its first deadline. Returns `None` when nothing is
     /// currently available (all leased, done, poisoned, or backing off).
     pub fn acquire(&mut self, now_ms: u64, worker: u64) -> Option<ShardId> {
-        let shard = self.states.iter().position(|s| {
-            matches!(s, LeaseState::Available { eligible_at_ms } if *eligible_at_ms <= now_ms)
-        })?;
-        self.states[shard] =
-            LeaseState::Leased { worker, deadline_ms: now_ms + self.heartbeat_ms };
+        let shard = self.states.iter().position(
+            |s| matches!(s, LeaseState::Available { eligible_at_ms } if *eligible_at_ms <= now_ms),
+        )?;
+        self.states[shard] = LeaseState::Leased { worker, deadline_ms: now_ms + self.heartbeat_ms };
         Some(shard)
     }
 
@@ -120,9 +119,7 @@ impl WorkQueue {
     /// `true` once every shard is terminally settled (done or
     /// poisoned).
     pub fn all_settled(&self) -> bool {
-        self.states
-            .iter()
-            .all(|s| matches!(s, LeaseState::Done | LeaseState::Poisoned))
+        self.states.iter().all(|s| matches!(s, LeaseState::Done | LeaseState::Poisoned))
     }
 
     /// Shards currently out on lease, lowest first.

@@ -1,11 +1,14 @@
 //! Built-in HTTP status endpoint (`farm --status-addr`).
 //!
 //! A deliberately tiny HTTP/1.1 responder over `std::net::TcpListener`:
-//! every request, regardless of path, gets the most recently published
-//! JSON snapshot with `Connection: close`. No external HTTP crate, no
-//! request parsing beyond draining the header block — the endpoint
-//! exists so an operator (or the CI smoke job) can `curl` live
-//! progress/metrics out of a long farm run, nothing more.
+//! `GET /` or `GET /status` returns the most recently published JSON
+//! snapshot, `GET /metrics` returns the most recently published
+//! Prometheus text exposition, anything else is a 404. Malformed
+//! request lines get a 400 and header blocks over 16 KB get a 431, so a
+//! confused or hostile client can't wedge the supervisor. No external
+//! HTTP crate — the endpoint exists so an operator (or the CI smoke
+//! job) can `curl` live progress/metrics out of a long farm run,
+//! nothing more.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -14,10 +17,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Largest header block we will buffer before answering 431.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
 /// Handle to the background status-serving thread.
 pub struct StatusServer {
     addr: SocketAddr,
     body: Arc<Mutex<String>>,
+    metrics: Arc<Mutex<String>>,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -30,13 +37,15 @@ impl StatusServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let body = Arc::new(Mutex::new(String::from("{}")));
+        let metrics = Arc::new(Mutex::new(String::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let body = Arc::clone(&body);
+            let metrics = Arc::clone(&metrics);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || serve(listener, body, stop))
+            std::thread::spawn(move || serve(listener, body, metrics, stop))
         };
-        Ok(StatusServer { addr, body, stop, thread: Some(thread) })
+        Ok(StatusServer { addr, body, metrics, stop, thread: Some(thread) })
     }
 
     /// The bound address (useful with port 0).
@@ -44,10 +53,17 @@ impl StatusServer {
         self.addr
     }
 
-    /// Replace the snapshot served to subsequent requests.
+    /// Replace the snapshot served to subsequent `/status` requests.
     pub fn publish(&self, snapshot: &serde_json::Value) {
         let mut body = self.body.lock().unwrap_or_else(|e| e.into_inner());
         *body = snapshot.to_string();
+    }
+
+    /// Replace the Prometheus text served to subsequent `/metrics`
+    /// requests.
+    pub fn publish_metrics(&self, text: &str) {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        text.clone_into(&mut m);
     }
 
     /// Stop the serving thread and release the port.
@@ -69,14 +85,19 @@ impl Drop for StatusServer {
     }
 }
 
-fn serve(listener: TcpListener, body: Arc<Mutex<String>>, stop: Arc<AtomicBool>) {
+fn serve(
+    listener: TcpListener,
+    body: Arc<Mutex<String>>,
+    metrics: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let snapshot =
-                    body.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                let snapshot = body.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                let prom = metrics.lock().unwrap_or_else(|e| e.into_inner()).clone();
                 // One request per connection; errors just drop the client.
-                let _ = respond(stream, &snapshot);
+                let _ = respond(stream, &snapshot, &prom);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -86,26 +107,77 @@ fn serve(listener: TcpListener, body: Arc<Mutex<String>>, stop: Arc<AtomicBool>)
     }
 }
 
-fn respond(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+fn respond(mut stream: TcpStream, json: &str, prom: &str) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    // Drain the request until the end of the header block (or timeout);
-    // we serve the same snapshot whatever was asked.
+    // Drain the request until the end of the header block (or timeout).
     let mut buf = [0u8; 1024];
     let mut seen: Vec<u8> = Vec::new();
+    let mut complete = false;
     loop {
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
                 seen.extend_from_slice(&buf[..n]);
-                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 16 * 1024 {
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                    complete = true;
+                    break;
+                }
+                if seen.len() > MAX_HEADER_BYTES {
                     break;
                 }
             }
             Err(_) => break,
         }
     }
+    if seen.len() > MAX_HEADER_BYTES && !complete {
+        return write_response(
+            stream,
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "header block too large\n",
+        );
+    }
+    let (status, content_type, body) = match parse_request_path(&seen) {
+        None => ("400 Bad Request", "text/plain; charset=utf-8", "malformed request line\n"),
+        Some(path) => match path {
+            "/" | "/status" => ("200 OK", "application/json", json),
+            "/metrics" => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", prom),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "unknown path\n"),
+        },
+    };
+    write_response(stream, status, content_type, body)
+}
+
+/// Extract the request path from a raw request buffer, or `None` when
+/// the request line is not a plausible `METHOD <path> HTTP/x.y`. Query
+/// strings are ignored.
+fn parse_request_path(raw: &[u8]) -> Option<&str> {
+    let line_end = raw.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(&raw[..line_end]).ok()?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some() || !version.starts_with("HTTP/") {
+        return None;
+    }
+    if !matches!(method, "GET" | "HEAD") {
+        return None;
+    }
+    if !target.starts_with('/') {
+        return None;
+    }
+    Some(target.split('?').next().unwrap_or(target))
+}
+
+fn write_response(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let header = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;
@@ -117,14 +189,17 @@ fn respond(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
-    fn get(addr: SocketAddr) -> String {
+    fn raw_request(addr: SocketAddr, request: &[u8]) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .write_all(b"GET /status HTTP/1.1\r\nHost: farm\r\n\r\n")
-            .expect("request");
+        let _ = stream.write_all(request);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
         let mut response = String::new();
-        stream.read_to_string(&mut response).expect("response");
+        let _ = stream.read_to_string(&mut response);
         response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        raw_request(addr, format!("GET {path} HTTP/1.1\r\nHost: farm\r\n\r\n").as_bytes())
     }
 
     #[test]
@@ -132,18 +207,105 @@ mod tests {
         let server = StatusServer::bind("127.0.0.1:0").expect("bind");
         let addr = server.local_addr();
 
-        let first = get(addr);
+        let first = get(addr, "/status");
         assert!(first.starts_with("HTTP/1.1 200 OK"), "got: {first}");
         assert!(first.ends_with("{}"), "initial snapshot is empty JSON: {first}");
 
         server.publish(&serde_json::json!({"shards_done": 3, "workers": 2}));
-        let second = get(addr);
+        let second = get(addr, "/status");
         let json_start = second.find("\r\n\r\n").expect("header/body split") + 4;
         let parsed: serde_json::Value =
             serde_json::from_str(&second[json_start..]).expect("body parses as JSON");
         assert_eq!(parsed["shards_done"], 3);
         assert_eq!(parsed["workers"], 2);
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let empty = get(addr, "/metrics");
+        assert!(empty.starts_with("HTTP/1.1 200 OK"), "got: {empty}");
+
+        server.publish_metrics("# TYPE farm_respawns counter\nfarm_respawns 2\n");
+        let text = get(addr, "/metrics");
+        assert!(text.contains("text/plain; version=0.0.4"), "got: {text}");
+        assert!(text.contains("farm_respawns 2"), "got: {text}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn root_serves_the_snapshot_and_queries_are_ignored() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        server.publish(&serde_json::json!({"ok": true}));
+        for path in ["/", "/status?verbose=1"] {
+            let r = get(addr, path);
+            assert!(r.starts_with("HTTP/1.1 200 OK"), "{path}: {r}");
+            assert!(r.contains("\"ok\":true"), "{path}: {r}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let r = get(addr, "/nope");
+        assert!(r.starts_with("HTTP/1.1 404 Not Found"), "got: {r}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_lines_get_400() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        for req in [
+            &b"NOT_A_REQUEST\r\n\r\n"[..],
+            &b"GET\r\n\r\n"[..],
+            &b"POST /status HTTP/1.1\r\n\r\n"[..],
+            &b"GET status HTTP/1.1\r\n\r\n"[..],
+            &b"GET /status HTTP/1.1 extra\r\n\r\n"[..],
+            &b"\xff\xfe bad utf8 \r\n\r\n"[..],
+        ] {
+            let r = raw_request(addr, req);
+            assert!(
+                r.starts_with("HTTP/1.1 400 Bad Request"),
+                "request {:?} got: {r}",
+                String::from_utf8_lossy(req)
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_headers_get_431() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut req = b"GET /status HTTP/1.1\r\n".to_vec();
+        req.extend_from_slice(b"X-Flood: ");
+        req.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 1024));
+        // No terminating blank line: the server must give up on its own.
+        let r = raw_request(addr, &req);
+        assert!(r.starts_with("HTTP/1.1 431"), "got: {r}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_survives_abusive_clients_and_keeps_serving() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        // Client connects and immediately hangs up.
+        drop(TcpStream::connect(addr).expect("connect"));
+        let _ = raw_request(addr, b"");
+        let _ = raw_request(addr, b"garbage");
+        server.publish(&serde_json::json!({"alive": 1}));
+        let r = get(addr, "/status");
+        assert!(r.contains("\"alive\":1"), "got: {r}");
         server.shutdown();
     }
 }

@@ -191,9 +191,7 @@ pub fn poison_path(shard_dir: &Path) -> PathBuf {
 }
 
 fn journal_len(shard_dir: &Path) -> u64 {
-    std::fs::metadata(Checkpoint::journal_path(shard_dir))
-        .map(|m| m.len())
-        .unwrap_or(0)
+    std::fs::metadata(Checkpoint::journal_path(shard_dir)).map(|m| m.len()).unwrap_or(0)
 }
 
 /// Run a farm to completion (or drain). See the module docs for the
@@ -290,6 +288,9 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
             draining = true;
             drain_deadline_ms = now + cfg.grace_ms;
             obs::add("farm.drains", 1);
+            if obs::trace::active() {
+                obs::trace::instant("farm.drain", vec![("workers", workers.len().into())]);
+            }
             eprintln!(
                 "farm: drain requested; waiting up to {} ms for {} worker(s) to flush",
                 cfg.grace_ms,
@@ -321,6 +322,9 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
                 backoffs[w.shard].reset();
                 report.shards_done += 1;
                 obs::add("farm.shards_done", 1);
+                if obs::trace::active() {
+                    obs::trace::instant("farm.shard_done", vec![("shard", w.shard.into())]);
+                }
             } else if status.code() == Some(130) || (draining && status.success()) {
                 // Drained at a unit boundary (or externally interrupted):
                 // the checkpoint is flushed, not failed. Release without
@@ -333,6 +337,9 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
             } else {
                 report.worker_deaths += 1;
                 obs::add("farm.worker_deaths", 1);
+                if obs::trace::active() {
+                    obs::trace::instant("farm.worker_death", vec![("shard", w.shard.into())]);
+                }
                 // Journal growth during the failed attempt counts as
                 // life: only no-progress crashes accumulate toward the
                 // breaker, so a long shard that dies occasionally but
@@ -367,13 +374,18 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
                 let mut w = workers.remove(i);
                 eprintln!(
                     "farm: shard {} lease expired (no journal growth for {} ms); killing worker {}",
-                    shard, cfg.heartbeat_ms, w.pid()
+                    shard,
+                    cfg.heartbeat_ms,
+                    w.pid()
                 );
                 w.kill();
                 report.lease_expiries += 1;
                 report.worker_deaths += 1;
                 obs::add("farm.lease_expiries", 1);
                 obs::add("farm.worker_deaths", 1);
+                if obs::trace::active() {
+                    obs::trace::instant("farm.lease_expiry", vec![("shard", shard.into())]);
+                }
                 // Mirror the reap path: journal growth during the lease
                 // counts as life, so a hang after real progress starts a
                 // fresh streak instead of accumulating toward poison.
@@ -420,6 +432,9 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
                     w.kill();
                     report.chaos_kills += 1;
                     obs::add("farm.chaos_kills", 1);
+                    if obs::trace::active() {
+                        obs::trace::instant("farm.chaos_kill", vec![("shard", victim.into())]);
+                    }
                     // The normal reap pass classifies the death next
                     // iteration — chaos goes through the exact recovery
                     // path a real crash would.
@@ -451,6 +466,12 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
                     Ok(w) => {
                         report.spawns += 1;
                         obs::add("farm.spawns", 1);
+                        if obs::trace::active() {
+                            obs::trace::instant(
+                                "farm.spawn",
+                                vec![("shard", shard.into()), ("worker", worker_seq.into())],
+                            );
+                        }
                         if assigned_before[shard] {
                             report.respawns += 1;
                             obs::add("farm.respawns", 1);
@@ -485,6 +506,7 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
             if now >= last_publish_ms + 250 {
                 last_publish_ms = now;
                 s.publish(&status_snapshot(cfg, &queue, &workers, &report, now));
+                s.publish_metrics(&metrics_exposition(&merged));
             }
         }
 
@@ -495,10 +517,7 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
                 break;
             }
             if now > drain_deadline_ms {
-                eprintln!(
-                    "farm: drain grace expired; hard-killing {} worker(s)",
-                    workers.len()
-                );
+                eprintln!("farm: drain grace expired; hard-killing {} worker(s)", workers.len());
                 for w in &mut workers {
                     w.kill();
                 }
@@ -515,6 +534,7 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
 
     if let Some(s) = status {
         s.publish(&status_snapshot(cfg, &queue, &workers, &report, now_ms(&started)));
+        s.publish_metrics(&metrics_exposition(&merged));
         s.shutdown();
     }
 
@@ -609,6 +629,19 @@ fn poison_shard(cfg: &FarmConfig, shard: ShardId, crashes: u32) -> Result<(), Fa
     Ok(())
 }
 
+/// The `/metrics` body: the supervisor's own `farm.*` metrics merged
+/// with the rolling shard merge's campaign telemetry. Both sides merge
+/// order-independently (see `obs::MetricsSnapshot::merge` and the merge
+/// proptests), so the exposition is the same whatever order shards
+/// finished in.
+fn metrics_exposition(merged: &Option<CampaignMeta>) -> String {
+    let mut snap = obs::snapshot().filter_prefix("farm.");
+    if let Some(metrics) = merged.as_ref().and_then(|m| m.metrics.as_ref()) {
+        snap.merge(metrics);
+    }
+    obs::prom::render(&snap)
+}
+
 fn status_snapshot(
     cfg: &FarmConfig,
     queue: &WorkQueue,
@@ -688,8 +721,7 @@ mod tests {
         let root = temp_root("poison");
         // $2 is "--resume <dir>": the script dies without journaling, so
         // the breaker sees pure no-progress crashes.
-        let mut cfg =
-            FarmConfig::new(tiny_config(), 2, 2, &root, script_worker("exit 7"));
+        let mut cfg = FarmConfig::new(tiny_config(), 2, 2, &root, script_worker("exit 7"));
         cfg.crash_threshold = 2;
         cfg.poll_ms = 5;
         cfg.backoff = BackoffPolicy { base_ms: 1, cap_ms: 2, jitter: 0.0 };
@@ -892,5 +924,26 @@ mod tests {
         assert!(report.resume_hint.is_some());
         assert_eq!(report.shards_done, 0);
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn metrics_exposition_merges_farm_and_campaign_series() {
+        obs::add("farm.spawns", 2);
+        let mut meta = CampaignMeta::generate(&tiny_config());
+        let mut campaign = obs::MetricsSnapshot::default();
+        campaign.counters.insert("campaign.runs_done".into(), 12);
+        let h = obs::Histogram::new();
+        h.record(1500);
+        campaign.hists.insert("span.campaign.unit".into(), h.snapshot());
+        meta.metrics = Some(campaign);
+
+        let text = metrics_exposition(&Some(meta));
+        assert!(text.contains("farm_spawns"), "{text}");
+        assert!(text.contains("campaign_runs_done 12"), "{text}");
+        assert!(text.contains("# TYPE span_campaign_unit histogram"), "{text}");
+        assert!(text.contains("span_campaign_unit_count 1"), "{text}");
+        // No merged campaign yet: only the farm's own series appear.
+        let farm_only = metrics_exposition(&None);
+        assert!(!farm_only.contains("campaign_runs_done"), "{farm_only}");
     }
 }

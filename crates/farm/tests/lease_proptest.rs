@@ -156,8 +156,7 @@ proptest! {
 /// appears exactly once.
 #[test]
 fn merged_report_has_every_test_exactly_once_in_any_completion_order() {
-    let config =
-        CampaignConfig::default_for(Precision::F32, TestMode::Direct).with_programs(11);
+    let config = CampaignConfig::default_for(Precision::F32, TestMode::Direct).with_programs(11);
     let n_shards = 4;
     // A completion order a chaotic farm might produce.
     for order in [[2, 0, 3, 1], [3, 2, 1, 0], [1, 3, 0, 2]] {

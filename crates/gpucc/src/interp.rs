@@ -428,12 +428,26 @@ fn run_thread_budgeted<T: DeviceFloat>(
             }
         }
     }
+    let exec_t = if obs::enabled() { Some(Instant::now()) } else { None };
     m.run_nodes(&r.body)?;
     // Flush the locally tallied telemetry once per execution — the hot
     // loop itself touches only the stack-local Machine fields.
     if obs::enabled() {
         obs::add("interp.execs", 1);
         obs::add("interp.ops", m.steps);
+        if let Some(t) = exec_t {
+            let ns = t.elapsed().as_nanos() as u64;
+            obs::record("interp.execns", ns);
+            obs::record("interp.nsperop", ns / m.steps.max(1));
+            if obs::trace::active() {
+                obs::trace::emit(
+                    "interp.exec",
+                    t,
+                    ns,
+                    vec![("program", kernel.program_id.as_str().into()), ("steps", m.steps.into())],
+                );
+            }
+        }
         let vendor = device.kind.short();
         for (i, &n) in m.math_calls.iter().enumerate() {
             if n > 0 {

@@ -189,10 +189,13 @@ impl CompileStats {
 
 /// [`compile`], plus per-pass rewrite counts and timings.
 ///
-/// Telemetry side effects (when `obs` is enabled): bumps
-/// `gpucc.compiles`, and for every pass that ran records
+/// Telemetry side effects (when `obs` is enabled): times the whole
+/// compile under the `gpucc.compile` span, bumps `gpucc.compiles`, and
+/// for every pass that ran records
 /// `gpucc.rewrites.{toolchain}.{level}.{pass}` (counter) and
 /// `gpucc.passns.{toolchain}.{level}.{pass}` (histogram, nanoseconds).
+/// While a trace is active each pass additionally emits a child trace
+/// event named after the pass, carrying its rewrite count.
 pub fn compile_with_stats(
     program: &Program,
     toolchain: Toolchain,
@@ -253,16 +256,21 @@ fn compile_impl(
     stats: &mut CompileStats,
     observe: &mut dyn FnMut(&'static str, u64, &KernelIr),
 ) -> KernelIr {
+    let _span = obs::span("gpucc.compile")
+        .attr("toolchain", toolchain.name())
+        .attr("level", opt.label())
+        .attr("hipified", hipified);
+
     // nvcc -ffast-math reassociates in the front end
     let reassociated;
     let program = if toolchain == Toolchain::Nvcc && opt.is_fast_math() {
         let t = Instant::now();
         let (p, fired) = reassociate_program_counted(program);
-        stats.passes.push(PassStat {
-            name: "reassoc",
-            rewrites: fired,
-            nanos: t.elapsed().as_nanos() as u64,
-        });
+        let nanos = t.elapsed().as_nanos() as u64;
+        if obs::trace::active() {
+            obs::trace::emit("reassoc", t, nanos, vec![("rewrites", fired.into())]);
+        }
+        stats.passes.push(PassStat { name: "reassoc", rewrites: fired, nanos });
         reassociated = p;
         &reassociated
     } else {
@@ -283,11 +291,11 @@ fn compile_impl(
                      observe: &mut dyn FnMut(&'static str, u64, &KernelIr)| {
         let t = Instant::now();
         let fired = run_seq_pass(ir, pass);
-        stats.passes.push(PassStat {
-            name: pass.name(),
-            rewrites: fired,
-            nanos: t.elapsed().as_nanos() as u64,
-        });
+        let nanos = t.elapsed().as_nanos() as u64;
+        if obs::trace::active() {
+            obs::trace::emit(pass.name(), t, nanos, vec![("rewrites", fired.into())]);
+        }
+        stats.passes.push(PassStat { name: pass.name(), rewrites: fired, nanos });
         observe(pass.name(), fired, ir);
     };
 

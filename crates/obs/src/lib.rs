@@ -20,9 +20,11 @@
 pub mod counter;
 pub mod hist;
 pub mod jsonl;
+pub mod prom;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use counter::Counter;
 pub use hist::Histogram;
@@ -123,8 +125,12 @@ pub fn with_capture<R>(f: impl FnOnce() -> R) -> (R, MetricsSnapshot) {
 }
 
 /// Start a scoped timer; on drop it records elapsed nanoseconds into the
-/// histogram `span.{name}`.
-pub fn span(name: impl Into<String>) -> Span {
+/// histogram `span.{name}`. Names are `&'static str` (the histogram key
+/// is interned once per name) so span open/close allocates nothing on
+/// the hot path. While a trace is active ([`trace::start`]) the span
+/// also records a [`trace::TraceEvent`]; attach attributes with
+/// [`Span::attr`].
+pub fn span(name: &'static str) -> Span {
     Span::start(name)
 }
 

@@ -1,0 +1,120 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`].
+//!
+//! Metric names are sanitized dot-to-underscore (`farm.worker_deaths` →
+//! `farm_worker_deaths`), counters render as `counter` series, and the
+//! log2 histograms render as native Prometheus `histogram` series whose
+//! cumulative `le` bucket bounds are the log2 buckets' inclusive upper
+//! bounds — exactly what the farm's `/metrics` route serves.
+
+use std::fmt::Write as _;
+
+use crate::hist::bucket_high;
+use crate::snapshot::{HistSnapshot, MetricsSnapshot};
+
+/// Sanitize a metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other byte becomes `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Deterministic: series appear in the snapshot's
+/// (sorted) name order, so identical snapshots render byte-identically
+/// regardless of how many shards merged into them or in what order.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.hists {
+        render_hist(&mut out, &sanitize(name), h);
+    }
+    out
+}
+
+fn render_hist(out: &mut String, name: &str, h: &HistSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (b, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        // Suppress all-zero leading buckets to keep the exposition
+        // small; cumulative counts stay exact from the first hit on.
+        if cumulative == 0 {
+            continue;
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_high(b));
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("farm.worker_deaths"), "farm_worker_deaths");
+        assert_eq!(sanitize("campaign.disc.Num"), "campaign_disc_Num");
+        assert_eq!(sanitize("span.gpucc.compile"), "span_gpucc_compile");
+        assert_eq!(sanitize("0weird name"), "_0weird_name");
+    }
+
+    #[test]
+    fn render_emits_counter_and_histogram_series() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("farm.spawns".into(), 4);
+        let h = crate::Histogram::new();
+        h.record(3);
+        h.record(300);
+        snap.hists.insert("campaign.unit_ns".into(), h.snapshot());
+
+        let text = render(&snap);
+        assert!(text.contains("# TYPE farm_spawns counter\nfarm_spawns 4\n"), "{text}");
+        assert!(text.contains("# TYPE campaign_unit_ns histogram"), "{text}");
+        assert!(text.contains("campaign_unit_ns_sum 303"), "{text}");
+        assert!(text.contains("campaign_unit_ns_count 2"), "{text}");
+        assert!(text.contains("campaign_unit_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        // value 3 has bit length 2 → bucket upper bound 3; cumulative 1
+        assert!(text.contains("campaign_unit_ns_bucket{le=\"3\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic_and_end_at_count() {
+        let h = crate::Histogram::new();
+        for v in [1u64, 2, 2, 9, 1000, 65_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let text = {
+            let mut s = String::new();
+            render_hist(&mut s, "x", &snap);
+            s
+        };
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("x_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotonic cumulative bucket: {text}");
+            last = v;
+        }
+        assert_eq!(last, snap.count);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("b".into(), 1);
+        snap.counters.insert("a".into(), 2);
+        assert_eq!(render(&snap), render(&snap.clone()));
+    }
+}

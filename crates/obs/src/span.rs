@@ -11,20 +11,61 @@
 //! } // recorded here
 //! assert_eq!(obs::snapshot().hists["span.demo.phase"].count, 1);
 //! ```
+//!
+//! Names are `&'static str` and the `span.{name}` histogram key is
+//! interned once per distinct name, so opening and closing a span on
+//! the hot path allocates nothing. When a trace is being collected
+//! ([`crate::trace::start`]) each span additionally records a
+//! [`crate::trace::TraceEvent`] with parent/child causality and any
+//! attributes attached via [`Span::attr`]; with tracing off, attributes
+//! are discarded without ever being materialized.
 
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+use crate::trace::{self, AttrValue, SpanCtx};
+
+/// The interned `span.{name}` histogram key for a span name. Names form
+/// a small fixed vocabulary (instrumentation sites are code, not data),
+/// so each distinct name leaks one small string, once.
+fn span_key(name: &'static str) -> &'static str {
+    static KEYS: OnceLock<RwLock<BTreeMap<&'static str, &'static str>>> = OnceLock::new();
+    let keys = KEYS.get_or_init(Default::default);
+    if let Some(k) = keys.read().get(name) {
+        return k;
+    }
+    let mut map = keys.write();
+    map.entry(name).or_insert_with(|| Box::leak(format!("span.{name}").into_boxed_str()))
+}
 
 /// A running timer tied to a named span histogram.
 pub struct Span {
-    name: String,
+    name: &'static str,
     start: Instant,
     done: bool,
+    /// Trace context; present only while a trace is being collected.
+    trace: Option<Box<SpanCtx>>,
 }
 
 impl Span {
     /// Start timing `name` now.
-    pub fn start(name: impl Into<String>) -> Span {
-        Span { name: name.into(), start: Instant::now(), done: false }
+    pub fn start(name: &'static str) -> Span {
+        // Open the trace context before the timer so the span's own
+        // bookkeeping is not charged to its duration.
+        let trace = trace::begin();
+        Span { name, start: Instant::now(), done: false, trace }
+    }
+
+    /// Attach a structured attribute (program id, toolchain, opt level,
+    /// pass name) to this span's trace event. A no-op — the value is
+    /// never converted — unless a trace is being collected.
+    pub fn attr(mut self, key: &'static str, value: impl Into<AttrValue>) -> Span {
+        if let Some(ctx) = &mut self.trace {
+            ctx.args.push((key, value.into()));
+        }
+        self
     }
 
     /// Elapsed nanoseconds so far, without stopping the span.
@@ -44,7 +85,10 @@ impl Span {
             self.done = true;
             // Routed through `crate::record` (not the global registry
             // directly) so spans land in an active `with_capture` scope.
-            crate::record(&format!("span.{}", self.name), ns);
+            crate::record(span_key(self.name), ns);
+            if let Some(ctx) = self.trace.take() {
+                trace::end(*ctx, self.name, self.start, ns);
+            }
         }
     }
 }
@@ -79,5 +123,23 @@ mod tests {
         let ns = s.finish();
         assert!(ns >= 1_000_000, "slept 1ms but span saw {ns}ns");
         assert_eq!(r.hist("span.obs.test.finish").count(), before + 1);
+    }
+
+    #[test]
+    fn span_key_interns_one_static_string_per_name() {
+        let a = span_key("obs.test.intern");
+        let b = span_key("obs.test.intern");
+        assert_eq!(a, "span.obs.test.intern");
+        assert!(std::ptr::eq(a, b), "same name must return the same interned key");
+    }
+
+    #[test]
+    fn attrs_without_tracing_are_free_and_harmless() {
+        let r = crate::global();
+        let before = r.hist("span.obs.test.attroff").count();
+        {
+            let _s = Span::start("obs.test.attroff").attr("k", 1u64).attr("s", "v");
+        }
+        assert_eq!(r.hist("span.obs.test.attroff").count(), before + 1);
     }
 }

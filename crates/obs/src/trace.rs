@@ -1,0 +1,437 @@
+//! Hierarchical trace spans with parent/child causality and structured
+//! attributes, layered on the span timers of [`crate::span`].
+//!
+//! Tracing is an *opt-in* second consumer of the spans the pipeline
+//! already opens: when a trace is active ([`start`]), every
+//! [`crate::Span`] additionally records a [`TraceEvent`] carrying its
+//! span id, its parent's id (the innermost span open on the same thread
+//! when it started), and any attributes attached with
+//! [`crate::Span::attr`]. Instrumentation sites that already measure
+//! their own timing (the compiler pass loop) can [`emit`] events with
+//! explicit timestamps, and long-lived state machines (the farm
+//! supervisor) can drop zero-duration [`instant`] markers.
+//!
+//! When no trace is active the cost at a span site is one relaxed
+//! atomic load and attribute values are never materialized, so the
+//! always-on telemetry path (counters + histograms) is unchanged — the
+//! overhead guard in `crates/bench` measures exactly that path.
+//!
+//! [`chrome_json`] serializes a collected trace in the Chrome
+//! trace-event format (the `{"traceEvents": [...]}` flavor), loadable
+//! in Perfetto / `chrome://tracing`; every event carries its `span_id`
+//! and `parent_id` in `args` so the causality survives tools that
+//! re-sort by timestamp.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A structured attribute value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Text (program ids, pass names, toolchain names).
+    Str(String),
+    /// Unsigned integer (indices, counts, rewrites).
+    U64(u64),
+    /// Floating-point measurement.
+    F64(f64),
+    /// Flag.
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> AttrValue {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> AttrValue {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> AttrValue {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> AttrValue {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> serde_json::Value {
+        match self {
+            AttrValue::Str(s) => serde_json::Value::String(s.clone()),
+            AttrValue::U64(v) => serde_json::json!(v),
+            AttrValue::F64(v) => serde_json::json!(v),
+            AttrValue::Bool(v) => serde_json::json!(v),
+        }
+    }
+}
+
+/// Event flavor: a measured duration or a point-in-time marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span with a start and a duration (Chrome phase `X`).
+    Span,
+    /// A zero-duration marker (Chrome phase `i`).
+    Instant,
+}
+
+/// One collected trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Process-unique span id (ids are never reused within a process).
+    pub id: u64,
+    /// Id of the innermost span open on the same thread at start time.
+    pub parent: Option<u64>,
+    /// Span name (same name the `span.{name}` histogram records under).
+    pub name: &'static str,
+    /// Duration span or instant marker.
+    pub kind: TraceKind,
+    /// Start offset in nanoseconds from the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Small per-thread ordinal (not the OS tid).
+    pub tid: u64,
+    /// Structured attributes, in attachment order.
+    pub args: Vec<(&'static str, AttrValue)>,
+}
+
+/// Live trace context carried by a [`crate::Span`] while a trace is
+/// active. Created by [`begin`], consumed by [`end`].
+#[derive(Debug)]
+pub struct SpanCtx {
+    id: u64,
+    parent: Option<u64>,
+    tid: u64,
+    pub(crate) args: Vec<(&'static str, AttrValue)>,
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Ids of the traced spans currently open on this thread, innermost
+    /// last — the parent chain for new spans and emitted events.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn sink() -> &'static Mutex<Vec<TraceEvent>> {
+    static SINK: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The process trace epoch: all event timestamps are offsets from this
+/// instant. Initialized on first use; [`chrome_json`] re-normalizes to
+/// the earliest event, so only differences matter.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn offset_ns(t: Instant) -> u64 {
+    t.checked_duration_since(epoch())
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+fn tid() -> u64 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Whether a trace is currently being collected.
+#[inline]
+pub fn active() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Begin collecting a trace: clears any previously collected events and
+/// turns the span/event hooks on. Tracing is process-global, like the
+/// registry — one trace at a time.
+pub fn start() {
+    epoch();
+    sink().lock().clear();
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Stop collecting and drain the trace, sorted by start time. Spans
+/// still open keep their context and are dropped silently (their
+/// histogram recording is unaffected).
+pub fn stop() -> Vec<TraceEvent> {
+    TRACING.store(false, Ordering::Relaxed);
+    let mut events = std::mem::take(&mut *sink().lock());
+    events.sort_by_key(|e| (e.start_ns, e.id));
+    events
+}
+
+/// Open a trace context for a span starting now on this thread, pushing
+/// it onto the thread's parent stack. Returns `None` when no trace is
+/// active — the only cost on the common path.
+pub(crate) fn begin() -> Option<Box<SpanCtx>> {
+    if !active() {
+        return None;
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    Some(Box::new(SpanCtx { id, parent, tid: tid(), args: Vec::new() }))
+}
+
+/// Close a trace context: pop it from the thread's parent stack and
+/// record the completed event (if the trace is still active).
+pub(crate) fn end(ctx: SpanCtx, name: &'static str, start: Instant, dur_ns: u64) {
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        // Spans normally close LIFO; tolerate out-of-order drops.
+        match s.last() {
+            Some(&top) if top == ctx.id => {
+                s.pop();
+            }
+            _ => s.retain(|&id| id != ctx.id),
+        }
+    });
+    if active() {
+        sink().lock().push(TraceEvent {
+            id: ctx.id,
+            parent: ctx.parent,
+            name,
+            kind: TraceKind::Span,
+            start_ns: offset_ns(start),
+            dur_ns,
+            tid: ctx.tid,
+            args: ctx.args,
+        });
+    }
+}
+
+/// Record a completed event with explicit timing, parented to the
+/// innermost span open on this thread. For instrumentation sites that
+/// already measure their own durations (the compiler's pass loop) and
+/// must not pay a second timer.
+pub fn emit(name: &'static str, start: Instant, dur_ns: u64, args: Vec<(&'static str, AttrValue)>) {
+    if !active() {
+        return;
+    }
+    let parent = STACK.with(|s| s.borrow().last().copied());
+    sink().lock().push(TraceEvent {
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        parent,
+        name,
+        kind: TraceKind::Span,
+        start_ns: offset_ns(start),
+        dur_ns,
+        tid: tid(),
+        args,
+    });
+}
+
+/// Record a zero-duration marker at the current instant (lifecycle
+/// edges: worker spawned, shard poisoned, lease expired).
+pub fn instant(name: &'static str, args: Vec<(&'static str, AttrValue)>) {
+    if !active() {
+        return;
+    }
+    let parent = STACK.with(|s| s.borrow().last().copied());
+    sink().lock().push(TraceEvent {
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        parent,
+        name,
+        kind: TraceKind::Instant,
+        start_ns: offset_ns(Instant::now()),
+        dur_ns: 0,
+        tid: tid(),
+        args,
+    });
+}
+
+/// Serialize events as Chrome trace-event JSON (the object flavor with
+/// a `traceEvents` array), loadable in Perfetto or `chrome://tracing`.
+/// Timestamps are microseconds relative to the earliest event; every
+/// event's `args` carries `span_id` (and `parent_id` when parented) so
+/// the span tree survives re-sorting.
+pub fn chrome_json(events: &[TraceEvent]) -> String {
+    let t0 = events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+    let rows: Vec<serde_json::Value> = events
+        .iter()
+        .map(|e| {
+            let mut args = serde_json::Map::new();
+            args.insert("span_id".into(), serde_json::json!(e.id));
+            if let Some(p) = e.parent {
+                args.insert("parent_id".into(), serde_json::json!(p));
+            }
+            for (k, v) in &e.args {
+                args.insert((*k).into(), v.to_json());
+            }
+            let cat = e.name.split('.').next().unwrap_or(e.name);
+            let mut row = serde_json::json!({
+                "name": e.name,
+                "cat": cat,
+                "ph": match e.kind { TraceKind::Span => "X", TraceKind::Instant => "i" },
+                "ts": (e.start_ns - t0) as f64 / 1e3,
+                "pid": 1,
+                "tid": e.tid,
+                "args": serde_json::Value::Object(args),
+            });
+            match e.kind {
+                TraceKind::Span => {
+                    row["dur"] = serde_json::json!(e.dur_ns as f64 / 1e3);
+                }
+                TraceKind::Instant => {
+                    row["s"] = serde_json::json!("t");
+                }
+            }
+            row
+        })
+        .collect();
+    serde_json::json!({ "traceEvents": rows, "displayTimeUnit": "ms" }).to_string()
+}
+
+/// Write [`chrome_json`] to a file.
+pub fn write_chrome(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    std::fs::write(path, chrome_json(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing is process-global; tests that toggle it serialize here.
+    pub(crate) fn lock() -> parking_lot::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn spans_record_parent_child_causality_and_attrs() {
+        let _gate = lock();
+        start();
+        {
+            let _outer = crate::span("obs.trace.test.outer").attr("program", "p_1");
+            let _inner = crate::span("obs.trace.test.inner").attr("level", "O3");
+        }
+        let events = stop();
+        let outer = events.iter().find(|e| e.name == "obs.trace.test.outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "obs.trace.test.inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.args, vec![("program", AttrValue::Str("p_1".into()))]);
+        assert_eq!(inner.args, vec![("level", AttrValue::Str("O3".into()))]);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert_eq!(inner.tid, outer.tid);
+    }
+
+    #[test]
+    fn emit_and_instant_parent_under_the_open_span() {
+        let _gate = lock();
+        start();
+        {
+            let _outer = crate::span("obs.trace.test.emitparent");
+            emit("obs.trace.test.pass", Instant::now(), 42, vec![("rewrites", 3u64.into())]);
+            instant("obs.trace.test.marker", vec![]);
+        }
+        let events = stop();
+        let outer = events.iter().find(|e| e.name == "obs.trace.test.emitparent").unwrap();
+        let pass = events.iter().find(|e| e.name == "obs.trace.test.pass").unwrap();
+        let marker = events.iter().find(|e| e.name == "obs.trace.test.marker").unwrap();
+        assert_eq!(pass.parent, Some(outer.id));
+        assert_eq!(pass.dur_ns, 42);
+        assert_eq!(pass.args, vec![("rewrites", AttrValue::U64(3))]);
+        assert_eq!(marker.parent, Some(outer.id));
+        assert_eq!(marker.kind, TraceKind::Instant);
+    }
+
+    #[test]
+    fn inactive_tracing_collects_nothing_but_histograms_still_record() {
+        let _gate = lock();
+        TRACING.store(false, Ordering::Relaxed);
+        sink().lock().clear();
+        let before = crate::global().hist("span.obs.trace.test.off").count();
+        {
+            let _s = crate::span("obs.trace.test.off").attr("ignored", 1u64);
+        }
+        assert!(sink().lock().is_empty());
+        assert_eq!(crate::global().hist("span.obs.trace.test.off").count(), before + 1);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_carries_the_tree() {
+        let _gate = lock();
+        start();
+        {
+            let _a = crate::span("obs.trace.test.chrome").attr("n", 7u64);
+            instant("obs.trace.test.chromemark", vec![]);
+        }
+        let events = stop();
+        let json = chrome_json(&events);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let rows = v["traceEvents"].as_array().expect("traceEvents array");
+        let span_row =
+            rows.iter().find(|r| r["name"] == "obs.trace.test.chrome").expect("span event present");
+        assert_eq!(span_row["ph"], "X");
+        assert_eq!(span_row["cat"], "obs");
+        assert_eq!(span_row["args"]["n"], 7);
+        assert!(span_row["args"]["span_id"].is_u64());
+        assert!(span_row["dur"].is_f64() || span_row["dur"].is_u64());
+        let mark = rows
+            .iter()
+            .find(|r| r["name"] == "obs.trace.test.chromemark")
+            .expect("instant present");
+        assert_eq!(mark["ph"], "i");
+        assert_eq!(mark["args"]["parent_id"], span_row["args"]["span_id"]);
+    }
+
+    #[test]
+    fn start_clears_the_previous_trace() {
+        let _gate = lock();
+        start();
+        {
+            let _s = crate::span("obs.trace.test.stale");
+        }
+        start();
+        {
+            let _s = crate::span("obs.trace.test.fresh");
+        }
+        let events = stop();
+        assert!(events.iter().any(|e| e.name == "obs.trace.test.fresh"));
+        assert!(!events.iter().any(|e| e.name == "obs.trace.test.stale"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for `MetricsSnapshot::merge`.
+//!
+//! The farm merges worker shard snapshots in whatever order shards
+//! happen to finish (and the between-platform protocol merges halves in
+//! either direction), so the fold must be order-independent and
+//! associative. `CampaignMeta::merge_shards` already proves this for
+//! results; this pins the same guarantee for telemetry.
+
+use obs::{Histogram, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// A well-formed snapshot, built by actually recording into registries
+/// (so histogram invariants — trimmed buckets, exact count/sum/min/max —
+/// hold by construction, exactly as they do for real shard snapshots).
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    let names = prop::sample::select(vec![
+        "campaign.runs_done",
+        "campaign.disc.Num",
+        "farm.respawns",
+        "span.campaign.unit",
+        "interp.nsperop",
+    ]);
+    let counter = (names.clone(), 0u64..1_000_000);
+    let hist = (names, prop::collection::vec(0u64..=u64::MAX / 4, 0..20));
+    (prop::collection::vec(counter, 0..8), prop::collection::vec(hist, 0..6)).prop_map(
+        |(counters, hists)| {
+            let mut s = MetricsSnapshot::default();
+            for (name, v) in counters {
+                *s.counters.entry(name.to_string()).or_insert(0) += v;
+            }
+            for (name, vals) in hists {
+                let h = s.hists.entry(name.to_string()).or_default();
+                let fresh = Histogram::new();
+                for v in vals {
+                    fresh.record(v);
+                }
+                h.merge(&fresh.snapshot());
+            }
+            s
+        },
+    )
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_snapshot(), b in arb_snapshot(), c in arb_snapshot()) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn empty_is_identity(a in arb_snapshot()) {
+        let empty = MetricsSnapshot::default();
+        prop_assert_eq!(merged(&a, &empty), a.clone());
+        prop_assert_eq!(merged(&empty, &a), a);
+    }
+
+    #[test]
+    fn any_shard_arrival_order_yields_the_same_total(
+        shards in prop::collection::vec(arb_snapshot(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let forward = shards.iter().fold(MetricsSnapshot::default(), |acc, s| merged(&acc, s));
+        // A deterministic shuffle derived from the seed.
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)
+                % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let shuffled = order
+            .iter()
+            .fold(MetricsSnapshot::default(), |acc, &i| merged(&acc, &shards[i]));
+        prop_assert_eq!(forward, shuffled);
+    }
+}
