@@ -41,11 +41,20 @@
 //! * a `stop` file dropped in the checkpoint directory drains the run
 //!   at the next unit boundary (flush + exit 130), signal-free.
 //!
+//! Execution tiers:
+//!
+//! * `--exec-tier interp|vm|differential` picks how compiled kernels
+//!   execute: the tree-walking reference interpreter, the compiled
+//!   bytecode vm (the default — same bits, a fraction of the time), or
+//!   both in lockstep with any bit difference quarantined as a vm bug.
+//!   Tiers are bit-identical, so reports, checkpoints, and resumes are
+//!   interchangeable across them.
+//!
 //! Result tables go to stdout; everything else goes to stderr.
 
 use super::{flag, parse_known};
 use difftest::campaign::{analyze, CampaignConfig, TestMode};
-use difftest::checkpoint::{run_side_ft, Checkpoint, FtSession, FtStatus, ShardSpec};
+use difftest::checkpoint::{run_side_ft_tier, Checkpoint, FtSession, FtStatus, ShardSpec};
 use difftest::fault::{self, TestFault};
 use difftest::metadata::CampaignMeta;
 use difftest::report::{render_digest, render_per_level};
@@ -70,6 +79,7 @@ const PAIRS: &[&str] = &[
     "--quarantine",
     "--shard",
     "--trace",
+    "--exec-tier",
 ];
 const SWITCHES: &[&str] = &["--fp32", "--hipify", "--full", "--progress"];
 
@@ -82,6 +92,18 @@ pub fn run(argv: &[String]) -> i32 {
         eprintln!("--checkpoint and --resume are mutually exclusive (resume continues its own checkpoint)");
         return 2;
     }
+
+    // The tier is an execution strategy, not campaign configuration: the
+    // tiers are bit-identical, so it is deliberately NOT stored in the
+    // checkpoint — a vm-tier resume of an interp-tier run (or vice versa)
+    // produces the same bytes.
+    let exec_tier: gpucc::ExecTier = match args.get("--exec-tier").unwrap_or("vm").parse() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
 
     let max_faults: Option<u64> = match args.get("--max-faults") {
         None => None,
@@ -209,6 +231,7 @@ pub fn run(argv: &[String]) -> i32 {
                 "inputs_per_program": config.inputs_per_program,
                 "levels": config.levels.iter().map(|l| l.label()).collect::<Vec<_>>(),
                 "seed": config.seed,
+                "exec_tier": exec_tier.label(),
                 "sides": sides.iter().map(|s| s.name()).collect::<Vec<_>>(),
             }),
         );
@@ -257,7 +280,7 @@ pub fn run(argv: &[String]) -> i32 {
     let mut status = FtStatus::Complete;
     for side in &sides {
         let t = Instant::now();
-        status = run_side_ft(&mut meta, *side, &session);
+        status = run_side_ft_tier(&mut meta, *side, &session, exec_tier);
         log_phase(&format!("run.{}", side.name()), t);
         if status != FtStatus::Complete {
             break;

@@ -17,6 +17,12 @@
 //! * the human-readable summary goes to stdout (greppable
 //!   `violations: N` line); status goes to stderr.
 //!
+//! `--exec-tier interp|vm|differential` picks the execution tier the
+//! checks run through (default `vm`). The tiers are bit-identical, so
+//! the report cannot depend on the choice; `differential` runs vm and
+//! interpreter in lockstep and reports any divergence as a contained
+//! per-program fault — the oracle oracle-ing the vm.
+//!
 //! Exit codes: 0 = clean, 1 = violations found (or I/O failure),
 //! 2 = usage error.
 
@@ -25,7 +31,7 @@ use oracle::{run_oracle, OracleConfig};
 use std::path::Path;
 use std::time::Instant;
 
-const PAIRS: &[&str] = &["--budget", "--seed", "--inputs", "--findings", "--trace"];
+const PAIRS: &[&str] = &["--budget", "--seed", "--inputs", "--findings", "--trace", "--exec-tier"];
 const SWITCHES: &[&str] = &["--fp32"];
 
 pub fn run(argv: &[String]) -> i32 {
@@ -37,6 +43,13 @@ pub fn run(argv: &[String]) -> i32 {
     config.budget = flag!(args, "--budget", config.budget);
     config.seed = flag!(args, "--seed", config.seed);
     config.inputs_per_program = flag!(args, "--inputs", config.inputs_per_program);
+    config.exec_tier = match args.get("--exec-tier").unwrap_or("vm").parse() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
 
     let findings_log = match args.get("--findings") {
         None => None,
@@ -64,15 +77,17 @@ pub fn run(argv: &[String]) -> i32 {
                 "budget": config.budget,
                 "inputs_per_program": config.inputs_per_program,
                 "seed": config.seed,
+                "exec_tier": config.exec_tier.label(),
             }),
         );
     }
 
     eprintln!(
-        "[oracle] checking {} {} programs (seed {})",
+        "[oracle] checking {} {} programs (seed {}, {} tier)",
         config.budget,
         config.precision.label(),
-        config.seed
+        config.seed,
+        config.exec_tier.label()
     );
     let report = run_oracle(&config);
 
@@ -105,7 +120,10 @@ pub fn run(argv: &[String]) -> i32 {
     }
 
     // result summary on stdout
-    println!("oracle: {} | budget {} | seed {}", report.precision, report.budget, report.seed);
+    println!(
+        "oracle: {} | budget {} | seed {} | tier {}",
+        report.precision, report.budget, report.seed, report.exec_tier
+    );
     println!("programs checked: {}", report.programs_checked);
     println!(
         "checks: transval {} | metamorphic {} | roundtrip {}",

@@ -81,6 +81,11 @@ COMMANDS:
              [--trace FILE]     write a Chrome trace-event JSON of the
                                 run (per-unit spans, compile passes,
                                 executions) — open in Perfetto
+             [--exec-tier interp|vm|differential]  execution tier:
+                                reference interpreter, compiled bytecode
+                                vm (default; same bits, faster), or both
+                                in lockstep (any difference => vm bug,
+                                quarantined)
   farm       run a campaign as a supervised multi-worker service
              --dir DIR [--workers N] [--shards M] [--out FILE]
              [--fp32] [--hipify] [--programs N] [--inputs K] [--seed S]
@@ -114,6 +119,8 @@ COMMANDS:
              [--fp32] [--budget N] [--seed S] [--inputs K]
              [--findings FILE]  stream shrunk violations as JSONL
              [--trace FILE]     write a Chrome trace-event JSON
+             [--exec-tier interp|vm|differential]  execution tier
+                                (default vm; tiers are bit-identical)
   replay     re-run quarantined tests from a campaign's fault log
              FILE [--index N]
   help       this message

@@ -401,3 +401,36 @@ fn isolate_reports_divergence_point() {
     assert!(text.contains("stores:"), "{text}");
     assert!(text.contains("first divergence") || text.contains("no divergence"), "{text}");
 }
+
+#[test]
+fn campaign_report_is_identical_across_exec_tiers() {
+    // the acceptance criterion for the compiled tier: byte-identical
+    // reports whichever tier (or the lockstep differential) executed
+    let run = |tier: &str| {
+        let out = varity(&["campaign", "--programs", "8", "--seed", "77", "--exec-tier", tier]);
+        assert!(out.status.success(), "{tier}: {}", String::from_utf8_lossy(&out.stderr));
+        stdout(&out)
+    };
+    let vm = run("vm");
+    assert_eq!(vm, run("interp"), "vm vs interp report");
+    assert_eq!(vm, run("differential"), "vm vs differential report");
+}
+
+#[test]
+fn campaign_rejects_unknown_exec_tier() {
+    let out = varity(&["campaign", "--programs", "2", "--exec-tier", "jit"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exec tier"));
+}
+
+#[test]
+fn oracle_exec_tier_is_selectable_and_labeled() {
+    let out = varity(&["oracle", "--budget", "5", "--seed", "2024", "--exec-tier", "differential"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("tier differential"), "{text}");
+    assert!(text.contains("violations: 0"), "{text}");
+
+    let out = varity(&["oracle", "--budget", "2", "--exec-tier", "hyperspeed"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -597,11 +597,28 @@ impl FtSession {
 /// deterministic in their config, the final metadata is identical to an
 /// uninterrupted run's.
 pub fn run_side_ft(meta: &mut CampaignMeta, toolchain: Toolchain, session: &FtSession) -> FtStatus {
+    run_side_ft_tier(meta, toolchain, session, gpucc::ExecTier::Interp)
+}
+
+/// [`run_side_ft`] on a chosen execution tier. The tier is a *runtime*
+/// selection, deliberately not part of [`CampaignConfig`]: configs are
+/// identity (merges compare them, checkpoints persist them), and because
+/// the vm tier is bit-identical to the interpreter — including
+/// `ExecError` display strings — the same checkpoint can be started
+/// under one tier and resumed under another, or replayed into a
+/// byte-identical report either way.
+pub fn run_side_ft_tier(
+    meta: &mut CampaignMeta,
+    toolchain: Toolchain,
+    session: &FtSession,
+    tier: gpucc::ExecTier,
+) -> FtStatus {
     let _span = match toolchain {
         Toolchain::Nvcc => obs::span("campaign.run.nvcc"),
         Toolchain::Hipcc => obs::span("campaign.run.hipcc"),
     }
-    .attr("toolchain", toolchain.name());
+    .attr("toolchain", toolchain.name())
+    .attr("tier", tier.label());
     let config = meta.config.clone();
     let device = Device::with_quirks(
         match toolchain {
@@ -636,12 +653,15 @@ pub fn run_side_ft(meta: &mut CampaignMeta, toolchain: Toolchain, session: &FtSe
         let (program, gen_delta) =
             obs::with_capture(|| generate_program(&config.gen, config.seed, test.index));
         let mut gen_delta = Some(gen_delta);
+        let mut cache = crate::metadata::SideBuildCache::default();
         for level in needed {
             if halted() {
                 return;
             }
             let ((records, fault_rec), mut unit_metrics) = obs::with_capture(|| {
-                crate::metadata::run_unit(&config, &device, toolchain, level, test, &program)
+                crate::metadata::run_unit_tier(
+                    &config, &device, toolchain, level, test, &program, tier, &mut cache,
+                )
             });
             if let Some(g) = gen_delta.take() {
                 unit_metrics.merge(&g);

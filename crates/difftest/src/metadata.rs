@@ -12,9 +12,13 @@ use crate::campaign::CampaignConfig;
 use crate::campaign::TestMode;
 use crate::fault::{FaultKind, TestFault};
 use fpcore::classify::Outcome;
-use gpucc::interp::{execute_prepared_budgeted, prepare, ExecBudget, ExecError, ExecValue};
+use gpucc::interp::{
+    execute_prepared_budgeted, prepare, ExecBudget, ExecError, ExecResult, ExecValue,
+    ExecutableKernel,
+};
 use gpucc::pipeline::{compile_with_stats, CompileStats, OptLevel, Toolchain};
-use gpucc::KernelIr;
+use gpucc::vm::{self, CompiledKernel};
+use gpucc::{ExecTier, KernelIr};
 use gpusim::Device;
 use hipify::hipify;
 use progen::ast::Program;
@@ -165,6 +169,16 @@ impl CampaignMeta {
     pub fn run_side(&mut self, toolchain: Toolchain) {
         let session = crate::checkpoint::FtSession::plain();
         let _ = crate::checkpoint::run_side_ft(self, toolchain, &session);
+    }
+
+    /// [`CampaignMeta::run_side`] on a chosen execution tier. The interp
+    /// tier is the reference; `ExecTier::Vm` runs the compiled bytecode
+    /// tier (bit-identical results, several times the throughput);
+    /// `ExecTier::Differential` runs both in lockstep and quarantines any
+    /// divergence. Reports are byte-identical across tiers.
+    pub fn run_side_tier(&mut self, toolchain: Toolchain, tier: ExecTier) {
+        let session = crate::checkpoint::FtSession::plain();
+        let _ = crate::checkpoint::run_side_ft_tier(self, toolchain, &session, tier);
     }
 
     /// True once both compilers' results are present.
@@ -345,34 +359,25 @@ pub fn build_side_with_stats(
     level: OptLevel,
     mode: TestMode,
 ) -> (KernelIr, CompileStats) {
-    match (toolchain, mode) {
-        (Toolchain::Nvcc, _) => {
-            let src = emit(program, Dialect::Cuda);
-            let parsed = parse_kernel(&src, &program.id).expect("emitted CUDA parses");
-            compile_with_stats(&parsed, Toolchain::Nvcc, level, false)
-        }
-        (Toolchain::Hipcc, TestMode::Direct) => {
-            let src = emit(program, Dialect::Hip);
-            let parsed = parse_kernel(&src, &program.id).expect("emitted HIP parses");
-            compile_with_stats(&parsed, Toolchain::Hipcc, level, false)
-        }
-        (Toolchain::Hipcc, TestMode::Hipified) => {
-            let cuda = emit(program, Dialect::Cuda);
-            let converted = hipify(&cuda);
-            let parsed =
-                parse_kernel(&converted.source, &program.id).expect("hipified source parses");
-            compile_with_stats(&parsed, Toolchain::Hipcc, level, true)
-        }
-    }
+    let (parsed, hipified) = parse_side(program, toolchain, mode);
+    compile_with_stats(&parsed, toolchain, level, hipified)
 }
 
 fn run_one(
-    kernel: &gpucc::interp::ExecutableKernel,
+    kernel: &ExecutableKernel,
     device: &Device,
     input: &InputSet,
     budget: ExecBudget,
 ) -> (RunRecord, Option<ExecError>) {
-    match execute_prepared_budgeted(kernel, device, input, budget) {
+    record_of(execute_prepared_budgeted(kernel, device, input, budget))
+}
+
+/// Convert an execution outcome into the stored record form. Both tiers
+/// go through here, so a record never betrays which executor produced it
+/// — the vm is bit-identical to the interpreter including `ExecError`
+/// display strings, and report byte-identity across tiers depends on it.
+fn record_of(outcome: Result<ExecResult, ExecError>) -> (RunRecord, Option<ExecError>) {
+    match outcome {
         Ok(result) => (
             RunRecord {
                 bits: result.value.bits(),
@@ -461,37 +466,222 @@ pub(crate) fn run_unit(
             (records, Some(make_fault(FaultKind::Panic, msg)))
         }
     };
-    if obs::enabled() {
-        obs::add("campaign.runs_done", records.len() as u64);
-        if let Some(f) = &fault {
-            obs::add(&format!("campaign.faults.{}", f.kind.label()), 1);
+    // live discrepancy tally: when the other side already ran, compare
+    // as results land so progress displays can report
+    // discrepancies-so-far without waiting for the analyze phase
+    record_unit_telemetry(config, toolchain, level, test, &records, &fault);
+    (records, fault)
+}
+
+/// The compilation-sharing class of an optimization level. `O1`, `O2`,
+/// and `O3` run pass pipelines that produce identical IR bodies (the
+/// levels differ only in the recorded level index), so the compiled tier
+/// compiles each *class* once per `(test, toolchain)` instead of each
+/// level: `{O0} {O1,O2,O3} {O3_fm}` — 3 compilations standing in for 5.
+/// The interpreter tier keeps the historical compile-per-level behavior.
+pub(crate) fn level_class(level: OptLevel) -> usize {
+    match level {
+        OptLevel::O0 => 0,
+        OptLevel::O1 | OptLevel::O2 | OptLevel::O3 => 1,
+        OptLevel::O3Fm => 2,
+    }
+}
+
+/// Per-`(test, toolchain)` build cache for the compiled execution tiers.
+///
+/// The campaign runner sees each program 5 levels × `inputs_per_program`
+/// times per side; this cache amortizes the front end (emit → hipify →
+/// parse, done once) and the middle end (one compile + bytecode lowering
+/// + interp prepare per [`level_class`]) across all of them, which is
+/// where the `--exec-tier vm` throughput multiple comes from. A cache is
+/// private to one rayon task (one test), so there is no locking.
+///
+/// Population happens *inside* the unit's `catch_isolated` so a panic
+/// during build is attributed to the unit that triggered it, exactly as
+/// the interpreter tier attributes its per-unit builds.
+#[derive(Default)]
+pub(crate) struct SideBuildCache {
+    parsed: Option<Program>,
+    hipified: bool,
+    classes: [Option<(CompiledKernel, ExecutableKernel)>; 3],
+}
+
+impl SideBuildCache {
+    /// Emit/parse once, then compile the level's class if not yet cached.
+    /// Returns borrowed kernels for the given level.
+    fn kernels_for(
+        &mut self,
+        program: &Program,
+        toolchain: Toolchain,
+        level: OptLevel,
+        mode: TestMode,
+    ) -> (&CompiledKernel, &ExecutableKernel) {
+        if self.parsed.is_none() {
+            let (parsed, hipified) = parse_side(program, toolchain, mode);
+            self.parsed = Some(parsed);
+            self.hipified = hipified;
         }
-        // live discrepancy tally: when the other side already ran,
-        // compare as results land so progress displays can report
-        // discrepancies-so-far without waiting for the analyze phase
-        let other_tc = match toolchain {
-            Toolchain::Nvcc => Toolchain::Hipcc,
-            Toolchain::Hipcc => Toolchain::Nvcc,
-        };
-        if let Some(prev) = test.results.get(&side_key(other_tc, level)) {
-            for (mine, theirs) in records.iter().zip(prev) {
-                if mine.error.is_some() || theirs.error.is_some() {
-                    continue;
+        let class = level_class(level);
+        if self.classes[class].is_none() {
+            let parsed = self.parsed.as_ref().expect("populated above");
+            let (ir, _) = compile_with_stats(parsed, toolchain, level, self.hipified);
+            let compiled = vm::compile_kernel(&ir).expect("generated kernels resolve");
+            let reference = prepare(&ir).expect("generated kernels resolve");
+            self.classes[class] = Some((compiled, reference));
+        }
+        let (c, r) = self.classes[class].as_ref().expect("populated above");
+        (c, r)
+    }
+}
+
+/// The front half of [`build_side`]: emit source in the side's dialect
+/// (through HIPIFY when the campaign tests converted code) and re-parse.
+/// Returns the parsed kernel and whether it went through the translator.
+fn parse_side(program: &Program, toolchain: Toolchain, mode: TestMode) -> (Program, bool) {
+    match (toolchain, mode) {
+        (Toolchain::Nvcc, _) => {
+            let src = emit(program, Dialect::Cuda);
+            (parse_kernel(&src, &program.id).expect("emitted CUDA parses"), false)
+        }
+        (Toolchain::Hipcc, TestMode::Direct) => {
+            let src = emit(program, Dialect::Hip);
+            (parse_kernel(&src, &program.id).expect("emitted HIP parses"), false)
+        }
+        (Toolchain::Hipcc, TestMode::Hipified) => {
+            let cuda = emit(program, Dialect::Cuda);
+            let converted = hipify(&cuda);
+            (parse_kernel(&converted.source, &program.id).expect("hipified source parses"), true)
+        }
+    }
+}
+
+/// [`run_unit`] for a selected execution tier. `ExecTier::Interp`
+/// delegates to the historical per-level build path untouched; the
+/// compiled tiers run through `cache`, executing all of a unit's inputs
+/// against one compiled kernel via the batch API
+/// ([`gpucc::vm::execute_batch`]), or input-by-input under lockstep
+/// comparison for [`ExecTier::Differential`] — where a vm/interp
+/// mismatch panics, which the unit isolation converts into a
+/// [`FaultKind::Panic`] quarantine entry naming the divergence.
+pub(crate) fn run_unit_tier(
+    config: &CampaignConfig,
+    device: &Device,
+    toolchain: Toolchain,
+    level: OptLevel,
+    test: &TestMeta,
+    program: &Program,
+    tier: ExecTier,
+    cache: &mut SideBuildCache,
+) -> (Vec<RunRecord>, Option<TestFault>) {
+    if tier == ExecTier::Interp {
+        return run_unit(config, device, toolchain, level, test, program);
+    }
+    let _span = obs::span("campaign.unit")
+        .attr("program", test.program_id.as_str())
+        .attr("index", test.index)
+        .attr("toolchain", toolchain.name())
+        .attr("level", level.label())
+        .attr("tier", tier.label());
+    let make_fault = |kind: FaultKind, detail: String| TestFault {
+        index: test.index,
+        program_id: test.program_id.clone(),
+        seed: config.seed,
+        side: side_key(toolchain, level),
+        kind,
+        detail,
+    };
+    let caught = crate::fault::catch_isolated(|| {
+        let (compiled, reference) = cache.kernels_for(program, toolchain, level, config.mode);
+        match tier {
+            ExecTier::Vm => vm::execute_batch(compiled, device, &test.inputs, config.budget)
+                .into_iter()
+                .map(record_of)
+                .collect::<Vec<(RunRecord, Option<ExecError>)>>(),
+            ExecTier::Differential => test
+                .inputs
+                .iter()
+                .map(|input| {
+                    record_of(vm::execute_differential(
+                        reference,
+                        compiled,
+                        device,
+                        input,
+                        config.budget,
+                    ))
+                })
+                .collect(),
+            ExecTier::Interp => unreachable!("handled above"),
+        }
+    });
+    let (records, fault) = match caught {
+        Ok(pairs) => {
+            let mut fault: Option<TestFault> = None;
+            let mut records = Vec::with_capacity(pairs.len());
+            for (record, err) in pairs {
+                if fault.is_none() {
+                    match &err {
+                        Some(e @ ExecError::StepLimit { .. }) => {
+                            fault = Some(make_fault(FaultKind::StepBudget, e.to_string()));
+                        }
+                        Some(e @ ExecError::Timeout { .. }) => {
+                            fault = Some(make_fault(FaultKind::Timeout, e.to_string()));
+                        }
+                        _ => {}
+                    }
                 }
-                let (nv, amd) = match toolchain {
-                    Toolchain::Nvcc => (mine.bits, theirs.bits),
-                    Toolchain::Hipcc => (theirs.bits, mine.bits),
-                };
-                let vn = crate::campaign::decode(config.precision, nv);
-                let va = crate::campaign::decode(config.precision, amd);
-                if let Some(d) = crate::compare::compare_runs(&vn, &va) {
-                    obs::add("campaign.discrepancies", 1);
-                    obs::add(&format!("campaign.disc.{:?}", d.class), 1);
-                }
+                records.push(record);
+            }
+            (records, fault)
+        }
+        Err(msg) => {
+            let records =
+                test.inputs.iter().map(|_| error_record(format!("panic: {msg}"))).collect();
+            (records, Some(make_fault(FaultKind::Panic, msg)))
+        }
+    };
+    record_unit_telemetry(config, toolchain, level, test, &records, &fault);
+    (records, fault)
+}
+
+/// The unit-completion telemetry shared by every tier: run counters,
+/// fault counters, and the live discrepancy tally against the other
+/// side's already-recorded results.
+fn record_unit_telemetry(
+    config: &CampaignConfig,
+    toolchain: Toolchain,
+    level: OptLevel,
+    test: &TestMeta,
+    records: &[RunRecord],
+    fault: &Option<TestFault>,
+) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::add("campaign.runs_done", records.len() as u64);
+    if let Some(f) = fault {
+        obs::add(&format!("campaign.faults.{}", f.kind.label()), 1);
+    }
+    let other_tc = match toolchain {
+        Toolchain::Nvcc => Toolchain::Hipcc,
+        Toolchain::Hipcc => Toolchain::Nvcc,
+    };
+    if let Some(prev) = test.results.get(&side_key(other_tc, level)) {
+        for (mine, theirs) in records.iter().zip(prev) {
+            if mine.error.is_some() || theirs.error.is_some() {
+                continue;
+            }
+            let (nv, amd) = match toolchain {
+                Toolchain::Nvcc => (mine.bits, theirs.bits),
+                Toolchain::Hipcc => (theirs.bits, mine.bits),
+            };
+            let vn = crate::campaign::decode(config.precision, nv);
+            let va = crate::campaign::decode(config.precision, amd);
+            if let Some(d) = crate::compare::compare_runs(&vn, &va) {
+                obs::add("campaign.discrepancies", 1);
+                obs::add(&format!("campaign.disc.{:?}", d.class), 1);
             }
         }
     }
-    (records, fault)
 }
 
 #[cfg(test)]

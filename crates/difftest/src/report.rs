@@ -260,6 +260,8 @@ pub fn render_profile(snap: &obs::MetricsSnapshot) -> String {
         out.push_str(&format!("{:<34}{tput:>22.0} runs/sec\n", "throughput"));
     }
 
+    out.push_str(&render_exec_tiers(snap));
+
     let other: Vec<_> = snap.hists.iter().filter(|(n, _)| !n.starts_with("span.")).collect();
     if !other.is_empty() {
         out.push_str("-- Distributions --\n");
@@ -282,6 +284,42 @@ pub fn render_profile(snap: &obs::MetricsSnapshot) -> String {
     out.push_str("-- Counters --\n");
     for (name, v) in &snap.counters {
         out.push_str(&format!("{name:<48}{v:>14}\n"));
+    }
+    out
+}
+
+/// Render the per-tier execution cost table: one row per execution tier
+/// (`interp`, `vm`) that recorded work, so a profile of a differential
+/// or mixed-tier campaign attributes its executions unambiguously. The
+/// tier label is the row key — previously both tiers' `*.nsperop`
+/// histograms sat undifferentiated in the raw distribution dump.
+/// Returns the empty string when no tier recorded an execution.
+pub fn render_exec_tiers(snap: &obs::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for tier in ["interp", "vm"] {
+        let execs = snap.counter(&format!("{tier}.execs"));
+        let ops = snap.counter(&format!("{tier}.ops"));
+        let Some(execns) = snap.hists.get(&format!("{tier}.execns")) else { continue };
+        if execs == 0 || ops == 0 {
+            continue;
+        }
+        if out.is_empty() {
+            out.push_str("-- Execution tiers --\n");
+            out.push_str(&format!(
+                "{:<34}{:>8}{:>14}{:>12}{:>12}{:>12}\n",
+                "Tier", "Execs", "Ops", "Total ms", "ns/op", "p95 ns/op"
+            ));
+        }
+        let nsperop = snap.hists.get(&format!("{tier}.nsperop"));
+        out.push_str(&format!(
+            "{:<34}{:>8}{:>14}{:>12.2}{:>12.1}{:>12}\n",
+            tier,
+            execs,
+            ops,
+            execns.sum as f64 / 1e6,
+            execns.sum as f64 / ops as f64,
+            nsperop.map_or(0, |h| h.quantile(0.95)),
+        ));
     }
     out
 }
@@ -451,6 +489,41 @@ mod tests {
         assert!(s.contains("runs/sec"), "{s}");
         assert!(s.contains("progen.ast_stmts"), "{s}");
         assert!(throughput_per_sec(&snap).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn profile_labels_per_op_rows_by_execution_tier() {
+        use crate::metadata::CampaignMeta;
+        use gpucc::pipeline::Toolchain;
+        use gpucc::ExecTier;
+        obs::reset();
+        obs::set_enabled(true);
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(6);
+        let mut meta = CampaignMeta::generate(&cfg);
+        // differential runs both tiers, so the profile must show one
+        // labeled row per tier
+        meta.run_side_tier(Toolchain::Nvcc, ExecTier::Differential);
+        let snap = obs::snapshot();
+        let s = render_profile(&snap);
+        assert!(s.contains("-- Execution tiers --"), "{s}");
+        let tier_lines: Vec<&str> =
+            s.lines().filter(|l| l.starts_with("interp ") || l.starts_with("vm ")).collect();
+        assert_eq!(tier_lines.len(), 2, "one labeled row per tier: {s}");
+        for line in tier_lines {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let ops: u64 = cols[2].parse().expect("ops column parses");
+            let ns_per_op: f64 = cols[4].parse().expect("ns/op column parses");
+            assert!(ops > 0, "{line}");
+            assert!(ns_per_op > 0.0, "{line}");
+        }
+
+        // an interp-only campaign shows exactly the interp row
+        obs::reset();
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side_tier(Toolchain::Nvcc, ExecTier::Interp);
+        let s = render_profile(&obs::snapshot());
+        assert!(s.lines().any(|l| l.starts_with("interp ")), "{s}");
+        assert!(!s.lines().any(|l| l.starts_with("vm ")), "{s}");
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Kill-and-resume equivalence for the compiled vm tier.
+//!
+//! The checkpoint journal records *results*, not the tier that produced
+//! them — the tiers are bit-identical, so a unit completed under one
+//! tier replays interchangeably into a campaign resumed under another.
+//! These tests prove the three-way equivalence the execution-tier
+//! acceptance criteria demand: an interrupted vm-tier campaign resumes
+//! to a report byte-identical to an uninterrupted vm run AND to an
+//! uninterrupted interp run.
+//!
+//! The chaos-killed variant (`--features chaos`) arms a torn journal
+//! crash mid-run — the hardest interruption the journal recovers from.
+
+use difftest::campaign::{analyze, CampaignConfig, TestMode};
+use difftest::checkpoint::{run_side_ft_tier, Checkpoint, FtSession, FtStatus};
+use difftest::metadata::CampaignMeta;
+use gpucc::pipeline::Toolchain;
+use gpucc::ExecTier;
+use progen::Precision;
+use std::path::PathBuf;
+
+fn small(n: usize) -> CampaignConfig {
+    CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(n)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("difftest_it_vm_resume_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Uninterrupted both-sides run on `tier`, serialized report.
+fn full_run(config: &CampaignConfig, tier: ExecTier) -> String {
+    let mut meta = CampaignMeta::generate(config);
+    let session = FtSession::new(None, None);
+    for tc in [Toolchain::Nvcc, Toolchain::Hipcc] {
+        assert_eq!(run_side_ft_tier(&mut meta, tc, &session, tier), FtStatus::Complete);
+    }
+    serde_json::to_string(&analyze(&meta)).unwrap()
+}
+
+/// Checkpoint the nvcc side on `first_tier`, drop everything but the
+/// directory ("the process dies"), then resume and finish both sides on
+/// `resume_tier`. Returns the serialized final report.
+fn interrupted_run(
+    name: &str,
+    config: &CampaignConfig,
+    first_tier: ExecTier,
+    resume_tier: ExecTier,
+) -> String {
+    let dir = tmp_dir(name);
+    {
+        let ckpt = Checkpoint::create(&dir, config).unwrap();
+        let mut meta = CampaignMeta::generate(config);
+        let session = FtSession::new(Some(ckpt.into_journal()), None);
+        assert_eq!(
+            run_side_ft_tier(&mut meta, Toolchain::Nvcc, &session, first_tier),
+            FtStatus::Complete
+        );
+    }
+    let (ckpt, stored, units) = Checkpoint::resume(&dir).unwrap();
+    assert_eq!(&stored, config);
+    assert!(!units.is_empty(), "the first half must have journaled its units");
+    let mut meta = CampaignMeta::generate(&stored);
+    let mut session = FtSession::new(Some(ckpt.into_journal()), None);
+    session.apply_replay(&mut meta, units);
+    for tc in [Toolchain::Nvcc, Toolchain::Hipcc] {
+        assert_eq!(run_side_ft_tier(&mut meta, tc, &session, resume_tier), FtStatus::Complete);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    serde_json::to_string(&analyze(&meta)).unwrap()
+}
+
+#[test]
+fn interrupted_vm_campaign_resumes_byte_identical_to_vm_and_interp_runs() {
+    let config = small(6);
+    let interp = full_run(&config, ExecTier::Interp);
+    let vm = full_run(&config, ExecTier::Vm);
+    assert_eq!(interp, vm, "uninterrupted tiers must agree before resume is tested");
+
+    let resumed = interrupted_run("vm_vm", &config, ExecTier::Vm, ExecTier::Vm);
+    assert_eq!(resumed, vm, "vm-tier resume diverged from the uninterrupted vm run");
+    assert_eq!(resumed, interp, "vm-tier resume diverged from the uninterrupted interp run");
+}
+
+#[test]
+fn resume_may_switch_tiers_because_the_journal_is_tier_agnostic() {
+    // a checkpoint written by an interp-tier campaign resumes under the
+    // vm tier (and vice versa) with a byte-identical report — the tier
+    // is an execution strategy, not campaign configuration
+    let config = small(5);
+    let expected = full_run(&config, ExecTier::Vm);
+    assert_eq!(expected, interrupted_run("interp_to_vm", &config, ExecTier::Interp, ExecTier::Vm));
+    assert_eq!(expected, interrupted_run("vm_to_interp", &config, ExecTier::Vm, ExecTier::Interp));
+    assert_eq!(
+        expected,
+        interrupted_run("vm_to_diff", &config, ExecTier::Vm, ExecTier::Differential)
+    );
+}
+
+/// The chaos-killed variant: a torn crash mid-journal under the vm tier,
+/// then recovery — resumed report byte-identical to uninterrupted vm and
+/// interp runs.
+#[cfg(feature = "chaos")]
+#[test]
+fn chaos_killed_vm_campaign_recovers_byte_identical_across_tiers() {
+    use std::panic::AssertUnwindSafe;
+
+    let config = small(5);
+    let interp = full_run(&config, ExecTier::Interp);
+    let vm = full_run(&config, ExecTier::Vm);
+    assert_eq!(interp, vm);
+
+    let dir = tmp_dir("chaos_kill");
+    difftest::chaos::arm_crash_at_append(7, true);
+    let crashed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let ckpt = Checkpoint::create(&dir, &config).unwrap();
+        let mut meta = CampaignMeta::generate(&config);
+        let session = FtSession::new(Some(ckpt.into_journal()), None);
+        let _ = run_side_ft_tier(&mut meta, Toolchain::Nvcc, &session, ExecTier::Vm);
+        let _ = run_side_ft_tier(&mut meta, Toolchain::Hipcc, &session, ExecTier::Vm);
+    }));
+    difftest::chaos::disarm();
+    assert!(crashed.is_err(), "the injected crash must propagate out of the campaign");
+
+    let (ckpt, stored, units) = Checkpoint::resume(&dir).unwrap();
+    let mut meta = CampaignMeta::generate(&stored);
+    let mut session = FtSession::new(Some(ckpt.into_journal()), None);
+    session.apply_replay(&mut meta, units);
+    for tc in [Toolchain::Nvcc, Toolchain::Hipcc] {
+        assert_eq!(run_side_ft_tier(&mut meta, tc, &session, ExecTier::Vm), FtStatus::Complete);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let recovered = serde_json::to_string(&analyze(&meta)).unwrap();
+    assert_eq!(recovered, vm, "chaos-killed vm campaign must recover the vm report");
+    assert_eq!(recovered, interp, "…and match the interp tier byte for byte");
+}

@@ -45,6 +45,7 @@ impl FpException {
         }
     }
 
+    #[inline]
     fn bit(self) -> u8 {
         match self {
             FpException::Inexact => 1 << 0,
@@ -75,26 +76,31 @@ pub struct ExceptionFlags(u8);
 
 impl ExceptionFlags {
     /// Empty flag set.
+    #[inline]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Raise (set) one event. Sticky: never cleared by later operations.
+    #[inline]
     pub fn raise(&mut self, e: FpException) {
         self.0 |= e.bit();
     }
 
     /// True if the given event has been raised.
+    #[inline]
     pub fn is_set(self, e: FpException) -> bool {
         self.0 & e.bit() != 0
     }
 
     /// True if no event has been raised.
+    #[inline]
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
 
     /// Merge another flag set into this one.
+    #[inline]
     pub fn merge(&mut self, other: ExceptionFlags) {
         self.0 |= other.0;
     }
@@ -137,22 +143,35 @@ impl std::fmt::Display for ExceptionFlags {
 /// exactly representable operand combination" — we set it whenever the
 /// result is finite and the operation is not exact by construction, which is
 /// the practical definition used by testing tools.
+#[inline]
 pub fn detect_binary_f64(op: ArithOp, a: f64, b: f64, r: f64) -> ExceptionFlags {
     let mut flags = ExceptionFlags::new();
-    let operands_finite = a.is_finite() && b.is_finite();
-    if r.is_nan() && !a.is_nan() && !b.is_nan() {
-        flags.raise(FpException::Invalid);
+    // A NaN result excludes every finite-result event (the only flag that
+    // can accompany it, per the rules below, is Invalid itself), and an
+    // infinite result excludes Underflow/Inexact — early returns keep the
+    // common finite path short. This is the interpreter/vm per-op hot
+    // path; the flag sets produced are identical to the historical
+    // all-branches form for every input.
+    if r.is_nan() {
+        if !a.is_nan() && !b.is_nan() {
+            flags.raise(FpException::Invalid);
+        }
+        return flags;
     }
-    if matches!(op, ArithOp::Div) && b == 0.0 && a.is_finite() && a != 0.0 {
+    let div = matches!(op, ArithOp::Div);
+    if div && b == 0.0 && a.is_finite() && a != 0.0 {
         flags.raise(FpException::DivideByZero);
     }
-    if r.is_infinite() && operands_finite && !(matches!(op, ArithOp::Div) && b == 0.0) {
-        flags.raise(FpException::Overflow);
+    if r.is_infinite() {
+        if a.is_finite() && b.is_finite() && !(div && b == 0.0) {
+            flags.raise(FpException::Overflow);
+        }
+        return flags;
     }
-    if r != 0.0 && r.is_finite() && r.abs() < f64::MIN_POSITIVE {
+    if r != 0.0 && r.abs() < f64::MIN_POSITIVE {
         flags.raise(FpException::Underflow);
     }
-    if r.is_finite() && !exact_binary_f64(op, a, b, r) {
+    if !exact_binary_f64(op, a, b, r) {
         flags.raise(FpException::Inexact);
     }
     flags
@@ -160,22 +179,29 @@ pub fn detect_binary_f64(op: ArithOp, a: f64, b: f64, r: f64) -> ExceptionFlags 
 
 /// Detect exception events for an `f32` binary operation (see
 /// [`detect_binary_f64`]).
+#[inline]
 pub fn detect_binary_f32(op: ArithOp, a: f32, b: f32, r: f32) -> ExceptionFlags {
     let mut flags = ExceptionFlags::new();
-    let operands_finite = a.is_finite() && b.is_finite();
-    if r.is_nan() && !a.is_nan() && !b.is_nan() {
-        flags.raise(FpException::Invalid);
+    if r.is_nan() {
+        if !a.is_nan() && !b.is_nan() {
+            flags.raise(FpException::Invalid);
+        }
+        return flags;
     }
-    if matches!(op, ArithOp::Div) && b == 0.0 && a.is_finite() && a != 0.0 {
+    let div = matches!(op, ArithOp::Div);
+    if div && b == 0.0 && a.is_finite() && a != 0.0 {
         flags.raise(FpException::DivideByZero);
     }
-    if r.is_infinite() && operands_finite && !(matches!(op, ArithOp::Div) && b == 0.0) {
-        flags.raise(FpException::Overflow);
+    if r.is_infinite() {
+        if a.is_finite() && b.is_finite() && !(div && b == 0.0) {
+            flags.raise(FpException::Overflow);
+        }
+        return flags;
     }
-    if r != 0.0 && r.is_finite() && r.abs() < f32::MIN_POSITIVE {
+    if r != 0.0 && r.abs() < f32::MIN_POSITIVE {
         flags.raise(FpException::Underflow);
     }
-    if r.is_finite() && !exact_binary_f32(op, a, b, r) {
+    if !exact_binary_f32(op, a, b, r) {
         flags.raise(FpException::Inexact);
     }
     flags
@@ -197,6 +223,7 @@ pub enum ArithOp {
 /// Exactness check: recompute in wider precision and compare. For f64 we use
 /// the residual test (a op b == r exactly when the inverse operation
 /// round-trips); a pragmatic approximation sufficient for flag purposes.
+#[inline]
 fn exact_binary_f64(op: ArithOp, a: f64, b: f64, r: f64) -> bool {
     if !a.is_finite() || !b.is_finite() {
         return true; // exceptional operands: Inexact not meaningful
@@ -213,7 +240,24 @@ fn exact_binary_f64(op: ArithOp, a: f64, b: f64, r: f64) -> bool {
             let err = (a - (r - nb)) + (nb - (r - (r - nb)));
             err == 0.0
         }
-        ArithOp::Mul => r.mul_add(1.0, -(a * b)) == 0.0 && a.mul_add(b, -r) == 0.0,
+        ArithOp::Mul => {
+            // Integer fast path: for normal operands and a normal result
+            // the product is exact iff the significand product's
+            // significant bit count (bit length minus trailing zeros,
+            // which multiply additively since odd parts stay odd) fits
+            // in 53 bits. The magnitude guard keeps the fast path out of
+            // the range where the residual check below would declare a
+            // mathematically inexact product "exact" because the fma
+            // residual (>= 2^(exp(r)-105)) itself underflows to zero —
+            // inside the guard both criteria provably agree, so this is
+            // a pure speedup, not a semantics change.
+            if is_normal_f64(a) && is_normal_f64(b) && is_normal_f64(r) && r.abs() >= 1.0e-280 {
+                let m = mantissa_f64(a) as u128 * mantissa_f64(b) as u128;
+                128 - m.leading_zeros() - m.trailing_zeros() <= 53
+            } else {
+                r.mul_add(1.0, -(a * b)) == 0.0 && a.mul_add(b, -r) == 0.0
+            }
+        }
         ArithOp::Div => {
             if b == 0.0 {
                 true
@@ -225,6 +269,20 @@ fn exact_binary_f64(op: ArithOp, a: f64, b: f64, r: f64) -> bool {
     }
 }
 
+/// Significand with the implicit leading bit, for normal values.
+#[inline]
+fn mantissa_f64(x: f64) -> u64 {
+    (x.to_bits() & ((1u64 << 52) - 1)) | (1u64 << 52)
+}
+
+/// Finite, non-zero, non-subnormal (exponent field neither 0 nor all-ones).
+#[inline]
+fn is_normal_f64(x: f64) -> bool {
+    let e = (x.to_bits() >> 52) & 0x7FF;
+    e != 0 && e != 0x7FF
+}
+
+#[inline]
 fn exact_binary_f32(op: ArithOp, a: f32, b: f32, r: f32) -> bool {
     if !a.is_finite() || !b.is_finite() {
         return true;

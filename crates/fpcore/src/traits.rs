@@ -108,45 +108,59 @@ impl GpuFloat for f64 {
     const MIN_POSITIVE: f64 = f64::MIN_POSITIVE;
     const MAX: f64 = f64::MAX;
 
+    #[inline]
     fn to_bits(self) -> u64 {
         self.to_bits()
     }
+    #[inline]
     fn from_bits(bits: u64) -> f64 {
         f64::from_bits(bits)
     }
+    #[inline]
     fn to_f64(self) -> f64 {
         self
     }
+    #[inline]
     fn from_f64(x: f64) -> f64 {
         x
     }
+    #[inline]
     fn classify(self) -> FpClass {
         FpClass::of_f64(self)
     }
+    #[inline]
     fn outcome(self) -> Outcome {
         Outcome::of_f64(self)
     }
+    #[inline]
     fn is_nan(self) -> bool {
         f64::is_nan(self)
     }
+    #[inline]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
     }
+    #[inline]
     fn is_subnormal(self) -> bool {
         f64::is_subnormal(self)
     }
+    #[inline]
     fn is_sign_negative(self) -> bool {
         f64::is_sign_negative(self)
     }
+    #[inline]
     fn abs(self) -> f64 {
         f64::abs(self)
     }
+    #[inline]
     fn mul_add(self, a: f64, b: f64) -> f64 {
         f64::mul_add(self, a, b)
     }
+    #[inline]
     fn sqrt(self) -> f64 {
         f64::sqrt(self)
     }
+    #[inline]
     fn trunc(self) -> f64 {
         f64::trunc(self)
     }
@@ -156,18 +170,23 @@ impl GpuFloat for f64 {
     fn format_literal(self) -> String {
         crate::literal::format_varity(self)
     }
+    #[inline]
     fn apply_daz(self, mode: FtzMode) -> f64 {
         mode.daz_f64(self)
     }
+    #[inline]
     fn apply_ftz(self, mode: FtzMode) -> f64 {
         mode.ftz_f64(self)
     }
+    #[inline]
     fn detect_exceptions(op: ArithOp, a: f64, b: f64, r: f64) -> ExceptionFlags {
         crate::exceptions::detect_binary_f64(op, a, b, r)
     }
+    #[inline]
     fn ulp_diff(self, other: f64) -> Option<u64> {
         crate::ulp::ulp_diff_f64(self, other)
     }
+    #[inline]
     fn bit_eq(self, other: f64) -> bool {
         self.to_bits() == other.to_bits()
     }
@@ -184,45 +203,59 @@ impl GpuFloat for f32 {
     const MIN_POSITIVE: f32 = f32::MIN_POSITIVE;
     const MAX: f32 = f32::MAX;
 
+    #[inline]
     fn to_bits(self) -> u32 {
         self.to_bits()
     }
+    #[inline]
     fn from_bits(bits: u32) -> f32 {
         f32::from_bits(bits)
     }
+    #[inline]
     fn to_f64(self) -> f64 {
         self as f64
     }
+    #[inline]
     fn from_f64(x: f64) -> f32 {
         x as f32
     }
+    #[inline]
     fn classify(self) -> FpClass {
         FpClass::of_f32(self)
     }
+    #[inline]
     fn outcome(self) -> Outcome {
         Outcome::of_f32(self)
     }
+    #[inline]
     fn is_nan(self) -> bool {
         f32::is_nan(self)
     }
+    #[inline]
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    #[inline]
     fn is_subnormal(self) -> bool {
         f32::is_subnormal(self)
     }
+    #[inline]
     fn is_sign_negative(self) -> bool {
         f32::is_sign_negative(self)
     }
+    #[inline]
     fn abs(self) -> f32 {
         f32::abs(self)
     }
+    #[inline]
     fn mul_add(self, a: f32, b: f32) -> f32 {
         f32::mul_add(self, a, b)
     }
+    #[inline]
     fn sqrt(self) -> f32 {
         f32::sqrt(self)
     }
+    #[inline]
     fn trunc(self) -> f32 {
         f32::trunc(self)
     }
@@ -232,18 +265,23 @@ impl GpuFloat for f32 {
     fn format_literal(self) -> String {
         crate::literal::format_varity_f32(self)
     }
+    #[inline]
     fn apply_daz(self, mode: FtzMode) -> f32 {
         mode.daz_f32(self)
     }
+    #[inline]
     fn apply_ftz(self, mode: FtzMode) -> f32 {
         mode.ftz_f32(self)
     }
+    #[inline]
     fn detect_exceptions(op: ArithOp, a: f32, b: f32, r: f32) -> ExceptionFlags {
         crate::exceptions::detect_binary_f32(op, a, b, r)
     }
+    #[inline]
     fn ulp_diff(self, other: f32) -> Option<u64> {
         crate::ulp::ulp_diff_f32(self, other).map(u64::from)
     }
+    #[inline]
     fn bit_eq(self, other: f32) -> bool {
         self.to_bits() == other.to_bits()
     }

@@ -34,7 +34,7 @@ pub const STEP_LIMIT: u64 = 10_000_000;
 /// How often (in executed instructions) the interpreter polls the
 /// wall-clock deadline. Chosen so the `Instant::now` cost disappears
 /// into the per-instruction work.
-const DEADLINE_POLL_MASK: u64 = 0xFF;
+pub(crate) const DEADLINE_POLL_MASK: u64 = 0xFF;
 
 /// Per-execution fuel budget: a hard instruction cap plus an optional
 /// wall-clock deadline. The default reproduces the historical
@@ -471,7 +471,7 @@ fn run_thread_budgeted<T: DeviceFloat>(
     ))
 }
 
-fn wrap_value<T: DeviceFloat>(v: T) -> ExecValue {
+pub(crate) fn wrap_value<T: DeviceFloat>(v: T) -> ExecValue {
     // T is f32 or f64; round-trip through bits width
     if std::mem::size_of::<T>() == 4 {
         ExecValue::F32(f32::from_f64_lossless(v))
@@ -686,22 +686,28 @@ impl<'a, T: DeviceFloat> Machine<'a, T> {
     /// Exception reconstruction for non-binary operations (FMA, calls,
     /// reciprocal): classify from operand/result patterns.
     fn record_nonbin_exceptions(&mut self, args: &[T], r: T) {
-        let any_nan = args.iter().any(|a| a.is_nan());
-        let all_finite = args.iter().all(|a| a.is_finite());
-        if r.is_nan() && !any_nan {
-            self.exceptions.raise(FpException::Invalid);
-        }
-        if !r.is_finite() && !r.is_nan() && all_finite {
-            self.exceptions.raise(FpException::Overflow);
-        }
-        if r.is_subnormal() {
-            self.exceptions.raise(FpException::Underflow);
-        }
+        nonbin_exceptions(args, r, &mut self.exceptions);
+    }
+}
+
+/// Exception reconstruction for non-binary operations, shared by the
+/// interpreter and the bytecode vm so both tiers classify identically.
+pub(crate) fn nonbin_exceptions<T: GpuFloat>(args: &[T], r: T, exceptions: &mut ExceptionFlags) {
+    let any_nan = args.iter().any(|a| a.is_nan());
+    let all_finite = args.iter().all(|a| a.is_finite());
+    if r.is_nan() && !any_nan {
+        exceptions.raise(FpException::Invalid);
+    }
+    if !r.is_finite() && !r.is_nan() && all_finite {
+        exceptions.raise(FpException::Overflow);
+    }
+    if r.is_subnormal() {
+        exceptions.raise(FpException::Underflow);
     }
 }
 
 /// Cost of a resolved instruction (mirrors [`cost::inst_cost`]).
-fn rinst_cost(inst: &RInst, prec: Precision, flags: crate::ir::CompileFlags) -> u64 {
+pub(crate) fn rinst_cost(inst: &RInst, prec: Precision, flags: crate::ir::CompileFlags) -> u64 {
     let f64x = prec == Precision::F64;
     match inst {
         RInst::Const(_) => 0,
@@ -747,7 +753,7 @@ fn rinst_cost(inst: &RInst, prec: Precision, flags: crate::ir::CompileFlags) -> 
 
 /// IEEE comparison semantics: any comparison with NaN is false, except
 /// `!=` which is true.
-fn compare<T: GpuFloat>(op: CmpOp, a: T, b: T) -> bool {
+pub(crate) fn compare<T: GpuFloat>(op: CmpOp, a: T, b: T) -> bool {
     match op {
         CmpOp::Lt => a < b,
         CmpOp::Le => a <= b,

@@ -17,12 +17,18 @@
 //!   association preference, and the fast-math sets (`-ffast-math` vs
 //!   `-DHIP_FAST_MATH`, which omits finite-math-only — paper §III-D).
 //! * [`interp`] — executes compiled IR against a `gpusim::Device`,
-//!   tracking IEEE exception flags and an operation-cost estimate.
+//!   tracking IEEE exception flags and an operation-cost estimate. It is
+//!   the **reference executor**.
+//! * [`vm`] — the compiled execution tier: IR lowered once to a flat,
+//!   register-allocated bytecode and run by a dispatch loop, proved
+//!   bit-identical to [`interp`] by a differential test battery and an
+//!   [`vm::ExecTier::Differential`] runtime mode.
 //! * [`cost`] — the per-instruction cost model behind the simulated
 //!   runtimes of the paper's Table I.
 
 #![deny(missing_docs)]
 
+mod bytecode;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 pub mod cost;
@@ -35,7 +41,11 @@ pub mod lower;
 pub mod passes;
 pub mod pipeline;
 pub mod resolve;
+pub mod vm;
+#[cfg(feature = "vm-inject")]
+pub mod vm_inject;
 
 pub use interp::{execute, ExecBudget, ExecError, ExecResult};
 pub use ir::KernelIr;
 pub use pipeline::{compile, compile_traced, OptLevel, PassTrace, Toolchain};
+pub use vm::ExecTier;

@@ -1,0 +1,79 @@
+//! Deliberately broken vm lowering/execution for differential self-tests.
+//!
+//! The vm tier claims the differential machinery (the `vm_differential`
+//! proptest, [`crate::vm::ExecTier::Differential`], and the oracle runner
+//! executing through the vm) would catch a miscompiled bytecode kernel.
+//! That claim needs negative tests: this module lets a test *arm* one of
+//! two known bugs — each a realistic way a bytecode tier goes wrong —
+//! and prove the harness catches and attributes them.
+//!
+//! The same two safety layers as [`crate::inject`] keep the bugs out of
+//! production: the module only exists under the `vm-inject` cargo
+//! feature (a dev-dependency of the self-tests, never a default), and
+//! even when compiled in, every bug is **disarmed by default** — a
+//! runtime [`arm`] call is required.
+//!
+//! Tests that arm a bug must serialize themselves (the switch is a
+//! global) and disarm on all exit paths.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A deliberately injected vm bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmBug {
+    /// Nothing armed (the default).
+    None,
+    /// Wrong register reuse: the lowering wires every multi-instruction
+    /// sequence's result to register 0 instead of the register its result
+    /// actually lives in — a classic linear-scan bookkeeping slip.
+    RegisterClobber,
+    /// The dispatch loop skips the FTZ result flush on binary arithmetic,
+    /// so fast-math kernels keep subnormals the device would flush.
+    DropFtzFlush,
+}
+
+static ARMED: AtomicU8 = AtomicU8::new(0);
+
+fn encode(bug: VmBug) -> u8 {
+    match bug {
+        VmBug::None => 0,
+        VmBug::RegisterClobber => 1,
+        VmBug::DropFtzFlush => 2,
+    }
+}
+
+/// Arm one bug. Affects every subsequent vm compile/execute in this
+/// process until [`disarm`] is called.
+pub fn arm(bug: VmBug) {
+    ARMED.store(encode(bug), Ordering::SeqCst);
+}
+
+/// Disarm whatever is armed (restores correct vm behaviour).
+pub fn disarm() {
+    ARMED.store(0, Ordering::SeqCst);
+}
+
+/// The currently armed bug.
+pub fn armed() -> VmBug {
+    match ARMED.load(Ordering::SeqCst) {
+        1 => VmBug::RegisterClobber,
+        2 => VmBug::DropFtzFlush,
+        _ => VmBug::None,
+    }
+}
+
+/// Apply the [`VmBug::RegisterClobber`] bug to a lowered sequence result
+/// (called from the bytecode lowerer, only when the feature is enabled).
+pub(crate) fn clobber_seq_result(
+    result: crate::bytecode::Src,
+    n_insts: usize,
+) -> crate::bytecode::Src {
+    if armed() == VmBug::RegisterClobber && n_insts >= 2 {
+        if let crate::bytecode::Src::Reg(r) = result {
+            if r != 0 {
+                return crate::bytecode::Src::Reg(0);
+            }
+        }
+    }
+    result
+}

@@ -17,8 +17,9 @@
 //! ([`check_roundtrip`]): `parse(emit(p)) == p`.
 
 use crate::transval::{device_for, is_semantic, CheckVerdict, ViolationDetail};
-use gpucc::interp::execute;
 use gpucc::pipeline::{compile_traced, CompileStats, OptLevel, PassTrace, Toolchain};
+use gpucc::vm::execute_ir_tier;
+use gpucc::ExecTier;
 use gpusim::Device;
 use progen::ast::Program;
 use progen::inputs::InputSet;
@@ -40,8 +41,21 @@ pub struct MetaOutcome {
 }
 
 /// Run every applicable transformation of `program` through both
-/// toolchains at all five opt levels, on every input.
+/// toolchains at all five opt levels, on every input. Executes through
+/// the reference interpreter; the runner picks its tier via
+/// [`check_metamorphic_tier`].
 pub fn check_metamorphic(program: &Program, inputs: &[InputSet], seed: u64) -> Vec<MetaOutcome> {
+    check_metamorphic_tier(program, inputs, seed, ExecTier::Interp)
+}
+
+/// [`check_metamorphic`] executing through `tier` (see
+/// [`crate::transval::check_strict_tier`] for the tier contract).
+pub fn check_metamorphic_tier(
+    program: &Program,
+    inputs: &[InputSet],
+    seed: u64,
+    tier: ExecTier,
+) -> Vec<MetaOutcome> {
     let mut out = Vec::new();
     for transform in Transform::ALL {
         let Some(variant) = apply(program, transform, seed) else { continue };
@@ -59,6 +73,7 @@ pub fn check_metamorphic(program: &Program, inputs: &[InputSet], seed: u64) -> V
                         input,
                         (&orig_ir, &orig_stats, &orig_traces),
                         (&var_ir, &var_stats, &var_traces),
+                        tier,
                     );
                     out.push(MetaOutcome { transform, toolchain, level, input_index, verdict });
                 }
@@ -76,18 +91,19 @@ fn judge(
     input: &InputSet,
     original: Compiled<'_>,
     variant: Compiled<'_>,
+    tier: ExecTier,
 ) -> CheckVerdict {
     let (orig_ir, orig_stats, orig_traces) = original;
     let (var_ir, var_stats, var_traces) = variant;
-    let orig = match execute(orig_ir, device, input) {
+    let orig = match execute_ir_tier(tier, orig_ir, device, input) {
         Ok(r) => r,
         Err(_) => return CheckVerdict::Skipped,
     };
-    let var = match execute(var_ir, device, input) {
+    let var = match execute_ir_tier(tier, var_ir, device, input) {
         Ok(r) => r,
         Err(e) => {
             return CheckVerdict::Violation(ViolationDetail {
-                pass: diverging_stage(orig_traces, var_traces, device, input),
+                pass: diverging_stage(orig_traces, var_traces, device, input, tier),
                 expected_bits: orig.value.bits(),
                 actual_bits: orig.value.bits(),
                 detail: format!(
@@ -111,7 +127,7 @@ fn judge(
         }
     }
     CheckVerdict::Violation(ViolationDetail {
-        pass: diverging_stage(orig_traces, var_traces, device, input),
+        pass: diverging_stage(orig_traces, var_traces, device, input, tier),
         expected_bits: orig.value.bits(),
         actual_bits: var.value.bits(),
         detail: format!("{transform} variant diverges with no semantic pass to explain it"),
@@ -131,10 +147,13 @@ fn diverging_stage(
     var_traces: &[PassTrace],
     device: &Device,
     input: &InputSet,
+    tier: ExecTier,
 ) -> String {
     for (o, v) in orig_traces.iter().zip(var_traces) {
-        let (Ok(ro), Ok(rv)) = (execute(&o.ir, device, input), execute(&v.ir, device, input))
-        else {
+        let (Ok(ro), Ok(rv)) = (
+            execute_ir_tier(tier, &o.ir, device, input),
+            execute_ir_tier(tier, &v.ir, device, input),
+        ) else {
             return o.name.to_string();
         };
         if ro.value.bits() != rv.value.bits() {
@@ -156,6 +175,8 @@ pub fn check_roundtrip(program: &Program) -> Option<String> {
 
 /// Shrinking predicate: does the metamorphic check of `(transform, seed)`
 /// still flag a violation on `(toolchain, level, input)` for `program`?
+/// Executes through the reference interpreter (see
+/// [`crate::transval::still_violates`]).
 pub fn still_violates(
     program: &Program,
     transform: Transform,
@@ -169,7 +190,14 @@ pub fn still_violates(
     let orig = compile_traced(program, toolchain, level, false);
     let var = compile_traced(&variant, toolchain, level, false);
     matches!(
-        judge(transform, &device, input, (&orig.0, &orig.1, &orig.2), (&var.0, &var.1, &var.2),),
+        judge(
+            transform,
+            &device,
+            input,
+            (&orig.0, &orig.1, &orig.2),
+            (&var.0, &var.1, &var.2),
+            ExecTier::Interp,
+        ),
         CheckVerdict::Violation(_)
     )
 }

@@ -11,13 +11,14 @@
 //! counters `oracle.{consistent,explained,violations,skipped}`.
 
 use crate::findings::Finding;
-use crate::metamorph::{self, check_metamorphic, check_roundtrip};
-use crate::transval::{check_strict, still_violates, CheckVerdict};
+use crate::metamorph::{self, check_metamorphic_tier, check_roundtrip};
+use crate::transval::{check_strict_tier, still_violates, CheckVerdict};
 use difftest::reduce::reduce_program;
+use gpucc::ExecTier;
 use progen::ast::Precision;
 use progen::gen::generate_program;
 use progen::grammar::GenConfig;
-use progen::inputs::{generate_inputs, InputSet};
+use progen::inputs::generate_inputs;
 use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -37,11 +38,16 @@ pub struct OracleConfig {
     pub gen: GenConfig,
     /// Shrink violating programs through `difftest::reduce`.
     pub shrink: bool,
+    /// Execution tier the checks run through. The tiers are
+    /// bit-identical, so verdicts cannot depend on this; under
+    /// [`ExecTier::Differential`] a vm/interp divergence panics and is
+    /// tallied in [`OracleReport::faulted`] instead.
+    pub exec_tier: ExecTier,
 }
 
 impl OracleConfig {
     /// Default configuration: the campaign's grammar for `precision`,
-    /// 3 inputs per program, shrinking on.
+    /// 3 inputs per program, shrinking on, vm execution tier.
     pub fn new(precision: Precision, budget: usize, seed: u64) -> OracleConfig {
         OracleConfig {
             precision,
@@ -50,6 +56,7 @@ impl OracleConfig {
             seed,
             gen: GenConfig::varity_default(precision),
             shrink: true,
+            exec_tier: ExecTier::Vm,
         }
     }
 }
@@ -63,6 +70,8 @@ pub struct OracleReport {
     pub budget: usize,
     /// Generation seed.
     pub seed: u64,
+    /// Execution tier the checks ran through (`interp`/`vm`/`differential`).
+    pub exec_tier: String,
     /// Programs actually checked.
     pub programs_checked: u64,
     /// Translation-validation checks run.
@@ -123,7 +132,7 @@ struct ProgramOutcome {
 /// tallied in [`OracleReport::faulted`] instead of aborting the whole
 /// run.
 pub fn run_oracle(config: &OracleConfig) -> OracleReport {
-    let _span = obs::span("oracle.run");
+    let _span = obs::span("oracle.run").attr("tier", config.exec_tier.label());
     let outcomes: Vec<ProgramOutcome> = (0..config.budget as u64)
         .into_par_iter()
         .map(|index| match difftest::fault::catch_isolated(|| check_program(config, index)) {
@@ -136,6 +145,7 @@ pub fn run_oracle(config: &OracleConfig) -> OracleReport {
         precision: config.precision.label().to_string(),
         budget: config.budget,
         seed: config.seed,
+        exec_tier: config.exec_tier.label().to_string(),
         programs_checked: outcomes.len() as u64,
         transval_checks: 0,
         metamorphic_checks: 0,
@@ -191,7 +201,7 @@ fn check_program(config: &OracleConfig, index: u64) -> ProgramOutcome {
     let mut out = ProgramOutcome::default();
 
     // 1. translation validation (strict modes vs reference)
-    for o in check_strict(&program, &inputs) {
+    for o in check_strict_tier(&program, &inputs, config.exec_tier) {
         out.transval_checks += 1;
         match o.verdict {
             CheckVerdict::Consistent => out.consistent += 1,
@@ -236,7 +246,7 @@ fn check_program(config: &OracleConfig, index: u64) -> ProgramOutcome {
 
     // 2. metamorphic checks (all transforms × both toolchains × 5 levels)
     let tseed = transform_seed(config.seed, index);
-    for o in check_metamorphic(&program, &inputs, tseed) {
+    for o in check_metamorphic_tier(&program, &inputs, tseed, config.exec_tier) {
         out.metamorphic_checks += 1;
         let cell = format!("{}:{}", o.toolchain.name(), o.level.label());
         *out.metamorphic_coverage.entry(cell).or_default() += 1;
@@ -369,6 +379,36 @@ mod tests {
             "{:?}",
             report.explained_by_pass
         );
+    }
+
+    #[test]
+    fn report_is_identical_across_execution_tiers() {
+        // the tier is an engine choice, not a semantics choice: interp,
+        // vm, and differential must produce the same verdicts, counts,
+        // and findings on the same population
+        let mut reports = [ExecTier::Interp, ExecTier::Vm, ExecTier::Differential].map(|tier| {
+            let mut c = small(10, 2024);
+            c.exec_tier = tier;
+            run_oracle(&c)
+        });
+        for r in &mut reports {
+            r.exec_tier = String::new(); // the only field allowed to differ
+        }
+        let [a, b, c] = reports;
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "interp vs vm");
+        assert_eq!(format!("{a:?}"), format!("{c:?}"), "interp vs differential");
+    }
+
+    #[test]
+    fn differential_tier_runs_clean_on_a_healthy_vm() {
+        // every execution double-runs and cross-checks; any vm/interp
+        // divergence would panic and surface here as a fault
+        let mut c = small(8, 5);
+        c.exec_tier = ExecTier::Differential;
+        let report = run_oracle(&c);
+        assert_eq!(report.faulted, 0, "vm diverged from the interpreter");
+        assert!(report.is_clean(), "{:#?}", report.violations);
+        assert_eq!(report.exec_tier, "differential");
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! the NVIDIA-like device, hipcc against hipcc's on the AMD-like device):
 //! cross-toolchain differences are the *paper's* subject, not a bug.
 
-use gpucc::interp::execute;
 use gpucc::pipeline::{compile, compile_traced, OptLevel, PassTrace, Toolchain};
+use gpucc::vm::execute_ir_tier;
+use gpucc::ExecTier;
 use gpusim::{Device, DeviceKind, QuirkSet};
 use progen::ast::Program;
 use progen::inputs::InputSet;
@@ -89,8 +90,22 @@ pub struct StrictOutcome {
 
 /// Run the translation-validation oracle on one program: every strict
 /// level of both toolchains against each toolchain's own reference, on
-/// every input.
+/// every input. Executes through the reference interpreter; the runner
+/// picks its tier via [`check_strict_tier`].
 pub fn check_strict(program: &Program, inputs: &[InputSet]) -> Vec<StrictOutcome> {
+    check_strict_tier(program, inputs, ExecTier::Interp)
+}
+
+/// [`check_strict`] executing stage snapshots through `tier`. The tiers
+/// are bit-identical by construction, so the verdicts cannot depend on
+/// the tier — unless the vm itself is broken, which
+/// [`ExecTier::Differential`] converts into a panic that the runner's
+/// per-program isolation reports as a fault.
+pub fn check_strict_tier(
+    program: &Program,
+    inputs: &[InputSet],
+    tier: ExecTier,
+) -> Vec<StrictOutcome> {
     let mut out = Vec::new();
     for toolchain in Toolchain::ALL {
         let device = device_for(toolchain);
@@ -98,9 +113,11 @@ pub fn check_strict(program: &Program, inputs: &[InputSet]) -> Vec<StrictOutcome
         for level in STRICT_LEVELS {
             let (_, _, traces) = compile_traced(program, toolchain, level, false);
             for (input_index, input) in inputs.iter().enumerate() {
-                let verdict = match execute(&reference_ir, &device, input) {
+                let verdict = match execute_ir_tier(tier, &reference_ir, &device, input) {
                     Err(_) => CheckVerdict::Skipped,
-                    Ok(reference) => walk_stages(&traces, &device, input, reference.value.bits()),
+                    Ok(reference) => {
+                        walk_stages(&traces, &device, input, reference.value.bits(), tier)
+                    }
                 };
                 out.push(StrictOutcome { toolchain, level, input_index, verdict });
             }
@@ -116,12 +133,13 @@ pub(crate) fn walk_stages(
     device: &Device,
     input: &InputSet,
     reference_bits: u64,
+    tier: ExecTier,
 ) -> CheckVerdict {
     let mut prev_bits = reference_bits;
     let mut prev_name = "reference";
     let mut semantic: Vec<&'static str> = Vec::new();
     for trace in traces {
-        let bits = match execute(&trace.ir, device, input) {
+        let bits = match execute_ir_tier(tier, &trace.ir, device, input) {
             Ok(r) => r.value.bits(),
             Err(e) => {
                 // the predecessor executed, this stage does not: that is a
@@ -163,7 +181,9 @@ pub(crate) fn walk_stages(
 }
 
 /// Shrinking predicate: does `program` still exhibit a strict-mode
-/// violation for this `(toolchain, level)` on `input`?
+/// violation for this `(toolchain, level)` on `input`? Executes through
+/// the reference interpreter — a compiler violation is tier-independent,
+/// and shrinking must not hinge on the tier under test.
 pub fn still_violates(
     program: &Program,
     toolchain: Toolchain,
@@ -172,12 +192,12 @@ pub fn still_violates(
 ) -> bool {
     let device = device_for(toolchain);
     let reference_ir = compile(program, toolchain, OptLevel::O0, false);
-    let Ok(reference) = execute(&reference_ir, &device, input) else {
+    let Ok(reference) = execute_ir_tier(ExecTier::Interp, &reference_ir, &device, input) else {
         return false;
     };
     let (_, _, traces) = compile_traced(program, toolchain, level, false);
     matches!(
-        walk_stages(&traces, &device, input, reference.value.bits()),
+        walk_stages(&traces, &device, input, reference.value.bits(), ExecTier::Interp),
         CheckVerdict::Violation(_)
     )
 }

@@ -1,0 +1,132 @@
+//! Injected vm-bug self-tests: the negative half of the execution-tier
+//! acceptance criteria. The compiled bytecode vm claims bit-identity
+//! with the reference interpreter; these tests arm a deliberately broken
+//! vm lowering (gpucc's `vm-inject` feature, runtime-gated) and prove
+//! the differential tier — and therefore the oracle runner executing
+//! through it — catches the miscompile and attributes it to the vm
+//! instead of silently corrupting verdicts.
+//!
+//! The injection switch is a process-wide global, so every test
+//! serializes through `GATE` and disarms via an RAII guard (panic-safe).
+//! This file is its own test binary; the clean-run tests in
+//! `tests/oracle.rs` run in a separate process and stay unaffected.
+
+use gpucc::vm_inject::{arm, disarm, VmBug};
+use gpucc::ExecTier;
+use oracle::runner::{run_oracle, OracleConfig};
+use oracle::transval::check_strict_tier;
+use progen::ast::{AssignOp, BinOp, Expr, LValue, Param, ParamType, Precision, Program, Stmt};
+use progen::inputs::{InputSet, InputValue};
+use progen::Precision as P;
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+struct Armed;
+
+impl Armed {
+    fn new(bug: VmBug) -> Armed {
+        arm(bug);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+fn with_bug<T>(bug: VmBug, f: impl FnOnce() -> T) -> T {
+    let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _armed = Armed::new(bug);
+    f()
+}
+
+fn float_param(name: &str) -> Param {
+    Param { name: name.into(), ty: ParamType::Float }
+}
+
+/// `comp += (var_2 + var_3) * (var_4 + var_5);` — lowers to a
+/// multi-instruction bytecode sequence whose result register is not 0,
+/// exactly what [`VmBug::RegisterClobber`] rewires.
+fn clobber_victim() -> (Program, InputSet) {
+    let p = Program {
+        id: "vm-inject-clobber".into(),
+        precision: Precision::F64,
+        params: vec![
+            float_param("comp"),
+            Param { name: "var_1".into(), ty: ParamType::Int },
+            float_param("var_2"),
+            float_param("var_3"),
+            float_param("var_4"),
+            float_param("var_5"),
+        ],
+        body: vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op: AssignOp::AddAssign,
+            value: Expr::bin(
+                BinOp::Mul,
+                Expr::bin(BinOp::Add, Expr::Var("var_2".into()), Expr::Var("var_3".into())),
+                Expr::bin(BinOp::Add, Expr::Var("var_4".into()), Expr::Var("var_5".into())),
+            ),
+        }],
+    };
+    let input = InputSet {
+        values: vec![
+            InputValue::Float(0.0),
+            InputValue::Int(1),
+            InputValue::Float(1.0),
+            InputValue::Float(2.0),
+            InputValue::Float(3.0),
+            InputValue::Float(4.0),
+        ],
+    };
+    (p, input)
+}
+
+#[test]
+fn differential_tier_panics_on_armed_clobber_and_names_the_vm() {
+    let (p, input) = clobber_victim();
+    with_bug(VmBug::RegisterClobber, || {
+        let caught = std::panic::catch_unwind(|| {
+            check_strict_tier(&p, std::slice::from_ref(&input), ExecTier::Differential)
+        });
+        let payload = match caught {
+            Ok(_) => panic!("armed RegisterClobber must not pass the differential tier"),
+            Err(p) => p,
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("vm/interp mismatch"),
+            "panic must attribute the divergence to the vm tier: {msg:?}"
+        );
+    });
+    // disarmed, the same program sails through the differential tier
+    let outcomes = check_strict_tier(&p, std::slice::from_ref(&input), ExecTier::Differential);
+    assert!(!outcomes.is_empty());
+}
+
+#[test]
+fn oracle_runner_reports_armed_clobber_as_contained_faults() {
+    let mut config = OracleConfig::new(P::F64, 6, 2024);
+    config.inputs_per_program = 2;
+    config.exec_tier = ExecTier::Differential;
+
+    let report = with_bug(VmBug::RegisterClobber, || run_oracle(&config));
+    assert!(
+        report.faulted > 0,
+        "a broken vm must surface as contained per-program faults, got {report:#?}"
+    );
+
+    // same config, bug disarmed: clean, zero faults — the feature build
+    // alone changes nothing
+    let clean = run_oracle(&config);
+    assert_eq!(clean.faulted, 0);
+    assert!(clean.is_clean(), "{:#?}", clean.violations);
+    assert_eq!(clean.programs_checked, 6);
+}
