@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use difftest::campaign::{run_campaign, CampaignConfig, TestMode};
-use gpucc::pipeline::OptLevel;
+use difftest::metadata::CampaignMeta;
+use gpucc::pipeline::{OptLevel, Toolchain};
 use progen::Precision;
 use std::hint::black_box;
 
@@ -38,5 +39,32 @@ fn bench_campaign_per_level(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_campaigns, bench_campaign_per_level);
+fn bench_reference_side(c: &mut Criterion) {
+    // the double-double ground-truth side next to one vendor side over
+    // the same population. The vendor side executes 5 levels per input,
+    // the reference one strict evaluation per input, so divide its time
+    // by (inputs × programs) for the per-unit overhead the EXPERIMENTS
+    // entry reports (the `reference.nsperop` telemetry counter measures
+    // the same thing in-process).
+    let mut g = c.benchmark_group("reference_side_25_programs");
+    g.sample_size(10);
+    let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(25);
+    g.bench_function("nvcc_vendor_side_5_levels", |b| {
+        b.iter(|| {
+            let mut meta = CampaignMeta::generate(&cfg);
+            meta.run_side(Toolchain::Nvcc);
+            black_box(meta)
+        })
+    });
+    g.bench_function("reference_truth_side", |b| {
+        b.iter(|| {
+            let mut meta = CampaignMeta::generate(&cfg);
+            meta.run_reference();
+            black_box(meta)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaigns, bench_campaign_per_level, bench_reference_side);
 criterion_main!(benches);

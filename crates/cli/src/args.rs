@@ -14,7 +14,7 @@ pub struct Args {
 
 /// Flags that never take a value.
 const SWITCHES: &[&str] =
-    &["--fp32", "--hipify", "--kernel-only", "--full", "--progress", "--profile"];
+    &["--fp32", "--hipify", "--kernel-only", "--full", "--progress", "--profile", "--reference"];
 
 impl Args {
     /// Parse an argv slice.

@@ -1,5 +1,10 @@
 //! `varity-gpu analyze` — merge metadata halves and print the tables.
 //!
+//! When the metadata carries the double-double reference side (campaigns
+//! run with `--reference`), a "who drifted" verdict table follows the
+//! adjacency matrices, and the `--profile` attribution table gains
+//! per-verdict columns.
+//!
 //! With `--profile`, also print the campaign telemetry profile (span
 //! timings, throughput, counters) and the "discrepancies by responsible
 //! pass" attribution table.
@@ -10,6 +15,7 @@ use difftest::campaign::analyze;
 use difftest::metadata::CampaignMeta;
 use difftest::report::{
     render_adjacency, render_attribution, render_digest, render_per_level, render_profile,
+    render_verdicts,
 };
 use std::path::Path;
 
@@ -54,6 +60,11 @@ pub fn run(argv: &[String]) -> i32 {
     println!("{}", render_digest(&report));
     println!("{}", render_per_level(&report, "discrepancies per optimization option"));
     println!("{}", render_adjacency(&report, "adjacency matrices"));
+    // Empty unless the metadata carries the double-double reference side.
+    let verdicts = render_verdicts(&report);
+    if !verdicts.is_empty() {
+        println!("{verdicts}");
+    }
     if args.has("--profile") {
         match &meta.metrics {
             Some(snap) => println!("{}", render_profile(snap)),

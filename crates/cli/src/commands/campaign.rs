@@ -50,14 +50,25 @@
 //!   Tiers are bit-identical, so reports, checkpoints, and resumes are
 //!   interchangeable across them.
 //!
+//! Ground truth:
+//!
+//! * `--reference` also runs every test through the double-double
+//!   extended-precision executor (one strict O0 evaluation per input,
+//!   correctly rounded at the end), recorded as a third side. `analyze`
+//!   then scores each vendor against the truth and prints "who drifted"
+//!   verdicts. Like the tier, it is runtime-only: pass it again on
+//!   `--resume` to keep running the truth side.
+//!
 //! Result tables go to stdout; everything else goes to stderr.
 
 use super::{flag, parse_known};
 use difftest::campaign::{analyze, CampaignConfig, TestMode};
-use difftest::checkpoint::{run_side_ft_tier, Checkpoint, FtSession, FtStatus, ShardSpec};
+use difftest::checkpoint::{
+    run_reference_ft, run_side_ft_tier, Checkpoint, FtSession, FtStatus, ShardSpec,
+};
 use difftest::fault::{self, TestFault};
 use difftest::metadata::CampaignMeta;
-use difftest::report::{render_digest, render_per_level};
+use difftest::report::{render_digest, render_per_level, render_verdicts};
 use gpucc::pipeline::Toolchain;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -81,7 +92,7 @@ const PAIRS: &[&str] = &[
     "--trace",
     "--exec-tier",
 ];
-const SWITCHES: &[&str] = &["--fp32", "--hipify", "--full", "--progress"];
+const SWITCHES: &[&str] = &["--fp32", "--hipify", "--full", "--progress", "--reference"];
 
 pub fn run(argv: &[String]) -> i32 {
     let args = match parse_known(argv, PAIRS, SWITCHES) {
@@ -104,6 +115,10 @@ pub fn run(argv: &[String]) -> i32 {
             return 2;
         }
     };
+    // Like the tier, the reference side is runtime-only: truth records are
+    // journaled once run, but whether to (keep) running them is decided by
+    // the flag on each invocation — including `--resume`.
+    let with_reference = args.has("--reference");
 
     let max_faults: Option<u64> = match args.get("--max-faults") {
         None => None,
@@ -233,6 +248,7 @@ pub fn run(argv: &[String]) -> i32 {
                 "seed": config.seed,
                 "exec_tier": exec_tier.label(),
                 "sides": sides.iter().map(|s| s.name()).collect::<Vec<_>>(),
+                "reference": with_reference,
             }),
         );
     }
@@ -261,8 +277,10 @@ pub fn run(argv: &[String]) -> i32 {
     };
     log_phase("generate", t);
 
-    let expected_runs =
-        (meta.tests.len() * config.inputs_per_program * config.levels.len() * sides.len()) as u64;
+    let expected_runs = (meta.tests.len() * config.inputs_per_program * config.levels.len()
+        * sides.len()
+        + if with_reference { meta.tests.len() * config.inputs_per_program } else { 0 })
+        as u64;
     let progress = if args.has("--progress") { Some(Progress::spawn(expected_runs)) } else { None };
 
     let mut session = FtSession::new(journal, max_faults);
@@ -285,6 +303,11 @@ pub fn run(argv: &[String]) -> i32 {
         if status != FtStatus::Complete {
             break;
         }
+    }
+    if status == FtStatus::Complete && with_reference {
+        let t = Instant::now();
+        status = run_reference_ft(&mut meta, &session);
+        log_phase("run.reference", t);
     }
     if let Some(p) = progress {
         p.finish();
@@ -404,6 +427,10 @@ pub fn run(argv: &[String]) -> i32 {
         let report = analyze(&meta);
         println!("{}", render_digest(&report));
         println!("{}", render_per_level(&report, "discrepancies per optimization option"));
+        let verdicts = render_verdicts(&report);
+        if !verdicts.is_empty() {
+            println!("{verdicts}");
+        }
     } else {
         eprintln!(
             "half-campaign complete; run the other side against the same \

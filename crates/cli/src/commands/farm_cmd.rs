@@ -23,6 +23,10 @@
 //!   shard lifecycle instants (spawns, deaths, expiries, poisons);
 //! * `--chaos-kills N` makes the supervisor itself SIGKILL `N` random
 //!   workers mid-progress (fault-tolerance self-test);
+//! * `--reference` makes every worker also run the double-double
+//!   ground-truth side of its shard, so the merged report carries "who
+//!   drifted" verdicts (verdict stats are recomputed from the merged
+//!   records at analyze time, so the fold order cannot skew them);
 //! * Ctrl-C (with the `sigint` feature) or `touch <dir>/stop` drains:
 //!   leasing stops, in-flight workers flush their checkpoints, the
 //!   exact resume command is printed, and the farm exits 130. Re-running
@@ -54,7 +58,7 @@ const PAIRS: &[&str] = &[
     "--chaos-seed",
     "--trace",
 ];
-const SWITCHES: &[&str] = &["--fp32", "--hipify"];
+const SWITCHES: &[&str] = &["--fp32", "--hipify", "--reference"];
 
 pub fn run(argv: &[String]) -> i32 {
     let args = match parse_known(argv, PAIRS, SWITCHES) {
@@ -99,6 +103,11 @@ pub fn run(argv: &[String]) -> i32 {
     };
     let mut worker = WorkerSpec::new(program);
     worker.prefix_args = vec!["campaign".to_string()];
+    if args.has("--reference") {
+        // Runtime-only on the campaign side (not stored in the shard
+        // checkpoints), so every worker resume must re-pass the flag.
+        worker.prefix_args.push("--reference".to_string());
+    }
     // Workers inherit a thread budget so `n_workers` rayon pools don't
     // oversubscribe the machine.
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);

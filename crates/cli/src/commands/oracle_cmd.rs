@@ -1,10 +1,11 @@
 //! `varity-gpu oracle` — self-validate the simulated toolchains.
 //!
-//! Runs the translation-validation and metamorphic oracles
-//! (`crates/oracle`) over a seeded budget of generated programs — the
-//! campaign's own population. A violation is a toolchain bug by
+//! Runs the translation-validation, ground-truth, and metamorphic
+//! oracles (`crates/oracle`) over a seeded budget of generated programs
+//! — the campaign's own population. A violation is a toolchain bug by
 //! construction (each toolchain is compared against *its own* reference
-//! semantics), so a clean run is the precondition for trusting the
+//! semantics; the double-double truth executor against its required
+//! invariants), so a clean run is the precondition for trusting the
 //! campaign tables.
 //!
 //! Telemetry surface mirrors `campaign`:
@@ -126,8 +127,11 @@ pub fn run(argv: &[String]) -> i32 {
     );
     println!("programs checked: {}", report.programs_checked);
     println!(
-        "checks: transval {} | metamorphic {} | roundtrip {}",
-        report.transval_checks, report.metamorphic_checks, report.roundtrip_checks
+        "checks: transval {} | truth {} | metamorphic {} | roundtrip {}",
+        report.transval_checks,
+        report.truth_checks,
+        report.metamorphic_checks,
+        report.roundtrip_checks
     );
     println!(
         "verdicts: consistent {} | explained {} | skipped {}",

@@ -86,9 +86,15 @@ COMMANDS:
                                 vm (default; same bits, faster), or both
                                 in lockstep (any difference => vm bug,
                                 quarantined)
+             [--reference]      also run the double-double ground-truth
+                                side (one strict O0 evaluation per input,
+                                correctly rounded); analyze then prints
+                                \"who drifted\" verdicts. Runtime-only:
+                                pass it again on --resume
   farm       run a campaign as a supervised multi-worker service
              --dir DIR [--workers N] [--shards M] [--out FILE]
-             [--fp32] [--hipify] [--programs N] [--inputs K] [--seed S]
+             [--fp32] [--hipify] [--reference]
+             [--programs N] [--inputs K] [--seed S]
              [--fuel N] [--timeout-ms N]
              [--heartbeat-ms N]   hang detection window (journal silence)
              [--grace-ms N]       drain grace before hard-kill
@@ -105,7 +111,8 @@ COMMANDS:
   analyze    merge metadata files and print the paper-style tables
              FILE [FILE2] [--profile]
              --profile adds the telemetry profile and the discrepancies-
-             by-responsible-pass attribution table
+             by-responsible-pass attribution table; metadata carrying the
+             --reference side also gets the who-drifted verdict table
   failures   list every failing (program, level, input) triple
              FILE [FILE2]
   reduce     find a failure in a seed range and shrink it

@@ -417,6 +417,38 @@ fn campaign_report_is_identical_across_exec_tiers() {
 }
 
 #[test]
+fn campaign_reference_prints_verdicts_and_resume_reproduces_them() {
+    let dir = std::env::temp_dir().join("varity_cli_test_reference");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("ck");
+    let cks = ck.to_str().unwrap();
+
+    let first = varity(&["campaign", "--programs", "12", "--reference", "--checkpoint", cks]);
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+    let text = stdout(&first);
+    assert!(text.contains("WHO DRIFTED"), "no verdict table:\n{text}");
+    assert!(text.contains("TruthUndecided"), "{text}");
+
+    // the truth side is journaled like any other: a resume replays all
+    // 12 × 5 × 2 vendor units plus 12 reference units and re-runs none
+    let second = varity(&["campaign", "--resume", cks, "--reference"]);
+    assert!(second.status.success(), "{}", String::from_utf8_lossy(&second.stderr));
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("resumed 132 completed units"), "{stderr}");
+    assert_eq!(stdout(&first), stdout(&second), "resume must reproduce the verdicts");
+
+    // the flag is runtime-only: a resume without it replays the vendor
+    // units and reports without verdicts (the truth side is not marked
+    // as run), exactly like a campaign that never passed --reference
+    let third = varity(&["campaign", "--resume", cks]);
+    assert!(third.status.success(), "{}", String::from_utf8_lossy(&third.stderr));
+    assert!(!stdout(&third).contains("WHO DRIFTED"), "{}", stdout(&third));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn campaign_rejects_unknown_exec_tier() {
     let out = varity(&["campaign", "--programs", "2", "--exec-tier", "jit"]);
     assert_eq!(out.status.code(), Some(2));

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use difftest::campaign::analyze;
 use difftest::metadata::CampaignMeta;
+use difftest::side::Side;
 
 fn varity(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_varity-gpu")).args(args).output().expect("binary runs")
@@ -125,6 +126,83 @@ fn chaos_farm_merged_report_matches_single_process_run() {
     assert!(kills >= 1, "chaos never got to kill anyone:\n{stderr}");
     assert!(deaths >= kills, "deaths {deaths} < chaos kills {kills}:\n{stderr}");
     assert!(respawns >= kills, "kills were not all recovered by respawns:\n{stderr}");
+    assert_eq!(farm_counter(&stderr, "done"), 8, "all shards folded:\n{stderr}");
+    assert_eq!(farm_counter(&stderr, "poisoned"), 0, "no shard poisoned:\n{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The three-side acceptance bar: a farm running the double-double
+/// ground-truth side next to both vendors (`--reference` is forwarded to
+/// every worker spawn *and* respawn, because the flag is runtime-only
+/// and never stored in the shard checkpoints), with chaos kills, merges
+/// to the same report — pair stats and who-drifted verdicts included —
+/// as an uninterrupted single-process three-side run.
+#[test]
+fn three_side_chaos_farm_matches_single_process_truth_run() {
+    let dir = temp_dir("chaos3");
+
+    // single-process reference: both vendors plus the truth side
+    let ref_path = dir.join("reference.json");
+    let out = varity(&[
+        "campaign",
+        "--programs",
+        PROGRAMS,
+        "--inputs",
+        INPUTS,
+        "--seed",
+        SEED,
+        "--reference",
+        "--out",
+        ref_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "three-side reference campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = CampaignMeta::load(&ref_path).expect("reference metadata loads");
+    assert!(reference.sides_run.contains(&Side::Reference));
+
+    let farm_dir = dir.join("farm");
+    let merged_path = dir.join("merged.json");
+    let out = varity(&[
+        "farm",
+        "--dir",
+        farm_dir.to_str().unwrap(),
+        "--workers",
+        "4",
+        "--shards",
+        "8",
+        "--programs",
+        PROGRAMS,
+        "--inputs",
+        INPUTS,
+        "--seed",
+        SEED,
+        "--reference",
+        "--chaos-kills",
+        "4",
+        "--chaos-seed",
+        "99",
+        "--out",
+        merged_path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(out.status.code(), Some(0), "three-side farm failed:\n{stderr}");
+
+    // The truth side survives the shard merge (it would be dropped if
+    // any worker resume forgot the runtime-only flag) and the merged
+    // report — verdicts included — is byte-identical.
+    let merged = CampaignMeta::load(&merged_path).expect("merged metadata loads");
+    assert!(merged.is_complete(), "merged campaign ran both vendor sides");
+    assert!(merged.sides_run.contains(&Side::Reference), "truth side lost in the merge");
+    let ref_report = serde_json::to_string(&analyze(&reference)).unwrap();
+    let farm_report = serde_json::to_string(&analyze(&merged)).unwrap();
+    assert!(ref_report.contains("\"verdicts\""), "truth plane missing from the reference report");
+    assert_eq!(ref_report, farm_report, "three-side farm report diverges from single-process run");
+
+    assert!(farm_counter(&stderr, "chaos_kills") >= 1, "chaos never got to kill anyone:\n{stderr}");
     assert_eq!(farm_counter(&stderr, "done"), 8, "all shards folded:\n{stderr}");
     assert_eq!(farm_counter(&stderr, "poisoned"), 0, "no shard poisoned:\n{stderr}");
 

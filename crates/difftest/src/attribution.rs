@@ -17,8 +17,9 @@
 
 use crate::campaign::decode;
 use crate::compare::compare_runs;
-use crate::metadata::{build_side_with_stats, side_key, CampaignMeta};
+use crate::metadata::{build_side_with_stats, reference_key, side_key, CampaignMeta};
 use crate::outcome::DiscrepancyClass;
+use crate::verdict::{judge, Verdict};
 use gpucc::pipeline::Toolchain;
 use rayon::prelude::*;
 use serde::Serialize;
@@ -42,6 +43,15 @@ pub struct PassRow {
     pub discrepancies: u64,
     /// Breakdown per [`DiscrepancyClass`] (in `ALL` order).
     pub by_class: [u64; 7],
+    /// Who-drifted breakdown per [`Verdict`] (in `ALL` order), judged
+    /// against the double-double ground truth. All-zero — and omitted
+    /// from JSON — when the campaign ran without the reference side.
+    #[serde(skip_serializing_if = "verdict_tally_is_empty")]
+    pub by_verdict: [u64; 4],
+}
+
+fn verdict_tally_is_empty(t: &[u64; 4]) -> bool {
+    t.iter().all(|&v| v == 0)
 }
 
 /// The aggregated pass-attribution table for one campaign.
@@ -53,22 +63,28 @@ pub struct AttributionReport {
     pub total_discrepancies: u64,
     /// Discrepancies with at least one semantic pass fired.
     pub attributed: u64,
+    /// Whether rows carry who-drifted tallies (the reference side ran).
+    #[serde(skip_serializing_if = "std::ops::Not::not")]
+    pub has_verdicts: bool,
 }
 
 #[derive(Default, Clone)]
 struct Agg {
-    rows: BTreeMap<String, (u64, [u64; 7])>,
+    rows: BTreeMap<String, (u64, [u64; 7], [u64; 4])>,
     total: u64,
     attributed: u64,
 }
 
 impl Agg {
     fn fold(mut self, other: Agg) -> Agg {
-        for (k, (n, by)) in other.rows {
-            let e = self.rows.entry(k).or_insert((0, [0; 7]));
+        for (k, (n, by, bv)) in other.rows {
+            let e = self.rows.entry(k).or_insert((0, [0; 7], [0; 4]));
             e.0 += n;
             for (i, v) in by.iter().enumerate() {
                 e.1[i] += v;
+            }
+            for (i, v) in bv.iter().enumerate() {
+                e.2[i] += v;
             }
         }
         self.total += other.total;
@@ -84,25 +100,34 @@ impl Agg {
 pub fn attribute(meta: &CampaignMeta) -> AttributionReport {
     let _span = obs::span("campaign.attribute");
     let config = &meta.config;
+    let has_verdicts = meta.has_reference();
     let agg = meta
         .tests
         .par_iter()
         .map(|test| {
             let mut agg = Agg::default();
             let mut program = None;
+            let truth_recs = test.results.get(&reference_key());
             for level in &config.levels {
                 let nv = test.results.get(&side_key(Toolchain::Nvcc, *level));
                 let amd = test.results.get(&side_key(Toolchain::Hipcc, *level));
                 let (Some(nv), Some(amd)) = (nv, amd) else { continue };
-                let mut classes: Vec<DiscrepancyClass> = Vec::new();
-                for (rn, ra) in nv.iter().zip(amd) {
+                let mut classes: Vec<(DiscrepancyClass, Option<Verdict>)> = Vec::new();
+                for (k, (rn, ra)) in nv.iter().zip(amd).enumerate() {
                     if rn.error.is_some() || ra.error.is_some() {
                         continue;
                     }
                     let vn = decode(config.precision, rn.bits);
                     let va = decode(config.precision, ra.bits);
                     if let Some(d) = compare_runs(&vn, &va) {
-                        classes.push(d.class);
+                        let verdict = has_verdicts.then(|| {
+                            let truth = truth_recs
+                                .and_then(|rs| rs.get(k))
+                                .filter(|r| r.error.is_none())
+                                .map(|r| decode(config.precision, r.bits));
+                            judge(&vn, &va, truth.as_ref(), level.is_fast_math()).verdict
+                        });
+                        classes.push((d.class, verdict));
                     }
                 }
                 if classes.is_empty() {
@@ -125,10 +150,13 @@ pub fn attribute(meta: &CampaignMeta) -> AttributionReport {
                     agg.attributed += classes.len() as u64;
                 }
                 for key in keys {
-                    let e = agg.rows.entry(key).or_insert((0, [0; 7]));
-                    for class in &classes {
+                    let e = agg.rows.entry(key).or_insert((0, [0; 7], [0; 4]));
+                    for (class, verdict) in &classes {
                         e.0 += 1;
                         e.1[class.index()] += 1;
+                        if let Some(v) = verdict {
+                            e.2[v.index()] += 1;
+                        }
                     }
                 }
             }
@@ -139,10 +167,20 @@ pub fn attribute(meta: &CampaignMeta) -> AttributionReport {
     let mut rows: Vec<PassRow> = agg
         .rows
         .into_iter()
-        .map(|(key, (discrepancies, by_class))| PassRow { key, discrepancies, by_class })
+        .map(|(key, (discrepancies, by_class, by_verdict))| PassRow {
+            key,
+            discrepancies,
+            by_class,
+            by_verdict,
+        })
         .collect();
     rows.sort_by(|a, b| b.discrepancies.cmp(&a.discrepancies).then_with(|| a.key.cmp(&b.key)));
-    AttributionReport { rows, total_discrepancies: agg.total, attributed: agg.attributed }
+    AttributionReport {
+        rows,
+        total_discrepancies: agg.total,
+        attributed: agg.attributed,
+        has_verdicts,
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +229,34 @@ mod tests {
             "no nvcc fast-math pass attributed: {:?}",
             attr.rows
         );
+    }
+
+    #[test]
+    fn verdict_tallies_ride_the_rows_when_the_reference_ran() {
+        let meta = completed(80);
+        let attr = attribute(&meta);
+        assert!(!attr.has_verdicts);
+        assert!(attr.rows.iter().all(|r| r.by_verdict == [0; 4]));
+
+        let mut meta = completed(80);
+        meta.run_reference();
+        let attr = attribute(&meta);
+        assert!(attr.has_verdicts);
+        // every discrepancy in every row received some verdict
+        for row in &attr.rows {
+            assert_eq!(
+                row.by_verdict.iter().sum::<u64>(),
+                row.discrepancies,
+                "{}",
+                row.key
+            );
+        }
+        // fast-math rows (nvcc:* / hipcc:* semantic passes fire at O3_FM)
+        // must include undecided tallies when their discrepancies live in
+        // fast-math cells
+        let undecided: u64 =
+            attr.rows.iter().map(|r| r.by_verdict[Verdict::TruthUndecided.index()]).sum();
+        assert!(undecided > 0, "an 80-program campaign has fast-math discrepancies");
     }
 
     #[test]

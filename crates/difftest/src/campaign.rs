@@ -1,7 +1,9 @@
 //! The testing campaign: configuration, execution, aggregation.
 
-use crate::metadata::{side_key, CampaignMeta, RunRecord};
+use crate::metadata::{reference_key, side_key, CampaignMeta, RunRecord};
 use crate::outcome::DiscrepancyClass;
+use crate::side::Side;
+use crate::verdict::{judge, VerdictStats};
 use fpcore::classify::Outcome;
 use gpucc::interp::{ExecBudget, ExecValue};
 use gpucc::pipeline::{OptLevel, Toolchain};
@@ -101,6 +103,49 @@ impl CampaignConfig {
     }
 }
 
+/// Discrepancy statistics between one ordered pair of sides at one
+/// level — the generalized comparison plane. The legacy flat fields of
+/// [`LevelStats`] are exactly the `(nvcc, hipcc)` pair's projection;
+/// vendor-versus-reference pairs appear here when the ground-truth side
+/// ran.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairStats {
+    /// Row side of the adjacency matrix.
+    pub a: Side,
+    /// Column side of the adjacency matrix.
+    pub b: Side,
+    /// Comparisons performed (both sides produced a value).
+    pub compared: u64,
+    /// Comparisons skipped because either side errored or was missing.
+    pub errors: u64,
+    /// Discrepancies between the pair.
+    pub discrepancies: u64,
+    /// Count per [`DiscrepancyClass`] (in `ALL` order).
+    pub by_class: [u64; 7],
+    /// Directional adjacency: `adjacency[a_outcome][b_outcome]`.
+    pub adjacency: [[u64; 4]; 4],
+}
+
+impl PairStats {
+    fn new(a: Side, b: Side) -> PairStats {
+        PairStats {
+            a,
+            b,
+            compared: 0,
+            errors: 0,
+            discrepancies: 0,
+            by_class: [0; 7],
+            adjacency: [[0; 4]; 4],
+        }
+    }
+
+    fn record(&mut self, a: Outcome, b: Outcome, class: DiscrepancyClass) {
+        self.discrepancies += 1;
+        self.by_class[class.index()] += 1;
+        self.adjacency[a.index()][b.index()] += 1;
+    }
+}
+
 /// Discrepancy statistics for one optimization level.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LevelStats {
@@ -115,6 +160,20 @@ pub struct LevelStats {
     /// Directional adjacency matrix: `adjacency[nvcc_outcome][hipcc_outcome]`
     /// in [`Outcome::ALL`] order (the paper's Tables VI/VIII/X).
     pub adjacency: [[u64; 4]; 4],
+    /// Per-side-pair statistics beyond the legacy nvcc–hipcc projection
+    /// above: the two vendor-versus-reference pairs, populated only when
+    /// the ground-truth side ran. Empty — and omitted from JSON — for
+    /// two-side campaigns, whose serialized reports stay byte-identical
+    /// to the v1 schema.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub pairs: Vec<PairStats>,
+    /// Who-drifted tallies for this level's nvcc–hipcc discrepancies,
+    /// judged against the ground truth. `None` (omitted from JSON)
+    /// without the reference side. Always recomputed from raw records
+    /// here at analyze time, never merged numerically, so farm shard
+    /// merges stay order-independent by construction.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub verdicts: Option<VerdictStats>,
 }
 
 impl LevelStats {
@@ -122,6 +181,14 @@ impl LevelStats {
         self.discrepancies += 1;
         self.by_class[class.index()] += 1;
         self.adjacency[nvcc.index()][hipcc.index()] += 1;
+    }
+
+    fn pair_mut(&mut self, a: Side, b: Side) -> &mut PairStats {
+        if let Some(i) = self.pairs.iter().position(|p| p.a == a && p.b == b) {
+            return &mut self.pairs[i];
+        }
+        self.pairs.push(PairStats::new(a, b));
+        self.pairs.last_mut().unwrap()
     }
 }
 
@@ -161,6 +228,27 @@ impl CampaignReport {
         }
         t
     }
+
+    /// Whether the analyzed metadata had the ground-truth side (any
+    /// level carries verdict tallies).
+    pub fn has_verdicts(&self) -> bool {
+        self.per_level.iter().any(|(_, s)| s.verdicts.is_some())
+    }
+
+    /// Verdict totals across all levels (display only: shard merges
+    /// recompute per-level tallies from raw records instead of summing).
+    pub fn verdict_totals(&self) -> Option<VerdictStats> {
+        if !self.has_verdicts() {
+            return None;
+        }
+        let mut total = VerdictStats::default();
+        for (_, s) in &self.per_level {
+            if let Some(v) = &s.verdicts {
+                total.absorb(v);
+            }
+        }
+        Some(total)
+    }
 }
 
 /// Run a complete campaign: generate, run both sides, analyze.
@@ -191,18 +279,40 @@ pub fn analyze(meta: &CampaignMeta) -> CampaignReport {
 /// pairs (0.0 = the paper's bitwise semantics). Because metadata stores
 /// exact result bits, any tolerance can be applied after the fact without
 /// re-running anything.
+///
+/// When the metadata carries the ground-truth side (`campaign
+/// --reference`), every level additionally gets the two
+/// vendor-versus-reference [`PairStats`] and a [`VerdictStats`] tally
+/// judging each nvcc–hipcc discrepancy against the truth. Fast-math
+/// levels are judged [`crate::verdict::Verdict::TruthUndecided`] by
+/// construction — `-ffast-math` has no single obligated result.
 pub fn analyze_with_tolerance(meta: &CampaignMeta, rel_tol: f64) -> CampaignReport {
     let _span = obs::span("campaign.analyze");
     let config = meta.config.clone();
-    let mut per_level: Vec<(OptLevel, LevelStats)> =
-        config.levels.iter().map(|l| (*l, LevelStats::default())).collect();
+    let has_truth = meta.has_reference();
+    let mut per_level: Vec<(OptLevel, LevelStats)> = config
+        .levels
+        .iter()
+        .map(|l| {
+            let mut stats = LevelStats::default();
+            if has_truth {
+                // seed the truth-plane columns so every level serializes
+                // them (stably) even when it has no discrepancies
+                stats.pair_mut(Side::Nvcc, Side::Reference);
+                stats.pair_mut(Side::Hipcc, Side::Reference);
+                stats.verdicts = Some(VerdictStats::default());
+            }
+            (*l, stats)
+        })
+        .collect();
 
     for test in &meta.tests {
+        let truth_recs = test.results.get(&reference_key());
         for (level, stats) in per_level.iter_mut() {
             let nv = meta_records(test, Toolchain::Nvcc, *level);
             let amd = meta_records(test, Toolchain::Hipcc, *level);
             let (Some(nv), Some(amd)) = (nv, amd) else { continue };
-            for (rn, ra) in nv.iter().zip(amd) {
+            for (k, (rn, ra)) in nv.iter().zip(amd).enumerate() {
                 stats.runs += 2;
                 if rn.error.is_some() || ra.error.is_some() {
                     stats.errors += 1;
@@ -210,8 +320,37 @@ pub fn analyze_with_tolerance(meta: &CampaignMeta, rel_tol: f64) -> CampaignRepo
                 }
                 let vn = decode(config.precision, rn.bits);
                 let va = decode(config.precision, ra.bits);
-                if let Some(d) = crate::compare::compare_runs_with_tolerance(&vn, &va, rel_tol) {
+                let disc = crate::compare::compare_runs_with_tolerance(&vn, &va, rel_tol);
+                if let Some(d) = &disc {
                     stats.record(d.nvcc, d.hipcc, d.class);
+                }
+                if !has_truth {
+                    continue;
+                }
+                // the truth plane: one reference column serves every level
+                let truth = truth_recs
+                    .and_then(|rs| rs.get(k))
+                    .filter(|r| r.error.is_none())
+                    .map(|r| decode(config.precision, r.bits));
+                for (side, v) in [(Side::Nvcc, &vn), (Side::Hipcc, &va)] {
+                    let pair = stats.pair_mut(side, Side::Reference);
+                    match &truth {
+                        Some(t) => {
+                            pair.compared += 1;
+                            if let Some(d) =
+                                crate::compare::compare_runs_with_tolerance(v, t, rel_tol)
+                            {
+                                pair.record(d.nvcc, d.hipcc, d.class);
+                            }
+                        }
+                        None => pair.errors += 1,
+                    }
+                }
+                if disc.is_some() {
+                    let score = judge(&vn, &va, truth.as_ref(), level.is_fast_math());
+                    if let Some(v) = &mut stats.verdicts {
+                        v.record(&score);
+                    }
                 }
             }
         }
@@ -304,6 +443,65 @@ mod tests {
         let a = run_campaign(&cfg);
         let b = run_campaign(&cfg);
         assert_eq!(a.per_level, b.per_level);
+    }
+
+    #[test]
+    fn reference_side_yields_pairs_and_verdicts() {
+        let cfg = small(Precision::F64, TestMode::Direct).with_programs(150);
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        let two_side = analyze(&meta);
+        assert!(!two_side.has_verdicts());
+        meta.run_reference();
+        let report = analyze(&meta);
+        assert!(report.has_verdicts());
+        for ((level, s), (_, legacy)) in report.per_level.iter().zip(&two_side.per_level) {
+            // the truth plane must not perturb the legacy projection
+            assert_eq!(s.runs, legacy.runs);
+            assert_eq!(s.discrepancies, legacy.discrepancies);
+            assert_eq!(s.by_class, legacy.by_class);
+            assert_eq!(s.adjacency, legacy.adjacency);
+            let v = s.verdicts.as_ref().unwrap();
+            assert_eq!(v.judged, s.discrepancies, "every discrepancy is judged");
+            if level.is_fast_math() {
+                assert_eq!(v.decided(), 0, "fast-math cells are truth-undecided");
+            }
+            assert_eq!(s.pairs.len(), 2);
+            assert!(s.pairs.iter().all(|p| p.b == Side::Reference));
+            assert!(s.pairs.iter().all(|p| p.errors == 0), "truth ran for every unit");
+        }
+    }
+
+    #[test]
+    fn forged_fig5_discrepancy_is_blamed_on_nvcc() {
+        use crate::verdict::Verdict;
+        let cfg = small(Precision::F64, TestMode::Direct).with_programs(5);
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        meta.run_reference();
+        // forge the paper's Fig. 5 record: nvcc overflowed to Inf while
+        // hipcc — matching the strict truth — kept 1.34887e-306
+        let truth_bits = 1.34887e-306f64.to_bits();
+        let t = &mut meta.tests[0];
+        t.results.get_mut(&side_key(Toolchain::Nvcc, OptLevel::O0)).unwrap()[0].bits =
+            f64::INFINITY.to_bits();
+        t.results.get_mut(&side_key(Toolchain::Hipcc, OptLevel::O0)).unwrap()[0].bits = truth_bits;
+        t.results.get_mut(&crate::metadata::reference_key()).unwrap()[0].bits = truth_bits;
+        let report = analyze(&meta);
+        let (_, s) = report.per_level.iter().find(|(l, _)| *l == OptLevel::O0).unwrap();
+        let v = s.verdicts.as_ref().unwrap();
+        assert!(v.by_verdict[Verdict::NvccDrifted.index()] >= 1, "{v:?}");
+        assert!(v.nvcc_ulps_total > 1 << 52, "Inf is a huge but defined drift: {v:?}");
+    }
+
+    #[test]
+    fn two_side_reports_serialize_without_truth_fields() {
+        let report = run_campaign(&small(Precision::F64, TestMode::Direct).with_programs(10));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("\"pairs\""), "v1 report schema must be unchanged");
+        assert!(!json.contains("\"verdicts\""));
     }
 
     #[test]

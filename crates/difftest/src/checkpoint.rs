@@ -11,22 +11,23 @@
 //!   `SIGKILL` between any two syscalls loses at most the record being
 //!   written — and the CRC framing drops that torn tail on replay
 //!   instead of failing.
-//! * [`FtSession`] + [`run_side_ft`] — the fault-tolerant runner:
-//!   skips journal-replayed units, isolates each unit with
-//!   [`crate::fault::catch_isolated`], captures the unit's exact metric
-//!   deltas (so a resumed campaign's telemetry matches an uninterrupted
-//!   run), enforces a `--max-faults` circuit breaker, and honours the
-//!   cooperative shutdown flag between units.
+//! * [`FtSession`] + [`run_side_ft`] / [`run_reference_ft`] — the
+//!   fault-tolerant runners: skip journal-replayed units, isolate each
+//!   unit with [`crate::fault::catch_isolated`], capture the unit's
+//!   exact metric deltas (so a resumed campaign's telemetry matches an
+//!   uninterrupted run), enforce a `--max-faults` circuit breaker, and
+//!   honour the cooperative shutdown flag between units.
 //!
-//! Work units are keyed by `(test index, side key)`, and campaigns are
-//! deterministic in their config, so replay + re-run of the remaining
-//! units reproduces the uninterrupted campaign byte-for-byte — the
-//! resume-equivalence property `tests/chaos.rs` proves under injected
-//! crashes.
+//! Work units are keyed by `(test index, [`SideKey`])`, and campaigns
+//! are deterministic in their config, so replay + re-run of the
+//! remaining units reproduces the uninterrupted campaign byte-for-byte —
+//! the resume-equivalence property `tests/chaos.rs` proves under
+//! injected crashes.
 
 use crate::campaign::CampaignConfig;
 use crate::fault::{self, TestFault};
 use crate::metadata::{side_key, CampaignMeta, MetaError, RunRecord};
+use crate::side::{Side, SideKey};
 use gpucc::pipeline::{OptLevel, Toolchain};
 use gpusim::{Device, DeviceKind};
 use parking_lot::Mutex;
@@ -40,8 +41,16 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Journal file magic: identifies the format and its framing version.
-pub const JOURNAL_MAGIC: &[u8; 8] = b"VGJRNL01";
+/// Journal file magic written by this version: identifies the format
+/// and its semantic version. v2 records may carry the `"reference:O0"`
+/// ground-truth side alongside the vendor sides; the framing itself is
+/// unchanged from v1.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"VGJRNL02";
+
+/// The v1 magic. Journals written before the reference side existed
+/// still parse — their side keys are a strict subset of v2's — so a
+/// two-side campaign checkpointed under v1 resumes unchanged.
+pub const JOURNAL_MAGIC_V1: &[u8; 8] = b"VGJRNL01";
 
 /// Bounded retry count for one journal append (covers transient
 /// ENOSPC-style failures; each retry truncates any partial write first).
@@ -124,8 +133,9 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 pub struct UnitRecord {
     /// Generation index of the test.
     pub index: u64,
-    /// The `"{toolchain}:{level}"` side key this unit ran.
-    pub side: String,
+    /// The side key this unit ran (serialized as the `"{side}:{level}"`
+    /// string, wire-identical to the v1 journal's free-form field).
+    pub side: SideKey,
     /// Results, one per input (error records for contained faults).
     pub records: Vec<RunRecord>,
     /// Faults contained while running this unit (quarantine source).
@@ -263,7 +273,10 @@ fn write_frame(inner: &mut JournalInner, frame: &[u8]) -> io::Result<()> {
 /// torn, CRC-mismatched, or unparsable tail stops the scan (those units
 /// simply re-run); a missing or wrong magic is a real error.
 fn parse_journal(bytes: &[u8]) -> io::Result<(Vec<UnitRecord>, u64)> {
-    if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+    let known_magic = bytes.len() >= JOURNAL_MAGIC.len()
+        && (&bytes[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC
+            || &bytes[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC_V1);
+    if !known_magic {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint journal"));
     }
     let mut units = Vec::new();
@@ -454,7 +467,7 @@ pub enum FtStatus {
 /// fault ledger, and the circuit breaker.
 pub struct FtSession {
     journal: Option<Journal>,
-    skip: HashSet<(u64, String)>,
+    skip: HashSet<(u64, SideKey)>,
     max_faults: Option<u64>,
     heed_shutdown: bool,
     stop_file: Option<PathBuf>,
@@ -515,7 +528,7 @@ impl FtSession {
     /// was re-run before a second crash — are applied once.
     pub fn apply_replay(&mut self, meta: &mut CampaignMeta, units: Vec<UnitRecord>) {
         for unit in units {
-            if !self.skip.insert((unit.index, unit.side.clone())) {
+            if !self.skip.insert((unit.index, unit.side)) {
                 continue;
             }
             let test = match meta.tests.get_mut(unit.index as usize) {
@@ -523,7 +536,7 @@ impl FtSession {
                 _ => meta.tests.iter_mut().find(|t| t.index == unit.index),
             };
             let Some(test) = test else { continue };
-            test.results.insert(unit.side, unit.records);
+            test.results.insert(unit.side.to_string(), unit.records);
             self.faults.lock().extend(unit.faults);
             if obs::enabled() && !unit.metrics.is_empty() {
                 obs::global().merge_snapshot(&unit.metrics);
@@ -640,7 +653,7 @@ pub fn run_side_ft_tier(
             .levels
             .iter()
             .copied()
-            .filter(|l| !session.skip.contains(&(test.index, side_key(toolchain, *l))))
+            .filter(|l| !session.skip.contains(&(test.index, SideKey::new(toolchain, *l))))
             .collect();
         if needed.is_empty() {
             return;
@@ -666,10 +679,9 @@ pub fn run_side_ft_tier(
             if let Some(g) = gen_delta.take() {
                 unit_metrics.merge(&g);
             }
-            let key = side_key(toolchain, level);
             let unit = UnitRecord {
                 index: test.index,
-                side: key.clone(),
+                side: SideKey::new(toolchain, level),
                 records,
                 faults: fault_rec.clone().into_iter().collect(),
                 metrics: unit_metrics,
@@ -680,7 +692,7 @@ pub fn run_side_ft_tier(
                     return;
                 }
             }
-            test.results.insert(key, unit.records);
+            test.results.insert(side_key(toolchain, level), unit.records);
             if let Some(f) = fault_rec {
                 session.register_fault(f);
             }
@@ -688,10 +700,69 @@ pub fn run_side_ft_tier(
     });
     let status = session.status();
     if status == FtStatus::Complete {
-        let name = toolchain.name().to_string();
-        if !meta.sides_run.contains(&name) {
-            meta.sides_run.push(name);
+        mark_side_run(meta, Side::from(toolchain));
+        if let Some(journal) = &session.journal {
+            let _ = journal.sync();
         }
+    }
+    status
+}
+
+/// Record that `side` finished, keeping `sides_run` in the canonical
+/// (vendors-first) order so single-process runs match farm merges
+/// byte-for-byte regardless of which side completed first.
+fn mark_side_run(meta: &mut CampaignMeta, side: Side) {
+    if !meta.sides_run.contains(&side) {
+        meta.sides_run.push(side);
+        meta.sides_run.sort();
+    }
+}
+
+/// Execute the ground-truth reference side of a campaign
+/// fault-tolerantly. Mirrors [`run_side_ft`]'s structure — journal-replay
+/// skip, per-unit isolation, exact metric capture, circuit breaker,
+/// cooperative shutdown — but evaluates each test's strict O0 IR over
+/// double-double values ([`gpucc::refexec`]) and stores the results
+/// under the single [`SideKey::REFERENCE`] column, one truth per test
+/// serving every level's comparison.
+pub fn run_reference_ft(meta: &mut CampaignMeta, session: &FtSession) -> FtStatus {
+    let _span = obs::span("campaign.run.reference").attr("toolchain", Side::Reference.name());
+    let config = meta.config.clone();
+    let halted = || {
+        session.stopped()
+            || (session.heed_shutdown && fault::shutdown_requested())
+            || session.stop_file_present()
+    };
+    meta.tests.par_iter_mut().for_each(|test| {
+        if halted() || session.skip.contains(&(test.index, SideKey::REFERENCE)) {
+            return;
+        }
+        let (program, gen_delta) =
+            obs::with_capture(|| generate_program(&config.gen, config.seed, test.index));
+        let ((records, fault_rec), mut unit_metrics) =
+            obs::with_capture(|| crate::metadata::run_reference_unit(&config, test, &program));
+        unit_metrics.merge(&gen_delta);
+        let unit = UnitRecord {
+            index: test.index,
+            side: SideKey::REFERENCE,
+            records,
+            faults: fault_rec.clone().into_iter().collect(),
+            metrics: unit_metrics,
+        };
+        if let Some(journal) = &session.journal {
+            if let Err(e) = journal.append(&unit) {
+                session.record_io_error(&e);
+                return;
+            }
+        }
+        test.results.insert(unit.side.to_string(), unit.records);
+        if let Some(f) = fault_rec {
+            session.register_fault(f);
+        }
+    });
+    let status = session.status();
+    if status == FtStatus::Complete {
+        mark_side_run(meta, Side::Reference);
         if let Some(journal) = &session.journal {
             let _ = journal.sync();
         }
@@ -732,7 +803,7 @@ mod tests {
     fn unit(index: u64, side: &str) -> UnitRecord {
         UnitRecord {
             index,
-            side: side.to_string(),
+            side: side.parse().unwrap(),
             records: vec![RunRecord {
                 bits: index ^ 0xDEAD,
                 outcome: fpcore::classify::Outcome::Num,
@@ -900,7 +971,62 @@ mod tests {
         let status = run_side_ft(&mut meta, Toolchain::Hipcc, &session);
         assert_eq!(status, FtStatus::Interrupted);
         assert!(meta.tests.iter().all(|t| t.results.is_empty()), "no unit may start");
-        assert!(!meta.sides_run.contains(&"hipcc".to_string()));
+        assert!(!meta.sides_run.contains(&Side::Hipcc));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_magic_journal_resumes_under_the_v2_parser() {
+        // a journal written before the reference side existed: v1 magic,
+        // identical framing. It must replay (and keep appending) as-is.
+        let dir = std::env::temp_dir().join("difftest_journal_v1_magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.bin");
+        let payload = serde_json::to_vec(&unit(7, "hipcc:O3_FM")).unwrap();
+        let mut bytes = JOURNAL_MAGIC_V1.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let (j, units) = Journal::open_for_resume(&path).unwrap();
+        assert_eq!(units, vec![unit(7, "hipcc:O3_FM")]);
+        assert_eq!(units[0].side, SideKey::new(Side::Hipcc, OptLevel::O3Fm));
+        j.append(&unit(8, "reference:O0")).unwrap();
+        drop(j);
+        let (_j, units) = Journal::open_for_resume(&path).unwrap();
+        assert_eq!(units.iter().map(|u| u.index).collect::<Vec<_>>(), vec![7, 8]);
+        assert_eq!(units[1].side, SideKey::REFERENCE);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reference_side_checkpoints_and_resumes() {
+        use progen::ast::Precision;
+        let config = CampaignConfig::default_for(Precision::F64, crate::campaign::TestMode::Direct)
+            .with_programs(3);
+        let dir = std::env::temp_dir().join("difftest_reference_ft_test");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // run the reference side to completion under a journal
+        let ckpt = Checkpoint::create(&dir, &config).unwrap();
+        let session = FtSession::new(Some(ckpt.into_journal()), None);
+        let mut meta = CampaignMeta::generate(&config);
+        assert_eq!(run_reference_ft(&mut meta, &session), FtStatus::Complete);
+        assert_eq!(meta.sides_run, vec![Side::Reference]);
+
+        // resume: every unit replays, nothing re-runs, results identical
+        let (ckpt, back, units) = Checkpoint::resume(&dir).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(units.len(), 3);
+        assert!(units.iter().all(|u| u.side == SideKey::REFERENCE));
+        let mut resumed = CampaignMeta::generate(&config);
+        let mut session = FtSession::new(Some(ckpt.into_journal()), None);
+        session.apply_replay(&mut resumed, units);
+        assert_eq!(session.replayed(), 3);
+        assert_eq!(run_reference_ft(&mut resumed, &session), FtStatus::Complete);
+        for (a, b) in meta.tests.iter().zip(&resumed.tests) {
+            assert_eq!(a.results, b.results);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

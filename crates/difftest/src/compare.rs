@@ -58,20 +58,39 @@ pub fn compare_runs(nvcc: &ExecValue, hipcc: &ExecValue) -> Option<Discrepancy> 
 /// consistent. `rel_tol = 0.0` degenerates to the bitwise rule (the
 /// paper's semantics); Varity itself supports threshold-based comparison
 /// for triaging "last-ULP" differences away from gross ones.
+///
+/// The relative difference is measured in the pair's *native* width (an
+/// f32 pair in f32 arithmetic), and pairs whose magnitude sits below the
+/// normal range get an absolute gate of `rel_tol` at the smallest normal
+/// instead: down there `rel_tol * scale` underflows, which silently
+/// turned every adjacent-subnormal pair into a "gross" discrepancy.
 pub fn compare_runs_with_tolerance(
     nvcc: &ExecValue,
     hipcc: &ExecValue,
     rel_tol: f64,
 ) -> Option<Discrepancy> {
     let d = compare_runs(nvcc, hipcc)?;
-    if d.class == DiscrepancyClass::NumNum && rel_tol > 0.0 {
-        let (a, b) = (nvcc.to_f64(), hipcc.to_f64());
-        let scale = a.abs().max(b.abs());
-        if (a - b).abs() <= rel_tol * scale {
-            return None;
-        }
+    if d.class == DiscrepancyClass::NumNum && rel_tol > 0.0 && within_rel_tol(nvcc, hipcc, rel_tol)
+    {
+        return None;
     }
     Some(d)
+}
+
+fn within_rel_tol(nvcc: &ExecValue, hipcc: &ExecValue, rel_tol: f64) -> bool {
+    match (nvcc, hipcc) {
+        (ExecValue::F32(a), ExecValue::F32(b)) => {
+            let scale = a.abs().max(b.abs());
+            let floor = scale.max(f32::MIN_POSITIVE);
+            (a - b).abs() <= rel_tol as f32 * floor
+        }
+        _ => {
+            let (a, b) = (nvcc.to_f64(), hipcc.to_f64());
+            let scale = a.abs().max(b.abs());
+            let floor = scale.max(f64::MIN_POSITIVE);
+            (a - b).abs() <= rel_tol * floor
+        }
+    }
 }
 
 /// A per-thread discrepancy from a SIMT (multi-thread) comparison.
@@ -83,18 +102,47 @@ pub struct ThreadDiscrepancy {
     pub discrepancy: Discrepancy,
 }
 
+/// The two sides of a SIMT comparison ran different block sizes — a
+/// harness or lowering bug, reported as data instead of a panic so a
+/// campaign worker survives it as a quarantinable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridMismatch {
+    /// Thread count on the nvcc/NVIDIA side.
+    pub nvcc_threads: usize,
+    /// Thread count on the hipcc/AMD side.
+    pub hipcc_threads: usize,
+}
+
+impl std::fmt::Display for GridMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mismatched block sizes: nvcc ran {} threads, hipcc ran {}",
+            self.nvcc_threads, self.hipcc_threads
+        )
+    }
+}
+
+impl std::error::Error for GridMismatch {}
+
 /// Compare per-thread result vectors from `gpucc::interp::execute_grid`
-/// (SIMT extension): returns every thread whose results diverge. Panics if
-/// the two sides ran different block sizes.
-pub fn compare_grids(nvcc: &[ExecValue], hipcc: &[ExecValue]) -> Vec<ThreadDiscrepancy> {
-    assert_eq!(nvcc.len(), hipcc.len(), "block sizes must match");
-    nvcc.iter()
+/// (SIMT extension): returns every thread whose results diverge, or
+/// [`GridMismatch`] if the two sides ran different block sizes.
+pub fn compare_grids(
+    nvcc: &[ExecValue],
+    hipcc: &[ExecValue],
+) -> Result<Vec<ThreadDiscrepancy>, GridMismatch> {
+    if nvcc.len() != hipcc.len() {
+        return Err(GridMismatch { nvcc_threads: nvcc.len(), hipcc_threads: hipcc.len() });
+    }
+    Ok(nvcc
+        .iter()
         .zip(hipcc)
         .enumerate()
         .filter_map(|(tid, (a, b))| {
             compare_runs(a, b).map(|d| ThreadDiscrepancy { thread: tid as u32, discrepancy: d })
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -203,5 +251,45 @@ mod tests {
         let b = ExecValue::F32(f32::from_bits(1.5f32.to_bits() + 1));
         assert_eq!(compare_runs(&a, &a), None);
         assert_eq!(compare_runs(&a, &b).unwrap().class, DiscrepancyClass::NumNum);
+    }
+
+    #[test]
+    fn f32_tolerance_is_measured_in_native_width() {
+        // 1 f32 ulp at 1.5 is ~7.9e-8 relative: a tolerance meant for
+        // f32 precision absorbs it, a tighter one does not
+        let a = ExecValue::F32(1.5);
+        let b = ExecValue::F32(f32::from_bits(1.5f32.to_bits() + 1));
+        assert!(compare_runs_with_tolerance(&a, &b, 1e-7).is_none());
+        assert!(compare_runs_with_tolerance(&a, &b, 1e-9).is_some());
+    }
+
+    #[test]
+    fn subnormal_pairs_do_not_underflow_the_tolerance() {
+        // deep-subnormal f64 pair: rel_tol * scale underflows to zero,
+        // so the unguarded check branded adjacent values "gross"
+        let a = f(5e-324); // smallest subnormal
+        let b = f(1.5e-323); // 3 × smallest
+        assert!(compare_runs_with_tolerance(&a, &b, 1e-12).is_none());
+        // far-apart subnormals still count under a tight tolerance
+        let c = f(4.4e-308); // just below the normal range
+        assert!(compare_runs_with_tolerance(&a, &c, 1e-12).is_some());
+        // f32 subnormals get the same guard at the f32 normal floor
+        let d = ExecValue::F32(f32::from_bits(1));
+        let e = ExecValue::F32(f32::from_bits(3));
+        assert!(compare_runs_with_tolerance(&d, &e, 1e-5).is_none());
+    }
+
+    #[test]
+    fn grid_comparison_reports_mismatched_block_sizes() {
+        let a = vec![f(1.0), f(2.0)];
+        let b = vec![f(1.0)];
+        let err = compare_grids(&a, &b).unwrap_err();
+        assert_eq!(err, GridMismatch { nvcc_threads: 2, hipcc_threads: 1 });
+        assert!(err.to_string().contains("mismatched block sizes"));
+        // equal sizes: per-thread discrepancies as before
+        let c = vec![f(1.0), f(3.0)];
+        let diffs = compare_grids(&a, &c).unwrap();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].thread, 1);
     }
 }

@@ -13,6 +13,7 @@
 use crate::campaign::{decode, TestMode};
 use crate::compare::{compare_runs, Discrepancy};
 use crate::metadata::build_side;
+use crate::verdict::ulp_between;
 use gpucc::interp::{execute_traced, ExecValue, TraceEvent};
 use gpucc::pipeline::{OptLevel, Toolchain};
 use gpusim::{Device, DeviceKind, QuirkSet};
@@ -140,14 +141,6 @@ fn first_difference(
         }
     }
     None
-}
-
-fn ulp_between(a: &ExecValue, b: &ExecValue) -> Option<u64> {
-    match (a, b) {
-        (ExecValue::F64(x), ExecValue::F64(y)) => fpcore::ulp::ulp_diff_f64(*x, *y),
-        (ExecValue::F32(x), ExecValue::F32(y)) => fpcore::ulp::ulp_diff_f32(*x, *y).map(u64::from),
-        _ => None,
-    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@
 //! 3. execute both binaries on their devices ([`gpusim`]) with the same
 //!    inputs;
 //! 4. compare results bitwise, classify discrepancies into the paper's
-//!    seven classes ([`outcome`], [`compare`]);
+//!    seven classes ([`outcome`], [`compare`]) — and, when the
+//!    double-double ground-truth side ran ([`side`], `campaign
+//!    --reference`), score every strict-cell discrepancy against the
+//!    truth and say *who drifted* ([`verdict`]);
 //! 5. aggregate per-level class counts and adjacency matrices and render
 //!    the paper's tables ([`report`]);
 //! 6. persist / merge campaign metadata as JSON for the between-platform
@@ -49,10 +52,14 @@ pub mod metadata;
 pub mod outcome;
 pub mod reduce;
 pub mod report;
+pub mod side;
 pub mod stats;
+pub mod verdict;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, TestMode};
 pub use checkpoint::{atomic_write, Checkpoint, FtSession, FtStatus, Journal, ShardSpec};
 pub use compare::compare_runs;
 pub use fault::{FaultKind, TestFault};
 pub use outcome::DiscrepancyClass;
+pub use side::{Side, SideKey};
+pub use verdict::{judge, TruthScore, Verdict, VerdictStats};

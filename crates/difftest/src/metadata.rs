@@ -11,6 +11,7 @@
 use crate::campaign::CampaignConfig;
 use crate::campaign::TestMode;
 use crate::fault::{FaultKind, TestFault};
+use crate::side::{Side, SideKey};
 use fpcore::classify::Outcome;
 use gpucc::interp::{
     execute_prepared_budgeted, prepare, ExecBudget, ExecError, ExecResult, ExecValue,
@@ -66,8 +67,10 @@ pub struct TestMeta {
 pub struct CampaignMeta {
     /// Campaign configuration (fully determines tests + inputs).
     pub config: CampaignConfig,
-    /// Which sides have been executed (`"nvcc"`, `"hipcc"`).
-    pub sides_run: Vec<String>,
+    /// Which sides have been executed. Serializes as the historical
+    /// lowercase strings (`"nvcc"`, `"hipcc"`, now also `"reference"`),
+    /// so v1 metadata files load unchanged.
+    pub sides_run: Vec<Side>,
     /// Per-test metadata.
     pub tests: Vec<TestMeta>,
     /// Telemetry captured while this half ran (absent in files written
@@ -84,9 +87,17 @@ pub struct CampaignMeta {
     pub quarantine: Vec<TestFault>,
 }
 
-/// Key for one (toolchain, level) result column.
-pub fn side_key(tc: Toolchain, level: OptLevel) -> String {
-    format!("{}:{}", tc.name(), level.label())
+/// Key for one (side, level) result column — the string form of
+/// [`SideKey`], which `TestMeta::results` maps are indexed by.
+pub fn side_key(side: impl Into<Side>, level: OptLevel) -> String {
+    SideKey::new(side, level).to_string()
+}
+
+/// The single key the ground-truth results are stored under (the
+/// reference evaluates the strict O0 IR once per test; every level's
+/// comparison reads the same column).
+pub fn reference_key() -> String {
+    SideKey::REFERENCE.to_string()
 }
 
 /// Errors from the metadata protocol.
@@ -181,10 +192,26 @@ impl CampaignMeta {
         let _ = crate::checkpoint::run_side_ft_tier(self, toolchain, &session, tier);
     }
 
-    /// True once both compilers' results are present.
+    /// True once both compilers' results are present. The reference
+    /// side is optional: a campaign is complete without ground truth —
+    /// verdicts simply stay `TruthUndecided`.
     pub fn is_complete(&self) -> bool {
-        self.sides_run.contains(&"nvcc".to_string())
-            && self.sides_run.contains(&"hipcc".to_string())
+        Side::VENDORS.iter().all(|s| self.sides_run.contains(s))
+    }
+
+    /// True when the ground-truth side has been executed.
+    pub fn has_reference(&self) -> bool {
+        self.sides_run.contains(&Side::Reference)
+    }
+
+    /// Execute the ground-truth reference side: the strict O0 IR of
+    /// every test evaluated over double-double values
+    /// ([`gpucc::refexec`]), stored under the single `"reference:O0"`
+    /// column. Plain session; callers wanting checkpointing use
+    /// [`crate::checkpoint::run_reference_ft`] directly.
+    pub fn run_reference(&mut self) {
+        let session = crate::checkpoint::FtSession::plain();
+        let _ = crate::checkpoint::run_reference_ft(self, &session);
     }
 
     /// Merge two half-campaigns (same config, different sides run).
@@ -210,6 +237,7 @@ impl CampaignMeta {
                 a.sides_run.push(s);
             }
         }
+        a.sides_run.sort();
         a.quarantine.extend(b.quarantine);
         canonicalize_quarantine(&mut a.quarantine);
         a.metrics = merge_metrics(a.metrics.take(), b.metrics);
@@ -260,7 +288,7 @@ impl CampaignMeta {
         let mut iter = shards.into_iter();
         let mut first = iter.next().ok_or(MetaError::ConfigMismatch)?;
         let config_json = serde_json::to_string(&first.config).map_err(io)?;
-        let mut sides: Vec<String> = first.sides_run.clone();
+        let mut sides: Vec<Side> = first.sides_run.clone();
         for shard in iter {
             if serde_json::to_string(&shard.config).map_err(io)? != config_json {
                 return Err(MetaError::ConfigMismatch);
@@ -470,6 +498,87 @@ pub(crate) fn run_unit(
     // as results land so progress displays can report
     // discrepancies-so-far without waiting for the analyze phase
     record_unit_telemetry(config, toolchain, level, test, &records, &fault);
+    (records, fault)
+}
+
+/// Run the ground-truth work unit for one test: every input evaluated by
+/// the double-double reference executor over the strict O0 IR.
+///
+/// The IR comes from the un-hipified `nvcc` O0 compile regardless of the
+/// campaign's [`TestMode`]: at O0 on plain sources both toolchains emit
+/// bit-identical IR, and the truth is a property of the *source program*,
+/// not of either vendor's lowering. Results land under the single
+/// [`reference_key`] column — one truth serves every level's comparison.
+///
+/// Same isolation contract as [`run_unit`]: panics and budget
+/// exhaustion become error records plus an optional quarantine fault,
+/// and the unit always yields one record per input.
+pub(crate) fn run_reference_unit(
+    config: &CampaignConfig,
+    test: &TestMeta,
+    program: &Program,
+) -> (Vec<RunRecord>, Option<TestFault>) {
+    let _span = obs::span("campaign.unit")
+        .attr("program", test.program_id.as_str())
+        .attr("index", test.index)
+        .attr("toolchain", Side::Reference.name())
+        .attr("level", OptLevel::O0.label());
+    let make_fault = |kind: FaultKind, detail: String| TestFault {
+        index: test.index,
+        program_id: test.program_id.clone(),
+        seed: config.seed,
+        side: reference_key(),
+        kind,
+        detail,
+    };
+    let caught = crate::fault::catch_isolated(|| {
+        let ir = build_side(program, Toolchain::Nvcc, OptLevel::O0, TestMode::Direct);
+        let kernel = prepare(&ir).expect("generated kernels resolve");
+        test.inputs
+            .iter()
+            .map(|input| {
+                record_of(gpucc::refexec::execute_reference_budgeted(
+                    &kernel,
+                    input,
+                    config.budget,
+                ))
+            })
+            .collect::<Vec<(RunRecord, Option<ExecError>)>>()
+    });
+    let (records, fault) = match caught {
+        Ok(pairs) => {
+            let mut fault: Option<TestFault> = None;
+            let mut records = Vec::with_capacity(pairs.len());
+            for (record, err) in pairs {
+                if fault.is_none() {
+                    match &err {
+                        Some(e @ ExecError::StepLimit { .. }) => {
+                            fault = Some(make_fault(FaultKind::StepBudget, e.to_string()));
+                        }
+                        Some(e @ ExecError::Timeout { .. }) => {
+                            fault = Some(make_fault(FaultKind::Timeout, e.to_string()));
+                        }
+                        _ => {}
+                    }
+                }
+                records.push(record);
+            }
+            (records, fault)
+        }
+        Err(msg) => {
+            let records =
+                test.inputs.iter().map(|_| error_record(format!("panic: {msg}"))).collect();
+            (records, Some(make_fault(FaultKind::Panic, msg)))
+        }
+    };
+    if obs::enabled() {
+        obs::add("campaign.runs_done", records.len() as u64);
+        if let Some(f) = &fault {
+            obs::add(&format!("campaign.faults.{}", f.kind.label()), 1);
+        }
+        // no live discrepancy tally: truth does not participate in the
+        // vendor-vs-vendor count the progress display reports
+    }
     (records, fault)
 }
 
@@ -921,7 +1030,51 @@ mod tests {
         shards[1].run_side(Toolchain::Nvcc);
         let merged = CampaignMeta::merge_shards(shards).unwrap();
         assert!(!merged.is_complete(), "hipcc missing from one batch");
-        assert_eq!(merged.sides_run, vec!["nvcc".to_string()]);
+        assert_eq!(merged.sides_run, vec![Side::Nvcc]);
+    }
+
+    #[test]
+    fn reference_side_stores_truth_under_one_key() {
+        let config = cfg().with_programs(4);
+        let mut meta = CampaignMeta::generate(&config);
+        meta.run_reference();
+        assert!(meta.sides_run.contains(&Side::Reference));
+        assert!(!meta.is_complete(), "reference alone is not a campaign");
+        for t in &meta.tests {
+            let recs = t.results.get(&reference_key()).expect("truth column present");
+            assert_eq!(recs.len(), config.inputs_per_program);
+            // exactly one reference column, no per-level duplication
+            let ref_cols =
+                t.results.keys().filter(|k| k.starts_with("reference:")).count();
+            assert_eq!(ref_cols, 1);
+        }
+    }
+
+    #[test]
+    fn three_side_merge_is_complete_and_canonically_ordered() {
+        let config = cfg().with_programs(3);
+        let mut a = CampaignMeta::generate(&config);
+        a.run_side(Toolchain::Nvcc);
+        a.run_reference();
+        let mut b = CampaignMeta::generate(&config);
+        b.run_side(Toolchain::Hipcc);
+        let merged = CampaignMeta::merge(a, b).unwrap();
+        assert!(merged.is_complete());
+        assert!(merged.has_reference());
+        assert_eq!(merged.sides_run, vec![Side::Nvcc, Side::Hipcc, Side::Reference]);
+    }
+
+    #[test]
+    fn v1_metadata_with_string_sides_still_loads() {
+        // v1 wrote sides_run as plain strings; the typed schema must
+        // accept the identical JSON
+        let config = cfg().with_programs(2);
+        let meta = CampaignMeta::generate(&config);
+        let mut v: serde_json::Value = serde_json::to_value(&meta).unwrap();
+        v["sides_run"] = serde_json::json!(["nvcc", "hipcc"]);
+        let back: CampaignMeta = serde_json::from_value(v).unwrap();
+        assert_eq!(back.sides_run, vec![Side::Nvcc, Side::Hipcc]);
+        assert!(back.is_complete());
     }
 
     #[test]

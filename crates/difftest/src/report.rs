@@ -2,6 +2,7 @@
 
 use crate::campaign::{CampaignReport, LevelStats};
 use crate::outcome::DiscrepancyClass;
+use crate::verdict::Verdict;
 use fpcore::classify::Outcome;
 
 /// Render Table IV (summary of experimental results) from up to three
@@ -114,6 +115,47 @@ pub fn render_adjacency(report: &CampaignReport, title: &str) -> String {
             }
             out.push('\n');
         }
+    }
+    out
+}
+
+/// Render the who-drifted verdict table: one row per level tallying each
+/// nvcc–hipcc discrepancy's verdict against the double-double ground
+/// truth, plus the per-side ULP-from-truth totals. Returns the empty
+/// string for reports analyzed without the reference side, so two-side
+/// output is unchanged.
+pub fn render_verdicts(report: &CampaignReport) -> String {
+    if !report.has_verdicts() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("WHO DRIFTED — VERDICTS VS DOUBLE-DOUBLE GROUND TRUTH\n");
+    out.push_str(&format!("{:<10}{:>8}", "Opt Flags", "Judged"));
+    for v in Verdict::ALL {
+        out.push_str(&format!("{:>16}", v.label()));
+    }
+    out.push_str(&format!("{:>14}{:>14}\n", "nvcc ulps", "hipcc ulps"));
+    let mut render_row = |label: &str, s: &crate::verdict::VerdictStats| {
+        out.push_str(&format!("{label:<10}{:>8}", s.judged));
+        for v in Verdict::ALL {
+            out.push_str(&format!("{:>16}", s.by_verdict[v.index()]));
+        }
+        out.push_str(&format!("{:>14}{:>14}\n", s.nvcc_ulps_total, s.hipcc_ulps_total));
+    };
+    for (level, s) in &report.per_level {
+        if let Some(v) = &s.verdicts {
+            render_row(level.label(), v);
+        }
+    }
+    if let Some(total) = report.verdict_totals() {
+        render_row("Total", &total);
+        out.push_str(&format!(
+            "{} of {} judged discrepancies decided; worst drift {} ulps (nvcc), {} ulps (hipcc)\n",
+            total.decided(),
+            total.judged,
+            total.nvcc_ulps_max,
+            total.hipcc_ulps_max
+        ));
     }
     out
 }
@@ -288,15 +330,16 @@ pub fn render_profile(snap: &obs::MetricsSnapshot) -> String {
     out
 }
 
-/// Render the per-tier execution cost table: one row per execution tier
-/// (`interp`, `vm`) that recorded work, so a profile of a differential
-/// or mixed-tier campaign attributes its executions unambiguously. The
-/// tier label is the row key — previously both tiers' `*.nsperop`
-/// histograms sat undifferentiated in the raw distribution dump.
-/// Returns the empty string when no tier recorded an execution.
+/// Render the per-tier execution cost table: one row per executor
+/// (`interp`, `vm`, the double-double `reference`) that recorded work,
+/// so a profile of a differential or mixed-tier campaign attributes its
+/// executions unambiguously. The tier label is the row key — previously
+/// both tiers' `*.nsperop` histograms sat undifferentiated in the raw
+/// distribution dump. Returns the empty string when no tier recorded an
+/// execution.
 pub fn render_exec_tiers(snap: &obs::MetricsSnapshot) -> String {
     let mut out = String::new();
-    for tier in ["interp", "vm"] {
+    for tier in ["interp", "vm", "reference"] {
         let execs = snap.counter(&format!("{tier}.execs"));
         let ops = snap.counter(&format!("{tier}.ops"));
         let Some(execns) = snap.hists.get(&format!("{tier}.execns")) else { continue };
@@ -328,7 +371,7 @@ pub fn render_exec_tiers(snap: &obs::MetricsSnapshot) -> String {
 /// run counter and the per-side run spans.
 pub fn throughput_per_sec(snap: &obs::MetricsSnapshot) -> Option<f64> {
     let runs = snap.counter("campaign.runs_done");
-    let ns: u64 = ["span.campaign.run.nvcc", "span.campaign.run.hipcc"]
+    let ns: u64 = ["span.campaign.run.nvcc", "span.campaign.run.hipcc", "span.campaign.run.reference"]
         .iter()
         .filter_map(|k| snap.hists.get(*k))
         .map(|h| h.sum)
@@ -348,11 +391,21 @@ pub fn render_attribution(attr: &crate::attribution::AttributionReport) -> Strin
     for c in DiscrepancyClass::ALL {
         out.push_str(&format!("{:>12}", c.label()));
     }
+    if attr.has_verdicts {
+        for v in Verdict::ALL {
+            out.push_str(&format!("{:>16}", v.label()));
+        }
+    }
     out.push('\n');
     for row in &attr.rows {
         out.push_str(&format!("{:<22}{:>12}", row.key, row.discrepancies));
         for v in row.by_class {
             out.push_str(&format!("{v:>12}"));
+        }
+        if attr.has_verdicts {
+            for v in row.by_verdict {
+                out.push_str(&format!("{v:>16}"));
+            }
         }
         out.push('\n');
     }
@@ -417,6 +470,29 @@ mod tests {
         assert_eq!(s.matches("NVCC\\HIPCC").count(), 5);
         assert!(s.contains("(±) NaN"));
         assert!(s.contains("(±) Num"));
+    }
+
+    #[test]
+    fn verdict_table_renders_only_with_the_reference_side() {
+        use crate::metadata::CampaignMeta;
+        use gpucc::pipeline::Toolchain;
+        let r = report();
+        assert_eq!(render_verdicts(&r), "", "two-side reports have no verdict table");
+
+        let cfg = CampaignConfig::default_for(Precision::F64, TestMode::Direct).with_programs(60);
+        let mut meta = CampaignMeta::generate(&cfg);
+        meta.run_side(Toolchain::Nvcc);
+        meta.run_side(Toolchain::Hipcc);
+        meta.run_reference();
+        let s = render_verdicts(&crate::campaign::analyze(&meta));
+        assert!(s.contains("WHO DRIFTED"), "{s}");
+        for v in Verdict::ALL {
+            assert!(s.contains(v.label()), "missing column {}: {s}", v.label());
+        }
+        for l in ["O0", "O3_FM", "Total"] {
+            assert!(s.contains(l), "missing row {l}: {s}");
+        }
+        assert!(s.contains("judged discrepancies decided"), "{s}");
     }
 
     #[test]

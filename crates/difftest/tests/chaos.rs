@@ -15,9 +15,12 @@
 #![cfg(feature = "chaos")]
 
 use difftest::campaign::{analyze, CampaignConfig, TestMode};
-use difftest::checkpoint::{run_side_ft, Checkpoint, FtSession, FtStatus, Journal, UnitRecord};
+use difftest::checkpoint::{
+    run_reference_ft, run_side_ft, Checkpoint, FtSession, FtStatus, Journal, UnitRecord,
+};
 use difftest::fault::{self, FaultKind};
 use difftest::metadata::CampaignMeta;
+use difftest::side::Side;
 use gpucc::pipeline::Toolchain;
 use progen::Precision;
 use std::collections::BTreeSet;
@@ -60,6 +63,16 @@ fn reference(config: &CampaignConfig) -> String {
     serde_json::to_string(&analyze(&meta)).unwrap()
 }
 
+/// Like [`reference`], with the double-double truth side as a third
+/// plane — the report gains per-pair stats and who-drifted verdicts.
+fn reference_three_side(config: &CampaignConfig) -> String {
+    let mut meta = CampaignMeta::generate(config);
+    meta.run_side(Toolchain::Nvcc);
+    meta.run_side(Toolchain::Hipcc);
+    meta.run_reference();
+    serde_json::to_string(&analyze(&meta)).unwrap()
+}
+
 fn in_pool<R>(threads: usize, f: impl FnOnce() -> R + Send) -> R
 where
     R: Send,
@@ -77,6 +90,17 @@ fn crash_then_resume(
     crash_at: u64,
     torn: bool,
 ) -> String {
+    crash_then_resume_sides(name, config, threads, crash_at, torn, false)
+}
+
+fn crash_then_resume_sides(
+    name: &str,
+    config: &CampaignConfig,
+    threads: usize,
+    crash_at: u64,
+    torn: bool,
+    with_reference: bool,
+) -> String {
     let dir = tmp_dir(name);
     difftest::chaos::arm_crash_at_append(crash_at, torn);
     let crashed = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -86,6 +110,9 @@ fn crash_then_resume(
         in_pool(threads, || {
             let _ = run_side_ft(&mut meta, Toolchain::Nvcc, &session);
             let _ = run_side_ft(&mut meta, Toolchain::Hipcc, &session);
+            if with_reference {
+                let _ = run_reference_ft(&mut meta, &session);
+            }
         });
     }));
     difftest::chaos::disarm();
@@ -107,6 +134,10 @@ fn crash_then_resume(
         let status = in_pool(threads, || run_side_ft(&mut meta, tc, &session));
         assert_eq!(status, FtStatus::Complete);
     }
+    if with_reference {
+        let status = in_pool(threads, || run_reference_ft(&mut meta, &session));
+        assert_eq!(status, FtStatus::Complete);
+    }
     std::fs::remove_dir_all(&dir).ok();
     serde_json::to_string(&analyze(&meta)).unwrap()
 }
@@ -120,6 +151,29 @@ fn kill_mid_campaign_then_resume_is_byte_identical_across_thread_counts() {
     for threads in [1usize, 4] {
         let got = crash_then_resume(&format!("kill_t{threads}"), &config, threads, 10, false);
         assert_eq!(got, expected, "crash/resume report differs at {threads} thread(s)");
+    }
+}
+
+#[test]
+fn three_side_kill_then_resume_keeps_the_truth_plane_byte_identical() {
+    let _g = lock();
+    let _d = Disarmed;
+    let config = small(6);
+    let expected = reference_three_side(&config);
+    assert!(expected.contains("\"verdicts\""), "truth plane missing from the reference report");
+    // 6 tests × 5 levels × 2 vendor sides journal 60 units, then the
+    // reference side appends 6 more (one per test): crash once in the
+    // vendor phase and once inside the truth phase itself
+    for crash_at in [10u64, 63] {
+        let got = crash_then_resume_sides(
+            &format!("threeside_{crash_at}"),
+            &config,
+            2,
+            crash_at,
+            false,
+            true,
+        );
+        assert_eq!(got, expected, "three-side crash/resume at append {crash_at} diverges");
     }
 }
 
@@ -200,7 +254,7 @@ fn resume_equivalence_holds_while_panics_are_armed() {
 fn unit(index: u64) -> UnitRecord {
     UnitRecord {
         index,
-        side: "nvcc:O0".to_string(),
+        side: "nvcc:O0".parse().unwrap(),
         records: Vec::new(),
         faults: Vec::new(),
         metrics: obs::MetricsSnapshot::default(),
@@ -265,6 +319,6 @@ fn journal_io_error_mid_campaign_reports_io_status() {
         FtStatus::IoError(e) => assert!(e.contains("ENOSPC"), "unexpected error text: {e}"),
         other => panic!("expected IoError, got {other:?}"),
     }
-    assert!(!meta.sides_run.contains(&"nvcc".to_string()));
+    assert!(!meta.sides_run.contains(&Side::Nvcc));
     std::fs::remove_dir_all(&dir).ok();
 }

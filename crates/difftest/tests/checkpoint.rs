@@ -9,6 +9,7 @@ use difftest::campaign::{analyze, CampaignConfig, TestMode};
 use difftest::checkpoint::{run_side_ft, Checkpoint, FtSession, FtStatus};
 use difftest::fault::{self, FaultKind};
 use difftest::metadata::CampaignMeta;
+use difftest::side::Side;
 use gpucc::pipeline::Toolchain;
 use progen::Precision;
 use std::path::{Path, PathBuf};
@@ -143,7 +144,7 @@ fn shutdown_request_interrupts_and_resume_completes() {
         let status = run_side_ft(&mut meta, Toolchain::Nvcc, &session);
         fault::reset_shutdown();
         assert_eq!(status, FtStatus::Interrupted);
-        assert!(!meta.sides_run.contains(&"nvcc".to_string()));
+        assert!(!meta.sides_run.contains(&Side::Nvcc));
         session.journal().unwrap().sync().unwrap();
     }
     let (ckpt, stored, units) = Checkpoint::resume(&dir).unwrap();
@@ -167,7 +168,7 @@ fn plain_sessions_ignore_the_global_shutdown_flag() {
     let mut meta = CampaignMeta::generate(&config);
     meta.run_side(Toolchain::Nvcc);
     fault::reset_shutdown();
-    assert!(meta.sides_run.contains(&"nvcc".to_string()));
+    assert!(meta.sides_run.contains(&Side::Nvcc));
 }
 
 #[test]
@@ -205,7 +206,7 @@ fn max_faults_circuit_breaker_trips_and_skips_remaining_work() {
     let status = run_side_ft(&mut meta, Toolchain::Nvcc, &session);
     assert_eq!(status, FtStatus::FaultLimit);
     assert!(session.fault_limit_hit());
-    assert!(!meta.sides_run.contains(&"nvcc".to_string()));
+    assert!(!meta.sides_run.contains(&Side::Nvcc));
     // the breaker tripped early: not every unit ran
     let done: usize = meta.tests.iter().map(|t| t.results.len()).sum();
     assert!(

@@ -25,6 +25,7 @@
 
 pub mod bits;
 pub mod classify;
+pub mod dd;
 pub mod exceptions;
 pub mod ftz;
 pub mod literal;

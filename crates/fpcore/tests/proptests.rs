@@ -1,6 +1,7 @@
 //! Property-based tests for fpcore invariants.
 
 use fpcore::classify::{FpClass, Outcome};
+use fpcore::dd::{two_prod, two_sum, Dd};
 use fpcore::exceptions::{detect_binary_f64, ArithOp, FpException};
 use fpcore::ftz::FtzMode;
 use fpcore::literal::{format_g17, format_g9, format_varity, parse_literal};
@@ -140,6 +141,67 @@ proptest! {
         if a.is_finite() && a != 0.0 {
             let f = detect_binary_f64(ArithOp::Div, a, 0.0, a / 0.0);
             prop_assert!(f.is_set(FpException::DivideByZero));
+        }
+    }
+
+    #[test]
+    fn two_sum_error_is_exact(m1 in -(1i64 << 53)..(1i64 << 53),
+                              m2 in -(1i64 << 53)..(1i64 << 53),
+                              shift in 0u32..60) {
+        // a and b are integers spanning up to 113 bits together, so the
+        // exact identity a + b == s + e is checkable in i128: every value
+        // involved (inputs, rounded sum, residual) is an integer.
+        let a = m1 as f64;
+        let b = (m2 as f64) * (1u64 << shift) as f64;
+        let (s, e) = two_sum(a, b);
+        let exact = m1 as i128 + ((m2 as i128) << shift);
+        prop_assert_eq!(s as i128 + e as i128, exact, "a={} b={} s={} e={}", a, b, s, e);
+        // s must be the correctly rounded sum
+        prop_assert_eq!(s, a + b);
+    }
+
+    #[test]
+    fn two_prod_error_is_exact(m1 in -(1i64 << 53)..(1i64 << 53),
+                               m2 in -(1i64 << 53)..(1i64 << 53)) {
+        // products of 53-bit integers fit in 106 bits: exact in i128
+        let a = m1 as f64;
+        let b = m2 as f64;
+        let (p, e) = two_prod(a, b);
+        let exact = m1 as i128 * m2 as i128;
+        prop_assert_eq!(p as i128 + e as i128, exact, "a={} b={} p={} e={}", a, b, p, e);
+        prop_assert_eq!(p, a * b);
+    }
+
+    #[test]
+    fn dd_add_is_error_free_for_f64_pairs(a in any_f64(), b in any_f64()) {
+        // lifting two exact f64s into Dd and adding loses nothing: the
+        // leading word is the IEEE sum, and for finite non-overflowing
+        // results hi + lo reconstructs a + b exactly (two_sum's identity)
+        if a.is_finite() && b.is_finite() {
+            let s = Dd::from_f64(a).add(Dd::from_f64(b));
+            prop_assert_eq!(s.to_f64().to_bits(), (a + b).to_bits());
+            if (a + b).is_finite() {
+                let (ck_s, ck_e) = two_sum(a, b);
+                prop_assert_eq!(s.hi.to_bits(), ck_s.to_bits());
+                prop_assert_eq!(s.lo.to_bits(), ck_e.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dd_mul_leading_word_is_ieee_product(a in any_f64(), b in any_f64()) {
+        if a.is_finite() && b.is_finite() {
+            let p = Dd::from_f64(a).mul(Dd::from_f64(b));
+            prop_assert_eq!(p.to_f64().to_bits(), (a * b).to_bits());
+        }
+    }
+
+    #[test]
+    fn dd_to_f32_matches_direct_rounding_for_exact_values(bits in any::<u32>()) {
+        // values already representable in f32 round-trip bit-exactly
+        let x = f32::from_bits(bits);
+        if !x.is_nan() {
+            prop_assert_eq!(Dd::from_f64(x as f64).to_f32().to_bits(), x.to_bits());
         }
     }
 

@@ -317,6 +317,19 @@ pub struct ExecutableKernel {
     resolved: ResolvedKernel,
 }
 
+impl ExecutableKernel {
+    /// The kernel's parameters in signature order (input binding).
+    pub(crate) fn params(&self) -> &[progen::ast::Param] {
+        &self.params
+    }
+
+    /// The resolved slot-addressed body (shared with the reference
+    /// executor so all execution paths walk identical code).
+    pub(crate) fn resolved_kernel(&self) -> &ResolvedKernel {
+        &self.resolved
+    }
+}
+
 /// Resolve a compiled kernel into its executable form.
 pub fn prepare(ir: &KernelIr) -> Result<ExecutableKernel, ExecError> {
     let resolved = resolve(ir).map_err(|e| match e {

@@ -18,11 +18,15 @@
 //!   `-DHIP_FAST_MATH`, which omits finite-math-only — paper §III-D).
 //! * [`interp`] — executes compiled IR against a `gpusim::Device`,
 //!   tracking IEEE exception flags and an operation-cost estimate. It is
-//!   the **reference executor**.
+//!   the vendor-faithful executor both campaign sides run on.
 //! * [`vm`] — the compiled execution tier: IR lowered once to a flat,
 //!   register-allocated bytecode and run by a dispatch loop, proved
 //!   bit-identical to [`interp`] by a differential test battery and an
 //!   [`vm::ExecTier::Differential`] runtime mode.
+//! * [`refexec`] — the extended-precision ground-truth executor: the
+//!   same resolved IR evaluated over `fpcore::dd` double-double values
+//!   with a single final rounding, providing the campaign's third
+//!   (`reference`) side and the "who drifted" verdicts.
 //! * [`cost`] — the per-instruction cost model behind the simulated
 //!   runtimes of the paper's Table I.
 
@@ -40,6 +44,7 @@ pub mod ir;
 pub mod lower;
 pub mod passes;
 pub mod pipeline;
+pub mod refexec;
 pub mod resolve;
 pub mod vm;
 #[cfg(feature = "vm-inject")]

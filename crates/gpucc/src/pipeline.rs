@@ -131,6 +131,20 @@ impl std::fmt::Display for OptLevel {
     }
 }
 
+impl std::str::FromStr for OptLevel {
+    type Err = String;
+
+    /// Parse a table label (`O0` … `O3_FM`) back into a level — the
+    /// inverse of [`OptLevel::label`], used when decoding journal and
+    /// metadata keys of the form `"nvcc:O3_FM"`.
+    fn from_str(s: &str) -> Result<OptLevel, String> {
+        OptLevel::ALL
+            .into_iter()
+            .find(|l| l.label() == s)
+            .ok_or_else(|| format!("unknown optimization level {s:?}"))
+    }
+}
+
 /// Compile a program with the given toolchain and level.
 ///
 /// ```

@@ -1,0 +1,113 @@
+//! Property tests: the double-double reference executor degenerates to
+//! strict IEEE arithmetic exactly where it must.
+//!
+//! For a kernel that performs a *single* `+`/`-`/`*` between two program
+//! values, the double-double result is error-free (Dekker/Knuth two-sum
+//! and two-product capture the IEEE rounding error exactly), so the final
+//! single rounding of the truth equals the one rounding the interpreter
+//! performs — the reference executor must bit-agree with the quirkless
+//! interpreter on **every** input bit pattern, NaN payloads, signed
+//! zeros, subnormals, infinities, and overflow included (non-finite
+//! operands degrade to the plain f64 op inside [`fpcore::dd`]).
+//!
+//! This is the degenerate anchor of the truth lattice: where one
+//! operation is the whole kernel, "correctly rounded from the true
+//! value" and "what strict IEEE hardware does" coincide, and the two
+//! executors may not differ by even one bit.
+
+use gpucc::interp::{execute_prepared_budgeted, prepare, ExecBudget};
+use gpucc::pipeline::{compile, OptLevel, Toolchain};
+use gpucc::refexec::execute_reference_budgeted;
+use gpusim::{Device, DeviceKind, QuirkSet};
+use progen::ast::{AssignOp, Expr, LValue, Param, ParamType, Precision, Program, Stmt};
+use progen::inputs::{InputSet, InputValue};
+use proptest::prelude::*;
+
+/// `comp <op>= var_2;` — the one-operation kernel where truth is exact.
+fn single_op_program(precision: Precision, op: AssignOp) -> Program {
+    Program {
+        id: "refexec_exact".into(),
+        precision,
+        params: vec![
+            Param { name: "comp".into(), ty: ParamType::Float },
+            Param { name: "var_2".into(), ty: ParamType::Float },
+        ],
+        body: vec![Stmt::Assign {
+            target: LValue::Var("comp".into()),
+            op,
+            value: Expr::Var("var_2".into()),
+        }],
+    }
+}
+
+/// Execute both ways and return `(interp_bits, reference_bits)`.
+fn both_bits(precision: Precision, op: AssignOp, a: f64, b: f64) -> (u64, u64) {
+    let program = single_op_program(precision, op);
+    let ir = compile(&program, Toolchain::Nvcc, OptLevel::O0, false);
+    let kernel = prepare(&ir).expect("single-op kernel resolves");
+    let quirkless = Device::with_quirks(DeviceKind::NvidiaLike, QuirkSet::none());
+    let input = InputSet { values: vec![InputValue::Float(a), InputValue::Float(b)] };
+    let budget = ExecBudget::default();
+    let interp =
+        execute_prepared_budgeted(&kernel, &quirkless, &input, budget).expect("interp runs");
+    let truth = execute_reference_budgeted(&kernel, &input, budget).expect("reference runs");
+    (interp.value.bits(), truth.value.bits())
+}
+
+const OPS: [AssignOp; 3] = [AssignOp::AddAssign, AssignOp::SubAssign, AssignOp::MulAssign];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// FP64: every f64 bit pattern, every error-free single op.
+    #[test]
+    fn f64_single_op_truth_is_bit_identical_to_strict_ieee(
+        a_bits in any::<u64>(),
+        b_bits in any::<u64>(),
+        which in 0usize..3,
+    ) {
+        let (a, b) = (f64::from_bits(a_bits), f64::from_bits(b_bits));
+        let (interp, truth) = both_bits(Precision::F64, OPS[which], a, b);
+        prop_assert_eq!(
+            interp, truth,
+            "op {:?} on {a:?} ({a_bits:#018x}) and {b:?} ({b_bits:#018x})", OPS[which]
+        );
+    }
+
+    /// FP32: inputs round through f32 first on both sides; the truth's
+    /// one rounding back to f32 must land on the strict IEEE f32 result.
+    #[test]
+    fn f32_single_op_truth_is_bit_identical_to_strict_ieee(
+        a_bits in any::<u32>(),
+        b_bits in any::<u32>(),
+        which in 0usize..3,
+    ) {
+        let (a, b) = (f32::from_bits(a_bits), f32::from_bits(b_bits));
+        let (interp, truth) = both_bits(Precision::F32, OPS[which], f64::from(a), f64::from(b));
+        prop_assert_eq!(
+            interp, truth,
+            "op {:?} on {a:?} ({a_bits:#010x}) and {b:?} ({b_bits:#010x})", OPS[which]
+        );
+    }
+}
+
+#[test]
+fn the_classic_counterexamples_agree_too() {
+    // hand-picked pairs that defeat naive extended-precision schemes:
+    // cancellation to a subnormal, double-rounding bait (Dekker's split
+    // boundary), overflow, and -0.0 preservation
+    let cases: [(f64, f64); 6] = [
+        (1.0 + f64::EPSILON, -1.0),
+        (4.5e-308, -4.4999999999e-308),
+        (1.7e308, 1.6e308),
+        (-0.0, 0.0),
+        (f64::MIN_POSITIVE, f64::MIN_POSITIVE / 2.0),
+        (1.0000000000000002, 0.9999999999999999),
+    ];
+    for op in OPS {
+        for (a, b) in cases {
+            let (interp, truth) = both_bits(Precision::F64, op, a, b);
+            assert_eq!(interp, truth, "{op:?} on {a:e} / {b:e}");
+        }
+    }
+}

@@ -21,6 +21,12 @@
 //!   transformations ([`progen::transform`]) must not change the outcome
 //!   for any `{toolchain} × {opt level}`, modulo the same semantic-pass
 //!   allowance; plus the emit→parse literal round trip.
+//! * [`truth`] — ground-truth self-validation. The double-double
+//!   reference executor is the campaign's oracle for the fast-math
+//!   cells translation validation deliberately skips, so its own
+//!   invariants are checked here: it must execute whenever the strict
+//!   quirkless interpretation does, and the truth bits must be
+//!   identical across both toolchains' `O0` lowerings.
 //! * [`runner`] — the seeded, rayon-parallel budget driver behind the
 //!   `oracle` CLI command: deterministic regardless of thread count,
 //!   JSONL findings via `obs`, and automatic shrinking of violating
@@ -37,6 +43,7 @@ pub mod findings;
 pub mod metamorph;
 pub mod runner;
 pub mod transval;
+pub mod truth;
 
 pub use findings::Finding;
 pub use runner::{run_oracle, OracleConfig, OracleReport};

@@ -7,13 +7,15 @@
 //! the report (including finding order) is identical at any thread count.
 //!
 //! Telemetry (when `obs` is enabled): `oracle.programs`,
-//! `oracle.checks.{transval,metamorphic,roundtrip}`, and the verdict
-//! counters `oracle.{consistent,explained,violations,skipped}`.
+//! `oracle.checks.{transval,truth,metamorphic,roundtrip}`, and the
+//! verdict counters `oracle.{consistent,explained,violations,skipped}`.
 
 use crate::findings::Finding;
 use crate::metamorph::{self, check_metamorphic_tier, check_roundtrip};
 use crate::transval::{check_strict_tier, still_violates, CheckVerdict};
+use crate::truth::check_truth;
 use difftest::reduce::reduce_program;
+use gpucc::pipeline::OptLevel;
 use gpucc::ExecTier;
 use progen::ast::Precision;
 use progen::gen::generate_program;
@@ -76,6 +78,8 @@ pub struct OracleReport {
     pub programs_checked: u64,
     /// Translation-validation checks run.
     pub transval_checks: u64,
+    /// Ground-truth (reference-executor) checks run.
+    pub truth_checks: u64,
     /// Metamorphic checks run.
     pub metamorphic_checks: u64,
     /// Round-trip checks run.
@@ -104,9 +108,9 @@ impl OracleReport {
         self.violations.is_empty()
     }
 
-    /// Total checks of all three oracles.
+    /// Total checks of all four oracles.
     pub fn total_checks(&self) -> u64 {
-        self.transval_checks + self.metamorphic_checks + self.roundtrip_checks
+        self.transval_checks + self.truth_checks + self.metamorphic_checks + self.roundtrip_checks
     }
 }
 
@@ -114,6 +118,7 @@ impl OracleReport {
 #[derive(Debug, Default)]
 struct ProgramOutcome {
     transval_checks: u64,
+    truth_checks: u64,
     metamorphic_checks: u64,
     roundtrip_checks: u64,
     consistent: u64,
@@ -148,6 +153,7 @@ pub fn run_oracle(config: &OracleConfig) -> OracleReport {
         exec_tier: config.exec_tier.label().to_string(),
         programs_checked: outcomes.len() as u64,
         transval_checks: 0,
+        truth_checks: 0,
         metamorphic_checks: 0,
         roundtrip_checks: 0,
         consistent: 0,
@@ -160,6 +166,7 @@ pub fn run_oracle(config: &OracleConfig) -> OracleReport {
     };
     for o in outcomes {
         report.transval_checks += o.transval_checks;
+        report.truth_checks += o.truth_checks;
         report.metamorphic_checks += o.metamorphic_checks;
         report.roundtrip_checks += o.roundtrip_checks;
         report.consistent += o.consistent;
@@ -178,6 +185,7 @@ pub fn run_oracle(config: &OracleConfig) -> OracleReport {
     if obs::enabled() {
         obs::add("oracle.programs", report.programs_checked);
         obs::add("oracle.checks.transval", report.transval_checks);
+        obs::add("oracle.checks.truth", report.truth_checks);
         obs::add("oracle.checks.metamorphic", report.metamorphic_checks);
         obs::add("oracle.checks.roundtrip", report.roundtrip_checks);
         obs::add("oracle.consistent", report.consistent);
@@ -244,7 +252,45 @@ fn check_program(config: &OracleConfig, index: u64) -> ProgramOutcome {
         }
     }
 
-    // 2. metamorphic checks (all transforms × both toolchains × 5 levels)
+    // 2. ground-truth health (availability + toolchain invariance of the
+    //    double-double reference executor)
+    for o in check_truth(&program, &inputs) {
+        out.truth_checks += 1;
+        match o.verdict {
+            CheckVerdict::Consistent | CheckVerdict::Explained { .. } => out.consistent += 1,
+            CheckVerdict::Skipped => out.skipped += 1,
+            CheckVerdict::Violation(v) => {
+                let input = &inputs[o.input_index];
+                let reduced = if config.shrink {
+                    reduce_program(&program, |p| crate::truth::still_violates(p, input)).program
+                } else {
+                    program.clone()
+                };
+                out.findings.push(
+                    Finding {
+                        kind: "truth".into(),
+                        program_index: index,
+                        program_id: program.id.clone(),
+                        toolchain: None,
+                        level: Some(OptLevel::O0.label().to_string()),
+                        transform: None,
+                        input_index: Some(o.input_index),
+                        input: Some(input.render(program.precision)),
+                        pass: v.pass,
+                        expected_bits: Some(format!("{:#018x}", v.expected_bits)),
+                        actual_bits: Some(format!("{:#018x}", v.actual_bits)),
+                        detail: v.detail,
+                        original_stmts: 0,
+                        reduced_stmts: 0,
+                        kernel: String::new(),
+                    }
+                    .with_program(&program, &reduced),
+                );
+            }
+        }
+    }
+
+    // 3. metamorphic checks (all transforms × both toolchains × 5 levels)
     let tseed = transform_seed(config.seed, index);
     for o in check_metamorphic_tier(&program, &inputs, tseed, config.exec_tier) {
         out.metamorphic_checks += 1;
@@ -300,7 +346,7 @@ fn check_program(config: &OracleConfig, index: u64) -> ProgramOutcome {
         }
     }
 
-    // 3. literal re-parsing round trip
+    // 4. literal re-parsing round trip
     out.roundtrip_checks += 1;
     match check_roundtrip(&program) {
         None => out.consistent += 1,
@@ -354,6 +400,8 @@ mod tests {
         assert!(report.consistent > 0);
         assert!(report.total_checks() >= report.consistent);
         assert_eq!(report.faulted, 0, "no generated program should panic the oracle");
+        // one ground-truth check per (program, input)
+        assert_eq!(report.truth_checks, 12 * 2);
     }
 
     #[test]

@@ -40,6 +40,8 @@ fn strict_checks_cover_the_whole_grid() {
     let report = run_oracle(&c);
     // 2 toolchains × 4 strict levels × inputs × budget
     assert_eq!(report.transval_checks, (2 * 4 * c.inputs_per_program * c.budget) as u64);
+    // one ground-truth check per (program, input)
+    assert_eq!(report.truth_checks, (c.inputs_per_program * c.budget) as u64);
     // every program gets exactly one round-trip check
     assert_eq!(report.roundtrip_checks, c.budget as u64);
 }

@@ -52,7 +52,7 @@ fn main() {
         .collect();
 
     println!("tid   nvcc result              hipcc result             verdict");
-    let diverging = compare_grids(&rn, &ra);
+    let diverging = compare_grids(&rn, &ra).expect("both sides ran the same block size");
     for tid in 0..block_dim as usize {
         let verdict = diverging
             .iter()
