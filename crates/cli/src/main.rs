@@ -8,7 +8,9 @@
 //! * `campaign` — run a testing campaign (optionally one side only, for
 //!   the Fig. 3 between-platform protocol) and save JSON metadata
 //! * `farm`     — run a campaign as a supervised multi-worker service:
-//!   sharded checkpoints, crash/hang recovery, incremental merge
+//!   sharded checkpoints, crash/hang recovery, incremental merge; with
+//!   `--coordinate`/`--join`, the same service spans machines over a
+//!   crash-safe, partition-tolerant coordinator protocol
 //! * `analyze`  — merge metadata halves and print the result tables
 //! * `reduce`   — shrink a failing test to a minimal reproducer
 //! * `isolate`  — locate the first diverging statement of a failure
@@ -108,6 +110,27 @@ COMMANDS:
              [--trace FILE]       supervisor-side shard lifecycle trace
                                   (Chrome trace-event JSON)
              drain: Ctrl-C or `touch DIR/stop`; re-run to resume
+             fleet mode (cross-machine):
+             --coordinate ADDR    own the lease queue behind a socket
+                                  (no local workers); every grant/
+                                  complete is write-ahead journaled to
+                                  DIR/coord.journal, so killing and
+                                  re-running the coordinator resumes
+                                  under a bumped epoch — stale leases
+                                  are fenced, no shard lost or merged
+                                  twice. [--linger-ms N] keeps serving
+                                  AllDone briefly after the last shard
+             --join ADDR          lease shards from a coordinator and
+                                  run workers exactly as the local farm
+                                  does (campaign shape comes from the
+                                  grant). [--agent-name NAME]
+                                  [--max-offline-ms N] give up (keeping
+                                  checkpoints) after N ms unreachable
+                                  [--io-timeout-ms N] per-exchange cap
+                                  [--net-chaos N] [--net-chaos-seed S]
+                                  seeded wire adversary: drop/delay/
+                                  duplicate/truncate/partition N
+                                  exchanges (self-test)
   analyze    merge metadata files and print the paper-style tables
              FILE [FILE2] [--profile]
              --profile adds the telemetry profile and the discrepancies-
@@ -143,5 +166,7 @@ EXIT CODES:
   3    campaign fault limit exceeded (--max-faults circuit breaker);
        for `farm`, one or more shards were poisoned
   130  campaign interrupted; checkpoint flushed and resumable
-       (for `farm`: drained; workers flushed, re-run the command to resume)
+       (for `farm`: drained; workers flushed, re-run the command to resume;
+       fleet roles drain the same way — a re-run coordinator replays its
+       journal, a re-run agent rejoins and resumes its checkpoints)
 ";

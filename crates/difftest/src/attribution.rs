@@ -23,7 +23,7 @@ use crate::verdict::{judge, Verdict};
 use gpucc::pipeline::Toolchain;
 use rayon::prelude::*;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Passes whose rewrites change floating-point semantics and can
 /// therefore be responsible for a between-compiler discrepancy.
@@ -48,6 +48,12 @@ pub struct PassRow {
     /// from JSON — when the campaign ran without the reference side.
     #[serde(skip_serializing_if = "verdict_tally_is_empty")]
     pub by_verdict: [u64; 4],
+    /// Distinct (program, level, discrepancy-class) findings behind
+    /// `discrepancies`. The same finding tripped by several inputs — or
+    /// shipped twice by overlapping crash-replay shards — counts once
+    /// here, so this is the deduplicated "how many different bugs did
+    /// this pass expose" figure.
+    pub unique_findings: u64,
 }
 
 fn verdict_tally_is_empty(t: &[u64; 4]) -> bool {
@@ -68,24 +74,35 @@ pub struct AttributionReport {
     pub has_verdicts: bool,
 }
 
+/// Per-row accumulator: the overlapping tallies plus the set of
+/// distinct (program, level-position, class) findings behind them.
+#[derive(Default, Clone)]
+struct RowAgg {
+    n: u64,
+    by_class: [u64; 7],
+    by_verdict: [u64; 4],
+    findings: BTreeSet<(u64, usize, usize)>,
+}
+
 #[derive(Default, Clone)]
 struct Agg {
-    rows: BTreeMap<String, (u64, [u64; 7], [u64; 4])>,
+    rows: BTreeMap<String, RowAgg>,
     total: u64,
     attributed: u64,
 }
 
 impl Agg {
     fn fold(mut self, other: Agg) -> Agg {
-        for (k, (n, by, bv)) in other.rows {
-            let e = self.rows.entry(k).or_insert((0, [0; 7], [0; 4]));
-            e.0 += n;
-            for (i, v) in by.iter().enumerate() {
-                e.1[i] += v;
+        for (k, r) in other.rows {
+            let e = self.rows.entry(k).or_default();
+            e.n += r.n;
+            for (i, v) in r.by_class.iter().enumerate() {
+                e.by_class[i] += v;
             }
-            for (i, v) in bv.iter().enumerate() {
-                e.2[i] += v;
+            for (i, v) in r.by_verdict.iter().enumerate() {
+                e.by_verdict[i] += v;
             }
+            e.findings.extend(r.findings);
         }
         self.total += other.total;
         self.attributed += other.attributed;
@@ -108,7 +125,7 @@ pub fn attribute(meta: &CampaignMeta) -> AttributionReport {
             let mut agg = Agg::default();
             let mut program = None;
             let truth_recs = test.results.get(&reference_key());
-            for level in &config.levels {
+            for (level_pos, level) in config.levels.iter().enumerate() {
                 let nv = test.results.get(&side_key(Toolchain::Nvcc, *level));
                 let amd = test.results.get(&side_key(Toolchain::Hipcc, *level));
                 let (Some(nv), Some(amd)) = (nv, amd) else { continue };
@@ -150,13 +167,14 @@ pub fn attribute(meta: &CampaignMeta) -> AttributionReport {
                     agg.attributed += classes.len() as u64;
                 }
                 for key in keys {
-                    let e = agg.rows.entry(key).or_insert((0, [0; 7], [0; 4]));
+                    let e = agg.rows.entry(key).or_default();
                     for (class, verdict) in &classes {
-                        e.0 += 1;
-                        e.1[class.index()] += 1;
+                        e.n += 1;
+                        e.by_class[class.index()] += 1;
                         if let Some(v) = verdict {
-                            e.2[v.index()] += 1;
+                            e.by_verdict[v.index()] += 1;
                         }
+                        e.findings.insert((test.index, level_pos, class.index()));
                     }
                 }
             }
@@ -167,11 +185,12 @@ pub fn attribute(meta: &CampaignMeta) -> AttributionReport {
     let mut rows: Vec<PassRow> = agg
         .rows
         .into_iter()
-        .map(|(key, (discrepancies, by_class, by_verdict))| PassRow {
+        .map(|(key, r)| PassRow {
             key,
-            discrepancies,
-            by_class,
-            by_verdict,
+            discrepancies: r.n,
+            by_class: r.by_class,
+            by_verdict: r.by_verdict,
+            unique_findings: r.findings.len() as u64,
         })
         .collect();
     rows.sort_by(|a, b| b.discrepancies.cmp(&a.discrepancies).then_with(|| a.key.cmp(&b.key)));
@@ -210,6 +229,45 @@ mod tests {
         for row in &attr.rows {
             assert_eq!(row.by_class.iter().sum::<u64>(), row.discrepancies, "{}", row.key);
         }
+    }
+
+    #[test]
+    fn unique_findings_dedupe_repeated_inputs_and_bound_the_rows() {
+        let meta = completed(80);
+        let attr = attribute(&meta);
+        assert!(attr.total_discrepancies > 0, "80-program campaign found nothing");
+        for row in &attr.rows {
+            assert!(row.unique_findings >= 1, "{}", row.key);
+            assert!(row.unique_findings <= row.discrepancies, "{}", row.key);
+            // each discrepancy class with hits contributes at least one
+            // distinct (program, level, class) finding
+            let classes_hit = row.by_class.iter().filter(|&&c| c > 0).count() as u64;
+            assert!(row.unique_findings >= classes_hit, "{}", row.key);
+        }
+    }
+
+    #[test]
+    fn overlapping_crash_replay_shards_attribute_identically() {
+        // a fleet re-lease shipped one shard twice: after the
+        // merge-level dedup, `analyze --profile`'s attribution (counts,
+        // classes, unique findings) must match the clean merge exactly
+        let config = CampaignConfig::default_for(Precision::F64, TestMode::Direct)
+            .with_programs(40);
+        let shards: Vec<CampaignMeta> = CampaignMeta::generate(&config)
+            .shard(4)
+            .into_iter()
+            .map(|mut s| {
+                s.run_side(Toolchain::Nvcc);
+                s.run_side(Toolchain::Hipcc);
+                s
+            })
+            .collect();
+        let clean = CampaignMeta::merge_shards(shards.clone()).unwrap();
+        let mut overlapping = shards;
+        let dup = overlapping[2].clone();
+        overlapping.push(dup);
+        let merged = CampaignMeta::merge_shards(overlapping).unwrap();
+        assert_eq!(attribute(&merged), attribute(&clean));
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //!
 //! * [`atomic_write`] — temp file + fsync + rename in the destination
 //!   directory, so a reader never observes a half-written file.
+//! * [`FramedLog`] — a generic append-only log of [`encode_frame`]d
+//!   payloads behind an 8-byte magic: the durability substrate shared
+//!   by the checkpoint journal below and `farm`'s coordinator journal
+//!   (and, frame-wise, the fleet wire protocol).
 //! * [`Journal`] — an append-only checkpoint journal of CRC-framed
 //!   [`UnitRecord`]s, one per completed (test, toolchain, level) work
 //!   unit. Appends are write-through (no user-space buffering), so a
@@ -148,70 +152,128 @@ pub struct UnitRecord {
     pub metrics: obs::MetricsSnapshot,
 }
 
-struct JournalInner {
+/// Encode one payload as a CRC frame:
+/// `[payload_len: u32 LE][crc32(payload): u32 LE][payload]`. The framing
+/// shared by checkpoint journals, the farm coordinator's journal, and
+/// the fleet wire protocol.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Try to split one frame off the front of `bytes`. Returns the payload
+/// and the total frame length consumed, or `None` when the bytes are
+/// short, torn, or fail the CRC — callers treat that as "no (more)
+/// valid frames here", never as a panic.
+pub fn decode_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    let payload = bytes.get(8..8 + len)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((payload, 8 + len))
+}
+
+struct LogInner {
     file: File,
     offset: u64,
 }
 
-/// Append-only, CRC-framed checkpoint journal.
-///
-/// Layout: an 8-byte magic, then frames of
-/// `[payload_len: u32 LE][crc32(payload): u32 LE][payload JSON]`.
-/// Appends go straight to the OS (no `BufWriter`), so they survive a
-/// process kill at any instant; a machine-level crash can lose or tear
-/// only the final frame, which replay detects by CRC and drops.
-pub struct Journal {
+/// A generic append-only, CRC-framed byte log: an 8-byte magic, then
+/// [`encode_frame`]d payloads. Appends go straight to the OS (no
+/// `BufWriter`), so they survive a process kill at any instant; a
+/// machine-level crash can lose or tear only the final frame, which
+/// replay detects by CRC and drops. [`Journal`] layers campaign
+/// [`UnitRecord`]s on top; `farm`'s coordinator journal layers lease
+/// state transitions on top — same durability contract, different
+/// payloads and magic.
+pub struct FramedLog {
     path: PathBuf,
-    inner: Mutex<JournalInner>,
+    inner: Mutex<LogInner>,
 }
 
-impl Journal {
-    /// Create (or truncate) a journal at `path`.
-    pub fn create(path: &Path) -> io::Result<Journal> {
+impl FramedLog {
+    /// Create (or truncate) a log at `path`, stamped with `magic`.
+    pub fn create(path: &Path, magic: &[u8; 8]) -> io::Result<FramedLog> {
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        file.write_all(JOURNAL_MAGIC)?;
+        file.write_all(magic)?;
         file.sync_data()?;
-        Ok(Journal {
+        Ok(FramedLog {
             path: path.to_path_buf(),
-            inner: Mutex::new(JournalInner { file, offset: JOURNAL_MAGIC.len() as u64 }),
+            inner: Mutex::new(LogInner { file, offset: magic.len() as u64 }),
         })
     }
 
-    /// Open an existing journal, replaying its valid prefix. The torn or
-    /// corrupt tail (if any) is physically truncated away so subsequent
-    /// appends extend a clean file. Returns the journal positioned for
-    /// appending plus the replayed records.
-    pub fn open_for_resume(path: &Path) -> io::Result<(Journal, Vec<UnitRecord>)> {
+    /// Open an existing log, replaying its valid payload prefix. The
+    /// file must start with one of the `accept`ed magics (a missing or
+    /// wrong magic is a real error). Scanning stops at the first short,
+    /// torn, or CRC-mismatched frame — or at the first frame `is_valid`
+    /// rejects — and that tail is physically truncated away so
+    /// subsequent appends extend a clean file. Returns the log
+    /// positioned for appending plus the replayed payloads.
+    pub fn open_for_resume(
+        path: &Path,
+        accept: &[&[u8; 8]],
+        is_valid: impl Fn(&[u8]) -> bool,
+    ) -> io::Result<(FramedLog, Vec<Vec<u8>>)> {
         let bytes = std::fs::read(path)?;
-        let (units, valid_end) = parse_journal(&bytes)?;
+        let magic_len = accept.first().map_or(8, |m| m.len());
+        let known_magic =
+            bytes.len() >= magic_len && accept.iter().any(|m| bytes[..magic_len] == m[..]);
+        if !known_magic {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint journal"));
+        }
+        let mut payloads = Vec::new();
+        let mut pos = magic_len;
+        while let Some((payload, consumed)) = decode_frame(&bytes[pos..]) {
+            if !is_valid(payload) {
+                break;
+            }
+            payloads.push(payload.to_vec());
+            pos += consumed;
+        }
+        let valid_end = pos as u64;
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         file.set_len(valid_end)?;
         file.seek(SeekFrom::Start(valid_end))?;
-        let journal = Journal {
+        let log = FramedLog {
             path: path.to_path_buf(),
-            inner: Mutex::new(JournalInner { file, offset: valid_end }),
+            inner: Mutex::new(LogInner { file, offset: valid_end }),
         };
-        Ok((journal, units))
+        Ok((log, payloads))
     }
 
-    /// The journal's file path.
+    /// The log's file path.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Append one unit record, with bounded retry + backoff on I/O
-    /// errors. Each failed attempt truncates back to the frame start, so
-    /// a partial write from a transient error (ENOSPC and friends) never
-    /// corrupts the journal.
-    pub fn append(&self, unit: &UnitRecord) -> io::Result<()> {
-        let payload =
-            serde_json::to_vec(unit).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+    /// Current length of the valid log in bytes (magic + appended
+    /// frames) — the journal-growth watermark heartbeats watch.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().offset
+    }
 
+    /// Whether the log holds no frames yet.
+    pub fn is_empty(&self) -> bool {
+        // An empty log still carries its 8-byte magic.
+        self.len() <= 8
+    }
+
+    /// Append one payload as a CRC frame, with bounded retry + backoff
+    /// on I/O errors. Each failed attempt truncates back to the frame
+    /// start, so a partial write from a transient error (ENOSPC and
+    /// friends) never corrupts the log.
+    pub fn append(&self, payload: &[u8]) -> io::Result<()> {
+        let frame = encode_frame(payload);
         let mut inner = self.inner.lock();
         let start = inner.offset;
         let mut attempt = 0u32;
@@ -238,14 +300,67 @@ impl Journal {
         }
     }
 
-    /// Flush journal contents to stable storage (graceful shutdown and
+    /// Flush log contents to stable storage (graceful shutdown and
     /// side completion; individual appends rely on write-through).
     pub fn sync(&self) -> io::Result<()> {
         self.inner.lock().file.sync_data()
     }
 }
 
-fn write_frame(inner: &mut JournalInner, frame: &[u8]) -> io::Result<()> {
+/// Append-only, CRC-framed checkpoint journal of [`UnitRecord`]s: a
+/// [`FramedLog`] whose payloads are JSON unit records.
+pub struct Journal {
+    log: FramedLog,
+}
+
+impl Journal {
+    /// Create (or truncate) a journal at `path`.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        Ok(Journal { log: FramedLog::create(path, JOURNAL_MAGIC)? })
+    }
+
+    /// Open an existing journal, replaying its valid prefix. The torn or
+    /// corrupt tail (if any) is physically truncated away so subsequent
+    /// appends extend a clean file. Returns the journal positioned for
+    /// appending plus the replayed records. A frame that passes its CRC
+    /// but fails to parse as a [`UnitRecord`] also stops the scan (those
+    /// units simply re-run); a missing or wrong magic is a real error.
+    pub fn open_for_resume(path: &Path) -> io::Result<(Journal, Vec<UnitRecord>)> {
+        let (log, payloads) =
+            FramedLog::open_for_resume(path, &[JOURNAL_MAGIC, JOURNAL_MAGIC_V1], |p| {
+                serde_json::from_slice::<UnitRecord>(p).is_ok()
+            })?;
+        let units = payloads
+            .iter()
+            .map(|p| serde_json::from_slice::<UnitRecord>(p))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok((Journal { log }, units))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        self.log.path()
+    }
+
+    /// Append one unit record, with bounded retry + backoff on I/O
+    /// errors. Each failed attempt truncates back to the frame start, so
+    /// a partial write from a transient error (ENOSPC and friends) never
+    /// corrupts the journal.
+    pub fn append(&self, unit: &UnitRecord) -> io::Result<()> {
+        let payload =
+            serde_json::to_vec(unit).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.log.append(&payload)
+    }
+
+    /// Flush journal contents to stable storage (graceful shutdown and
+    /// side completion; individual appends rely on write-through).
+    pub fn sync(&self) -> io::Result<()> {
+        self.log.sync()
+    }
+}
+
+fn write_frame(inner: &mut LogInner, frame: &[u8]) -> io::Result<()> {
     #[cfg(feature = "chaos")]
     match crate::chaos::next_journal_fault() {
         Some(crate::chaos::JournalFault::IoError) => {
@@ -266,36 +381,6 @@ fn write_frame(inner: &mut JournalInner, frame: &[u8]) -> io::Result<()> {
         None => {}
     }
     inner.file.write_all(frame)
-}
-
-/// Parse a journal byte image into its valid record prefix. Returns the
-/// records plus the byte offset where the valid prefix ends. A short,
-/// torn, CRC-mismatched, or unparsable tail stops the scan (those units
-/// simply re-run); a missing or wrong magic is a real error.
-fn parse_journal(bytes: &[u8]) -> io::Result<(Vec<UnitRecord>, u64)> {
-    let known_magic = bytes.len() >= JOURNAL_MAGIC.len()
-        && (&bytes[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC
-            || &bytes[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC_V1);
-    if !known_magic {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint journal"));
-    }
-    let mut units = Vec::new();
-    let mut pos = JOURNAL_MAGIC.len();
-    loop {
-        if pos + 8 > bytes.len() {
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else { break };
-        if crc32(payload) != crc {
-            break;
-        }
-        let Ok(unit) = serde_json::from_slice::<UnitRecord>(payload) else { break };
-        units.push(unit);
-        pos += 8 + len;
-    }
-    Ok((units, pos as u64))
 }
 
 /// Which slice of a campaign a checkpoint covers: shard `index` of
@@ -875,6 +960,59 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let (_j, units) = Journal::open_for_resume(&path).unwrap();
         assert_eq!(units.len(), 1, "CRC-mismatched tail must be dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frame_codec_roundtrips_and_rejects_torn_or_corrupt_bytes() {
+        let frame = encode_frame(b"hello, frame");
+        let (payload, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!(payload, b"hello, frame");
+        assert_eq!(consumed, frame.len());
+        // every possible truncation is rejected, never a panic
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_none(), "torn at {cut}");
+        }
+        // a flipped payload byte fails the CRC
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(decode_frame(&bad).is_none());
+        // trailing garbage after a valid frame is not this frame's problem
+        let mut two = frame.clone();
+        two.extend_from_slice(b"\xFF\xFF\xFF");
+        assert_eq!(decode_frame(&two).unwrap().1, frame.len());
+    }
+
+    #[test]
+    fn framed_log_roundtrips_under_a_custom_magic_and_drops_torn_tails() {
+        const MAGIC: &[u8; 8] = b"VGTEST01";
+        let dir = std::env::temp_dir().join("difftest_framed_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let log = FramedLog::create(&path, MAGIC).unwrap();
+        assert!(log.is_empty());
+        log.append(b"alpha").unwrap();
+        log.append(b"beta").unwrap();
+        let len = log.len();
+        assert_eq!(len, 8 + (8 + 5) + (8 + 4));
+        drop(log);
+        // tear the file mid-way through the second frame
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (log, payloads) = FramedLog::open_for_resume(&path, &[MAGIC], |_| true).unwrap();
+        assert_eq!(payloads, vec![b"alpha".to_vec()]);
+        log.append(b"gamma").unwrap();
+        drop(log);
+        // a validator rejection also stops the scan and truncates
+        let (log, payloads) =
+            FramedLog::open_for_resume(&path, &[MAGIC], |p| p != b"gamma").unwrap();
+        assert_eq!(payloads, vec![b"alpha".to_vec()]);
+        assert_eq!(log.len(), 8 + (8 + 5));
+        drop(log);
+        // the wrong magic is a hard error
+        assert!(FramedLog::open_for_resume(&path, &[b"VGOTHER1"], |_| true).is_err());
         std::fs::remove_file(&path).ok();
     }
 

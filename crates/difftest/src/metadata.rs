@@ -276,14 +276,19 @@ impl CampaignMeta {
     /// by farm workers via [`CampaignMeta::generate_shard`]) into one
     /// campaign *without* requiring the set to be complete — the
     /// incremental-merge primitive the campaign farm folds finished
-    /// shards into as they land. Requires identical configs and disjoint
-    /// test indices; the intersection of the shards' completed sides is
-    /// kept.
+    /// shards into as they land. Requires identical configs; the
+    /// intersection of the shards' completed sides is kept. Test indices
+    /// must be disjoint *or identical*: overlapping crash-replay shards
+    /// (a re-leased shard completing twice, or the same finding shipped
+    /// by two fleet agents) carry byte-identical tests — campaigns are
+    /// deterministic in their config — and those count once. Two
+    /// *different* tests under one index still reject the merge.
     ///
-    /// The result is canonical: tests sorted by index, sides sorted, and
-    /// quarantine entries deduplicated and sorted. Canonical output makes
-    /// the fold order-independent — merging shards in any order, in any
-    /// grouping, yields byte-identical metadata.
+    /// The result is canonical: tests sorted by index and deduplicated,
+    /// sides sorted, and quarantine entries deduplicated and sorted.
+    /// Canonical output makes the fold order-independent — merging
+    /// shards in any order, in any grouping, yields byte-identical
+    /// metadata.
     pub fn merge_shards_partial(shards: Vec<CampaignMeta>) -> Result<CampaignMeta, MetaError> {
         let mut iter = shards.into_iter();
         let mut first = iter.next().ok_or(MetaError::ConfigMismatch)?;
@@ -299,7 +304,9 @@ impl CampaignMeta {
             first.metrics = merge_metrics(first.metrics.take(), shard.metrics);
         }
         first.tests.sort_by_key(|t| t.index);
-        // disjointness
+        // identical duplicates (overlapping replays) collapse to one copy …
+        first.tests.dedup();
+        // … and only *conflicting* duplicates remain to reject
         if first.tests.windows(2).any(|w| w[0].index == w[1].index) {
             return Err(MetaError::ConfigMismatch);
         }
@@ -1018,6 +1025,40 @@ mod tests {
         let config = cfg().with_programs(6);
         let mut shards = CampaignMeta::generate(&config).shard(3);
         shards.pop(); // lose a batch
+        assert!(CampaignMeta::merge_shards(shards).is_err());
+    }
+
+    #[test]
+    fn merge_counts_identical_overlapping_shards_once_but_rejects_conflicts() {
+        let config = cfg().with_programs(6);
+        let mut shards: Vec<CampaignMeta> = CampaignMeta::generate(&config)
+            .shard(3)
+            .into_iter()
+            .map(|mut s| {
+                s.run_side(Toolchain::Nvcc);
+                s.run_side(Toolchain::Hipcc);
+                s
+            })
+            .collect();
+        let reference =
+            serde_json::to_string(&CampaignMeta::merge_shards(shards.clone()).unwrap()).unwrap();
+
+        // a fleet re-lease shipped shard 1 twice, byte-identical: the
+        // duplicate findings count once and the merge stays canonical
+        let mut overlapping = shards.clone();
+        let dup = overlapping[1].clone();
+        overlapping.push(dup);
+        let merged = CampaignMeta::merge_shards(overlapping).unwrap();
+        assert_eq!(serde_json::to_string(&merged).unwrap(), reference);
+
+        // but a *conflicting* duplicate (same index, different results)
+        // is still a merge error, not a silent pick-one
+        let mut conflicting = shards[1].clone();
+        for t in &mut conflicting.tests {
+            t.results.clear();
+        }
+        conflicting.sides_run.clear();
+        shards.push(conflicting);
         assert!(CampaignMeta::merge_shards(shards).is_err());
     }
 

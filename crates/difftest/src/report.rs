@@ -387,7 +387,7 @@ pub fn throughput_per_sec(snap: &obs::MetricsSnapshot) -> Option<f64> {
 pub fn render_attribution(attr: &crate::attribution::AttributionReport) -> String {
     let mut out = String::new();
     out.push_str("DISCREPANCIES BY RESPONSIBLE PASS\n");
-    out.push_str(&format!("{:<22}{:>12}", "Pass", "Disc. Count"));
+    out.push_str(&format!("{:<22}{:>12}{:>10}", "Pass", "Disc. Count", "Unique"));
     for c in DiscrepancyClass::ALL {
         out.push_str(&format!("{:>12}", c.label()));
     }
@@ -398,7 +398,10 @@ pub fn render_attribution(attr: &crate::attribution::AttributionReport) -> Strin
     }
     out.push('\n');
     for row in &attr.rows {
-        out.push_str(&format!("{:<22}{:>12}", row.key, row.discrepancies));
+        out.push_str(&format!(
+            "{:<22}{:>12}{:>10}",
+            row.key, row.discrepancies, row.unique_findings
+        ));
         for v in row.by_class {
             out.push_str(&format!("{v:>12}"));
         }
@@ -411,7 +414,9 @@ pub fn render_attribution(attr: &crate::attribution::AttributionReport) -> Strin
     }
     out.push_str(&format!(
         "{} discrepancies, {} in kernels a fast-math pass rewrote \
-         (rows overlap when several passes fired on the same kernel)\n",
+         (rows overlap when several passes fired on the same kernel; \
+         Unique counts distinct program/level/class findings once, \
+         however many inputs or overlapping shards reported them)\n",
         attr.total_discrepancies, attr.attributed
     ));
     out
@@ -655,6 +660,7 @@ mod tests {
         let attr = attribute(&meta);
         let s = render_attribution(&attr);
         assert!(s.contains("DISCREPANCIES BY RESPONSIBLE PASS"));
+        assert!(s.contains("Unique"), "deduplicated findings column missing: {s}");
         for c in DiscrepancyClass::ALL {
             assert!(s.contains(c.label()), "{s}");
         }

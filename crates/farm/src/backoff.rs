@@ -9,6 +9,14 @@
 
 use crate::rng::SplitMix64;
 
+/// Hard ceiling on any re-eligibility delay, in milliseconds. No
+/// backoff policy — however misconfigured, and whatever jitter drew —
+/// may bench a shard longer than this: [`crate::WorkQueue::release`]
+/// clamps its delay here, so a poisoned-then-recovered shard (or a
+/// fleet lease bounced through a long partition) always becomes
+/// leasable again within a bounded window.
+pub const MAX: u64 = 60_000;
+
 /// Shape of the backoff curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackoffPolicy {

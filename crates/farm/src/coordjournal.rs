@@ -1,0 +1,244 @@
+//! The fleet coordinator's write-ahead journal.
+//!
+//! Every lease-queue state transition — grant, heartbeat, release,
+//! poison, completion — is appended here *before* the reply leaves the
+//! socket, using the same CRC-framed, torn-tail-tolerant log the
+//! checkpoint journal is built on ([`difftest::checkpoint::FramedLog`]).
+//! A coordinator killed at any instant restarts by replaying this file:
+//! completed shards fold back into the merge (no shard lost), their
+//! `(epoch, fence)` identity is remembered (no shard double-completed —
+//! a zombie agent re-sending an old completion is either re-acked
+//! idempotently or fenced), and in-flight leases are voided under a new
+//! epoch so their holders get [`crate::proto::Reply::Fenced`] on next
+//! contact.
+//!
+//! Because a reply is only sent after its events are durably framed, an
+//! agent can never hold a grant the journal doesn't know about. The
+//! opposite — a journaled grant whose reply was lost — is harmless: the
+//! lease expires unheartbeaten and is re-granted.
+
+use std::io;
+use std::path::Path;
+
+use difftest::checkpoint::FramedLog;
+use difftest::metadata::CampaignMeta;
+use serde::{Deserialize, Serialize};
+
+/// Magic tag opening a coordinator journal.
+pub const COORD_MAGIC: &[u8; 8] = b"VGCOORD1";
+
+/// One journaled lease-queue transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "ev")]
+pub enum CoordEvent {
+    /// A coordinator (re)started and owns the queue under `epoch`.
+    /// Appended once per process start; replay derives the next epoch
+    /// from the maximum epoch any event carries.
+    Start {
+        /// The new coordinator epoch.
+        epoch: u64,
+        /// Shard count of the campaign (sanity-checked on replay).
+        n_shards: usize,
+    },
+    /// A lease was granted.
+    Grant {
+        /// Shard leased.
+        shard: usize,
+        /// Epoch the lease belongs to.
+        epoch: u64,
+        /// Fencing token of the lease.
+        fence: u64,
+        /// Agent holding it.
+        agent: String,
+    },
+    /// A lease's deadline was pushed out by an agent keepalive.
+    Heartbeat {
+        /// Shard heartbeaten.
+        shard: usize,
+        /// Epoch of the lease.
+        epoch: u64,
+        /// Fencing token of the lease.
+        fence: u64,
+    },
+    /// A lease went back to the pool (agent gave it up, or the
+    /// coordinator expired it for heartbeat silence).
+    Release {
+        /// Shard released.
+        shard: usize,
+        /// Epoch of the voided lease.
+        epoch: u64,
+        /// Fencing token of the voided lease.
+        fence: u64,
+        /// Why (agent's reason, or "lease expired").
+        reason: String,
+    },
+    /// A shard was demoted to the poison quarantine.
+    Poison {
+        /// Shard poisoned.
+        shard: usize,
+        /// Epoch of the lease that reported it.
+        epoch: u64,
+        /// Fencing token of the lease that reported it.
+        fence: u64,
+        /// Consecutive no-progress crashes the reporting agent saw.
+        crashes: u32,
+    },
+    /// A shard completed and its results were folded into the merge.
+    /// Replay rebuilds the merge from these payloads alone, so the
+    /// journal — not coordinator memory — is the source of truth.
+    Done {
+        /// Shard completed.
+        shard: usize,
+        /// Epoch of the completing lease.
+        epoch: u64,
+        /// Fencing token of the completing lease — a later duplicate
+        /// `Complete` carrying exactly this identity is re-acked
+        /// idempotently; any other identity is fenced.
+        fence: u64,
+        /// The shard's full result, as shipped by the agent.
+        meta: Box<CampaignMeta>,
+    },
+}
+
+impl CoordEvent {
+    /// Short kind label (logs, counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoordEvent::Start { .. } => "start",
+            CoordEvent::Grant { .. } => "grant",
+            CoordEvent::Heartbeat { .. } => "heartbeat",
+            CoordEvent::Release { .. } => "release",
+            CoordEvent::Poison { .. } => "poison",
+            CoordEvent::Done { .. } => "done",
+        }
+    }
+}
+
+/// Append-only, CRC-framed coordinator journal.
+#[derive(Debug)]
+pub struct CoordJournal {
+    log: FramedLog,
+    frames: u64,
+}
+
+impl CoordJournal {
+    /// Create a fresh journal at `path` (truncating any old file).
+    pub fn create(path: &Path) -> io::Result<CoordJournal> {
+        Ok(CoordJournal { log: FramedLog::create(path, COORD_MAGIC)?, frames: 0 })
+    }
+
+    /// Open an existing journal, truncating any torn tail, and return
+    /// it together with every intact event in append order. A file that
+    /// is not a coordinator journal is a hard error.
+    pub fn open_for_resume(path: &Path) -> io::Result<(CoordJournal, Vec<CoordEvent>)> {
+        let (log, payloads) = FramedLog::open_for_resume(path, &[COORD_MAGIC], |p| {
+            serde_json::from_slice::<CoordEvent>(p).is_ok()
+        })?;
+        let events: Vec<CoordEvent> = payloads
+            .iter()
+            .map(|p| serde_json::from_slice(p).expect("validated during scan"))
+            .collect();
+        let frames = events.len() as u64;
+        Ok((CoordJournal { log, frames }, events))
+    }
+
+    /// Durably append one event (write-through; bounded internal
+    /// retries). The caller must not send the reply this event backs
+    /// until this returns `Ok` — and must treat `Err` as fatal, exiting
+    /// so the restart path replays a journal that matches what agents
+    /// were told.
+    pub fn append(&mut self, ev: &CoordEvent) -> io::Result<()> {
+        let payload = serde_json::to_vec(ev)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.log.append(&payload)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Number of intact events (replayed + appended this process).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Journal length in bytes (magic + frames).
+    pub fn len_bytes(&self) -> u64 {
+        self.log.len()
+    }
+
+    /// fsync the journal file.
+    pub fn sync(&self) -> io::Result<()> {
+        self.log.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("coordjournal-{tag}-{}", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    fn sample_events() -> Vec<CoordEvent> {
+        vec![
+            CoordEvent::Start { epoch: 1, n_shards: 2 },
+            CoordEvent::Grant { shard: 0, epoch: 1, fence: 1, agent: "a1".into() },
+            CoordEvent::Heartbeat { shard: 0, epoch: 1, fence: 1 },
+            CoordEvent::Release { shard: 0, epoch: 1, fence: 1, reason: "lease expired".into() },
+            CoordEvent::Grant { shard: 1, epoch: 1, fence: 2, agent: "a2".into() },
+            CoordEvent::Poison { shard: 1, epoch: 1, fence: 2, crashes: 3 },
+        ]
+    }
+
+    #[test]
+    fn journal_replays_exactly_what_was_appended() {
+        let path = temp_path("roundtrip");
+        let mut j = CoordJournal::create(&path).unwrap();
+        let events = sample_events();
+        for ev in &events {
+            j.append(ev).unwrap();
+        }
+        assert_eq!(j.frames(), events.len() as u64);
+        drop(j);
+        let (j2, replayed) = CoordJournal::open_for_resume(&path).unwrap();
+        assert_eq!(replayed, events);
+        assert_eq!(j2.frames(), events.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue_cleanly() {
+        let path = temp_path("torn");
+        let mut j = CoordJournal::create(&path).unwrap();
+        let events = sample_events();
+        for ev in &events {
+            j.append(ev).unwrap();
+        }
+        let full = j.len_bytes();
+        drop(j);
+        // Simulate a kill mid-append: chop the last frame in half.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 10).unwrap();
+        drop(f);
+        let (mut j2, replayed) = CoordJournal::open_for_resume(&path).unwrap();
+        assert_eq!(replayed, events[..events.len() - 1], "torn last event dropped");
+        // The journal remains appendable after truncation.
+        j2.append(&CoordEvent::Start { epoch: 2, n_shards: 2 }).unwrap();
+        drop(j2);
+        let (_, again) = CoordJournal::open_for_resume(&path).unwrap();
+        assert_eq!(again.len(), events.len(), "replaced the torn frame");
+        assert_eq!(again.last(), Some(&CoordEvent::Start { epoch: 2, n_shards: 2 }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_foreign_file_is_rejected_not_misparsed() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        assert!(CoordJournal::open_for_resume(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

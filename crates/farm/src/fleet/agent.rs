@@ -1,0 +1,670 @@
+//! The fleet agent: lease shards over the wire, run workers exactly as
+//! a local farm does, ship results back.
+//!
+//! An agent is the supervisor's *local* machinery — checkpoint
+//! materialization, `campaign --resume` workers, journal-watermark hang
+//! detection, crash breaker, jittered respawn backoff — with the lease
+//! queue moved behind [`FleetClient`]. Every worker spawn is still a
+//! resume of an on-disk checkpoint; what changes hands over the network
+//! is only *who may run a shard* (a grant with an `(epoch, fence)`
+//! identity) and *what it produced* (the shard's `result.json`).
+//!
+//! The identity discipline is absolute: any [`Reply::Fenced`] means
+//! this agent's claim on the shard is dead — kill the worker, drop the
+//! lease, keep the checkpoint directory (a future re-grant resumes it).
+//! Connection failures never destroy work either: the client retries
+//! under jittered backoff, and only after `max_offline_ms` without a
+//! successful exchange does the agent give up (checkpoints intact, exit
+//! nonzero, rejoin later).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use difftest::checkpoint::{atomic_write, Checkpoint, ShardSpec};
+use difftest::fault::shutdown_requested;
+use difftest::metadata::CampaignMeta;
+use difftest::CampaignConfig;
+
+use crate::backoff::{Backoff, BackoffPolicy};
+use crate::fleet::client::FleetClient;
+use crate::fleet::netchaos::NetChaosConfig;
+use crate::proto::{Reply, Request};
+use crate::supervisor::{
+    farm_stop_path, journal_len, poison_path, shard_dir, validate_shard_dir, FarmError,
+};
+use crate::worker::{WorkerHandle, WorkerSpec};
+
+/// Everything an agent needs to join a fleet.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Coordinator address (`host:port`).
+    pub coordinator: String,
+    /// Agent root: shard checkpoints are materialized under it, and its
+    /// `stop` file drains this agent alone.
+    pub dir: PathBuf,
+    /// Self-chosen agent name (journal attribution on the coordinator).
+    pub name: String,
+    /// Worker subprocesses (= leases) to keep in flight.
+    pub n_workers: usize,
+    /// How to launch workers (`--reference` is appended per-lease when
+    /// the grant demands it).
+    pub worker: WorkerSpec,
+    /// Event-loop poll interval.
+    pub poll_ms: u64,
+    /// Consecutive no-progress crashes before the agent reports the
+    /// shard as poison.
+    pub crash_threshold: u32,
+    /// Respawn and network-retry backoff shape.
+    pub backoff: BackoffPolicy,
+    /// Seed for backoff jitter and the network-chaos schedule.
+    pub seed: u64,
+    /// How long a drain waits for workers to flush before hard-killing.
+    pub grace_ms: u64,
+    /// Give up after this long without one successful exchange.
+    pub max_offline_ms: u64,
+    /// Per-exchange connect/read/write timeout.
+    pub io_timeout_ms: u64,
+    /// Seeded network adversary (budget 0 = off).
+    pub net_chaos: NetChaosConfig,
+}
+
+impl AgentConfig {
+    /// Agent joining `coordinator` with production defaults: 50 ms
+    /// poll, 3-crash breaker, default backoff, 10 s drain grace, 60 s
+    /// offline give-up, 2 s I/O timeouts, chaos off.
+    pub fn new(
+        coordinator: impl Into<String>,
+        dir: impl Into<PathBuf>,
+        n_workers: usize,
+        worker: WorkerSpec,
+    ) -> AgentConfig {
+        AgentConfig {
+            coordinator: coordinator.into(),
+            dir: dir.into(),
+            name: format!("agent-{}", std::process::id()),
+            n_workers,
+            worker,
+            poll_ms: 50,
+            crash_threshold: 3,
+            backoff: BackoffPolicy::default(),
+            seed: 0,
+            grace_ms: 10_000,
+            max_offline_ms: 60_000,
+            io_timeout_ms: 2_000,
+            net_chaos: NetChaosConfig::default(),
+        }
+    }
+}
+
+/// What an agent run did.
+#[derive(Debug)]
+pub struct AgentReport {
+    /// Shard completions the coordinator accepted from this agent.
+    pub shards_completed: u64,
+    /// Shards this agent reported as poison (coordinator acked).
+    pub shards_poisoned: u64,
+    /// Leases lost to fencing (expired, reassigned, or orphaned by a
+    /// coordinator restart).
+    pub fenced: u64,
+    /// Worker processes spawned.
+    pub spawns: u64,
+    /// Worker deaths observed (crashes, hangs, kills).
+    pub worker_deaths: u64,
+    /// `true` if the run ended on a drain (local stop file, SIGINT, or
+    /// coordinator `Drain`).
+    pub drained: bool,
+    /// `true` if the coordinator reported every shard settled.
+    pub all_done: bool,
+    /// `true` if the agent gave up after `max_offline_ms` without a
+    /// successful exchange (checkpoints kept; rejoin resumes them).
+    pub gave_up: bool,
+    /// Network-chaos faults injected by this agent's client.
+    pub faults_injected: u32,
+}
+
+/// One lease this agent holds, with its local run state.
+#[derive(Debug)]
+struct Held {
+    shard: usize,
+    epoch: u64,
+    fence: u64,
+    dir: PathBuf,
+    heartbeat_ms: u64,
+    spec: WorkerSpec,
+    worker: Option<WorkerHandle>,
+    crashes: u32,
+    backoff: Backoff,
+    respawn_at_ms: u64,
+    last_hb_ms: u64,
+    journal_last_seen: u64,
+    last_progress_ms: u64,
+    /// A finished `result.json` is waiting to be shipped.
+    completing: bool,
+    /// The lease should be handed back (drain).
+    releasing: bool,
+    /// The local breaker tripped; waiting for the coordinator's ack.
+    poisoning: bool,
+}
+
+/// Materialize (or adopt) the checkpoint directory for a granted
+/// shard. Returns the directory and whether a finished, matching
+/// `result.json` is already present (ship it; don't spawn).
+fn materialize_shard(
+    agent_dir: &Path,
+    shard: usize,
+    n_shards: usize,
+    config: &CampaignConfig,
+) -> Result<(PathBuf, bool), FarmError> {
+    let dir = shard_dir(agent_dir, shard);
+    validate_shard_dir(config, n_shards, shard, &dir)?;
+    if dir.join("result.json").exists() {
+        let meta = CampaignMeta::load(&dir.join("result.json"))?;
+        if meta.config != *config {
+            return Err(FarmError::Config(format!(
+                "{} holds a result for a different campaign; use a fresh --dir",
+                dir.display()
+            )));
+        }
+        return Ok((dir, true));
+    }
+    if Checkpoint::config_path(&dir).exists() {
+        std::fs::remove_file(Checkpoint::stop_path(&dir)).ok();
+    } else {
+        let spec = ShardSpec { index: shard, count: n_shards };
+        Checkpoint::create_sharded(&dir, config, Some(spec))?;
+    }
+    Ok((dir, false))
+}
+
+fn io_err(e: impl std::fmt::Display) -> FarmError {
+    FarmError::Io(e.to_string())
+}
+
+/// Join a fleet and work until the coordinator reports completion, a
+/// drain is requested, or the coordinator stays unreachable past
+/// `max_offline_ms`. See the module docs for the loop's contract.
+pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, FarmError> {
+    if cfg.n_workers == 0 {
+        return Err(FarmError::Config("need at least one worker".into()));
+    }
+    std::fs::create_dir_all(&cfg.dir).map_err(io_err)?;
+    std::fs::remove_file(farm_stop_path(&cfg.dir)).ok();
+
+    let mut client = FleetClient::new(
+        &cfg.coordinator,
+        cfg.io_timeout_ms,
+        cfg.backoff,
+        cfg.seed ^ 0x9E37_79B9_7F4A_7C15,
+        cfg.net_chaos,
+    );
+    let mut held: Vec<Held> = Vec::new();
+    let mut report = AgentReport {
+        shards_completed: 0,
+        shards_poisoned: 0,
+        fenced: 0,
+        spawns: 0,
+        worker_deaths: 0,
+        drained: false,
+        all_done: false,
+        gave_up: false,
+        faults_injected: 0,
+    };
+
+    let started = Instant::now();
+    let now_ms = |started: &Instant| started.elapsed().as_millis() as u64;
+    let mut draining = false;
+    let mut drain_deadline_ms = u64::MAX;
+    let mut next_lease_at_ms = 0u64;
+    let mut all_done = false;
+
+    macro_rules! enter_drain {
+        ($now:expr) => {
+            if !draining {
+                draining = true;
+                drain_deadline_ms = $now + cfg.grace_ms;
+                eprintln!(
+                    "fleet[{}]: drain requested; flushing {} lease(s)",
+                    cfg.name,
+                    held.len()
+                );
+                for h in &held {
+                    let _ = std::fs::write(Checkpoint::stop_path(&h.dir), b"drain");
+                    if let Some(w) = &h.worker {
+                        w.interrupt();
+                    }
+                }
+            }
+        };
+    }
+
+    loop {
+        let now = now_ms(&started);
+
+        // 1. Local drain triggers.
+        if !draining && (shutdown_requested() || farm_stop_path(&cfg.dir).exists()) {
+            enter_drain!(now);
+        }
+
+        // 2. Reap exited workers.
+        for h in held.iter_mut() {
+            let (status, spawn_len) = {
+                let Some(w) = h.worker.as_mut() else { continue };
+                let Some(status) = w.try_wait().map_err(io_err)? else { continue };
+                (status, w.journal_len_at_spawn)
+            };
+            let progressed = journal_len(&h.dir) > spawn_len;
+            h.worker = None;
+            if status.success() && h.dir.join("result.json").exists() {
+                h.completing = true;
+                h.crashes = 0;
+                h.backoff.reset();
+            } else if status.code() == Some(130) || (draining && status.success()) {
+                // Flushed at a unit boundary: hand the lease back.
+                h.releasing = true;
+            } else {
+                report.worker_deaths += 1;
+                obs::add("fleet.agent_deaths", 1);
+                if progressed {
+                    h.crashes = 0;
+                    h.backoff.reset();
+                }
+                h.crashes = h.crashes.saturating_add(1);
+                if draining {
+                    h.releasing = true;
+                } else if h.crashes >= cfg.crash_threshold {
+                    h.poisoning = true;
+                } else {
+                    h.respawn_at_ms = now + h.backoff.next_delay_ms();
+                }
+            }
+        }
+
+        // 3. Local hang watchdog: the journal watermark is the
+        // heartbeat, exactly as in the local farm.
+        for h in held.iter_mut() {
+            let hung = match &h.worker {
+                None => false,
+                Some(_) => {
+                    let len = journal_len(&h.dir);
+                    if len > h.journal_last_seen {
+                        h.journal_last_seen = len;
+                        h.last_progress_ms = now;
+                        false
+                    } else {
+                        now > h.last_progress_ms + h.heartbeat_ms
+                    }
+                }
+            };
+            if hung {
+                let mut w = h.worker.take().expect("hung implies a live worker");
+                eprintln!(
+                    "fleet[{}]: shard {} hung (no journal growth for {} ms); killing worker {}",
+                    cfg.name,
+                    h.shard,
+                    h.heartbeat_ms,
+                    w.pid()
+                );
+                let progressed = journal_len(&h.dir) > w.journal_len_at_spawn;
+                w.kill();
+                report.worker_deaths += 1;
+                obs::add("fleet.agent_deaths", 1);
+                if progressed {
+                    h.crashes = 0;
+                    h.backoff.reset();
+                }
+                h.crashes = h.crashes.saturating_add(1);
+                if draining {
+                    h.releasing = true;
+                } else if h.crashes >= cfg.crash_threshold {
+                    h.poisoning = true;
+                } else {
+                    h.respawn_at_ms = now + h.backoff.next_delay_ms();
+                }
+            }
+        }
+
+        // 4. One protocol exchange per lease per pass: ship results,
+        // report poison, hand back drained leases, keep alive the rest.
+        let mut drop_idx: Vec<usize> = Vec::new();
+        let mut saw_drain = false;
+        for (i, h) in held.iter_mut().enumerate() {
+            if h.completing {
+                let meta = match CampaignMeta::load(&h.dir.join("result.json")) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        // Corrupt result: scrap it and let a respawned
+                        // worker regenerate from the journal.
+                        std::fs::remove_file(h.dir.join("result.json")).ok();
+                        h.completing = false;
+                        h.respawn_at_ms = now;
+                        continue;
+                    }
+                };
+                let req = Request::Complete {
+                    agent: cfg.name.clone(),
+                    shard: h.shard,
+                    epoch: h.epoch,
+                    fence: h.fence,
+                    meta: Box::new(meta),
+                };
+                match client.call(&req) {
+                    Ok(Reply::Ok) => {
+                        report.shards_completed += 1;
+                        obs::add("fleet.agent_completes", 1);
+                        drop_idx.push(i);
+                    }
+                    Ok(Reply::Fenced { reason }) => {
+                        eprintln!(
+                            "fleet[{}]: completion of shard {} fenced ({reason}); \
+                             keeping the checkpoint",
+                            cfg.name, h.shard
+                        );
+                        report.fenced += 1;
+                        drop_idx.push(i);
+                    }
+                    Ok(_) | Err(_) => {} // retry next pass
+                }
+            } else if h.poisoning {
+                let req = Request::Poison {
+                    agent: cfg.name.clone(),
+                    shard: h.shard,
+                    epoch: h.epoch,
+                    fence: h.fence,
+                    crashes: h.crashes,
+                };
+                match client.call(&req) {
+                    Ok(Reply::Ok) => {
+                        let record = serde_json::json!({
+                            "shard": h.shard,
+                            "agent": cfg.name,
+                            "consecutive_crashes": h.crashes,
+                            "replay": format!(
+                                "varity-gpu campaign --resume {} (after deleting {})",
+                                h.dir.display(),
+                                poison_path(&h.dir).display()
+                            ),
+                        });
+                        let bytes = serde_json::to_vec_pretty(&record).map_err(io_err)?;
+                        atomic_write(&poison_path(&h.dir), &bytes).map_err(io_err)?;
+                        report.shards_poisoned += 1;
+                        eprintln!(
+                            "fleet[{}]: shard {} poisoned after {} consecutive no-progress crashes",
+                            cfg.name, h.shard, h.crashes
+                        );
+                        drop_idx.push(i);
+                    }
+                    Ok(Reply::Fenced { .. }) => {
+                        report.fenced += 1;
+                        drop_idx.push(i);
+                    }
+                    Ok(_) | Err(_) => {}
+                }
+            } else if h.releasing {
+                let req = Request::Release {
+                    agent: cfg.name.clone(),
+                    shard: h.shard,
+                    epoch: h.epoch,
+                    fence: h.fence,
+                    reason: "drain".into(),
+                };
+                match client.call(&req) {
+                    Ok(Reply::Ok) => drop_idx.push(i),
+                    Ok(Reply::Fenced { .. }) => {
+                        report.fenced += 1;
+                        drop_idx.push(i);
+                    }
+                    Ok(_) | Err(_) => {}
+                }
+            } else if now >= h.last_hb_ms + (h.heartbeat_ms / 3).max(1) {
+                let req = Request::Heartbeat {
+                    agent: cfg.name.clone(),
+                    shard: h.shard,
+                    epoch: h.epoch,
+                    fence: h.fence,
+                };
+                match client.call(&req) {
+                    Ok(Reply::Ok) => h.last_hb_ms = now,
+                    Ok(Reply::Fenced { reason }) => {
+                        eprintln!(
+                            "fleet[{}]: lease on shard {} fenced ({reason}); \
+                             killing worker, keeping checkpoint",
+                            cfg.name, h.shard
+                        );
+                        if let Some(w) = h.worker.as_mut() {
+                            w.kill();
+                            report.worker_deaths += 1;
+                        }
+                        h.worker = None;
+                        report.fenced += 1;
+                        obs::add("fleet.agent_fenced", 1);
+                        drop_idx.push(i);
+                    }
+                    Ok(Reply::Drain) => saw_drain = true,
+                    Ok(_) | Err(_) => {}
+                }
+            }
+        }
+        for i in drop_idx.into_iter().rev() {
+            held.remove(i);
+        }
+        if saw_drain {
+            enter_drain!(now);
+        }
+
+        // 5. Lease more work.
+        if !draining && !all_done && held.len() < cfg.n_workers && now >= next_lease_at_ms {
+            match client.call(&Request::Lease { agent: cfg.name.clone() }) {
+                Ok(Reply::Grant { shard, n_shards, epoch, fence, heartbeat_ms, reference, config }) => {
+                    let (dir, already_complete) =
+                        materialize_shard(&cfg.dir, shard, n_shards, &config)?;
+                    let mut spec = cfg.worker.clone();
+                    if reference && !spec.prefix_args.iter().any(|a| a == "--reference") {
+                        spec.prefix_args.push("--reference".into());
+                    }
+                    let journal_seen = journal_len(&dir);
+                    held.push(Held {
+                        shard,
+                        epoch,
+                        fence,
+                        dir,
+                        heartbeat_ms,
+                        spec,
+                        worker: None,
+                        crashes: 0,
+                        backoff: Backoff::new(cfg.backoff, cfg.seed ^ fence),
+                        respawn_at_ms: now,
+                        last_hb_ms: now,
+                        journal_last_seen: journal_seen,
+                        last_progress_ms: now,
+                        completing: already_complete,
+                        releasing: false,
+                        poisoning: false,
+                    });
+                }
+                Ok(Reply::Wait { retry_ms }) => next_lease_at_ms = now + retry_ms,
+                Ok(Reply::AllDone) => all_done = true,
+                Ok(Reply::Drain) => enter_drain!(now),
+                Ok(_) => next_lease_at_ms = now + 250,
+                Err(_) => next_lease_at_ms = now + 100,
+            }
+        }
+
+        // 6. Spawn workers for leases that need one.
+        if !draining {
+            for h in held.iter_mut() {
+                if h.worker.is_some()
+                    || h.completing
+                    || h.releasing
+                    || h.poisoning
+                    || now < h.respawn_at_ms
+                {
+                    continue;
+                }
+                let len = journal_len(&h.dir);
+                match WorkerHandle::spawn(&h.spec, h.fence, h.shard, &h.dir, len) {
+                    Ok(w) => {
+                        report.spawns += 1;
+                        obs::add("fleet.agent_spawns", 1);
+                        h.journal_last_seen = len;
+                        h.last_progress_ms = now;
+                        h.worker = Some(w);
+                    }
+                    Err(e) => {
+                        eprintln!("fleet[{}]: failed to spawn worker for shard {}: {e}", cfg.name, h.shard);
+                        report.worker_deaths += 1;
+                        h.crashes = h.crashes.saturating_add(1);
+                        if h.crashes >= cfg.crash_threshold {
+                            h.poisoning = true;
+                        } else {
+                            h.respawn_at_ms = now + h.backoff.next_delay_ms();
+                        }
+                    }
+                }
+            }
+        }
+
+        // 7. Offline give-up: no successful exchange for too long means
+        // the coordinator (or the network to it) is gone. Keep every
+        // checkpoint; a later --join resumes them.
+        if client.consecutive_failures() > 0 {
+            let offline_ms = client.ms_since_last_ok().unwrap_or(now);
+            if offline_ms > cfg.max_offline_ms {
+                eprintln!(
+                    "fleet[{}]: no successful exchange for {} ms; giving up \
+                     (checkpoints kept under {})",
+                    cfg.name,
+                    offline_ms,
+                    cfg.dir.display()
+                );
+                for h in held.iter_mut() {
+                    if let Some(w) = h.worker.as_mut() {
+                        w.kill();
+                    }
+                }
+                held.clear();
+                report.gave_up = true;
+                break;
+            }
+        }
+
+        // 8. Termination.
+        if draining {
+            if now > drain_deadline_ms {
+                for h in held.iter_mut() {
+                    if let Some(w) = h.worker.as_mut() {
+                        eprintln!(
+                            "fleet[{}]: drain grace expired; hard-killing worker {}",
+                            cfg.name,
+                            w.pid()
+                        );
+                        w.kill();
+                    }
+                    h.worker = None;
+                }
+                held.clear();
+                report.drained = true;
+                break;
+            }
+            // Leases with exited workers flow through releasing /
+            // completing above; once all are handed off we are done.
+            if held.is_empty() {
+                report.drained = true;
+                break;
+            }
+        } else if all_done && held.is_empty() {
+            report.all_done = true;
+            break;
+        }
+
+        std::thread::sleep(std::time::Duration::from_millis(cfg.poll_ms));
+    }
+
+    report.faults_injected = client.faults_injected();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest::TestMode;
+    use progen::Precision;
+
+    fn tiny_config() -> CampaignConfig {
+        let mut c = CampaignConfig::default_for(Precision::F32, TestMode::Direct);
+        c.n_programs = 6;
+        c.inputs_per_program = 2;
+        c
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fleet-agent-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn materialize_creates_a_resumable_checkpoint() {
+        let root = temp_root("mat");
+        let config = tiny_config();
+        let (dir, complete) = materialize_shard(&root, 1, 3, &config).unwrap();
+        assert!(!complete);
+        assert!(Checkpoint::config_path(&dir).exists());
+        let spec: ShardSpec =
+            serde_json::from_str(&std::fs::read_to_string(Checkpoint::shard_path(&dir)).unwrap())
+                .unwrap();
+        assert_eq!((spec.index, spec.count), (1, 3));
+        // Second materialization adopts instead of clobbering.
+        let (dir2, complete) = materialize_shard(&root, 1, 3, &config).unwrap();
+        assert_eq!(dir, dir2);
+        assert!(!complete);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn materialize_reports_a_finished_matching_result() {
+        let root = temp_root("adopt");
+        let config = tiny_config();
+        let dir = shard_dir(&root, 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut meta = CampaignMeta::generate_shard(&config, 0, 2);
+        meta.sides_run = vec![];
+        meta.save(&dir.join("result.json")).unwrap();
+        let (_, complete) = materialize_shard(&root, 0, 2, &config).unwrap();
+        assert!(complete, "a finished shard must be shipped, not re-run");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn materialize_rejects_results_and_checkpoints_from_other_campaigns() {
+        let root = temp_root("mismatch");
+        let config = tiny_config();
+        let mut other = tiny_config();
+        other.n_programs += 1;
+        let dir = shard_dir(&root, 0);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut stale = CampaignMeta::generate_shard(&other, 0, 2);
+        stale.sides_run = vec![];
+        stale.save(&dir.join("result.json")).unwrap();
+        assert!(matches!(
+            materialize_shard(&root, 0, 2, &config),
+            Err(FarmError::Config(_))
+        ));
+        // A mid-flight checkpoint with the wrong geometry is rejected
+        // too (delegates to the supervisor's adopted-shard validation).
+        let root2 = temp_root("mismatch2");
+        let dir2 = shard_dir(&root2, 0);
+        Checkpoint::create_sharded(&dir2, &config, Some(ShardSpec { index: 0, count: 5 })).unwrap();
+        assert!(matches!(
+            materialize_shard(&root2, 0, 2, &config),
+            Err(FarmError::Config(_))
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::remove_dir_all(&root2).ok();
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let cfg = AgentConfig::new("127.0.0.1:1", temp_root("zw"), 0, WorkerSpec::new("/bin/sh"));
+        assert!(matches!(run_agent(&cfg), Err(FarmError::Config(_))));
+    }
+}

@@ -1,0 +1,944 @@
+//! The fleet coordinator: the lease queue behind a socket, with a
+//! write-ahead journal making every decision crash-safe.
+//!
+//! The heart is [`CoordState`], a *pure* state machine: `handle(req,
+//! now_ms)` mutates the in-memory queue and returns the reply to send
+//! plus the [`CoordEvent`]s that justify it. The server loop journals
+//! those events — durably, via the CRC-framed [`CoordJournal`] —
+//! *before* the reply leaves the socket, so an agent can never hold a
+//! promise the journal doesn't know about. A journal append failure is
+//! fatal by design: better to die and replay a truthful journal than to
+//! keep serving from memory the disk disagrees with.
+//!
+//! Restart = replay: completed shards fold back into the merge, their
+//! completing `(epoch, fence)` identity is remembered (a zombie agent
+//! re-sending an old completion is re-acked idempotently, any other
+//! stale identity is fenced), poisoned shards stay quarantined, and
+//! in-flight leases are voided under a bumped epoch. No shard is lost;
+//! no shard is double-merged.
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use difftest::checkpoint::atomic_write;
+use difftest::fault::shutdown_requested;
+use difftest::metadata::CampaignMeta;
+use difftest::CampaignConfig;
+
+use crate::coordjournal::{CoordEvent, CoordJournal};
+use crate::lease::{LeaseState, ShardId, WorkQueue};
+use crate::proto::{read_message, write_message, Reply, Request};
+use crate::status::StatusServer;
+use crate::supervisor::{farm_stop_path, merged_path, FarmError};
+
+/// Suggested delay for [`Reply::Wait`].
+pub const WAIT_RETRY_MS: u64 = 200;
+
+/// Everything the coordinator needs to own one campaign's queue.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// The campaign being dealt out.
+    pub campaign: CampaignConfig,
+    /// Shard count (the unit of lease, recovery, and merge).
+    pub n_shards: usize,
+    /// Address to listen on (`host:port`; port 0 picks a free port,
+    /// published to `<dir>/coord.addr`).
+    pub bind: String,
+    /// Coordinator root: holds `coord.journal`, the rolling
+    /// `merged.json`, `coord.addr`, and the drain `stop` file.
+    pub dir: PathBuf,
+    /// Lease heartbeat window: a granted shard with no agent keepalive
+    /// for this long is expired and re-granted.
+    pub heartbeat_ms: u64,
+    /// Event-loop poll interval.
+    pub poll_ms: u64,
+    /// How long a drain keeps serving so agents can flush and release.
+    pub grace_ms: u64,
+    /// Ask agents to also run the double-double ground-truth side.
+    pub reference: bool,
+    /// How long to keep answering `AllDone` after the last shard
+    /// settles, so every agent hears the verdict before the socket
+    /// closes.
+    pub linger_ms: u64,
+    /// Bind address for the HTTP status endpoint (`None` = off).
+    pub status_addr: Option<String>,
+}
+
+impl CoordConfig {
+    /// Coordinator over `campaign` with production defaults: 30 s
+    /// heartbeat, 50 ms poll, 10 s drain grace, 3 s linger.
+    pub fn new(
+        campaign: CampaignConfig,
+        n_shards: usize,
+        bind: impl Into<String>,
+        dir: impl Into<PathBuf>,
+    ) -> CoordConfig {
+        CoordConfig {
+            campaign,
+            n_shards,
+            bind: bind.into(),
+            dir: dir.into(),
+            heartbeat_ms: 30_000,
+            poll_ms: 50,
+            grace_ms: 10_000,
+            reference: false,
+            linger_ms: 3_000,
+            status_addr: None,
+        }
+    }
+}
+
+/// What a coordinator run produced.
+#[derive(Debug)]
+pub struct CoordReport {
+    /// The rolling merge of every completed shard.
+    pub merged: Option<CampaignMeta>,
+    /// Shards folded into `merged`.
+    pub shards_done: usize,
+    /// Shards in the poison quarantine.
+    pub shards_poisoned: Vec<ShardId>,
+    /// `true` if the run stopped on a drain rather than completion.
+    pub drained: bool,
+    /// The epoch this process served under.
+    pub epoch: u64,
+    /// Leases granted this process.
+    pub grants: u64,
+    /// Stale-identity messages rejected (`Reply::Fenced`).
+    pub fence_rejections: u64,
+    /// Duplicate completions re-acked idempotently.
+    pub dup_completes: u64,
+    /// Leases expired for keepalive silence.
+    pub lease_expiries: u64,
+    /// The exact way to resume a drained fleet, when `drained`.
+    pub resume_hint: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Lease {
+    fence: u64,
+    agent: String,
+}
+
+/// The coordinator's pure state machine. All time is caller-supplied
+/// milliseconds, so fencing, expiry, and grant policy are unit-testable
+/// and proptestable without sockets or sleeping.
+#[derive(Debug)]
+pub struct CoordState {
+    config: CampaignConfig,
+    n_shards: usize,
+    reference: bool,
+    epoch: u64,
+    next_fence: u64,
+    queue: WorkQueue,
+    leases: Vec<Option<Lease>>,
+    done_identity: Vec<Option<(u64, u64)>>,
+    merged: Option<CampaignMeta>,
+    draining: bool,
+    /// Counters mirrored into `obs` (`fleet.*`) and the final report.
+    pub grants: u64,
+    /// Stale-identity rejections issued.
+    pub fence_rejections: u64,
+    /// Duplicate completions re-acked.
+    pub dup_completes: u64,
+    /// Leases expired by `tick`.
+    pub lease_expiries: u64,
+}
+
+impl CoordState {
+    /// Rebuild the queue from a journal replay (`events` may be empty
+    /// for a fresh start). The returned state serves under an epoch one
+    /// past anything the journal has seen, with every in-flight lease
+    /// voided and every fence token above any previously issued.
+    pub fn replay(
+        config: CampaignConfig,
+        n_shards: usize,
+        heartbeat_ms: u64,
+        reference: bool,
+        events: &[CoordEvent],
+    ) -> Result<CoordState, FarmError> {
+        let mut state = CoordState {
+            config,
+            n_shards,
+            reference,
+            epoch: 0,
+            next_fence: 0,
+            queue: WorkQueue::new(n_shards, heartbeat_ms),
+            leases: vec![None; n_shards],
+            done_identity: vec![None; n_shards],
+            merged: None,
+            draining: false,
+            grants: 0,
+            fence_rejections: 0,
+            dup_completes: 0,
+            lease_expiries: 0,
+        };
+        let mut max_epoch = 0u64;
+        let mut max_fence = 0u64;
+        for ev in events {
+            match ev {
+                CoordEvent::Start { epoch, n_shards: n } => {
+                    if *n != n_shards {
+                        return Err(FarmError::Config(format!(
+                            "journal was written for {n} shards but this run wants {n_shards}; \
+                             use a fresh --dir or rerun with --shards {n}"
+                        )));
+                    }
+                    max_epoch = max_epoch.max(*epoch);
+                }
+                CoordEvent::Grant { epoch, fence, shard, .. }
+                | CoordEvent::Heartbeat { epoch, fence, shard }
+                | CoordEvent::Release { epoch, fence, shard, .. } => {
+                    if *shard >= n_shards {
+                        return Err(FarmError::Config(format!(
+                            "journal references shard {shard} outside 0..{n_shards}"
+                        )));
+                    }
+                    max_epoch = max_epoch.max(*epoch);
+                    max_fence = max_fence.max(*fence);
+                }
+                CoordEvent::Poison { shard, epoch, fence, .. } => {
+                    if *shard >= n_shards {
+                        return Err(FarmError::Config(format!(
+                            "journal references shard {shard} outside 0..{n_shards}"
+                        )));
+                    }
+                    max_epoch = max_epoch.max(*epoch);
+                    max_fence = max_fence.max(*fence);
+                    state.queue.poison(*shard);
+                }
+                CoordEvent::Done { shard, epoch, fence, meta } => {
+                    if *shard >= n_shards {
+                        return Err(FarmError::Config(format!(
+                            "journal references shard {shard} outside 0..{n_shards}"
+                        )));
+                    }
+                    max_epoch = max_epoch.max(*epoch);
+                    max_fence = max_fence.max(*fence);
+                    if state.done_identity[*shard].is_none() {
+                        if meta.config != state.config {
+                            return Err(FarmError::Config(format!(
+                                "journaled result for shard {shard} belongs to a different \
+                                 campaign; use a fresh --dir"
+                            )));
+                        }
+                        state.fold(*meta.clone())?;
+                        state.queue.complete(*shard);
+                        state.done_identity[*shard] = Some((*epoch, *fence));
+                    }
+                }
+            }
+        }
+        state.epoch = max_epoch + 1;
+        state.next_fence = max_fence + 1;
+        Ok(state)
+    }
+
+    /// The epoch this state serves under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The rolling merge so far.
+    pub fn merged(&self) -> Option<&CampaignMeta> {
+        self.merged.as_ref()
+    }
+
+    /// Take the merge out (end of run).
+    pub fn take_merged(&mut self) -> Option<CampaignMeta> {
+        self.merged.take()
+    }
+
+    /// `true` once every shard is done or poisoned.
+    pub fn all_settled(&self) -> bool {
+        self.queue.all_settled()
+    }
+
+    /// Shards currently granted out.
+    pub fn leased_count(&self) -> usize {
+        self.queue.tally().1
+    }
+
+    /// Counts of (available, leased, done, poisoned) shards.
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        self.queue.tally()
+    }
+
+    /// Poisoned shards, lowest first.
+    pub fn poisoned_shards(&self) -> Vec<ShardId> {
+        (0..self.n_shards).filter(|&k| self.queue.state(k) == LeaseState::Poisoned).collect()
+    }
+
+    /// Enter drain mode: no new grants; agents are told to flush,
+    /// release, and exit.
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// `true` once `drain` was called.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    fn fold(&mut self, meta: CampaignMeta) -> Result<(), FarmError> {
+        let next = match self.merged.take() {
+            None => meta,
+            Some(acc) => CampaignMeta::merge_shards_partial(vec![acc, meta])?,
+        };
+        obs::add("fleet.merge_folds", 1);
+        self.merged = Some(next);
+        Ok(())
+    }
+
+    fn fenced(&mut self, why: impl Into<String>) -> (Reply, Vec<CoordEvent>) {
+        self.fence_rejections += 1;
+        obs::add("fleet.fence_rejections", 1);
+        (Reply::Fenced { reason: why.into() }, Vec::new())
+    }
+
+    /// Validate a shard-scoped `(shard, epoch, fence)` identity against
+    /// the live lease table. `Ok` means the caller holds the current
+    /// lease on `shard`.
+    fn check_identity(&mut self, shard: usize, epoch: u64, fence: u64) -> Result<(), (Reply, Vec<CoordEvent>)> {
+        if shard >= self.n_shards {
+            return Err((Reply::Error { reason: format!("unknown shard {shard}") }, Vec::new()));
+        }
+        if epoch != self.epoch {
+            return Err(self.fenced(format!(
+                "stale epoch {epoch} (coordinator is at {}; it restarted since this lease)",
+                self.epoch
+            )));
+        }
+        match (&self.queue.state(shard), &self.leases[shard]) {
+            (LeaseState::Leased { .. }, Some(l)) if l.fence == fence => Ok(()),
+            _ => Err(self.fenced(format!("no live lease on shard {shard} with fence {fence}"))),
+        }
+    }
+
+    /// Serve one request at virtual time `now_ms`. Returns the reply
+    /// and the journal events that must be durable *before* the reply
+    /// is sent.
+    pub fn handle(&mut self, req: &Request, now_ms: u64) -> (Reply, Vec<CoordEvent>) {
+        match req {
+            Request::Lease { agent } => {
+                if self.draining {
+                    return (Reply::Drain, Vec::new());
+                }
+                if self.queue.all_settled() {
+                    return (Reply::AllDone, Vec::new());
+                }
+                let fence = self.next_fence;
+                match self.queue.acquire(now_ms, fence) {
+                    None => (Reply::Wait { retry_ms: WAIT_RETRY_MS }, Vec::new()),
+                    Some(shard) => {
+                        self.next_fence += 1;
+                        self.leases[shard] = Some(Lease { fence, agent: agent.clone() });
+                        self.grants += 1;
+                        obs::add("fleet.grants", 1);
+                        let ev = CoordEvent::Grant {
+                            shard,
+                            epoch: self.epoch,
+                            fence,
+                            agent: agent.clone(),
+                        };
+                        let reply = Reply::Grant {
+                            shard,
+                            n_shards: self.n_shards,
+                            epoch: self.epoch,
+                            fence,
+                            heartbeat_ms: self.queue.heartbeat_ms(),
+                            reference: self.reference,
+                            config: Box::new(self.config.clone()),
+                        };
+                        (reply, vec![ev])
+                    }
+                }
+            }
+            Request::Heartbeat { shard, epoch, fence, .. } => {
+                if self.draining {
+                    return (Reply::Drain, Vec::new());
+                }
+                if let Err(r) = self.check_identity(*shard, *epoch, *fence) {
+                    return r;
+                }
+                self.queue.heartbeat(*shard, now_ms);
+                (Reply::Ok, vec![CoordEvent::Heartbeat { shard: *shard, epoch: *epoch, fence: *fence }])
+            }
+            Request::Complete { shard, epoch, fence, meta, .. } => {
+                if *shard >= self.n_shards {
+                    return (Reply::Error { reason: format!("unknown shard {shard}") }, Vec::new());
+                }
+                // Idempotent re-ack first: the exact identity that
+                // completed this shard — even under an older epoch,
+                // replayed from the journal across a restart — gets Ok
+                // again, and nothing is merged twice.
+                if self.done_identity[*shard] == Some((*epoch, *fence)) {
+                    self.dup_completes += 1;
+                    obs::add("fleet.dup_completes", 1);
+                    return (Reply::Ok, Vec::new());
+                }
+                if let Err(r) = self.check_identity(*shard, *epoch, *fence) {
+                    return r;
+                }
+                if meta.config != self.config {
+                    return (
+                        Reply::Error { reason: "shard result is for a different campaign".into() },
+                        Vec::new(),
+                    );
+                }
+                if let Err(e) = self.fold(*meta.clone()) {
+                    return (Reply::Error { reason: format!("merge rejected shard: {e}") }, Vec::new());
+                }
+                self.queue.complete(*shard);
+                self.leases[*shard] = None;
+                self.done_identity[*shard] = Some((*epoch, *fence));
+                obs::add("fleet.completes", 1);
+                let ev = CoordEvent::Done {
+                    shard: *shard,
+                    epoch: *epoch,
+                    fence: *fence,
+                    meta: meta.clone(),
+                };
+                (Reply::Ok, vec![ev])
+            }
+            Request::Release { shard, epoch, fence, reason, .. } => {
+                if let Err(r) = self.check_identity(*shard, *epoch, *fence) {
+                    return r;
+                }
+                self.queue.release(*shard, now_ms, 0);
+                self.leases[*shard] = None;
+                let ev = CoordEvent::Release {
+                    shard: *shard,
+                    epoch: *epoch,
+                    fence: *fence,
+                    reason: reason.clone(),
+                };
+                (Reply::Ok, vec![ev])
+            }
+            Request::Poison { shard, epoch, fence, crashes, .. } => {
+                if let Err(r) = self.check_identity(*shard, *epoch, *fence) {
+                    return r;
+                }
+                self.queue.poison(*shard);
+                self.leases[*shard] = None;
+                obs::add("fleet.poisons", 1);
+                let ev = CoordEvent::Poison {
+                    shard: *shard,
+                    epoch: *epoch,
+                    fence: *fence,
+                    crashes: *crashes,
+                };
+                (Reply::Ok, vec![ev])
+            }
+        }
+    }
+
+    /// Expire leases whose keepalive went silent past the heartbeat
+    /// window. Returns the journal events (one `Release` per expiry)
+    /// that must be durable before the shards are re-granted — which
+    /// the caller guarantees by journaling them before the next
+    /// `handle`.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<CoordEvent> {
+        let mut events = Vec::new();
+        for shard in self.queue.expired(now_ms) {
+            let lease = self.leases[shard].take();
+            self.queue.release(shard, now_ms, 0);
+            self.lease_expiries += 1;
+            obs::add("fleet.lease_expiries", 1);
+            events.push(CoordEvent::Release {
+                shard,
+                epoch: self.epoch,
+                fence: lease.as_ref().map(|l| l.fence).unwrap_or(0),
+                reason: format!(
+                    "lease expired (no keepalive from {})",
+                    lease.map(|l| l.agent).unwrap_or_else(|| "unknown".into())
+                ),
+            });
+        }
+        events
+    }
+}
+
+/// Path of the coordinator's write-ahead journal under `root`.
+pub fn coord_journal_path(root: &std::path::Path) -> PathBuf {
+    root.join("coord.journal")
+}
+
+/// Path of the published listen address under `root` (written
+/// atomically once the socket is bound; `--bind host:0` runs discover
+/// their port here).
+pub fn coord_addr_path(root: &std::path::Path) -> PathBuf {
+    root.join("coord.addr")
+}
+
+fn io_err(e: impl std::fmt::Display) -> FarmError {
+    FarmError::Io(e.to_string())
+}
+
+/// Bind the listening socket, riding out `EADDRINUSE` left behind by a
+/// just-killed predecessor whose connections may still sit in
+/// TIME_WAIT. A restarted coordinator should wait out the kernel, not
+/// die: retry for ~75s (past Linux's 60s TIME_WAIT) before giving up.
+fn bind_with_retry(addr: &str) -> Result<TcpListener, FarmError> {
+    let deadline = Instant::now() + Duration::from_secs(75);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+}
+
+/// Serve one accepted connection: read a request, apply it, journal
+/// the resulting events, then — and only then — send the reply. A
+/// journal append failure is returned as fatal; a codec failure on the
+/// wire just drops the connection.
+fn serve_conn(
+    stream: &mut TcpStream,
+    state: &mut CoordState,
+    journal: &mut CoordJournal,
+    dir: &std::path::Path,
+    now_ms: u64,
+) -> Result<(), FarmError> {
+    stream.set_nonblocking(false).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(2_000))).ok();
+    stream.set_write_timeout(Some(Duration::from_millis(2_000))).ok();
+    let req: Request = match read_message(stream) {
+        Ok(r) => r,
+        Err(_) => {
+            // Torn frame, wrong version, or a stranger: no state
+            // change happened, so just drop the connection.
+            obs::add("fleet.codec_errors", 1);
+            return Ok(());
+        }
+    };
+    let (reply, events) = state.handle(&req, now_ms);
+    let mut completed = false;
+    for ev in &events {
+        journal.append(ev).map_err(io_err)?;
+        completed |= matches!(ev, CoordEvent::Done { .. });
+    }
+    if completed {
+        if let Some(m) = state.merged() {
+            m.save(&merged_path(dir))?;
+        }
+    }
+    // Reply delivery is best-effort: if the agent vanished it will
+    // retry, and the journal already reflects the truth.
+    let _ = write_message(stream, &reply);
+    // Wait briefly for the client's close (it drops the socket right
+    // after reading the reply). Being the passive closer keeps
+    // TIME_WAIT off the coordinator's port, so a killed coordinator
+    // can rebind the same address instead of colliding with its own
+    // ghost connections for 60s.
+    stream.set_read_timeout(Some(Duration::from_millis(500))).ok();
+    let _ = std::io::Read::read(stream, &mut [0u8; 1]);
+    Ok(())
+}
+
+fn healthz_snapshot(state: &CoordState, journal: &CoordJournal, now_ms: u64) -> serde_json::Value {
+    let (available, leased, done, poisoned) = state.tally();
+    serde_json::json!({
+        "role": "coordinator",
+        "epoch": state.epoch(),
+        "journal_frames": journal.frames(),
+        "journal_bytes": journal.len_bytes(),
+        "uptime_ms": now_ms,
+        "draining": state.draining(),
+        "shards": {
+            "available": available,
+            "leased": leased,
+            "done": done,
+            "poisoned": poisoned,
+        },
+    })
+}
+
+fn metrics_exposition(state: &CoordState) -> String {
+    let mut snap = obs::snapshot().filter_prefix("fleet.");
+    if let Some(metrics) = state.merged().and_then(|m| m.metrics.as_ref()) {
+        snap.merge(metrics);
+    }
+    obs::prom::render(&snap)
+}
+
+/// Run a coordinator to completion (or drain). Crash-safe by journal:
+/// kill it at any instant and a restart on the same `--dir` resumes
+/// with no shard lost or double-merged, under a bumped epoch that
+/// fences every lease the dead process had granted.
+pub fn run_coordinator(cfg: &CoordConfig) -> Result<CoordReport, FarmError> {
+    if cfg.n_shards == 0 {
+        return Err(FarmError::Config("need at least one shard".into()));
+    }
+    std::fs::create_dir_all(&cfg.dir).map_err(io_err)?;
+    std::fs::remove_file(farm_stop_path(&cfg.dir)).ok();
+
+    let journal_path = coord_journal_path(&cfg.dir);
+    let (mut journal, events) = if journal_path.exists() {
+        CoordJournal::open_for_resume(&journal_path).map_err(io_err)?
+    } else {
+        (CoordJournal::create(&journal_path).map_err(io_err)?, Vec::new())
+    };
+    let mut state = CoordState::replay(
+        cfg.campaign.clone(),
+        cfg.n_shards,
+        cfg.heartbeat_ms,
+        cfg.reference,
+        &events,
+    )?;
+    journal
+        .append(&CoordEvent::Start { epoch: state.epoch(), n_shards: cfg.n_shards })
+        .map_err(io_err)?;
+    journal.sync().map_err(io_err)?;
+    if !events.is_empty() {
+        eprintln!(
+            "fleet: coordinator resumed from {} journaled event(s); serving epoch {}",
+            events.len(),
+            state.epoch()
+        );
+    }
+    // The journal may hold the merge even when merged.json never made
+    // it to disk; re-persist so the two never disagree for long.
+    if let Some(m) = state.merged() {
+        m.save(&merged_path(&cfg.dir))?;
+    }
+
+    let listener = bind_with_retry(&cfg.bind)?;
+    let local = listener.local_addr().map_err(io_err)?;
+    atomic_write(&coord_addr_path(&cfg.dir), local.to_string().as_bytes()).map_err(io_err)?;
+    listener.set_nonblocking(true).map_err(io_err)?;
+    eprintln!("fleet: coordinator listening on {local} (epoch {})", state.epoch());
+
+    let status = match &cfg.status_addr {
+        Some(addr) => Some(StatusServer::bind(addr).map_err(io_err)?),
+        None => None,
+    };
+    if let Some(s) = &status {
+        eprintln!("fleet: status endpoint at http://{}/", s.local_addr());
+    }
+
+    let started = Instant::now();
+    let now_ms = |started: &Instant| started.elapsed().as_millis() as u64;
+    let mut draining = false;
+    let mut drain_deadline_ms = u64::MAX;
+    let mut settled_at_ms: Option<u64> = None;
+    let mut last_publish_ms = 0u64;
+
+    loop {
+        let now = now_ms(&started);
+
+        if !draining && (shutdown_requested() || farm_stop_path(&cfg.dir).exists()) {
+            draining = true;
+            drain_deadline_ms = now + cfg.grace_ms;
+            state.drain();
+            obs::add("fleet.drains", 1);
+            eprintln!(
+                "fleet: coordinator drain requested; serving releases for up to {} ms",
+                cfg.grace_ms
+            );
+        }
+
+        // Accept everything queued, one exchange per connection.
+        loop {
+            match listener.accept() {
+                Ok((mut stream, _)) => serve_conn(&mut stream, &mut state, &mut journal, &cfg.dir, now)?,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+
+        for ev in state.tick(now) {
+            journal.append(&ev).map_err(io_err)?;
+        }
+
+        if let Some(s) = &status {
+            if now >= last_publish_ms + 250 {
+                last_publish_ms = now;
+                s.publish_healthz(&healthz_snapshot(&state, &journal, now));
+                s.publish(&healthz_snapshot(&state, &journal, now));
+                s.publish_metrics(&metrics_exposition(&state));
+            }
+        }
+
+        if draining {
+            if state.leased_count() == 0 || now > drain_deadline_ms {
+                break;
+            }
+        } else if state.all_settled() {
+            // Keep answering AllDone for the linger window so every
+            // agent hears the verdict instead of timing out.
+            match settled_at_ms {
+                None => settled_at_ms = Some(now),
+                Some(t) if now >= t + cfg.linger_ms => break,
+                Some(_) => {}
+            }
+        }
+
+        std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+    }
+
+    journal.sync().map_err(io_err)?;
+    if let Some(m) = state.merged() {
+        m.save(&merged_path(&cfg.dir))?;
+    }
+    if let Some(s) = status {
+        s.publish_healthz(&healthz_snapshot(&state, &journal, now_ms(&started)));
+        s.publish_metrics(&metrics_exposition(&state));
+        s.shutdown();
+    }
+
+    let (_, _, done, _) = state.tally();
+    let drained = draining;
+    let mut report = CoordReport {
+        merged: None,
+        shards_done: done,
+        shards_poisoned: state.poisoned_shards(),
+        drained,
+        epoch: state.epoch(),
+        grants: state.grants,
+        fence_rejections: state.fence_rejections,
+        dup_completes: state.dup_completes,
+        lease_expiries: state.lease_expiries,
+        resume_hint: drained.then(|| {
+            format!(
+                "re-run the same coordinator command with --dir {} — the journal replays, \
+                 agents re-join, and unfinished shards are re-leased",
+                cfg.dir.display()
+            )
+        }),
+    };
+    report.merged = state.take_merged();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest::TestMode;
+    use progen::Precision;
+
+    fn tiny_config() -> CampaignConfig {
+        let mut c = CampaignConfig::default_for(Precision::F32, TestMode::Direct);
+        c.n_programs = 6;
+        c.inputs_per_program = 2;
+        c
+    }
+
+    fn shard_meta(config: &CampaignConfig, k: usize, n: usize) -> CampaignMeta {
+        let mut m = CampaignMeta::generate_shard(config, k, n);
+        m.sides_run = vec![];
+        m
+    }
+
+    fn fresh(n_shards: usize) -> CoordState {
+        CoordState::replay(tiny_config(), n_shards, 1_000, false, &[]).unwrap()
+    }
+
+    fn grant_of(reply: Reply) -> (usize, u64, u64) {
+        match reply {
+            Reply::Grant { shard, epoch, fence, .. } => (shard, epoch, fence),
+            other => panic!("expected Grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grant_complete_grant_all_done_happy_path() {
+        let mut st = fresh(2);
+        assert_eq!(st.epoch(), 1, "fresh state serves epoch 1");
+        let (r, evs) = st.handle(&Request::Lease { agent: "a".into() }, 0);
+        let (shard, epoch, fence) = grant_of(r);
+        assert_eq!((shard, epoch, fence), (0, 1, 1));
+        assert_eq!(evs.len(), 1);
+        let meta = shard_meta(&tiny_config(), 0, 2);
+        let complete = Request::Complete {
+            agent: "a".into(),
+            shard,
+            epoch,
+            fence,
+            meta: Box::new(meta),
+        };
+        let (r, evs) = st.handle(&complete, 10);
+        assert_eq!(r, Reply::Ok);
+        assert!(matches!(evs[0], CoordEvent::Done { shard: 0, .. }));
+        // The exact same Complete again: idempotent re-ack, no event,
+        // nothing merged twice.
+        let before = st.merged().unwrap().tests.len();
+        let (r, evs) = st.handle(&complete, 20);
+        assert_eq!(r, Reply::Ok);
+        assert!(evs.is_empty(), "duplicate completion must not journal");
+        assert_eq!(st.dup_completes, 1);
+        assert_eq!(st.merged().unwrap().tests.len(), before);
+        // Remaining shard, then AllDone.
+        let (r, _) = st.handle(&Request::Lease { agent: "b".into() }, 30);
+        let (shard, epoch, fence) = grant_of(r);
+        assert_eq!(shard, 1);
+        let meta = shard_meta(&tiny_config(), 1, 2);
+        let (r, _) = st.handle(
+            &Request::Complete { agent: "b".into(), shard, epoch, fence, meta: Box::new(meta) },
+            40,
+        );
+        assert_eq!(r, Reply::Ok);
+        assert!(st.all_settled());
+        let (r, _) = st.handle(&Request::Lease { agent: "b".into() }, 50);
+        assert_eq!(r, Reply::AllDone);
+        assert_eq!(st.merged().unwrap().tests.len(), 6, "both shards folded");
+    }
+
+    #[test]
+    fn expiry_voids_the_lease_and_the_zombie_is_fenced() {
+        let mut st = fresh(1);
+        let (r, _) = st.handle(&Request::Lease { agent: "zombie".into() }, 0);
+        let (shard, epoch, fence) = grant_of(r);
+        // Keepalive works while the lease is live.
+        let hb = Request::Heartbeat { agent: "zombie".into(), shard, epoch, fence };
+        let (r, evs) = st.handle(&hb, 500);
+        assert_eq!(r, Reply::Ok);
+        assert!(matches!(evs[0], CoordEvent::Heartbeat { .. }));
+        // Silence past the window: tick expires it.
+        let evs = st.tick(5_000);
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(&evs[0], CoordEvent::Release { reason, .. } if reason.contains("expired")));
+        assert_eq!(st.lease_expiries, 1);
+        // The zombie's late completion is rejected, not merged.
+        let meta = shard_meta(&tiny_config(), 0, 1);
+        let (r, evs) = st.handle(
+            &Request::Complete {
+                agent: "zombie".into(),
+                shard,
+                epoch,
+                fence,
+                meta: Box::new(meta.clone()),
+            },
+            5_010,
+        );
+        assert!(matches!(r, Reply::Fenced { .. }), "got {r:?}");
+        assert!(evs.is_empty());
+        assert!(st.merged().is_none());
+        assert_eq!(st.fence_rejections, 1);
+        // Re-grant carries a strictly higher fence; the new holder's
+        // completion lands.
+        let (r, _) = st.handle(&Request::Lease { agent: "fresh".into() }, 5_020);
+        let (shard2, epoch2, fence2) = grant_of(r);
+        assert_eq!(shard2, shard);
+        assert_eq!(epoch2, epoch);
+        assert!(fence2 > fence, "fence must be monotonic across re-grants");
+        let (r, _) = st.handle(
+            &Request::Complete {
+                agent: "fresh".into(),
+                shard: shard2,
+                epoch: epoch2,
+                fence: fence2,
+                meta: Box::new(meta),
+            },
+            5_030,
+        );
+        assert_eq!(r, Reply::Ok);
+        assert_eq!(st.merged().unwrap().tests.len(), 6);
+    }
+
+    #[test]
+    fn restart_replay_voids_leases_bumps_epoch_and_keeps_done_shards() {
+        let config = tiny_config();
+        let meta0 = shard_meta(&config, 0, 3);
+        // Journal from a previous life: shard 0 done, shard 1 granted
+        // (in flight at the kill), shard 2 poisoned.
+        let events = vec![
+            CoordEvent::Start { epoch: 1, n_shards: 3 },
+            CoordEvent::Grant { shard: 0, epoch: 1, fence: 1, agent: "a".into() },
+            CoordEvent::Done { shard: 0, epoch: 1, fence: 1, meta: Box::new(meta0.clone()) },
+            CoordEvent::Grant { shard: 1, epoch: 1, fence: 2, agent: "a".into() },
+            CoordEvent::Grant { shard: 2, epoch: 1, fence: 3, agent: "b".into() },
+            CoordEvent::Poison { shard: 2, epoch: 1, fence: 3, crashes: 4 },
+        ];
+        let mut st = CoordState::replay(config.clone(), 3, 1_000, false, &events).unwrap();
+        assert_eq!(st.epoch(), 2, "epoch bumps past everything journaled");
+        assert_eq!(st.tally(), (1, 0, 1, 1), "lease on shard 1 voided to available");
+        assert_eq!(st.merged().unwrap().tests.len(), meta0.tests.len(), "done shard folded back");
+        // The pre-restart holder of shard 1 heartbeats: stale epoch.
+        let (r, _) =
+            st.handle(&Request::Heartbeat { agent: "a".into(), shard: 1, epoch: 1, fence: 2 }, 0);
+        assert!(matches!(r, Reply::Fenced { .. }));
+        // A zombie re-sending shard 0's completion under its original
+        // identity is re-acked without a second merge.
+        let (r, evs) = st.handle(
+            &Request::Complete {
+                agent: "a".into(),
+                shard: 0,
+                epoch: 1,
+                fence: 1,
+                meta: Box::new(meta0),
+            },
+            0,
+        );
+        assert_eq!(r, Reply::Ok);
+        assert!(evs.is_empty());
+        assert_eq!(st.dup_completes, 1);
+        // New grants start above every journaled fence.
+        let (r, _) = st.handle(&Request::Lease { agent: "c".into() }, 0);
+        let (shard, epoch, fence) = grant_of(r);
+        assert_eq!((shard, epoch), (1, 2));
+        assert!(fence >= 4);
+    }
+
+    #[test]
+    fn replay_rejects_a_journal_for_a_different_geometry_or_campaign() {
+        let events = vec![CoordEvent::Start { epoch: 1, n_shards: 4 }];
+        assert!(matches!(
+            CoordState::replay(tiny_config(), 2, 1_000, false, &events),
+            Err(FarmError::Config(_))
+        ));
+        let mut other = tiny_config();
+        other.n_programs += 1;
+        let events = vec![CoordEvent::Done {
+            shard: 0,
+            epoch: 1,
+            fence: 1,
+            meta: Box::new(shard_meta(&other, 0, 2)),
+        }];
+        assert!(matches!(
+            CoordState::replay(tiny_config(), 2, 1_000, false, &events),
+            Err(FarmError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn draining_refuses_grants_but_still_accepts_completions() {
+        let mut st = fresh(2);
+        let (r, _) = st.handle(&Request::Lease { agent: "a".into() }, 0);
+        let (shard, epoch, fence) = grant_of(r);
+        st.drain();
+        let (r, _) = st.handle(&Request::Lease { agent: "b".into() }, 1);
+        assert_eq!(r, Reply::Drain);
+        let (r, _) =
+            st.handle(&Request::Heartbeat { agent: "a".into(), shard, epoch, fence }, 2);
+        assert_eq!(r, Reply::Drain, "keepalives also learn about the drain");
+        let meta = shard_meta(&tiny_config(), 0, 2);
+        let (r, _) = st.handle(
+            &Request::Complete { agent: "a".into(), shard, epoch, fence, meta: Box::new(meta) },
+            3,
+        );
+        assert_eq!(r, Reply::Ok, "in-flight work is never thrown away by a drain");
+        assert_eq!(st.leased_count(), 0);
+    }
+
+    #[test]
+    fn poison_message_quarantines_the_shard() {
+        let mut st = fresh(1);
+        let (r, _) = st.handle(&Request::Lease { agent: "a".into() }, 0);
+        let (shard, epoch, fence) = grant_of(r);
+        let (r, evs) = st.handle(
+            &Request::Poison { agent: "a".into(), shard, epoch, fence, crashes: 3 },
+            1,
+        );
+        assert_eq!(r, Reply::Ok);
+        assert!(matches!(evs[0], CoordEvent::Poison { crashes: 3, .. }));
+        assert!(st.all_settled());
+        assert_eq!(st.poisoned_shards(), vec![0]);
+        let (r, _) = st.handle(&Request::Lease { agent: "a".into() }, 2);
+        assert_eq!(r, Reply::AllDone, "poisoned shards are settled, not re-leased");
+    }
+}

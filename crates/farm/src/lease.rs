@@ -101,8 +101,13 @@ impl WorkQueue {
     }
 
     /// Return `shard` to the pool, not leasable again before
-    /// `now + delay_ms` (respawn backoff).
+    /// `now + delay_ms` (respawn backoff). The delay is capped at
+    /// [`crate::backoff::MAX`]: the queue's re-eligibility policy and
+    /// the backoff policy stay aligned, so no caller — misconfigured
+    /// cap, saturated jitter, or a fleet coordinator translating remote
+    /// failures into delays — can bench a shard unboundedly.
     pub fn release(&mut self, shard: ShardId, now_ms: u64, delay_ms: u64) {
+        let delay_ms = delay_ms.min(crate::backoff::MAX);
         self.states[shard] = LeaseState::Available { eligible_at_ms: now_ms + delay_ms };
     }
 
@@ -177,6 +182,24 @@ mod tests {
         q.release(0, 50, 200);
         assert_eq!(q.acquire(100, 2), None, "still backing off until 250");
         assert_eq!(q.acquire(250, 2), Some(0));
+    }
+
+    #[test]
+    fn release_caps_the_delay_at_the_backoff_ceiling() {
+        let mut q = WorkQueue::new(1, 100);
+        q.acquire(0, 1);
+        // a delay far past the policy ceiling (e.g. a runaway cap_ms or
+        // a poisoned-then-recovered shard) is clamped to backoff::MAX
+        q.release(0, 1_000, crate::backoff::MAX * 100);
+        assert_eq!(
+            q.state(0),
+            LeaseState::Available { eligible_at_ms: 1_000 + crate::backoff::MAX }
+        );
+        assert_eq!(q.acquire(1_000 + crate::backoff::MAX - 1, 2), None, "still benched");
+        assert_eq!(q.acquire(1_000 + crate::backoff::MAX, 2), Some(0), "bounded bench");
+        // delays at or under the ceiling pass through untouched
+        q.release(0, 2_000, 250);
+        assert_eq!(q.state(0), LeaseState::Available { eligible_at_ms: 2_250 });
     }
 
     #[test]

@@ -38,6 +38,15 @@
 //! * [`chaos`] — the farm's own adversary: a seeded killer that
 //!   `SIGKILL`s random workers mid-run so CI can prove the merged report
 //!   stays byte-identical to a single-process run.
+//! * [`proto`] — the fleet wire protocol: version-tagged, CRC-framed
+//!   request/reply messages carrying `(epoch, fence)` lease identities.
+//! * [`coordjournal`] — the coordinator's write-ahead journal; every
+//!   lease transition is durably framed before its reply is sent.
+//! * [`fleet`] — the cross-machine farm: `--coordinate` owns the lease
+//!   queue behind a socket, `--join` agents run workers exactly as the
+//!   local supervisor does, and a seeded network adversary proves the
+//!   merged report survives drops, duplicates, partitions, and
+//!   coordinator kills byte-identically.
 //!
 //! Farm-level telemetry rides the usual [`obs`] counters: `farm.spawns`,
 //! `farm.respawns`, `farm.reassignments`, `farm.worker_deaths`,
@@ -49,7 +58,10 @@
 pub mod backoff;
 pub mod breaker;
 pub mod chaos;
+pub mod coordjournal;
+pub mod fleet;
 pub mod lease;
+pub mod proto;
 pub mod rng;
 pub mod status;
 pub mod supervisor;
@@ -58,6 +70,11 @@ pub mod worker;
 pub use backoff::{Backoff, BackoffPolicy};
 pub use breaker::CrashBreaker;
 pub use chaos::{ChaosConfig, ChaosKiller};
+pub use coordjournal::{CoordEvent, CoordJournal};
+pub use fleet::{
+    run_agent, run_coordinator, AgentConfig, AgentReport, CoordConfig, CoordReport, CoordState,
+    FleetClient, NetChaosConfig,
+};
 pub use lease::{LeaseState, ShardId, WorkQueue};
 pub use status::StatusServer;
 pub use supervisor::{run_farm, FarmConfig, FarmReport};

@@ -3,7 +3,9 @@
 //! A deliberately tiny HTTP/1.1 responder over `std::net::TcpListener`:
 //! `GET /` or `GET /status` returns the most recently published JSON
 //! snapshot, `GET /metrics` returns the most recently published
-//! Prometheus text exposition, anything else is a 404. Malformed
+//! Prometheus text exposition, `GET /healthz` returns the published
+//! liveness probe (for the fleet: coordinator epoch + journal length —
+//! cheap enough for agents to poll), anything else is a 404. Malformed
 //! request lines get a 400 and header blocks over 16 KB get a 431, so a
 //! confused or hostile client can't wedge the supervisor. No external
 //! HTTP crate — the endpoint exists so an operator (or the CI smoke
@@ -25,6 +27,7 @@ pub struct StatusServer {
     addr: SocketAddr,
     body: Arc<Mutex<String>>,
     metrics: Arc<Mutex<String>>,
+    healthz: Arc<Mutex<String>>,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -38,14 +41,16 @@ impl StatusServer {
         let addr = listener.local_addr()?;
         let body = Arc::new(Mutex::new(String::from("{}")));
         let metrics = Arc::new(Mutex::new(String::new()));
+        let healthz = Arc::new(Mutex::new(String::from("{}")));
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let body = Arc::clone(&body);
             let metrics = Arc::clone(&metrics);
+            let healthz = Arc::clone(&healthz);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || serve(listener, body, metrics, stop))
+            std::thread::spawn(move || serve(listener, body, metrics, healthz, stop))
         };
-        Ok(StatusServer { addr, body, metrics, stop, thread: Some(thread) })
+        Ok(StatusServer { addr, body, metrics, healthz, stop, thread: Some(thread) })
     }
 
     /// The bound address (useful with port 0).
@@ -64,6 +69,15 @@ impl StatusServer {
     pub fn publish_metrics(&self, text: &str) {
         let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         text.clone_into(&mut m);
+    }
+
+    /// Replace the liveness probe served to subsequent `/healthz`
+    /// requests. The fleet coordinator publishes its epoch and journal
+    /// length here, so agents (and operators) can tell a live restart
+    /// from a dead coordinator with one cheap GET.
+    pub fn publish_healthz(&self, snapshot: &serde_json::Value) {
+        let mut h = self.healthz.lock().unwrap_or_else(|e| e.into_inner());
+        *h = snapshot.to_string();
     }
 
     /// Stop the serving thread and release the port.
@@ -89,6 +103,7 @@ fn serve(
     listener: TcpListener,
     body: Arc<Mutex<String>>,
     metrics: Arc<Mutex<String>>,
+    healthz: Arc<Mutex<String>>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::SeqCst) {
@@ -96,8 +111,9 @@ fn serve(
             Ok((stream, _)) => {
                 let snapshot = body.lock().unwrap_or_else(|e| e.into_inner()).clone();
                 let prom = metrics.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                let health = healthz.lock().unwrap_or_else(|e| e.into_inner()).clone();
                 // One request per connection; errors just drop the client.
-                let _ = respond(stream, &snapshot, &prom);
+                let _ = respond(stream, &snapshot, &prom, &health);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -107,7 +123,7 @@ fn serve(
     }
 }
 
-fn respond(mut stream: TcpStream, json: &str, prom: &str) -> std::io::Result<()> {
+fn respond(mut stream: TcpStream, json: &str, prom: &str, health: &str) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     // Drain the request until the end of the header block (or timeout).
     let mut buf = [0u8; 1024];
@@ -141,6 +157,7 @@ fn respond(mut stream: TcpStream, json: &str, prom: &str) -> std::io::Result<()>
         None => ("400 Bad Request", "text/plain; charset=utf-8", "malformed request line\n"),
         Some(path) => match path {
             "/" | "/status" => ("200 OK", "application/json", json),
+            "/healthz" => ("200 OK", "application/json", health),
             "/metrics" => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", prom),
             _ => ("404 Not Found", "text/plain; charset=utf-8", "unknown path\n"),
         },
@@ -248,6 +265,29 @@ mod tests {
             assert!(r.starts_with("HTTP/1.1 200 OK"), "{path}: {r}");
             assert!(r.contains("\"ok\":true"), "{path}: {r}");
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_serves_the_published_liveness_probe() {
+        let server = StatusServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let empty = get(addr, "/healthz");
+        assert!(empty.starts_with("HTTP/1.1 200 OK"), "got: {empty}");
+        assert!(empty.ends_with("{}"), "initial probe is empty JSON: {empty}");
+
+        server.publish_healthz(&serde_json::json!({"epoch": 3, "journal_frames": 17}));
+        let probed = get(addr, "/healthz?from=agent");
+        let body_start = probed.find("\r\n\r\n").expect("header/body split") + 4;
+        let parsed: serde_json::Value =
+            serde_json::from_str(&probed[body_start..]).expect("body parses as JSON");
+        assert_eq!(parsed["epoch"], 3);
+        assert_eq!(parsed["journal_frames"], 17);
+        // the probe is independent of /status
+        let status = get(addr, "/status");
+        assert!(status.ends_with("{}"), "status untouched: {status}");
+
         server.shutdown();
     }
 

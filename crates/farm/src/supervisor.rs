@@ -190,7 +190,7 @@ pub fn poison_path(shard_dir: &Path) -> PathBuf {
     shard_dir.join("poison.json")
 }
 
-fn journal_len(shard_dir: &Path) -> u64 {
+pub(crate) fn journal_len(shard_dir: &Path) -> u64 {
     std::fs::metadata(Checkpoint::journal_path(shard_dir)).map(|m| m.len()).unwrap_or(0)
 }
 
@@ -558,23 +558,35 @@ pub fn run_farm(cfg: &FarmConfig) -> Result<FarmReport, FarmError> {
 /// adopted shard, silently seed the merge with stale data. Fail fast
 /// and name the offending directory instead.
 fn validate_adopted_shard(cfg: &FarmConfig, shard: ShardId, dir: &Path) -> Result<(), FarmError> {
+    validate_shard_dir(&cfg.campaign, cfg.n_shards, shard, dir)
+}
+
+/// The config-free core of adopted-shard validation, shared with the
+/// fleet agent (which learns the campaign from its lease grant rather
+/// than a `FarmConfig`).
+pub(crate) fn validate_shard_dir(
+    campaign: &CampaignConfig,
+    n_shards: usize,
+    shard: ShardId,
+    dir: &Path,
+) -> Result<(), FarmError> {
     if let Ok(json) = std::fs::read_to_string(Checkpoint::shard_path(dir)) {
         let spec: ShardSpec = serde_json::from_str(&json).map_err(io_err)?;
-        if spec.index != shard || spec.count != cfg.n_shards {
+        if spec.index != shard || spec.count != n_shards {
             return Err(FarmError::Config(format!(
                 "{} was checkpointed as shard {}/{} but this farm runs {} shards; \
                  use a fresh --dir or rerun with --shards {}",
                 dir.display(),
                 spec.index,
                 spec.count,
-                cfg.n_shards,
+                n_shards,
                 spec.count
             )));
         }
     }
     if let Ok(json) = std::fs::read_to_string(Checkpoint::config_path(dir)) {
         let stored: CampaignConfig = serde_json::from_str(&json).map_err(io_err)?;
-        if stored != cfg.campaign {
+        if stored != *campaign {
             return Err(FarmError::Config(format!(
                 "{} was checkpointed for a different campaign \
                  (its config.json does not match this run's --seed/--programs); \

@@ -1,0 +1,159 @@
+//! In-process fleet integration: a real coordinator socket, two real
+//! agents with subprocess workers, and the seeded network adversary —
+//! proving the chaos-tortured fleet merges byte-identical to a calm
+//! run, with zero shards lost and zero double-merged.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use difftest::metadata::CampaignMeta;
+use difftest::{CampaignConfig, TestMode};
+use farm::supervisor::shard_dir;
+use farm::{
+    run_agent, run_coordinator, AgentConfig, AgentReport, CoordConfig, CoordReport, NetChaosConfig,
+    WorkerSpec,
+};
+use progen::Precision;
+
+const N_SHARDS: usize = 5;
+
+fn tiny_config() -> CampaignConfig {
+    let mut c = CampaignConfig::default_for(Precision::F32, TestMode::Direct);
+    c.n_programs = 10;
+    c.inputs_per_program = 2;
+    c
+}
+
+/// Workers are `/bin/sh` stand-ins that "finish" their shard by copying
+/// a canned, deterministic result into place — the same trick the
+/// supervisor tests use, so the fleet plumbing is testable without a
+/// cargo-built CLI binary.
+fn script_worker() -> WorkerSpec {
+    let mut spec = WorkerSpec::new("/bin/sh");
+    spec.prefix_args =
+        vec!["-c".into(), "cp \"$2/canned.json\" \"$2/result.json\"".into(), "fleet-test".into()];
+    spec
+}
+
+/// Pre-place every shard's canned result under an agent's dir (agents
+/// race for leases, so each must be able to run any shard).
+fn seed_canned(agent_dir: &Path, config: &CampaignConfig) {
+    for k in 0..N_SHARDS {
+        let dir = shard_dir(agent_dir, k);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut meta = CampaignMeta::generate_shard(config, k, N_SHARDS);
+        meta.sides_run = vec![];
+        meta.save(&dir.join("canned.json")).unwrap();
+    }
+}
+
+fn wait_for_addr(coord_dir: &Path) -> String {
+    let path = coord_dir.join("coord.addr");
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if !s.trim().is_empty() {
+                return s.trim().to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "coordinator never published its address");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn join_with_watchdog<T: Send + 'static>(
+    handle: std::thread::JoinHandle<T>,
+    what: &str,
+    secs: u64,
+) -> T {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !handle.is_finished() {
+        assert!(Instant::now() < deadline, "{what} failed to terminate within {secs}s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.join().expect("no panic")
+}
+
+fn run_fleet(tag: &str, chaos_budget: u32) -> (CoordReport, Vec<AgentReport>) {
+    let root = std::env::temp_dir().join(format!("fleet-inproc-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let coord_dir: PathBuf = root.join("coord");
+    let config = tiny_config();
+
+    let mut ccfg = CoordConfig::new(config.clone(), N_SHARDS, "127.0.0.1:0", &coord_dir);
+    ccfg.heartbeat_ms = 2_000;
+    ccfg.poll_ms = 10;
+    ccfg.linger_ms = 4_000;
+    let coord = std::thread::spawn(move || run_coordinator(&ccfg));
+    let addr = wait_for_addr(&coord_dir);
+
+    let mut agents = Vec::new();
+    for i in 0..2u64 {
+        let dir = root.join(format!("agent-{i}"));
+        seed_canned(&dir, &config);
+        let mut acfg = AgentConfig::new(&addr, &dir, 2, script_worker());
+        acfg.name = format!("agent-{i}");
+        acfg.poll_ms = 10;
+        acfg.seed = 100 + i;
+        acfg.io_timeout_ms = 1_000;
+        acfg.max_offline_ms = 8_000;
+        acfg.net_chaos = NetChaosConfig {
+            budget: chaos_budget,
+            seed: 7 + i,
+            max_delay_ms: 80,
+            partition_ms: 300,
+        };
+        agents.push(std::thread::spawn(move || run_agent(&acfg)));
+    }
+
+    let agent_reports: Vec<AgentReport> = agents
+        .into_iter()
+        .enumerate()
+        .map(|(i, h)| join_with_watchdog(h, &format!("agent {i}"), 90).expect("agent runs"))
+        .collect();
+    let coord_report =
+        join_with_watchdog(coord, "coordinator", 90).expect("coordinator runs");
+    std::fs::remove_dir_all(&root).ok();
+    (coord_report, agent_reports)
+}
+
+fn assert_complete(coord: &CoordReport, agents: &[AgentReport]) {
+    assert!(!coord.drained, "fleet must finish, not drain");
+    assert_eq!(coord.shards_done, N_SHARDS, "every shard folded exactly once");
+    assert!(coord.shards_poisoned.is_empty());
+    assert!(coord.grants >= N_SHARDS as u64);
+    let merged = coord.merged.as_ref().expect("merged report");
+    assert_eq!(merged.tests.len(), tiny_config().n_programs, "zero units lost");
+    let indices: Vec<u64> = merged.tests.iter().map(|t| t.index).collect();
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(indices, sorted, "canonical order, zero units double-merged");
+    let completed: u64 = agents.iter().map(|a| a.shards_completed).sum();
+    assert_eq!(completed, N_SHARDS as u64, "agents account for every completion");
+}
+
+#[test]
+fn calm_fleet_completes_with_every_shard_counted_once() {
+    let (coord, agents) = run_fleet("calm", 0);
+    assert_complete(&coord, &agents);
+    assert_eq!(coord.fence_rejections, 0, "calm run needs no fencing");
+    assert!(agents.iter().all(|a| a.all_done), "both agents heard the verdict");
+    assert!(agents.iter().all(|a| !a.gave_up && !a.drained));
+}
+
+#[test]
+fn chaos_tortured_fleet_merges_byte_identical_to_a_calm_run() {
+    let (calm, calm_agents) = run_fleet("ref", 0);
+    let (chaos, chaos_agents) = run_fleet("chaos", 24);
+    assert_complete(&calm, &calm_agents);
+    assert_complete(&chaos, &chaos_agents);
+    let injected: u32 = chaos_agents.iter().map(|a| a.faults_injected).sum();
+    assert!(injected > 0, "the chaos budget must actually fire");
+    let calm_bytes = serde_json::to_string(calm.merged.as_ref().unwrap()).unwrap();
+    let chaos_bytes = serde_json::to_string(chaos.merged.as_ref().unwrap()).unwrap();
+    assert_eq!(
+        calm_bytes, chaos_bytes,
+        "dropped/duplicated/truncated/partitioned exchanges must not change the merge"
+    );
+}

@@ -22,7 +22,8 @@ use std::collections::BTreeMap;
 
 use difftest::metadata::CampaignMeta;
 use difftest::{CampaignConfig, TestMode};
-use farm::{LeaseState, WorkQueue};
+use farm::proto::{Reply, Request};
+use farm::{CoordEvent, CoordState, LeaseState, WorkQueue};
 use progen::Precision;
 use proptest::prelude::*;
 
@@ -148,6 +149,233 @@ proptest! {
             prop_assert_eq!(queue.state(shard), LeaseState::Done);
         }
         prop_assert_eq!(completion_order.len(), n_shards);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The fleet coordinator's promise, as a property: drive
+    /// [`CoordState`] with a proptest-chosen interleaving of grants,
+    /// agent silences, **duplicated** completions, **delayed** zombie
+    /// messages, and full **coordinator restarts** (journal replay with
+    /// an epoch bump), and the final merged report still contains every
+    /// test index exactly once — and a final replay of the journal
+    /// reproduces it byte-identically.
+    #[test]
+    fn coordinator_is_exactly_once_under_duplication_delay_and_restarts(
+        n_shards in 1usize..5,
+        schedule in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        const HB: u64 = 40;
+        let config =
+            CampaignConfig::default_for(Precision::F32, TestMode::Direct).with_programs(8);
+        let mut events: Vec<CoordEvent> = Vec::new();
+        let mut state =
+            CoordState::replay(config.clone(), n_shards, HB, false, &events).expect("fresh state");
+        // Mirror run_coordinator: every (re)start journals its epoch, so
+        // even a restart with no traffic in between still bumps it.
+        events.push(CoordEvent::Start { epoch: state.epoch(), n_shards });
+        let mut now: u64 = 0;
+        // Live grants this simulated agent still intends to finish.
+        let mut held: Vec<(usize, u64, u64)> = Vec::new();
+        // Identities orphaned by silence or restart; their messages may
+        // still arrive arbitrarily late (the partitioned-zombie case).
+        let mut stale: Vec<(usize, u64, u64)> = Vec::new();
+        // Completions the coordinator acked; the wire may replay them.
+        let mut delivered: Vec<(usize, u64, u64)> = Vec::new();
+        let mut cursor = 0usize;
+        let mut steps = 0u32;
+
+        while !state.all_settled() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "failed to settle: tally {:?}", state.tally());
+            now += 10;
+            let action = match schedule.get(cursor).copied() {
+                Some(b) => b % 8,
+                // Schedule exhausted: deterministically finish — deliver
+                // what is held, lease what is free, expire the ghosts.
+                None => if held.is_empty() { 0 } else { 3 },
+            };
+            cursor += 1;
+            match action {
+                0 | 1 => {
+                    // An agent asks for work.
+                    let (reply, evs) =
+                        state.handle(&Request::Lease { agent: "sim".into() }, now);
+                    events.extend(evs);
+                    match reply {
+                        Reply::Grant { shard, epoch, fence, .. } => {
+                            prop_assert!(
+                                !held.iter().any(|h| h.0 == shard),
+                                "shard {} granted while already held",
+                                shard
+                            );
+                            held.push((shard, epoch, fence));
+                        }
+                        Reply::Wait { .. } => {
+                            if held.is_empty() {
+                                // Everything is leased to ghosts; let
+                                // their keepalive silence expire them.
+                                now += HB + 10;
+                                events.extend(state.tick(now));
+                            }
+                        }
+                        Reply::AllDone => {}
+                        other => prop_assert!(false, "unexpected lease reply {}", other.kind()),
+                    }
+                }
+                2 => {
+                    // The agent goes silent mid-shard: no heartbeat, no
+                    // release. The lease must expire on its own.
+                    if let Some(h) = held.pop() {
+                        stale.push(h);
+                    }
+                }
+                3 | 4 => {
+                    // Deliver a completion — and then the wire duplicates
+                    // it immediately. The dup must re-ack, journal
+                    // nothing, and fold nothing.
+                    if let Some((shard, epoch, fence)) = held.pop() {
+                        let piece = CampaignMeta::generate_shard(&config, shard, n_shards);
+                        let req = Request::Complete {
+                            agent: "sim".into(),
+                            shard,
+                            epoch,
+                            fence,
+                            meta: Box::new(piece),
+                        };
+                        let before = state.merged().map_or(0, |m| m.tests.len());
+                        let (reply, evs) = state.handle(&req, now);
+                        events.extend(evs);
+                        prop_assert_eq!(reply, Reply::Ok);
+                        let after = state.merged().map_or(0, |m| m.tests.len());
+                        prop_assert!(after > before, "completion must fold new tests");
+                        let (dup, dup_evs) = state.handle(&req, now);
+                        prop_assert_eq!(dup, Reply::Ok, "duplicate completion re-acked");
+                        prop_assert!(dup_evs.is_empty(), "duplicate journals nothing");
+                        prop_assert_eq!(
+                            state.merged().map_or(0, |m| m.tests.len()),
+                            after,
+                            "duplicate must not re-fold"
+                        );
+                        delivered.push((shard, epoch, fence));
+                    }
+                }
+                5 => {
+                    // A very late replay of an already-acked completion —
+                    // possibly from before a restart. Idempotent re-ack,
+                    // even though the epoch may have moved on.
+                    if let Some(&(shard, epoch, fence)) = delivered.first() {
+                        let piece = CampaignMeta::generate_shard(&config, shard, n_shards);
+                        let before = state.merged().map_or(0, |m| m.tests.len());
+                        let (reply, evs) = state.handle(
+                            &Request::Complete {
+                                agent: "sim".into(),
+                                shard,
+                                epoch,
+                                fence,
+                                meta: Box::new(piece),
+                            },
+                            now,
+                        );
+                        prop_assert!(evs.is_empty(), "replayed ack journals nothing");
+                        prop_assert_eq!(reply, Reply::Ok, "acked completion re-acked across epochs");
+                        prop_assert_eq!(state.merged().map_or(0, |m| m.tests.len()), before);
+                    }
+                }
+                6 => {
+                    // A partitioned zombie's late completion arrives. If
+                    // its lease happens to still be live it may legally
+                    // land; any other identity must be fenced. Either
+                    // way the final exactly-once check has the last word.
+                    if !stale.is_empty() {
+                        let (shard, epoch, fence) = stale.remove(0);
+                        let piece = CampaignMeta::generate_shard(&config, shard, n_shards);
+                        let (reply, evs) = state.handle(
+                            &Request::Poison {
+                                agent: "zombie".into(),
+                                shard,
+                                epoch,
+                                fence,
+                                crashes: 3,
+                            },
+                            now,
+                        );
+                        // Poison from a zombie is the nastiest case: it
+                        // would quarantine a shard someone else is
+                        // running. It must only land while the zombie's
+                        // own lease is still live.
+                        match reply {
+                            Reply::Ok | Reply::Fenced { .. } => {}
+                            other => {
+                                prop_assert!(false, "unexpected zombie reply {}", other.kind())
+                            }
+                        }
+                        if matches!(reply, Reply::Ok) {
+                            // It really was still the lease holder; undo
+                            // the quarantine path for this run by
+                            // treating the shard as settled-poisoned.
+                            prop_assert!(!evs.is_empty(), "accepted poison must journal");
+                        }
+                        events.extend(evs);
+                        let _ = (shard, epoch, fence);
+                    }
+                }
+                7 => {
+                    // The coordinator dies and replays its journal: the
+                    // merge must survive byte-identically, the epoch must
+                    // move forward, and every live lease is orphaned.
+                    let replayed =
+                        CoordState::replay(config.clone(), n_shards, HB, false, &events)
+                            .expect("replay");
+                    prop_assert_eq!(
+                        serde_json::to_string(&state.merged()).unwrap(),
+                        serde_json::to_string(&replayed.merged()).unwrap(),
+                        "replayed merge differs from the live one"
+                    );
+                    prop_assert!(replayed.epoch() > state.epoch(), "epoch must bump on restart");
+                    state = replayed;
+                    events.push(CoordEvent::Start { epoch: state.epoch(), n_shards });
+                    stale.append(&mut held);
+                }
+                _ => unreachable!(),
+            }
+
+            // Agents keepalive everything they still hold (the real
+            // agent heartbeats every heartbeat_ms/3); only ghosts in
+            // `stale` fall silent and expire.
+            for &(shard, epoch, fence) in &held {
+                let (reply, evs) = state.handle(
+                    &Request::Heartbeat { agent: "sim".into(), shard, epoch, fence },
+                    now,
+                );
+                events.extend(evs);
+                prop_assert_eq!(reply, Reply::Ok, "held lease keepalive must succeed");
+            }
+            events.extend(state.tick(now));
+        }
+
+        // Exactly-once, however the duplicates and restarts fell: every
+        // non-poisoned shard's tests appear exactly once, in canonical
+        // order, and poisoned shards (zombie case above) stay excluded.
+        let poisoned = state.poisoned_shards();
+        let merged = state.take_merged();
+        let got: Vec<u64> =
+            merged.iter().flat_map(|m| m.tests.iter().map(|t| t.index)).collect();
+        let expect: Vec<u64> = (0..config.n_programs as u64)
+            .filter(|i| !poisoned.contains(&((*i as usize) % n_shards)))
+            .collect();
+        prop_assert_eq!(got, expect, "every surviving unit exactly once, in order");
+
+        // The journal's final word matches the live state's.
+        let replayed = CoordState::replay(config.clone(), n_shards, HB, false, &events)
+            .expect("final replay");
+        prop_assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&replayed.merged()).unwrap(),
+            "final journal replay must reproduce the merge byte-identically"
+        );
     }
 }
 
